@@ -1,0 +1,55 @@
+// Ablation (extension) — update-aware design, the paper's future-work
+// item ("we plan to consider more general XML queries (including update
+// queries)").
+//
+// Sweeps the insert rate of new inproceedings against a read workload and
+// reports how the combined design adapts: with rising update load the
+// advisor sheds structures (maintenance dominates their benefit) and the
+// estimated read cost climbs back toward the structure-free design.
+
+#include <cstdio>
+
+#include "bench/util.h"
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace xmlshred::bench {
+namespace {
+
+void Run() {
+  Dataset dblp = MakeDblpDataset();
+  WorkloadSpec spec;
+  spec.selectivity = SelectivityClass::kLow;
+  spec.projections = ProjectionClass::kLow;
+  spec.num_queries = 10;
+  spec.seed = 77;
+  auto workload = GenerateWorkload(*dblp.data.tree, *dblp.stats, spec);
+  XS_CHECK_OK(workload.status());
+
+  PrintTitle("Ablation: update-aware combined design (DBLP)",
+             "structures shrink as insert load grows; read cost returns "
+             "toward the unindexed level");
+  PrintRow({"inserts/unit", "est. read", "maintenance", "#idx", "#views",
+            "struct pages"});
+  for (double rate : {0.0, 1.0, 10.0, 100.0, 1000.0, 100000.0}) {
+    DesignProblem problem = dblp.MakeProblem(*workload);
+    if (rate > 0) problem.updates = {{"inproceedings", rate}};
+    auto result = GreedySearch(problem);
+    XS_CHECK_OK(result.status());
+    const TunerResult& config = result->configuration;
+    PrintRow({FormatDouble(rate, 0),
+              FormatDouble(config.total_cost - config.maintenance_cost, 1),
+              FormatDouble(config.maintenance_cost, 1),
+              std::to_string(config.indexes.size()),
+              std::to_string(config.views.size()),
+              FormatWithCommas(config.structure_pages)});
+  }
+}
+
+}  // namespace
+}  // namespace xmlshred::bench
+
+int main() {
+  xmlshred::bench::Run();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Fig. 5 — Running time of Greedy and Naive-Greedy, normalized to
+// Two-Step, on DBLP (a) and Movie (b). Log-scale in the paper.
+//
+// Paper shape: Greedy comparable to Two-Step (ratio near 1); Naive-Greedy
+// about two orders of magnitude slower on DBLP and one order on Movie
+// (smaller schema -> smaller speed-up).
+
+#include <cstdio>
+
+#include "bench/util.h"
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace xmlshred::bench {
+namespace {
+
+void RunDataset(const Dataset& dataset,
+                const std::vector<WorkloadSpec>& specs) {
+  PrintTitle("Fig. 5 (" + dataset.name +
+                 "): algorithm running time normalized to Two-Step",
+             "Greedy ~1x; Naive-Greedy 1-2 orders of magnitude slower");
+  PrintRow({"workload", "two-step(s)", "greedy", "naive"});
+  for (const WorkloadSpec& spec : specs) {
+    auto workload =
+        GenerateWorkload(*dataset.data.tree, *dataset.stats, spec);
+    XS_CHECK_OK(workload.status());
+    DesignProblem problem = dataset.MakeProblem(*workload);
+
+    double two_step_time = 0;
+    std::vector<std::string> row = {WorkloadName(spec)};
+    for (const char* algorithm : {"two-step", "greedy", "naive"}) {
+      auto result = RunAlgorithm(algorithm, problem);
+      XS_CHECK_OK(result.status());
+      double elapsed = result->telemetry.elapsed_seconds;
+      if (std::string(algorithm) == "two-step") {
+        two_step_time = elapsed;
+        row.push_back(FormatDouble(elapsed, 3));
+      } else {
+        row.push_back(FormatDouble(elapsed / two_step_time, 2) + "x");
+      }
+    }
+    PrintRow(row);
+  }
+}
+
+}  // namespace
+}  // namespace xmlshred::bench
+
+int main() {
+  using namespace xmlshred::bench;
+  {
+    Dataset dblp = MakeDblpDataset();
+    RunDataset(dblp, DblpWorkloadSpecs());
+  }
+  {
+    Dataset movie = MakeMovieDataset();
+    RunDataset(movie, MovieWorkloadSpecs());
+  }
+  return 0;
+}

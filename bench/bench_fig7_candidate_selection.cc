@@ -1,0 +1,68 @@
+// Fig. 7 — Speed-up of Greedy's running time due to candidate selection,
+// on the DBLP 20-query workloads.
+//
+// Paper shape: pruning the subsumed transformations alone gives the bulk
+// of the speed-up (8-12x); the remaining workload-based candidate
+// selection rules add about another 2x, with no quality drop.
+
+#include <cstdio>
+
+#include "bench/util.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "search/evaluate.h"
+
+namespace xmlshred::bench {
+namespace {
+
+void Run() {
+  Dataset dblp = MakeDblpDataset();
+  PrintTitle("Fig. 7 (DBLP): speed-up due to candidate selection",
+             "subsumed-pruning speed-up dominates; all rules add ~2x more; "
+             "no quality drop");
+  PrintRow({"workload", "none(s)", "subs-only", "all-rules", "spd-subs",
+            "spd-all", "quality"});
+  for (const WorkloadSpec& spec : DblpWorkloadSpecs()) {
+    if (spec.num_queries != 20) continue;
+    auto workload = GenerateWorkload(*dblp.data.tree, *dblp.stats, spec);
+    XS_CHECK_OK(workload.status());
+    DesignProblem problem = dblp.MakeProblem(*workload);
+
+    GreedyOptions none;
+    none.prune_subsumed = false;
+    none.candidate_selection = false;
+    GreedyOptions subsumed_only;
+    subsumed_only.prune_subsumed = true;
+    subsumed_only.candidate_selection = false;
+    GreedyOptions all_rules;  // defaults
+
+    auto r_none = GreedySearch(problem, none);
+    XS_CHECK_OK(r_none.status());
+    auto r_subs = GreedySearch(problem, subsumed_only);
+    XS_CHECK_OK(r_subs.status());
+    auto r_all = GreedySearch(problem, all_rules);
+    XS_CHECK_OK(r_all.status());
+
+    auto eval_none = EvaluateOnData(*r_none, dblp.data.doc, problem.workload);
+    auto eval_all = EvaluateOnData(*r_all, dblp.data.doc, problem.workload);
+    XS_CHECK_OK(eval_none.status());
+    XS_CHECK_OK(eval_all.status());
+
+    double t_none = r_none->telemetry.elapsed_seconds;
+    double t_subs = r_subs->telemetry.elapsed_seconds;
+    double t_all = r_all->telemetry.elapsed_seconds;
+    PrintRow({WorkloadName(spec), FormatDouble(t_none, 3),
+              FormatDouble(t_subs, 3), FormatDouble(t_all, 3),
+              FormatDouble(t_none / t_subs, 1) + "x",
+              FormatDouble(t_none / t_all, 1) + "x",
+              FormatDouble(eval_all->total_work / eval_none->total_work, 2)});
+  }
+}
+
+}  // namespace
+}  // namespace xmlshred::bench
+
+int main() {
+  xmlshred::bench::Run();
+  return 0;
+}

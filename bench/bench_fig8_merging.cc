@@ -1,0 +1,73 @@
+// Fig. 8 — Candidate merging strategies on the DBLP 20-query workloads:
+// (a) resulting query execution work, normalized to hybrid inlining;
+// (b) algorithm running time, normalized to the no-merging strategy.
+//
+// Paper shape: no-merging results cost about 2x more than merged ones;
+// greedy merging matches exhaustive quality while running 2-10x faster
+// (about as fast as no merging).
+
+#include <cstdio>
+
+#include "bench/util.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "search/evaluate.h"
+
+namespace xmlshred::bench {
+namespace {
+
+void Run() {
+  Dataset dblp = MakeDblpDataset();
+  PrintTitle("Fig. 8 (DBLP): candidate merging strategies",
+             "quality: greedy ~= exhaustive < no-merging; time: greedy ~= "
+             "none << exhaustive");
+  PrintRow({"workload", "q:greedy", "q:none", "q:exhaust", "t:greedy",
+            "t:none", "t:exhaust"});
+  for (const WorkloadSpec& spec : DblpWorkloadSpecs()) {
+    if (spec.num_queries != 20) continue;
+    auto workload = GenerateWorkload(*dblp.data.tree, *dblp.stats, spec);
+    XS_CHECK_OK(workload.status());
+    DesignProblem problem = dblp.MakeProblem(*workload);
+
+    auto hybrid = EvaluateHybridInline(problem);
+    XS_CHECK_OK(hybrid.status());
+    auto hybrid_eval =
+        EvaluateOnData(*hybrid, dblp.data.doc, problem.workload);
+    XS_CHECK_OK(hybrid_eval.status());
+
+    struct Outcome {
+      double quality = 0;
+      double time = 0;
+    };
+    auto run = [&](MergeStrategy strategy) {
+      GreedyOptions options;
+      options.merging = strategy;
+      auto result = GreedySearch(problem, options);
+      XS_CHECK_OK(result.status());
+      auto eval =
+          EvaluateOnData(*result, dblp.data.doc, problem.workload);
+      XS_CHECK_OK(eval.status());
+      Outcome outcome;
+      outcome.quality = eval->total_work / hybrid_eval->total_work;
+      outcome.time = result->telemetry.elapsed_seconds;
+      return outcome;
+    };
+    Outcome greedy = run(MergeStrategy::kGreedy);
+    Outcome none = run(MergeStrategy::kNone);
+    Outcome exhaustive = run(MergeStrategy::kExhaustive);
+    PrintRow({WorkloadName(spec), FormatDouble(greedy.quality, 2),
+              FormatDouble(none.quality, 2),
+              FormatDouble(exhaustive.quality, 2),
+              FormatDouble(greedy.time / none.time, 2) + "x",
+              "1.00x",
+              FormatDouble(exhaustive.time / none.time, 2) + "x"});
+  }
+}
+
+}  // namespace
+}  // namespace xmlshred::bench
+
+int main() {
+  xmlshred::bench::Run();
+  return 0;
+}

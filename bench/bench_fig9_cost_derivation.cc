@@ -1,0 +1,69 @@
+// Fig. 9 — Cost derivation on the DBLP 20-query workloads:
+// (a) resulting query execution work normalized to hybrid inlining,
+// (b) algorithm running time normalized to the with-derivation run.
+//
+// Paper shape: cost derivation speeds the algorithm up 4-10x with a
+// quality drop of at most ~3 % of the hybrid-inlining cost.
+
+#include <cstdio>
+
+#include "bench/util.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "search/evaluate.h"
+
+namespace xmlshred::bench {
+namespace {
+
+void Run() {
+  Dataset dblp = MakeDblpDataset();
+  PrintTitle("Fig. 9 (DBLP): cost derivation",
+             "4-10x faster with derivation; quality drop <= ~3%");
+  PrintRow({"workload", "q:with", "q:without", "t:with(s)", "t:without",
+            "speedup", "derived-q"});
+  for (const WorkloadSpec& spec : DblpWorkloadSpecs()) {
+    if (spec.num_queries != 20) continue;
+    auto workload = GenerateWorkload(*dblp.data.tree, *dblp.stats, spec);
+    XS_CHECK_OK(workload.status());
+    DesignProblem problem = dblp.MakeProblem(*workload);
+
+    auto hybrid = EvaluateHybridInline(problem);
+    XS_CHECK_OK(hybrid.status());
+    auto hybrid_eval =
+        EvaluateOnData(*hybrid, dblp.data.doc, problem.workload);
+    XS_CHECK_OK(hybrid_eval.status());
+
+    GreedyOptions with;
+    with.cost_derivation = true;
+    GreedyOptions without;
+    without.cost_derivation = false;
+
+    auto r_with = GreedySearch(problem, with);
+    XS_CHECK_OK(r_with.status());
+    auto r_without = GreedySearch(problem, without);
+    XS_CHECK_OK(r_without.status());
+    auto e_with = EvaluateOnData(*r_with, dblp.data.doc, problem.workload);
+    auto e_without =
+        EvaluateOnData(*r_without, dblp.data.doc, problem.workload);
+    XS_CHECK_OK(e_with.status());
+    XS_CHECK_OK(e_without.status());
+
+    double t_with = r_with->telemetry.elapsed_seconds;
+    double t_without = r_without->telemetry.elapsed_seconds;
+    PrintRow({WorkloadName(spec),
+              FormatDouble(e_with->total_work / hybrid_eval->total_work, 2),
+              FormatDouble(e_without->total_work / hybrid_eval->total_work,
+                           2),
+              FormatDouble(t_with, 3), FormatDouble(t_without, 3),
+              FormatDouble(t_without / t_with, 1) + "x",
+              std::to_string(r_with->telemetry.queries_derived)});
+  }
+}
+
+}  // namespace
+}  // namespace xmlshred::bench
+
+int main() {
+  xmlshred::bench::Run();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Shared plumbing for the per-figure benchmark harnesses: builds the two
+// data sets at bench scale, the paper's workload grid, and common
+// printing helpers.
+//
+// Scale: XMLSHRED_BENCH_SCALE (default 1.0) multiplies data sizes, so
+// `XMLSHRED_BENCH_SCALE=0.2 ./bench_fig4_quality` gives a quick run.
+
+#ifndef XMLSHRED_BENCH_UTIL_H_
+#define XMLSHRED_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mapping/xml_stats.h"
+#include "search/evaluate.h"
+#include "search/greedy.h"
+#include "search/problem.h"
+#include "workload/dblp.h"
+#include "workload/movie.h"
+#include "workload/query_gen.h"
+
+namespace xmlshred::bench {
+
+// Data set plus everything a DesignProblem needs.
+struct Dataset {
+  std::string name;
+  GeneratedData data;
+  std::unique_ptr<XmlStatistics> stats;
+  int64_t storage_bound_pages = 0;
+
+  DesignProblem MakeProblem(XPathWorkload workload) const;
+};
+
+double BenchScale();
+
+// DBLP at bench scale (20k publications at scale 1).
+Dataset MakeDblpDataset();
+// Movie at bench scale (20k movies at scale 1).
+Dataset MakeMovieDataset();
+
+// The paper's workload grid (§5.1.3): 8 DBLP workloads (LP/HP x LS/HS x
+// 10/20 queries) and 4 Movie workloads (x20).
+std::vector<WorkloadSpec> DblpWorkloadSpecs();
+std::vector<WorkloadSpec> MovieWorkloadSpecs();
+
+// Runs one algorithm by name ("greedy", "naive", "two-step", "hybrid").
+Result<SearchResult> RunAlgorithm(const std::string& algorithm,
+                                  const DesignProblem& problem,
+                                  const GreedyOptions& greedy_options = {});
+
+// Printing helpers: fixed-width tab-separated rows.
+void PrintTitle(const std::string& title, const std::string& paper_shape);
+void PrintRow(const std::vector<std::string>& cells);
+
+}  // namespace xmlshred::bench
+
+#endif  // XMLSHRED_BENCH_UTIL_H_

@@ -1,0 +1,209 @@
+// xmlshred advisor CLI: the end-user face of the library.
+//
+//   example_advisor_cli --schema file.xsd|file.dtd --data file.xml
+//       --workload queries.txt [--algorithm greedy|naive|two-step|hybrid]
+//       [--space-multiple 3.0] [--execute]
+//
+// The workload file holds one XPath query per line, optionally prefixed
+// by a weight ("4.0 //movie[year >= 1998]/(title | box_office)"); '#'
+// lines are comments. The tool prints the chosen relational mapping, the
+// recommended physical structures, and per-query estimated costs; with
+// --execute it also shreds the data, builds the structures, and reports
+// measured work per query.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/strings.h"
+#include "mapping/xml_stats.h"
+#include "search/evaluate.h"
+#include "search/greedy.h"
+#include "xml/dtd_parser.h"
+#include "xml/xsd_parser.h"
+#include "xpath/translator.h"
+
+using namespace xmlshred;
+
+namespace {
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Result<XPathWorkload> LoadWorkload(const std::string& path) {
+  XS_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  XPathWorkload workload;
+  std::istringstream lines(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(lines, line)) {
+    ++line_number;
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    double weight = 1.0;
+    if (std::isdigit(static_cast<unsigned char>(stripped[0]))) {
+      size_t space = stripped.find(' ');
+      if (space == std::string_view::npos) {
+        return InvalidArgument(StrFormat("line %d: weight without query",
+                                         line_number));
+      }
+      weight = std::atof(std::string(stripped.substr(0, space)).c_str());
+      stripped = StripWhitespace(stripped.substr(space));
+    }
+    auto query = ParseXPath(stripped);
+    if (!query.ok()) {
+      return InvalidArgument(StrFormat("line %d: %s", line_number,
+                                       query.status().ToString().c_str()));
+    }
+    query->weight = weight;
+    workload.push_back(std::move(*query));
+  }
+  if (workload.empty()) return InvalidArgument("workload file is empty");
+  return workload;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: example_advisor_cli --schema FILE.{xsd,dtd} --data FILE.xml\n"
+      "       --workload FILE [--algorithm greedy|naive|two-step|hybrid]\n"
+      "       [--space-multiple F] [--execute]\n");
+  return 2;
+}
+
+Status RunTool(const std::string& schema_path, const std::string& data_path,
+               const std::string& workload_path,
+               const std::string& algorithm, double space_multiple,
+               bool execute) {
+  // Schema: XSD or DTD by extension.
+  XS_ASSIGN_OR_RETURN(std::string schema_text, ReadFile(schema_path));
+  std::unique_ptr<SchemaTree> tree;
+  if (EndsWith(schema_path, ".dtd")) {
+    XS_ASSIGN_OR_RETURN(tree, ParseDtd(schema_text));
+  } else {
+    XS_ASSIGN_OR_RETURN(tree, ParseXsd(schema_text));
+  }
+  AssignDefaultAnnotations(tree.get());
+  XS_RETURN_IF_ERROR(tree->Validate());
+
+  XS_ASSIGN_OR_RETURN(std::string xml_text, ReadFile(data_path));
+  XS_ASSIGN_OR_RETURN(XmlDocument doc, ParseXml(xml_text));
+  XS_ASSIGN_OR_RETURN(XmlStatistics stats,
+                      XmlStatistics::Collect(doc, *tree));
+  XS_ASSIGN_OR_RETURN(XPathWorkload workload, LoadWorkload(workload_path));
+
+  DesignProblem problem;
+  problem.tree = tree.get();
+  problem.stats = &stats;
+  problem.workload = workload;
+  XS_ASSIGN_OR_RETURN(Mapping default_mapping, Mapping::Build(*tree));
+  int64_t data_pages =
+      stats.DeriveCatalog(*tree, default_mapping).DataPages();
+  problem.storage_bound_pages = static_cast<int64_t>(
+      static_cast<double>(data_pages) * space_multiple);
+
+  std::printf("schema: %s (%lld elements in data)\n", schema_path.c_str(),
+              static_cast<long long>(stats.total_elements()));
+  std::printf("workload: %zu queries; storage bound: %lld pages\n\n",
+              workload.size(),
+              static_cast<long long>(problem.storage_bound_pages));
+
+  Result<SearchResult> result = [&]() -> Result<SearchResult> {
+    if (algorithm == "greedy") return GreedySearch(problem);
+    if (algorithm == "naive") return NaiveGreedySearch(problem);
+    if (algorithm == "two-step") return TwoStepSearch(problem);
+    if (algorithm == "hybrid") return EvaluateHybridInline(problem);
+    return InvalidArgument("unknown algorithm " + algorithm);
+  }();
+  XS_RETURN_IF_ERROR(result.status());
+
+  std::printf("--- %s: estimated workload cost %.1f "
+              "(%d transformations searched, %.3fs) ---\n",
+              result->algorithm.c_str(), result->estimated_cost,
+              result->telemetry.transformations_searched,
+              result->telemetry.elapsed_seconds);
+  std::printf("\nrelational mapping:\n");
+  for (const MappedRelation& rel : result->mapping.relations()) {
+    std::printf("  %s\n", rel.ToTableSchema().ToString().c_str());
+  }
+  std::printf("\nphysical design (%lld pages):\n",
+              static_cast<long long>(result->configuration.structure_pages));
+  for (const IndexDesc& idx : result->configuration.indexes) {
+    const MappedRelation* rel = result->mapping.FindRelation(idx.def.table);
+    std::printf("  %s\n",
+                idx.def.ToString(rel->ToTableSchema()).c_str());
+  }
+  for (const ViewDesc& view : result->configuration.views) {
+    std::printf("  %s\n", view.def.ToString().c_str());
+  }
+
+  std::printf("\ntranslated SQL:\n");
+  for (const XPathQuery& query : workload) {
+    XS_ASSIGN_OR_RETURN(TranslatedQuery translated,
+                        TranslateXPath(query, *result->tree,
+                                       result->mapping));
+    std::printf("  %s\n    -> %s\n", query.ToString().c_str(),
+                translated.sql.ToSql().c_str());
+  }
+
+  if (execute) {
+    XS_ASSIGN_OR_RETURN(WorkloadEvaluation eval,
+                        EvaluateOnData(*result, doc, workload));
+    std::printf("\nmeasured execution (work units):\n");
+    for (size_t i = 0; i < workload.size(); ++i) {
+      std::printf("  %-60s %10.1f\n", workload[i].ToString().c_str(),
+                  eval.per_query_work[i]);
+    }
+    std::printf("  %-60s %10.1f\n", "TOTAL (weighted)", eval.total_work);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string schema, data, workload;
+  std::string algorithm = "greedy";
+  double space_multiple = 3.0;
+  bool execute = false;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--schema")) {
+      schema = next("--schema");
+    } else if (!std::strcmp(argv[i], "--data")) {
+      data = next("--data");
+    } else if (!std::strcmp(argv[i], "--workload")) {
+      workload = next("--workload");
+    } else if (!std::strcmp(argv[i], "--algorithm")) {
+      algorithm = next("--algorithm");
+    } else if (!std::strcmp(argv[i], "--space-multiple")) {
+      space_multiple = std::atof(next("--space-multiple"));
+    } else if (!std::strcmp(argv[i], "--execute")) {
+      execute = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (schema.empty() || data.empty() || workload.empty()) return Usage();
+  Status status = RunTool(schema, data, workload, algorithm, space_multiple,
+                          execute);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

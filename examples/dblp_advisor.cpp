@@ -1,0 +1,86 @@
+// DBLP design advisor: compares the three search algorithms of the paper
+// on a synthetic DBLP data set and a generated workload — a miniature of
+// the paper's Figs. 4-6 in one run.
+//
+// Usage: example_dblp_advisor [num_publications] [num_queries]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "mapping/xml_stats.h"
+#include "search/evaluate.h"
+#include "search/greedy.h"
+#include "workload/dblp.h"
+#include "workload/query_gen.h"
+
+using namespace xmlshred;
+
+int main(int argc, char** argv) {
+  int64_t pubs = argc > 1 ? std::atoll(argv[1]) : 8000;
+  int queries = argc > 2 ? std::atoi(argv[2]) : 12;
+
+  DblpConfig config;
+  config.num_inproceedings = pubs;
+  config.num_books = pubs / 10;
+  std::printf("generating DBLP: %lld publications...\n",
+              static_cast<long long>(pubs));
+  GeneratedData data = GenerateDblp(config);
+  auto stats = XmlStatistics::Collect(data.doc, *data.tree);
+  XS_CHECK_OK(stats.status());
+
+  WorkloadSpec spec;
+  spec.selectivity = SelectivityClass::kLow;
+  spec.projections = ProjectionClass::kLow;
+  spec.num_queries = queries;
+  spec.seed = 2024;
+  auto workload = GenerateWorkload(*data.tree, *stats, spec);
+  XS_CHECK_OK(workload.status());
+  std::printf("workload (%s):\n", WorkloadName(spec).c_str());
+  for (const XPathQuery& q : *workload) {
+    std::printf("  %s\n", q.ToString().c_str());
+  }
+
+  DesignProblem problem;
+  problem.tree = data.tree.get();
+  problem.stats = &*stats;
+  problem.workload = *workload;
+  auto mapping = Mapping::Build(*data.tree);
+  XS_CHECK_OK(mapping.status());
+  problem.storage_bound_pages =
+      stats->DeriveCatalog(*data.tree, *mapping).DataPages() * 3;
+
+  std::printf("\n%-14s%-12s%-12s%-12s%-12s%-10s\n", "algorithm", "est.cost",
+              "exec work", "vs hybrid", "time(s)", "#searched");
+  double hybrid_work = 0;
+  struct Algo {
+    const char* name;
+  };
+  for (const char* name : {"hybrid", "greedy", "naive", "two-step"}) {
+    Result<SearchResult> result = [&]() -> Result<SearchResult> {
+      if (std::string(name) == "hybrid") return EvaluateHybridInline(problem);
+      if (std::string(name) == "greedy") return GreedySearch(problem);
+      if (std::string(name) == "naive") return NaiveGreedySearch(problem);
+      return TwoStepSearch(problem);
+    }();
+    XS_CHECK_OK(result.status());
+    auto eval = EvaluateOnData(*result, data.doc, problem.workload);
+    XS_CHECK_OK(eval.status());
+    if (hybrid_work == 0) hybrid_work = eval->total_work;
+    std::printf("%-14s%-12s%-12s%-12s%-12s%-10d\n", name,
+                FormatDouble(result->estimated_cost, 1).c_str(),
+                FormatDouble(eval->total_work, 1).c_str(),
+                FormatDouble(eval->total_work / hybrid_work, 2).c_str(),
+                FormatDouble(result->telemetry.elapsed_seconds, 3).c_str(),
+                result->telemetry.transformations_searched);
+    if (std::string(name) == "greedy") {
+      std::printf("\n  greedy's chosen mapping:\n");
+      for (const MappedRelation& rel : result->mapping.relations()) {
+        std::printf("    %s\n", rel.ToTableSchema().ToString().c_str());
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

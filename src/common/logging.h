@@ -1,0 +1,47 @@
+// Assertion and logging macros.
+//
+// XS_CHECK* terminate the process on violation — they guard internal
+// invariants, not user input (user input errors surface as Status).
+
+#ifndef XMLSHRED_COMMON_LOGGING_H_
+#define XMLSHRED_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace xmlshred::internal_logging {
+
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace xmlshred::internal_logging
+
+#define XS_CHECK(cond)                                                  \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::xmlshred::internal_logging::CheckFail(__FILE__, __LINE__,       \
+                                              #cond);                  \
+    }                                                                   \
+  } while (false)
+
+#define XS_CHECK_EQ(a, b) XS_CHECK((a) == (b))
+#define XS_CHECK_NE(a, b) XS_CHECK((a) != (b))
+#define XS_CHECK_LT(a, b) XS_CHECK((a) < (b))
+#define XS_CHECK_LE(a, b) XS_CHECK((a) <= (b))
+#define XS_CHECK_GT(a, b) XS_CHECK((a) > (b))
+#define XS_CHECK_GE(a, b) XS_CHECK((a) >= (b))
+
+#define XS_CHECK_OK(expr)                                               \
+  do {                                                                  \
+    ::xmlshred::Status xs_check_status_ = (expr);                       \
+    if (!xs_check_status_.ok()) {                                       \
+      std::fprintf(stderr, "CHECK_OK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, xs_check_status_.ToString().c_str());      \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (false)
+
+#endif  // XMLSHRED_COMMON_LOGGING_H_

@@ -1,0 +1,32 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace xmlshred {
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  double total = 0;
+  for (double w : weights) total += w;
+  double r = UniformDouble() * total;
+  double acc = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.empty() ? 0 : weights.size() - 1;
+}
+
+int64_t Rng::Zipf(int64_t n, double theta) {
+  // Inverse CDF by linear accumulation; n is small (tens) in our use.
+  double total = 0;
+  for (int64_t k = 1; k <= n; ++k) total += 1.0 / std::pow(k, theta);
+  double r = UniformDouble() * total;
+  double acc = 0;
+  for (int64_t k = 1; k <= n; ++k) {
+    acc += 1.0 / std::pow(k, theta);
+    if (r < acc) return k;
+  }
+  return n;
+}
+
+}  // namespace xmlshred

@@ -1,0 +1,56 @@
+// Deterministic pseudo-random number generation.
+//
+// All synthetic data and workload generation in xmlshred draws from Rng so
+// that every experiment is reproducible bit-for-bit from a seed. The
+// implementation is splitmix64 (public-domain, Sebastiano Vigna): tiny,
+// fast, and statistically adequate for data generation.
+
+#ifndef XMLSHRED_COMMON_RNG_H_
+#define XMLSHRED_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace xmlshred {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  // Next raw 64-bit value.
+  uint64_t Next64() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(Next64() % span);
+  }
+
+  // Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+  }
+
+  // True with probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  // Samples an index according to `weights` (need not be normalized).
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  // Zipf-like skewed integer in [1, n]: probability of k proportional to
+  // 1 / k^theta. Uses inverse-CDF over a precomputable small n.
+  int64_t Zipf(int64_t n, double theta);
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace xmlshred
+
+#endif  // XMLSHRED_COMMON_RNG_H_

@@ -1,0 +1,59 @@
+#include "common/status.h"
+
+namespace xmlshred {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid argument";
+    case StatusCode::kNotFound:
+      return "not found";
+    case StatusCode::kAlreadyExists:
+      return "already exists";
+    case StatusCode::kOutOfRange:
+      return "out of range";
+    case StatusCode::kFailedPrecondition:
+      return "failed precondition";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out = StatusCodeToString(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status InvalidArgument(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+Status NotFound(std::string message) {
+  return Status(StatusCode::kNotFound, std::move(message));
+}
+Status AlreadyExists(std::string message) {
+  return Status(StatusCode::kAlreadyExists, std::move(message));
+}
+Status OutOfRange(std::string message) {
+  return Status(StatusCode::kOutOfRange, std::move(message));
+}
+Status FailedPrecondition(std::string message) {
+  return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+Status Unimplemented(std::string message) {
+  return Status(StatusCode::kUnimplemented, std::move(message));
+}
+Status Internal(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+
+}  // namespace xmlshred

@@ -1,0 +1,138 @@
+// Status and Result<T>: error propagation without exceptions.
+//
+// Every fallible public API in xmlshred returns a Status (no payload) or a
+// Result<T> (payload on success). Errors carry a code and a human-readable
+// message. Exceptions are not used across module boundaries.
+//
+// Example:
+//   Result<int> ParsePort(std::string_view s);
+//   ...
+//   Result<int> port = ParsePort(arg);
+//   if (!port.ok()) return port.status();
+//   Listen(*port);
+
+#ifndef XMLSHRED_COMMON_STATUS_H_
+#define XMLSHRED_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace xmlshred {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+};
+
+// Returns the canonical lower-case name of `code` (e.g. "invalid argument").
+const char* StatusCodeToString(StatusCode code);
+
+// Value type describing the outcome of an operation. Cheap to copy on the
+// OK path (no allocation); error statuses carry a message string.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Renders "code: message" for diagnostics.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+Status InvalidArgument(std::string message);
+Status NotFound(std::string message);
+Status AlreadyExists(std::string message);
+Status OutOfRange(std::string message);
+Status FailedPrecondition(std::string message);
+Status Unimplemented(std::string message);
+Status Internal(std::string message);
+
+// Result<T> is a Status plus, when OK, a value of type T.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "OK Result must carry a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  // Value accessors. Must not be called on an error Result.
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  // Moves the value out of the Result.
+  T TakeValue() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates an error Status from an expression, RETURN_IF_ERROR style.
+#define XS_RETURN_IF_ERROR(expr)                       \
+  do {                                                 \
+    ::xmlshred::Status xs_status_ = (expr);            \
+    if (!xs_status_.ok()) return xs_status_;           \
+  } while (false)
+
+// Evaluates a Result expression, propagating errors and otherwise binding
+// the value to `lhs`. `lhs` may declare a new variable.
+#define XS_ASSIGN_OR_RETURN(lhs, expr)          \
+  XS_ASSIGN_OR_RETURN_IMPL(                     \
+      XS_STATUS_CONCAT(xs_result_, __LINE__), lhs, expr)
+
+#define XS_ASSIGN_OR_RETURN_IMPL(result, lhs, expr) \
+  auto result = (expr);                             \
+  if (!result.ok()) return result.status();         \
+  lhs = std::move(result).TakeValue()
+
+#define XS_STATUS_CONCAT_INNER(a, b) a##b
+#define XS_STATUS_CONCAT(a, b) XS_STATUS_CONCAT_INNER(a, b)
+
+}  // namespace xmlshred
+
+#endif  // XMLSHRED_COMMON_STATUS_H_

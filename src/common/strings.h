@@ -1,0 +1,49 @@
+// Small string utilities shared across modules.
+
+#ifndef XMLSHRED_COMMON_STRINGS_H_
+#define XMLSHRED_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xmlshred {
+
+// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string> StrSplit(std::string_view s, char sep);
+
+// Joins `pieces` with `sep` between consecutive elements.
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view sep);
+
+// Returns `s` with ASCII letters lower-cased.
+std::string AsciiToLower(std::string_view s);
+
+// Case-insensitive (ASCII) equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+// True if `s` begins with / ends with the given affix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// Returns `s` with leading/trailing ASCII whitespace removed.
+std::string_view StripWhitespace(std::string_view s);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// Renders a double with `digits` digits after the decimal point.
+std::string FormatDouble(double v, int digits);
+
+// Renders a double with up to `max_digits` fractional digits, trailing
+// zeros (and a bare trailing '.') removed: 3.20 -> "3.2", 4.00 -> "4".
+std::string FormatDoubleTrimmed(double v, int max_digits);
+
+// Renders an integer with thousands separators, e.g. 1234567 -> "1,234,567".
+std::string FormatWithCommas(int64_t v);
+
+}  // namespace xmlshred
+
+#endif  // XMLSHRED_COMMON_STRINGS_H_

@@ -1,0 +1,460 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "opt/cost_model.h"
+#include "rel/index.h"
+
+namespace xmlshred {
+
+namespace {
+
+// Evaluates `op literal` against `v` with SQL semantics (NULL fails every
+// predicate except its absence in "is not null").
+bool EvalPred(const Value& v, const std::string& op, const Value& literal) {
+  if (op == "is not null") return !v.is_null();
+  if (op == "=") return v.SqlEquals(literal);
+  if (op == "<") return v.SqlLess(literal);
+  if (op == "<=") return v.SqlLess(literal) || v.SqlEquals(literal);
+  if (op == ">") return literal.SqlLess(v);
+  if (op == ">=") return literal.SqlLess(v) || v.SqlEquals(literal);
+  XS_CHECK(false);
+  return false;
+}
+
+// Position of table column `col` within an index entry (keys then
+// included columns), or -1.
+int EntryPosition(const IndexDef& def, int col) {
+  for (size_t i = 0; i < def.key_columns.size(); ++i) {
+    if (def.key_columns[i] == col) return static_cast<int>(i);
+  }
+  for (size_t i = 0; i < def.included_columns.size(); ++i) {
+    if (def.included_columns[i] == col) {
+      return static_cast<int>(def.key_columns.size() + i);
+    }
+  }
+  return -1;
+}
+
+class ExecContext {
+ public:
+  ExecContext(const Database& db, ExecMetrics* metrics)
+      : db_(db), metrics_(metrics) {}
+
+  Result<std::vector<Row>> Exec(const PlanNode& node) {
+    switch (node.kind) {
+      case PlanKind::kHeapScan:
+        return ExecHeapScan(node);
+      case PlanKind::kIndexSeek:
+      case PlanKind::kIndexOnlyScan:
+        return ExecIndexPath(node);
+      case PlanKind::kViewScan:
+        return ExecViewScan(node);
+      case PlanKind::kIndexNlJoin:
+        return ExecIndexNlJoin(node);
+      case PlanKind::kHashJoin:
+        return ExecHashJoin(node);
+      case PlanKind::kProject:
+        return ExecProject(node);
+      case PlanKind::kUnionAll:
+        return ExecUnionAll(node);
+      case PlanKind::kSort:
+        return ExecSort(node);
+    }
+    return Internal("unknown plan kind");
+  }
+
+ private:
+  void ChargeSeqPages(double pages) {
+    metrics_->pages_sequential += pages;
+    metrics_->work += pages * kSeqPageCost;
+  }
+  void ChargeRandPages(double pages) {
+    metrics_->pages_random += pages;
+    metrics_->work += pages * kRandPageCost;
+  }
+  void ChargeCpuRows(double rows) { metrics_->work += rows * kCpuRowCost; }
+  void ChargeHashRows(double rows) { metrics_->work += rows * kHashRowCost; }
+
+  // Applies `filters` to a row laid out per `output` slots.
+  static bool PassesFilters(const Row& row,
+                            const std::vector<ColumnSlot>& output,
+                            const std::vector<BoundFilter>& filters) {
+    for (const BoundFilter& f : filters) {
+      int pos = -1;
+      for (size_t i = 0; i < output.size(); ++i) {
+        if (output[i].table_idx == f.ref.table_idx &&
+            output[i].column == f.ref.column) {
+          pos = static_cast<int>(i);
+          break;
+        }
+      }
+      XS_CHECK_GE(pos, 0);
+      if (!EvalPred(row[static_cast<size_t>(pos)], f.op, f.literal)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  Result<std::vector<Row>> ExecHeapScan(const PlanNode& node) {
+    const Table* table = db_.FindTable(node.object_name);
+    if (table == nullptr) return NotFound("table " + node.object_name);
+    ChargeSeqPages(static_cast<double>(table->NumPages()));
+    ChargeCpuRows(static_cast<double>(table->row_count()));
+    std::vector<Row> out;
+    for (const Row& row : table->rows()) {
+      bool pass = true;
+      for (const BoundFilter& f : node.residual_filters) {
+        if (!EvalPred(row[static_cast<size_t>(f.ref.column)], f.op,
+                      f.literal)) {
+          pass = false;
+          break;
+        }
+      }
+      if (!pass) continue;
+      Row projected;
+      projected.reserve(node.output.size());
+      for (const ColumnSlot& slot : node.output) {
+        projected.push_back(row[static_cast<size_t>(slot.column)]);
+      }
+      out.push_back(std::move(projected));
+    }
+    return out;
+  }
+
+  Result<std::vector<Row>> ExecIndexPath(const PlanNode& node) {
+    const BTreeIndex* index = db_.FindIndex(node.object_name);
+    if (index == nullptr) return NotFound("index " + node.object_name);
+    const IndexDef& def = index->def();
+    bool index_only = node.kind == PlanKind::kIndexOnlyScan;
+
+    const Table* table = nullptr;
+    if (!index_only) {
+      table = db_.FindTable(node.base_table);
+      if (table == nullptr) return NotFound("table " + node.base_table);
+    }
+
+    // Entry positions backing each output slot (index-only) sanity check.
+    std::vector<int> entry_pos;
+    if (index_only) {
+      for (const ColumnSlot& slot : node.output) {
+        int pos = EntryPosition(def, slot.column);
+        if (pos < 0) return Internal("index does not cover output column");
+        entry_pos.push_back(pos);
+      }
+    }
+
+    // Collect matching entries.
+    std::vector<const BTreeIndex::Entry*> matches;
+    if (!node.seek_values.empty()) {
+      // Walk the equal range of sorted entries directly so covering access
+      // can read payload columns without fetching base rows.
+      Row prefix(node.seek_values.begin(), node.seek_values.end());
+      size_t nkeys = prefix.size();
+      auto cmp = [nkeys](const BTreeIndex::Entry& e, const Row& k) {
+        for (size_t i = 0; i < nkeys; ++i) {
+          if (e.key[i].TotalLess(k[i])) return true;
+          if (k[i].TotalLess(e.key[i])) return false;
+        }
+        return false;
+      };
+      const auto& entries = index->entries();
+      auto it = std::lower_bound(entries.begin(), entries.end(), prefix, cmp);
+      for (; it != entries.end(); ++it) {
+        bool equal = true;
+        for (size_t i = 0; i < nkeys; ++i) {
+          if (!it->key[i].TotalEquals(prefix[i])) {
+            equal = false;
+            break;
+          }
+        }
+        if (!equal) break;
+        // Range predicate on the key column after the prefix.
+        if (node.has_range) {
+          XS_CHECK_LT(nkeys, def.key_columns.size());
+          if (!EvalPred(it->key[nkeys], node.range_op, node.range_literal)) {
+            continue;
+          }
+        }
+        matches.push_back(&*it);
+      }
+      ChargeRandPages(static_cast<double>(
+          index->ProbePages(static_cast<int64_t>(matches.size()))));
+    } else if (node.has_range) {
+      Value lo, hi;
+      bool lo_strict = false, hi_strict = false;
+      if (node.range_op == "<") {
+        hi = node.range_literal;
+        hi_strict = true;
+      } else if (node.range_op == "<=") {
+        hi = node.range_literal;
+      } else if (node.range_op == ">") {
+        lo = node.range_literal;
+        lo_strict = true;
+      } else {
+        lo = node.range_literal;
+      }
+      const auto& entries = index->entries();
+      for (const auto& e : entries) {
+        const Value& k = e.key[0];
+        if (k.is_null()) continue;
+        if (!lo.is_null()) {
+          if (k.TotalLess(lo) || (lo_strict && k.TotalEquals(lo))) continue;
+        }
+        if (!hi.is_null()) {
+          if (hi.TotalLess(k)) break;
+          if (hi_strict && k.TotalEquals(hi)) continue;
+        }
+        matches.push_back(&e);
+      }
+      ChargeRandPages(static_cast<double>(
+          index->ProbePages(static_cast<int64_t>(matches.size()))));
+    } else {
+      // Full index scan.
+      XS_CHECK(index_only);
+      for (const auto& e : index->entries()) matches.push_back(&e);
+      ChargeSeqPages(static_cast<double>(index->NumPages()));
+    }
+    ChargeCpuRows(static_cast<double>(matches.size()));
+
+    std::vector<Row> out;
+    if (index_only) {
+      for (const BTreeIndex::Entry* e : matches) {
+        Row row;
+        row.reserve(entry_pos.size());
+        for (int pos : entry_pos) {
+          row.push_back(e->key[static_cast<size_t>(pos)]);
+        }
+        if (!PassesFilters(row, node.output, node.residual_filters)) continue;
+        out.push_back(std::move(row));
+      }
+    } else {
+      double fetches = static_cast<double>(matches.size());
+      ChargeRandPages(
+          std::min(fetches, static_cast<double>(table->NumPages())));
+      for (const BTreeIndex::Entry* e : matches) {
+        const Row& base = table->rows()[static_cast<size_t>(e->row_id)];
+        bool pass = true;
+        for (const BoundFilter& f : node.residual_filters) {
+          if (!EvalPred(base[static_cast<size_t>(f.ref.column)], f.op,
+                        f.literal)) {
+            pass = false;
+            break;
+          }
+        }
+        if (!pass) continue;
+        Row row;
+        row.reserve(node.output.size());
+        for (const ColumnSlot& slot : node.output) {
+          row.push_back(base[static_cast<size_t>(slot.column)]);
+        }
+        out.push_back(std::move(row));
+      }
+    }
+    return out;
+  }
+
+  Result<std::vector<Row>> ExecViewScan(const PlanNode& node) {
+    const Table* view = db_.FindTable(node.object_name);
+    if (view == nullptr) return NotFound("view " + node.object_name);
+    ChargeSeqPages(static_cast<double>(view->NumPages()));
+    ChargeCpuRows(static_cast<double>(view->row_count()));
+    // The planner's output slots correspond positionally to the view's
+    // projected columns.
+    XS_CHECK_EQ(static_cast<int>(node.output.size()),
+                view->schema().num_columns());
+    return view->rows();
+  }
+
+  Result<std::vector<Row>> ExecIndexNlJoin(const PlanNode& node) {
+    XS_ASSIGN_OR_RETURN(std::vector<Row> outer, Exec(*node.children[0]));
+    const BTreeIndex* index = db_.FindIndex(node.object_name);
+    if (index == nullptr) return NotFound("index " + node.object_name);
+    const Table* table = db_.FindTable(node.base_table);
+    if (table == nullptr) return NotFound("table " + node.base_table);
+    const IndexDef& def = index->def();
+
+    int outer_pos = node.children[0]->FindSlot(node.outer_key);
+    if (outer_pos < 0) return Internal("outer join key missing");
+
+    // Inner output columns follow the outer columns in node.output.
+    size_t outer_width = node.children[0]->output.size();
+    std::vector<ColumnSlot> inner_slots(node.output.begin() +
+                                            static_cast<long>(outer_width),
+                                        node.output.end());
+    std::vector<int> entry_pos;
+    if (!node.inner_fetch) {
+      for (const ColumnSlot& slot : inner_slots) {
+        int pos = EntryPosition(def, slot.column);
+        if (pos < 0) return Internal("INL index does not cover inner column");
+        entry_pos.push_back(pos);
+      }
+    }
+
+    std::vector<Row> out;
+    double total_fetches = 0;
+    for (const Row& outer_row : outer) {
+      const Value& key = outer_row[static_cast<size_t>(outer_pos)];
+      if (key.is_null()) continue;
+      std::vector<int64_t> rids = index->EqualLookup({key});
+      ChargeRandPages(static_cast<double>(
+          index->ProbePages(static_cast<int64_t>(rids.size()))));
+      if (node.inner_fetch) total_fetches += static_cast<double>(rids.size());
+
+      // Walk the equal range of entries for covering access.
+      if (!node.inner_fetch) {
+        const auto& entries = index->entries();
+        auto cmp = [](const BTreeIndex::Entry& e, const Value& k) {
+          return e.key[0].TotalLess(k);
+        };
+        auto it = std::lower_bound(entries.begin(), entries.end(), key, cmp);
+        for (; it != entries.end() && it->key[0].TotalEquals(key); ++it) {
+          Row inner_row;
+          inner_row.reserve(entry_pos.size());
+          for (int pos : entry_pos) {
+            inner_row.push_back(it->key[static_cast<size_t>(pos)]);
+          }
+          if (!PassesFilters(inner_row, inner_slots,
+                             node.inner_residual_filters)) {
+            continue;
+          }
+          Row joined = outer_row;
+          joined.insert(joined.end(), inner_row.begin(), inner_row.end());
+          out.push_back(std::move(joined));
+        }
+      } else {
+        for (int64_t rid : rids) {
+          const Row& base = table->rows()[static_cast<size_t>(rid)];
+          bool pass = true;
+          for (const BoundFilter& f : node.inner_residual_filters) {
+            if (!EvalPred(base[static_cast<size_t>(f.ref.column)], f.op,
+                          f.literal)) {
+              pass = false;
+              break;
+            }
+          }
+          if (!pass) continue;
+          Row joined = outer_row;
+          for (const ColumnSlot& slot : inner_slots) {
+            joined.push_back(base[static_cast<size_t>(slot.column)]);
+          }
+          out.push_back(std::move(joined));
+        }
+      }
+    }
+    if (node.inner_fetch) {
+      ChargeRandPages(std::min(
+          total_fetches, static_cast<double>(table->NumPages()) * 4.0));
+    }
+    ChargeCpuRows(static_cast<double>(out.size()));
+    return out;
+  }
+
+  Result<std::vector<Row>> ExecHashJoin(const PlanNode& node) {
+    XS_ASSIGN_OR_RETURN(std::vector<Row> probe, Exec(*node.children[0]));
+    XS_ASSIGN_OR_RETURN(std::vector<Row> build, Exec(*node.children[1]));
+    int probe_pos = node.children[0]->FindSlot(node.probe_key);
+    int build_pos = node.children[1]->FindSlot(node.build_key);
+    if (probe_pos < 0 || build_pos < 0) {
+      return Internal("hash join key missing");
+    }
+    std::unordered_multimap<size_t, const Row*> table;
+    table.reserve(build.size());
+    for (const Row& row : build) {
+      const Value& key = row[static_cast<size_t>(build_pos)];
+      if (key.is_null()) continue;
+      table.emplace(key.Hash(), &row);
+    }
+    ChargeHashRows(static_cast<double>(build.size()));
+    std::vector<Row> out;
+    for (const Row& row : probe) {
+      const Value& key = row[static_cast<size_t>(probe_pos)];
+      if (key.is_null()) continue;
+      auto [lo, hi] = table.equal_range(key.Hash());
+      for (auto it = lo; it != hi; ++it) {
+        const Row& match = *it->second;
+        if (!match[static_cast<size_t>(build_pos)].SqlEquals(key)) continue;
+        Row joined = row;
+        joined.insert(joined.end(), match.begin(), match.end());
+        out.push_back(std::move(joined));
+      }
+    }
+    ChargeHashRows(static_cast<double>(probe.size()));
+    ChargeCpuRows(static_cast<double>(out.size()));
+    return out;
+  }
+
+  Result<std::vector<Row>> ExecProject(const PlanNode& node) {
+    XS_ASSIGN_OR_RETURN(std::vector<Row> input, Exec(*node.children[0]));
+    const PlanNode& child = *node.children[0];
+    std::vector<int> positions;
+    positions.reserve(node.project_items.size());
+    for (const BoundItem& item : node.project_items) {
+      if (item.is_null_literal) {
+        positions.push_back(-1);
+      } else {
+        int pos = child.FindSlot({item.ref.table_idx, item.ref.column});
+        if (pos < 0) return Internal("projected column missing");
+        positions.push_back(pos);
+      }
+    }
+    std::vector<Row> out;
+    out.reserve(input.size());
+    for (Row& row : input) {
+      Row projected;
+      projected.reserve(positions.size());
+      for (int pos : positions) {
+        projected.push_back(pos < 0 ? Value::Null()
+                                    : row[static_cast<size_t>(pos)]);
+      }
+      out.push_back(std::move(projected));
+    }
+    return out;
+  }
+
+  Result<std::vector<Row>> ExecUnionAll(const PlanNode& node) {
+    std::vector<Row> out;
+    for (const auto& child : node.children) {
+      XS_ASSIGN_OR_RETURN(std::vector<Row> rows, Exec(*child));
+      for (Row& row : rows) out.push_back(std::move(row));
+    }
+    return out;
+  }
+
+  Result<std::vector<Row>> ExecSort(const PlanNode& node) {
+    XS_ASSIGN_OR_RETURN(std::vector<Row> rows, Exec(*node.children[0]));
+    metrics_->work += SortCost(static_cast<double>(rows.size()));
+    const std::vector<int>& ords = node.sort_ordinals;
+    std::stable_sort(rows.begin(), rows.end(),
+                     [&ords](const Row& a, const Row& b) {
+                       for (int ord : ords) {
+                         size_t i = static_cast<size_t>(ord);
+                         if (a[i].TotalLess(b[i])) return true;
+                         if (b[i].TotalLess(a[i])) return false;
+                       }
+                       return false;
+                     });
+    return rows;
+  }
+
+  const Database& db_;
+  ExecMetrics* metrics_;
+};
+
+}  // namespace
+
+Result<std::vector<Row>> Executor::Run(const PlanNode& plan,
+                                       ExecMetrics* metrics) {
+  XS_CHECK(metrics != nullptr);
+  ExecContext ctx(db_, metrics);
+  Result<std::vector<Row>> result = ctx.Exec(plan);
+  if (result.ok()) {
+    metrics->rows_out += static_cast<int64_t>(result->size());
+  }
+  return result;
+}
+
+}  // namespace xmlshred

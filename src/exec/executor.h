@@ -1,0 +1,42 @@
+// Plan executor.
+//
+// Runs a physical plan produced by the optimizer against a real Database
+// and meters the work it actually performs — pages read sequentially and
+// randomly, rows processed, hash and sort effort — in the same units the
+// cost model estimates in. The metered work is the "query execution time"
+// that the paper's figures report (their wall-clock on SQL Server; our
+// deterministic work units on this engine).
+
+#ifndef XMLSHRED_EXEC_EXECUTOR_H_
+#define XMLSHRED_EXEC_EXECUTOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "opt/plan.h"
+#include "rel/catalog.h"
+
+namespace xmlshred {
+
+struct ExecMetrics {
+  double work = 0;             // total work units (comparable to est_cost)
+  double pages_sequential = 0; // page-equivalents read by scans
+  double pages_random = 0;     // page-equivalents read by probes/fetches
+  int64_t rows_out = 0;        // rows returned by the root
+};
+
+class Executor {
+ public:
+  explicit Executor(const Database& db) : db_(db) {}
+
+  // Executes `plan` and returns the result rows. Metering accumulates into
+  // `metrics` (required).
+  Result<std::vector<Row>> Run(const PlanNode& plan, ExecMetrics* metrics);
+
+ private:
+  const Database& db_;
+};
+
+}  // namespace xmlshred
+
+#endif  // XMLSHRED_EXEC_EXECUTOR_H_

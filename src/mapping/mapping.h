@@ -1,0 +1,90 @@
+// Mapping M from an annotated schema tree to a relational schema
+// (Section 2 of the paper):
+//
+//  1. every annotated tag maps to a relation named by its annotation, with
+//     an ID primary-key column and a PID foreign-key column referencing
+//     the parent relation's ID;
+//  2. every simple-content leaf reachable without crossing another
+//     annotated tag maps to a column of that relation;
+//  3. tags sharing an annotation (type merge) map to the same relation.
+//
+// Column names are the leaf's path from the anchor (joined with '_' when
+// nested), with "_<i>" suffixes for repetition-split occurrence columns
+// and numeric suffixes for other duplicates.
+
+#ifndef XMLSHRED_MAPPING_MAPPING_H_
+#define XMLSHRED_MAPPING_MAPPING_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rel/schema.h"
+#include "xml/schema_tree.h"
+
+namespace xmlshred {
+
+struct MappedColumn {
+  std::string name;         // column name in the relation
+  std::string element_name; // XML tag name of the leaf
+  ColumnType type = ColumnType::kString;
+  bool nullable = true;
+  // 1-based occurrence index for repetition-split columns, 0 otherwise.
+  int rep_index = 0;
+  // Leaf tag node ids feeding this column (one per anchor of the owning
+  // relation; merged relations have several).
+  std::vector<int> node_ids;
+};
+
+struct MappedRelation {
+  std::string table_name;
+  // Annotated tag nodes mapped to this relation (several after type
+  // merge).
+  std::vector<int> anchor_node_ids;
+  // Table names of the relations holding the anchors' parents (PID refers
+  // into these; IDs are globally unique across relations).
+  std::vector<std::string> parent_tables;
+  std::vector<MappedColumn> columns;
+  // On an overflow relation left by repetition split: number of leading
+  // occurrences inlined into the parent (0 otherwise).
+  int rep_overflow_from = 0;
+
+  // Full relational schema: ID, PID, then the mapped columns.
+  TableSchema ToTableSchema() const;
+
+  // Ordinal of `column_name` among mapped columns (not counting ID/PID).
+  int FindMappedColumn(const std::string& column_name) const;
+};
+
+// Number of fixed leading columns (ID, PID) in every mapped relation.
+inline constexpr int kFixedColumns = 2;
+
+class Mapping {
+ public:
+  // Derives the relational mapping from `tree`. Fails if the tree is
+  // structurally invalid.
+  static Result<Mapping> Build(const SchemaTree& tree);
+
+  const std::vector<MappedRelation>& relations() const { return relations_; }
+  const MappedRelation* FindRelation(const std::string& table_name) const;
+
+  // Relation index owning the annotated tag `node_id`, or -1.
+  int RelationIndexOfAnchor(int node_id) const;
+
+  // (relation index, mapped-column index) a leaf tag node shreds into.
+  // Returns false if the node is not a mapped leaf.
+  bool ColumnOfNode(int node_id, int* relation_idx, int* column_idx) const;
+
+  // Renders "name(cols)" lines for all relations.
+  std::string ToString() const;
+
+ private:
+  std::vector<MappedRelation> relations_;
+  std::map<int, int> anchor_relation_;          // anchor node id -> rel idx
+  std::map<int, std::pair<int, int>> node_column_;  // leaf id -> (rel, col)
+};
+
+}  // namespace xmlshred
+
+#endif  // XMLSHRED_MAPPING_MAPPING_H_

@@ -1,0 +1,32 @@
+// Reconstruction: rebuilds the XML document from shredded relations —
+// the inverse of ShredDocument, and the "publishing relational data as
+// XML" direction of the paper's reference [21].
+//
+// The walk follows the schema tree; sibling instances are emitted in ID
+// order (IDs are document-order, so interleavings across union-
+// distribution variants and repetition-split overflows are restored
+// exactly). Lossless on any document whose children follow schema order —
+// the same requirement shredding has — which makes
+//   Reconstruct(Shred(doc)) == doc
+// a testable round-trip property for every mapping.
+
+#ifndef XMLSHRED_MAPPING_RECONSTRUCTOR_H_
+#define XMLSHRED_MAPPING_RECONSTRUCTOR_H_
+
+#include "common/status.h"
+#include "mapping/mapping.h"
+#include "rel/catalog.h"
+#include "xml/document.h"
+#include "xml/schema_tree.h"
+
+namespace xmlshred {
+
+// Rebuilds the document from `db`, which must hold the relations produced
+// by ShredDocument under the same `tree` and `mapping`.
+Result<XmlDocument> ReconstructDocument(const Database& db,
+                                        const SchemaTree& tree,
+                                        const Mapping& mapping);
+
+}  // namespace xmlshred
+
+#endif  // XMLSHRED_MAPPING_RECONSTRUCTOR_H_

@@ -1,0 +1,269 @@
+#include "mapping/shredder.h"
+
+#include <cstdlib>
+#include <set>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace xmlshred {
+
+namespace {
+
+bool IsLeafTag(const SchemaNode* node) {
+  return node->kind() == SchemaNodeKind::kTag && node->num_children() == 1 &&
+         node->child(0)->kind() == SchemaNodeKind::kSimpleType;
+}
+
+// Element names an instance of `node` may present at the matching level
+// (not descending into tags).
+void MatchNames(const SchemaNode* node, std::set<std::string>* out) {
+  if (node->kind() == SchemaNodeKind::kTag) {
+    out->insert(node->name());
+    return;
+  }
+  for (const auto& child : node->children()) MatchNames(child.get(), out);
+}
+
+Value ParseValue(const std::string& text, XsdBaseType type) {
+  if (text.empty()) return Value::Null();
+  switch (type) {
+    case XsdBaseType::kString:
+      return Value::Str(text);
+    case XsdBaseType::kInt:
+      return Value::Int(std::atoll(text.c_str()));
+    case XsdBaseType::kDouble:
+      return Value::Real(std::atof(text.c_str()));
+  }
+  return Value::Null();
+}
+
+class Shredder {
+ public:
+  Shredder(const SchemaTree& tree, const Mapping& mapping, Database* db)
+      : tree_(tree), mapping_(mapping), db_(db) {}
+
+  Result<ShredStats> Shred(const XmlDocument& doc) {
+    // Create tables.
+    for (const MappedRelation& rel : mapping_.relations()) {
+      auto result = db_->CreateTable(rel.ToTableSchema());
+      if (!result.ok()) return result.status();
+      tables_.push_back(*result);
+    }
+    if (doc.root() == nullptr) return InvalidArgument("empty document");
+    if (doc.root()->tag() != tree_.root()->name()) {
+      return InvalidArgument("document root <" + doc.root()->tag() +
+                             "> does not match schema root <" +
+                             tree_.root()->name() + ">");
+    }
+    XS_RETURN_IF_ERROR(ShredTag(doc.root(), tree_.root(), Value::Null()));
+    return stats_;
+  }
+
+ private:
+  struct RowContext {
+    int relation_idx = -1;
+    Row row;
+    Value id;
+  };
+
+  // Shreds one document element known to instantiate `node` (a tag).
+  Status ShredTag(const XmlElement* element, const SchemaNode* node,
+                  const Value& parent_id) {
+    ++stats_.elements;
+    // Every element consumes one id in document order, so a context
+    // instance keeps the same ID under every mapping (the paper's
+    // "unique node ID").
+    int64_t element_id = next_id_++;
+    bool opened_row = false;
+    Value self_id = parent_id;
+    if (node->is_annotated()) {
+      int rel_idx = mapping_.RelationIndexOfAnchor(node->id());
+      if (rel_idx < 0) {
+        return Internal("anchor without relation: " + node->name());
+      }
+      RowContext ctx;
+      ctx.relation_idx = rel_idx;
+      ctx.id = Value::Int(element_id);
+      self_id = ctx.id;
+      const MappedRelation& rel =
+          mapping_.relations()[static_cast<size_t>(rel_idx)];
+      ctx.row.assign(static_cast<size_t>(kFixedColumns) + rel.columns.size(),
+                     Value::Null());
+      ctx.row[0] = ctx.id;
+      ctx.row[1] = parent_id;
+      row_stack_.push_back(std::move(ctx));
+      opened_row = true;
+    }
+
+    Status status;
+    if (IsLeafTag(node)) {
+      status = StoreLeafValue(element, node);
+    } else {
+      size_t cursor = 0;
+      status = MatchContent(node->child(0), element, &cursor, self_id);
+      if (status.ok() && cursor != element->children().size()) {
+        status = InvalidArgument("unconsumed children under <" +
+                                 element->tag() + ">");
+      }
+    }
+
+    if (opened_row) {
+      RowContext ctx = std::move(row_stack_.back());
+      row_stack_.pop_back();
+      if (status.ok()) {
+        tables_[static_cast<size_t>(ctx.relation_idx)]->AppendRow(
+            std::move(ctx.row));
+        ++stats_.rows;
+      }
+    }
+    return status;
+  }
+
+  Status StoreLeafValue(const XmlElement* element, const SchemaNode* node) {
+    int rel_idx, col_idx;
+    if (!mapping_.ColumnOfNode(node->id(), &rel_idx, &col_idx)) {
+      return Internal("leaf without column: " + node->name());
+    }
+    if (row_stack_.empty() ||
+        row_stack_.back().relation_idx != rel_idx) {
+      return Internal("leaf column outside its relation row: " +
+                      node->name());
+    }
+    Value value = ParseValue(element->text(), node->child(0)->base_type());
+    row_stack_.back().row[static_cast<size_t>(kFixedColumns + col_idx)] =
+        std::move(value);
+    return Status::OK();
+  }
+
+  // Matches `node` (a content construct) against the children of
+  // `element` starting at *cursor.
+  Status MatchContent(const SchemaNode* node, const XmlElement* element,
+                      size_t* cursor, const Value& parent_id) {
+    const auto& kids = element->children();
+    switch (node->kind()) {
+      case SchemaNodeKind::kSequence:
+        for (const auto& child : node->children()) {
+          XS_RETURN_IF_ERROR(
+              MatchContent(child.get(), element, cursor, parent_id));
+        }
+        return Status::OK();
+      case SchemaNodeKind::kTag: {
+        if (*cursor >= kids.size() || kids[*cursor]->tag() != node->name()) {
+          return InvalidArgument("expected <" + node->name() + "> under <" +
+                                 element->tag() + ">");
+        }
+        const XmlElement* child = kids[(*cursor)++].get();
+        return ShredTag(child, node, parent_id);
+      }
+      case SchemaNodeKind::kOption: {
+        std::set<std::string> names;
+        MatchNames(node->child(0), &names);
+        if (*cursor < kids.size() && names.count(kids[*cursor]->tag()) > 0) {
+          return MatchContent(node->child(0), element, cursor, parent_id);
+        }
+        return Status::OK();
+      }
+      case SchemaNodeKind::kRepetition: {
+        std::set<std::string> names;
+        MatchNames(node->child(0), &names);
+        while (*cursor < kids.size() &&
+               names.count(kids[*cursor]->tag()) > 0) {
+          XS_RETURN_IF_ERROR(
+              MatchContent(node->child(0), element, cursor, parent_id));
+        }
+        return Status::OK();
+      }
+      case SchemaNodeKind::kChoice:
+        return node->is_variant_choice()
+                   ? MatchVariantChoice(node, element, cursor, parent_id)
+                   : MatchPlainChoice(node, element, cursor, parent_id);
+      case SchemaNodeKind::kSimpleType:
+        return Internal("simple type in content position");
+    }
+    return Internal("unhandled schema node kind");
+  }
+
+  Status MatchPlainChoice(const SchemaNode* node, const XmlElement* element,
+                          size_t* cursor, const Value& parent_id) {
+    const auto& kids = element->children();
+    if (*cursor >= kids.size()) {
+      return InvalidArgument("missing choice content under <" +
+                             element->tag() + ">");
+    }
+    const std::string& next = kids[*cursor]->tag();
+    for (const auto& alternative : node->children()) {
+      std::set<std::string> names;
+      MatchNames(alternative.get(), &names);
+      if (names.count(next) > 0) {
+        return MatchContent(alternative.get(), element, cursor, parent_id);
+      }
+    }
+    return InvalidArgument("no choice alternative matches <" + next + ">");
+  }
+
+  // A variant choice stands where a context tag stood: the next child is a
+  // context instance; route it to the variant whose presence constraints
+  // its children satisfy.
+  Status MatchVariantChoice(const SchemaNode* node, const XmlElement* element,
+                            size_t* cursor, const Value& parent_id) {
+    const auto& kids = element->children();
+    if (*cursor >= kids.size()) {
+      return InvalidArgument("missing variant instance under <" +
+                             element->tag() + ">");
+    }
+    const XmlElement* instance = kids[*cursor].get();
+    std::set<std::string> present;
+    for (const auto& child : instance->children()) {
+      present.insert(child->tag());
+    }
+    for (const auto& variant : node->children()) {
+      if (variant->kind() != SchemaNodeKind::kTag ||
+          variant->name() != instance->tag()) {
+        continue;
+      }
+      bool ok = true;
+      if (!variant->presence_any().empty()) {
+        ok = false;
+        for (const std::string& name : variant->presence_any()) {
+          if (present.count(name) > 0) {
+            ok = true;
+            break;
+          }
+        }
+      }
+      if (ok) {
+        for (const std::string& name : variant->presence_forbidden()) {
+          if (present.count(name) > 0) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (ok) {
+        ++*cursor;
+        return ShredTag(instance, variant.get(), parent_id);
+      }
+    }
+    return InvalidArgument("no variant accepts <" + instance->tag() + ">");
+  }
+
+  const SchemaTree& tree_;
+  const Mapping& mapping_;
+  Database* db_;
+  std::vector<Table*> tables_;
+  std::vector<RowContext> row_stack_;
+  int64_t next_id_ = 1;
+  ShredStats stats_;
+};
+
+}  // namespace
+
+Result<ShredStats> ShredDocument(const XmlDocument& doc,
+                                 const SchemaTree& tree,
+                                 const Mapping& mapping, Database* db) {
+  Shredder shredder(tree, mapping, db);
+  return shredder.Shred(doc);
+}
+
+}  // namespace xmlshred

@@ -1,0 +1,95 @@
+// Schema-tree transformations (paper Section 2.1).
+//
+// Split-type transformations refine storage: type split, union
+// distribution (explicit choices and implicit unions over optional
+// elements, including the merged multi-element candidates of §4.7),
+// repetition split, and outlining. Merge-type transformations coarsen it:
+// type merge, union factorization, repetition merge, and inlining.
+// Outlining/inlining are the subsumed transformations of §3.1 — they only
+// re-partition columns vertically — and are enumerated only by the naive
+// baseline; the paper's Greedy prunes them.
+//
+// Transformations name their targets by persistent node id, so a
+// candidate generated against one tree applies to any clone of it.
+// ApplyTransform returns the id of the node that anchors the inverse
+// transformation (e.g. the variant choice created by a distribution),
+// letting the search register merge counterparts for the greedy loop.
+
+#ifndef XMLSHRED_MAPPING_TRANSFORMS_H_
+#define XMLSHRED_MAPPING_TRANSFORMS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/schema_tree.h"
+
+namespace xmlshred {
+
+enum class TransformKind {
+  kOutline,
+  kInline,
+  kTypeSplit,
+  kTypeMerge,
+  kUnionDistribute,   // explicit choice, or implicit over option_targets
+  kUnionFactorize,
+  kRepetitionSplit,
+  kRepetitionMerge,
+};
+
+const char* TransformKindToString(TransformKind kind);
+
+struct Transform {
+  TransformKind kind = TransformKind::kOutline;
+  int target = -1;    // primary node id (tag / choice / option / repetition)
+  int target2 = -1;   // second tag (type merge)
+  std::string annotation;          // shared annotation (type split)
+  std::vector<int> option_targets; // implicit union distribution set (§4.7)
+  int split_count = 0;             // repetition split k (§4.6)
+
+  // True for transformations that coarsen storage (applied during the
+  // greedy loop; split types are applied once to build the initial
+  // mapping).
+  bool IsMergeType() const;
+
+  std::string ToString() const;
+};
+
+// Applies `transform` to `tree` in place. Returns the id of the node
+// anchoring the inverse transformation:
+//   outline/inline/type split/type merge -> the target tag (or -1),
+//   union distribute -> the created variant-choice node,
+//   union factorize -> the restored tag,
+//   repetition split/merge -> the repetition node.
+// Fails with NotFound if a target id no longer exists and with
+// FailedPrecondition if the transformation is not applicable there.
+Result<int> ApplyTransform(SchemaTree* tree, const Transform& transform);
+
+// True if an annotated tag may legally lose its annotation: it is not the
+// root and its path to the nearest tag ancestor crosses no repetition and
+// no variant choice.
+bool CanInline(const SchemaNode* node);
+
+// True if an unannotated non-root tag may gain an annotation.
+bool CanOutline(const SchemaNode* node);
+
+// Removes every legally removable annotation — the fully inlined tree T0
+// of Theorem 1, which is also the hybrid-inlining baseline mapping of
+// Shanmugasundaram et al. used for normalization in the experiments.
+void FullyInline(SchemaTree* tree);
+
+// Returns an annotation name not used anywhere in `tree`, derived from
+// `base`.
+std::string MakeUniqueAnnotation(const SchemaTree& tree,
+                                 const std::string& base);
+
+// Enumerates every applicable transformation (both split and merge
+// directions, including the subsumed outline/inline ones) — the search
+// space of the Naive-Greedy baseline. `default_split_count` is used for
+// repetition-split candidates.
+std::vector<Transform> EnumerateTransforms(SchemaTree& tree,
+                                           int default_split_count);
+
+}  // namespace xmlshred
+
+#endif  // XMLSHRED_MAPPING_TRANSFORMS_H_

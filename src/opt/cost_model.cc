@@ -1,0 +1,12 @@
+#include "opt/cost_model.h"
+
+#include <cmath>
+
+namespace xmlshred {
+
+double SortCost(double rows) {
+  if (rows <= 1) return 0;
+  return kSortRowCost * rows * std::log2(rows);
+}
+
+}  // namespace xmlshred

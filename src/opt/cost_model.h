@@ -1,0 +1,32 @@
+// Cost model constants and formulas.
+//
+// All costs are in abstract work units where reading one 8 KiB page
+// sequentially costs 1.0. The executor meters its actual work in the same
+// units, so optimizer estimates and measured "execution times" are
+// directly comparable (and the figures report measured work, like the
+// paper reports wall-clock).
+
+#ifndef XMLSHRED_OPT_COST_MODEL_H_
+#define XMLSHRED_OPT_COST_MODEL_H_
+
+#include <cstdint>
+
+namespace xmlshred {
+
+// Sequential page read.
+inline constexpr double kSeqPageCost = 1.0;
+// Random page read (index descent, row fetch).
+inline constexpr double kRandPageCost = 2.5;
+// Per-row CPU cost of producing/consuming a tuple.
+inline constexpr double kCpuRowCost = 0.0002;
+// Per-row cost of inserting into / probing a hash table.
+inline constexpr double kHashRowCost = 0.0005;
+// Multiplier for sort comparisons (applied to n*log2(n)).
+inline constexpr double kSortRowCost = 0.0004;
+
+// Cost of sorting `rows` in-memory rows.
+double SortCost(double rows);
+
+}  // namespace xmlshred
+
+#endif  // XMLSHRED_OPT_COST_MODEL_H_

@@ -1,0 +1,66 @@
+#include "opt/plan.h"
+
+#include "common/strings.h"
+
+namespace xmlshred {
+
+const char* PlanKindToString(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kHeapScan:
+      return "HeapScan";
+    case PlanKind::kIndexSeek:
+      return "IndexSeek";
+    case PlanKind::kIndexOnlyScan:
+      return "IndexOnlyScan";
+    case PlanKind::kViewScan:
+      return "ViewScan";
+    case PlanKind::kIndexNlJoin:
+      return "IndexNLJoin";
+    case PlanKind::kHashJoin:
+      return "HashJoin";
+    case PlanKind::kProject:
+      return "Project";
+    case PlanKind::kUnionAll:
+      return "UnionAll";
+    case PlanKind::kSort:
+      return "Sort";
+  }
+  return "?";
+}
+
+int PlanNode::FindSlot(const ColumnSlot& slot) const {
+  for (size_t i = 0; i < output.size(); ++i) {
+    if (output[i] == slot) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string PlanNode::ToString(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string line = pad + PlanKindToString(kind);
+  if (!object_name.empty()) line += " " + object_name;
+  if (kind == PlanKind::kIndexSeek || kind == PlanKind::kIndexOnlyScan) {
+    if (!seek_values.empty()) {
+      line += " seek(";
+      for (size_t i = 0; i < seek_values.size(); ++i) {
+        if (i > 0) line += ", ";
+        line += seek_values[i].ToString();
+      }
+      line += ")";
+    }
+    if (has_range) line += " range(" + range_op + range_literal.ToString() + ")";
+  }
+  if (kind == PlanKind::kIndexNlJoin) {
+    line += StrFormat(" via %s%s", object_name.c_str(),
+                      inner_fetch ? "+fetch" : " (covering)");
+  }
+  if (!residual_filters.empty()) {
+    line += StrFormat(" residual=%zu", residual_filters.size());
+  }
+  line += StrFormat("  [rows=%.0f cost=%.1f]", est_rows, est_cost);
+  line += "\n";
+  for (const auto& child : children) line += child->ToString(indent + 1);
+  return line;
+}
+
+}  // namespace xmlshred

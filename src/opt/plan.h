@@ -1,0 +1,105 @@
+// Physical plan representation shared by the optimizer (which builds and
+// costs plans) and the executor (which runs them against real storage).
+//
+// Rows flowing between plan nodes are described by ColumnSlot lists: each
+// slot names the (FROM-list table index, column ordinal) a position holds,
+// so parent nodes can locate the columns they need without positional
+// conventions.
+
+#ifndef XMLSHRED_OPT_PLAN_H_
+#define XMLSHRED_OPT_PLAN_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sql/binder.h"
+
+namespace xmlshred {
+
+enum class PlanKind {
+  kHeapScan,       // full scan of a base table
+  kIndexSeek,      // index probe + base row fetch
+  kIndexOnlyScan,  // answered entirely from index entries (covering)
+  kViewScan,       // scan of a materialized view
+  kIndexNlJoin,    // outer child; inner side probed via an index per row
+  kHashJoin,       // children[0] = probe side, children[1] = build side
+  kProject,        // final select-list evaluation for one block
+  kUnionAll,
+  kSort,
+};
+
+const char* PlanKindToString(PlanKind kind);
+
+// Identifies one column of the block's FROM list within a data flow.
+struct ColumnSlot {
+  int table_idx = -1;
+  int column = -1;
+
+  friend bool operator==(const ColumnSlot& a, const ColumnSlot& b) {
+    return a.table_idx == b.table_idx && a.column == b.column;
+  }
+};
+
+struct PlanNode {
+  PlanKind kind;
+
+  // --- scans (kHeapScan / kIndexSeek / kIndexOnlyScan / kViewScan) ---
+  std::string object_name;  // table, index, or view being read
+  std::string base_table;   // owning table for index paths
+  int scan_table_idx = -1;  // FROM-list position this scan produces
+  // Values for an equality probe on a prefix of the index key columns.
+  std::vector<Value> seek_values;
+  // Range bound on the key column right after the equality prefix.
+  bool has_range = false;
+  std::string range_op;  // <, <=, >, >=
+  Value range_literal;
+  // Filters evaluated on this node's output rows (after seek/fetch).
+  std::vector<BoundFilter> residual_filters;
+
+  // --- kIndexNlJoin: children[0] is the outer side; the inner side is an
+  // index probe per outer row, described inline. ---
+  ColumnSlot outer_key;        // outer column compared against...
+  int inner_index_column = -1; // ...the first key column of object_name
+  bool inner_fetch = false;    // fetch base rows (index does not cover)
+  std::vector<BoundFilter> inner_residual_filters;
+
+  // --- kHashJoin ---
+  ColumnSlot probe_key;  // in children[0]'s output
+  ColumnSlot build_key;  // in children[1]'s output
+
+  // --- kProject ---
+  std::vector<BoundItem> project_items;
+
+  // --- kSort ---
+  std::vector<int> sort_ordinals;  // positions in child output
+
+  // Columns produced by this node, in order.
+  std::vector<ColumnSlot> output;
+
+  std::vector<std::unique_ptr<PlanNode>> children;
+
+  // Optimizer annotations.
+  double est_rows = 0;
+  double est_cost = 0;
+
+  // Position of `slot` in `output`, or -1.
+  int FindSlot(const ColumnSlot& slot) const;
+
+  // Indented tree rendering (EXPLAIN-style) for diagnostics and examples.
+  std::string ToString(int indent = 0) const;
+};
+
+// A fully planned query: root node plus summary annotations.
+struct PlannedQuery {
+  std::unique_ptr<PlanNode> root;
+  double est_cost = 0;
+  // Names of every relational object (table / index / view) the plan
+  // touches — the paper's I(Q, M) set used by cost derivation (§4.8).
+  std::set<std::string> objects_used;
+};
+
+}  // namespace xmlshred
+
+#endif  // XMLSHRED_OPT_PLAN_H_

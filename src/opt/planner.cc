@@ -1,0 +1,560 @@
+#include "opt/planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "opt/cost_model.h"
+#include "rel/index.h"
+
+namespace xmlshred {
+
+double FilterSelectivity(const ColumnStats& stats, const std::string& op,
+                         const Value& literal) {
+  if (op == "=") return stats.EqSelectivity(literal);
+  if (op == "is not null") return stats.NotNullSelectivity();
+  return stats.RangeSelectivity(op, literal);
+}
+
+namespace {
+
+constexpr double kInfiniteCost = std::numeric_limits<double>::infinity();
+
+// Plans one UNION ALL branch.
+class BlockPlanner {
+ public:
+  BlockPlanner(const BoundBlock& block, const CatalogDesc& catalog,
+               const PlannerOptions& options)
+      : block_(block), catalog_(catalog), options_(options) {}
+
+  Result<std::unique_ptr<PlanNode>> Plan() {
+    int n = static_cast<int>(block_.tables.size());
+    if (n == 0) return InvalidArgument("block has no tables");
+    tables_.resize(static_cast<size_t>(n));
+    for (int t = 0; t < n; ++t) {
+      TableInfo& info = tables_[static_cast<size_t>(t)];
+      info.desc = catalog_.FindTable(block_.tables[static_cast<size_t>(t)]);
+      if (info.desc == nullptr) {
+        return NotFound("table " + block_.tables[static_cast<size_t>(t)]);
+      }
+      info.needed = block_.ReferencedColumns(t);
+      for (const BoundFilter& f : block_.filters) {
+        if (f.ref.table_idx == t) info.filters.push_back(f);
+      }
+      info.filtered_rows =
+          static_cast<double>(info.desc->row_count()) * Selectivity(info);
+    }
+
+    if (options_.use_views) {
+      std::unique_ptr<PlanNode> view_plan = TryViewMatch();
+      if (view_plan != nullptr) return FinishWithProject(std::move(view_plan));
+    }
+
+    XS_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> joined, PlanJoins());
+    return FinishWithProject(std::move(joined));
+  }
+
+ private:
+  struct TableInfo {
+    const TableDesc* desc = nullptr;
+    std::vector<BoundFilter> filters;
+    std::vector<int> needed;
+    double filtered_rows = 0;
+  };
+
+  double Selectivity(const TableInfo& info) const {
+    double sel = 1.0;
+    for (const BoundFilter& f : info.filters) {
+      sel *= FilterSelectivity(
+          info.desc->stats.columns[static_cast<size_t>(f.ref.column)], f.op,
+          f.literal);
+    }
+    return sel;
+  }
+
+  // ---------- view matching ----------
+
+  // Resolves a table name to the FROM-list position, or -1 (also -1 when
+  // the name appears twice — ambiguous, so no view match).
+  int TableIdxByName(const std::string& name) const {
+    int found = -1;
+    for (size_t i = 0; i < block_.tables.size(); ++i) {
+      if (block_.tables[i] == name) {
+        if (found >= 0) return -1;
+        found = static_cast<int>(i);
+      }
+    }
+    return found;
+  }
+
+  // Returns a ViewScan plan when a materialized view answers this block
+  // exactly: same table set, same join, semantically equal predicate set,
+  // and a projection covering every select-item column.
+  std::unique_ptr<PlanNode> TryViewMatch() {
+    for (const ViewDesc& view : catalog_.views) {
+      std::unique_ptr<PlanNode> plan = MatchOneView(view);
+      if (plan != nullptr) return plan;
+    }
+    return nullptr;
+  }
+
+  std::unique_ptr<PlanNode> MatchOneView(const ViewDesc& view) {
+    // Table set must match exactly.
+    size_t expected = view.def.join_child.has_value() ? 2 : 1;
+    if (block_.tables.size() != expected) return nullptr;
+    int base_idx = TableIdxByName(view.def.base_table);
+    if (base_idx < 0) return nullptr;
+    int child_idx = -1;
+    if (view.def.join_child.has_value()) {
+      child_idx = TableIdxByName(*view.def.join_child);
+      if (child_idx < 0 || child_idx == base_idx) return nullptr;
+      // The block must join child.PID = base.ID (either orientation).
+      if (block_.joins.size() != 1) return nullptr;
+      const TableDesc* base = tables_[static_cast<size_t>(base_idx)].desc;
+      const TableDesc* child = tables_[static_cast<size_t>(child_idx)].desc;
+      const BoundJoin& join = block_.joins[0];
+      auto matches = [&](const BoundColumnRef& a, const BoundColumnRef& b) {
+        return a.table_idx == child_idx && a.column == child->schema.pid_column &&
+               b.table_idx == base_idx && b.column == base->schema.id_column;
+      };
+      if (!matches(join.left, join.right) && !matches(join.right, join.left)) {
+        return nullptr;
+      }
+    } else {
+      if (!block_.joins.empty()) return nullptr;
+    }
+
+    // Predicate sets must be semantically equal.
+    auto to_bound = [&](const SimplePred& p, BoundFilter* out) {
+      int idx = TableIdxByName(p.table);
+      if (idx < 0) return false;
+      int col = tables_[static_cast<size_t>(idx)].desc->schema.FindColumn(
+          p.column);
+      if (col < 0) return false;
+      out->ref.table_idx = idx;
+      out->ref.column = col;
+      out->op = p.op;
+      out->literal = p.literal;
+      return true;
+    };
+    auto filter_equal = [](const BoundFilter& a, const BoundFilter& b) {
+      return a.ref.table_idx == b.ref.table_idx &&
+             a.ref.column == b.ref.column && a.op == b.op &&
+             (a.op == "is not null" || a.literal.TotalEquals(b.literal));
+    };
+    std::vector<BoundFilter> view_filters;
+    for (const SimplePred& p : view.def.preds) {
+      BoundFilter f;
+      if (!to_bound(p, &f)) return nullptr;
+      view_filters.push_back(std::move(f));
+    }
+    if (view_filters.size() != block_.filters.size()) return nullptr;
+    for (const BoundFilter& vf : view_filters) {
+      bool found = false;
+      for (const BoundFilter& bf : block_.filters) {
+        if (filter_equal(vf, bf)) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return nullptr;
+    }
+
+    // Projection must cover every select-item column.
+    std::vector<ColumnSlot> output;
+    for (const ViewColumn& vc : view.def.projected) {
+      int idx = TableIdxByName(vc.table);
+      if (idx < 0) return nullptr;
+      int col =
+          tables_[static_cast<size_t>(idx)].desc->schema.FindColumn(vc.column);
+      if (col < 0) return nullptr;
+      output.push_back({idx, col});
+    }
+    for (const BoundItem& item : block_.items) {
+      if (item.is_null_literal) continue;
+      ColumnSlot slot{item.ref.table_idx, item.ref.column};
+      if (std::find(output.begin(), output.end(), slot) == output.end()) {
+        return nullptr;
+      }
+    }
+
+    auto node = std::make_unique<PlanNode>();
+    node->kind = PlanKind::kViewScan;
+    node->object_name = view.def.name;
+    node->output = std::move(output);
+    node->est_rows = static_cast<double>(view.row_count());
+    node->est_cost = static_cast<double>(view.NumPages()) * kSeqPageCost +
+                     node->est_rows * kCpuRowCost;
+    return node;
+  }
+
+  // ---------- single-table access paths ----------
+
+  // Best access path for table `t`, applying its filters. Output slots are
+  // exactly the block-referenced columns of `t`.
+  std::unique_ptr<PlanNode> BestScan(int t) {
+    const TableInfo& info = tables_[static_cast<size_t>(t)];
+    std::unique_ptr<PlanNode> best = HeapScan(t);
+    if (options_.use_indexes) {
+      for (const IndexDesc* idx : catalog_.IndexesOn(info.desc->schema.name)) {
+        std::unique_ptr<PlanNode> path = IndexPath(t, *idx);
+        if (path != nullptr && path->est_cost < best->est_cost) {
+          best = std::move(path);
+        }
+      }
+    }
+    return best;
+  }
+
+  std::unique_ptr<PlanNode> HeapScan(int t) {
+    const TableInfo& info = tables_[static_cast<size_t>(t)];
+    auto node = std::make_unique<PlanNode>();
+    node->kind = PlanKind::kHeapScan;
+    node->object_name = info.desc->schema.name;
+    node->scan_table_idx = t;
+    node->residual_filters = info.filters;
+    for (int c : info.needed) node->output.push_back({t, c});
+    node->est_rows = info.filtered_rows;
+    node->est_cost =
+        static_cast<double>(info.desc->NumPages()) * kSeqPageCost +
+        static_cast<double>(info.desc->row_count()) * kCpuRowCost;
+    return node;
+  }
+
+  std::unique_ptr<PlanNode> IndexPath(int t, const IndexDesc& idx) {
+    const TableInfo& info = tables_[static_cast<size_t>(t)];
+    const TableStats& stats = info.desc->stats;
+
+    // Greedily consume an equality-filter prefix of the key columns, then
+    // at most one range filter on the following key column.
+    std::vector<Value> seek_values;
+    std::vector<bool> used(info.filters.size(), false);
+    for (int key_col : idx.def.key_columns) {
+      bool matched = false;
+      for (size_t f = 0; f < info.filters.size(); ++f) {
+        if (!used[f] && info.filters[f].op == "=" &&
+            info.filters[f].ref.column == key_col) {
+          seek_values.push_back(info.filters[f].literal);
+          used[f] = true;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) break;
+    }
+    bool has_range = false;
+    std::string range_op;
+    Value range_literal;
+    if (seek_values.size() < idx.def.key_columns.size()) {
+      int next_key =
+          idx.def.key_columns[seek_values.size()];
+      for (size_t f = 0; f < info.filters.size(); ++f) {
+        const std::string& op = info.filters[f].op;
+        if (!used[f] && info.filters[f].ref.column == next_key &&
+            (op == "<" || op == "<=" || op == ">" || op == ">=")) {
+          has_range = true;
+          range_op = op;
+          range_literal = info.filters[f].literal;
+          used[f] = true;
+          break;
+        }
+      }
+    }
+
+    bool covering = idx.def.Covers(info.needed);
+    if (seek_values.empty() && !has_range) {
+      // No sargable predicate; a full index-only scan can still win when
+      // the index is much narrower than the table.
+      if (!covering) return nullptr;
+      auto node = std::make_unique<PlanNode>();
+      node->kind = PlanKind::kIndexOnlyScan;
+      node->object_name = idx.def.name;
+      node->base_table = info.desc->schema.name;
+      node->scan_table_idx = t;
+      node->residual_filters = info.filters;
+      for (int c : info.needed) node->output.push_back({t, c});
+      node->est_rows = info.filtered_rows;
+      node->est_cost = static_cast<double>(idx.NumPages()) * kSeqPageCost +
+                       static_cast<double>(idx.entry_count) * kCpuRowCost;
+      return node;
+    }
+
+    // Selectivity of the sargable prefix decides how many entries the
+    // probe touches; remaining filters become residuals.
+    double seek_sel = 1.0;
+    std::vector<BoundFilter> residuals;
+    for (size_t f = 0; f < info.filters.size(); ++f) {
+      const BoundFilter& filter = info.filters[f];
+      if (used[f]) {
+        seek_sel *= FilterSelectivity(
+            stats.columns[static_cast<size_t>(filter.ref.column)], filter.op,
+            filter.literal);
+      } else {
+        residuals.push_back(filter);
+      }
+    }
+    double matches =
+        static_cast<double>(info.desc->row_count()) * seek_sel;
+    int64_t probe_pages = IndexProbePagesFor(
+        idx.NumPages(), idx.entry_bytes, static_cast<int64_t>(matches) + 1);
+
+    auto node = std::make_unique<PlanNode>();
+    node->object_name = idx.def.name;
+    node->base_table = info.desc->schema.name;
+    node->scan_table_idx = t;
+    node->seek_values = std::move(seek_values);
+    node->has_range = has_range;
+    node->range_op = range_op;
+    node->range_literal = range_literal;
+    node->residual_filters = std::move(residuals);
+    for (int c : info.needed) node->output.push_back({t, c});
+    node->est_rows = info.filtered_rows;
+    if (covering) {
+      node->kind = PlanKind::kIndexOnlyScan;
+      node->est_cost = static_cast<double>(probe_pages) * kRandPageCost +
+                       matches * kCpuRowCost;
+    } else {
+      node->kind = PlanKind::kIndexSeek;
+      double fetch_pages = std::min(
+          matches, static_cast<double>(info.desc->NumPages()));
+      node->est_cost = static_cast<double>(probe_pages) * kRandPageCost +
+                       fetch_pages * kRandPageCost + matches * kCpuRowCost;
+    }
+    return node;
+  }
+
+  // ---------- join ordering ----------
+
+  double JoinColumnDistinct(int t, int col) const {
+    const ColumnStats& stats =
+        tables_[static_cast<size_t>(t)].desc->stats.columns[
+            static_cast<size_t>(col)];
+    return std::max<double>(1.0, static_cast<double>(stats.distinct_estimate));
+  }
+
+  Result<std::unique_ptr<PlanNode>> PlanJoins() {
+    int n = static_cast<int>(tables_.size());
+    // Start from the table with the smallest filtered cardinality.
+    int start = 0;
+    for (int t = 1; t < n; ++t) {
+      if (tables_[static_cast<size_t>(t)].filtered_rows <
+          tables_[static_cast<size_t>(start)].filtered_rows) {
+        start = t;
+      }
+    }
+    std::unique_ptr<PlanNode> plan = BestScan(start);
+    std::vector<bool> joined(static_cast<size_t>(n), false);
+    joined[static_cast<size_t>(start)] = true;
+    double cur_rows = plan->est_rows;
+
+    for (int step = 1; step < n; ++step) {
+      // Pick the unjoined table connected to the joined set with the
+      // smallest filtered cardinality.
+      int next = -1;
+      const BoundJoin* via = nullptr;
+      for (const BoundJoin& join : block_.joins) {
+        int a = join.left.table_idx, b = join.right.table_idx;
+        int candidate = -1;
+        if (joined[static_cast<size_t>(a)] && !joined[static_cast<size_t>(b)]) {
+          candidate = b;
+        } else if (joined[static_cast<size_t>(b)] &&
+                   !joined[static_cast<size_t>(a)]) {
+          candidate = a;
+        }
+        if (candidate >= 0 &&
+            (next < 0 || tables_[static_cast<size_t>(candidate)].filtered_rows <
+                             tables_[static_cast<size_t>(next)].filtered_rows)) {
+          next = candidate;
+          via = &join;
+        }
+      }
+      if (next < 0) return Unimplemented("cross join in block");
+
+      // Identify outer (already joined) and inner (new) join columns.
+      ColumnSlot outer_slot, inner_slot;
+      if (via->left.table_idx == next) {
+        inner_slot = {via->left.table_idx, via->left.column};
+        outer_slot = {via->right.table_idx, via->right.column};
+      } else {
+        inner_slot = {via->right.table_idx, via->right.column};
+        outer_slot = {via->left.table_idx, via->left.column};
+      }
+      const TableInfo& inner = tables_[static_cast<size_t>(next)];
+      double d_outer = JoinColumnDistinct(outer_slot.table_idx,
+                                          outer_slot.column);
+      double d_inner = JoinColumnDistinct(next, inner_slot.column);
+      double result_rows =
+          cur_rows * inner.filtered_rows / std::max(d_outer, d_inner);
+
+      // Option 1: index nested loops via an index whose first key column
+      // is the inner join column.
+      std::unique_ptr<PlanNode> inl;
+      double inl_cost = kInfiniteCost;
+      if (options_.use_indexes) {
+        for (const IndexDesc* idx :
+             catalog_.IndexesOn(inner.desc->schema.name)) {
+          if (idx->def.key_columns.empty() ||
+              idx->def.key_columns[0] != inner_slot.column) {
+            continue;
+          }
+          bool covering = idx->def.Covers(inner.needed);
+          double per_probe_matches = std::max(
+              1.0, static_cast<double>(inner.desc->row_count()) / d_inner);
+          double probe_pages = static_cast<double>(IndexProbePagesFor(
+              idx->NumPages(), idx->entry_bytes,
+              static_cast<int64_t>(per_probe_matches)));
+          double cost = plan->est_cost +
+                        cur_rows * probe_pages * kRandPageCost +
+                        result_rows * kCpuRowCost;
+          if (!covering) {
+            cost += std::min(cur_rows * per_probe_matches,
+                             static_cast<double>(inner.desc->NumPages()) *
+                                 4.0) *
+                    kRandPageCost;
+          }
+          if (cost < inl_cost) {
+            auto node = std::make_unique<PlanNode>();
+            node->kind = PlanKind::kIndexNlJoin;
+            node->object_name = idx->def.name;
+            node->base_table = inner.desc->schema.name;
+            node->scan_table_idx = next;
+            node->outer_key = outer_slot;
+            node->inner_index_column = inner_slot.column;
+            node->inner_fetch = !covering;
+            node->inner_residual_filters = inner.filters;
+            node->output = plan->output;
+            for (int c : inner.needed) node->output.push_back({next, c});
+            node->est_rows = result_rows;
+            node->est_cost = cost;
+            inl = std::move(node);
+            inl_cost = cost;
+          }
+        }
+      }
+
+      // Option 2: hash join (probe = current plan, build = new table).
+      std::unique_ptr<PlanNode> build = BestScan(next);
+      double hash_cost = plan->est_cost + build->est_cost +
+                         build->est_rows * kHashRowCost +
+                         cur_rows * kHashRowCost + result_rows * kCpuRowCost;
+
+      if (inl != nullptr && inl_cost <= hash_cost) {
+        inl->children.push_back(std::move(plan));
+        plan = std::move(inl);
+      } else {
+        auto node = std::make_unique<PlanNode>();
+        node->kind = PlanKind::kHashJoin;
+        node->probe_key = outer_slot;
+        node->build_key = inner_slot;
+        node->output = plan->output;
+        for (const ColumnSlot& slot : build->output) {
+          node->output.push_back(slot);
+        }
+        node->est_rows = result_rows;
+        node->est_cost = hash_cost;
+        node->children.push_back(std::move(plan));
+        node->children.push_back(std::move(build));
+        plan = std::move(node);
+      }
+      joined[static_cast<size_t>(next)] = true;
+      cur_rows = result_rows;
+    }
+    return plan;
+  }
+
+  Result<std::unique_ptr<PlanNode>> FinishWithProject(
+      std::unique_ptr<PlanNode> input) {
+    auto node = std::make_unique<PlanNode>();
+    node->kind = PlanKind::kProject;
+    node->project_items = block_.items;
+    for (const BoundItem& item : block_.items) {
+      if (!item.is_null_literal) {
+        ColumnSlot slot{item.ref.table_idx, item.ref.column};
+        if (input->FindSlot(slot) < 0) {
+          return Internal("projection column missing from plan output");
+        }
+      }
+    }
+    node->est_rows = input->est_rows;
+    node->est_cost = input->est_cost;
+    node->children.push_back(std::move(input));
+    return node;
+  }
+
+  const BoundBlock& block_;
+  const CatalogDesc& catalog_;
+  const PlannerOptions& options_;
+  std::vector<TableInfo> tables_;
+};
+
+// Records every catalog object a finished plan reads into `objects` —
+// the I(Q, M) set of §4.8.
+void CollectPlanObjects(const PlanNode& node, std::set<std::string>* objects) {
+  switch (node.kind) {
+    case PlanKind::kHeapScan:
+    case PlanKind::kIndexOnlyScan:
+    case PlanKind::kViewScan:
+      objects->insert(node.object_name);
+      break;
+    case PlanKind::kIndexSeek:
+      objects->insert(node.object_name);
+      objects->insert(node.base_table);
+      break;
+    case PlanKind::kIndexNlJoin:
+      objects->insert(node.object_name);
+      if (node.inner_fetch) objects->insert(node.base_table);
+      break;
+    default:
+      break;
+  }
+  for (const auto& child : node.children) {
+    CollectPlanObjects(*child, objects);
+  }
+}
+
+}  // namespace
+
+Result<PlannedQuery> PlanQuery(const BoundQuery& query,
+                               const CatalogDesc& catalog,
+                               const PlannerOptions& options) {
+  PlannedQuery planned;
+  std::vector<std::unique_ptr<PlanNode>> block_plans;
+  double total_rows = 0;
+  double total_cost = 0;
+  for (const BoundBlock& block : query.blocks) {
+    BlockPlanner planner(block, catalog, options);
+    XS_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> plan, planner.Plan());
+    total_rows += plan->est_rows;
+    total_cost += plan->est_cost;
+    block_plans.push_back(std::move(plan));
+  }
+
+  std::unique_ptr<PlanNode> root;
+  if (block_plans.size() == 1) {
+    root = std::move(block_plans[0]);
+  } else {
+    root = std::make_unique<PlanNode>();
+    root->kind = PlanKind::kUnionAll;
+    root->est_rows = total_rows;
+    root->est_cost = total_cost;
+    root->children = std::move(block_plans);
+  }
+
+  if (!query.order_by.empty()) {
+    auto sort = std::make_unique<PlanNode>();
+    sort->kind = PlanKind::kSort;
+    sort->sort_ordinals = query.order_by;
+    sort->est_rows = total_rows;
+    sort->est_cost = total_cost + SortCost(total_rows);
+    sort->children.push_back(std::move(root));
+    root = std::move(sort);
+  }
+
+  planned.est_cost = root->est_cost;
+  planned.root = std::move(root);
+  CollectPlanObjects(*planned.root, &planned.objects_used);
+  return planned;
+}
+
+}  // namespace xmlshred

@@ -1,0 +1,42 @@
+// Cost-based query optimizer.
+//
+// Given a bound query and a descriptor catalog (real or what-if), produces
+// a physical plan: per-table access-path selection (heap scan, index seek,
+// covering index-only access, materialized-view matching), greedy join
+// ordering with a choice between index-nested-loop and hash joins, and
+// UNION ALL / ORDER BY handling for sorted-outer-union queries.
+//
+// The optimizer never touches rows — it works purely on statistics — which
+// is what lets the physical design tool cost hypothetical configurations
+// cheaply (Section 4.1 of the paper).
+
+#ifndef XMLSHRED_OPT_PLANNER_H_
+#define XMLSHRED_OPT_PLANNER_H_
+
+#include "common/status.h"
+#include "opt/plan.h"
+#include "rel/catalog.h"
+#include "sql/binder.h"
+
+namespace xmlshred {
+
+struct PlannerOptions {
+  bool use_indexes = true;
+  bool use_views = true;
+};
+
+// Fraction of `stats`'s rows satisfying `op literal` (op in
+// {=, <, <=, >, >=, is not null}).
+double FilterSelectivity(const ColumnStats& stats, const std::string& op,
+                         const Value& literal);
+
+// Plans `query` against `catalog`. The returned plan references catalog
+// objects by name; run it with Executor against a Database holding
+// identically named objects.
+Result<PlannedQuery> PlanQuery(const BoundQuery& query,
+                               const CatalogDesc& catalog,
+                               const PlannerOptions& options = {});
+
+}  // namespace xmlshred
+
+#endif  // XMLSHRED_OPT_PLANNER_H_

@@ -1,0 +1,273 @@
+#include "rel/catalog.h"
+
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace xmlshred {
+
+const TableDesc* CatalogDesc::FindTable(const std::string& name) const {
+  auto it = tables.find(name);
+  return it == tables.end() ? nullptr : &it->second;
+}
+
+const IndexDesc* CatalogDesc::FindIndex(const std::string& name) const {
+  for (const IndexDesc& idx : indexes) {
+    if (idx.def.name == name) return &idx;
+  }
+  return nullptr;
+}
+
+const ViewDesc* CatalogDesc::FindView(const std::string& name) const {
+  for (const ViewDesc& v : views) {
+    if (v.def.name == name) return &v;
+  }
+  return nullptr;
+}
+
+std::vector<const IndexDesc*> CatalogDesc::IndexesOn(
+    const std::string& table) const {
+  std::vector<const IndexDesc*> out;
+  for (const IndexDesc& idx : indexes) {
+    if (idx.def.table == table) out.push_back(&idx);
+  }
+  return out;
+}
+
+int64_t CatalogDesc::DataPages() const {
+  int64_t pages = 0;
+  for (const auto& [name, t] : tables) pages += t.NumPages();
+  return pages;
+}
+
+Result<Table*> Database::CreateTable(TableSchema schema) {
+  if (tables_.count(schema.name) > 0) {
+    return AlreadyExists("table " + schema.name);
+  }
+  std::string name = schema.name;
+  auto table = std::make_unique<Table>(std::move(schema));
+  Table* ptr = table.get();
+  tables_[name] = std::move(table);
+  return ptr;
+}
+
+Table* Database::FindTable(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Database::FindTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Status Database::CreateIndex(const IndexDef& def) {
+  if (indexes_.count(def.name) > 0) return AlreadyExists("index " + def.name);
+  const Table* table = FindTable(def.table);
+  if (table == nullptr) return NotFound("table " + def.table);
+  for (int c : def.key_columns) {
+    if (c < 0 || c >= table->schema().num_columns()) {
+      return InvalidArgument("bad key column ordinal in " + def.name);
+    }
+  }
+  indexes_[def.name] = std::make_unique<BTreeIndex>(def, *table);
+  return Status::OK();
+}
+
+const BTreeIndex* Database::FindIndex(const std::string& name) const {
+  auto it = indexes_.find(name);
+  return it == indexes_.end() ? nullptr : it->second.get();
+}
+
+std::vector<const BTreeIndex*> Database::IndexesOn(
+    const std::string& table) const {
+  std::vector<const BTreeIndex*> out;
+  for (const auto& [name, idx] : indexes_) {
+    if (idx->def().table == table) out.push_back(idx.get());
+  }
+  return out;
+}
+
+Status Database::CreateMaterializedView(const ViewDef& def) {
+  if (tables_.count(def.name) > 0 || view_defs_.count(def.name) > 0) {
+    return AlreadyExists("view " + def.name);
+  }
+  const Table* base = FindTable(def.base_table);
+  if (base == nullptr) return NotFound("table " + def.base_table);
+  const Table* child = nullptr;
+  if (def.join_child.has_value()) {
+    child = FindTable(*def.join_child);
+    if (child == nullptr) return NotFound("table " + *def.join_child);
+  }
+
+  TableSchema out_schema =
+      def.OutputSchema(base->schema(), child ? &child->schema() : nullptr);
+  auto result = CreateTable(out_schema);
+  if (!result.ok()) return result.status();
+  Table* out = *result;
+
+  // Resolve predicate and projection ordinals.
+  struct BoundPred {
+    bool on_base;
+    int ordinal;
+    std::string op;
+    Value literal;
+  };
+  std::vector<BoundPred> preds;
+  for (const SimplePred& p : def.preds) {
+    BoundPred bp;
+    bp.on_base = p.table == def.base_table;
+    const TableSchema& schema =
+        bp.on_base ? base->schema() : child->schema();
+    bp.ordinal = schema.FindColumn(p.column);
+    if (bp.ordinal < 0) return NotFound("column " + p.column);
+    bp.op = p.op;
+    bp.literal = p.literal;
+    preds.push_back(std::move(bp));
+  }
+  auto eval = [](const Value& v, const std::string& op, const Value& lit) {
+    if (op == "=") return v.SqlEquals(lit);
+    if (op == "<") return v.SqlLess(lit);
+    if (op == "<=") return v.SqlLess(lit) || v.SqlEquals(lit);
+    if (op == ">") return lit.SqlLess(v);
+    if (op == ">=") return lit.SqlLess(v) || v.SqlEquals(lit);
+    XS_CHECK(false);
+    return false;
+  };
+
+  struct BoundCol {
+    bool on_base;
+    int ordinal;
+  };
+  std::vector<BoundCol> out_cols;
+  for (const ViewColumn& vc : def.projected) {
+    BoundCol bc;
+    bc.on_base = vc.table == def.base_table;
+    const TableSchema& schema =
+        bc.on_base ? base->schema() : child->schema();
+    bc.ordinal = schema.FindColumn(vc.column);
+    if (bc.ordinal < 0) return NotFound("column " + vc.column);
+    out_cols.push_back(bc);
+  }
+
+  // Hash child rows by PID when a join is requested.
+  std::unordered_multimap<int64_t, const Row*> child_by_pid;
+  if (child != nullptr) {
+    int pid = child->schema().pid_column;
+    XS_CHECK_GE(pid, 0);
+    for (const Row& row : child->rows()) {
+      const Value& v = row[static_cast<size_t>(pid)];
+      if (!v.is_null()) child_by_pid.emplace(v.AsInt(), &row);
+    }
+  }
+
+  int base_id = base->schema().id_column;
+  for (const Row& base_row : base->rows()) {
+    bool base_pass = true;
+    for (const BoundPred& p : preds) {
+      if (!p.on_base) continue;
+      if (!eval(base_row[static_cast<size_t>(p.ordinal)], p.op, p.literal)) {
+        base_pass = false;
+        break;
+      }
+    }
+    if (!base_pass) continue;
+
+    auto emit = [&](const Row* child_row) {
+      Row out_row;
+      out_row.reserve(out_cols.size());
+      for (const BoundCol& bc : out_cols) {
+        if (bc.on_base) {
+          out_row.push_back(base_row[static_cast<size_t>(bc.ordinal)]);
+        } else {
+          out_row.push_back(child_row == nullptr
+                                ? Value::Null()
+                                : (*child_row)[static_cast<size_t>(bc.ordinal)]);
+        }
+      }
+      out->AppendRow(std::move(out_row));
+    };
+
+    if (child == nullptr) {
+      emit(nullptr);
+      continue;
+    }
+    XS_CHECK_GE(base_id, 0);
+    const Value& id = base_row[static_cast<size_t>(base_id)];
+    if (id.is_null()) continue;
+    auto [lo, hi] = child_by_pid.equal_range(id.AsInt());
+    for (auto it = lo; it != hi; ++it) {
+      bool child_pass = true;
+      for (const BoundPred& p : preds) {
+        if (p.on_base) continue;
+        if (!eval((*it->second)[static_cast<size_t>(p.ordinal)], p.op,
+                  p.literal)) {
+          child_pass = false;
+          break;
+        }
+      }
+      if (child_pass) emit(it->second);
+    }
+  }
+
+  view_defs_[def.name] = def;
+  return Status::OK();
+}
+
+const ViewDef* Database::FindViewDef(const std::string& name) const {
+  auto it = view_defs_.find(name);
+  return it == view_defs_.end() ? nullptr : &it->second;
+}
+
+void Database::DropAllPhysicalStructures() {
+  indexes_.clear();
+  for (const auto& [name, def] : view_defs_) tables_.erase(name);
+  view_defs_.clear();
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, t] : tables_) {
+    if (view_defs_.count(name) == 0) out.push_back(name);
+  }
+  return out;
+}
+
+CatalogDesc Database::BuildCatalogDesc() const {
+  CatalogDesc desc;
+  for (const auto& [name, table] : tables_) {
+    if (view_defs_.count(name) > 0) continue;  // views listed separately
+    TableDesc td;
+    td.schema = table->schema();
+    td.stats = table->ComputeStats();
+    desc.tables[name] = std::move(td);
+  }
+  for (const auto& [name, idx] : indexes_) {
+    IndexDesc id;
+    id.def = idx->def();
+    id.entry_count = idx->entry_count();
+    id.entry_bytes = idx->entry_bytes();
+    desc.indexes.push_back(std::move(id));
+  }
+  for (const auto& [name, def] : view_defs_) {
+    const Table* t = FindTable(name);
+    XS_CHECK(t != nullptr);
+    ViewDesc vd;
+    vd.def = def;
+    vd.output_schema = t->schema();
+    vd.stats = t->ComputeStats();
+    desc.views.push_back(std::move(vd));
+  }
+  return desc;
+}
+
+int64_t Database::DataPages() const {
+  int64_t pages = 0;
+  for (const auto& [name, table] : tables_) {
+    if (view_defs_.count(name) == 0) pages += table->NumPages();
+  }
+  return pages;
+}
+
+}  // namespace xmlshred

@@ -1,0 +1,119 @@
+// Catalog layers.
+//
+// Two representations of a database coexist:
+//
+//  * `Database` — real storage: heap tables with rows, built B+-tree
+//    indexes, and materialized views. The executor runs against this.
+//  * `CatalogDesc` — descriptors only: schemas, statistics, and sizes for
+//    tables, indexes, and views, with no rows. The optimizer and the
+//    physical design tool work exclusively on descriptors, which is what
+//    makes "what-if" tuning (hypothetical indexes, Section 4.1) cheap.
+//
+// `Database::BuildCatalogDesc()` snapshots real storage into descriptors;
+// the mapping layer synthesizes descriptors for candidate mappings from
+// derived statistics without ever materializing them.
+
+#ifndef XMLSHRED_REL_CATALOG_H_
+#define XMLSHRED_REL_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rel/index.h"
+#include "rel/table.h"
+#include "rel/view.h"
+
+namespace xmlshred {
+
+struct TableDesc {
+  TableSchema schema;
+  TableStats stats;
+
+  int64_t row_count() const { return stats.row_count; }
+  double avg_row_bytes() const { return stats.AvgRowBytes(); }
+  int64_t NumPages() const { return PagesFor(row_count(), avg_row_bytes()); }
+};
+
+struct IndexDesc {
+  IndexDef def;
+  int64_t entry_count = 0;
+  double entry_bytes = 16.0;
+  bool hypothetical = false;
+
+  int64_t NumPages() const { return PagesFor(entry_count, entry_bytes); }
+};
+
+struct ViewDesc {
+  ViewDef def;
+  TableSchema output_schema;
+  TableStats stats;
+  bool hypothetical = false;
+
+  int64_t row_count() const { return stats.row_count; }
+  double avg_row_bytes() const { return stats.AvgRowBytes(); }
+  int64_t NumPages() const { return PagesFor(row_count(), avg_row_bytes()); }
+};
+
+// Descriptor-only catalog used by the optimizer and the tuner.
+struct CatalogDesc {
+  std::map<std::string, TableDesc> tables;
+  std::vector<IndexDesc> indexes;
+  std::vector<ViewDesc> views;
+
+  const TableDesc* FindTable(const std::string& name) const;
+  const IndexDesc* FindIndex(const std::string& name) const;
+  const ViewDesc* FindView(const std::string& name) const;
+  // Indexes defined on `table`.
+  std::vector<const IndexDesc*> IndexesOn(const std::string& table) const;
+
+  // Total pages of all tables (data) and of all non-hypothetical physical
+  // structures; the tuner checks `data + structures <= bound`.
+  int64_t DataPages() const;
+};
+
+// Real storage. Owns tables, built indexes, and materialized views.
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // Creates an empty table; fails on duplicate name.
+  Result<Table*> CreateTable(TableSchema schema);
+  Table* FindTable(const std::string& name);
+  const Table* FindTable(const std::string& name) const;
+
+  // Builds a real index over the named table's current rows.
+  Status CreateIndex(const IndexDef& def);
+  const BTreeIndex* FindIndex(const std::string& name) const;
+  std::vector<const BTreeIndex*> IndexesOn(const std::string& table) const;
+
+  // Materializes `def` from the current table contents; the result is
+  // stored as a table named def.name plus registered view metadata.
+  Status CreateMaterializedView(const ViewDef& def);
+  const ViewDef* FindViewDef(const std::string& name) const;
+
+  // Drops all indexes and materialized views (keeps base tables). Used
+  // when switching between physical configurations during evaluation.
+  void DropAllPhysicalStructures();
+
+  std::vector<std::string> TableNames() const;
+
+  // Snapshots real storage into a descriptor catalog with exact stats.
+  CatalogDesc BuildCatalogDesc() const;
+
+  // Total pages across base tables.
+  int64_t DataPages() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::map<std::string, std::unique_ptr<BTreeIndex>> indexes_;
+  std::map<std::string, ViewDef> view_defs_;  // materialized table shares name
+};
+
+}  // namespace xmlshred
+
+#endif  // XMLSHRED_REL_CATALOG_H_

@@ -1,0 +1,83 @@
+// B+-tree-style secondary indexes.
+//
+// An index is defined by key columns (order significant) plus optional
+// included columns. A "covering" index for a query is one whose key and
+// included columns together contain every column the query references on
+// that table, letting the engine answer from the index alone (paper
+// footnote 2). The physical structure is a sorted entry array with binary
+// search, which has the same asymptotic and page-accounting behaviour as a
+// read-only B+-tree.
+
+#ifndef XMLSHRED_REL_INDEX_H_
+#define XMLSHRED_REL_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rel/table.h"
+
+namespace xmlshred {
+
+// Pages touched by one equality probe into a B+-tree with `index_pages`
+// pages holding entries of `entry_bytes` each, returning `matches`
+// entries: the internal-node descent plus the spanned leaves. Used both by
+// real indexes and by what-if costing over index descriptors.
+int64_t IndexProbePagesFor(int64_t index_pages, double entry_bytes,
+                           int64_t matches);
+
+struct IndexDef {
+  std::string name;
+  std::string table;
+  std::vector<int> key_columns;       // ordinals in table schema
+  std::vector<int> included_columns;  // ordinals, non-key payload
+  bool unique = false;
+
+  // True if every ordinal in `needed` appears among key or included columns.
+  bool Covers(const std::vector<int>& needed) const;
+
+  std::string ToString(const TableSchema& schema) const;
+};
+
+class BTreeIndex {
+ public:
+  // Builds the index over the current contents of `table`.
+  BTreeIndex(IndexDef def, const Table& table);
+
+  const IndexDef& def() const { return def_; }
+
+  int64_t entry_count() const { return static_cast<int64_t>(entries_.size()); }
+  double entry_bytes() const { return entry_bytes_; }
+  int64_t NumPages() const { return PagesFor(entry_count(), entry_bytes_); }
+
+  // Row ids whose key columns equal `key` (a prefix of the key columns may
+  // be provided; matches on that prefix).
+  std::vector<int64_t> EqualLookup(const Row& key_prefix) const;
+
+  // Row ids with lo <= key[0] <= hi on the first key column; either bound
+  // may be NULL for unbounded. `lo_strict` / `hi_strict` exclude the bound.
+  std::vector<int64_t> RangeLookup(const Value& lo, bool lo_strict,
+                                   const Value& hi, bool hi_strict) const;
+
+  // Entries in key order (key values followed by included values + row id);
+  // used for index-only scans.
+  struct Entry {
+    Row key;
+    int64_t row_id;
+  };
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  // Pages touched by an equality probe returning `matches` entries:
+  // the B+-tree descent plus the leaf span of the matches.
+  int64_t ProbePages(int64_t matches) const;
+
+ private:
+  IndexDef def_;
+  std::vector<Entry> entries_;  // sorted by key (total order)
+  double entry_bytes_ = 16.0;
+};
+
+}  // namespace xmlshred
+
+#endif  // XMLSHRED_REL_INDEX_H_

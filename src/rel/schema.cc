@@ -1,0 +1,24 @@
+#include "rel/schema.h"
+
+namespace xmlshred {
+
+int TableSchema::FindColumn(const std::string& column_name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == column_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string TableSchema::ToString() const {
+  std::string out = name + "(";
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns[i].name;
+    out += ' ';
+    out += ColumnTypeToString(columns[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace xmlshred

@@ -1,0 +1,39 @@
+// Relational table schemas.
+
+#ifndef XMLSHRED_REL_SCHEMA_H_
+#define XMLSHRED_REL_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "rel/value.h"
+
+namespace xmlshred {
+
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::kString;
+  bool nullable = true;
+};
+
+// Schema of one relation. Tables mapped from XML always carry an ID column
+// (unique node id, the primary key) and usually a PID column (foreign key
+// to the parent relation's ID), per Section 2 of the paper.
+struct TableSchema {
+  std::string name;
+  std::vector<ColumnDef> columns;
+  int id_column = -1;   // ordinal of ID column, -1 if absent
+  int pid_column = -1;  // ordinal of PID column, -1 if absent
+
+  // Returns the ordinal of `column_name`, or -1 if absent.
+  int FindColumn(const std::string& column_name) const;
+
+  int num_columns() const { return static_cast<int>(columns.size()); }
+
+  // "name(col TYPE, ...)" rendering for diagnostics and docs.
+  std::string ToString() const;
+};
+
+}  // namespace xmlshred
+
+#endif  // XMLSHRED_REL_SCHEMA_H_

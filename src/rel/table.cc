@@ -1,0 +1,28 @@
+#include "rel/table.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace xmlshred {
+
+int64_t PagesFor(int64_t row_count, double avg_row_bytes) {
+  if (row_count <= 0) return 0;
+  double bytes = static_cast<double>(row_count) * avg_row_bytes;
+  int64_t pages = static_cast<int64_t>(std::ceil(bytes / kPageSizeBytes));
+  return pages < 1 ? 1 : pages;
+}
+
+void Table::AppendRow(Row row) {
+  XS_CHECK_EQ(static_cast<int>(row.size()), schema_.num_columns());
+  for (const Value& v : row) total_bytes_ += static_cast<double>(v.ByteSize());
+  rows_.push_back(std::move(row));
+}
+
+double Table::avg_row_bytes() const {
+  if (rows_.empty()) return 8.0;
+  double w = total_bytes_ / static_cast<double>(rows_.size());
+  return w < 8.0 ? 8.0 : w;
+}
+
+}  // namespace xmlshred

@@ -1,0 +1,52 @@
+// Heap table storage with page accounting.
+
+#ifndef XMLSHRED_REL_TABLE_H_
+#define XMLSHRED_REL_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rel/schema.h"
+#include "rel/stats.h"
+#include "rel/value.h"
+
+namespace xmlshred {
+
+// Simulated page size. All cost accounting — optimizer estimates and
+// executor metering alike — is in units of 8 KiB page accesses.
+inline constexpr double kPageSizeBytes = 8192.0;
+
+// Pages occupied by `row_count` rows of `avg_row_bytes` each (>= 1 for any
+// non-empty relation).
+int64_t PagesFor(int64_t row_count, double avg_row_bytes);
+
+// An in-memory heap table: a schema plus a row store. Rows are identified
+// by their position (row id); indexes reference rows by row id.
+class Table {
+ public:
+  explicit Table(TableSchema schema) : schema_(std::move(schema)) {}
+
+  const TableSchema& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  void AppendRow(Row row);
+  void Reserve(size_t n) { rows_.reserve(n); }
+
+  int64_t row_count() const { return static_cast<int64_t>(rows_.size()); }
+
+  // Mean stored row width (bytes), tracked incrementally on append.
+  double avg_row_bytes() const;
+  int64_t NumPages() const { return PagesFor(row_count(), avg_row_bytes()); }
+
+  // Scans the rows and computes full statistics.
+  TableStats ComputeStats() const { return BuildTableStats(rows_, schema_.num_columns()); }
+
+ private:
+  TableSchema schema_;
+  std::vector<Row> rows_;
+  double total_bytes_ = 0;
+};
+
+}  // namespace xmlshred
+
+#endif  // XMLSHRED_REL_TABLE_H_

@@ -1,0 +1,88 @@
+#include "rel/value.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace xmlshred {
+
+const char* ColumnTypeToString(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt64:
+      return "BIGINT";
+    case ColumnType::kDouble:
+      return "DOUBLE";
+    case ColumnType::kString:
+      return "VARCHAR";
+  }
+  return "?";
+}
+
+double Value::AsNumeric() const {
+  if (is_int()) return static_cast<double>(AsInt());
+  XS_CHECK(is_double());
+  return AsDouble();
+}
+
+bool Value::SqlEquals(const Value& other) const {
+  if (is_null() || other.is_null()) return false;
+  if (is_string() != other.is_string()) return false;
+  if (is_string()) return AsString() == other.AsString();
+  return AsNumeric() == other.AsNumeric();
+}
+
+bool Value::SqlLess(const Value& other) const {
+  if (is_null() || other.is_null()) return false;
+  if (is_string() && other.is_string()) return AsString() < other.AsString();
+  if (is_string() || other.is_string()) return false;
+  return AsNumeric() < other.AsNumeric();
+}
+
+bool Value::TotalLess(const Value& other) const {
+  auto rank = [](const Value& v) {
+    if (v.is_null()) return 0;
+    if (v.is_string()) return 2;
+    return 1;  // numeric
+  };
+  int ra = rank(*this), rb = rank(other);
+  if (ra != rb) return ra < rb;
+  if (ra == 0) return false;  // both NULL
+  if (ra == 2) return AsString() < other.AsString();
+  return AsNumeric() < other.AsNumeric();
+}
+
+bool Value::TotalEquals(const Value& other) const {
+  return !TotalLess(other) && !other.TotalLess(*this);
+}
+
+size_t Value::Hash() const {
+  if (is_null()) return 0x9ae16a3b2f90404fULL;
+  if (is_string()) return std::hash<std::string>()(AsString());
+  // Hash numerics through double so 3 and 3.0 collide (they compare equal).
+  return std::hash<double>()(AsNumeric());
+}
+
+size_t Value::ByteSize() const {
+  // NULLs still occupy a row-directory slot, like fixed column offsets in
+  // a slotted-page row store.
+  if (is_null()) return 4;
+  if (is_string()) return AsString().size() + 2;
+  return 8;
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int()) return std::to_string(AsInt());
+  if (is_double()) return FormatDouble(AsDouble(), 4);
+  return "'" + AsString() + "'";
+}
+
+bool RowTotalLess(const Row& a, const Row& b) {
+  size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i].TotalLess(b[i])) return true;
+    if (b[i].TotalLess(a[i])) return false;
+  }
+  return a.size() < b.size();
+}
+
+}  // namespace xmlshred

@@ -1,0 +1,100 @@
+// Value: a nullable SQL scalar (NULL, BIGINT, DOUBLE, or VARCHAR).
+//
+// Values use SQL comparison semantics for predicate evaluation (NULL
+// compares as unknown -> predicates reject it) but provide a total order
+// (`TotalLess`, NULLs first) for sorting and index organization.
+
+#ifndef XMLSHRED_REL_VALUE_H_
+#define XMLSHRED_REL_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace xmlshred {
+
+enum class ColumnType {
+  kInt64,
+  kDouble,
+  kString,
+};
+
+const char* ColumnTypeToString(ColumnType type);
+
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(Repr(v)); }
+  static Value Real(double v) { return Value(Repr(v)); }
+  static Value Str(std::string v) { return Value(Repr(std::move(v))); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  double AsDouble() const { return std::get<double>(v_); }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  // Numeric view: ints promote to double. Must not be NULL or string.
+  double AsNumeric() const;
+
+  // SQL equality: NULL never equals anything (returns false).
+  bool SqlEquals(const Value& other) const;
+  // SQL '<' with numeric promotion; false when either side is NULL.
+  bool SqlLess(const Value& other) const;
+
+  // Total order for sorting/indexing: NULL < ints/doubles (numeric order)
+  // < strings (lexicographic).
+  bool TotalLess(const Value& other) const;
+  bool TotalEquals(const Value& other) const;
+
+  size_t Hash() const;
+
+  // Approximate storage footprint in bytes.
+  size_t ByteSize() const;
+
+  std::string ToString() const;
+
+ private:
+  using Repr = std::variant<std::monostate, int64_t, double, std::string>;
+  explicit Value(Repr v) : v_(std::move(v)) {}
+  Repr v_;
+};
+
+using Row = std::vector<Value>;
+
+struct ValueTotalLess {
+  bool operator()(const Value& a, const Value& b) const {
+    return a.TotalLess(b);
+  }
+};
+
+struct RowHash {
+  size_t operator()(const Row& row) const {
+    size_t h = 0xcbf29ce484222325ULL;
+    for (const Value& v : row) h = h * 1099511628211ULL ^ v.Hash();
+    return h;
+  }
+};
+
+struct RowTotalEquals {
+  bool operator()(const Row& a, const Row& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!a[i].TotalEquals(b[i])) return false;
+    }
+    return true;
+  }
+};
+
+// Lexicographic total order over rows.
+bool RowTotalLess(const Row& a, const Row& b);
+
+}  // namespace xmlshred
+
+#endif  // XMLSHRED_REL_VALUE_H_

@@ -1,0 +1,66 @@
+#include "rel/view.h"
+
+#include "common/logging.h"
+
+namespace xmlshred {
+
+bool SimplePred::SemanticallyEquals(const SimplePred& other) const {
+  return table == other.table && column == other.column && op == other.op &&
+         literal.TotalEquals(other.literal);
+}
+
+std::string SimplePred::ToString() const {
+  return table + "." + column + " " + op + " " + literal.ToString();
+}
+
+TableSchema ViewDef::OutputSchema(const TableSchema& base_schema,
+                                  const TableSchema* child_schema) const {
+  TableSchema out;
+  out.name = name;
+  for (const ViewColumn& vc : projected) {
+    const TableSchema* src = nullptr;
+    if (vc.table == base_table) {
+      src = &base_schema;
+    } else {
+      XS_CHECK(join_child.has_value() && vc.table == *join_child);
+      XS_CHECK(child_schema != nullptr);
+      src = child_schema;
+    }
+    int ord = src->FindColumn(vc.column);
+    XS_CHECK_GE(ord, 0);
+    ColumnDef def = src->columns[static_cast<size_t>(ord)];
+    def.name = vc.table + "$" + vc.column;
+    out.columns.push_back(std::move(def));
+  }
+  return out;
+}
+
+int ViewDef::FindOutputColumn(const std::string& table,
+                              const std::string& column) const {
+  for (size_t i = 0; i < projected.size(); ++i) {
+    if (projected[i].table == table && projected[i].column == column) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+std::string ViewDef::ToString() const {
+  std::string out = "VIEW " + name + " AS SELECT ";
+  for (size_t i = 0; i < projected.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += projected[i].table + "." + projected[i].column;
+  }
+  out += " FROM " + base_table;
+  if (join_child.has_value()) {
+    out += " JOIN " + *join_child + " ON " + *join_child + ".PID = " +
+           base_table + ".ID";
+  }
+  for (size_t i = 0; i < preds.size(); ++i) {
+    out += i == 0 ? " WHERE " : " AND ";
+    out += preds[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace xmlshred

@@ -1,0 +1,63 @@
+// Materialized view definitions.
+//
+// The tuner recommends selection-projection(-join) views: a filtered
+// projection of a context table, optionally joined with one child table on
+// child.PID = base.ID. This is exactly the block shape produced by the
+// sorted-outer-union translation of the paper's XPath workloads, so these
+// views can answer whole UNION ALL branches.
+
+#ifndef XMLSHRED_REL_VIEW_H_
+#define XMLSHRED_REL_VIEW_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rel/schema.h"
+#include "rel/value.h"
+
+namespace xmlshred {
+
+// A simple predicate `table.column <op> literal`, op in {=, <, <=, >, >=}.
+struct SimplePred {
+  std::string table;
+  std::string column;
+  std::string op;
+  Value literal;
+
+  bool SemanticallyEquals(const SimplePred& other) const;
+  std::string ToString() const;
+};
+
+struct ViewColumn {
+  std::string table;
+  std::string column;
+
+  friend bool operator==(const ViewColumn& a, const ViewColumn& b) {
+    return a.table == b.table && a.column == b.column;
+  }
+};
+
+struct ViewDef {
+  std::string name;
+  std::string base_table;
+  // When set, the view materializes base JOIN child ON child.PID = base.ID.
+  std::optional<std::string> join_child;
+  std::vector<SimplePred> preds;     // conjunction, all on base or child
+  std::vector<ViewColumn> projected;
+
+  // Output schema of the materialized view; columns are named
+  // "<table>$<column>" to stay unambiguous.
+  TableSchema OutputSchema(const TableSchema& base_schema,
+                           const TableSchema* child_schema) const;
+
+  // Ordinal of (table, column) in the view output, or -1.
+  int FindOutputColumn(const std::string& table,
+                       const std::string& column) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace xmlshred
+
+#endif  // XMLSHRED_REL_VIEW_H_

@@ -1,0 +1,50 @@
+// Candidate selection (§4.5), repetition-split count selection (§4.6),
+// and candidate merging (§4.7).
+
+#ifndef XMLSHRED_SEARCH_CANDIDATES_H_
+#define XMLSHRED_SEARCH_CANDIDATES_H_
+
+#include <vector>
+
+#include "mapping/transforms.h"
+#include "search/problem.h"
+
+namespace xmlshred {
+
+struct CandidateSet {
+  // Split-type candidates applied once to build the initial mapping M0
+  // (explicit/implicit union distributions, repetition splits, type
+  // splits).
+  std::vector<Transform> splits;
+  // Merge-type candidates available to the greedy loop from the start
+  // (type merges; the counterparts of applied splits are added later).
+  std::vector<Transform> merges;
+};
+
+// Workload-driven candidate selection over (a clone of) the original
+// tree. With `use_workload_rules` false, every applicable non-subsumed
+// transformation is selected (the no-candidate-selection ablation of
+// Fig. 7); repetition-split counts still come from §4.6.
+CandidateSet SelectCandidates(const DesignProblem& problem, SchemaTree* tree,
+                              int cmax, double x_fraction,
+                              bool use_workload_rules);
+
+// §4.7 candidate merging over the implicit-union split candidates, using
+// the I/O-savings heuristic model. Modifies `candidates->splits` in
+// place: merged combinations replace their components. `base_costs` maps
+// workload index -> optimizer-estimated cost under the pre-split mapping.
+void GreedyMergeCandidates(const DesignProblem& problem,
+                           const SchemaTree& tree,
+                           const std::vector<double>& base_costs,
+                           CandidateSet* candidates);
+
+// Heuristic I/O-savings benefit of an implicit-union candidate for one
+// query (the s(c_i, Q) model of §4.7). Exposed for tests.
+double ImplicitUnionBenefit(const DesignProblem& problem,
+                            const SchemaTree& tree, int context_node_id,
+                            const std::vector<std::string>& option_names,
+                            const XPathQuery& query, double query_cost);
+
+}  // namespace xmlshred
+
+#endif  // XMLSHRED_SEARCH_CANDIDATES_H_

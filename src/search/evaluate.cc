@@ -1,0 +1,44 @@
+#include "search/evaluate.h"
+
+#include "exec/executor.h"
+#include "mapping/shredder.h"
+#include "opt/planner.h"
+#include "sql/binder.h"
+#include "xpath/translator.h"
+
+namespace xmlshred {
+
+Result<WorkloadEvaluation> EvaluateOnData(const SearchResult& result,
+                                          const XmlDocument& doc,
+                                          const XPathWorkload& workload) {
+  Database db;
+  XS_RETURN_IF_ERROR(
+      ShredDocument(doc, *result.tree, result.mapping, &db).status());
+  WorkloadEvaluation evaluation;
+  evaluation.data_pages = db.DataPages();
+  XS_RETURN_IF_ERROR(ApplyConfiguration(result.configuration, &db));
+
+  CatalogDesc catalog = db.BuildCatalogDesc();
+  for (const IndexDesc& idx : catalog.indexes) {
+    evaluation.structure_pages += idx.NumPages();
+  }
+  for (const ViewDesc& view : catalog.views) {
+    evaluation.structure_pages += view.NumPages();
+  }
+
+  Executor executor(db);
+  for (const XPathQuery& query : workload) {
+    XS_ASSIGN_OR_RETURN(TranslatedQuery translated,
+                        TranslateXPath(query, *result.tree, result.mapping));
+    XS_ASSIGN_OR_RETURN(BoundQuery bound,
+                        BindQuery(translated.sql, catalog));
+    XS_ASSIGN_OR_RETURN(PlannedQuery planned, PlanQuery(bound, catalog));
+    ExecMetrics metrics;
+    XS_RETURN_IF_ERROR(executor.Run(*planned.root, &metrics).status());
+    evaluation.per_query_work.push_back(metrics.work);
+    evaluation.total_work += query.weight * metrics.work;
+  }
+  return evaluation;
+}
+
+}  // namespace xmlshred

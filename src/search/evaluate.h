@@ -1,0 +1,31 @@
+// Quality evaluation (§5.1.4): really shreds the data under a search
+// result's mapping, builds the recommended physical structures, executes
+// the translated workload, and reports the metered work — the "query
+// execution time" of Figs. 4, 8a, and 9a.
+
+#ifndef XMLSHRED_SEARCH_EVALUATE_H_
+#define XMLSHRED_SEARCH_EVALUATE_H_
+
+#include <vector>
+
+#include "search/problem.h"
+#include "xml/document.h"
+
+namespace xmlshred {
+
+struct WorkloadEvaluation {
+  double total_work = 0;  // sum of f_i * measured work of Q_i
+  std::vector<double> per_query_work;
+  int64_t data_pages = 0;
+  int64_t structure_pages = 0;  // really-built indexes and views
+};
+
+// Loads `doc` under `result`'s mapping, applies its configuration, and
+// runs `workload` end-to-end.
+Result<WorkloadEvaluation> EvaluateOnData(const SearchResult& result,
+                                          const XmlDocument& doc,
+                                          const XPathWorkload& workload);
+
+}  // namespace xmlshred
+
+#endif  // XMLSHRED_SEARCH_EVALUATE_H_

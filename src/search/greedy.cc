@@ -1,0 +1,597 @@
+#include "search/greedy.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+#include "mapping/transforms.h"
+#include "opt/planner.h"
+#include "search/candidates.h"
+#include "xpath/translator.h"
+
+namespace xmlshred {
+
+namespace {
+
+// Per-query optimizer-estimated costs under a bare mapping (no physical
+// structures) — input to the §4.7 heuristic benefit model.
+Result<std::vector<double>> BaseQueryCosts(const DesignProblem& problem,
+                                           const SchemaTree& tree) {
+  XS_ASSIGN_OR_RETURN(Mapping mapping, Mapping::Build(tree));
+  CatalogDesc catalog = problem.stats->DeriveCatalog(tree, mapping);
+  XS_ASSIGN_OR_RETURN(std::vector<WeightedQuery> workload,
+                      TranslateWorkload(problem.workload, tree, mapping));
+  std::vector<double> costs;
+  for (const WeightedQuery& wq : workload) {
+    XS_ASSIGN_OR_RETURN(BoundQuery bound, BindQuery(wq.query, catalog));
+    XS_ASSIGN_OR_RETURN(PlannedQuery planned, PlanQuery(bound, catalog));
+    costs.push_back(planned.est_cost);
+  }
+  return costs;
+}
+
+// Relation names whose schema differs between two mappings (added,
+// removed, or redefined).
+std::set<std::string> ChangedRelations(const Mapping& a, const Mapping& b) {
+  std::map<std::string, std::string> schema_a, schema_b;
+  for (const MappedRelation& rel : a.relations()) {
+    schema_a[rel.table_name] = rel.ToTableSchema().ToString();
+  }
+  for (const MappedRelation& rel : b.relations()) {
+    schema_b[rel.table_name] = rel.ToTableSchema().ToString();
+  }
+  std::set<std::string> changed;
+  for (const auto& [name, schema] : schema_a) {
+    auto it = schema_b.find(name);
+    if (it == schema_b.end() || it->second != schema) changed.insert(name);
+  }
+  for (const auto& [name, schema] : schema_b) {
+    if (schema_a.count(name) == 0) changed.insert(name);
+  }
+  return changed;
+}
+
+// Tables referenced by a translated SQL query.
+std::set<std::string> QueryTables(const Query& query) {
+  std::set<std::string> tables;
+  for (const SelectBlock& block : query.blocks) {
+    for (const TableRef& ref : block.tables) tables.insert(ref.table);
+  }
+  return tables;
+}
+
+// Search state for the current mapping M0'.
+struct CurrentState {
+  std::unique_ptr<SchemaTree> tree;
+  Mapping mapping;
+  TunerResult config;
+  double cost = 0;
+  std::vector<WeightedQuery> translations;
+  std::vector<std::set<std::string>> query_tables;
+};
+
+// Full (no-derivation) costing of `tree`, populating a CurrentState.
+Result<CurrentState> FullCost(const DesignProblem& problem,
+                              std::unique_ptr<SchemaTree> tree,
+                              SearchTelemetry* telemetry) {
+  CurrentState state;
+  XS_ASSIGN_OR_RETURN(state.mapping, Mapping::Build(*tree));
+  CatalogDesc catalog = problem.stats->DeriveCatalog(*tree, state.mapping);
+  XS_ASSIGN_OR_RETURN(
+      state.translations,
+      TranslateWorkload(problem.workload, *tree, state.mapping));
+  for (const WeightedQuery& wq : state.translations) {
+    state.query_tables.push_back(QueryTables(wq.query));
+  }
+  TunerOptions options = problem.tuner_options;
+  options.storage_bound_pages = problem.storage_bound_pages;
+  PhysicalDesignAdvisor advisor(options);
+  XS_ASSIGN_OR_RETURN(
+      state.config,
+      advisor.Tune(state.translations, catalog, 0,
+                   ComputeUpdateRates(problem, *tree, state.mapping)));
+  state.cost = state.config.total_cost;
+  state.tree = std::move(tree);
+  if (telemetry != nullptr) {
+    ++telemetry->tuner_calls;
+    telemetry->optimizer_calls += state.config.optimizer_calls;
+  }
+  return state;
+}
+
+// The element name a repetition split/merge candidate concerns, resolved
+// in `tree`; empty when not a repetition transformation.
+std::string RepetitionElementName(const SchemaTree& tree,
+                                  const Transform& candidate) {
+  if (candidate.kind != TransformKind::kRepetitionSplit &&
+      candidate.kind != TransformKind::kRepetitionMerge) {
+    return "";
+  }
+  const SchemaNode* rep = tree.FindNode(candidate.target);
+  if (rep == nullptr || rep->num_children() != 1) return "";
+  return rep->child(0)->name();
+}
+
+// Estimated cost of the candidate mapping, using cost derivation (§4.8)
+// against `current` when enabled.
+Result<double> CostCandidate(const DesignProblem& problem,
+                             const SchemaTree& cand_tree,
+                             const CurrentState& current,
+                             const Transform& candidate, bool cost_derivation,
+                             SearchTelemetry* telemetry) {
+  XS_ASSIGN_OR_RETURN(Mapping mapping, Mapping::Build(cand_tree));
+  CatalogDesc catalog = problem.stats->DeriveCatalog(cand_tree, mapping);
+  XS_ASSIGN_OR_RETURN(
+      std::vector<WeightedQuery> translations,
+      TranslateWorkload(problem.workload, cand_tree, mapping));
+
+  TunerOptions options = problem.tuner_options;
+  options.storage_bound_pages = problem.storage_bound_pages;
+  PhysicalDesignAdvisor advisor(options);
+
+  std::vector<UpdateRate> rates =
+      ComputeUpdateRates(problem, cand_tree, mapping);
+  if (!cost_derivation) {
+    XS_ASSIGN_OR_RETURN(TunerResult config,
+                        advisor.Tune(translations, catalog, 0, rates));
+    ++telemetry->tuner_calls;
+    telemetry->optimizer_calls += config.optimizer_calls;
+    return config.total_cost;
+  }
+
+  std::set<std::string> changed =
+      ChangedRelations(current.mapping, mapping);
+  std::string rep_element =
+      RepetitionElementName(*current.tree, candidate);
+
+  auto object_pages = [&current](const std::string& name) -> int64_t {
+    for (const IndexDesc& idx : current.config.indexes) {
+      if (idx.def.name == name) return idx.NumPages();
+    }
+    for (const ViewDesc& view : current.config.views) {
+      if (view.def.name == name) return view.NumPages();
+    }
+    return 0;  // base tables are data, not structures
+  };
+  double derived_cost = 0;
+  int64_t reserved = 0;
+  std::vector<WeightedQuery> remaining;
+  std::vector<size_t> remaining_idx;
+  int derived_count = 0;
+  for (size_t i = 0; i < translations.size(); ++i) {
+    const std::set<std::string>& new_tables =
+        QueryTables(translations[i].query);
+    const std::set<std::string>& old_tables = current.query_tables[i];
+    bool untouched = true;
+    for (const std::string& t : new_tables) {
+      if (changed.count(t) > 0) untouched = false;
+    }
+    for (const std::string& t : old_tables) {
+      if (changed.count(t) > 0) untouched = false;
+    }
+    if (!untouched && !rep_element.empty()) {
+      // Repetition-split rule: a query that never references the repeated
+      // element and whose plan avoided the changed base tables (covering
+      // index / view access) keeps its plan and cost.
+      const XPathQuery& xq = problem.workload[i];
+      bool references = false;
+      for (const std::string& path : xq.SelectionPaths()) {
+        if (path == rep_element) references = true;
+      }
+      for (const std::string& p : xq.projections) {
+        if (p == rep_element) references = true;
+      }
+      if (!references) {
+        bool plan_avoids_changed_tables = true;
+        for (const std::string& obj : current.config.query_objects[i]) {
+          if (changed.count(obj) > 0) plan_avoids_changed_tables = false;
+        }
+        if (plan_avoids_changed_tables) untouched = true;
+      }
+    }
+    if (untouched) {
+      derived_cost +=
+          translations[i].weight * current.config.query_costs[i];
+      for (const std::string& obj : current.config.query_objects[i]) {
+        reserved += object_pages(obj);
+      }
+      ++derived_count;
+    } else {
+      remaining.push_back(translations[i]);
+      remaining_idx.push_back(i);
+    }
+  }
+  telemetry->queries_derived += derived_count;
+
+  if (remaining.empty()) return derived_cost;
+  XS_ASSIGN_OR_RETURN(TunerResult config,
+                      advisor.Tune(remaining, catalog, reserved, rates));
+  ++telemetry->tuner_calls;
+  telemetry->optimizer_calls += config.optimizer_calls;
+  return derived_cost + config.total_cost;
+}
+
+// Exhaustive candidate merging: per context, cost every subset of its
+// implicit-union options with a full design-tool call and keep the best —
+// the expensive strategy of Fig. 8.
+Status ExhaustiveMergeCandidates(const DesignProblem& problem,
+                                        const SchemaTree& base_tree,
+                                        CandidateSet* candidates,
+                                        SearchTelemetry* telemetry) {
+  // Group implicit-union candidates by context.
+  std::map<int, std::set<int>> options_by_context;
+  for (const Transform& t : candidates->splits) {
+    if (t.kind != TransformKind::kUnionDistribute || t.option_targets.empty()) {
+      continue;
+    }
+    const SchemaNode* option = base_tree.FindNode(t.option_targets[0]);
+    if (option == nullptr) continue;
+    const SchemaNode* context = option->NearestAnnotatedAncestor();
+    if (context == nullptr) continue;
+    for (int id : t.option_targets) {
+      options_by_context[context->id()].insert(id);
+    }
+  }
+  for (const auto& [context_id, option_set] : options_by_context) {
+    std::vector<int> options(option_set.begin(), option_set.end());
+    if (options.size() < 2 || options.size() > 10) continue;
+    // Heuristic benefit (names-based, §4.7 model with unit costs) breaks
+    // ties between subsets the design tool prices identically.
+    auto names_of = [&base_tree](const std::vector<int>& subset) {
+      std::set<std::string> names;
+      for (int id : subset) {
+        const SchemaNode* option = base_tree.FindNode(id);
+        if (option != nullptr) {
+          std::vector<SchemaNode*> stack = {const_cast<SchemaNode*>(option)};
+          while (!stack.empty()) {
+            SchemaNode* n = stack.back();
+            stack.pop_back();
+            if (n->kind() == SchemaNodeKind::kTag) {
+              names.insert(n->name());
+              continue;
+            }
+            for (const auto& c : n->children()) stack.push_back(c.get());
+          }
+        }
+      }
+      return std::vector<std::string>(names.begin(), names.end());
+    };
+    auto heuristic_benefit = [&](const std::vector<int>& subset) {
+      std::vector<std::string> names = names_of(subset);
+      double total = 0;
+      for (const XPathQuery& query : problem.workload) {
+        total += query.weight *
+                 ImplicitUnionBenefit(problem, base_tree, context_id, names,
+                                      query, 1.0);
+      }
+      return total;
+    };
+    double best_cost = -1;
+    double best_heuristic = -1;
+    std::vector<int> best_subset;
+    for (uint64_t mask = 1; mask < (1ULL << options.size()); ++mask) {
+      std::vector<int> subset;
+      for (size_t b = 0; b < options.size(); ++b) {
+        if (mask & (1ULL << b)) subset.push_back(options[b]);
+      }
+      std::unique_ptr<SchemaTree> trial = base_tree.Clone();
+      // Evaluate the subset in the composed setting: every other selected
+      // split (repetition splits, explicit distributions) applied too.
+      for (const Transform& other : candidates->splits) {
+        if (other.kind == TransformKind::kUnionDistribute &&
+            !other.option_targets.empty()) {
+          continue;
+        }
+        (void)ApplyTransform(trial.get(), other);
+      }
+      Transform dist;
+      dist.kind = TransformKind::kUnionDistribute;
+      dist.target = subset[0];
+      dist.option_targets = subset;
+      if (!ApplyTransform(trial.get(), dist).ok()) continue;
+      FullyInline(trial.get());
+      ++telemetry->transformations_searched;
+      auto costed = CostMapping(problem, *trial, telemetry);
+      if (!costed.ok()) continue;
+      double heuristic = heuristic_benefit(subset);
+      bool better = best_cost < 0 || costed->cost < best_cost * 0.995 ||
+                    (costed->cost <= best_cost * 1.005 &&
+                     heuristic > best_heuristic);
+      if (better) {
+        best_cost = costed->cost;
+        best_heuristic = heuristic;
+        best_subset = subset;
+      }
+    }
+    if (best_subset.empty()) continue;
+    // Replace this context's implicit-union candidates with the winner.
+    bool replaced = false;
+    for (auto it = candidates->splits.begin();
+         it != candidates->splits.end();) {
+      if (it->kind == TransformKind::kUnionDistribute &&
+          !it->option_targets.empty() &&
+          option_set.count(it->option_targets[0]) > 0) {
+        if (!replaced) {
+          it->option_targets = best_subset;
+          it->target = best_subset[0];
+          replaced = true;
+          ++it;
+        } else {
+          it = candidates->splits.erase(it);
+        }
+      } else {
+        ++it;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<SearchResult> GreedySearch(const DesignProblem& problem,
+                                  const GreedyOptions& options) {
+  auto start = std::chrono::steady_clock::now();
+  SearchResult result;
+  result.algorithm = "greedy";
+  SearchTelemetry& telemetry = result.telemetry;
+
+  // Working tree (original node ids preserved through clones).
+  std::unique_ptr<SchemaTree> work_tree = problem.tree->Clone();
+
+  // --- Candidate selection (§4.5) ---
+  CandidateSet candidates =
+      SelectCandidates(problem, work_tree.get(), options.cmax,
+                       options.x_fraction, options.candidate_selection);
+  telemetry.candidates_selected = static_cast<int>(
+      candidates.splits.size() + candidates.merges.size());
+
+  // --- Candidate merging (§4.7) ---
+  if (options.merging == MergeStrategy::kGreedy) {
+    std::unique_ptr<SchemaTree> base_tree = problem.tree->Clone();
+    if (options.prune_subsumed) FullyInline(base_tree.get());
+    XS_ASSIGN_OR_RETURN(std::vector<double> base_costs,
+                        BaseQueryCosts(problem, *base_tree));
+    telemetry.optimizer_calls +=
+        static_cast<int>(problem.workload.size());
+    GreedyMergeCandidates(problem, *work_tree, base_costs, &candidates);
+  } else if (options.merging == MergeStrategy::kExhaustive) {
+    std::unique_ptr<SchemaTree> base_tree = problem.tree->Clone();
+    if (options.prune_subsumed) FullyInline(base_tree.get());
+    XS_RETURN_IF_ERROR(ExhaustiveMergeCandidates(problem, *base_tree,
+                                                 &candidates, &telemetry));
+  }
+  telemetry.candidates_after_merging = static_cast<int>(
+      candidates.splits.size() + candidates.merges.size());
+
+  // --- Build the initial fully split mapping M0 (Fig. 3 line 2) and the
+  // merge counterparts of the applied splits. ---
+  std::vector<Transform> loop_candidates = candidates.merges;
+  for (const Transform& split : candidates.splits) {
+    Result<int> anchor = ApplyTransform(work_tree.get(), split);
+    if (!anchor.ok()) continue;  // conflicting split on the same context
+    Transform counterpart;
+    switch (split.kind) {
+      case TransformKind::kUnionDistribute:
+        counterpart.kind = TransformKind::kUnionFactorize;
+        counterpart.target = *anchor;
+        loop_candidates.push_back(counterpart);
+        break;
+      case TransformKind::kRepetitionSplit:
+        counterpart.kind = TransformKind::kRepetitionMerge;
+        counterpart.target = *anchor;
+        loop_candidates.push_back(counterpart);
+        break;
+      default:
+        break;  // type splits are undone by the type-merge candidates
+    }
+  }
+  if (options.prune_subsumed) FullyInline(work_tree.get());
+
+  // --- Initial configuration (Fig. 3 lines 4-5). ---
+  XS_ASSIGN_OR_RETURN(CurrentState current,
+                      FullCost(problem, std::move(work_tree), &telemetry));
+
+  // --- Greedy loop (Fig. 3 lines 6-19). ---
+  std::vector<bool> consumed(loop_candidates.size(), false);
+  for (int round = 0; round < options.max_rounds; ++round) {
+    ++telemetry.rounds;
+    int best = -1;
+    double best_cost = current.cost;
+    std::unique_ptr<SchemaTree> best_tree;
+
+    // The no-subsumed-pruning ablation additionally enumerates the
+    // subsumed outline/inline transformations each round.
+    std::vector<Transform> extra;
+    if (!options.prune_subsumed) {
+      for (Transform& t :
+           EnumerateTransforms(*current.tree, options.cmax)) {
+        if (t.kind == TransformKind::kOutline ||
+            t.kind == TransformKind::kInline) {
+          extra.push_back(std::move(t));
+        }
+      }
+    }
+
+    auto try_candidate = [&](const Transform& candidate,
+                             int index) -> Status {
+      std::unique_ptr<SchemaTree> cand_tree = current.tree->Clone();
+      Result<int> applied = ApplyTransform(cand_tree.get(), candidate);
+      if (!applied.ok()) return Status::OK();  // no longer applicable
+      if (options.prune_subsumed) FullyInline(cand_tree.get());
+      ++telemetry.transformations_searched;
+      Result<double> cost =
+          CostCandidate(problem, *cand_tree, current, candidate,
+                        options.cost_derivation, &telemetry);
+      if (!cost.ok()) return cost.status();
+      if (*cost < best_cost * (1 - 1e-9)) {
+        best_cost = *cost;
+        best = index;
+        best_tree = std::move(cand_tree);
+      }
+      return Status::OK();
+    };
+
+    for (size_t c = 0; c < loop_candidates.size(); ++c) {
+      if (consumed[c]) continue;
+      XS_RETURN_IF_ERROR(
+          try_candidate(loop_candidates[c], static_cast<int>(c)));
+    }
+    for (size_t e = 0; e < extra.size(); ++e) {
+      XS_RETURN_IF_ERROR(try_candidate(
+          extra[e], static_cast<int>(loop_candidates.size() + e)));
+    }
+
+    if (best < 0 || best_tree == nullptr) break;
+    if (best < static_cast<int>(loop_candidates.size())) {
+      consumed[static_cast<size_t>(best)] = true;
+    }
+    // Fig. 3 line 18: re-estimate the chosen mapping without derivation.
+    XS_ASSIGN_OR_RETURN(
+        current, FullCost(problem, std::move(best_tree), &telemetry));
+  }
+
+  result.tree = std::move(current.tree);
+  result.mapping = std::move(current.mapping);
+  result.configuration = std::move(current.config);
+  result.estimated_cost = current.cost;
+  telemetry.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+Result<SearchResult> NaiveGreedySearch(const DesignProblem& problem,
+                                       const NaiveOptions& options) {
+  auto start = std::chrono::steady_clock::now();
+  SearchResult result;
+  result.algorithm = "naive-greedy";
+  SearchTelemetry& telemetry = result.telemetry;
+
+  XS_ASSIGN_OR_RETURN(
+      CurrentState current,
+      FullCost(problem, problem.tree->Clone(), &telemetry));
+
+  for (int round = 0; round < options.max_rounds; ++round) {
+    ++telemetry.rounds;
+    std::vector<Transform> transforms =
+        EnumerateTransforms(*current.tree, options.default_split_count);
+    double best_cost = current.cost;
+    std::unique_ptr<SchemaTree> best_tree;
+    for (const Transform& t : transforms) {
+      std::unique_ptr<SchemaTree> cand_tree = current.tree->Clone();
+      if (!ApplyTransform(cand_tree.get(), t).ok()) continue;
+      ++telemetry.transformations_searched;
+      auto costed = CostMapping(problem, *cand_tree, &telemetry);
+      if (!costed.ok()) continue;  // e.g. a mapping the workload cannot use
+      if (costed->cost < best_cost * (1 - 1e-9)) {
+        best_cost = costed->cost;
+        best_tree = std::move(cand_tree);
+      }
+    }
+    if (best_tree == nullptr) break;
+    XS_ASSIGN_OR_RETURN(
+        current, FullCost(problem, std::move(best_tree), &telemetry));
+  }
+
+  result.tree = std::move(current.tree);
+  result.mapping = std::move(current.mapping);
+  result.configuration = std::move(current.config);
+  result.estimated_cost = current.cost;
+  telemetry.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+namespace {
+
+// Phase-1 cost for Two-Step: optimizer estimate with only the default
+// clustered ID index and nonclustered PID index per relation (§5.1.1).
+Result<double> TwoStepLogicalCost(const DesignProblem& problem,
+                                  const SchemaTree& tree,
+                                  SearchTelemetry* telemetry) {
+  XS_ASSIGN_OR_RETURN(Mapping mapping, Mapping::Build(tree));
+  CatalogDesc catalog = problem.stats->DeriveCatalog(tree, mapping);
+  for (const auto& [name, table] : catalog.tables) {
+    IndexDesc id_index;
+    id_index.def.name = "pk_" + name;
+    id_index.def.table = name;
+    id_index.def.key_columns = {table.schema.id_column};
+    id_index.def.unique = true;
+    id_index.entry_count = table.row_count();
+    id_index.entry_bytes = 16.0;
+    catalog.indexes.push_back(std::move(id_index));
+    if (table.schema.pid_column >= 0) {
+      IndexDesc pid_index;
+      pid_index.def.name = "fk_" + name;
+      pid_index.def.table = name;
+      pid_index.def.key_columns = {table.schema.pid_column};
+      pid_index.entry_count = table.row_count();
+      pid_index.entry_bytes = 16.0;
+      catalog.indexes.push_back(std::move(pid_index));
+    }
+  }
+  XS_ASSIGN_OR_RETURN(std::vector<WeightedQuery> workload,
+                      TranslateWorkload(problem.workload, tree, mapping));
+  double total = 0;
+  for (const WeightedQuery& wq : workload) {
+    XS_ASSIGN_OR_RETURN(BoundQuery bound, BindQuery(wq.query, catalog));
+    XS_ASSIGN_OR_RETURN(PlannedQuery planned, PlanQuery(bound, catalog));
+    ++telemetry->optimizer_calls;
+    total += wq.weight * planned.est_cost;
+  }
+  return total;
+}
+
+}  // namespace
+
+Result<SearchResult> TwoStepSearch(const DesignProblem& problem,
+                                   const NaiveOptions& options) {
+  auto start = std::chrono::steady_clock::now();
+  SearchResult result;
+  result.algorithm = "two-step";
+  SearchTelemetry& telemetry = result.telemetry;
+
+  std::unique_ptr<SchemaTree> current = problem.tree->Clone();
+  XS_ASSIGN_OR_RETURN(double current_cost,
+                      TwoStepLogicalCost(problem, *current, &telemetry));
+
+  for (int round = 0; round < options.max_rounds; ++round) {
+    ++telemetry.rounds;
+    std::vector<Transform> transforms =
+        EnumerateTransforms(*current, options.default_split_count);
+    double best_cost = current_cost;
+    std::unique_ptr<SchemaTree> best_tree;
+    for (const Transform& t : transforms) {
+      std::unique_ptr<SchemaTree> cand_tree = current->Clone();
+      if (!ApplyTransform(cand_tree.get(), t).ok()) continue;
+      ++telemetry.transformations_searched;
+      auto cost = TwoStepLogicalCost(problem, *cand_tree, &telemetry);
+      if (!cost.ok()) continue;
+      if (*cost < best_cost * (1 - 1e-9)) {
+        best_cost = *cost;
+        best_tree = std::move(cand_tree);
+      }
+    }
+    if (best_tree == nullptr) break;
+    current = std::move(best_tree);
+    current_cost = best_cost;
+  }
+
+  // Phase 2: physical design once on the chosen logical mapping.
+  XS_ASSIGN_OR_RETURN(CurrentState final_state,
+                      FullCost(problem, std::move(current), &telemetry));
+  result.tree = std::move(final_state.tree);
+  result.mapping = std::move(final_state.mapping);
+  result.configuration = std::move(final_state.config);
+  result.estimated_cost = final_state.cost;
+  telemetry.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace xmlshred

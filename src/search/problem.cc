@@ -1,0 +1,104 @@
+#include "search/problem.h"
+
+#include <chrono>
+
+#include "mapping/transforms.h"
+#include "xpath/translator.h"
+
+namespace xmlshred {
+
+Result<std::vector<WeightedQuery>> TranslateWorkload(
+    const XPathWorkload& workload, const SchemaTree& tree,
+    const Mapping& mapping) {
+  std::vector<WeightedQuery> out;
+  out.reserve(workload.size());
+  for (const XPathQuery& query : workload) {
+    XS_ASSIGN_OR_RETURN(TranslatedQuery translated,
+                        TranslateXPath(query, tree, mapping));
+    out.push_back({std::move(translated.sql), query.weight});
+  }
+  return out;
+}
+
+std::vector<UpdateRate> ComputeUpdateRates(const DesignProblem& problem,
+                                           const SchemaTree& tree,
+                                           const Mapping& mapping) {
+  std::vector<UpdateRate> rates;
+  if (problem.updates.empty()) return rates;
+  for (const MappedRelation& relation : mapping.relations()) {
+    double rows = 0;
+    for (const XmlUpdateLoad& load : problem.updates) {
+      int64_t context_count = 0;
+      for (SchemaNode* ctx : const_cast<SchemaTree&>(tree).FindTagsByName(
+               load.context_element)) {
+        context_count += problem.stats->ElementCount(ctx->origin_id());
+      }
+      if (context_count == 0) continue;
+      for (int anchor_id : relation.anchor_node_ids) {
+        const SchemaNode* anchor = tree.FindNode(anchor_id);
+        // The anchor is affected when it is (a copy of) the inserted
+        // element or lies inside its subtree.
+        bool affected = false;
+        for (const SchemaNode* p = anchor; p != nullptr; p = p->parent()) {
+          if (p->kind() == SchemaNodeKind::kTag &&
+              p->name() == load.context_element) {
+            affected = true;
+            break;
+          }
+        }
+        if (!affected) continue;
+        double fanout =
+            static_cast<double>(
+                problem.stats->ElementCount(anchor->origin_id())) /
+            static_cast<double>(context_count);
+        rows += load.weight * fanout;
+      }
+    }
+    if (rows > 0) rates.push_back({relation.table_name, rows});
+  }
+  return rates;
+}
+
+Result<CostedMapping> CostMapping(const DesignProblem& problem,
+                                  const SchemaTree& tree,
+                                  SearchTelemetry* telemetry) {
+  XS_ASSIGN_OR_RETURN(Mapping mapping, Mapping::Build(tree));
+  CatalogDesc catalog = problem.stats->DeriveCatalog(tree, mapping);
+  XS_ASSIGN_OR_RETURN(std::vector<WeightedQuery> workload,
+                      TranslateWorkload(problem.workload, tree, mapping));
+  TunerOptions options = problem.tuner_options;
+  options.storage_bound_pages = problem.storage_bound_pages;
+  PhysicalDesignAdvisor advisor(options);
+  std::vector<UpdateRate> rates = ComputeUpdateRates(problem, tree, mapping);
+  XS_ASSIGN_OR_RETURN(TunerResult config,
+                      advisor.Tune(workload, catalog, 0, rates));
+  if (telemetry != nullptr) {
+    ++telemetry->tuner_calls;
+    telemetry->optimizer_calls += config.optimizer_calls;
+  }
+  CostedMapping out;
+  out.mapping = std::move(mapping);
+  out.cost = config.total_cost;
+  out.configuration = std::move(config);
+  return out;
+}
+
+Result<SearchResult> EvaluateHybridInline(const DesignProblem& problem) {
+  auto start = std::chrono::steady_clock::now();
+  SearchResult result;
+  result.algorithm = "hybrid-inline";
+  result.tree = problem.tree->Clone();
+  FullyInline(result.tree.get());
+  XS_ASSIGN_OR_RETURN(
+      CostedMapping costed,
+      CostMapping(problem, *result.tree, &result.telemetry));
+  result.mapping = std::move(costed.mapping);
+  result.configuration = std::move(costed.configuration);
+  result.estimated_cost = costed.cost;
+  result.telemetry.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace xmlshred

@@ -1,0 +1,100 @@
+// Problem definition (paper Definition 1) and shared search plumbing.
+//
+// Given an XSD schema tree T, an XPath workload W = {(Q_i, f_i)}, and a
+// storage bound S, find a mapping M : T -> R and a physical configuration
+// F on R within S minimizing sum_i f_i * cost(Q_i, R, F).
+
+#ifndef XMLSHRED_SEARCH_PROBLEM_H_
+#define XMLSHRED_SEARCH_PROBLEM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mapping/mapping.h"
+#include "mapping/xml_stats.h"
+#include "tune/advisor.h"
+#include "xml/schema_tree.h"
+#include "xpath/xpath.h"
+
+namespace xmlshred {
+
+// Insert load on one XML element type: `weight` new instances of
+// `context_element` per workload unit. The update-queries extension the
+// paper marks as future work: maintenance charges steer the physical
+// design away from structures on update-heavy relations.
+struct XmlUpdateLoad {
+  std::string context_element;
+  double weight = 1.0;
+};
+
+struct DesignProblem {
+  const SchemaTree* tree = nullptr;       // original annotated schema
+  const XmlStatistics* stats = nullptr;   // collected once from the data
+  XPathWorkload workload;
+  std::vector<XmlUpdateLoad> updates;     // optional insert load
+  int64_t storage_bound_pages = 1LL << 40;
+  TunerOptions tuner_options;             // storage bound is set per call
+};
+
+struct SearchTelemetry {
+  // Transformations whose resulting mapping was costed (the paper's
+  // Fig. 6 metric).
+  int transformations_searched = 0;
+  // Full physical-design-tool invocations.
+  int tuner_calls = 0;
+  // Query-optimizer invocations across all tuner calls.
+  int optimizer_calls = 0;
+  // Queries whose cost was reused through cost derivation (§4.8).
+  int queries_derived = 0;
+  int candidates_selected = 0;     // after candidate selection (§4.5)
+  int candidates_after_merging = 0;  // after candidate merging (§4.7)
+  int rounds = 0;
+  double elapsed_seconds = 0;
+};
+
+struct SearchResult {
+  std::unique_ptr<SchemaTree> tree;  // final transformed schema
+  Mapping mapping;
+  TunerResult configuration;
+  double estimated_cost = 0;  // weighted optimizer-estimated workload cost
+  SearchTelemetry telemetry;
+  std::string algorithm;
+};
+
+// --- shared plumbing used by all search algorithms ---
+
+// Translates the XPath workload to weighted SQL under `mapping`. Queries a
+// mapping cannot answer (none in generated workloads) fail the call.
+Result<std::vector<WeightedQuery>> TranslateWorkload(
+    const XPathWorkload& workload, const SchemaTree& tree,
+    const Mapping& mapping);
+
+// Builds the mapping for `tree`, derives its catalog from statistics,
+// translates the workload, and runs the physical design tool. The core
+// "cost one mapping" step every algorithm loops over.
+struct CostedMapping {
+  Mapping mapping;
+  TunerResult configuration;
+  double cost = 0;
+};
+Result<CostedMapping> CostMapping(const DesignProblem& problem,
+                                  const SchemaTree& tree,
+                                  SearchTelemetry* telemetry);
+
+// Converts the problem's XML-level insert loads into per-relation row
+// rates under `mapping`: a new context instance contributes rows to its
+// own relation and (scaled by average fanout) to every descendant
+// relation.
+std::vector<UpdateRate> ComputeUpdateRates(const DesignProblem& problem,
+                                           const SchemaTree& tree,
+                                           const Mapping& mapping);
+
+// Evaluates the hybrid-inlining mapping (Shanmugasundaram et al.) with a
+// tuned physical configuration — the normalization baseline of Section 5.
+Result<SearchResult> EvaluateHybridInline(const DesignProblem& problem);
+
+}  // namespace xmlshred
+
+#endif  // XMLSHRED_SEARCH_PROBLEM_H_

@@ -1,0 +1,80 @@
+#include "sql/ast.h"
+
+#include "common/strings.h"
+
+namespace xmlshred {
+
+namespace {
+
+std::string ItemToSql(const SelectItem& item) {
+  std::string out;
+  if (item.is_null_literal) {
+    out = "NULL";
+  } else if (item.table_alias.empty()) {
+    out = item.column;
+  } else {
+    out = item.table_alias + "." + item.column;
+  }
+  if (!item.output_name.empty()) out += " AS " + item.output_name;
+  return out;
+}
+
+std::string BlockToSql(const SelectBlock& block) {
+  std::string out = "SELECT ";
+  for (size_t i = 0; i < block.items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += ItemToSql(block.items[i]);
+  }
+  out += " FROM ";
+  for (size_t i = 0; i < block.tables.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += block.tables[i].table;
+    if (!block.tables[i].alias.empty() &&
+        block.tables[i].alias != block.tables[i].table) {
+      out += " " + block.tables[i].alias;
+    }
+  }
+  bool first = true;
+  auto conj = [&first, &out]() {
+    out += first ? " WHERE " : " AND ";
+    first = false;
+  };
+  auto qualify = [](const std::string& alias, const std::string& column) {
+    return alias.empty() ? column : alias + "." + column;
+  };
+  for (const JoinPred& j : block.joins) {
+    conj();
+    out += qualify(j.left_alias, j.left_column) + " = " +
+           qualify(j.right_alias, j.right_column);
+  }
+  for (const FilterPred& f : block.filters) {
+    conj();
+    if (EqualsIgnoreCase(f.op, "is not null")) {
+      out += qualify(f.table, f.column) + " IS NOT NULL";
+    } else {
+      out += qualify(f.table, f.column) + " " + f.op + " " +
+             f.literal.ToString();
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Query::ToSql() const {
+  std::string out;
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    if (i > 0) out += " UNION ALL ";
+    out += BlockToSql(blocks[i]);
+  }
+  if (!order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(order_by[i] + 1);  // SQL ordinals are 1-based
+    }
+  }
+  return out;
+}
+
+}  // namespace xmlshred

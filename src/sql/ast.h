@@ -1,0 +1,86 @@
+// SQL abstract syntax for the subset the system needs.
+//
+// The sorted-outer-union translation of XPath (paper Section 1.1, [21])
+// produces queries of the shape
+//
+//   SELECT ... FROM t1 [, t2 ...] WHERE <equi-joins> AND <simple filters>
+//   UNION ALL
+//   ...
+//   ORDER BY <output column>
+//
+// so the AST models exactly that: a list of select blocks combined with
+// UNION ALL, each block a conjunctive select-project-join over named
+// tables, plus a final ORDER BY on output ordinals. Select items are
+// column references or typed NULL literals (needed to pad outer-union
+// branches).
+
+#ifndef XMLSHRED_SQL_AST_H_
+#define XMLSHRED_SQL_AST_H_
+
+#include <string>
+#include <vector>
+
+#include "rel/value.h"
+#include "rel/view.h"
+
+namespace xmlshred {
+
+struct SelectItem {
+  bool is_null_literal = false;
+  std::string table_alias;  // empty if unqualified
+  std::string column;       // unset for NULL literals
+  std::string output_name;  // AS name; may be empty
+
+  static SelectItem Column(std::string alias, std::string column_name) {
+    SelectItem item;
+    item.table_alias = std::move(alias);
+    item.column = std::move(column_name);
+    return item;
+  }
+  static SelectItem NullLiteral() {
+    SelectItem item;
+    item.is_null_literal = true;
+    return item;
+  }
+};
+
+struct TableRef {
+  std::string table;
+  std::string alias;  // defaults to table name
+};
+
+// Equality join predicate a.x = b.y.
+struct JoinPred {
+  std::string left_alias;
+  std::string left_column;
+  std::string right_alias;
+  std::string right_column;
+};
+
+// A filter predicate alias.column <op> literal, op in
+// {=, <, <=, >, >=, IS NOT NULL}. Reuses SimplePred with `table` holding
+// the alias.
+using FilterPred = SimplePred;
+
+struct SelectBlock {
+  std::vector<SelectItem> items;
+  std::vector<TableRef> tables;
+  std::vector<JoinPred> joins;
+  std::vector<FilterPred> filters;
+};
+
+struct Query {
+  std::vector<SelectBlock> blocks;  // combined with UNION ALL
+  std::vector<int> order_by;        // output ordinals, ascending
+
+  int num_output_columns() const {
+    return blocks.empty() ? 0 : static_cast<int>(blocks[0].items.size());
+  }
+
+  // Renders the query as SQL text.
+  std::string ToSql() const;
+};
+
+}  // namespace xmlshred
+
+#endif  // XMLSHRED_SQL_AST_H_

@@ -1,0 +1,130 @@
+#include "sql/binder.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+
+namespace xmlshred {
+
+std::vector<int> BoundBlock::ReferencedColumns(int table_idx) const {
+  std::set<int> cols;
+  for (const BoundItem& item : items) {
+    if (!item.is_null_literal && item.ref.table_idx == table_idx) {
+      cols.insert(item.ref.column);
+    }
+  }
+  for (const BoundJoin& join : joins) {
+    if (join.left.table_idx == table_idx) cols.insert(join.left.column);
+    if (join.right.table_idx == table_idx) cols.insert(join.right.column);
+  }
+  for (const BoundFilter& filter : filters) {
+    if (filter.ref.table_idx == table_idx) cols.insert(filter.ref.column);
+  }
+  return std::vector<int>(cols.begin(), cols.end());
+}
+
+namespace {
+
+class BlockBinder {
+ public:
+  BlockBinder(const SelectBlock& block, const CatalogDesc& catalog)
+      : block_(block), catalog_(catalog) {}
+
+  Result<BoundBlock> Bind() {
+    BoundBlock bound;
+    for (const TableRef& ref : block_.tables) {
+      const TableDesc* table = catalog_.FindTable(ref.table);
+      if (table == nullptr) return NotFound("table " + ref.table);
+      bound.tables.push_back(ref.table);
+      bound.aliases.push_back(ref.alias.empty() ? ref.table : ref.alias);
+      schemas_.push_back(&table->schema);
+    }
+    bound_ = &bound;
+    for (const SelectItem& item : block_.items) {
+      BoundItem bi;
+      if (item.is_null_literal) {
+        bi.is_null_literal = true;
+      } else {
+        XS_ASSIGN_OR_RETURN(bi.ref,
+                            Resolve(item.table_alias, item.column));
+      }
+      bound.items.push_back(bi);
+    }
+    for (const JoinPred& join : block_.joins) {
+      BoundJoin bj;
+      XS_ASSIGN_OR_RETURN(bj.left, Resolve(join.left_alias, join.left_column));
+      XS_ASSIGN_OR_RETURN(bj.right,
+                          Resolve(join.right_alias, join.right_column));
+      bound.joins.push_back(bj);
+    }
+    for (const FilterPred& filter : block_.filters) {
+      BoundFilter bf;
+      XS_ASSIGN_OR_RETURN(bf.ref, Resolve(filter.table, filter.column));
+      bf.op = AsciiToLower(filter.op);
+      bf.literal = filter.literal;
+      bound.filters.push_back(std::move(bf));
+    }
+    return bound;
+  }
+
+ private:
+  Result<BoundColumnRef> Resolve(const std::string& alias,
+                                 const std::string& column) {
+    BoundColumnRef ref;
+    if (!alias.empty()) {
+      for (size_t i = 0; i < bound_->aliases.size(); ++i) {
+        if (EqualsIgnoreCase(bound_->aliases[i], alias)) {
+          int ord = schemas_[i]->FindColumn(column);
+          if (ord < 0) {
+            return NotFound("column " + column + " in " + bound_->tables[i]);
+          }
+          ref.table_idx = static_cast<int>(i);
+          ref.column = ord;
+          return ref;
+        }
+      }
+      return NotFound("alias " + alias);
+    }
+    // Unqualified: must resolve in exactly one table.
+    int found = -1;
+    for (size_t i = 0; i < schemas_.size(); ++i) {
+      int ord = schemas_[i]->FindColumn(column);
+      if (ord >= 0) {
+        if (found >= 0) return InvalidArgument("ambiguous column " + column);
+        found = static_cast<int>(i);
+        ref.table_idx = found;
+        ref.column = ord;
+      }
+    }
+    if (found < 0) return NotFound("column " + column);
+    return ref;
+  }
+
+  const SelectBlock& block_;
+  const CatalogDesc& catalog_;
+  BoundBlock* bound_ = nullptr;
+  std::vector<const TableSchema*> schemas_;
+};
+
+}  // namespace
+
+Result<BoundQuery> BindQuery(const Query& query, const CatalogDesc& catalog) {
+  if (query.blocks.empty()) return InvalidArgument("query has no blocks");
+  BoundQuery bound;
+  for (const SelectBlock& block : query.blocks) {
+    BlockBinder binder(block, catalog);
+    XS_ASSIGN_OR_RETURN(BoundBlock bb, binder.Bind());
+    bound.blocks.push_back(std::move(bb));
+  }
+  bound.num_output_columns = query.num_output_columns();
+  for (int ord : query.order_by) {
+    if (ord < 0 || ord >= bound.num_output_columns) {
+      return OutOfRange("ORDER BY ordinal");
+    }
+  }
+  bound.order_by = query.order_by;
+  return bound;
+}
+
+}  // namespace xmlshred

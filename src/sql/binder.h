@@ -1,0 +1,62 @@
+// Binds a SQL AST against a catalog: resolves aliases to tables and column
+// names to ordinals. The optimizer consumes BoundQuery.
+
+#ifndef XMLSHRED_SQL_BINDER_H_
+#define XMLSHRED_SQL_BINDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rel/catalog.h"
+#include "sql/ast.h"
+
+namespace xmlshred {
+
+// A column of the i-th table in the block's FROM list.
+struct BoundColumnRef {
+  int table_idx = -1;
+  int column = -1;
+};
+
+struct BoundItem {
+  bool is_null_literal = false;
+  BoundColumnRef ref;  // valid when !is_null_literal
+};
+
+struct BoundJoin {
+  BoundColumnRef left;
+  BoundColumnRef right;
+};
+
+struct BoundFilter {
+  BoundColumnRef ref;
+  std::string op;  // =, <, <=, >, >=, "is not null"
+  Value literal;
+};
+
+struct BoundBlock {
+  std::vector<std::string> tables;  // resolved table names per FROM entry
+  std::vector<std::string> aliases;
+  std::vector<BoundItem> items;
+  std::vector<BoundJoin> joins;
+  std::vector<BoundFilter> filters;
+
+  // Ordinals of every column of table `table_idx` referenced anywhere in
+  // this block (select items, joins, filters), ascending and de-duplicated.
+  std::vector<int> ReferencedColumns(int table_idx) const;
+};
+
+struct BoundQuery {
+  std::vector<BoundBlock> blocks;
+  std::vector<int> order_by;  // output ordinals
+  int num_output_columns = 0;
+};
+
+// Binds `query` against `catalog`. Fails with NotFound / InvalidArgument on
+// unknown tables or columns, or on ambiguous unqualified references.
+Result<BoundQuery> BindQuery(const Query& query, const CatalogDesc& catalog);
+
+}  // namespace xmlshred
+
+#endif  // XMLSHRED_SQL_BINDER_H_

@@ -1,0 +1,375 @@
+#include "sql/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace xmlshred {
+
+namespace {
+
+enum class TokenKind {
+  kIdent,
+  kString,
+  kNumber,
+  kSymbol,  // punctuation and comparison operators
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view sql) : sql_(sql) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    while (pos_ < sql_.size()) {
+      char c = sql_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = pos_;
+        while (pos_ < sql_.size() &&
+               (std::isalnum(static_cast<unsigned char>(sql_[pos_])) ||
+                sql_[pos_] == '_')) {
+          ++pos_;
+        }
+        tokens.push_back(
+            {TokenKind::kIdent, std::string(sql_.substr(start, pos_ - start))});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '-' && pos_ + 1 < sql_.size() &&
+           std::isdigit(static_cast<unsigned char>(sql_[pos_ + 1])))) {
+        size_t start = pos_;
+        ++pos_;
+        while (pos_ < sql_.size() &&
+               (std::isdigit(static_cast<unsigned char>(sql_[pos_])) ||
+                sql_[pos_] == '.')) {
+          ++pos_;
+        }
+        tokens.push_back(
+            {TokenKind::kNumber, std::string(sql_.substr(start, pos_ - start))});
+        continue;
+      }
+      if (c == '\'') {
+        ++pos_;
+        std::string text;
+        while (pos_ < sql_.size() && sql_[pos_] != '\'') {
+          text.push_back(sql_[pos_++]);
+        }
+        if (pos_ >= sql_.size()) {
+          return InvalidArgument("unterminated string literal");
+        }
+        ++pos_;  // closing quote
+        tokens.push_back({TokenKind::kString, std::move(text)});
+        continue;
+      }
+      if (c == '<' || c == '>') {
+        std::string op(1, c);
+        ++pos_;
+        if (pos_ < sql_.size() && sql_[pos_] == '=') {
+          op.push_back('=');
+          ++pos_;
+        }
+        tokens.push_back({TokenKind::kSymbol, std::move(op)});
+        continue;
+      }
+      if (c == '=' || c == ',' || c == '.' || c == '(' || c == ')' ||
+          c == '*') {
+        tokens.push_back({TokenKind::kSymbol, std::string(1, c)});
+        ++pos_;
+        continue;
+      }
+      return InvalidArgument(StrFormat("unexpected character '%c'", c));
+    }
+    tokens.push_back({TokenKind::kEnd, ""});
+    return tokens;
+  }
+
+ private:
+  std::string_view sql_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Query> ParseQuery() {
+    Query query;
+    XS_ASSIGN_OR_RETURN(SelectBlock first, ParseBlock());
+    query.blocks.push_back(std::move(first));
+    while (ConsumeKeyword("union")) {
+      if (!ConsumeKeyword("all")) {
+        return InvalidArgument("expected ALL after UNION");
+      }
+      XS_ASSIGN_OR_RETURN(SelectBlock block, ParseBlock());
+      if (block.items.size() != query.blocks[0].items.size()) {
+        return InvalidArgument("UNION ALL blocks have differing arity");
+      }
+      query.blocks.push_back(std::move(block));
+    }
+    if (ConsumeKeyword("order")) {
+      if (!ConsumeKeyword("by")) {
+        return InvalidArgument("expected BY after ORDER");
+      }
+      do {
+        const Token& tok = Peek();
+        if (tok.kind == TokenKind::kNumber) {
+          int ordinal = std::atoi(tok.text.c_str());
+          if (ordinal < 1 ||
+              ordinal > static_cast<int>(query.blocks[0].items.size())) {
+            return OutOfRange("ORDER BY ordinal " + tok.text);
+          }
+          query.order_by.push_back(ordinal - 1);
+          Advance();
+        } else if (tok.kind == TokenKind::kIdent) {
+          // Resolve by output name or by select-item column name.
+          XS_ASSIGN_OR_RETURN(int ordinal, ResolveOrderColumn(query, tok.text));
+          query.order_by.push_back(ordinal);
+          Advance();
+          // Allow qualified name: skip ".col" — qualification is redundant
+          // for ORDER BY resolution in this subset.
+          if (PeekSymbol(".")) {
+            Advance();
+            if (Peek().kind != TokenKind::kIdent) {
+              return InvalidArgument("expected identifier after '.'");
+            }
+            XS_ASSIGN_OR_RETURN(ordinal,
+                                ResolveOrderColumn(query, Peek().text));
+            query.order_by.back() = ordinal;
+            Advance();
+          }
+        } else {
+          return InvalidArgument("expected ORDER BY column");
+        }
+      } while (ConsumeSymbol(","));
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return InvalidArgument("trailing tokens after query: " + Peek().text);
+    }
+    return query;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+  bool PeekKeyword(std::string_view kw, size_t ahead = 0) const {
+    const Token& tok = Peek(ahead);
+    return tok.kind == TokenKind::kIdent && EqualsIgnoreCase(tok.text, kw);
+  }
+  bool ConsumeKeyword(std::string_view kw) {
+    if (!PeekKeyword(kw)) return false;
+    Advance();
+    return true;
+  }
+  bool PeekSymbol(std::string_view sym, size_t ahead = 0) const {
+    const Token& tok = Peek(ahead);
+    return tok.kind == TokenKind::kSymbol && tok.text == sym;
+  }
+  bool ConsumeSymbol(std::string_view sym) {
+    if (!PeekSymbol(sym)) return false;
+    Advance();
+    return true;
+  }
+
+  static Result<int> ResolveOrderColumn(const Query& query,
+                                        const std::string& name) {
+    const SelectBlock& block = query.blocks[0];
+    for (size_t i = 0; i < block.items.size(); ++i) {
+      const SelectItem& item = block.items[i];
+      if (EqualsIgnoreCase(item.output_name, name) ||
+          (!item.is_null_literal && EqualsIgnoreCase(item.column, name))) {
+        return static_cast<int>(i);
+      }
+    }
+    return NotFound("ORDER BY column " + name);
+  }
+
+  Result<SelectBlock> ParseBlock() {
+    if (!ConsumeKeyword("select")) {
+      return InvalidArgument("expected SELECT, got " + Peek().text);
+    }
+    SelectBlock block;
+    do {
+      XS_ASSIGN_OR_RETURN(SelectItem item, ParseItem());
+      block.items.push_back(std::move(item));
+    } while (ConsumeSymbol(","));
+    if (!ConsumeKeyword("from")) {
+      return InvalidArgument("expected FROM, got " + Peek().text);
+    }
+    do {
+      const Token& tok = Peek();
+      if (tok.kind != TokenKind::kIdent) {
+        return InvalidArgument("expected table name");
+      }
+      TableRef ref;
+      ref.table = tok.text;
+      ref.alias = tok.text;
+      Advance();
+      // Optional alias: an identifier that is not a clause keyword.
+      if (Peek().kind == TokenKind::kIdent && !PeekKeyword("where") &&
+          !PeekKeyword("union") && !PeekKeyword("order")) {
+        ref.alias = Peek().text;
+        Advance();
+      }
+      block.tables.push_back(std::move(ref));
+    } while (ConsumeSymbol(","));
+    if (ConsumeKeyword("where")) {
+      do {
+        XS_RETURN_IF_ERROR(ParsePredicate(&block));
+      } while (ConsumeKeyword("and"));
+    }
+    return block;
+  }
+
+  Result<SelectItem> ParseItem() {
+    if (PeekKeyword("null")) {
+      Advance();
+      SelectItem item = SelectItem::NullLiteral();
+      if (ConsumeKeyword("as")) {
+        if (Peek().kind != TokenKind::kIdent) {
+          return InvalidArgument("expected alias after AS");
+        }
+        item.output_name = Peek().text;
+        Advance();
+      }
+      return item;
+    }
+    if (Peek().kind != TokenKind::kIdent) {
+      return InvalidArgument("expected select item, got " + Peek().text);
+    }
+    std::string first = Peek().text;
+    Advance();
+    SelectItem item;
+    if (ConsumeSymbol(".")) {
+      if (Peek().kind != TokenKind::kIdent) {
+        return InvalidArgument("expected column after '.'");
+      }
+      item.table_alias = first;
+      item.column = Peek().text;
+      Advance();
+    } else {
+      item.column = first;
+    }
+    if (ConsumeKeyword("as")) {
+      if (Peek().kind != TokenKind::kIdent) {
+        return InvalidArgument("expected alias after AS");
+      }
+      item.output_name = Peek().text;
+      Advance();
+    }
+    return item;
+  }
+
+  // Parses one predicate and appends it to block->joins or block->filters.
+  Status ParsePredicate(SelectBlock* block) {
+    if (Peek().kind != TokenKind::kIdent) {
+      return InvalidArgument("expected predicate column");
+    }
+    std::string alias;
+    std::string column = Peek().text;
+    Advance();
+    if (ConsumeSymbol(".")) {
+      alias = column;
+      if (Peek().kind != TokenKind::kIdent) {
+        return InvalidArgument("expected column after '.'");
+      }
+      column = Peek().text;
+      Advance();
+    }
+    if (PeekKeyword("is")) {
+      Advance();
+      if (!ConsumeKeyword("not") || !ConsumeKeyword("null")) {
+        return InvalidArgument("expected IS NOT NULL");
+      }
+      FilterPred pred;
+      pred.table = alias;
+      pred.column = column;
+      pred.op = "is not null";
+      block->filters.push_back(std::move(pred));
+      return Status::OK();
+    }
+    const Token& op_tok = Peek();
+    if (op_tok.kind != TokenKind::kSymbol ||
+        (op_tok.text != "=" && op_tok.text != "<" && op_tok.text != "<=" &&
+         op_tok.text != ">" && op_tok.text != ">=")) {
+      return InvalidArgument("expected comparison operator, got " +
+                             op_tok.text);
+    }
+    std::string op = op_tok.text;
+    Advance();
+    const Token& rhs = Peek();
+    if (rhs.kind == TokenKind::kIdent) {
+      // Column = column: only equality joins are supported.
+      if (op != "=") {
+        return Unimplemented("non-equality join predicate");
+      }
+      std::string ralias;
+      std::string rcolumn = rhs.text;
+      Advance();
+      if (ConsumeSymbol(".")) {
+        ralias = rcolumn;
+        if (Peek().kind != TokenKind::kIdent) {
+          return InvalidArgument("expected column after '.'");
+        }
+        rcolumn = Peek().text;
+        Advance();
+      }
+      JoinPred join;
+      join.left_alias = alias;
+      join.left_column = column;
+      join.right_alias = ralias;
+      join.right_column = rcolumn;
+      block->joins.push_back(std::move(join));
+      return Status::OK();
+    }
+    FilterPred pred;
+    pred.table = alias;
+    pred.column = column;
+    pred.op = op;
+    if (rhs.kind == TokenKind::kString) {
+      pred.literal = Value::Str(rhs.text);
+    } else if (rhs.kind == TokenKind::kNumber) {
+      if (rhs.text.find('.') != std::string::npos) {
+        pred.literal = Value::Real(std::atof(rhs.text.c_str()));
+      } else {
+        pred.literal = Value::Int(std::atoll(rhs.text.c_str()));
+      }
+    } else {
+      return InvalidArgument("expected literal, got " + rhs.text);
+    }
+    Advance();
+    block->filters.push_back(std::move(pred));
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Query> ParseSql(std::string_view sql) {
+  Lexer lexer(sql);
+  XS_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.ParseQuery();
+}
+
+}  // namespace xmlshred

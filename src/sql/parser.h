@@ -1,0 +1,31 @@
+// Recursive-descent parser for the SQL subset of sql/ast.h.
+//
+// Grammar (case-insensitive keywords):
+//   query   := block ("UNION" "ALL" block)* ["ORDER" "BY" ord ("," ord)*]
+//   block   := "SELECT" item ("," item)* "FROM" tref ("," tref)*
+//              ["WHERE" pred ("AND" pred)*]
+//   item    := "NULL" ["AS" ident] | [ident "."] ident ["AS" ident]
+//   tref    := ident [ident]
+//   pred    := colref "=" colref            (equi-join)
+//            | colref op literal            (filter)
+//            | colref "IS" "NOT" "NULL"
+//   op      := "=" | "<" | "<=" | ">" | ">="
+//   literal := 'string' | integer | float
+//   ord     := integer (1-based output ordinal)
+
+#ifndef XMLSHRED_SQL_PARSER_H_
+#define XMLSHRED_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace xmlshred {
+
+// Parses `sql` into a Query AST.
+Result<Query> ParseSql(std::string_view sql);
+
+}  // namespace xmlshred
+
+#endif  // XMLSHRED_SQL_PARSER_H_

@@ -1,0 +1,188 @@
+#include "workload/dblp.h"
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace xmlshred {
+
+namespace {
+
+// Appends <name> with simple content of `type` to `seq`.
+SchemaNode* AddLeaf(SchemaTree* tree, SchemaNode* seq, const std::string& name,
+                    XsdBaseType type) {
+  auto tag = tree->NewTag(name);
+  tag->AddChild(tree->NewSimple(type));
+  return seq->AddChild(std::move(tag));
+}
+
+SchemaNode* AddOptionalLeaf(SchemaTree* tree, SchemaNode* seq,
+                            const std::string& name, XsdBaseType type) {
+  auto tag = tree->NewTag(name);
+  tag->AddChild(tree->NewSimple(type));
+  auto opt = tree->NewNode(SchemaNodeKind::kOption);
+  opt->AddChild(std::move(tag));
+  return seq->AddChild(std::move(opt));
+}
+
+// Appends a set-valued annotated leaf element (author*, etc.).
+SchemaNode* AddRepeatedLeaf(SchemaTree* tree, SchemaNode* seq,
+                            const std::string& name,
+                            const std::string& annotation,
+                            const std::string& type_name) {
+  auto tag = tree->NewTag(name);
+  tag->set_annotation(annotation);
+  tag->set_type_name(type_name);
+  tag->AddChild(tree->NewSimple(XsdBaseType::kString));
+  auto rep = tree->NewNode(SchemaNodeKind::kRepetition);
+  rep->AddChild(std::move(tag));
+  return seq->AddChild(std::move(rep));
+}
+
+}  // namespace
+
+std::unique_ptr<SchemaTree> BuildDblpSchemaTree() {
+  auto tree = std::make_unique<SchemaTree>();
+  auto root = tree->NewTag("dblp");
+  root->set_annotation("dblp");
+  auto root_seq = tree->NewNode(SchemaNodeKind::kSequence);
+
+  // inproceedings*
+  {
+    auto rep = tree->NewNode(SchemaNodeKind::kRepetition);
+    auto inproc = tree->NewTag("inproceedings");
+    inproc->set_annotation("inproc");
+    auto seq = tree->NewNode(SchemaNodeKind::kSequence);
+    SchemaNode* title = AddLeaf(tree.get(), seq.get(), "title",
+                                XsdBaseType::kString);
+    title->set_type_name("TitleType");  // shared with book's title
+    AddLeaf(tree.get(), seq.get(), "booktitle", XsdBaseType::kString);
+    AddLeaf(tree.get(), seq.get(), "year", XsdBaseType::kInt);
+    AddRepeatedLeaf(tree.get(), seq.get(), "author", "inproc_author",
+                    "AuthorType");
+    AddLeaf(tree.get(), seq.get(), "pages", XsdBaseType::kString);
+    AddOptionalLeaf(tree.get(), seq.get(), "cdrom", XsdBaseType::kString);
+    AddOptionalLeaf(tree.get(), seq.get(), "cite", XsdBaseType::kString);
+    AddOptionalLeaf(tree.get(), seq.get(), "editor", XsdBaseType::kString);
+    AddOptionalLeaf(tree.get(), seq.get(), "ee", XsdBaseType::kString);
+    inproc->AddChild(std::move(seq));
+    rep->AddChild(std::move(inproc));
+    root_seq->AddChild(std::move(rep));
+  }
+
+  // book*
+  {
+    auto rep = tree->NewNode(SchemaNodeKind::kRepetition);
+    auto book = tree->NewTag("book");
+    book->set_annotation("book");
+    auto seq = tree->NewNode(SchemaNodeKind::kSequence);
+    // Fig. 1a outlines book's title under annotation "title1".
+    auto title = tree->NewTag("title");
+    title->set_annotation("title1");
+    title->set_type_name("TitleType");
+    title->AddChild(tree->NewSimple(XsdBaseType::kString));
+    seq->AddChild(std::move(title));
+    AddLeaf(tree.get(), seq.get(), "publisher", XsdBaseType::kString);
+    AddLeaf(tree.get(), seq.get(), "year", XsdBaseType::kInt);
+    AddRepeatedLeaf(tree.get(), seq.get(), "author", "book_author",
+                    "AuthorType");
+    AddOptionalLeaf(tree.get(), seq.get(), "isbn", XsdBaseType::kString);
+    AddOptionalLeaf(tree.get(), seq.get(), "pages", XsdBaseType::kString);
+    book->AddChild(std::move(seq));
+    rep->AddChild(std::move(book));
+    root_seq->AddChild(std::move(rep));
+  }
+
+  root->AddChild(std::move(root_seq));
+  tree->SetRoot(std::move(root));
+  return tree;
+}
+
+namespace {
+
+// Author cardinality per Section 4.6: 99 % of publications have <= 5
+// authors; the rest spread up to 20.
+int DrawAuthorCount(Rng* rng) {
+  if (rng->Bernoulli(0.99)) {
+    static const double kWeights[] = {0.15, 0.32, 0.27, 0.17, 0.09};
+    std::vector<double> weights(kWeights, kWeights + 5);
+    return static_cast<int>(rng->WeightedIndex(weights)) + 1;
+  }
+  return static_cast<int>(rng->Uniform(6, 20));
+}
+
+std::string AuthorName(Rng* rng, const DblpConfig& config) {
+  // Zipf-ish author productivity; full-name-sized strings (~24 bytes)
+  // like real DBLP author values.
+  int64_t bucket = rng->Zipf(100, 1.1);
+  int64_t id = (bucket - 1) * (config.num_authors / 100) +
+               rng->Uniform(0, config.num_authors / 100 - 1);
+  return StrFormat("given_%04ld family_%06ld", id % 9973, id);
+}
+
+std::string Conference(Rng* rng, const DblpConfig& config) {
+  // A few large venues dominate.
+  int64_t id = rng->Zipf(config.num_conferences, 0.8);
+  return "conf_" + std::to_string(id - 1);
+}
+
+}  // namespace
+
+GeneratedData GenerateDblp(const DblpConfig& config) {
+  GeneratedData data;
+  data.tree = BuildDblpSchemaTree();
+  Rng rng(config.seed);
+
+  auto root = std::make_unique<XmlElement>("dblp");
+  for (int64_t i = 0; i < config.num_inproceedings; ++i) {
+    XmlElement* pub = root->AddChild("inproceedings");
+    pub->AddTextChild("title", "inproc_title_" + std::to_string(i));
+    pub->AddTextChild("booktitle", Conference(&rng, config));
+    pub->AddTextChild(
+        "year",
+        std::to_string(rng.Uniform(config.min_year, config.max_year)));
+    int authors = DrawAuthorCount(&rng);
+    for (int a = 0; a < authors; ++a) {
+      pub->AddTextChild("author", AuthorName(&rng, config));
+    }
+    int64_t first_page = rng.Uniform(1, 600);
+    pub->AddTextChild("pages", StrFormat("%ld-%ld", first_page,
+                                         first_page + rng.Uniform(8, 24)));
+    if (rng.Bernoulli(0.3)) {
+      pub->AddTextChild("cdrom", "cdrom_" + std::to_string(i));
+    }
+    if (rng.Bernoulli(0.4)) {
+      pub->AddTextChild(
+          "cite", "cite_" + std::to_string(rng.Uniform(
+                                0, config.num_inproceedings - 1)));
+    }
+    if (rng.Bernoulli(0.1)) {
+      pub->AddTextChild("editor", AuthorName(&rng, config));
+    }
+    if (rng.Bernoulli(0.5)) {
+      pub->AddTextChild("ee", "http://doi.example/" + std::to_string(i));
+    }
+  }
+  for (int64_t i = 0; i < config.num_books; ++i) {
+    XmlElement* book = root->AddChild("book");
+    book->AddTextChild("title", "book_title_" + std::to_string(i));
+    book->AddTextChild("publisher",
+                       "publisher_" + std::to_string(rng.Uniform(0, 99)));
+    book->AddTextChild(
+        "year",
+        std::to_string(rng.Uniform(config.min_year, config.max_year)));
+    int authors = DrawAuthorCount(&rng);
+    for (int a = 0; a < authors; ++a) {
+      book->AddTextChild("author", AuthorName(&rng, config));
+    }
+    if (rng.Bernoulli(0.8)) {
+      book->AddTextChild("isbn", StrFormat("isbn-%05ld", i));
+    }
+    if (rng.Bernoulli(0.6)) {
+      book->AddTextChild("pages", std::to_string(rng.Uniform(80, 900)));
+    }
+  }
+  data.doc.set_root(std::move(root));
+  return data;
+}
+
+}  // namespace xmlshred

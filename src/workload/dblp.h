@@ -1,0 +1,50 @@
+// Synthetic DBLP generator — the paper's real data set, reproduced
+// distributionally (Fig. 1a schema; Section 4.6 / Table 1 facts):
+//
+//  * inproceedings(title, booktitle, year, author*, pages, cdrom?, cite?,
+//    editor?, ee?) and book(title, publisher, year, author*, isbn?,
+//    pages?);
+//  * the two title elements are a shared type, with book's title outlined
+//    under annotation "title1" exactly as in Fig. 1a;
+//  * the two author element types share "AuthorType" (type split/merge
+//    candidates);
+//  * author cardinality is skewed low: 99 % of publications have at most
+//    5 authors, max 20 (the Section 4.6 sweet spot);
+//  * booktitle values are skewed (a few big conferences), years roughly
+//    uniform, optional elements present independently.
+
+#ifndef XMLSHRED_WORKLOAD_DBLP_H_
+#define XMLSHRED_WORKLOAD_DBLP_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "xml/document.h"
+#include "xml/schema_tree.h"
+
+namespace xmlshred {
+
+struct DblpConfig {
+  int64_t num_inproceedings = 20000;
+  int64_t num_books = 2000;
+  int num_conferences = 200;
+  int num_authors = 4000;  // author name pool
+  int min_year = 1970;
+  int max_year = 2003;
+  uint64_t seed = 42;
+};
+
+struct GeneratedData {
+  std::unique_ptr<SchemaTree> tree;
+  XmlDocument doc;
+};
+
+// Builds the annotated DBLP schema tree of Fig. 1a (without data).
+std::unique_ptr<SchemaTree> BuildDblpSchemaTree();
+
+// Generates schema plus data. Deterministic in `config.seed`.
+GeneratedData GenerateDblp(const DblpConfig& config);
+
+}  // namespace xmlshred
+
+#endif  // XMLSHRED_WORKLOAD_DBLP_H_

@@ -1,0 +1,118 @@
+#include "workload/movie.h"
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace xmlshred {
+
+std::unique_ptr<SchemaTree> BuildMovieSchemaTree() {
+  auto tree = std::make_unique<SchemaTree>();
+  auto root = tree->NewTag("movies");
+  root->set_annotation("movies");
+  auto root_seq = tree->NewNode(SchemaNodeKind::kSequence);
+  auto rep = tree->NewNode(SchemaNodeKind::kRepetition);
+  auto movie = tree->NewTag("movie");
+  movie->set_annotation("movie");
+  auto seq = tree->NewNode(SchemaNodeKind::kSequence);
+
+  auto title = tree->NewTag("title");
+  title->AddChild(tree->NewSimple(XsdBaseType::kString));
+  seq->AddChild(std::move(title));
+
+  auto year = tree->NewTag("year");
+  year->AddChild(tree->NewSimple(XsdBaseType::kInt));
+  seq->AddChild(std::move(year));
+
+  auto aka = tree->NewTag("aka_title");
+  aka->set_annotation("aka_title");
+  aka->AddChild(tree->NewSimple(XsdBaseType::kString));
+  auto aka_rep = tree->NewNode(SchemaNodeKind::kRepetition);
+  aka_rep->AddChild(std::move(aka));
+  seq->AddChild(std::move(aka_rep));
+
+  auto rating = tree->NewTag("avg_rating");
+  rating->AddChild(tree->NewSimple(XsdBaseType::kDouble));
+  auto rating_opt = tree->NewNode(SchemaNodeKind::kOption);
+  rating_opt->AddChild(std::move(rating));
+  seq->AddChild(std::move(rating_opt));
+
+  auto director = tree->NewTag("director");
+  director->AddChild(tree->NewSimple(XsdBaseType::kString));
+  auto director_opt = tree->NewNode(SchemaNodeKind::kOption);
+  director_opt->AddChild(std::move(director));
+  seq->AddChild(std::move(director_opt));
+
+  auto votes = tree->NewTag("votes");
+  votes->AddChild(tree->NewSimple(XsdBaseType::kInt));
+  auto votes_opt = tree->NewNode(SchemaNodeKind::kOption);
+  votes_opt->AddChild(std::move(votes));
+  seq->AddChild(std::move(votes_opt));
+
+  auto choice = tree->NewNode(SchemaNodeKind::kChoice);
+  auto box = tree->NewTag("box_office");
+  box->AddChild(tree->NewSimple(XsdBaseType::kInt));
+  choice->AddChild(std::move(box));
+  auto seasons = tree->NewTag("seasons");
+  seasons->AddChild(tree->NewSimple(XsdBaseType::kInt));
+  choice->AddChild(std::move(seasons));
+  seq->AddChild(std::move(choice));
+
+  movie->AddChild(std::move(seq));
+  rep->AddChild(std::move(movie));
+  root_seq->AddChild(std::move(rep));
+  root->AddChild(std::move(root_seq));
+  tree->SetRoot(std::move(root));
+  return tree;
+}
+
+GeneratedData GenerateMovie(const MovieConfig& config) {
+  GeneratedData data;
+  data.tree = BuildMovieSchemaTree();
+  Rng rng(config.seed);
+
+  auto root = std::make_unique<XmlElement>("movies");
+  for (int64_t i = 0; i < config.num_movies; ++i) {
+    XmlElement* movie = root->AddChild("movie");
+    movie->AddTextChild("title", "movie_title_" + std::to_string(i));
+    movie->AddTextChild(
+        "year",
+        std::to_string(rng.Uniform(config.min_year, config.max_year)));
+    // aka_title cardinality skewed low: ~96 % have <= 5, max 10
+    // (satisfies the candidate-selection rule of §4.5 with cmax = 5,
+    // x = 80 % and the §4.6 count rule).
+    int akas;
+    double draw = rng.UniformDouble();
+    if (draw < 0.86) {
+      akas = static_cast<int>(rng.Uniform(0, 2));
+    } else if (draw < 0.96) {
+      akas = static_cast<int>(rng.Uniform(3, 5));
+    } else {
+      akas = static_cast<int>(rng.Uniform(6, 10));
+    }
+    for (int a = 0; a < akas; ++a) {
+      movie->AddTextChild("aka_title",
+                          StrFormat("aka_%ld_%d", i, a));
+    }
+    if (rng.Bernoulli(config.rating_presence)) {
+      movie->AddTextChild(
+          "avg_rating", FormatDoubleTrimmed(rng.UniformDouble() * 10.0, 2));
+    }
+    if (rng.Bernoulli(config.director_presence)) {
+      movie->AddTextChild("director",
+                          "director_" + std::to_string(rng.Uniform(0, 999)));
+    }
+    if (rng.Bernoulli(config.votes_presence)) {
+      movie->AddTextChild("votes", std::to_string(rng.Uniform(10, 1000000)));
+    }
+    if (rng.Bernoulli(config.tv_fraction)) {
+      movie->AddTextChild("seasons", std::to_string(rng.Uniform(1, 30)));
+    } else {
+      movie->AddTextChild("box_office",
+                          std::to_string(rng.Uniform(100000, 500000000)));
+    }
+  }
+  data.doc.set_root(std::move(root));
+  return data;
+}
+
+}  // namespace xmlshred

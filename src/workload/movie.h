@@ -1,0 +1,37 @@
+// Synthetic Movie generator — the paper's synthetic data set (Fig. 1b):
+// movie(title, year, aka_title*, avg_rating?, (box_office | seasons)),
+// extended with two more optional elements (director?, votes?) so that
+// candidate merging (§4.7) has several implicit unions to combine. Values
+// are uniformly distributed, per Section 5.1.2.
+
+#ifndef XMLSHRED_WORKLOAD_MOVIE_H_
+#define XMLSHRED_WORKLOAD_MOVIE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "workload/dblp.h"  // GeneratedData
+#include "xml/schema_tree.h"
+
+namespace xmlshred {
+
+struct MovieConfig {
+  int64_t num_movies = 20000;
+  int min_year = 1930;
+  int max_year = 2004;
+  double tv_fraction = 0.3;        // seasons branch of the choice
+  double rating_presence = 0.6;    // avg_rating?
+  double director_presence = 0.8;  // director?
+  double votes_presence = 0.5;     // votes?
+  uint64_t seed = 7;
+};
+
+// Builds the annotated Movie schema tree of Fig. 1b.
+std::unique_ptr<SchemaTree> BuildMovieSchemaTree();
+
+// Generates schema plus data. Deterministic in `config.seed`.
+GeneratedData GenerateMovie(const MovieConfig& config);
+
+}  // namespace xmlshred
+
+#endif  // XMLSHRED_WORKLOAD_MOVIE_H_

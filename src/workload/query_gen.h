@@ -1,0 +1,40 @@
+// Random XPath workload generation (§5.1.3): workloads vary the
+// selectivity of the selection condition (low 0.01–0.1, high 0.5–1) and
+// the number of projections (low 1–4, high 5–20). Workload names follow
+// the paper's convention, e.g. "HP-LS-20".
+
+#ifndef XMLSHRED_WORKLOAD_QUERY_GEN_H_
+#define XMLSHRED_WORKLOAD_QUERY_GEN_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "mapping/xml_stats.h"
+#include "xml/schema_tree.h"
+#include "xpath/xpath.h"
+
+namespace xmlshred {
+
+enum class SelectivityClass { kLow, kHigh };
+enum class ProjectionClass { kLow, kHigh };
+
+struct WorkloadSpec {
+  SelectivityClass selectivity = SelectivityClass::kLow;
+  ProjectionClass projections = ProjectionClass::kLow;
+  int num_queries = 20;
+  uint64_t seed = 1;
+};
+
+// "LP-LS-20"-style name.
+std::string WorkloadName(const WorkloadSpec& spec);
+
+// Generates a workload against the (original) schema tree, using the
+// collected statistics to pick selection literals that hit the target
+// selectivity range. Deterministic in `spec.seed`.
+Result<XPathWorkload> GenerateWorkload(const SchemaTree& tree,
+                                       const XmlStatistics& stats,
+                                       const WorkloadSpec& spec);
+
+}  // namespace xmlshred
+
+#endif  // XMLSHRED_WORKLOAD_QUERY_GEN_H_

@@ -1,0 +1,288 @@
+#include "xml/document.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace xmlshred {
+
+const std::string* XmlElement::FindAttribute(std::string_view name) const {
+  for (const auto& [attr_name, value] : attributes_) {
+    if (attr_name == name) return &value;
+  }
+  return nullptr;
+}
+
+XmlElement* XmlElement::AddChild(std::string tag) {
+  children_.push_back(std::make_unique<XmlElement>(std::move(tag)));
+  return children_.back().get();
+}
+
+XmlElement* XmlElement::AddChild(std::unique_ptr<XmlElement> child) {
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+XmlElement* XmlElement::AddTextChild(std::string tag, std::string text) {
+  XmlElement* child = AddChild(std::move(tag));
+  child->set_text(std::move(text));
+  return child;
+}
+
+const XmlElement* XmlElement::FindChild(std::string_view tag) const {
+  for (const auto& child : children_) {
+    if (child->tag() == tag) return child.get();
+  }
+  return nullptr;
+}
+
+std::vector<const XmlElement*> XmlElement::FindChildren(
+    std::string_view tag) const {
+  std::vector<const XmlElement*> out;
+  for (const auto& child : children_) {
+    if (child->tag() == tag) out.push_back(child.get());
+  }
+  return out;
+}
+
+int64_t XmlElement::SubtreeSize() const {
+  int64_t n = 1;
+  for (const auto& child : children_) n += child->SubtreeSize();
+  return n;
+}
+
+std::string XmlEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string XmlElement::ToXml(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string out = pad + "<" + tag_;
+  for (const auto& [name, value] : attributes_) {
+    out += " " + name + "=\"" + XmlEscape(value) + "\"";
+  }
+  if (children_.empty() && text_.empty()) {
+    out += "/>\n";
+    return out;
+  }
+  out += ">";
+  if (!text_.empty()) out += XmlEscape(text_);
+  if (!children_.empty()) {
+    out += "\n";
+    for (const auto& child : children_) out += child->ToXml(indent + 1);
+    out += pad;
+  }
+  out += "</" + tag_ + ">\n";
+  return out;
+}
+
+std::string XmlDocument::ToXml() const {
+  std::string out = "<?xml version=\"1.0\"?>\n";
+  if (root_ != nullptr) out += root_->ToXml();
+  return out;
+}
+
+namespace {
+
+class XmlParser {
+ public:
+  explicit XmlParser(std::string_view xml) : xml_(xml) {}
+
+  Result<XmlDocument> Parse() {
+    SkipProlog();
+    XS_ASSIGN_OR_RETURN(std::unique_ptr<XmlElement> root, ParseElement());
+    SkipWhitespaceAndComments();
+    if (pos_ < xml_.size()) {
+      return InvalidArgument("content after document element");
+    }
+    return XmlDocument(std::move(root));
+  }
+
+ private:
+  void SkipWhitespaceAndComments() {
+    while (pos_ < xml_.size()) {
+      if (std::isspace(static_cast<unsigned char>(xml_[pos_]))) {
+        ++pos_;
+      } else if (Matches("<!--")) {
+        size_t end = xml_.find("-->", pos_);
+        pos_ = end == std::string_view::npos ? xml_.size() : end + 3;
+      } else {
+        break;
+      }
+    }
+  }
+
+  void SkipProlog() {
+    SkipWhitespaceAndComments();
+    while (Matches("<?") || Matches("<!DOCTYPE")) {
+      size_t end = xml_.find('>', pos_);
+      pos_ = end == std::string_view::npos ? xml_.size() : end + 1;
+      SkipWhitespaceAndComments();
+    }
+  }
+
+  bool Matches(std::string_view prefix) const {
+    return xml_.substr(pos_, prefix.size()) == prefix;
+  }
+
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '.' || c == ':';
+  }
+
+  Result<std::string> ParseName() {
+    size_t start = pos_;
+    while (pos_ < xml_.size() && IsNameChar(xml_[pos_])) ++pos_;
+    if (pos_ == start) return InvalidArgument("expected XML name");
+    return std::string(xml_.substr(start, pos_ - start));
+  }
+
+  static std::string Unescape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    size_t i = 0;
+    while (i < s.size()) {
+      if (s[i] == '&') {
+        if (s.substr(i, 5) == "&amp;") {
+          out.push_back('&');
+          i += 5;
+          continue;
+        }
+        if (s.substr(i, 4) == "&lt;") {
+          out.push_back('<');
+          i += 4;
+          continue;
+        }
+        if (s.substr(i, 4) == "&gt;") {
+          out.push_back('>');
+          i += 4;
+          continue;
+        }
+        if (s.substr(i, 6) == "&quot;") {
+          out.push_back('"');
+          i += 6;
+          continue;
+        }
+        if (s.substr(i, 6) == "&apos;") {
+          out.push_back('\'');
+          i += 6;
+          continue;
+        }
+      }
+      out.push_back(s[i++]);
+    }
+    return out;
+  }
+
+  Result<std::unique_ptr<XmlElement>> ParseElement() {
+    SkipWhitespaceAndComments();
+    if (!Matches("<")) return InvalidArgument("expected element");
+    ++pos_;
+    XS_ASSIGN_OR_RETURN(std::string tag, ParseName());
+    auto element = std::make_unique<XmlElement>(tag);
+    // Attributes.
+    while (true) {
+      while (pos_ < xml_.size() &&
+             std::isspace(static_cast<unsigned char>(xml_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ >= xml_.size()) return InvalidArgument("unterminated tag");
+      if (Matches("/>")) {
+        pos_ += 2;
+        return element;
+      }
+      if (Matches(">")) {
+        ++pos_;
+        break;
+      }
+      XS_ASSIGN_OR_RETURN(std::string attr, ParseName());
+      if (!Matches("=")) return InvalidArgument("expected '=' in attribute");
+      ++pos_;
+      if (pos_ >= xml_.size() || (xml_[pos_] != '"' && xml_[pos_] != '\'')) {
+        return InvalidArgument("expected quoted attribute value");
+      }
+      char quote = xml_[pos_++];
+      size_t end = xml_.find(quote, pos_);
+      if (end == std::string_view::npos) {
+        return InvalidArgument("unterminated attribute value");
+      }
+      element->AddAttribute(std::move(attr),
+                            Unescape(xml_.substr(pos_, end - pos_)));
+      pos_ = end + 1;
+    }
+    // Content.
+    while (true) {
+      if (pos_ >= xml_.size()) return InvalidArgument("unterminated element");
+      if (Matches("<!--")) {
+        size_t end = xml_.find("-->", pos_);
+        if (end == std::string_view::npos) {
+          return InvalidArgument("unterminated comment");
+        }
+        pos_ = end + 3;
+        continue;
+      }
+      if (Matches("</")) {
+        pos_ += 2;
+        XS_ASSIGN_OR_RETURN(std::string close, ParseName());
+        if (close != tag) {
+          return InvalidArgument("mismatched close tag: " + close +
+                                 " for " + tag);
+        }
+        SkipWhitespaceAndComments();
+        if (!Matches(">")) return InvalidArgument("expected '>'");
+        ++pos_;
+        return element;
+      }
+      if (Matches("<")) {
+        XS_ASSIGN_OR_RETURN(std::unique_ptr<XmlElement> child,
+                            ParseElement());
+        element->AddChild(std::move(child));
+        continue;
+      }
+      size_t next = xml_.find('<', pos_);
+      if (next == std::string_view::npos) {
+        return InvalidArgument("unterminated element content");
+      }
+      std::string_view raw = xml_.substr(pos_, next - pos_);
+      std::string text = Unescape(raw);
+      std::string_view trimmed = StripWhitespace(text);
+      if (!trimmed.empty()) element->append_text(trimmed);
+      pos_ = next;
+    }
+  }
+
+  std::string_view xml_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<XmlDocument> ParseXml(std::string_view xml) {
+  XmlParser parser(xml);
+  return parser.Parse();
+}
+
+}  // namespace xmlshred

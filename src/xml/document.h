@@ -1,0 +1,91 @@
+// In-memory XML document model (elements, attributes, text), plus parsing
+// and serialization. The subset supported is what business-data XML needs:
+// nested elements, attributes, character data, entities, comments, and
+// processing instructions / XML declarations (skipped).
+
+#ifndef XMLSHRED_XML_DOCUMENT_H_
+#define XMLSHRED_XML_DOCUMENT_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xmlshred {
+
+class XmlElement {
+ public:
+  explicit XmlElement(std::string tag) : tag_(std::move(tag)) {}
+  XmlElement(const XmlElement&) = delete;
+  XmlElement& operator=(const XmlElement&) = delete;
+
+  const std::string& tag() const { return tag_; }
+  const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+  void append_text(std::string_view text) { text_.append(text); }
+
+  const std::vector<std::pair<std::string, std::string>>& attributes() const {
+    return attributes_;
+  }
+  void AddAttribute(std::string name, std::string value) {
+    attributes_.emplace_back(std::move(name), std::move(value));
+  }
+  // Value of attribute `name`, or nullptr.
+  const std::string* FindAttribute(std::string_view name) const;
+
+  const std::vector<std::unique_ptr<XmlElement>>& children() const {
+    return children_;
+  }
+  // Appends a child element and returns it.
+  XmlElement* AddChild(std::string tag);
+  XmlElement* AddChild(std::unique_ptr<XmlElement> child);
+
+  // Convenience: appends <tag>text</tag>.
+  XmlElement* AddTextChild(std::string tag, std::string text);
+
+  // First child with the given tag, or nullptr.
+  const XmlElement* FindChild(std::string_view tag) const;
+  // All children with the given tag.
+  std::vector<const XmlElement*> FindChildren(std::string_view tag) const;
+
+  // Total number of elements in this subtree (including this one).
+  int64_t SubtreeSize() const;
+
+  // Serializes the subtree (no XML declaration).
+  std::string ToXml(int indent = 0) const;
+
+ private:
+  std::string tag_;
+  std::string text_;
+  std::vector<std::pair<std::string, std::string>> attributes_;
+  std::vector<std::unique_ptr<XmlElement>> children_;
+};
+
+class XmlDocument {
+ public:
+  XmlDocument() = default;
+  explicit XmlDocument(std::unique_ptr<XmlElement> root)
+      : root_(std::move(root)) {}
+
+  XmlElement* root() { return root_.get(); }
+  const XmlElement* root() const { return root_.get(); }
+  void set_root(std::unique_ptr<XmlElement> root) { root_ = std::move(root); }
+
+  std::string ToXml() const;
+
+ private:
+  std::unique_ptr<XmlElement> root_;
+};
+
+// Parses XML text into a document.
+Result<XmlDocument> ParseXml(std::string_view xml);
+
+// Escapes &, <, >, ", ' for XML output.
+std::string XmlEscape(std::string_view s);
+
+}  // namespace xmlshred
+
+#endif  // XMLSHRED_XML_DOCUMENT_H_

@@ -1,0 +1,314 @@
+#include "xml/dtd_parser.h"
+
+#include <cctype>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace xmlshred {
+
+namespace {
+
+// Content-model expression tree parsed from a DTD declaration.
+struct DtdExpr {
+  enum class Kind { kName, kSequence, kChoice, kPcdata, kEmpty };
+  Kind kind = Kind::kName;
+  std::string name;
+  char occurrence = 0;  // 0, '?', '*', '+'
+  std::vector<DtdExpr> children;
+};
+
+class DtdTextParser {
+ public:
+  explicit DtdTextParser(std::string_view text) : text_(text) {}
+
+  // Parses all <!ELEMENT ...> declarations.
+  Result<std::map<std::string, DtdExpr>> Parse(
+      std::vector<std::string>* order) {
+    std::map<std::string, DtdExpr> decls;
+    while (true) {
+      SkipToDecl();
+      if (pos_ >= text_.size()) break;
+      XS_ASSIGN_OR_RETURN(std::string keyword, ParseName());
+      if (keyword != "ELEMENT") {
+        // ATTLIST / ENTITY / NOTATION: skip to '>'.
+        size_t end = text_.find('>', pos_);
+        if (end == std::string_view::npos) {
+          return InvalidArgument("unterminated declaration");
+        }
+        pos_ = end + 1;
+        continue;
+      }
+      SkipSpace();
+      XS_ASSIGN_OR_RETURN(std::string name, ParseName());
+      SkipSpace();
+      XS_ASSIGN_OR_RETURN(DtdExpr expr, ParseContent());
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '>') {
+        return InvalidArgument("expected '>' after ELEMENT " + name);
+      }
+      ++pos_;
+      if (decls.count(name) > 0) {
+        return InvalidArgument("duplicate ELEMENT declaration: " + name);
+      }
+      order->push_back(name);
+      decls[name] = std::move(expr);
+    }
+    if (decls.empty()) return InvalidArgument("DTD has no ELEMENT declarations");
+    return decls;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  // Advances to just after the next "<!" (skipping comments).
+  void SkipToDecl() {
+    while (pos_ < text_.size()) {
+      size_t open = text_.find("<!", pos_);
+      if (open == std::string_view::npos) {
+        pos_ = text_.size();
+        return;
+      }
+      if (text_.substr(open, 4) == "<!--") {
+        size_t end = text_.find("-->", open);
+        pos_ = end == std::string_view::npos ? text_.size() : end + 3;
+        continue;
+      }
+      pos_ = open + 2;
+      return;
+    }
+  }
+
+  Result<std::string> ParseName() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '-' || text_[pos_] == '.')) {
+      ++pos_;
+    }
+    if (pos_ == start) return InvalidArgument("expected name in DTD");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  char ParseOccurrence() {
+    if (pos_ < text_.size() &&
+        (text_[pos_] == '?' || text_[pos_] == '*' || text_[pos_] == '+')) {
+      return text_[pos_++];
+    }
+    return 0;
+  }
+
+  Result<DtdExpr> ParseContent() {
+    SkipSpace();
+    if (text_.substr(pos_, 5) == "EMPTY") {
+      pos_ += 5;
+      DtdExpr expr;
+      expr.kind = DtdExpr::Kind::kEmpty;
+      return expr;
+    }
+    if (text_.substr(pos_, 3) == "ANY") {
+      return Unimplemented("ANY content model");
+    }
+    return ParseGroup();
+  }
+
+  // Parses a parenthesized group: ( item (sep item)* ) occ?
+  Result<DtdExpr> ParseGroup() {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '(') {
+      return InvalidArgument("expected '(' in content model");
+    }
+    ++pos_;
+    SkipSpace();
+    if (text_.substr(pos_, 7) == "#PCDATA") {
+      pos_ += 7;
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ')') {
+        return Unimplemented("mixed content models");
+      }
+      ++pos_;
+      ParseOccurrence();
+      DtdExpr expr;
+      expr.kind = DtdExpr::Kind::kPcdata;
+      return expr;
+    }
+    std::vector<DtdExpr> items;
+    char separator = 0;
+    while (true) {
+      XS_ASSIGN_OR_RETURN(DtdExpr item, ParseItem());
+      items.push_back(std::move(item));
+      SkipSpace();
+      if (pos_ >= text_.size()) return InvalidArgument("unterminated group");
+      char c = text_[pos_];
+      if (c == ')') {
+        ++pos_;
+        break;
+      }
+      if (c != ',' && c != '|') {
+        return InvalidArgument("expected ',', '|', or ')' in group");
+      }
+      if (separator == 0) {
+        separator = c;
+      } else if (separator != c) {
+        return InvalidArgument("mixed ',' and '|' in one group");
+      }
+      ++pos_;
+    }
+    DtdExpr group;
+    group.kind = separator == '|' ? DtdExpr::Kind::kChoice
+                                  : DtdExpr::Kind::kSequence;
+    group.children = std::move(items);
+    group.occurrence = ParseOccurrence();
+    if (group.children.size() == 1 && group.occurrence == 0) {
+      return group.children[0];
+    }
+    return group;
+  }
+
+  Result<DtdExpr> ParseItem() {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '(') return ParseGroup();
+    DtdExpr expr;
+    XS_ASSIGN_OR_RETURN(expr.name, ParseName());
+    expr.occurrence = ParseOccurrence();
+    return expr;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+// Builds schema-tree nodes from the declaration map.
+class DtdTreeBuilder {
+ public:
+  DtdTreeBuilder(const std::map<std::string, DtdExpr>& decls,
+                 const std::map<std::string, int>& reference_counts,
+                 SchemaTree* tree)
+      : decls_(decls), reference_counts_(reference_counts), tree_(tree) {}
+
+  Result<std::unique_ptr<SchemaNode>> BuildElement(const std::string& name,
+                                                   int depth) {
+    if (depth > 32) {
+      return Unimplemented("recursive DTD element: " + name);
+    }
+    auto it = decls_.find(name);
+    std::unique_ptr<SchemaNode> tag = tree_->NewTag(name);
+    auto ref = reference_counts_.find(name);
+    if (ref != reference_counts_.end() && ref->second >= 2) {
+      tag->set_type_name(name);  // shared type
+    }
+    if (it == decls_.end()) {
+      // Undeclared elements default to text content.
+      tag->AddChild(tree_->NewSimple(XsdBaseType::kString));
+      return tag;
+    }
+    const DtdExpr& expr = it->second;
+    if (expr.kind == DtdExpr::Kind::kPcdata ||
+        expr.kind == DtdExpr::Kind::kEmpty) {
+      tag->AddChild(tree_->NewSimple(XsdBaseType::kString));
+      return tag;
+    }
+    XS_ASSIGN_OR_RETURN(std::unique_ptr<SchemaNode> content,
+                        BuildExpr(expr, depth));
+    // Tags need exactly one content child; wrap bare particles.
+    if (content->kind() != SchemaNodeKind::kSequence &&
+        content->kind() != SchemaNodeKind::kChoice &&
+        content->kind() != SchemaNodeKind::kSimpleType) {
+      std::unique_ptr<SchemaNode> seq =
+          tree_->NewNode(SchemaNodeKind::kSequence);
+      seq->AddChild(std::move(content));
+      content = std::move(seq);
+    }
+    tag->AddChild(std::move(content));
+    return tag;
+  }
+
+ private:
+  Result<std::unique_ptr<SchemaNode>> BuildExpr(const DtdExpr& expr,
+                                                int depth) {
+    std::unique_ptr<SchemaNode> node;
+    switch (expr.kind) {
+      case DtdExpr::Kind::kName: {
+        XS_ASSIGN_OR_RETURN(node, BuildElement(expr.name, depth + 1));
+        break;
+      }
+      case DtdExpr::Kind::kSequence:
+      case DtdExpr::Kind::kChoice: {
+        node = tree_->NewNode(expr.kind == DtdExpr::Kind::kChoice
+                                  ? SchemaNodeKind::kChoice
+                                  : SchemaNodeKind::kSequence);
+        for (const DtdExpr& child : expr.children) {
+          XS_ASSIGN_OR_RETURN(std::unique_ptr<SchemaNode> built,
+                              BuildExpr(child, depth));
+          node->AddChild(std::move(built));
+        }
+        break;
+      }
+      case DtdExpr::Kind::kPcdata:
+      case DtdExpr::Kind::kEmpty:
+        node = tree_->NewSimple(XsdBaseType::kString);
+        break;
+    }
+    if (expr.occurrence == '*' || expr.occurrence == '+') {
+      std::unique_ptr<SchemaNode> rep =
+          tree_->NewNode(SchemaNodeKind::kRepetition);
+      rep->AddChild(std::move(node));
+      node = std::move(rep);
+    } else if (expr.occurrence == '?') {
+      std::unique_ptr<SchemaNode> opt =
+          tree_->NewNode(SchemaNodeKind::kOption);
+      opt->AddChild(std::move(node));
+      node = std::move(opt);
+    }
+    return node;
+  }
+
+  const std::map<std::string, DtdExpr>& decls_;
+  const std::map<std::string, int>& reference_counts_;
+  SchemaTree* tree_;
+};
+
+// Counts how many distinct declared elements reference each name.
+void CountReferences(const DtdExpr& expr, std::set<std::string>* out) {
+  if (expr.kind == DtdExpr::Kind::kName) out->insert(expr.name);
+  for (const DtdExpr& child : expr.children) CountReferences(child, out);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SchemaTree>> ParseDtd(std::string_view dtd_text,
+                                             std::string_view root_element) {
+  DtdTextParser parser(dtd_text);
+  std::vector<std::string> order;
+  XS_ASSIGN_OR_RETURN(auto decls, parser.Parse(&order));
+
+  std::map<std::string, int> reference_counts;
+  for (const auto& [name, expr] : decls) {
+    std::set<std::string> referenced;
+    CountReferences(expr, &referenced);
+    for (const std::string& ref : referenced) ++reference_counts[ref];
+  }
+
+  std::string root(root_element);
+  if (root.empty()) root = order.front();
+  if (decls.count(root) == 0) {
+    return NotFound("root element '" + root + "' not declared");
+  }
+  auto tree = std::make_unique<SchemaTree>();
+  DtdTreeBuilder builder(decls, reference_counts, tree.get());
+  XS_ASSIGN_OR_RETURN(std::unique_ptr<SchemaNode> root_node,
+                      builder.BuildElement(root, 0));
+  tree->SetRoot(std::move(root_node));
+  return tree;
+}
+
+}  // namespace xmlshred

@@ -1,0 +1,37 @@
+// DTD front-end: the paper notes its approach "also applies to XML data
+// with DTD by first transforming DTD to XSD". This parser turns a DTD
+// subset directly into the same annotated schema tree the XSD parser
+// produces.
+//
+// Supported declarations:
+//   <!ELEMENT name (child, child2?, child3*, (a | b), ...)>
+//   <!ELEMENT name (#PCDATA)>
+//   <!ELEMENT name EMPTY>
+// with the occurrence markers `?` (option), `*` and `+` (repetition) on
+// names and parenthesized groups, `,` sequences and `|` choices.
+// ATTLIST/ENTITY/NOTATION declarations are skipped. An element referenced
+// by several parents becomes a shared type (type_name = element name).
+// Recursive element definitions are rejected, matching the paper's
+// restriction to non-recursive schema parts.
+
+#ifndef XMLSHRED_XML_DTD_PARSER_H_
+#define XMLSHRED_XML_DTD_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/status.h"
+#include "xml/schema_tree.h"
+
+namespace xmlshred {
+
+// Parses DTD text; `root_element` picks the document element (defaults to
+// the first declared element). Annotations are not assigned — call
+// AssignDefaultAnnotations() afterwards, as with ParseXsd.
+Result<std::unique_ptr<SchemaTree>> ParseDtd(std::string_view dtd_text,
+                                             std::string_view root_element =
+                                                 "");
+
+}  // namespace xmlshred
+
+#endif  // XMLSHRED_XML_DTD_PARSER_H_

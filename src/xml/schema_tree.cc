@@ -1,0 +1,328 @@
+#include "xml/schema_tree.h"
+
+#include <map>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace xmlshred {
+
+const char* SchemaNodeKindToString(SchemaNodeKind kind) {
+  switch (kind) {
+    case SchemaNodeKind::kTag:
+      return "tag";
+    case SchemaNodeKind::kSequence:
+      return ",";
+    case SchemaNodeKind::kChoice:
+      return "|";
+    case SchemaNodeKind::kOption:
+      return "?";
+    case SchemaNodeKind::kRepetition:
+      return "*";
+    case SchemaNodeKind::kSimpleType:
+      return "simple";
+  }
+  return "?";
+}
+
+ColumnType BaseTypeToColumnType(XsdBaseType type) {
+  switch (type) {
+    case XsdBaseType::kString:
+      return ColumnType::kString;
+    case XsdBaseType::kInt:
+      return ColumnType::kInt64;
+    case XsdBaseType::kDouble:
+      return ColumnType::kDouble;
+  }
+  return ColumnType::kString;
+}
+
+SchemaNode* SchemaNode::AddChild(std::unique_ptr<SchemaNode> child) {
+  child->parent_ = this;
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+SchemaNode* SchemaNode::InsertChild(size_t pos,
+                                    std::unique_ptr<SchemaNode> child) {
+  XS_CHECK_LE(pos, children_.size());
+  child->parent_ = this;
+  children_.insert(children_.begin() + static_cast<long>(pos),
+                   std::move(child));
+  return children_[pos].get();
+}
+
+std::unique_ptr<SchemaNode> SchemaNode::RemoveChild(size_t i) {
+  XS_CHECK_LT(i, children_.size());
+  std::unique_ptr<SchemaNode> child = std::move(children_[i]);
+  children_.erase(children_.begin() + static_cast<long>(i));
+  child->parent_ = nullptr;
+  return child;
+}
+
+int SchemaNode::ChildIndex(const SchemaNode* child) const {
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (children_[i].get() == child) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+SchemaNode* SchemaNode::NearestAnnotatedAncestor() const {
+  for (SchemaNode* p = parent_; p != nullptr; p = p->parent_) {
+    if (p->kind() == SchemaNodeKind::kTag && p->is_annotated()) return p;
+  }
+  return nullptr;
+}
+
+bool SchemaNode::UnderRepetition() const {
+  for (const SchemaNode* p = parent_; p != nullptr; p = p->parent_) {
+    if (p->kind() == SchemaNodeKind::kRepetition) return true;
+    if (p->kind() == SchemaNodeKind::kTag && p->is_annotated()) break;
+  }
+  return false;
+}
+
+bool SchemaNode::UnderOption() const {
+  for (const SchemaNode* p = parent_; p != nullptr; p = p->parent_) {
+    if (p->kind() == SchemaNodeKind::kOption ||
+        p->kind() == SchemaNodeKind::kChoice) {
+      return true;
+    }
+    if (p->kind() == SchemaNodeKind::kTag && p->is_annotated()) break;
+  }
+  return false;
+}
+
+std::unique_ptr<SchemaNode> SchemaTree::NewNode(SchemaNodeKind kind) {
+  return std::make_unique<SchemaNode>(next_id_++, kind);
+}
+
+std::unique_ptr<SchemaNode> SchemaTree::NewTag(std::string name) {
+  std::unique_ptr<SchemaNode> node = NewNode(SchemaNodeKind::kTag);
+  node->set_name(std::move(name));
+  return node;
+}
+
+std::unique_ptr<SchemaNode> SchemaTree::NewSimple(XsdBaseType type) {
+  std::unique_ptr<SchemaNode> node = NewNode(SchemaNodeKind::kSimpleType);
+  node->set_base_type(type);
+  return node;
+}
+
+void SchemaTree::SetRoot(std::unique_ptr<SchemaNode> root) {
+  root_ = std::move(root);
+  root_->parent_ = nullptr;
+}
+
+namespace {
+
+std::unique_ptr<SchemaNode> CloneSubtree(const SchemaNode* node) {
+  auto copy = std::make_unique<SchemaNode>(node->id(), node->kind());
+  copy->set_name(node->name());
+  copy->set_base_type(node->base_type());
+  copy->set_annotation(node->annotation());
+  copy->set_type_name(node->type_name());
+  copy->set_origin_id(node->origin_id());
+  copy->set_is_variant_choice(node->is_variant_choice());
+  copy->set_presence(node->presence_any(), node->presence_forbidden());
+  copy->set_rep_split_index(node->rep_split_index());
+  copy->set_rep_overflow_from(node->rep_overflow_from());
+  if (node->undo() != nullptr) copy->set_undo(CloneSubtree(node->undo()));
+  for (const auto& child : node->children()) {
+    copy->AddChild(CloneSubtree(child.get()));
+  }
+  return copy;
+}
+
+void VisitSubtree(SchemaNode* node,
+                  const std::function<void(SchemaNode*)>& fn) {
+  fn(node);
+  for (const auto& child : node->children()) VisitSubtree(child.get(), fn);
+}
+
+}  // namespace
+
+std::unique_ptr<SchemaNode> SchemaTree::CopySubtreeSameIds(
+    const SchemaNode* node) {
+  return CloneSubtree(node);
+}
+
+std::unique_ptr<SchemaNode> SchemaTree::CopySubtreeFreshIds(
+    const SchemaNode* node) {
+  std::unique_ptr<SchemaNode> copy = NewNode(node->kind());
+  copy->set_name(node->name());
+  copy->set_base_type(node->base_type());
+  copy->set_annotation(node->annotation());
+  copy->set_type_name(node->type_name());
+  copy->set_origin_id(node->origin_id());
+  copy->set_is_variant_choice(node->is_variant_choice());
+  copy->set_presence(node->presence_any(), node->presence_forbidden());
+  copy->set_rep_split_index(node->rep_split_index());
+  copy->set_rep_overflow_from(node->rep_overflow_from());
+  if (node->undo() != nullptr) {
+    copy->set_undo(CloneSubtree(node->undo()));
+  }
+  for (const auto& child : node->children()) {
+    copy->AddChild(CopySubtreeFreshIds(child.get()));
+  }
+  return copy;
+}
+
+std::unique_ptr<SchemaTree> SchemaTree::Clone() const {
+  auto tree = std::make_unique<SchemaTree>();
+  tree->next_id_ = next_id_;
+  if (root_ != nullptr) tree->SetRoot(CloneSubtree(root_.get()));
+  return tree;
+}
+
+void SchemaTree::Visit(const std::function<void(SchemaNode*)>& fn) {
+  if (root_ != nullptr) VisitSubtree(root_.get(), fn);
+}
+
+void SchemaTree::Visit(const std::function<void(const SchemaNode*)>& fn) const {
+  if (root_ == nullptr) return;
+  VisitSubtree(root_.get(),
+               [&fn](SchemaNode* node) { fn(node); });
+}
+
+SchemaNode* SchemaTree::FindNode(int id) {
+  SchemaNode* found = nullptr;
+  Visit([&found, id](SchemaNode* node) {
+    if (node->id() == id) found = node;
+  });
+  return found;
+}
+
+const SchemaNode* SchemaTree::FindNode(int id) const {
+  return const_cast<SchemaTree*>(this)->FindNode(id);
+}
+
+SchemaNode* SchemaTree::FindTagByName(const std::string& name) {
+  SchemaNode* found = nullptr;
+  Visit([&found, &name](SchemaNode* node) {
+    if (found == nullptr && node->kind() == SchemaNodeKind::kTag &&
+        node->name() == name) {
+      found = node;
+    }
+  });
+  return found;
+}
+
+std::vector<SchemaNode*> SchemaTree::FindTagsByName(const std::string& name) {
+  std::vector<SchemaNode*> out;
+  Visit([&out, &name](SchemaNode* node) {
+    if (node->kind() == SchemaNodeKind::kTag && node->name() == name) {
+      out.push_back(node);
+    }
+  });
+  return out;
+}
+
+Status SchemaTree::Validate() const {
+  if (root_ == nullptr) return FailedPrecondition("schema tree has no root");
+  if (root_->kind() != SchemaNodeKind::kTag || !root_->is_annotated()) {
+    return FailedPrecondition("root must be an annotated tag");
+  }
+  Status status;
+  // Annotation -> representative type_name, to ensure one relation is not
+  // shared by structurally unrelated tags.
+  std::map<std::string, const SchemaNode*> annotation_owner;
+  Visit([&status, &annotation_owner](const SchemaNode* node) {
+    if (!status.ok()) return;
+    switch (node->kind()) {
+      case SchemaNodeKind::kTag: {
+        if (node->num_children() != 1) {
+          status = FailedPrecondition("tag '" + node->name() +
+                                      "' must have exactly one content child");
+          return;
+        }
+        // A tag is set-valued relative to its owning relation when the
+        // path to the nearest tag ancestor crosses a repetition (or a
+        // variant choice, whose alternatives are same-named contexts).
+        bool requires_annotation = false;
+        for (const SchemaNode* p = node->parent();
+             p != nullptr && p->kind() != SchemaNodeKind::kTag;
+             p = p->parent()) {
+          if (p->kind() == SchemaNodeKind::kRepetition ||
+              p->is_variant_choice()) {
+            requires_annotation = true;
+            break;
+          }
+        }
+        if (requires_annotation && !node->is_annotated()) {
+          status = FailedPrecondition("set-valued tag '" + node->name() +
+                                      "' must be annotated");
+          return;
+        }
+        if (node->is_annotated()) {
+          auto [it, inserted] =
+              annotation_owner.emplace(node->annotation(), node);
+          if (!inserted) {
+            const SchemaNode* other = it->second;
+            bool same_type = !node->type_name().empty() &&
+                             node->type_name() == other->type_name();
+            if (!same_type && node->name() != other->name()) {
+              status = FailedPrecondition(
+                  "annotation '" + node->annotation() +
+                  "' shared by unrelated tags '" + node->name() + "' and '" +
+                  other->name() + "'");
+            }
+          }
+        }
+        break;
+      }
+      case SchemaNodeKind::kOption:
+      case SchemaNodeKind::kRepetition:
+        if (node->num_children() != 1) {
+          status = FailedPrecondition("option/repetition must have one child");
+        }
+        break;
+      case SchemaNodeKind::kChoice:
+        if (node->num_children() < 2) {
+          status = FailedPrecondition("choice must have >= 2 alternatives");
+        }
+        break;
+      case SchemaNodeKind::kSequence:
+        if (node->num_children() == 0) {
+          status = FailedPrecondition("empty sequence");
+        }
+        break;
+      case SchemaNodeKind::kSimpleType:
+        if (node->num_children() != 0) {
+          status = FailedPrecondition("simple type must be a leaf");
+        }
+        break;
+    }
+  });
+  return status;
+}
+
+namespace {
+
+void Render(const SchemaNode* node, int indent, std::string* out) {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  if (node->kind() == SchemaNodeKind::kTag) {
+    *out += node->name();
+    if (node->is_annotated()) *out += " (" + node->annotation() + ")";
+    if (!node->type_name().empty()) *out += " :" + node->type_name();
+  } else if (node->kind() == SchemaNodeKind::kSimpleType) {
+    *out += "#";
+    *out += ColumnTypeToString(BaseTypeToColumnType(node->base_type()));
+  } else {
+    *out += SchemaNodeKindToString(node->kind());
+  }
+  *out += StrFormat("  [%d]\n", node->id());
+  for (const auto& child : node->children()) {
+    Render(child.get(), indent + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string SchemaTree::ToString() const {
+  std::string out;
+  if (root_ != nullptr) Render(root_.get(), 0, &out);
+  return out;
+}
+
+}  // namespace xmlshred

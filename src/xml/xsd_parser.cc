@@ -1,0 +1,328 @@
+#include "xml/xsd_parser.h"
+
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace xmlshred {
+
+namespace {
+
+// Strips a namespace prefix: "xs:element" -> "element".
+std::string_view LocalName(std::string_view qname) {
+  size_t pos = qname.rfind(':');
+  return pos == std::string_view::npos ? qname : qname.substr(pos + 1);
+}
+
+bool IsBaseType(std::string_view type, XsdBaseType* out) {
+  std::string_view local = LocalName(type);
+  if (local == "string" || local == "anyURI" || local == "token" ||
+      local == "normalizedString" || local == "date") {
+    *out = XsdBaseType::kString;
+    return true;
+  }
+  if (local == "int" || local == "integer" || local == "long" ||
+      local == "short" || local == "gYear" || local == "positiveInteger" ||
+      local == "nonNegativeInteger") {
+    *out = XsdBaseType::kInt;
+    return true;
+  }
+  if (local == "decimal" || local == "double" || local == "float") {
+    *out = XsdBaseType::kDouble;
+    return true;
+  }
+  return false;
+}
+
+struct Occurs {
+  int min = 1;
+  bool unbounded = false;
+  int max = 1;
+};
+
+Result<Occurs> ParseOccurs(const XmlElement& element) {
+  Occurs occurs;
+  if (const std::string* v = element.FindAttribute("minOccurs")) {
+    occurs.min = std::atoi(v->c_str());
+    if (occurs.min < 0) return InvalidArgument("negative minOccurs");
+  }
+  if (const std::string* v = element.FindAttribute("maxOccurs")) {
+    if (*v == "unbounded") {
+      occurs.unbounded = true;
+    } else {
+      occurs.max = std::atoi(v->c_str());
+      if (occurs.max < 1) return InvalidArgument("maxOccurs < 1");
+    }
+  }
+  return occurs;
+}
+
+class XsdBuilder {
+ public:
+  explicit XsdBuilder(const XmlElement& schema_root)
+      : schema_root_(schema_root) {}
+
+  Result<std::unique_ptr<SchemaTree>> Build() {
+    if (LocalName(schema_root_.tag()) != "schema") {
+      return InvalidArgument("document element is not xs:schema");
+    }
+    tree_ = std::make_unique<SchemaTree>();
+    // First pass: register named complex types.
+    for (const auto& child : schema_root_.children()) {
+      if (LocalName(child->tag()) == "complexType") {
+        const std::string* name = child->FindAttribute("name");
+        if (name == nullptr) {
+          return InvalidArgument("global complexType without name");
+        }
+        named_types_[*name] = child.get();
+      }
+    }
+    // The first global element is the document root.
+    const XmlElement* root_element = nullptr;
+    for (const auto& child : schema_root_.children()) {
+      if (LocalName(child->tag()) == "element") {
+        root_element = child.get();
+        break;
+      }
+    }
+    if (root_element == nullptr) {
+      return InvalidArgument("schema has no global element");
+    }
+    XS_ASSIGN_OR_RETURN(std::unique_ptr<SchemaNode> root,
+                        BuildElement(*root_element, /*depth=*/0));
+    tree_->SetRoot(std::move(root));
+    return std::move(tree_);
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  // Builds the kTag node for an xs:element (without occurs wrapping).
+  Result<std::unique_ptr<SchemaNode>> BuildElement(const XmlElement& element,
+                                                   int depth) {
+    if (depth > kMaxDepth) {
+      return Unimplemented("recursive or too-deep XSD type nesting");
+    }
+    const std::string* name = element.FindAttribute("name");
+    if (name == nullptr) return InvalidArgument("element without name");
+    std::unique_ptr<SchemaNode> tag = tree_->NewTag(*name);
+    if (const std::string* ann = element.FindAttribute("annotation")) {
+      tag->set_annotation(*ann);
+    }
+
+    const std::string* type = element.FindAttribute("type");
+    const XmlElement* inline_complex = element.FindChild("xs:complexType");
+    if (inline_complex == nullptr) {
+      // Accept any prefix.
+      for (const auto& child : element.children()) {
+        if (LocalName(child->tag()) == "complexType") {
+          inline_complex = child.get();
+          break;
+        }
+      }
+    }
+
+    if (type != nullptr) {
+      XsdBaseType base;
+      if (IsBaseType(*type, &base)) {
+        tag->AddChild(tree_->NewSimple(base));
+        return tag;
+      }
+      auto it = named_types_.find(std::string(LocalName(*type)));
+      if (it == named_types_.end()) {
+        return NotFound("complexType " + *type);
+      }
+      tag->set_type_name(std::string(LocalName(*type)));
+      XS_ASSIGN_OR_RETURN(std::unique_ptr<SchemaNode> content,
+                          BuildComplexContent(*it->second, depth + 1));
+      tag->AddChild(std::move(content));
+      return tag;
+    }
+    if (inline_complex != nullptr) {
+      XS_ASSIGN_OR_RETURN(std::unique_ptr<SchemaNode> content,
+                          BuildComplexContent(*inline_complex, depth + 1));
+      tag->AddChild(std::move(content));
+      return tag;
+    }
+    // No type: default to string content.
+    tag->AddChild(tree_->NewSimple(XsdBaseType::kString));
+    return tag;
+  }
+
+  // Builds the content node for a complexType: its sequence or choice.
+  Result<std::unique_ptr<SchemaNode>> BuildComplexContent(
+      const XmlElement& complex_type, int depth) {
+    for (const auto& child : complex_type.children()) {
+      std::string_view local = LocalName(child->tag());
+      if (local == "sequence" || local == "choice") {
+        return BuildGroup(*child, depth);
+      }
+    }
+    return InvalidArgument("complexType without sequence or choice");
+  }
+
+  // Builds a kSequence / kChoice node with occurs-wrapped particles.
+  Result<std::unique_ptr<SchemaNode>> BuildGroup(const XmlElement& group,
+                                                 int depth) {
+    std::string_view local = LocalName(group.tag());
+    std::unique_ptr<SchemaNode> node =
+        tree_->NewNode(local == "sequence" ? SchemaNodeKind::kSequence
+                                           : SchemaNodeKind::kChoice);
+    for (const auto& child : group.children()) {
+      std::string_view child_local = LocalName(child->tag());
+      std::unique_ptr<SchemaNode> particle;
+      if (child_local == "element") {
+        XS_ASSIGN_OR_RETURN(particle, BuildElement(*child, depth + 1));
+      } else if (child_local == "sequence" || child_local == "choice") {
+        XS_ASSIGN_OR_RETURN(particle, BuildGroup(*child, depth + 1));
+      } else {
+        continue;  // annotations, attributes, etc.
+      }
+      XS_ASSIGN_OR_RETURN(Occurs occurs, ParseOccurs(*child));
+      if (occurs.unbounded || occurs.max > 1) {
+        std::unique_ptr<SchemaNode> rep =
+            tree_->NewNode(SchemaNodeKind::kRepetition);
+        rep->AddChild(std::move(particle));
+        particle = std::move(rep);
+      } else if (occurs.min == 0) {
+        std::unique_ptr<SchemaNode> opt =
+            tree_->NewNode(SchemaNodeKind::kOption);
+        opt->AddChild(std::move(particle));
+        particle = std::move(opt);
+      }
+      node->AddChild(std::move(particle));
+    }
+    if (node->num_children() == 0) return InvalidArgument("empty group");
+    return node;
+  }
+
+  const XmlElement& schema_root_;
+  std::unique_ptr<SchemaTree> tree_;
+  std::map<std::string, const XmlElement*> named_types_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<SchemaTree>> ParseXsd(std::string_view xsd_text) {
+  XS_ASSIGN_OR_RETURN(XmlDocument doc, ParseXml(xsd_text));
+  if (doc.root() == nullptr) return InvalidArgument("empty XSD");
+  XsdBuilder builder(*doc.root());
+  return builder.Build();
+}
+
+void AssignDefaultAnnotations(SchemaTree* tree) {
+  std::set<std::string> taken;
+  tree->Visit([&taken](SchemaNode* node) {
+    if (node->is_annotated()) taken.insert(node->annotation());
+  });
+  auto unique_name = [&taken](const std::string& base) {
+    std::string name = base;
+    int suffix = 2;
+    while (taken.count(name) > 0) {
+      name = base + "_" + std::to_string(suffix++);
+    }
+    taken.insert(name);
+    return name;
+  };
+  if (tree->root() != nullptr && !tree->root()->is_annotated()) {
+    tree->root()->set_annotation(unique_name(tree->root()->name()));
+  }
+  tree->Visit([&unique_name](SchemaNode* node) {
+    if (node->kind() == SchemaNodeKind::kTag && !node->is_annotated() &&
+        node->parent() != nullptr &&
+        node->parent()->kind() == SchemaNodeKind::kRepetition) {
+      node->set_annotation(unique_name(node->name()));
+    }
+  });
+}
+
+namespace {
+
+const char* BaseTypeToXsd(XsdBaseType type) {
+  switch (type) {
+    case XsdBaseType::kString:
+      return "xs:string";
+    case XsdBaseType::kInt:
+      return "xs:integer";
+    case XsdBaseType::kDouble:
+      return "xs:double";
+  }
+  return "xs:string";
+}
+
+void RenderNode(const SchemaNode* node, const std::string& occurs_attrs,
+                int indent, std::string* out);
+
+// Renders the children of a group/option/repetition context.
+void RenderParticle(const SchemaNode* node, int indent, std::string* out) {
+  switch (node->kind()) {
+    case SchemaNodeKind::kRepetition:
+      RenderNode(node->child(0), " minOccurs=\"0\" maxOccurs=\"unbounded\"",
+                 indent, out);
+      break;
+    case SchemaNodeKind::kOption:
+      RenderNode(node->child(0), " minOccurs=\"0\"", indent, out);
+      break;
+    default:
+      RenderNode(node, "", indent, out);
+  }
+}
+
+void RenderNode(const SchemaNode* node, const std::string& occurs_attrs,
+                int indent, std::string* out) {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  switch (node->kind()) {
+    case SchemaNodeKind::kTag: {
+      const SchemaNode* content = node->child(0);
+      std::string ann = node->is_annotated()
+                            ? " annotation=\"" + node->annotation() + "\""
+                            : "";
+      if (content->kind() == SchemaNodeKind::kSimpleType) {
+        *out += pad + "<xs:element name=\"" + node->name() + "\" type=\"" +
+                BaseTypeToXsd(content->base_type()) + "\"" + ann +
+                occurs_attrs + "/>\n";
+      } else {
+        *out += pad + "<xs:element name=\"" + node->name() + "\"" + ann +
+                occurs_attrs + ">\n";
+        *out += pad + "  <xs:complexType>\n";
+        RenderNode(content, "", indent + 2, out);
+        *out += pad + "  </xs:complexType>\n";
+        *out += pad + "</xs:element>\n";
+      }
+      break;
+    }
+    case SchemaNodeKind::kSequence:
+    case SchemaNodeKind::kChoice: {
+      const char* name =
+          node->kind() == SchemaNodeKind::kSequence ? "sequence" : "choice";
+      *out += pad + "<xs:" + std::string(name) + occurs_attrs + ">\n";
+      for (const auto& child : node->children()) {
+        RenderParticle(child.get(), indent + 1, out);
+      }
+      *out += pad + "</xs:" + std::string(name) + ">\n";
+      break;
+    }
+    case SchemaNodeKind::kRepetition:
+    case SchemaNodeKind::kOption:
+      RenderParticle(node, indent, out);
+      break;
+    case SchemaNodeKind::kSimpleType:
+      // Rendered by the owning tag.
+      break;
+  }
+}
+
+}  // namespace
+
+std::string SchemaTreeToXsd(const SchemaTree& tree) {
+  std::string out =
+      "<?xml version=\"1.0\"?>\n"
+      "<xs:schema xmlns:xs=\"http://www.w3.org/2001/XMLSchema\">\n";
+  if (tree.root() != nullptr) RenderNode(tree.root(), "", 1, &out);
+  out += "</xs:schema>\n";
+  return out;
+}
+
+}  // namespace xmlshred

@@ -1,0 +1,42 @@
+// XSD (XML Schema) subset parser: converts an XSD document into the
+// annotated schema tree of Section 2, and back.
+//
+// Supported constructs: global xs:element (the first is the document
+// root), named xs:complexType definitions (references to the same named
+// type produce shared-type tag nodes), inline complex types, xs:sequence,
+// xs:choice, minOccurs/maxOccurs on particles, and the base types
+// xs:string, xs:int(eger)/xs:long, xs:decimal/xs:double/xs:float.
+//
+// Extension: an `annotation="relname"` attribute on xs:element sets the
+// node's relation annotation explicitly (the paper's A set); otherwise
+// AssignDefaultAnnotations() annotates the root and every set-valued
+// element, as the mapping rules require.
+
+#ifndef XMLSHRED_XML_XSD_PARSER_H_
+#define XMLSHRED_XML_XSD_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/status.h"
+#include "xml/document.h"
+#include "xml/schema_tree.h"
+
+namespace xmlshred {
+
+// Parses XSD text into a schema tree. Does not assign default annotations
+// beyond explicit `annotation` attributes; call AssignDefaultAnnotations()
+// if the schema leaves mandatory annotations implicit.
+Result<std::unique_ptr<SchemaTree>> ParseXsd(std::string_view xsd_text);
+
+// Annotates the root and every tag under a repetition that lacks an
+// annotation, deriving unique relation names from tag names.
+void AssignDefaultAnnotations(SchemaTree* tree);
+
+// Renders the schema tree as an XSD document (inverse of ParseXsd for the
+// supported subset; annotations appear as `annotation` attributes).
+std::string SchemaTreeToXsd(const SchemaTree& tree);
+
+}  // namespace xmlshred
+
+#endif  // XMLSHRED_XML_XSD_PARSER_H_

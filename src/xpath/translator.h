@@ -1,0 +1,59 @@
+// XPath -> SQL translation using the sorted-outer-union approach of
+// Shanmugasundaram et al. (paper Section 1.1, reference [21]).
+//
+// For a query //ctx[sel op lit]/(p1 | p2 | ...) under a mapping M:
+//
+//  * every annotated tag named `ctx` is a context anchor (several after
+//    type split or union distribution);
+//  * for each anchor whose relation stores the selection column inline,
+//    one block returns the context row's ID plus all inline projection
+//    columns (repetition-split occurrence columns fill several output
+//    slots), and one further block per child relation joins it via
+//    child.PID = ctx.ID, NULL-padding the other slots;
+//  * anchors lacking a projection or the selection element contribute
+//    fewer blocks or none — that is exactly the partition elimination
+//    that makes union distribution profitable;
+//  * ORDER BY the ID column glues each context's fragments together.
+//
+// The translated query's output schema depends on the mapping, so the
+// translator also reports which projection element each output column
+// carries; CanonicalizeResult() folds executed rows into a
+// mapping-independent multiset for cross-mapping comparison.
+
+#ifndef XMLSHRED_XPATH_TRANSLATOR_H_
+#define XMLSHRED_XPATH_TRANSLATOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mapping/mapping.h"
+#include "sql/ast.h"
+#include "xml/schema_tree.h"
+#include "xpath/xpath.h"
+
+namespace xmlshred {
+
+struct TranslatedQuery {
+  Query sql;
+  // For each output column: the projection element it carries ("" for the
+  // leading context-ID column).
+  std::vector<std::string> output_elements;
+};
+
+// Translates `query` against the mapping. Fails with NotFound when no
+// anchor matches the context, and Unimplemented for shapes outside the
+// supported subset (e.g. selection paths stored only in child relations).
+Result<TranslatedQuery> TranslateXPath(const XPathQuery& query,
+                                       const SchemaTree& tree,
+                                       const Mapping& mapping);
+
+// Folds executed result rows into a canonical, mapping-independent form:
+// sorted (context id, element name, value) triples (NULL values dropped).
+std::vector<std::string> CanonicalizeResult(
+    const TranslatedQuery& query, const std::vector<Row>& rows);
+
+}  // namespace xmlshred
+
+#endif  // XMLSHRED_XPATH_TRANSLATOR_H_

@@ -1,0 +1,60 @@
+// XPath subset of Section 2.1: descendant/child axes, one selection
+// predicate, and a union of projection elements —
+//
+//   //movie[title = "Titanic"]/(aka_title | avg_rating)
+//   /dblp/inproceedings[year = 2000]/(title | author | pages)
+//
+// The step before the projection list is the *context*; the predicate's
+// left side is the *selection path*; the parenthesized names are the
+// *projection elements* (paper terminology).
+
+#ifndef XMLSHRED_XPATH_XPATH_H_
+#define XMLSHRED_XPATH_XPATH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "rel/value.h"
+
+namespace xmlshred {
+
+// One comparison predicate inside a step qualifier.
+struct XPathSelection {
+  std::string path;
+  std::string op;  // =, <, <=, >, >=
+  Value literal;
+};
+
+struct XPathQuery {
+  std::string context;  // element name of the context step
+  bool has_selection = false;
+  std::string selection_path;
+  std::string selection_op;  // =, <, <=, >, >=
+  Value selection_literal;
+  // Conjunctive predicates beyond the first:
+  // //movie[year >= 1990 and avg_rating >= 8]/(title). An extension past
+  // the paper's single-predicate queries ("more general XML queries" is
+  // its stated future work).
+  std::vector<XPathSelection> extra_selections;
+  std::vector<std::string> projections;
+  double weight = 1.0;  // workload weight f_i (Definition 1)
+
+  // Every selection path (primary + extras).
+  std::vector<std::string> SelectionPaths() const;
+
+  std::string ToString() const;
+};
+
+// Parses the XPath subset. Accepts absolute prefixes (/a/b/ctx...): only
+// the context step and below matter for translation since context element
+// names are unique in our schemas.
+Result<XPathQuery> ParseXPath(std::string_view xpath);
+
+// An XPath workload W = {(Q_i, f_i)} (Definition 1).
+using XPathWorkload = std::vector<XPathQuery>;
+
+}  // namespace xmlshred
+
+#endif  // XMLSHRED_XPATH_XPATH_H_

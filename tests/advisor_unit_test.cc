@@ -1,0 +1,191 @@
+// Unit-level tests for advisor candidate generation and the translator's
+// literal coercion.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/logging.h"
+#include "mapping/shredder.h"
+#include "sql/parser.h"
+#include "tune/advisor.h"
+#include "xml/dtd_parser.h"
+#include "xml/xsd_parser.h"
+#include "xpath/translator.h"
+
+namespace xmlshred {
+namespace {
+
+CatalogDesc MakeCatalog(int rows) {
+  Database db;
+  TableSchema parent;
+  parent.name = "t";
+  parent.columns = {{"ID", ColumnType::kInt64, false},
+                    {"PID", ColumnType::kInt64, true},
+                    {"a", ColumnType::kInt64, true},
+                    {"b", ColumnType::kString, true},
+                    {"c", ColumnType::kInt64, true}};
+  parent.id_column = 0;
+  parent.pid_column = 1;
+  auto result = db.CreateTable(parent);
+  XS_CHECK_OK(result.status());
+  for (int i = 0; i < rows; ++i) {
+    (*result)->AppendRow({Value::Int(i), Value::Null(), Value::Int(i % 100),
+                          Value::Str("s" + std::to_string(i % 37)),
+                          Value::Int(i % 7)});
+  }
+  TableSchema child;
+  child.name = "c";
+  child.columns = {{"ID", ColumnType::kInt64, false},
+                   {"PID", ColumnType::kInt64, true},
+                   {"w", ColumnType::kString, true}};
+  child.id_column = 0;
+  child.pid_column = 1;
+  auto cres = db.CreateTable(child);
+  XS_CHECK_OK(cres.status());
+  for (int i = 0; i < rows * 2; ++i) {
+    (*cres)->AppendRow({Value::Int(100000 + i), Value::Int(i / 2),
+                        Value::Str("w" + std::to_string(i))});
+  }
+  return db.BuildCatalogDesc();
+}
+
+WeightedQuery Parse(const std::string& sql) {
+  auto q = ParseSql(sql);
+  XS_CHECK_OK(q.status());
+  return {std::move(*q), 1.0};
+}
+
+TEST(AdvisorUnitTest, RecommendedNamesAreUnique) {
+  CatalogDesc catalog = MakeCatalog(20000);
+  std::vector<WeightedQuery> workload = {
+      Parse("SELECT b FROM t WHERE a = 5"),
+      Parse("SELECT a, b FROM t WHERE a = 5 AND c = 3"),
+      Parse("SELECT t.b, c.w FROM t, c WHERE t.ID = c.PID AND t.a = 9"),
+  };
+  PhysicalDesignAdvisor advisor(TunerOptions{});
+  auto result = advisor.Tune(workload, catalog);
+  ASSERT_TRUE(result.ok()) << result.status();
+  std::set<std::string> names;
+  for (const IndexDesc& idx : result->indexes) {
+    EXPECT_TRUE(names.insert(idx.def.name).second) << idx.def.name;
+  }
+  for (const ViewDesc& view : result->views) {
+    EXPECT_TRUE(names.insert(view.def.name).second) << view.def.name;
+  }
+}
+
+TEST(AdvisorUnitTest, StructureSizesAreCountedAgainstBudget) {
+  CatalogDesc catalog = MakeCatalog(20000);
+  std::vector<WeightedQuery> workload = {
+      Parse("SELECT b FROM t WHERE a = 5"),
+  };
+  TunerOptions options;
+  options.storage_bound_pages = catalog.DataPages() * 100;
+  PhysicalDesignAdvisor advisor(options);
+  auto result = advisor.Tune(workload, catalog);
+  ASSERT_TRUE(result.ok());
+  int64_t pages = 0;
+  for (const IndexDesc& idx : result->indexes) pages += idx.NumPages();
+  for (const ViewDesc& view : result->views) pages += view.NumPages();
+  EXPECT_EQ(pages, result->structure_pages);
+}
+
+TEST(AdvisorUnitTest, MoreWeightMoreStructuresForThatQuery) {
+  CatalogDesc catalog = MakeCatalog(20000);
+  // With overwhelming weight on the join query, some structure must serve
+  // it (an index on c.PID or a join view).
+  std::vector<WeightedQuery> workload = {
+      Parse("SELECT b FROM t WHERE a = 5"),
+      {ParseSql("SELECT t.b, c.w FROM t, c WHERE t.ID = c.PID AND t.a = 9")
+           .TakeValue(),
+       1000.0},
+  };
+  PhysicalDesignAdvisor advisor(TunerOptions{});
+  auto result = advisor.Tune(workload, catalog);
+  ASSERT_TRUE(result.ok());
+  bool serves_join = false;
+  for (const IndexDesc& idx : result->indexes) {
+    if (idx.def.table == "c") serves_join = true;
+  }
+  for (const ViewDesc& view : result->views) {
+    if (view.def.join_child.has_value()) serves_join = true;
+  }
+  EXPECT_TRUE(serves_join);
+}
+
+TEST(CoercionTest, NumericLiteralAgainstStringColumn) {
+  // A DTD schema types everything as PCDATA (VARCHAR); a numeric XPath
+  // literal must still select rows (coerced to a string comparison).
+  constexpr const char* dtd = R"(
+<!ELEMENT shelf (item*)>
+<!ELEMENT item (label, qty)>
+<!ELEMENT label (#PCDATA)>
+<!ELEMENT qty (#PCDATA)>
+)";
+  auto tree = ParseDtd(dtd);
+  ASSERT_TRUE(tree.ok());
+  AssignDefaultAnnotations(tree->get());
+  auto doc = ParseXml(
+      "<shelf>"
+      "<item><label>a</label><qty>5</qty></item>"
+      "<item><label>b</label><qty>7</qty></item>"
+      "</shelf>");
+  ASSERT_TRUE(doc.ok());
+  auto mapping = Mapping::Build(**tree);
+  ASSERT_TRUE(mapping.ok());
+  auto query = ParseXPath("//item[qty = 7]/(label)");
+  ASSERT_TRUE(query.ok());
+  auto translated = TranslateXPath(*query, **tree, *mapping);
+  ASSERT_TRUE(translated.ok()) << translated.status();
+  // The literal must have been coerced to the VARCHAR column's type.
+  bool found_string_literal = false;
+  for (const SelectBlock& block : translated->sql.blocks) {
+    for (const FilterPred& filter : block.filters) {
+      if (filter.column == "qty") {
+        EXPECT_TRUE(filter.literal.is_string());
+        EXPECT_EQ(filter.literal.AsString(), "7");
+        found_string_literal = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_string_literal);
+}
+
+TEST(CoercionTest, StringLiteralAgainstNumericColumn) {
+  auto tree = ParseXsd(R"(
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="r" annotation="r">
+    <xs:complexType><xs:sequence>
+      <xs:element name="e" annotation="e" maxOccurs="unbounded">
+        <xs:complexType><xs:sequence>
+          <xs:element name="n" type="xs:integer"/>
+        </xs:sequence></xs:complexType>
+      </xs:element>
+    </xs:sequence></xs:complexType>
+  </xs:element>
+</xs:schema>)");
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  auto mapping = Mapping::Build(**tree);
+  ASSERT_TRUE(mapping.ok());
+  XPathQuery query;
+  query.context = "e";
+  query.has_selection = true;
+  query.selection_path = "n";
+  query.selection_op = "=";
+  query.selection_literal = Value::Str("42");  // string against BIGINT
+  query.projections = {"n"};
+  auto translated = TranslateXPath(query, **tree, *mapping);
+  ASSERT_TRUE(translated.ok()) << translated.status();
+  for (const SelectBlock& block : translated->sql.blocks) {
+    for (const FilterPred& filter : block.filters) {
+      if (filter.column == "n") {
+        EXPECT_TRUE(filter.literal.is_int());
+        EXPECT_EQ(filter.literal.AsInt(), 42);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xmlshred

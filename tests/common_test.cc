@@ -1,0 +1,151 @@
+// Unit tests for src/common: Status/Result, strings, RNG.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace xmlshred {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "invalid argument: bad input");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_EQ(NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(FailedPrecondition("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = NotFound("nothing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> HalfIfEven(int v) {
+  if (v % 2 != 0) return InvalidArgument("odd");
+  return v / 2;
+}
+
+Result<int> QuarterIfDivisible(int v) {
+  XS_ASSIGN_OR_RETURN(int half, HalfIfEven(v));
+  return HalfIfEven(half);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  Result<int> ok = QuarterIfDivisible(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  Result<int> bad = QuarterIfDivisible(6);
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(StringsTest, StrSplitKeepsEmptyPieces) {
+  auto pieces = StrSplit("a,,b", ',');
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "");
+  EXPECT_EQ(pieces[2], "b");
+}
+
+TEST(StringsTest, StrJoinRoundTripsSplit) {
+  std::vector<std::string> pieces = {"x", "y", "z"};
+  EXPECT_EQ(StrJoin(pieces, "/"), "x/y/z");
+  EXPECT_EQ(StrSplit("x/y/z", '/'), pieces);
+}
+
+TEST(StringsTest, CaseHelpers) {
+  EXPECT_EQ(AsciiToLower("AbC"), "abc");
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_FALSE(EqualsIgnoreCase("SELECT", "selec"));
+  EXPECT_TRUE(StartsWith("inproc_author", "inproc"));
+  EXPECT_TRUE(EndsWith("inproc_author", "author"));
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  a b \t\n"), "a b");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("   "), "");
+}
+
+TEST(StringsTest, Formatting) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatWithCommas(1234567), "1,234,567");
+  EXPECT_EQ(FormatWithCommas(-1000), "-1,000");
+  EXPECT_EQ(FormatWithCommas(12), "12");
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliApproximatesP) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, ZipfSkewsLow) {
+  Rng rng(17);
+  int low = 0, total = 10000;
+  for (int i = 0; i < total; ++i) {
+    if (rng.Zipf(20, 1.5) <= 5) ++low;
+  }
+  // With theta=1.5 the mass at k<=5 dominates.
+  EXPECT_GT(low, total * 0.8);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(19);
+  std::vector<double> weights = {1.0, 0.0, 9.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) ++counts[rng.WeightedIndex(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_GT(counts[2], counts[0]);
+}
+
+}  // namespace
+}  // namespace xmlshred

@@ -1,0 +1,158 @@
+// Tests for the conjunctive-predicate XPath extension
+// (//ctx[a op v and b op w]/...), the paper's "more general XML queries"
+// future-work direction.
+
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "mapping/shredder.h"
+#include "mapping/transforms.h"
+#include "opt/planner.h"
+#include "sql/binder.h"
+#include "workload/movie.h"
+#include "xpath/translator.h"
+
+namespace xmlshred {
+namespace {
+
+TEST(ConjunctiveParseTest, TwoAndThreePredicates) {
+  auto q = ParseXPath(
+      "//movie[year >= 1990 and avg_rating >= 8]/(title)");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->selection_path, "year");
+  ASSERT_EQ(q->extra_selections.size(), 1u);
+  EXPECT_EQ(q->extra_selections[0].path, "avg_rating");
+  EXPECT_EQ(q->extra_selections[0].op, ">=");
+  EXPECT_EQ(q->SelectionPaths(),
+            (std::vector<std::string>{"year", "avg_rating"}));
+
+  auto q3 = ParseXPath(
+      "//movie[year >= 1990 and avg_rating >= 8 and votes >= 100]/(title)");
+  ASSERT_TRUE(q3.ok()) << q3.status();
+  EXPECT_EQ(q3->extra_selections.size(), 2u);
+}
+
+TEST(ConjunctiveParseTest, RoundTripAndErrors) {
+  auto q = ParseXPath("//movie[year >= 1990 and votes = 5]/(title)");
+  ASSERT_TRUE(q.ok());
+  auto again = ParseXPath(q->ToString());
+  ASSERT_TRUE(again.ok()) << q->ToString();
+  EXPECT_EQ(again->ToString(), q->ToString());
+  EXPECT_FALSE(ParseXPath("//movie[year >= 1990 and]/(title)").ok());
+  EXPECT_FALSE(ParseXPath("//movie[and year = 1]/(title)").ok());
+  // 'android' must not lex as 'and' + 'roid'.
+  auto named = ParseXPath("//movie[android = 1]/(title)");
+  ASSERT_TRUE(named.ok());
+  EXPECT_EQ(named->selection_path, "android");
+}
+
+class ConjunctiveExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MovieConfig config;
+    config.num_movies = 2000;
+    data_ = GenerateMovie(config);
+  }
+
+  Result<std::vector<std::string>> Run(const SchemaTree& tree,
+                                       const std::string& xpath) {
+    auto mapping = Mapping::Build(tree);
+    if (!mapping.ok()) return mapping.status();
+    Database db;
+    auto shred = ShredDocument(data_.doc, tree, *mapping, &db);
+    if (!shred.ok()) return shred.status();
+    auto query = ParseXPath(xpath);
+    if (!query.ok()) return query.status();
+    auto translated = TranslateXPath(*query, tree, *mapping);
+    if (!translated.ok()) return translated.status();
+    CatalogDesc catalog = db.BuildCatalogDesc();
+    auto bound = BindQuery(translated->sql, catalog);
+    if (!bound.ok()) return bound.status();
+    auto planned = PlanQuery(*bound, catalog);
+    if (!planned.ok()) return planned.status();
+    Executor executor(db);
+    ExecMetrics metrics;
+    auto rows = executor.Run(*planned->root, &metrics);
+    if (!rows.ok()) return rows.status();
+    return CanonicalizeResult(*translated, *rows);
+  }
+
+  GeneratedData data_;
+};
+
+TEST_F(ConjunctiveExecTest, MatchesManualIntersection) {
+  const char* conjunctive =
+      "//movie[year >= 2000 and avg_rating >= 5]/(title)";
+  auto result = Run(*data_.tree, conjunctive);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  // Manually compute from the document.
+  std::set<std::string> expected_titles;
+  for (const auto& movie : data_.doc.root()->children()) {
+    const XmlElement* year = movie->FindChild("year");
+    const XmlElement* rating = movie->FindChild("avg_rating");
+    if (year != nullptr && std::atoi(year->text().c_str()) >= 2000 &&
+        rating != nullptr && std::atof(rating->text().c_str()) >= 5.0) {
+      expected_titles.insert(movie->FindChild("title")->text());
+    }
+  }
+  ASSERT_FALSE(expected_titles.empty());
+  std::set<std::string> got;
+  for (const std::string& triple : *result) {
+    size_t a = triple.find("|title|'");
+    if (a != std::string::npos) {
+      got.insert(triple.substr(a + 8, triple.size() - a - 9));
+    }
+  }
+  EXPECT_EQ(got, expected_titles);
+}
+
+TEST_F(ConjunctiveExecTest, InvariantUnderTransformations) {
+  const char* query =
+      "//movie[year >= 1998 and avg_rating >= 7]/(title | aka_title)";
+  auto baseline = Run(*data_.tree, query);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+
+  // Under repetition split.
+  auto split_tree = data_.tree->Clone();
+  Transform split;
+  split.kind = TransformKind::kRepetitionSplit;
+  split.target = split_tree->FindTagByName("aka_title")->parent()->id();
+  split.split_count = 4;
+  ASSERT_TRUE(ApplyTransform(split_tree.get(), split).ok());
+  auto split_result = Run(*split_tree, query);
+  ASSERT_TRUE(split_result.ok()) << split_result.status();
+  EXPECT_EQ(*split_result, *baseline);
+
+  // Under implicit union distribution on avg_rating (the selection on
+  // avg_rating eliminates the no-rating partition).
+  auto dist_tree = data_.tree->Clone();
+  SchemaNode* option = dist_tree->FindTagByName("avg_rating")->parent();
+  Transform dist;
+  dist.kind = TransformKind::kUnionDistribute;
+  dist.target = option->id();
+  dist.option_targets = {option->id()};
+  ASSERT_TRUE(ApplyTransform(dist_tree.get(), dist).ok());
+  auto dist_result = Run(*dist_tree, query);
+  ASSERT_TRUE(dist_result.ok()) << dist_result.status();
+  EXPECT_EQ(*dist_result, *baseline);
+}
+
+TEST_F(ConjunctiveExecTest, OutlinedConjunctArmJoins) {
+  // Outline `year`: the first conjunct then needs a child-relation join
+  // while the second stays inline.
+  auto tree = data_.tree->Clone();
+  FullyInline(tree.get());
+  auto baseline = Run(*tree, "//movie[year >= 2000 and votes >= 500000]/(title)");
+  ASSERT_TRUE(baseline.ok());
+  Transform outline;
+  outline.kind = TransformKind::kOutline;
+  outline.target = tree->FindTagByName("year")->id();
+  ASSERT_TRUE(ApplyTransform(tree.get(), outline).ok());
+  auto outlined = Run(*tree, "//movie[year >= 2000 and votes >= 500000]/(title)");
+  ASSERT_TRUE(outlined.ok()) << outlined.status();
+  EXPECT_EQ(*outlined, *baseline);
+}
+
+}  // namespace
+}  // namespace xmlshred

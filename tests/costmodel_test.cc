@@ -1,0 +1,145 @@
+// Unit tests for the cost model, selectivity estimation, and the
+// statistics algebra (scale / merge) used by derivation.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "opt/cost_model.h"
+#include "opt/planner.h"
+#include "rel/index.h"
+#include "rel/stats.h"
+
+namespace xmlshred {
+namespace {
+
+TEST(CostModelTest, SortCostMonotonic) {
+  EXPECT_EQ(SortCost(0), 0);
+  EXPECT_EQ(SortCost(1), 0);
+  double prev = 0;
+  for (double n : {10.0, 100.0, 1000.0, 1e6}) {
+    double cost = SortCost(n);
+    EXPECT_GT(cost, prev);
+    prev = cost;
+  }
+}
+
+TEST(CostModelTest, ProbePagesGrowWithMatches) {
+  EXPECT_GE(IndexProbePagesFor(100, 20.0, 0), 1);
+  EXPECT_LT(IndexProbePagesFor(100, 20.0, 1),
+            IndexProbePagesFor(100, 20.0, 100000));
+  // Wider entries span more leaf pages for the same match count.
+  EXPECT_LE(IndexProbePagesFor(100, 8.0, 5000),
+            IndexProbePagesFor(100, 80.0, 5000));
+}
+
+ColumnStats MakeIntStats(int n, int distinct) {
+  std::vector<Value> values;
+  for (int i = 0; i < n; ++i) values.push_back(Value::Int(i % distinct));
+  return BuildColumnStatsFromValues(values);
+}
+
+TEST(SelectivityTest, FilterOps) {
+  ColumnStats stats = MakeIntStats(1000, 100);  // values 0..99, 10 each
+  EXPECT_NEAR(FilterSelectivity(stats, "=", Value::Int(5)), 0.01, 1e-9);
+  EXPECT_NEAR(FilterSelectivity(stats, "<", Value::Int(50)), 0.5, 0.05);
+  EXPECT_NEAR(FilterSelectivity(stats, ">=", Value::Int(90)), 0.1, 0.03);
+  EXPECT_NEAR(FilterSelectivity(stats, "is not null", Value::Null()), 1.0,
+              1e-9);
+  EXPECT_EQ(FilterSelectivity(stats, "=", Value::Int(1000)), 0.0);
+}
+
+TEST(SelectivityTest, NullsShrinkNotNull) {
+  std::vector<Value> values;
+  for (int i = 0; i < 100; ++i) {
+    values.push_back(i % 4 == 0 ? Value::Null() : Value::Int(i));
+  }
+  ColumnStats stats = BuildColumnStatsFromValues(values);
+  EXPECT_NEAR(FilterSelectivity(stats, "is not null", Value::Null()), 0.75,
+              1e-9);
+}
+
+TEST(StatsAlgebraTest, ScalePreservesShape) {
+  ColumnStats stats = MakeIntStats(1000, 50);
+  ColumnStats half = ScaleColumnStats(stats, 0.5);
+  EXPECT_EQ(half.non_null_count, 500);
+  EXPECT_TRUE(half.min.TotalEquals(stats.min));
+  EXPECT_TRUE(half.max.TotalEquals(stats.max));
+  EXPECT_LE(half.distinct_estimate, stats.distinct_estimate);
+  // Selectivity of an equality probe is invariant under scaling.
+  EXPECT_NEAR(half.EqSelectivity(Value::Int(7)),
+              stats.EqSelectivity(Value::Int(7)), 0.005);
+  // Histogram mass halves.
+  int64_t full_mass = 0, half_mass = 0;
+  for (const auto& b : stats.histogram) full_mass += b.count;
+  for (const auto& b : half.histogram) half_mass += b.count;
+  EXPECT_NEAR(static_cast<double>(half_mass),
+              static_cast<double>(full_mass) / 2, full_mass * 0.02 + 2.0);
+}
+
+TEST(StatsAlgebraTest, MergeAddsPopulations) {
+  std::vector<Value> low, high;
+  for (int i = 0; i < 300; ++i) low.push_back(Value::Int(i % 10));
+  for (int i = 0; i < 100; ++i) high.push_back(Value::Int(100 + i % 5));
+  ColumnStats a = BuildColumnStatsFromValues(low);
+  ColumnStats b = BuildColumnStatsFromValues(high);
+  ColumnStats merged = MergeColumnStats(a, b);
+  EXPECT_EQ(merged.non_null_count, 400);
+  EXPECT_TRUE(merged.min.TotalEquals(Value::Int(0)));
+  EXPECT_TRUE(merged.max.TotalEquals(Value::Int(104)));
+  EXPECT_EQ(merged.distinct_estimate, 15);
+  // Range selectivity reflects the combined distribution: values < 50 are
+  // exactly the 300 low ones.
+  EXPECT_NEAR(merged.RangeSelectivity("<", Value::Int(50)), 0.75, 0.05);
+  // Merging with an empty population is identity.
+  ColumnStats empty;
+  EXPECT_EQ(MergeColumnStats(a, empty).non_null_count, a.non_null_count);
+  EXPECT_EQ(MergeColumnStats(empty, b).non_null_count, b.non_null_count);
+}
+
+TEST(StatsAlgebraTest, MergeMcvsAccumulate) {
+  std::vector<Value> a_vals(50, Value::Str("x"));
+  std::vector<Value> b_vals(30, Value::Str("x"));
+  for (int i = 0; i < 20; ++i) b_vals.push_back(Value::Str("y"));
+  ColumnStats merged = MergeColumnStats(BuildColumnStatsFromValues(a_vals),
+                                        BuildColumnStatsFromValues(b_vals));
+  EXPECT_NEAR(merged.EqSelectivity(Value::Str("x")), 0.8, 1e-9);
+  EXPECT_NEAR(merged.EqSelectivity(Value::Str("y")), 0.2, 1e-9);
+}
+
+TEST(ValueOrderTest, TotalOrderIsTransitiveAndAntisymmetric) {
+  Rng rng(99);
+  std::vector<Value> values = {Value::Null(), Value::Int(-5), Value::Int(0),
+                               Value::Real(0.0), Value::Real(3.5),
+                               Value::Int(4), Value::Str(""),
+                               Value::Str("a"), Value::Str("b")};
+  for (int i = 0; i < 200; ++i) {
+    values.push_back(Value::Int(rng.Uniform(-100, 100)));
+    values.push_back(Value::Real(rng.UniformDouble() * 200 - 100));
+  }
+  for (size_t i = 0; i < values.size(); i += 7) {
+    for (size_t j = 0; j < values.size(); j += 5) {
+      const Value& a = values[i];
+      const Value& b = values[j];
+      // Antisymmetry.
+      EXPECT_FALSE(a.TotalLess(b) && b.TotalLess(a));
+      // Consistency of TotalEquals.
+      EXPECT_EQ(a.TotalEquals(b), !a.TotalLess(b) && !b.TotalLess(a));
+      for (size_t k = 0; k < values.size(); k += 11) {
+        const Value& c = values[k];
+        if (a.TotalLess(b) && b.TotalLess(c)) {
+          EXPECT_TRUE(a.TotalLess(c));
+        }
+      }
+    }
+  }
+}
+
+TEST(PagesTest, PagesForBoundaries) {
+  EXPECT_EQ(PagesFor(0, 50), 0);
+  EXPECT_EQ(PagesFor(1, 1), 1);
+  EXPECT_EQ(PagesFor(163, 50.0), 1);   // just under one page
+  EXPECT_EQ(PagesFor(164, 50.0), 2);   // just over
+}
+
+}  // namespace
+}  // namespace xmlshred

@@ -1,0 +1,134 @@
+// Differential tests: the optimized engine (arbitrary physical
+// configurations, every join method and access path) must return exactly
+// the same multiset of rows as the brute-force reference evaluator, for
+// randomized queries over randomized configurations.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "common/rng.h"
+#include "exec/executor.h"
+#include "mapping/shredder.h"
+#include "opt/planner.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+#include "reference_executor.h"
+#include "workload/movie.h"
+
+namespace xmlshred {
+namespace {
+
+class DifferentialTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    MovieConfig config;
+    config.num_movies = 600;  // brute-force joins are quadratic
+    data_ = GenerateMovie(config);
+    auto mapping = Mapping::Build(*data_.tree);
+    ASSERT_TRUE(mapping.ok());
+    ASSERT_TRUE(ShredDocument(data_.doc, *data_.tree, *mapping, &db_).ok());
+  }
+
+  // Builds a random physical configuration over the movie tables.
+  void RandomConfiguration(Rng* rng) {
+    const Table* movie = db_.FindTable("movie");
+    int columns = movie->schema().num_columns();
+    int num_indexes = static_cast<int>(rng->Uniform(0, 3));
+    for (int i = 0; i < num_indexes; ++i) {
+      IndexDef def;
+      def.name = "rand_ix_" + std::to_string(i);
+      def.table = "movie";
+      def.key_columns = {
+          static_cast<int>(rng->Uniform(2, columns - 1))};
+      if (rng->Bernoulli(0.5)) {
+        int inc = static_cast<int>(rng->Uniform(2, columns - 1));
+        if (inc != def.key_columns[0]) def.included_columns = {inc};
+      }
+      ASSERT_TRUE(db_.CreateIndex(def).ok());
+    }
+    if (rng->Bernoulli(0.5)) {
+      IndexDef pid;
+      pid.name = "rand_pid";
+      pid.table = "aka_title";
+      pid.key_columns = {1};
+      if (rng->Bernoulli(0.5)) pid.included_columns = {2};
+      ASSERT_TRUE(db_.CreateIndex(pid).ok());
+    }
+  }
+
+  // Builds a random query over movie (optionally joined with aka_title).
+  std::string RandomSql(Rng* rng) {
+    static const char* kMovieCols[] = {"title",      "year",   "avg_rating",
+                                       "director",   "votes",  "box_office",
+                                       "seasons"};
+    std::string sql = "SELECT m.ID";
+    int projections = static_cast<int>(rng->Uniform(1, 3));
+    for (int i = 0; i < projections; ++i) {
+      sql += std::string(", m.") +
+             kMovieCols[rng->Uniform(0, 6)];
+    }
+    bool join = rng->Bernoulli(0.4);
+    if (join) sql += ", a.aka_title";
+    sql += " FROM movie m";
+    if (join) sql += ", aka_title a";
+    std::vector<std::string> preds;
+    if (join) preds.push_back("a.PID = m.ID");
+    int filters = static_cast<int>(rng->Uniform(0, 2));
+    for (int i = 0; i < filters; ++i) {
+      switch (rng->Uniform(0, 3)) {
+        case 0:
+          preds.push_back("m.year >= " +
+                          std::to_string(rng->Uniform(1930, 2004)));
+          break;
+        case 1:
+          preds.push_back("m.votes >= " +
+                          std::to_string(rng->Uniform(10, 1000000)));
+          break;
+        case 2:
+          preds.push_back("m.title = 'movie_title_" +
+                          std::to_string(rng->Uniform(0, 599)) + "'");
+          break;
+        default:
+          preds.push_back("m.avg_rating IS NOT NULL");
+          break;
+      }
+    }
+    for (size_t i = 0; i < preds.size(); ++i) {
+      sql += (i == 0 ? " WHERE " : " AND ") + preds[i];
+    }
+    return sql;
+  }
+
+  GeneratedData data_;
+  Database db_;
+};
+
+TEST_P(DifferentialTest, OptimizedMatchesReference) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 1299709 + 17);
+  RandomConfiguration(&rng);
+  for (int q = 0; q < 6; ++q) {
+    std::string sql = RandomSql(&rng);
+    auto parsed = ParseSql(sql);
+    ASSERT_TRUE(parsed.ok()) << sql;
+    CatalogDesc catalog = db_.BuildCatalogDesc();
+    auto bound = BindQuery(*parsed, catalog);
+    ASSERT_TRUE(bound.ok()) << sql;
+    auto planned = PlanQuery(*bound, catalog);
+    ASSERT_TRUE(planned.ok()) << sql;
+    Executor executor(db_);
+    ExecMetrics metrics;
+    auto rows = executor.Run(*planned->root, &metrics);
+    ASSERT_TRUE(rows.ok()) << sql;
+    std::vector<Row> expected = ReferenceExecute(*bound, db_);
+    EXPECT_TRUE(SameRowMultiset(*rows, expected))
+        << sql << "\noptimized=" << rows->size()
+        << " reference=" << expected.size() << "\n"
+        << planned->root->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace xmlshred

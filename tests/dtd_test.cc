@@ -1,0 +1,126 @@
+// Tests for the DTD front-end (the paper's "transform DTD to XSD" path).
+
+#include <gtest/gtest.h>
+
+#include "mapping/mapping.h"
+#include "mapping/shredder.h"
+#include "rel/catalog.h"
+#include "xml/dtd_parser.h"
+#include "xml/xsd_parser.h"
+
+namespace xmlshred {
+namespace {
+
+constexpr const char* kDblpDtd = R"(
+<!-- a fragment of the real DBLP DTD -->
+<!ELEMENT dblp (inproceedings*, book*)>
+<!ELEMENT inproceedings (title, booktitle, year, author*, pages, ee?)>
+<!ELEMENT book (title, publisher, year, author*)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT booktitle (#PCDATA)>
+<!ELEMENT year (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT pages (#PCDATA)>
+<!ELEMENT publisher (#PCDATA)>
+<!ELEMENT ee (#PCDATA)>
+<!ATTLIST inproceedings key CDATA #REQUIRED>
+)";
+
+TEST(DtdParserTest, ParsesDblpFragment) {
+  auto tree = ParseDtd(kDblpDtd);
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  AssignDefaultAnnotations(tree->get());
+  EXPECT_TRUE((*tree)->Validate().ok()) << (*tree)->Validate();
+  SchemaNode* inproc = (*tree)->FindTagByName("inproceedings");
+  ASSERT_NE(inproc, nullptr);
+  EXPECT_EQ(inproc->parent()->kind(), SchemaNodeKind::kRepetition);
+  // author and title are referenced by both inproceedings and book ->
+  // shared types.
+  auto authors = (*tree)->FindTagsByName("author");
+  ASSERT_EQ(authors.size(), 2u);
+  EXPECT_EQ(authors[0]->type_name(), "author");
+  EXPECT_EQ(authors[0]->type_name(), authors[1]->type_name());
+  // ee? is optional.
+  SchemaNode* ee = (*tree)->FindTagByName("ee");
+  ASSERT_NE(ee, nullptr);
+  EXPECT_EQ(ee->parent()->kind(), SchemaNodeKind::kOption);
+}
+
+TEST(DtdParserTest, ChoiceGroups) {
+  constexpr const char* dtd = R"(
+<!ELEMENT movie (title, (box_office | seasons))>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT box_office (#PCDATA)>
+<!ELEMENT seasons (#PCDATA)>
+)";
+  auto tree = ParseDtd(dtd);
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  SchemaNode* box = (*tree)->FindTagByName("box_office");
+  ASSERT_NE(box, nullptr);
+  EXPECT_EQ(box->parent()->kind(), SchemaNodeKind::kChoice);
+  EXPECT_EQ(box->parent()->num_children(), 2u);
+}
+
+TEST(DtdParserTest, PlusBecomesRepetition) {
+  constexpr const char* dtd = R"(
+<!ELEMENT list (item+)>
+<!ELEMENT item (#PCDATA)>
+)";
+  auto tree = ParseDtd(dtd);
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  SchemaNode* item = (*tree)->FindTagByName("item");
+  ASSERT_NE(item, nullptr);
+  EXPECT_EQ(item->parent()->kind(), SchemaNodeKind::kRepetition);
+}
+
+TEST(DtdParserTest, ExplicitRootSelection) {
+  constexpr const char* dtd = R"(
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b (a*)>
+)";
+  auto tree = ParseDtd(dtd, "b");
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  EXPECT_EQ((*tree)->root()->name(), "b");
+  EXPECT_FALSE(ParseDtd(dtd, "zzz").ok());
+}
+
+TEST(DtdParserTest, RejectsRecursionAndBadInput) {
+  EXPECT_FALSE(ParseDtd("<!ELEMENT a (a*)>").ok());
+  EXPECT_FALSE(ParseDtd("").ok());
+  EXPECT_FALSE(ParseDtd("<!ELEMENT a (b,|c)>").ok());
+  EXPECT_FALSE(ParseDtd("<!ELEMENT a ANY>").ok());
+  EXPECT_FALSE(ParseDtd("<!ELEMENT a (#PCDATA | b)>").ok());
+}
+
+TEST(DtdParserTest, DtdTreeShredsDocuments) {
+  auto tree = ParseDtd(kDblpDtd);
+  ASSERT_TRUE(tree.ok());
+  AssignDefaultAnnotations(tree->get());
+  auto doc = ParseXml(R"(
+<dblp>
+  <inproceedings>
+    <title>Paper</title><booktitle>SIGMOD</booktitle><year>2000</year>
+    <author>A</author><author>B</author><pages>1-10</pages>
+    <ee>http://x</ee>
+  </inproceedings>
+  <book>
+    <title>Book</title><publisher>P</publisher><year>1999</year>
+    <author>C</author>
+  </book>
+</dblp>)");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  auto mapping = Mapping::Build(**tree);
+  ASSERT_TRUE(mapping.ok()) << mapping.status();
+  Database db;
+  auto stats = ShredDocument(*doc, **tree, *mapping, &db);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  const Table* inproc = db.FindTable("inproceedings");
+  ASSERT_NE(inproc, nullptr);
+  EXPECT_EQ(inproc->row_count(), 1);
+  const Table* author = db.FindTable("author");
+  ASSERT_NE(author, nullptr);
+  EXPECT_EQ(author->row_count(), 2);  // inproceedings' authors
+}
+
+}  // namespace
+}  // namespace xmlshred

@@ -1,0 +1,170 @@
+// Cross-module integration tests: DTD-to-design pipeline, storage-bound
+// behaviour, workload weighting, and determinism of the whole search.
+
+#include <gtest/gtest.h>
+
+#include "mapping/xml_stats.h"
+#include "search/evaluate.h"
+#include "search/greedy.h"
+#include "workload/movie.h"
+#include "xml/document.h"
+#include "xml/dtd_parser.h"
+#include "xml/xsd_parser.h"
+
+namespace xmlshred {
+namespace {
+
+TEST(DtdPipelineTest, SearchOverDtdDerivedSchema) {
+  constexpr const char* dtd = R"(
+<!ELEMENT catalog (product*)>
+<!ELEMENT product (name, price, category, review*, discount?)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT category (#PCDATA)>
+<!ELEMENT review (#PCDATA)>
+<!ELEMENT discount (#PCDATA)>
+)";
+  auto tree = ParseDtd(dtd);
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  AssignDefaultAnnotations(tree->get());
+  ASSERT_TRUE((*tree)->Validate().ok());
+
+  // Synthesize a document.
+  auto root = std::make_unique<XmlElement>("catalog");
+  for (int i = 0; i < 1000; ++i) {
+    XmlElement* product = root->AddChild("product");
+    product->AddTextChild("name", "product_" + std::to_string(i));
+    product->AddTextChild("price", std::to_string(10 + i % 90));
+    product->AddTextChild("category", "cat_" + std::to_string(i % 12));
+    for (int r = 0; r < i % 4; ++r) {
+      product->AddTextChild("review", "review text " + std::to_string(r));
+    }
+    if (i % 3 == 0) product->AddTextChild("discount", "10%");
+  }
+  XmlDocument doc(std::move(root));
+
+  auto stats = XmlStatistics::Collect(doc, **tree);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+
+  auto q1 = ParseXPath("//product[category = 'cat_3']/(name | review)");
+  auto q2 = ParseXPath("//product[price >= 90]/(name | discount)");
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+
+  DesignProblem problem;
+  problem.tree = tree->get();
+  problem.stats = &*stats;
+  problem.workload = {*q1, *q2};
+  problem.storage_bound_pages = 8192;
+
+  auto result = GreedySearch(problem);
+  ASSERT_TRUE(result.ok()) << result.status();
+  auto eval = EvaluateOnData(*result, doc, problem.workload);
+  ASSERT_TRUE(eval.ok()) << eval.status();
+  EXPECT_GT(eval->total_work, 0);
+
+  auto hybrid = EvaluateHybridInline(problem);
+  ASSERT_TRUE(hybrid.ok());
+  EXPECT_LE(result->estimated_cost, hybrid->estimated_cost * 1.001);
+}
+
+class MovieProblemTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MovieConfig config;
+    config.num_movies = 2500;
+    data_ = GenerateMovie(config);
+    auto stats = XmlStatistics::Collect(data_.doc, *data_.tree);
+    ASSERT_TRUE(stats.ok());
+    stats_ = std::make_unique<XmlStatistics>(std::move(*stats));
+    problem_.tree = data_.tree.get();
+    problem_.stats = stats_.get();
+    auto q = ParseXPath("//movie[year >= 2000]/(title | aka_title)");
+    ASSERT_TRUE(q.ok());
+    problem_.workload = {*q};
+    auto mapping = Mapping::Build(*data_.tree);
+    ASSERT_TRUE(mapping.ok());
+    data_pages_ =
+        stats_->DeriveCatalog(*data_.tree, *mapping).DataPages();
+    problem_.storage_bound_pages = data_pages_ * 4;
+  }
+
+  GeneratedData data_;
+  std::unique_ptr<XmlStatistics> stats_;
+  DesignProblem problem_;
+  int64_t data_pages_ = 0;
+};
+
+TEST_F(MovieProblemTest, TightStorageBoundYieldsNoStructures) {
+  // With a bound equal to the data size there is no room for any index or
+  // view; every algorithm must still return a valid (structure-free)
+  // design.
+  problem_.storage_bound_pages = data_pages_;
+  auto result = GreedySearch(problem_);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->configuration.structure_pages, 0);
+  auto eval = EvaluateOnData(*result, data_.doc, problem_.workload);
+  ASSERT_TRUE(eval.ok()) << eval.status();
+  EXPECT_EQ(eval->structure_pages, 0);
+}
+
+TEST_F(MovieProblemTest, WeightsSteerTheDesign) {
+  auto cheap = ParseXPath("//movie[year >= 2000]/(title)");
+  auto rare = ParseXPath("//movie[title = 'movie_title_5']/(votes)");
+  ASSERT_TRUE(cheap.ok());
+  ASSERT_TRUE(rare.ok());
+  XPathQuery heavy = *rare;
+  heavy.weight = 10000.0;
+  problem_.workload = {*cheap, heavy};
+  auto result = GreedySearch(problem_);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // The design must serve the heavily weighted title-equality query with
+  // some structure on the movie relation's title column.
+  bool title_structure = false;
+  for (const IndexDesc& idx : result->configuration.indexes) {
+    const MappedRelation* rel =
+        result->mapping.FindRelation(idx.def.table);
+    if (rel == nullptr) continue;
+    TableSchema schema = rel->ToTableSchema();
+    for (int c : idx.def.key_columns) {
+      if (schema.columns[static_cast<size_t>(c)].name == "title") {
+        title_structure = true;
+      }
+    }
+  }
+  for (const ViewDesc& view : result->configuration.views) {
+    for (const SimplePred& pred : view.def.preds) {
+      if (pred.column == "title") title_structure = true;
+    }
+  }
+  EXPECT_TRUE(title_structure);
+}
+
+TEST_F(MovieProblemTest, SearchIsDeterministic) {
+  auto a = GreedySearch(problem_);
+  auto b = GreedySearch(problem_);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->estimated_cost, b->estimated_cost);
+  EXPECT_EQ(a->mapping.ToString(), b->mapping.ToString());
+  EXPECT_EQ(a->telemetry.transformations_searched,
+            b->telemetry.transformations_searched);
+}
+
+TEST_F(MovieProblemTest, AllAlgorithmsRespectTheBound) {
+  for (int i = 0; i < 3; ++i) {
+    Result<SearchResult> result =
+        i == 0 ? GreedySearch(problem_)
+        : i == 1 ? NaiveGreedySearch(problem_)
+                 : TwoStepSearch(problem_);
+    ASSERT_TRUE(result.ok()) << result.status();
+    auto eval = EvaluateOnData(*result, data_.doc, problem_.workload);
+    ASSERT_TRUE(eval.ok()) << eval.status();
+    EXPECT_LE(eval->data_pages + eval->structure_pages,
+              problem_.storage_bound_pages)
+        << result->algorithm;
+  }
+}
+
+}  // namespace
+}  // namespace xmlshred

@@ -1,0 +1,127 @@
+// Small-surface tests: transform metadata, XSD serialization of the
+// bundled schemas, and catalog error paths.
+
+#include <gtest/gtest.h>
+
+#include "mapping/mapping.h"
+#include "mapping/transforms.h"
+#include "rel/catalog.h"
+#include "workload/dblp.h"
+#include "workload/movie.h"
+#include "xml/xsd_parser.h"
+
+namespace xmlshred {
+namespace {
+
+TEST(TransformMetaTest, MergeTypeClassification) {
+  Transform t;
+  t.kind = TransformKind::kInline;
+  EXPECT_TRUE(t.IsMergeType());
+  t.kind = TransformKind::kTypeMerge;
+  EXPECT_TRUE(t.IsMergeType());
+  t.kind = TransformKind::kUnionFactorize;
+  EXPECT_TRUE(t.IsMergeType());
+  t.kind = TransformKind::kRepetitionMerge;
+  EXPECT_TRUE(t.IsMergeType());
+  t.kind = TransformKind::kOutline;
+  EXPECT_FALSE(t.IsMergeType());
+  t.kind = TransformKind::kUnionDistribute;
+  EXPECT_FALSE(t.IsMergeType());
+  t.kind = TransformKind::kRepetitionSplit;
+  EXPECT_FALSE(t.IsMergeType());
+  t.kind = TransformKind::kTypeSplit;
+  EXPECT_FALSE(t.IsMergeType());
+}
+
+TEST(TransformMetaTest, ToStringMentionsTargetsAndParams) {
+  Transform t;
+  t.kind = TransformKind::kRepetitionSplit;
+  t.target = 42;
+  t.split_count = 5;
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("repetition-split"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_NE(s.find("k=5"), std::string::npos);
+  Transform u;
+  u.kind = TransformKind::kUnionDistribute;
+  u.target = 7;
+  u.option_targets = {7, 9};
+  s = u.ToString();
+  EXPECT_NE(s.find("opts=7+9"), std::string::npos);
+}
+
+TEST(XsdSerializationTest, BundledSchemasRoundTrip) {
+  for (int which = 0; which < 2; ++which) {
+    std::unique_ptr<SchemaTree> tree =
+        which == 0 ? BuildDblpSchemaTree() : BuildMovieSchemaTree();
+    std::string xsd = SchemaTreeToXsd(*tree);
+    auto reparsed = ParseXsd(xsd);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status() << "\n" << xsd;
+    // Re-serialization is a fixpoint.
+    EXPECT_EQ(SchemaTreeToXsd(**reparsed), xsd);
+    EXPECT_TRUE((*reparsed)->Validate().ok());
+  }
+}
+
+TEST(XsdSerializationTest, AnnotationsSurviveRoundTrip) {
+  auto tree = BuildMovieSchemaTree();
+  auto reparsed = ParseXsd(SchemaTreeToXsd(*tree));
+  ASSERT_TRUE(reparsed.ok());
+  SchemaNode* aka = (*reparsed)->FindTagByName("aka_title");
+  ASSERT_NE(aka, nullptr);
+  EXPECT_EQ(aka->annotation(), "aka_title");
+}
+
+TEST(CatalogErrorTest, DuplicateViewAndIndexNames) {
+  Database db;
+  TableSchema schema;
+  schema.name = "t";
+  schema.columns = {{"ID", ColumnType::kInt64, false},
+                    {"PID", ColumnType::kInt64, true},
+                    {"x", ColumnType::kInt64, true}};
+  schema.id_column = 0;
+  schema.pid_column = 1;
+  ASSERT_TRUE(db.CreateTable(schema).ok());
+  ViewDef view;
+  view.name = "v";
+  view.base_table = "t";
+  view.projected = {{"t", "x"}};
+  ASSERT_TRUE(db.CreateMaterializedView(view).ok());
+  EXPECT_EQ(db.CreateMaterializedView(view).code(),
+            StatusCode::kAlreadyExists);
+  // A view name also blocks a same-named table.
+  TableSchema clash = schema;
+  clash.name = "v";
+  EXPECT_FALSE(db.CreateTable(clash).ok());
+  IndexDef idx;
+  idx.name = "i";
+  idx.table = "t";
+  idx.key_columns = {2};
+  ASSERT_TRUE(db.CreateIndex(idx).ok());
+  EXPECT_EQ(db.CreateIndex(idx).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(ViewDefTest, FindOutputColumn) {
+  ViewDef def;
+  def.base_table = "a";
+  def.join_child = "b";
+  def.projected = {{"a", "x"}, {"b", "y"}};
+  EXPECT_EQ(def.FindOutputColumn("a", "x"), 0);
+  EXPECT_EQ(def.FindOutputColumn("b", "y"), 1);
+  EXPECT_EQ(def.FindOutputColumn("a", "y"), -1);
+  EXPECT_NE(def.ToString().find("JOIN b"), std::string::npos);
+}
+
+TEST(MappingMetaTest, ToStringListsEveryRelation) {
+  auto tree = BuildDblpSchemaTree();
+  auto mapping = Mapping::Build(*tree);
+  ASSERT_TRUE(mapping.ok());
+  std::string text = mapping->ToString();
+  for (const MappedRelation& rel : mapping->relations()) {
+    EXPECT_NE(text.find(rel.table_name + "("), std::string::npos)
+        << rel.table_name;
+  }
+}
+
+}  // namespace
+}  // namespace xmlshred

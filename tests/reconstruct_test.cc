@@ -1,0 +1,123 @@
+// Round-trip property: Reconstruct(Shred(doc, M)) == doc for every
+// mapping M — shredding is lossless under any transformation sequence.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "mapping/reconstructor.h"
+#include "mapping/shredder.h"
+#include "mapping/transforms.h"
+#include "workload/dblp.h"
+#include "workload/movie.h"
+
+namespace xmlshred {
+namespace {
+
+// Shreds under `tree` and reconstructs; expects exact XML equality.
+void CheckRoundTrip(const XmlDocument& doc, const SchemaTree& tree) {
+  auto mapping = Mapping::Build(tree);
+  ASSERT_TRUE(mapping.ok()) << mapping.status();
+  Database db;
+  auto shred = ShredDocument(doc, tree, *mapping, &db);
+  ASSERT_TRUE(shred.ok()) << shred.status();
+  auto rebuilt = ReconstructDocument(db, tree, *mapping);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status();
+  EXPECT_EQ(rebuilt->ToXml(), doc.ToXml());
+}
+
+TEST(ReconstructTest, MovieDefaultMapping) {
+  MovieConfig config;
+  config.num_movies = 800;
+  GeneratedData data = GenerateMovie(config);
+  CheckRoundTrip(data.doc, *data.tree);
+}
+
+TEST(ReconstructTest, DblpDefaultAndHybrid) {
+  DblpConfig config;
+  config.num_inproceedings = 800;
+  config.num_books = 80;
+  GeneratedData data = GenerateDblp(config);
+  CheckRoundTrip(data.doc, *data.tree);
+  auto hybrid = data.tree->Clone();
+  FullyInline(hybrid.get());
+  CheckRoundTrip(data.doc, *hybrid);
+}
+
+TEST(ReconstructTest, AfterRepetitionSplit) {
+  MovieConfig config;
+  config.num_movies = 800;
+  GeneratedData data = GenerateMovie(config);
+  Transform split;
+  split.kind = TransformKind::kRepetitionSplit;
+  split.target = data.tree->FindTagByName("aka_title")->parent()->id();
+  split.split_count = 4;
+  ASSERT_TRUE(ApplyTransform(data.tree.get(), split).ok());
+  CheckRoundTrip(data.doc, *data.tree);
+}
+
+TEST(ReconstructTest, AfterUnionDistribution) {
+  MovieConfig config;
+  config.num_movies = 800;
+  GeneratedData data = GenerateMovie(config);
+  Transform dist;
+  dist.kind = TransformKind::kUnionDistribute;
+  dist.target = data.tree->FindTagByName("box_office")->parent()->id();
+  ASSERT_TRUE(ApplyTransform(data.tree.get(), dist).ok());
+  CheckRoundTrip(data.doc, *data.tree);
+}
+
+TEST(ReconstructTest, AfterImplicitUnionAndSplitCombined) {
+  MovieConfig config;
+  config.num_movies = 800;
+  GeneratedData data = GenerateMovie(config);
+  SchemaNode* option = data.tree->FindTagByName("avg_rating")->parent();
+  Transform dist;
+  dist.kind = TransformKind::kUnionDistribute;
+  dist.target = option->id();
+  dist.option_targets = {option->id()};
+  ASSERT_TRUE(ApplyTransform(data.tree.get(), dist).ok());
+  Transform split;
+  split.kind = TransformKind::kRepetitionSplit;
+  split.target = data.tree->FindTagByName("aka_title")->parent()->id();
+  split.split_count = 3;
+  ASSERT_TRUE(ApplyTransform(data.tree.get(), split).ok());
+  CheckRoundTrip(data.doc, *data.tree);
+}
+
+TEST(ReconstructTest, AfterTypeMerge) {
+  DblpConfig config;
+  config.num_inproceedings = 500;
+  config.num_books = 60;
+  GeneratedData data = GenerateDblp(config);
+  auto authors = data.tree->FindTagsByName("author");
+  ASSERT_EQ(authors.size(), 2u);
+  Transform merge;
+  merge.kind = TransformKind::kTypeMerge;
+  merge.target = authors[0]->id();
+  merge.target2 = authors[1]->id();
+  ASSERT_TRUE(ApplyTransform(data.tree.get(), merge).ok());
+  CheckRoundTrip(data.doc, *data.tree);
+}
+
+TEST(ReconstructTest, RandomTransformSequences) {
+  DblpConfig config;
+  config.num_inproceedings = 400;
+  config.num_books = 40;
+  GeneratedData data = GenerateDblp(config);
+  for (uint64_t seed : {11u, 22u, 33u, 44u}) {
+    Rng rng(seed);
+    auto tree = data.tree->Clone();
+    int applied = 0;
+    for (int step = 0; step < 10 && applied < 4; ++step) {
+      std::vector<Transform> transforms = EnumerateTransforms(*tree, 3);
+      if (transforms.empty()) break;
+      const Transform& pick = transforms[static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(transforms.size()) - 1))];
+      if (ApplyTransform(tree.get(), pick).ok()) ++applied;
+    }
+    CheckRoundTrip(data.doc, *tree);
+  }
+}
+
+}  // namespace
+}  // namespace xmlshred

@@ -1,0 +1,98 @@
+// Test-only reference query evaluator: nested-loop cross products with
+// predicate evaluation, no optimization, no indexes. Differential tests
+// compare the optimized engine's results against this oracle as
+// multisets.
+
+#ifndef XMLSHRED_TESTS_REFERENCE_EXECUTOR_H_
+#define XMLSHRED_TESTS_REFERENCE_EXECUTOR_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+#include "rel/catalog.h"
+#include "sql/binder.h"
+
+namespace xmlshred {
+
+inline bool ReferenceEvalPred(const Value& v, const std::string& op,
+                              const Value& literal) {
+  if (op == "is not null") return !v.is_null();
+  if (op == "=") return v.SqlEquals(literal);
+  if (op == "<") return v.SqlLess(literal);
+  if (op == "<=") return v.SqlLess(literal) || v.SqlEquals(literal);
+  if (op == ">") return literal.SqlLess(v);
+  if (op == ">=") return literal.SqlLess(v) || v.SqlEquals(literal);
+  XS_CHECK(false);
+  return false;
+}
+
+// Evaluates `query` by brute force. ORDER BY is ignored (compare results
+// as multisets).
+inline std::vector<Row> ReferenceExecute(const BoundQuery& query,
+                                         const Database& db) {
+  std::vector<Row> out;
+  for (const BoundBlock& block : query.blocks) {
+    std::vector<const Table*> tables;
+    for (const std::string& name : block.tables) {
+      const Table* table = db.FindTable(name);
+      XS_CHECK(table != nullptr);
+      tables.push_back(table);
+    }
+    // Recursive cross product.
+    std::vector<const Row*> current(tables.size(), nullptr);
+    std::function<void(size_t)> recurse = [&](size_t depth) {
+      if (depth == tables.size()) {
+        for (const BoundJoin& join : block.joins) {
+          const Value& left =
+              (*current[static_cast<size_t>(join.left.table_idx)])
+                  [static_cast<size_t>(join.left.column)];
+          const Value& right =
+              (*current[static_cast<size_t>(join.right.table_idx)])
+                  [static_cast<size_t>(join.right.column)];
+          if (!left.SqlEquals(right)) return;
+        }
+        for (const BoundFilter& filter : block.filters) {
+          const Value& v =
+              (*current[static_cast<size_t>(filter.ref.table_idx)])
+                  [static_cast<size_t>(filter.ref.column)];
+          if (!ReferenceEvalPred(v, filter.op, filter.literal)) return;
+        }
+        Row row;
+        row.reserve(block.items.size());
+        for (const BoundItem& item : block.items) {
+          if (item.is_null_literal) {
+            row.push_back(Value::Null());
+          } else {
+            row.push_back((*current[static_cast<size_t>(item.ref.table_idx)])
+                              [static_cast<size_t>(item.ref.column)]);
+          }
+        }
+        out.push_back(std::move(row));
+        return;
+      }
+      for (const Row& row : tables[depth]->rows()) {
+        current[depth] = &row;
+        recurse(depth + 1);
+      }
+    };
+    recurse(0);
+  }
+  return out;
+}
+
+// Multiset comparison helper.
+inline bool SameRowMultiset(std::vector<Row> a, std::vector<Row> b) {
+  if (a.size() != b.size()) return false;
+  std::sort(a.begin(), a.end(), RowTotalLess);
+  std::sort(b.begin(), b.end(), RowTotalLess);
+  RowTotalEquals eq;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!eq(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace xmlshred
+
+#endif  // XMLSHRED_TESTS_REFERENCE_EXECUTOR_H_

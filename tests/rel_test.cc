@@ -1,0 +1,314 @@
+// Unit tests for src/rel: values, schemas, tables, stats, indexes, catalog.
+
+#include <gtest/gtest.h>
+
+#include "rel/catalog.h"
+#include "rel/index.h"
+#include "rel/stats.h"
+#include "rel/table.h"
+#include "rel/value.h"
+
+namespace xmlshred {
+namespace {
+
+TEST(ValueTest, NullSemantics) {
+  Value n = Value::Null();
+  EXPECT_TRUE(n.is_null());
+  EXPECT_FALSE(n.SqlEquals(n));
+  EXPECT_FALSE(n.SqlLess(Value::Int(1)));
+  EXPECT_TRUE(n.TotalEquals(Value::Null()));
+  EXPECT_TRUE(n.TotalLess(Value::Int(0)));
+}
+
+TEST(ValueTest, NumericPromotion) {
+  EXPECT_TRUE(Value::Int(3).SqlEquals(Value::Real(3.0)));
+  EXPECT_TRUE(Value::Int(2).SqlLess(Value::Real(2.5)));
+  EXPECT_EQ(Value::Int(3).Hash(), Value::Real(3.0).Hash());
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_TRUE(Value::Str("a").SqlLess(Value::Str("b")));
+  EXPECT_FALSE(Value::Str("a").SqlEquals(Value::Int(1)));
+  // Total order: numerics sort before strings.
+  EXPECT_TRUE(Value::Int(999).TotalLess(Value::Str("0")));
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::Str("hi").ToString(), "'hi'");
+}
+
+TEST(RowTest, LexicographicOrder) {
+  Row a = {Value::Int(1), Value::Str("b")};
+  Row b = {Value::Int(1), Value::Str("c")};
+  EXPECT_TRUE(RowTotalLess(a, b));
+  EXPECT_FALSE(RowTotalLess(b, a));
+  EXPECT_TRUE(RowTotalEquals()(a, a));
+  EXPECT_EQ(RowHash()(a), RowHash()(a));
+}
+
+TableSchema MakePubSchema() {
+  TableSchema schema;
+  schema.name = "inproc";
+  schema.columns = {{"ID", ColumnType::kInt64, false},
+                    {"PID", ColumnType::kInt64, true},
+                    {"title", ColumnType::kString, true},
+                    {"year", ColumnType::kInt64, true}};
+  schema.id_column = 0;
+  schema.pid_column = 1;
+  return schema;
+}
+
+TEST(SchemaTest, FindColumn) {
+  TableSchema schema = MakePubSchema();
+  EXPECT_EQ(schema.FindColumn("title"), 2);
+  EXPECT_EQ(schema.FindColumn("missing"), -1);
+  EXPECT_NE(schema.ToString().find("inproc("), std::string::npos);
+}
+
+Table MakePubTable(int n) {
+  Table table(MakePubSchema());
+  for (int i = 0; i < n; ++i) {
+    table.AppendRow({Value::Int(i), Value::Null(),
+                     Value::Str("title_" + std::to_string(i % 10)),
+                     Value::Int(1990 + i % 20)});
+  }
+  return table;
+}
+
+TEST(TableTest, PageAccounting) {
+  Table table = MakePubTable(1000);
+  EXPECT_EQ(table.row_count(), 1000);
+  EXPECT_GT(table.avg_row_bytes(), 8.0);
+  EXPECT_GE(table.NumPages(), 1);
+  EXPECT_EQ(PagesFor(0, 100.0), 0);
+  EXPECT_EQ(PagesFor(1, 10.0), 1);
+  EXPECT_EQ(PagesFor(1000, 8192.0), 1000);
+}
+
+TEST(StatsTest, BasicColumnStats) {
+  Table table = MakePubTable(1000);
+  TableStats stats = table.ComputeStats();
+  EXPECT_EQ(stats.row_count, 1000);
+  const ColumnStats& year = stats.columns[3];
+  EXPECT_EQ(year.non_null_count, 1000);
+  EXPECT_EQ(year.distinct_estimate, 20);
+  EXPECT_TRUE(year.min.TotalEquals(Value::Int(1990)));
+  EXPECT_TRUE(year.max.TotalEquals(Value::Int(2009)));
+}
+
+TEST(StatsTest, EqSelectivityFromMcvs) {
+  Table table = MakePubTable(1000);
+  TableStats stats = table.ComputeStats();
+  // Each of the 20 years occurs 50 times.
+  double sel = stats.columns[3].EqSelectivity(Value::Int(1995));
+  EXPECT_NEAR(sel, 0.05, 1e-9);
+  // Out of range probe.
+  EXPECT_EQ(stats.columns[3].EqSelectivity(Value::Int(1900)), 0.0);
+}
+
+TEST(StatsTest, RangeSelectivityFromHistogram) {
+  Table table = MakePubTable(1000);
+  TableStats stats = table.ComputeStats();
+  double sel = stats.columns[3].RangeSelectivity(">=", Value::Int(2000));
+  EXPECT_NEAR(sel, 0.5, 0.08);
+  sel = stats.columns[3].RangeSelectivity("<", Value::Int(1990));
+  EXPECT_NEAR(sel, 0.0, 0.03);
+  sel = stats.columns[3].RangeSelectivity("<=", Value::Int(2009));
+  EXPECT_NEAR(sel, 1.0, 0.03);
+}
+
+TEST(StatsTest, NullCounting) {
+  TableSchema schema = MakePubSchema();
+  Table table(schema);
+  for (int i = 0; i < 100; ++i) {
+    table.AppendRow({Value::Int(i), Value::Null(),
+                     i % 4 == 0 ? Value::Null() : Value::Str("t"),
+                     Value::Int(2000)});
+  }
+  TableStats stats = table.ComputeStats();
+  EXPECT_EQ(stats.columns[2].null_count, 25);
+  EXPECT_NEAR(stats.columns[2].NotNullSelectivity(), 0.75, 1e-9);
+}
+
+TEST(IndexTest, EqualLookup) {
+  Table table = MakePubTable(1000);
+  IndexDef def;
+  def.name = "idx_year";
+  def.table = "inproc";
+  def.key_columns = {3};
+  BTreeIndex index(def, table);
+  EXPECT_EQ(index.entry_count(), 1000);
+  std::vector<int64_t> rows = index.EqualLookup({Value::Int(1995)});
+  EXPECT_EQ(rows.size(), 50u);
+  for (int64_t rid : rows) {
+    EXPECT_TRUE(table.rows()[static_cast<size_t>(rid)][3].TotalEquals(
+        Value::Int(1995)));
+  }
+  EXPECT_TRUE(index.EqualLookup({Value::Int(1900)}).empty());
+}
+
+TEST(IndexTest, RangeLookup) {
+  Table table = MakePubTable(1000);
+  IndexDef def;
+  def.name = "idx_year";
+  def.table = "inproc";
+  def.key_columns = {3};
+  BTreeIndex index(def, table);
+  auto rows = index.RangeLookup(Value::Int(2005), false, Value::Null(), false);
+  EXPECT_EQ(rows.size(), 250u);  // 2005..2009, 50 each
+  rows = index.RangeLookup(Value::Int(2005), true, Value::Int(2007), true);
+  EXPECT_EQ(rows.size(), 50u);  // only 2006
+}
+
+TEST(IndexTest, CompositeKeyAndCovering) {
+  Table table = MakePubTable(100);
+  IndexDef def;
+  def.name = "idx_year_title";
+  def.table = "inproc";
+  def.key_columns = {3, 2};
+  def.included_columns = {0};
+  BTreeIndex index(def, table);
+  auto rows = index.EqualLookup({Value::Int(1995), Value::Str("title_5")});
+  EXPECT_EQ(rows.size(), 5u);
+  // Prefix lookup on year alone.
+  rows = index.EqualLookup({Value::Int(1995)});
+  EXPECT_EQ(rows.size(), 5u);
+  EXPECT_TRUE(def.Covers({0, 2, 3}));
+  EXPECT_FALSE(def.Covers({1}));
+}
+
+TEST(IndexTest, ProbePagesScalesWithMatches) {
+  Table table = MakePubTable(10000);
+  IndexDef def;
+  def.name = "idx_year";
+  def.table = "inproc";
+  def.key_columns = {3};
+  BTreeIndex index(def, table);
+  EXPECT_LT(index.ProbePages(1), index.ProbePages(5000));
+  EXPECT_GE(index.ProbePages(0), 1);
+}
+
+TEST(CatalogTest, CreateAndFindTable) {
+  Database db;
+  auto result = db.CreateTable(MakePubSchema());
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(db.FindTable("inproc"), nullptr);
+  EXPECT_EQ(db.FindTable("nope"), nullptr);
+  EXPECT_FALSE(db.CreateTable(MakePubSchema()).ok());  // duplicate
+}
+
+TEST(CatalogTest, CreateIndexValidates) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(MakePubSchema()).ok());
+  IndexDef def;
+  def.name = "idx";
+  def.table = "missing";
+  def.key_columns = {0};
+  EXPECT_EQ(db.CreateIndex(def).code(), StatusCode::kNotFound);
+  def.table = "inproc";
+  def.key_columns = {99};
+  EXPECT_EQ(db.CreateIndex(def).code(), StatusCode::kInvalidArgument);
+  def.key_columns = {3};
+  EXPECT_TRUE(db.CreateIndex(def).ok());
+  EXPECT_NE(db.FindIndex("idx"), nullptr);
+  EXPECT_EQ(db.IndexesOn("inproc").size(), 1u);
+}
+
+TEST(CatalogTest, MaterializedSelectionView) {
+  Database db;
+  auto result = db.CreateTable(MakePubSchema());
+  ASSERT_TRUE(result.ok());
+  Table* table = *result;
+  for (int i = 0; i < 100; ++i) {
+    table->AppendRow({Value::Int(i), Value::Null(), Value::Str("t"),
+                      Value::Int(1990 + i % 10)});
+  }
+  ViewDef def;
+  def.name = "v_recent";
+  def.base_table = "inproc";
+  def.preds = {{"inproc", "year", ">=", Value::Int(1995)}};
+  def.projected = {{"inproc", "ID"}, {"inproc", "title"}};
+  ASSERT_TRUE(db.CreateMaterializedView(def).ok());
+  const Table* view = db.FindTable("v_recent");
+  ASSERT_NE(view, nullptr);
+  EXPECT_EQ(view->row_count(), 50);
+  EXPECT_EQ(view->schema().FindColumn("inproc$ID"), 0);
+}
+
+TEST(CatalogTest, MaterializedJoinView) {
+  Database db;
+  TableSchema parent = MakePubSchema();
+  auto pres = db.CreateTable(parent);
+  ASSERT_TRUE(pres.ok());
+  TableSchema child;
+  child.name = "inproc_author";
+  child.columns = {{"ID", ColumnType::kInt64, false},
+                   {"PID", ColumnType::kInt64, true},
+                   {"author", ColumnType::kString, true}};
+  child.id_column = 0;
+  child.pid_column = 1;
+  auto cres = db.CreateTable(child);
+  ASSERT_TRUE(cres.ok());
+  for (int i = 0; i < 10; ++i) {
+    (*pres)->AppendRow({Value::Int(i), Value::Null(), Value::Str("t"),
+                        Value::Int(2000 + i)});
+    for (int a = 0; a < 2; ++a) {
+      (*cres)->AppendRow({Value::Int(100 + i * 2 + a), Value::Int(i),
+                          Value::Str("auth_" + std::to_string(a))});
+    }
+  }
+  ViewDef def;
+  def.name = "v_join";
+  def.base_table = "inproc";
+  def.join_child = "inproc_author";
+  def.preds = {{"inproc", "year", ">=", Value::Int(2005)}};
+  def.projected = {{"inproc", "ID"}, {"inproc_author", "author"}};
+  ASSERT_TRUE(db.CreateMaterializedView(def).ok());
+  const Table* view = db.FindTable("v_join");
+  ASSERT_NE(view, nullptr);
+  EXPECT_EQ(view->row_count(), 10);  // 5 parents x 2 authors
+}
+
+TEST(CatalogTest, DropPhysicalStructuresKeepsTables) {
+  Database db;
+  auto result = db.CreateTable(MakePubSchema());
+  ASSERT_TRUE(result.ok());
+  IndexDef idx;
+  idx.name = "idx";
+  idx.table = "inproc";
+  idx.key_columns = {0};
+  ASSERT_TRUE(db.CreateIndex(idx).ok());
+  ViewDef view;
+  view.name = "v";
+  view.base_table = "inproc";
+  view.projected = {{"inproc", "ID"}};
+  ASSERT_TRUE(db.CreateMaterializedView(view).ok());
+  db.DropAllPhysicalStructures();
+  EXPECT_EQ(db.FindIndex("idx"), nullptr);
+  EXPECT_EQ(db.FindTable("v"), nullptr);
+  EXPECT_NE(db.FindTable("inproc"), nullptr);
+}
+
+TEST(CatalogTest, BuildCatalogDesc) {
+  Database db;
+  auto result = db.CreateTable(MakePubSchema());
+  ASSERT_TRUE(result.ok());
+  (*result)->AppendRow(
+      {Value::Int(1), Value::Null(), Value::Str("t"), Value::Int(2000)});
+  IndexDef idx;
+  idx.name = "idx";
+  idx.table = "inproc";
+  idx.key_columns = {3};
+  ASSERT_TRUE(db.CreateIndex(idx).ok());
+  CatalogDesc desc = db.BuildCatalogDesc();
+  ASSERT_NE(desc.FindTable("inproc"), nullptr);
+  EXPECT_EQ(desc.FindTable("inproc")->row_count(), 1);
+  ASSERT_NE(desc.FindIndex("idx"), nullptr);
+  EXPECT_EQ(desc.IndexesOn("inproc").size(), 1u);
+  EXPECT_GE(desc.DataPages(), 1);
+}
+
+}  // namespace
+}  // namespace xmlshred

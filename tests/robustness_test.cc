@@ -1,0 +1,119 @@
+// Robustness: every parser in the system must reject malformed input with
+// a Status — never crash, hang, or accept garbage — including randomly
+// mutated variants of valid documents.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sql/parser.h"
+#include "xml/document.h"
+#include "xml/dtd_parser.h"
+#include "xml/xsd_parser.h"
+#include "xpath/xpath.h"
+
+namespace xmlshred {
+namespace {
+
+// Random mutation of a valid input string.
+std::string Mutate(const std::string& input, Rng* rng) {
+  std::string out = input;
+  int edits = 1 + static_cast<int>(rng->Uniform(0, 3));
+  for (int e = 0; e < edits && !out.empty(); ++e) {
+    size_t pos = static_cast<size_t>(
+        rng->Uniform(0, static_cast<int64_t>(out.size()) - 1));
+    switch (rng->Uniform(0, 2)) {
+      case 0:  // delete a span
+        out.erase(pos, static_cast<size_t>(rng->Uniform(1, 5)));
+        break;
+      case 1:  // flip a character
+        out[pos] = static_cast<char>(rng->Uniform(32, 126));
+        break;
+      default:  // duplicate a span
+        out.insert(pos, out.substr(pos, static_cast<size_t>(
+                                            rng->Uniform(1, 8))));
+        break;
+    }
+  }
+  return out;
+}
+
+class FuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzTest, XmlParserNeverCrashes) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 1);
+  const std::string valid =
+      "<dblp><inproceedings><title>T</title><year>2000</year>"
+      "<author>A</author></inproceedings></dblp>";
+  for (int i = 0; i < 200; ++i) {
+    std::string mutated = Mutate(valid, &rng);
+    auto result = ParseXml(mutated);  // ok or error, never UB
+    if (result.ok()) {
+      // If accepted, serialization must reparse.
+      auto again = ParseXml(result->ToXml());
+      EXPECT_TRUE(again.ok()) << mutated;
+    }
+  }
+}
+
+TEST_P(FuzzTest, XsdParserNeverCrashes) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 104729 + 3);
+  const std::string valid = R"(<xs:schema xmlns:xs="x">
+<xs:element name="a" annotation="a"><xs:complexType><xs:sequence>
+<xs:element name="b" type="xs:string" maxOccurs="unbounded"/>
+</xs:sequence></xs:complexType></xs:element></xs:schema>)";
+  for (int i = 0; i < 200; ++i) {
+    auto result = ParseXsd(Mutate(valid, &rng));
+    if (result.ok()) {
+      EXPECT_NE(result->get()->root(), nullptr);
+    }
+  }
+}
+
+TEST_P(FuzzTest, DtdParserNeverCrashes) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 15485863 + 5);
+  const std::string valid =
+      "<!ELEMENT a (b*, c?)>\n<!ELEMENT b (#PCDATA)>\n"
+      "<!ELEMENT c (d | b)>\n<!ELEMENT d (#PCDATA)>";
+  for (int i = 0; i < 200; ++i) {
+    auto result = ParseDtd(Mutate(valid, &rng));
+    if (result.ok()) {
+      EXPECT_NE(result->get()->root(), nullptr);
+    }
+  }
+}
+
+TEST_P(FuzzTest, SqlParserNeverCrashes) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 32452843 + 7);
+  const std::string valid =
+      "SELECT I.ID, title, NULL FROM inproc I WHERE booktitle = 'X' "
+      "UNION ALL SELECT I.ID, NULL, author FROM inproc I, inproc_author A "
+      "WHERE I.ID = A.PID ORDER BY 1";
+  for (int i = 0; i < 200; ++i) {
+    std::string mutated = Mutate(valid, &rng);
+    auto result = ParseSql(mutated);
+    if (result.ok()) {
+      // Accepted queries must print and reparse.
+      auto again = ParseSql(result->ToSql());
+      EXPECT_TRUE(again.ok()) << mutated << "\n -> " << result->ToSql();
+    }
+  }
+}
+
+TEST_P(FuzzTest, XPathParserNeverCrashes) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 49979687 + 9);
+  const std::string valid =
+      "//movie[year >= 1998 and votes = 5]/(title | box_office)";
+  for (int i = 0; i < 200; ++i) {
+    std::string mutated = Mutate(valid, &rng);
+    auto result = ParseXPath(mutated);
+    if (result.ok()) {
+      auto again = ParseXPath(result->ToString());
+      EXPECT_TRUE(again.ok()) << mutated << "\n -> " << result->ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace xmlshred

@@ -1,0 +1,345 @@
+// End-to-end tests for the search algorithms (Greedy, Naive-Greedy,
+// Two-Step) and their supporting machinery (workload generation,
+// candidate selection/merging, cost derivation).
+
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "mapping/shredder.h"
+#include "opt/planner.h"
+#include "search/candidates.h"
+#include "search/evaluate.h"
+#include "search/greedy.h"
+#include "sql/binder.h"
+#include "workload/dblp.h"
+#include "workload/movie.h"
+#include "workload/query_gen.h"
+#include "xpath/translator.h"
+
+namespace xmlshred {
+namespace {
+
+TEST(RepSplitCountTest, PaperRule) {
+  // 99 % of parents at <= 5, tail to 20: split at 5.
+  std::map<int64_t, int64_t> skewed = {{1, 200}, {2, 300}, {3, 250},
+                                       {4, 170}, {5, 70},  {12, 7},
+                                       {20, 3}};
+  EXPECT_EQ(SelectRepetitionSplitCount(skewed, 5, 0.8), 5);
+  // Uniform cardinality up to 100: no split.
+  std::map<int64_t, int64_t> uniform;
+  for (int64_t k = 1; k <= 100; ++k) uniform[k] = 10;
+  EXPECT_EQ(SelectRepetitionSplitCount(uniform, 5, 0.8), 0);
+  // Max cardinality below cmax: always split.
+  std::map<int64_t, int64_t> tiny = {{1, 10}, {2, 5}, {3, 2}};
+  int k = SelectRepetitionSplitCount(tiny, 5, 0.8);
+  EXPECT_GT(k, 0);
+  EXPECT_LE(k, 3);
+  // Empty histogram: no split.
+  EXPECT_EQ(SelectRepetitionSplitCount({}, 5, 0.8), 0);
+}
+
+class SearchFixture : public ::testing::Test {
+ protected:
+  void SetUpMovie(int64_t movies = 3000) {
+    MovieConfig config;
+    config.num_movies = movies;
+    data_ = GenerateMovie(config);
+    Init();
+  }
+
+  void SetUpDblp(int64_t pubs = 3000) {
+    DblpConfig config;
+    config.num_inproceedings = pubs;
+    config.num_books = pubs / 10;
+    data_ = GenerateDblp(config);
+    Init();
+  }
+
+  void Init() {
+    auto stats = XmlStatistics::Collect(data_.doc, *data_.tree);
+    ASSERT_TRUE(stats.ok()) << stats.status();
+    stats_ = std::make_unique<XmlStatistics>(std::move(*stats));
+    problem_.tree = data_.tree.get();
+    problem_.stats = stats_.get();
+    // Generous bound: data plus room for structures, like the paper's
+    // setting "enough space for all recommended indexes".
+    auto mapping = Mapping::Build(*data_.tree);
+    ASSERT_TRUE(mapping.ok());
+    CatalogDesc catalog = stats_->DeriveCatalog(*data_.tree, *mapping);
+    problem_.storage_bound_pages = catalog.DataPages() * 6 + 1024;
+  }
+
+  void UseWorkload(SelectivityClass sel, ProjectionClass proj, int n,
+                   uint64_t seed = 11) {
+    WorkloadSpec spec;
+    spec.selectivity = sel;
+    spec.projections = proj;
+    spec.num_queries = n;
+    spec.seed = seed;
+    auto workload = GenerateWorkload(*data_.tree, *stats_, spec);
+    ASSERT_TRUE(workload.ok()) << workload.status();
+    problem_.workload = std::move(*workload);
+  }
+
+  GeneratedData data_;
+  std::unique_ptr<XmlStatistics> stats_;
+  DesignProblem problem_;
+};
+
+TEST_F(SearchFixture, WorkloadGeneratorHitsSelectivityTargets) {
+  SetUpMovie();
+  UseWorkload(SelectivityClass::kLow, ProjectionClass::kLow, 10);
+  // Verify the realized selectivity of each query by executing it against
+  // the hybrid mapping.
+  auto hybrid_tree = data_.tree->Clone();
+  FullyInline(hybrid_tree.get());
+  auto mapping = Mapping::Build(*hybrid_tree);
+  ASSERT_TRUE(mapping.ok());
+  Database db;
+  ASSERT_TRUE(ShredDocument(data_.doc, *hybrid_tree, *mapping, &db).ok());
+  CatalogDesc catalog = db.BuildCatalogDesc();
+  Executor executor(db);
+  for (const XPathQuery& query : problem_.workload) {
+    ASSERT_TRUE(query.has_selection);
+    EXPECT_GE(query.projections.size(), 1u);
+    EXPECT_LE(query.projections.size(), 4u);
+    auto translated = TranslateXPath(query, *hybrid_tree, *mapping);
+    ASSERT_TRUE(translated.ok()) << translated.status() << query.ToString();
+    auto bound = BindQuery(translated->sql, catalog);
+    ASSERT_TRUE(bound.ok());
+    auto planned = PlanQuery(*bound, catalog);
+    ASSERT_TRUE(planned.ok());
+    ExecMetrics metrics;
+    auto rows = executor.Run(*planned->root, &metrics);
+    ASSERT_TRUE(rows.ok());
+    // Distinct context instances in the answer (block 1 emits one row per
+    // qualifying context).
+    std::set<std::string> ids;
+    for (const Row& row : *rows) ids.insert(row[0].ToString());
+    double selectivity = static_cast<double>(ids.size()) / 3000.0;
+    EXPECT_LE(selectivity, 0.25) << query.ToString();
+  }
+}
+
+TEST_F(SearchFixture, WorkloadGeneratorHighClasses) {
+  SetUpDblp();
+  UseWorkload(SelectivityClass::kHigh, ProjectionClass::kHigh, 10);
+  for (const XPathQuery& query : problem_.workload) {
+    EXPECT_GE(query.projections.size(), 5u);
+  }
+}
+
+TEST_F(SearchFixture, CandidateSelectionFindsPaperCandidates) {
+  SetUpMovie();
+  // A query like the paper's //movie[title = ...]/(aka_title|avg_rating):
+  // expect a repetition split on aka_title and an implicit union on
+  // avg_rating.
+  XPathQuery query;
+  query.context = "movie";
+  query.has_selection = true;
+  query.selection_path = "title";
+  query.selection_op = "=";
+  query.selection_literal = Value::Str("movie_title_1");
+  query.projections = {"aka_title", "avg_rating"};
+  problem_.workload = {query};
+
+  auto tree = data_.tree->Clone();
+  CandidateSet candidates =
+      SelectCandidates(problem_, tree.get(), 5, 0.8, true);
+  bool has_rep_split = false, has_implicit_union = false;
+  for (const Transform& t : candidates.splits) {
+    if (t.kind == TransformKind::kRepetitionSplit) has_rep_split = true;
+    if (t.kind == TransformKind::kUnionDistribute &&
+        !t.option_targets.empty()) {
+      has_implicit_union = true;
+    }
+  }
+  EXPECT_TRUE(has_rep_split);
+  EXPECT_TRUE(has_implicit_union);
+  // Queries touching box_office only: explicit union distribution.
+  XPathQuery q2;
+  q2.context = "movie";
+  q2.projections = {"box_office"};
+  problem_.workload = {q2};
+  auto tree2 = data_.tree->Clone();
+  CandidateSet c2 = SelectCandidates(problem_, tree2.get(), 5, 0.8, true);
+  bool has_choice_dist = false;
+  for (const Transform& t : c2.splits) {
+    if (t.kind == TransformKind::kUnionDistribute && t.option_targets.empty()) {
+      has_choice_dist = true;
+    }
+  }
+  EXPECT_TRUE(has_choice_dist);
+}
+
+TEST_F(SearchFixture, ImplicitUnionBenefitModel) {
+  SetUpMovie();
+  SchemaNode* movie = data_.tree->FindTagByName("movie");
+  // Q projects avg_rating: distribution over {avg_rating} confines it to
+  // the present partition (40 % of rows saved).
+  XPathQuery q;
+  q.context = "movie";
+  q.projections = {"avg_rating"};
+  double benefit = ImplicitUnionBenefit(problem_, *data_.tree, movie->id(),
+                                        {"avg_rating"}, q, 100.0);
+  EXPECT_NEAR(benefit, 40.0, 6.0);
+  // Q projecting votes is not confined by a rating-only distribution.
+  XPathQuery q2;
+  q2.context = "movie";
+  q2.projections = {"votes"};
+  EXPECT_EQ(ImplicitUnionBenefit(problem_, *data_.tree, movie->id(),
+                                 {"avg_rating"}, q2, 100.0),
+            0.0);
+  // The merged {avg_rating, votes} distribution helps both queries
+  // (the paper's c3 example).
+  double b1 = ImplicitUnionBenefit(problem_, *data_.tree, movie->id(),
+                                   {"avg_rating", "votes"}, q, 100.0);
+  double b2 = ImplicitUnionBenefit(problem_, *data_.tree, movie->id(),
+                                   {"avg_rating", "votes"}, q2, 100.0);
+  EXPECT_GT(b1, 0);
+  EXPECT_GT(b2, 0);
+  // P(neither) = 0.4 * 0.5 = 0.2.
+  EXPECT_NEAR(b1, 20.0, 5.0);
+}
+
+TEST_F(SearchFixture, GreedyBeatsHybridOnMovie) {
+  SetUpMovie();
+  UseWorkload(SelectivityClass::kLow, ProjectionClass::kLow, 8);
+  auto hybrid = EvaluateHybridInline(problem_);
+  ASSERT_TRUE(hybrid.ok()) << hybrid.status();
+  auto greedy = GreedySearch(problem_);
+  ASSERT_TRUE(greedy.ok()) << greedy.status();
+  EXPECT_LE(greedy->estimated_cost, hybrid->estimated_cost * 1.001);
+
+  // Measured execution agrees.
+  auto hybrid_eval = EvaluateOnData(*hybrid, data_.doc, problem_.workload);
+  ASSERT_TRUE(hybrid_eval.ok()) << hybrid_eval.status();
+  auto greedy_eval = EvaluateOnData(*greedy, data_.doc, problem_.workload);
+  ASSERT_TRUE(greedy_eval.ok()) << greedy_eval.status();
+  EXPECT_LE(greedy_eval->total_work, hybrid_eval->total_work * 1.05);
+}
+
+TEST_F(SearchFixture, GreedyBeatsHybridOnDblp) {
+  SetUpDblp();
+  UseWorkload(SelectivityClass::kLow, ProjectionClass::kLow, 8);
+  auto hybrid = EvaluateHybridInline(problem_);
+  ASSERT_TRUE(hybrid.ok()) << hybrid.status();
+  auto greedy = GreedySearch(problem_);
+  ASSERT_TRUE(greedy.ok()) << greedy.status();
+  EXPECT_LE(greedy->estimated_cost, hybrid->estimated_cost * 1.001);
+  EXPECT_GT(greedy->telemetry.transformations_searched, 0);
+}
+
+TEST_F(SearchFixture, GreedySearchesFewerTransformationsThanNaive) {
+  SetUpDblp(2000);
+  UseWorkload(SelectivityClass::kLow, ProjectionClass::kLow, 6);
+  auto greedy = GreedySearch(problem_);
+  ASSERT_TRUE(greedy.ok()) << greedy.status();
+  auto naive = NaiveGreedySearch(problem_);
+  ASSERT_TRUE(naive.ok()) << naive.status();
+  EXPECT_LT(greedy->telemetry.transformations_searched,
+            naive->telemetry.transformations_searched);
+  // Quality parity within a small factor (Fig. 4 shows near-identical
+  // quality).
+  auto greedy_eval = EvaluateOnData(*greedy, data_.doc, problem_.workload);
+  auto naive_eval = EvaluateOnData(*naive, data_.doc, problem_.workload);
+  ASSERT_TRUE(greedy_eval.ok());
+  ASSERT_TRUE(naive_eval.ok());
+  EXPECT_LT(greedy_eval->total_work, naive_eval->total_work * 1.5);
+}
+
+TEST_F(SearchFixture, TwoStepQualityNoBetterThanGreedy) {
+  SetUpMovie(2000);
+  UseWorkload(SelectivityClass::kLow, ProjectionClass::kLow, 6);
+  auto greedy = GreedySearch(problem_);
+  ASSERT_TRUE(greedy.ok()) << greedy.status();
+  auto two_step = TwoStepSearch(problem_);
+  ASSERT_TRUE(two_step.ok()) << two_step.status();
+  auto greedy_eval = EvaluateOnData(*greedy, data_.doc, problem_.workload);
+  auto two_step_eval =
+      EvaluateOnData(*two_step, data_.doc, problem_.workload);
+  ASSERT_TRUE(greedy_eval.ok()) << greedy_eval.status();
+  ASSERT_TRUE(two_step_eval.ok()) << two_step_eval.status();
+  EXPECT_LE(greedy_eval->total_work, two_step_eval->total_work * 1.1);
+}
+
+TEST_F(SearchFixture, CostDerivationPreservesQuality) {
+  SetUpDblp(2000);
+  UseWorkload(SelectivityClass::kLow, ProjectionClass::kLow, 8);
+  GreedyOptions with;
+  with.cost_derivation = true;
+  GreedyOptions without;
+  without.cost_derivation = false;
+  auto a = GreedySearch(problem_, with);
+  auto b = GreedySearch(problem_, without);
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+  // Derivation must actually fire and reduce optimizer effort.
+  EXPECT_GT(a->telemetry.queries_derived, 0);
+  EXPECT_LT(a->telemetry.optimizer_calls, b->telemetry.optimizer_calls);
+  // Quality within a few percent (paper: <= 3 % of hybrid cost).
+  auto ea = EvaluateOnData(*a, data_.doc, problem_.workload);
+  auto eb = EvaluateOnData(*b, data_.doc, problem_.workload);
+  ASSERT_TRUE(ea.ok());
+  ASSERT_TRUE(eb.ok());
+  EXPECT_LT(ea->total_work, eb->total_work * 1.15);
+}
+
+TEST_F(SearchFixture, MergingStrategiesQualityOrder) {
+  SetUpMovie(2000);
+  // Two queries, each touching a different optional element — the paper's
+  // merging scenario.
+  XPathQuery q1;
+  q1.context = "movie";
+  q1.has_selection = true;
+  q1.selection_path = "avg_rating";
+  q1.selection_op = ">=";
+  q1.selection_literal = Value::Real(2.0);
+  q1.projections = {"title", "avg_rating"};
+  XPathQuery q2;
+  q2.context = "movie";
+  q2.has_selection = true;
+  q2.selection_path = "votes";
+  q2.selection_op = ">=";
+  q2.selection_literal = Value::Int(100000);
+  q2.projections = {"title", "votes"};
+  problem_.workload = {q1, q2};
+
+  GreedyOptions greedy_merge;
+  greedy_merge.merging = MergeStrategy::kGreedy;
+  GreedyOptions no_merge;
+  no_merge.merging = MergeStrategy::kNone;
+  GreedyOptions exhaustive;
+  exhaustive.merging = MergeStrategy::kExhaustive;
+
+  auto g = GreedySearch(problem_, greedy_merge);
+  auto n = GreedySearch(problem_, no_merge);
+  auto x = GreedySearch(problem_, exhaustive);
+  ASSERT_TRUE(g.ok()) << g.status();
+  ASSERT_TRUE(n.ok()) << n.status();
+  ASSERT_TRUE(x.ok()) << x.status();
+  // Exhaustive merging costs extra design-tool calls.
+  EXPECT_GT(x->telemetry.tuner_calls, g->telemetry.tuner_calls);
+  // Greedy merging lands near exhaustive quality (the paper reports
+  // "about the same"; the heuristic model may give up a small margin).
+  EXPECT_LE(g->estimated_cost, x->estimated_cost * 1.3);
+  // And never does worse than not merging at all.
+  EXPECT_LE(g->estimated_cost, n->estimated_cost * 1.05);
+}
+
+TEST_F(SearchFixture, SearchResultIsExecutableEndToEnd) {
+  SetUpMovie(2000);
+  UseWorkload(SelectivityClass::kHigh, ProjectionClass::kHigh, 5);
+  auto greedy = GreedySearch(problem_);
+  ASSERT_TRUE(greedy.ok()) << greedy.status();
+  auto eval = EvaluateOnData(*greedy, data_.doc, problem_.workload);
+  ASSERT_TRUE(eval.ok()) << eval.status();
+  EXPECT_EQ(eval->per_query_work.size(), problem_.workload.size());
+  EXPECT_GT(eval->total_work, 0);
+  // Storage bound respected by construction.
+  EXPECT_LE(eval->data_pages + eval->structure_pages,
+            problem_.storage_bound_pages);
+}
+
+}  // namespace
+}  // namespace xmlshred

@@ -1,0 +1,178 @@
+// Unit tests for the SQL parser, printer, and binder.
+
+#include <gtest/gtest.h>
+
+#include "rel/catalog.h"
+#include "sql/ast.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+
+namespace xmlshred {
+namespace {
+
+TEST(SqlParserTest, SimpleSelect) {
+  auto result = ParseSql("SELECT title, year FROM inproc");
+  ASSERT_TRUE(result.ok()) << result.status();
+  const Query& q = *result;
+  ASSERT_EQ(q.blocks.size(), 1u);
+  EXPECT_EQ(q.blocks[0].items.size(), 2u);
+  EXPECT_EQ(q.blocks[0].items[0].column, "title");
+  EXPECT_EQ(q.blocks[0].tables[0].table, "inproc");
+}
+
+TEST(SqlParserTest, QualifiedColumnsAndAlias) {
+  auto result = ParseSql("SELECT I.title FROM inproc I WHERE I.year = 2000");
+  ASSERT_TRUE(result.ok()) << result.status();
+  const SelectBlock& b = result->blocks[0];
+  EXPECT_EQ(b.items[0].table_alias, "I");
+  EXPECT_EQ(b.tables[0].alias, "I");
+  ASSERT_EQ(b.filters.size(), 1u);
+  EXPECT_EQ(b.filters[0].table, "I");
+  EXPECT_EQ(b.filters[0].op, "=");
+  EXPECT_TRUE(b.filters[0].literal.TotalEquals(Value::Int(2000)));
+}
+
+TEST(SqlParserTest, StringLiteralAndComparisons) {
+  auto result = ParseSql(
+      "SELECT title FROM inproc WHERE booktitle = 'SIGMOD CONFERENCE' AND "
+      "year >= 1998");
+  ASSERT_TRUE(result.ok()) << result.status();
+  const SelectBlock& b = result->blocks[0];
+  ASSERT_EQ(b.filters.size(), 2u);
+  EXPECT_TRUE(b.filters[0].literal.TotalEquals(Value::Str("SIGMOD CONFERENCE")));
+  EXPECT_EQ(b.filters[1].op, ">=");
+}
+
+TEST(SqlParserTest, JoinPredicate) {
+  auto result = ParseSql(
+      "SELECT I.title, A.author FROM inproc I, inproc_author A "
+      "WHERE I.ID = A.PID");
+  ASSERT_TRUE(result.ok()) << result.status();
+  const SelectBlock& b = result->blocks[0];
+  ASSERT_EQ(b.joins.size(), 1u);
+  EXPECT_EQ(b.joins[0].left_alias, "I");
+  EXPECT_EQ(b.joins[0].right_column, "PID");
+}
+
+TEST(SqlParserTest, UnionAllWithOrderBy) {
+  auto result = ParseSql(
+      "SELECT ID, title FROM inproc UNION ALL "
+      "SELECT ID, NULL FROM inproc ORDER BY 1");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->blocks.size(), 2u);
+  ASSERT_EQ(result->order_by.size(), 1u);
+  EXPECT_EQ(result->order_by[0], 0);
+  EXPECT_TRUE(result->blocks[1].items[1].is_null_literal);
+}
+
+TEST(SqlParserTest, IsNotNull) {
+  auto result =
+      ParseSql("SELECT title FROM movie WHERE avg_rating IS NOT NULL");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->blocks[0].filters[0].op, "is not null");
+}
+
+TEST(SqlParserTest, OrderByName) {
+  auto result =
+      ParseSql("SELECT ID AS k, title FROM inproc ORDER BY k");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->order_by[0], 0);
+}
+
+TEST(SqlParserTest, Errors) {
+  EXPECT_FALSE(ParseSql("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM t WHERE a <> 3").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM t WHERE a = 'unterminated").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM t UNION SELECT a FROM t").ok());
+  EXPECT_FALSE(
+      ParseSql("SELECT a FROM t UNION ALL SELECT a, b FROM t").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM t ORDER BY 5").ok());
+}
+
+TEST(SqlPrinterTest, RoundTrip) {
+  const char* sql =
+      "SELECT I.ID, I.title, NULL AS author FROM inproc I "
+      "WHERE I.booktitle = 'SIGMOD' UNION ALL "
+      "SELECT I.ID, NULL, A.author FROM inproc I, inproc_author A "
+      "WHERE I.ID = A.PID AND I.booktitle = 'SIGMOD' ORDER BY 1";
+  auto first = ParseSql(sql);
+  ASSERT_TRUE(first.ok()) << first.status();
+  std::string printed = first->ToSql();
+  auto second = ParseSql(printed);
+  ASSERT_TRUE(second.ok()) << second.status() << "\n" << printed;
+  EXPECT_EQ(second->ToSql(), printed);
+}
+
+class BinderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TableSchema parent;
+    parent.name = "inproc";
+    parent.columns = {{"ID", ColumnType::kInt64, false},
+                      {"PID", ColumnType::kInt64, true},
+                      {"title", ColumnType::kString, true},
+                      {"year", ColumnType::kInt64, true}};
+    parent.id_column = 0;
+    parent.pid_column = 1;
+    TableSchema child;
+    child.name = "inproc_author";
+    child.columns = {{"ID", ColumnType::kInt64, false},
+                     {"PID", ColumnType::kInt64, true},
+                     {"author", ColumnType::kString, true}};
+    child.id_column = 0;
+    child.pid_column = 1;
+    Database db;
+    ASSERT_TRUE(db.CreateTable(parent).ok());
+    ASSERT_TRUE(db.CreateTable(child).ok());
+    catalog_ = db.BuildCatalogDesc();
+  }
+
+  CatalogDesc catalog_;
+};
+
+TEST_F(BinderTest, ResolvesQualifiedAndUnqualified) {
+  auto q = ParseSql(
+      "SELECT I.title, author FROM inproc I, inproc_author A "
+      "WHERE I.ID = A.PID AND year = 2000");
+  ASSERT_TRUE(q.ok());
+  auto bound = BindQuery(*q, catalog_);
+  ASSERT_TRUE(bound.ok()) << bound.status();
+  const BoundBlock& b = bound->blocks[0];
+  EXPECT_EQ(b.items[0].ref.table_idx, 0);
+  EXPECT_EQ(b.items[0].ref.column, 2);
+  EXPECT_EQ(b.items[1].ref.table_idx, 1);  // author only in child
+  EXPECT_EQ(b.filters[0].ref.table_idx, 0);
+  EXPECT_EQ(b.filters[0].ref.column, 3);
+}
+
+TEST_F(BinderTest, AmbiguousUnqualifiedFails) {
+  auto q = ParseSql("SELECT ID FROM inproc, inproc_author");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(BindQuery(*q, catalog_).ok());
+}
+
+TEST_F(BinderTest, UnknownTableOrColumnFails) {
+  auto q1 = ParseSql("SELECT x FROM nowhere");
+  ASSERT_TRUE(q1.ok());
+  EXPECT_EQ(BindQuery(*q1, catalog_).status().code(), StatusCode::kNotFound);
+  auto q2 = ParseSql("SELECT missing FROM inproc");
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(BindQuery(*q2, catalog_).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(BinderTest, ReferencedColumnsAggregatesAllUses) {
+  auto q = ParseSql(
+      "SELECT I.title FROM inproc I, inproc_author A "
+      "WHERE I.ID = A.PID AND I.year = 2000");
+  ASSERT_TRUE(q.ok());
+  auto bound = BindQuery(*q, catalog_);
+  ASSERT_TRUE(bound.ok());
+  std::vector<int> cols = bound->blocks[0].ReferencedColumns(0);
+  // ID (join), title (item), year (filter).
+  EXPECT_EQ(cols, (std::vector<int>{0, 2, 3}));
+  EXPECT_EQ(bound->blocks[0].ReferencedColumns(1), (std::vector<int>{1}));
+}
+
+}  // namespace
+}  // namespace xmlshred

@@ -1,0 +1,149 @@
+// Focused unit tests for the XPath translator's output metadata and
+// canonicalization, plus translations under less common mappings.
+
+#include <gtest/gtest.h>
+
+#include "mapping/transforms.h"
+#include "workload/dblp.h"
+#include "workload/movie.h"
+#include "xpath/translator.h"
+
+namespace xmlshred {
+namespace {
+
+TEST(TranslatorUnitTest, OutputElementsLabelSlots) {
+  auto tree = BuildDblpSchemaTree();
+  FullyInline(tree.get());
+  SchemaNode* author = nullptr;
+  tree->Visit([&](SchemaNode* n) {
+    if (n->annotation() == "inproc_author") author = n;
+  });
+  ASSERT_NE(author, nullptr);
+  Transform split;
+  split.kind = TransformKind::kRepetitionSplit;
+  split.target = author->parent()->id();
+  split.split_count = 3;
+  ASSERT_TRUE(ApplyTransform(tree.get(), split).ok());
+  auto mapping = Mapping::Build(*tree);
+  ASSERT_TRUE(mapping.ok());
+  auto query = ParseXPath("//inproceedings/(title | author)");
+  ASSERT_TRUE(query.ok());
+  auto translated = TranslateXPath(*query, *tree, *mapping);
+  ASSERT_TRUE(translated.ok()) << translated.status();
+  // Slots: ID, title, author x3 (occurrence columns).
+  EXPECT_EQ(translated->output_elements,
+            (std::vector<std::string>{"", "title", "author", "author",
+                                      "author"}));
+}
+
+TEST(TranslatorUnitTest, CanonicalizeDropsNullsAndSorts) {
+  TranslatedQuery query;
+  query.output_elements = {"", "a", "b"};
+  std::vector<Row> rows = {
+      {Value::Int(2), Value::Str("x"), Value::Null()},
+      {Value::Int(1), Value::Null(), Value::Int(7)},
+  };
+  std::vector<std::string> canonical = CanonicalizeResult(query, rows);
+  ASSERT_EQ(canonical.size(), 2u);
+  EXPECT_EQ(canonical[0], "1|b|7");
+  EXPECT_EQ(canonical[1], "2|a|'x'");
+}
+
+TEST(TranslatorUnitTest, DuplicateValuesSurviveCanonicalization) {
+  TranslatedQuery query;
+  query.output_elements = {"", "a"};
+  std::vector<Row> rows = {
+      {Value::Int(1), Value::Str("same")},
+      {Value::Int(1), Value::Str("same")},
+  };
+  EXPECT_EQ(CanonicalizeResult(query, rows).size(), 2u);
+}
+
+TEST(TranslatorUnitTest, TypeMergedChildRelation) {
+  // After merging the author types, //book/(author) must join the merged
+  // relation; PID filtering keeps only book authors.
+  auto tree = BuildDblpSchemaTree();
+  auto authors = tree->FindTagsByName("author");
+  ASSERT_EQ(authors.size(), 2u);
+  Transform merge;
+  merge.kind = TransformKind::kTypeMerge;
+  merge.target = authors[0]->id();
+  merge.target2 = authors[1]->id();
+  ASSERT_TRUE(ApplyTransform(tree.get(), merge).ok());
+  auto mapping = Mapping::Build(*tree);
+  ASSERT_TRUE(mapping.ok());
+  auto query = ParseXPath("//book/(author)");
+  ASSERT_TRUE(query.ok());
+  auto translated = TranslateXPath(*query, *tree, *mapping);
+  ASSERT_TRUE(translated.ok()) << translated.status();
+  std::string sql = translated->sql.ToSql();
+  EXPECT_NE(sql.find(authors[0]->annotation()), std::string::npos);
+  EXPECT_NE(sql.find("t1.PID = t0.ID"), std::string::npos);
+}
+
+TEST(TranslatorUnitTest, VariantContextsYieldOneBlockSetEach) {
+  auto tree = BuildMovieSchemaTree();
+  SchemaNode* box = tree->FindTagByName("box_office");
+  Transform dist;
+  dist.kind = TransformKind::kUnionDistribute;
+  dist.target = box->parent()->id();
+  ASSERT_TRUE(ApplyTransform(tree.get(), dist).ok());
+  auto mapping = Mapping::Build(*tree);
+  ASSERT_TRUE(mapping.ok());
+
+  // A query projecting both alternatives touches both variants.
+  auto both = ParseXPath("//movie/(title | box_office | seasons)");
+  ASSERT_TRUE(both.ok());
+  auto translated = TranslateXPath(*both, *tree, *mapping);
+  ASSERT_TRUE(translated.ok());
+  EXPECT_EQ(translated->sql.blocks.size(), 2u);  // one inline block/variant
+
+  // Selecting on box_office eliminates the seasons variant.
+  auto one = ParseXPath("//movie[box_office >= 1]/(title)");
+  ASSERT_TRUE(one.ok());
+  translated = TranslateXPath(*one, *tree, *mapping);
+  ASSERT_TRUE(translated.ok());
+  EXPECT_EQ(translated->sql.blocks.size(), 1u);
+  EXPECT_NE(translated->sql.ToSql().find("movie_box_office"),
+            std::string::npos);
+}
+
+TEST(TranslatorUnitTest, OutlinedSelectionJoinsChildRelation) {
+  auto tree = BuildDblpSchemaTree();
+  FullyInline(tree.get());
+  SchemaNode* booktitle = tree->FindTagByName("booktitle");
+  Transform outline;
+  outline.kind = TransformKind::kOutline;
+  outline.target = booktitle->id();
+  ASSERT_TRUE(ApplyTransform(tree.get(), outline).ok());
+  auto mapping = Mapping::Build(*tree);
+  ASSERT_TRUE(mapping.ok());
+  auto query =
+      ParseXPath("//inproceedings[booktitle = 'SIGMOD']/(title | year)");
+  ASSERT_TRUE(query.ok());
+  auto translated = TranslateXPath(*query, *tree, *mapping);
+  ASSERT_TRUE(translated.ok()) << translated.status();
+  std::string sql = translated->sql.ToSql();
+  EXPECT_NE(sql.find("ts0.PID = t0.ID"), std::string::npos);
+  EXPECT_NE(sql.find("booktitle = 'SIGMOD'"), std::string::npos);
+}
+
+TEST(TranslatorUnitTest, ProjectionOfContextNameItself) {
+  // Projecting an element that only exists as child relations still
+  // works with an anchor-level leaf (aka_title is its own relation).
+  auto tree = BuildMovieSchemaTree();
+  auto mapping = Mapping::Build(*tree);
+  ASSERT_TRUE(mapping.ok());
+  auto query = ParseXPath("//movie/(aka_title)");
+  ASSERT_TRUE(query.ok());
+  auto translated = TranslateXPath(*query, *tree, *mapping);
+  ASSERT_TRUE(translated.ok()) << translated.status();
+  bool has_child_block = false;
+  for (const SelectBlock& block : translated->sql.blocks) {
+    if (block.tables.size() == 2) has_child_block = true;
+  }
+  EXPECT_TRUE(has_child_block);
+}
+
+}  // namespace
+}  // namespace xmlshred

@@ -1,0 +1,140 @@
+// Tests for the update-aware design extension (the paper's future-work
+// item): insert loads charge maintenance on candidate structures, so
+// update-heavy workloads get leaner physical designs.
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "mapping/xml_stats.h"
+#include "search/greedy.h"
+#include "sql/parser.h"
+#include "tune/advisor.h"
+#include "workload/dblp.h"
+
+namespace xmlshred {
+namespace {
+
+class UpdateAwareTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DblpConfig config;
+    config.num_inproceedings = 5000;
+    config.num_books = 500;
+    data_ = GenerateDblp(config);
+    auto stats = XmlStatistics::Collect(data_.doc, *data_.tree);
+    ASSERT_TRUE(stats.ok());
+    stats_ = std::make_unique<XmlStatistics>(std::move(*stats));
+    auto mapping = Mapping::Build(*data_.tree);
+    ASSERT_TRUE(mapping.ok());
+    mapping_ = std::make_unique<Mapping>(std::move(*mapping));
+    catalog_ = stats_->DeriveCatalog(*data_.tree, *mapping_);
+  }
+
+  WeightedQuery Parse(const std::string& sql, double weight = 1.0) {
+    auto q = ParseSql(sql);
+    XS_CHECK_OK(q.status());
+    return {std::move(*q), weight};
+  }
+
+  GeneratedData data_;
+  std::unique_ptr<XmlStatistics> stats_;
+  std::unique_ptr<Mapping> mapping_;
+  CatalogDesc catalog_;
+};
+
+TEST_F(UpdateAwareTest, HeavyUpdatesSuppressStructures) {
+  std::vector<WeightedQuery> workload = {
+      Parse("SELECT title, year FROM inproc WHERE booktitle = 'conf_0'")};
+  PhysicalDesignAdvisor advisor(TunerOptions{});
+  auto without = advisor.Tune(workload, catalog_);
+  ASSERT_TRUE(without.ok());
+  ASSERT_FALSE(without->indexes.empty() && without->views.empty());
+
+  // An overwhelming insert rate on inproc makes every structure on it a
+  // net loss.
+  std::vector<UpdateRate> heavy = {{"inproc", 1e9}};
+  auto with = advisor.Tune(workload, catalog_, 0, heavy);
+  ASSERT_TRUE(with.ok());
+  EXPECT_TRUE(with->indexes.empty() && with->views.empty());
+  EXPECT_EQ(with->maintenance_cost, 0);
+
+  // A mild rate keeps the beneficial structures but reports their
+  // maintenance.
+  std::vector<UpdateRate> mild = {{"inproc", 10.0}};
+  auto mild_result = advisor.Tune(workload, catalog_, 0, mild);
+  ASSERT_TRUE(mild_result.ok());
+  EXPECT_FALSE(mild_result->indexes.empty() && mild_result->views.empty());
+  EXPECT_GT(mild_result->maintenance_cost, 0);
+  EXPECT_GE(mild_result->total_cost, without->total_cost);
+}
+
+TEST_F(UpdateAwareTest, RatesOnlyChargeAffectedTables) {
+  std::vector<WeightedQuery> workload = {
+      Parse("SELECT title FROM inproc WHERE booktitle = 'conf_1'"),
+      Parse("SELECT author FROM book_author WHERE author = 'given_0001 "
+            "family_000001'"),
+  };
+  PhysicalDesignAdvisor advisor(TunerOptions{});
+  // Heavy updates on book_author only: inproc keeps its structures.
+  std::vector<UpdateRate> rates = {{"book_author", 1e9}};
+  auto result = advisor.Tune(workload, catalog_, 0, rates);
+  ASSERT_TRUE(result.ok());
+  bool inproc_structure = false, book_author_structure = false;
+  for (const IndexDesc& idx : result->indexes) {
+    if (idx.def.table == "inproc") inproc_structure = true;
+    if (idx.def.table == "book_author") book_author_structure = true;
+  }
+  for (const ViewDesc& view : result->views) {
+    if (view.def.base_table == "inproc") inproc_structure = true;
+    if (view.def.base_table == "book_author") book_author_structure = true;
+  }
+  EXPECT_TRUE(inproc_structure);
+  EXPECT_FALSE(book_author_structure);
+}
+
+TEST_F(UpdateAwareTest, ComputeUpdateRatesScalesByFanout) {
+  DesignProblem problem;
+  problem.tree = data_.tree.get();
+  problem.stats = stats_.get();
+  problem.updates = {{"inproceedings", 100.0}};
+  std::vector<UpdateRate> rates =
+      ComputeUpdateRates(problem, *data_.tree, *mapping_);
+  double inproc_rate = 0, author_rate = 0, book_rate = 0;
+  for (const UpdateRate& rate : rates) {
+    if (rate.table == "inproc") inproc_rate = rate.rows_per_unit;
+    if (rate.table == "inproc_author") author_rate = rate.rows_per_unit;
+    if (rate.table == "book") book_rate = rate.rows_per_unit;
+  }
+  // One inproc row per insert; ~2.5-3 author rows (average fanout); no
+  // book rows.
+  EXPECT_NEAR(inproc_rate, 100.0, 1.0);
+  EXPECT_GT(author_rate, 150.0);
+  EXPECT_LT(author_rate, 400.0);
+  EXPECT_EQ(book_rate, 0.0);
+}
+
+TEST_F(UpdateAwareTest, SearchAdaptsMappingToUpdates) {
+  // A read workload that loves structures, plus a crushing insert load:
+  // the search must still return a design, with far fewer structure
+  // pages than the read-only case.
+  auto q = ParseXPath(
+      "//inproceedings[booktitle = 'conf_0']/(title | year | author)");
+  ASSERT_TRUE(q.ok());
+  DesignProblem problem;
+  problem.tree = data_.tree.get();
+  problem.stats = stats_.get();
+  problem.workload = {*q};
+  problem.storage_bound_pages = catalog_.DataPages() * 4;
+
+  auto read_only = GreedySearch(problem);
+  ASSERT_TRUE(read_only.ok()) << read_only.status();
+
+  problem.updates = {{"inproceedings", 1e9}};
+  auto update_heavy = GreedySearch(problem);
+  ASSERT_TRUE(update_heavy.ok()) << update_heavy.status();
+  EXPECT_LT(update_heavy->configuration.structure_pages,
+            std::max<int64_t>(read_only->configuration.structure_pages, 1));
+}
+
+}  // namespace
+}  // namespace xmlshred

@@ -1,0 +1,181 @@
+// Tests for data and workload generators: determinism, distributional
+// facts the paper relies on, and workload class parameters.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mapping/xml_stats.h"
+#include "workload/dblp.h"
+#include "workload/movie.h"
+#include "workload/query_gen.h"
+
+namespace xmlshred {
+namespace {
+
+TEST(DblpGeneratorTest, Deterministic) {
+  DblpConfig config;
+  config.num_inproceedings = 500;
+  config.num_books = 50;
+  GeneratedData a = GenerateDblp(config);
+  GeneratedData b = GenerateDblp(config);
+  EXPECT_EQ(a.doc.ToXml(), b.doc.ToXml());
+  config.seed = 43;
+  GeneratedData c = GenerateDblp(config);
+  EXPECT_NE(a.doc.ToXml(), c.doc.ToXml());
+}
+
+TEST(DblpGeneratorTest, AuthorCardinalitySkew) {
+  DblpConfig config;
+  config.num_inproceedings = 5000;
+  config.num_books = 0;
+  GeneratedData data = GenerateDblp(config);
+  int64_t low = 0, total = 0, max_authors = 0;
+  for (const auto& pub : data.doc.root()->children()) {
+    int64_t n = static_cast<int64_t>(pub->FindChildren("author").size());
+    ++total;
+    if (n <= 5) ++low;
+    max_authors = std::max(max_authors, n);
+  }
+  // Section 4.6: 99 % of publications have <= 5 authors, max 20.
+  EXPECT_NEAR(static_cast<double>(low) / static_cast<double>(total), 0.99,
+              0.01);
+  EXPECT_LE(max_authors, 20);
+  EXPECT_GT(max_authors, 5);
+}
+
+TEST(DblpGeneratorTest, SchemaValidatesAndShreds) {
+  GeneratedData data = GenerateDblp([] {
+    DblpConfig c;
+    c.num_inproceedings = 200;
+    c.num_books = 20;
+    return c;
+  }());
+  EXPECT_TRUE(data.tree->Validate().ok());
+  auto stats = XmlStatistics::Collect(data.doc, *data.tree);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_GT(stats->total_elements(), 200 * 5);
+}
+
+TEST(MovieGeneratorTest, ChoiceFractionAndPresence) {
+  MovieConfig config;
+  config.num_movies = 5000;
+  GeneratedData data = GenerateMovie(config);
+  int64_t tv = 0, rated = 0, aka_low = 0;
+  for (const auto& movie : data.doc.root()->children()) {
+    if (movie->FindChild("seasons") != nullptr) ++tv;
+    EXPECT_EQ(movie->FindChild("seasons") != nullptr,
+              movie->FindChild("box_office") == nullptr);
+    if (movie->FindChild("avg_rating") != nullptr) ++rated;
+    if (movie->FindChildren("aka_title").size() <= 5) ++aka_low;
+  }
+  EXPECT_NEAR(tv / 5000.0, 0.3, 0.03);
+  EXPECT_NEAR(rated / 5000.0, 0.6, 0.03);
+  // The §4.5 candidate rule needs >= 80 % below cmax; we generate ~95 %
+  // at <= 5.
+  EXPECT_GT(aka_low / 5000.0, 0.9);
+}
+
+class QueryGenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MovieConfig config;
+    config.num_movies = 3000;
+    data_ = GenerateMovie(config);
+    auto stats = XmlStatistics::Collect(data_.doc, *data_.tree);
+    ASSERT_TRUE(stats.ok());
+    stats_ = std::make_unique<XmlStatistics>(std::move(*stats));
+  }
+
+  GeneratedData data_;
+  std::unique_ptr<XmlStatistics> stats_;
+};
+
+TEST_F(QueryGenTest, DeterministicInSeed) {
+  WorkloadSpec spec;
+  spec.num_queries = 10;
+  spec.seed = 5;
+  auto a = GenerateWorkload(*data_.tree, *stats_, spec);
+  auto b = GenerateWorkload(*data_.tree, *stats_, spec);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].ToString(), (*b)[i].ToString());
+  }
+  spec.seed = 6;
+  auto c = GenerateWorkload(*data_.tree, *stats_, spec);
+  ASSERT_TRUE(c.ok());
+  bool any_diff = false;
+  for (size_t i = 0; i < a->size(); ++i) {
+    if ((*a)[i].ToString() != (*c)[i].ToString()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_F(QueryGenTest, ProjectionClassBounds) {
+  WorkloadSpec spec;
+  spec.num_queries = 20;
+  spec.projections = ProjectionClass::kLow;
+  auto low = GenerateWorkload(*data_.tree, *stats_, spec);
+  ASSERT_TRUE(low.ok());
+  for (const XPathQuery& q : *low) {
+    EXPECT_GE(q.projections.size(), 1u);
+    EXPECT_LE(q.projections.size(), 4u);
+    // No duplicate projections.
+    std::set<std::string> names(q.projections.begin(), q.projections.end());
+    EXPECT_EQ(names.size(), q.projections.size());
+  }
+  spec.projections = ProjectionClass::kHigh;
+  auto high = GenerateWorkload(*data_.tree, *stats_, spec);
+  ASSERT_TRUE(high.ok());
+  for (const XPathQuery& q : *high) {
+    EXPECT_GE(q.projections.size(), 5u);
+  }
+}
+
+TEST_F(QueryGenTest, SelectivityClassesDiffer) {
+  WorkloadSpec low_spec;
+  low_spec.num_queries = 15;
+  low_spec.selectivity = SelectivityClass::kLow;
+  WorkloadSpec high_spec = low_spec;
+  high_spec.selectivity = SelectivityClass::kHigh;
+  auto low = GenerateWorkload(*data_.tree, *stats_, low_spec);
+  auto high = GenerateWorkload(*data_.tree, *stats_, high_spec);
+  ASSERT_TRUE(low.ok());
+  ASSERT_TRUE(high.ok());
+  // Every LS query has a selection; HS queries may omit it.
+  for (const XPathQuery& q : *low) EXPECT_TRUE(q.has_selection);
+  int without = 0;
+  for (const XPathQuery& q : *high) {
+    if (!q.has_selection) ++without;
+  }
+  EXPECT_GT(without, 0);
+}
+
+TEST_F(QueryGenTest, WorkloadNames) {
+  WorkloadSpec spec;
+  spec.num_queries = 20;
+  spec.projections = ProjectionClass::kHigh;
+  spec.selectivity = SelectivityClass::kLow;
+  EXPECT_EQ(WorkloadName(spec), "HP-LS-20");
+  spec.projections = ProjectionClass::kLow;
+  spec.selectivity = SelectivityClass::kHigh;
+  spec.num_queries = 10;
+  EXPECT_EQ(WorkloadName(spec), "LP-HS-10");
+}
+
+TEST_F(QueryGenTest, QueriesParseBack) {
+  WorkloadSpec spec;
+  spec.num_queries = 10;
+  auto workload = GenerateWorkload(*data_.tree, *stats_, spec);
+  ASSERT_TRUE(workload.ok());
+  for (const XPathQuery& q : *workload) {
+    auto reparsed = ParseXPath(q.ToString());
+    ASSERT_TRUE(reparsed.ok()) << q.ToString();
+    EXPECT_EQ(reparsed->ToString(), q.ToString());
+  }
+}
+
+}  // namespace
+}  // namespace xmlshred

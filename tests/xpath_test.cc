@@ -1,0 +1,349 @@
+// Tests for the XPath parser and the sorted-outer-union translator,
+// including the cross-mapping result-invariance property: the same XPath
+// query canonicalizes to the same result under every mapping.
+
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "mapping/shredder.h"
+#include "mapping/transforms.h"
+#include "opt/planner.h"
+#include "sql/binder.h"
+#include "workload/dblp.h"
+#include "workload/movie.h"
+#include "xpath/translator.h"
+#include "xpath/xpath.h"
+
+namespace xmlshred {
+namespace {
+
+TEST(XPathParserTest, FullForm) {
+  auto q = ParseXPath("//movie[title = \"Titanic\"]/(aka_title | avg_rating)");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->context, "movie");
+  ASSERT_TRUE(q->has_selection);
+  EXPECT_EQ(q->selection_path, "title");
+  EXPECT_EQ(q->selection_op, "=");
+  EXPECT_TRUE(q->selection_literal.TotalEquals(Value::Str("Titanic")));
+  EXPECT_EQ(q->projections,
+            (std::vector<std::string>{"aka_title", "avg_rating"}));
+}
+
+TEST(XPathParserTest, AbsolutePathAndNumericPredicate) {
+  auto q = ParseXPath(
+      "/dblp/inproceedings[year=\"2000\"]/(title | year | author)");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->context, "inproceedings");
+  EXPECT_TRUE(q->selection_literal.TotalEquals(Value::Int(2000)));
+  EXPECT_EQ(q->projections.size(), 3u);
+}
+
+TEST(XPathParserTest, SingleProjectionForm) {
+  auto q = ParseXPath("//movie/year");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->context, "movie");
+  EXPECT_EQ(q->projections, std::vector<std::string>{"year"});
+  EXPECT_FALSE(q->has_selection);
+}
+
+TEST(XPathParserTest, RangePredicates) {
+  auto q = ParseXPath("//movie[year >= 1998]/(title | box_office)");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->selection_op, ">=");
+  EXPECT_TRUE(q->selection_literal.TotalEquals(Value::Int(1998)));
+}
+
+TEST(XPathParserTest, RoundTripThroughToString) {
+  auto q = ParseXPath("//movie[year >= 1998]/(title | box_office)");
+  ASSERT_TRUE(q.ok());
+  auto again = ParseXPath(q->ToString());
+  ASSERT_TRUE(again.ok()) << again.status() << " <- " << q->ToString();
+  EXPECT_EQ(again->ToString(), q->ToString());
+}
+
+TEST(XPathParserTest, Errors) {
+  EXPECT_FALSE(ParseXPath("").ok());
+  EXPECT_FALSE(ParseXPath("movie").ok());
+  EXPECT_FALSE(ParseXPath("//movie").ok());
+  EXPECT_FALSE(ParseXPath("//movie[year]/(title)").ok());
+  EXPECT_FALSE(ParseXPath("//movie/(title |)").ok());
+  EXPECT_FALSE(ParseXPath("//movie/(title) extra").ok());
+}
+
+// Executes an XPath query under the given (already shredded) database and
+// returns the canonicalized result plus metered work.
+class XPathExecFixture {
+ public:
+  XPathExecFixture(const SchemaTree& tree, const Mapping& mapping,
+                   Database* db)
+      : tree_(tree), mapping_(mapping), db_(db) {}
+
+  Result<std::vector<std::string>> Run(const std::string& xpath,
+                                       double* work = nullptr) {
+    auto parsed = ParseXPath(xpath);
+    if (!parsed.ok()) return parsed.status();
+    auto translated = TranslateXPath(*parsed, tree_, mapping_);
+    if (!translated.ok()) return translated.status();
+    CatalogDesc catalog = db_->BuildCatalogDesc();
+    auto bound = BindQuery(translated->sql, catalog);
+    if (!bound.ok()) return bound.status();
+    auto planned = PlanQuery(*bound, catalog);
+    if (!planned.ok()) return planned.status();
+    Executor executor(*db_);
+    ExecMetrics metrics;
+    auto rows = executor.Run(*planned->root, &metrics);
+    if (!rows.ok()) return rows.status();
+    if (work != nullptr) *work = metrics.work;
+    return CanonicalizeResult(*translated, *rows);
+  }
+
+ private:
+  const SchemaTree& tree_;
+  const Mapping& mapping_;
+  Database* db_;
+};
+
+TEST(TranslatorTest, DblpSortedOuterUnionSql) {
+  auto tree = BuildDblpSchemaTree();
+  auto mapping = Mapping::Build(*tree);
+  ASSERT_TRUE(mapping.ok());
+  auto q = ParseXPath(
+      "//inproceedings[booktitle = 'conf_0']/(title | year | author)");
+  ASSERT_TRUE(q.ok());
+  auto translated = TranslateXPath(*q, *tree, *mapping);
+  ASSERT_TRUE(translated.ok()) << translated.status();
+  // One inline block plus one child block for author.
+  EXPECT_EQ(translated->sql.blocks.size(), 2u);
+  std::string sql = translated->sql.ToSql();
+  EXPECT_NE(sql.find("UNION ALL"), std::string::npos);
+  EXPECT_NE(sql.find("ORDER BY 1"), std::string::npos);
+  EXPECT_NE(sql.find("inproc_author"), std::string::npos);
+  EXPECT_EQ(translated->output_elements.size(), 4u);  // ID,title,year,author
+}
+
+TEST(TranslatorTest, MissingContextOrSelection) {
+  auto tree = BuildDblpSchemaTree();
+  auto mapping = Mapping::Build(*tree);
+  ASSERT_TRUE(mapping.ok());
+  auto q1 = ParseXPath("//nonexistent/(title)");
+  ASSERT_TRUE(q1.ok());
+  EXPECT_EQ(TranslateXPath(*q1, *tree, *mapping).status().code(),
+            StatusCode::kNotFound);
+  auto q2 = ParseXPath("//inproceedings[bogus = 1]/(title)");
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(TranslateXPath(*q2, *tree, *mapping).status().code(),
+            StatusCode::kNotFound);
+}
+
+// The central invariance property: transformations change the SQL and the
+// physical layout but never the canonicalized query answer.
+class MappingInvarianceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    movie_ = GenerateMovie([] {
+      MovieConfig c;
+      c.num_movies = 1500;
+      return c;
+    }());
+    dblp_ = GenerateDblp([] {
+      DblpConfig c;
+      c.num_inproceedings = 1500;
+      c.num_books = 150;
+      return c;
+    }());
+  }
+
+  // Shreds `data`'s document under its (possibly transformed) tree and
+  // runs all `queries`, returning canonical results.
+  static Result<std::vector<std::vector<std::string>>> RunAll(
+      const GeneratedData& data, const std::vector<std::string>& queries) {
+    auto mapping = Mapping::Build(*data.tree);
+    if (!mapping.ok()) return mapping.status();
+    Database db;
+    auto shredded = ShredDocument(data.doc, *data.tree, *mapping, &db);
+    if (!shredded.ok()) return shredded.status();
+    XPathExecFixture fixture(*data.tree, *mapping, &db);
+    std::vector<std::vector<std::string>> results;
+    for (const std::string& q : queries) {
+      auto result = fixture.Run(q);
+      if (!result.ok()) return result.status();
+      results.push_back(std::move(*result));
+    }
+    return results;
+  }
+
+  GeneratedData movie_;
+  GeneratedData dblp_;
+};
+
+TEST_F(MappingInvarianceTest, MovieTransformationsPreserveResults) {
+  std::vector<std::string> queries = {
+      "//movie[year >= 2000]/(title | avg_rating)",
+      "//movie[title = 'movie_title_77']/(aka_title | avg_rating)",
+      "//movie[year = 1990]/(title | box_office | seasons)",
+      "//movie/(votes)",
+  };
+  auto baseline = RunAll(movie_, queries);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+
+  // Repetition split on aka_title.
+  {
+    GeneratedData variant;
+    variant.tree = movie_.tree->Clone();
+    auto parsed = ParseXml(movie_.doc.ToXml());
+    ASSERT_TRUE(parsed.ok());
+    variant.doc = std::move(*parsed);
+    Transform split;
+    split.kind = TransformKind::kRepetitionSplit;
+    split.target = variant.tree->FindTagByName("aka_title")->parent()->id();
+    split.split_count = 5;
+    ASSERT_TRUE(ApplyTransform(variant.tree.get(), split).ok());
+    auto results = RunAll(variant, queries);
+    ASSERT_TRUE(results.ok()) << results.status();
+    EXPECT_EQ(*results, *baseline);
+  }
+
+  // Explicit union distribution on (box_office | seasons).
+  {
+    GeneratedData variant;
+    variant.tree = movie_.tree->Clone();
+    auto parsed = ParseXml(movie_.doc.ToXml());
+    ASSERT_TRUE(parsed.ok());
+    variant.doc = std::move(*parsed);
+    Transform dist;
+    dist.kind = TransformKind::kUnionDistribute;
+    dist.target = variant.tree->FindTagByName("box_office")->parent()->id();
+    ASSERT_TRUE(ApplyTransform(variant.tree.get(), dist).ok());
+    auto results = RunAll(variant, queries);
+    ASSERT_TRUE(results.ok()) << results.status();
+    EXPECT_EQ(*results, *baseline);
+  }
+
+  // Implicit union distribution on avg_rating.
+  {
+    GeneratedData variant;
+    variant.tree = movie_.tree->Clone();
+    auto parsed = ParseXml(movie_.doc.ToXml());
+    ASSERT_TRUE(parsed.ok());
+    variant.doc = std::move(*parsed);
+    SchemaNode* option =
+        variant.tree->FindTagByName("avg_rating")->parent();
+    Transform dist;
+    dist.kind = TransformKind::kUnionDistribute;
+    dist.target = option->id();
+    dist.option_targets = {option->id()};
+    ASSERT_TRUE(ApplyTransform(variant.tree.get(), dist).ok());
+    auto results = RunAll(variant, queries);
+    ASSERT_TRUE(results.ok()) << results.status();
+    EXPECT_EQ(*results, *baseline);
+  }
+}
+
+TEST_F(MappingInvarianceTest, DblpTransformationsPreserveResults) {
+  std::vector<std::string> queries = {
+      "//inproceedings[year = 1999]/(title | author | pages)",
+      "//inproceedings[booktitle = 'conf_0']/(title | year | author | ee)",
+      "//book/(title | author)",
+  };
+  auto baseline = RunAll(dblp_, queries);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+
+  // Repetition split on inproceedings' authors.
+  {
+    GeneratedData variant;
+    variant.tree = dblp_.tree->Clone();
+    auto parsed = ParseXml(dblp_.doc.ToXml());
+    ASSERT_TRUE(parsed.ok());
+    variant.doc = std::move(*parsed);
+    SchemaNode* inproc = variant.tree->FindTagByName("inproceedings");
+    std::vector<SchemaNode*> authors;
+    variant.tree->Visit([&](SchemaNode* n) {
+      if (n->kind() == SchemaNodeKind::kTag && n->name() == "author" &&
+          n->NearestAnnotatedAncestor() == inproc) {
+        authors.push_back(n);
+      }
+    });
+    ASSERT_EQ(authors.size(), 1u);
+    Transform split;
+    split.kind = TransformKind::kRepetitionSplit;
+    split.target = authors[0]->parent()->id();
+    split.split_count = 5;
+    ASSERT_TRUE(ApplyTransform(variant.tree.get(), split).ok());
+    auto results = RunAll(variant, queries);
+    ASSERT_TRUE(results.ok()) << results.status();
+    EXPECT_EQ(*results, *baseline);
+  }
+
+  // Type merge of the two author types.
+  {
+    GeneratedData variant;
+    variant.tree = dblp_.tree->Clone();
+    auto parsed = ParseXml(dblp_.doc.ToXml());
+    ASSERT_TRUE(parsed.ok());
+    variant.doc = std::move(*parsed);
+    auto authors = variant.tree->FindTagsByName("author");
+    ASSERT_EQ(authors.size(), 2u);
+    Transform merge;
+    merge.kind = TransformKind::kTypeMerge;
+    merge.target = authors[0]->id();
+    merge.target2 = authors[1]->id();
+    ASSERT_TRUE(ApplyTransform(variant.tree.get(), merge).ok());
+    auto results = RunAll(variant, queries);
+    ASSERT_TRUE(results.ok()) << results.status();
+    EXPECT_EQ(*results, *baseline);
+  }
+
+  // Fully inlined (hybrid) mapping.
+  {
+    GeneratedData variant;
+    variant.tree = dblp_.tree->Clone();
+    auto parsed = ParseXml(dblp_.doc.ToXml());
+    ASSERT_TRUE(parsed.ok());
+    variant.doc = std::move(*parsed);
+    FullyInline(variant.tree.get());
+    auto results = RunAll(variant, queries);
+    ASSERT_TRUE(results.ok()) << results.status();
+    EXPECT_EQ(*results, *baseline);
+  }
+}
+
+TEST_F(MappingInvarianceTest, UnionDistributionEnablesPartitionElimination) {
+  // //movie[avg_rating >= 9]/(title): after implicit union distribution on
+  // avg_rating, the no-rating partition is never touched.
+  auto mapping = Mapping::Build(*movie_.tree);
+  ASSERT_TRUE(mapping.ok());
+  Database db;
+  ASSERT_TRUE(ShredDocument(movie_.doc, *movie_.tree, *mapping, &db).ok());
+  XPathExecFixture fixture(*movie_.tree, *mapping, &db);
+  double base_work = 0;
+  auto base = fixture.Run("//movie[avg_rating >= 9]/(title)", &base_work);
+  ASSERT_TRUE(base.ok()) << base.status();
+
+  GeneratedData variant;
+  variant.tree = movie_.tree->Clone();
+  auto parsed = ParseXml(movie_.doc.ToXml());
+  ASSERT_TRUE(parsed.ok());
+  variant.doc = std::move(*parsed);
+  SchemaNode* option = variant.tree->FindTagByName("avg_rating")->parent();
+  Transform dist;
+  dist.kind = TransformKind::kUnionDistribute;
+  dist.target = option->id();
+  dist.option_targets = {option->id()};
+  ASSERT_TRUE(ApplyTransform(variant.tree.get(), dist).ok());
+  auto vmapping = Mapping::Build(*variant.tree);
+  ASSERT_TRUE(vmapping.ok());
+  Database vdb;
+  ASSERT_TRUE(
+      ShredDocument(variant.doc, *variant.tree, *vmapping, &vdb).ok());
+  XPathExecFixture vfixture(*variant.tree, *vmapping, &vdb);
+  double variant_work = 0;
+  auto result = vfixture.Run("//movie[avg_rating >= 9]/(title)",
+                             &variant_work);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(*result, *base);
+  // Scanning only the with-rating partition (60 %) costs less.
+  EXPECT_LT(variant_work, base_work);
+}
+
+}  // namespace
+}  // namespace xmlshred
