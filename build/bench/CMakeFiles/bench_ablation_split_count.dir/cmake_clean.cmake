@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_split_count.dir/bench_ablation_split_count.cc.o"
+  "CMakeFiles/bench_ablation_split_count.dir/bench_ablation_split_count.cc.o.d"
+  "CMakeFiles/bench_ablation_split_count.dir/util.cc.o"
+  "CMakeFiles/bench_ablation_split_count.dir/util.cc.o.d"
+  "bench_ablation_split_count"
+  "bench_ablation_split_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_split_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_quality.dir/bench_fig4_quality.cc.o"
+  "CMakeFiles/bench_fig4_quality.dir/bench_fig4_quality.cc.o.d"
+  "CMakeFiles/bench_fig4_quality.dir/util.cc.o"
+  "CMakeFiles/bench_fig4_quality.dir/util.cc.o.d"
+  "bench_fig4_quality"
+  "bench_fig4_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

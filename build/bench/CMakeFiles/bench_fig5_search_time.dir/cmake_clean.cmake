@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_search_time.dir/bench_fig5_search_time.cc.o"
+  "CMakeFiles/bench_fig5_search_time.dir/bench_fig5_search_time.cc.o.d"
+  "CMakeFiles/bench_fig5_search_time.dir/util.cc.o"
+  "CMakeFiles/bench_fig5_search_time.dir/util.cc.o.d"
+  "bench_fig5_search_time"
+  "bench_fig5_search_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_search_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_transformations.dir/bench_fig6_transformations.cc.o"
+  "CMakeFiles/bench_fig6_transformations.dir/bench_fig6_transformations.cc.o.d"
+  "CMakeFiles/bench_fig6_transformations.dir/util.cc.o"
+  "CMakeFiles/bench_fig6_transformations.dir/util.cc.o.d"
+  "bench_fig6_transformations"
+  "bench_fig6_transformations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_transformations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

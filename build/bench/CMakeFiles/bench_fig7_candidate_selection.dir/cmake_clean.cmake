@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_candidate_selection.dir/bench_fig7_candidate_selection.cc.o"
+  "CMakeFiles/bench_fig7_candidate_selection.dir/bench_fig7_candidate_selection.cc.o.d"
+  "CMakeFiles/bench_fig7_candidate_selection.dir/util.cc.o"
+  "CMakeFiles/bench_fig7_candidate_selection.dir/util.cc.o.d"
+  "bench_fig7_candidate_selection"
+  "bench_fig7_candidate_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_candidate_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_merging.dir/bench_fig8_merging.cc.o"
+  "CMakeFiles/bench_fig8_merging.dir/bench_fig8_merging.cc.o.d"
+  "CMakeFiles/bench_fig8_merging.dir/util.cc.o"
+  "CMakeFiles/bench_fig8_merging.dir/util.cc.o.d"
+  "bench_fig8_merging"
+  "bench_fig8_merging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_merging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

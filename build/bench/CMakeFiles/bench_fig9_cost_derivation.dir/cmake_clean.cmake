@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_cost_derivation.dir/bench_fig9_cost_derivation.cc.o"
+  "CMakeFiles/bench_fig9_cost_derivation.dir/bench_fig9_cost_derivation.cc.o.d"
+  "CMakeFiles/bench_fig9_cost_derivation.dir/util.cc.o"
+  "CMakeFiles/bench_fig9_cost_derivation.dir/util.cc.o.d"
+  "bench_fig9_cost_derivation"
+  "bench_fig9_cost_derivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_cost_derivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

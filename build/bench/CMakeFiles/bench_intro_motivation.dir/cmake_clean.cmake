@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_intro_motivation.dir/bench_intro_motivation.cc.o"
+  "CMakeFiles/bench_intro_motivation.dir/bench_intro_motivation.cc.o.d"
+  "CMakeFiles/bench_intro_motivation.dir/util.cc.o"
+  "CMakeFiles/bench_intro_motivation.dir/util.cc.o.d"
+  "bench_intro_motivation"
+  "bench_intro_motivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intro_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

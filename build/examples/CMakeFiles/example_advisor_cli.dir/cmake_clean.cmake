@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_advisor_cli.dir/advisor_cli.cpp.o"
+  "CMakeFiles/example_advisor_cli.dir/advisor_cli.cpp.o.d"
+  "example_advisor_cli"
+  "example_advisor_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_advisor_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dblp_advisor.dir/dblp_advisor.cpp.o"
+  "CMakeFiles/example_dblp_advisor.dir/dblp_advisor.cpp.o.d"
+  "example_dblp_advisor"
+  "example_dblp_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dblp_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

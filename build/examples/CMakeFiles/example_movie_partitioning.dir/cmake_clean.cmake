@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_movie_partitioning.dir/movie_partitioning.cpp.o"
+  "CMakeFiles/example_movie_partitioning.dir/movie_partitioning.cpp.o.d"
+  "example_movie_partitioning"
+  "example_movie_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_movie_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

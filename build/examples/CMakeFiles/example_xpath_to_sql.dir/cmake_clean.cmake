@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_xpath_to_sql.dir/xpath_to_sql.cpp.o"
+  "CMakeFiles/example_xpath_to_sql.dir/xpath_to_sql.cpp.o.d"
+  "example_xpath_to_sql"
+  "example_xpath_to_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_xpath_to_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xs_common.dir/common/rng.cc.o"
+  "CMakeFiles/xs_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/xs_common.dir/common/status.cc.o"
+  "CMakeFiles/xs_common.dir/common/status.cc.o.d"
+  "CMakeFiles/xs_common.dir/common/strings.cc.o"
+  "CMakeFiles/xs_common.dir/common/strings.cc.o.d"
+  "libxs_common.a"
+  "libxs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

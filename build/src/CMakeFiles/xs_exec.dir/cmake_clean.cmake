@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xs_exec.dir/exec/executor.cc.o"
+  "CMakeFiles/xs_exec.dir/exec/executor.cc.o.d"
+  "libxs_exec.a"
+  "libxs_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xs_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapping/mapping.cc" "src/CMakeFiles/xs_mapping.dir/mapping/mapping.cc.o" "gcc" "src/CMakeFiles/xs_mapping.dir/mapping/mapping.cc.o.d"
+  "/root/repo/src/mapping/reconstructor.cc" "src/CMakeFiles/xs_mapping.dir/mapping/reconstructor.cc.o" "gcc" "src/CMakeFiles/xs_mapping.dir/mapping/reconstructor.cc.o.d"
+  "/root/repo/src/mapping/shredder.cc" "src/CMakeFiles/xs_mapping.dir/mapping/shredder.cc.o" "gcc" "src/CMakeFiles/xs_mapping.dir/mapping/shredder.cc.o.d"
+  "/root/repo/src/mapping/transforms.cc" "src/CMakeFiles/xs_mapping.dir/mapping/transforms.cc.o" "gcc" "src/CMakeFiles/xs_mapping.dir/mapping/transforms.cc.o.d"
+  "/root/repo/src/mapping/xml_stats.cc" "src/CMakeFiles/xs_mapping.dir/mapping/xml_stats.cc.o" "gcc" "src/CMakeFiles/xs_mapping.dir/mapping/xml_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xs_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xs_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

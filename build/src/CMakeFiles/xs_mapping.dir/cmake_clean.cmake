@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xs_mapping.dir/mapping/mapping.cc.o"
+  "CMakeFiles/xs_mapping.dir/mapping/mapping.cc.o.d"
+  "CMakeFiles/xs_mapping.dir/mapping/reconstructor.cc.o"
+  "CMakeFiles/xs_mapping.dir/mapping/reconstructor.cc.o.d"
+  "CMakeFiles/xs_mapping.dir/mapping/shredder.cc.o"
+  "CMakeFiles/xs_mapping.dir/mapping/shredder.cc.o.d"
+  "CMakeFiles/xs_mapping.dir/mapping/transforms.cc.o"
+  "CMakeFiles/xs_mapping.dir/mapping/transforms.cc.o.d"
+  "CMakeFiles/xs_mapping.dir/mapping/xml_stats.cc.o"
+  "CMakeFiles/xs_mapping.dir/mapping/xml_stats.cc.o.d"
+  "libxs_mapping.a"
+  "libxs_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xs_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xs_opt.dir/opt/cost_model.cc.o"
+  "CMakeFiles/xs_opt.dir/opt/cost_model.cc.o.d"
+  "CMakeFiles/xs_opt.dir/opt/plan.cc.o"
+  "CMakeFiles/xs_opt.dir/opt/plan.cc.o.d"
+  "CMakeFiles/xs_opt.dir/opt/planner.cc.o"
+  "CMakeFiles/xs_opt.dir/opt/planner.cc.o.d"
+  "libxs_opt.a"
+  "libxs_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xs_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rel/catalog.cc" "src/CMakeFiles/xs_rel.dir/rel/catalog.cc.o" "gcc" "src/CMakeFiles/xs_rel.dir/rel/catalog.cc.o.d"
+  "/root/repo/src/rel/index.cc" "src/CMakeFiles/xs_rel.dir/rel/index.cc.o" "gcc" "src/CMakeFiles/xs_rel.dir/rel/index.cc.o.d"
+  "/root/repo/src/rel/schema.cc" "src/CMakeFiles/xs_rel.dir/rel/schema.cc.o" "gcc" "src/CMakeFiles/xs_rel.dir/rel/schema.cc.o.d"
+  "/root/repo/src/rel/stats.cc" "src/CMakeFiles/xs_rel.dir/rel/stats.cc.o" "gcc" "src/CMakeFiles/xs_rel.dir/rel/stats.cc.o.d"
+  "/root/repo/src/rel/table.cc" "src/CMakeFiles/xs_rel.dir/rel/table.cc.o" "gcc" "src/CMakeFiles/xs_rel.dir/rel/table.cc.o.d"
+  "/root/repo/src/rel/value.cc" "src/CMakeFiles/xs_rel.dir/rel/value.cc.o" "gcc" "src/CMakeFiles/xs_rel.dir/rel/value.cc.o.d"
+  "/root/repo/src/rel/view.cc" "src/CMakeFiles/xs_rel.dir/rel/view.cc.o" "gcc" "src/CMakeFiles/xs_rel.dir/rel/view.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

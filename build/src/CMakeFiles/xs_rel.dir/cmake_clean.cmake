@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xs_rel.dir/rel/catalog.cc.o"
+  "CMakeFiles/xs_rel.dir/rel/catalog.cc.o.d"
+  "CMakeFiles/xs_rel.dir/rel/index.cc.o"
+  "CMakeFiles/xs_rel.dir/rel/index.cc.o.d"
+  "CMakeFiles/xs_rel.dir/rel/schema.cc.o"
+  "CMakeFiles/xs_rel.dir/rel/schema.cc.o.d"
+  "CMakeFiles/xs_rel.dir/rel/stats.cc.o"
+  "CMakeFiles/xs_rel.dir/rel/stats.cc.o.d"
+  "CMakeFiles/xs_rel.dir/rel/table.cc.o"
+  "CMakeFiles/xs_rel.dir/rel/table.cc.o.d"
+  "CMakeFiles/xs_rel.dir/rel/value.cc.o"
+  "CMakeFiles/xs_rel.dir/rel/value.cc.o.d"
+  "CMakeFiles/xs_rel.dir/rel/view.cc.o"
+  "CMakeFiles/xs_rel.dir/rel/view.cc.o.d"
+  "libxs_rel.a"
+  "libxs_rel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xs_rel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/search/candidates.cc" "src/CMakeFiles/xs_search.dir/search/candidates.cc.o" "gcc" "src/CMakeFiles/xs_search.dir/search/candidates.cc.o.d"
+  "/root/repo/src/search/evaluate.cc" "src/CMakeFiles/xs_search.dir/search/evaluate.cc.o" "gcc" "src/CMakeFiles/xs_search.dir/search/evaluate.cc.o.d"
+  "/root/repo/src/search/greedy.cc" "src/CMakeFiles/xs_search.dir/search/greedy.cc.o" "gcc" "src/CMakeFiles/xs_search.dir/search/greedy.cc.o.d"
+  "/root/repo/src/search/problem.cc" "src/CMakeFiles/xs_search.dir/search/problem.cc.o" "gcc" "src/CMakeFiles/xs_search.dir/search/problem.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xs_tune.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xs_xpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xs_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xs_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xs_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xs_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xs_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xs_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xs_search.dir/search/candidates.cc.o"
+  "CMakeFiles/xs_search.dir/search/candidates.cc.o.d"
+  "CMakeFiles/xs_search.dir/search/evaluate.cc.o"
+  "CMakeFiles/xs_search.dir/search/evaluate.cc.o.d"
+  "CMakeFiles/xs_search.dir/search/greedy.cc.o"
+  "CMakeFiles/xs_search.dir/search/greedy.cc.o.d"
+  "CMakeFiles/xs_search.dir/search/problem.cc.o"
+  "CMakeFiles/xs_search.dir/search/problem.cc.o.d"
+  "libxs_search.a"
+  "libxs_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xs_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

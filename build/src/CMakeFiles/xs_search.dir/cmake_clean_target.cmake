@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxs_search.a"
+)

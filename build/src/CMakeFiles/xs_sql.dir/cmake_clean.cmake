@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xs_sql.dir/sql/ast.cc.o"
+  "CMakeFiles/xs_sql.dir/sql/ast.cc.o.d"
+  "CMakeFiles/xs_sql.dir/sql/binder.cc.o"
+  "CMakeFiles/xs_sql.dir/sql/binder.cc.o.d"
+  "CMakeFiles/xs_sql.dir/sql/parser.cc.o"
+  "CMakeFiles/xs_sql.dir/sql/parser.cc.o.d"
+  "libxs_sql.a"
+  "libxs_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xs_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

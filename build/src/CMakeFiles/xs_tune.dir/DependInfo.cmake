@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tune/advisor.cc" "src/CMakeFiles/xs_tune.dir/tune/advisor.cc.o" "gcc" "src/CMakeFiles/xs_tune.dir/tune/advisor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xs_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xs_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xs_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xs_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

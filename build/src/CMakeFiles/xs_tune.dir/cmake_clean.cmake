@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xs_tune.dir/tune/advisor.cc.o"
+  "CMakeFiles/xs_tune.dir/tune/advisor.cc.o.d"
+  "libxs_tune.a"
+  "libxs_tune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xs_tune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xs_workload.dir/workload/dblp.cc.o"
+  "CMakeFiles/xs_workload.dir/workload/dblp.cc.o.d"
+  "CMakeFiles/xs_workload.dir/workload/movie.cc.o"
+  "CMakeFiles/xs_workload.dir/workload/movie.cc.o.d"
+  "CMakeFiles/xs_workload.dir/workload/query_gen.cc.o"
+  "CMakeFiles/xs_workload.dir/workload/query_gen.cc.o.d"
+  "libxs_workload.a"
+  "libxs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xs_xml.dir/xml/document.cc.o"
+  "CMakeFiles/xs_xml.dir/xml/document.cc.o.d"
+  "CMakeFiles/xs_xml.dir/xml/dtd_parser.cc.o"
+  "CMakeFiles/xs_xml.dir/xml/dtd_parser.cc.o.d"
+  "CMakeFiles/xs_xml.dir/xml/schema_tree.cc.o"
+  "CMakeFiles/xs_xml.dir/xml/schema_tree.cc.o.d"
+  "CMakeFiles/xs_xml.dir/xml/xsd_parser.cc.o"
+  "CMakeFiles/xs_xml.dir/xml/xsd_parser.cc.o.d"
+  "libxs_xml.a"
+  "libxs_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xs_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

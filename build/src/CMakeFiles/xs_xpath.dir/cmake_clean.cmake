@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xs_xpath.dir/xpath/translator.cc.o"
+  "CMakeFiles/xs_xpath.dir/xpath/translator.cc.o.d"
+  "CMakeFiles/xs_xpath.dir/xpath/xpath.cc.o"
+  "CMakeFiles/xs_xpath.dir/xpath/xpath.cc.o.d"
+  "libxs_xpath.a"
+  "libxs_xpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xs_xpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

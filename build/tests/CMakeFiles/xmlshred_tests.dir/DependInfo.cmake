@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/advisor_unit_test.cc" "tests/CMakeFiles/xmlshred_tests.dir/advisor_unit_test.cc.o" "gcc" "tests/CMakeFiles/xmlshred_tests.dir/advisor_unit_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/xmlshred_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/xmlshred_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/conjunctive_test.cc" "tests/CMakeFiles/xmlshred_tests.dir/conjunctive_test.cc.o" "gcc" "tests/CMakeFiles/xmlshred_tests.dir/conjunctive_test.cc.o.d"
+  "/root/repo/tests/costmodel_test.cc" "tests/CMakeFiles/xmlshred_tests.dir/costmodel_test.cc.o" "gcc" "tests/CMakeFiles/xmlshred_tests.dir/costmodel_test.cc.o.d"
+  "/root/repo/tests/differential_test.cc" "tests/CMakeFiles/xmlshred_tests.dir/differential_test.cc.o" "gcc" "tests/CMakeFiles/xmlshred_tests.dir/differential_test.cc.o.d"
+  "/root/repo/tests/dtd_test.cc" "tests/CMakeFiles/xmlshred_tests.dir/dtd_test.cc.o" "gcc" "tests/CMakeFiles/xmlshred_tests.dir/dtd_test.cc.o.d"
+  "/root/repo/tests/engine_edge_test.cc" "tests/CMakeFiles/xmlshred_tests.dir/engine_edge_test.cc.o" "gcc" "tests/CMakeFiles/xmlshred_tests.dir/engine_edge_test.cc.o.d"
+  "/root/repo/tests/engine_test.cc" "tests/CMakeFiles/xmlshred_tests.dir/engine_test.cc.o" "gcc" "tests/CMakeFiles/xmlshred_tests.dir/engine_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/xmlshred_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/xmlshred_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/mapping_test.cc" "tests/CMakeFiles/xmlshred_tests.dir/mapping_test.cc.o" "gcc" "tests/CMakeFiles/xmlshred_tests.dir/mapping_test.cc.o.d"
+  "/root/repo/tests/metrics_test.cc" "tests/CMakeFiles/xmlshred_tests.dir/metrics_test.cc.o" "gcc" "tests/CMakeFiles/xmlshred_tests.dir/metrics_test.cc.o.d"
+  "/root/repo/tests/misc_test.cc" "tests/CMakeFiles/xmlshred_tests.dir/misc_test.cc.o" "gcc" "tests/CMakeFiles/xmlshred_tests.dir/misc_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/xmlshred_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/xmlshred_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/reconstruct_test.cc" "tests/CMakeFiles/xmlshred_tests.dir/reconstruct_test.cc.o" "gcc" "tests/CMakeFiles/xmlshred_tests.dir/reconstruct_test.cc.o.d"
+  "/root/repo/tests/rel_test.cc" "tests/CMakeFiles/xmlshred_tests.dir/rel_test.cc.o" "gcc" "tests/CMakeFiles/xmlshred_tests.dir/rel_test.cc.o.d"
+  "/root/repo/tests/robustness_test.cc" "tests/CMakeFiles/xmlshred_tests.dir/robustness_test.cc.o" "gcc" "tests/CMakeFiles/xmlshred_tests.dir/robustness_test.cc.o.d"
+  "/root/repo/tests/search_test.cc" "tests/CMakeFiles/xmlshred_tests.dir/search_test.cc.o" "gcc" "tests/CMakeFiles/xmlshred_tests.dir/search_test.cc.o.d"
+  "/root/repo/tests/sql_test.cc" "tests/CMakeFiles/xmlshred_tests.dir/sql_test.cc.o" "gcc" "tests/CMakeFiles/xmlshred_tests.dir/sql_test.cc.o.d"
+  "/root/repo/tests/translator_unit_test.cc" "tests/CMakeFiles/xmlshred_tests.dir/translator_unit_test.cc.o" "gcc" "tests/CMakeFiles/xmlshred_tests.dir/translator_unit_test.cc.o.d"
+  "/root/repo/tests/tune_test.cc" "tests/CMakeFiles/xmlshred_tests.dir/tune_test.cc.o" "gcc" "tests/CMakeFiles/xmlshred_tests.dir/tune_test.cc.o.d"
+  "/root/repo/tests/update_test.cc" "tests/CMakeFiles/xmlshred_tests.dir/update_test.cc.o" "gcc" "tests/CMakeFiles/xmlshred_tests.dir/update_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/xmlshred_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/xmlshred_tests.dir/workload_test.cc.o.d"
+  "/root/repo/tests/xml_test.cc" "tests/CMakeFiles/xmlshred_tests.dir/xml_test.cc.o" "gcc" "tests/CMakeFiles/xmlshred_tests.dir/xml_test.cc.o.d"
+  "/root/repo/tests/xpath_test.cc" "tests/CMakeFiles/xmlshred_tests.dir/xpath_test.cc.o" "gcc" "tests/CMakeFiles/xmlshred_tests.dir/xpath_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xs_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xs_tune.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xs_xpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xs_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xs_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xs_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xs_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xs_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xs_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
