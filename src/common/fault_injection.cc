@@ -1,0 +1,59 @@
+#include "common/fault_injection.h"
+
+namespace xmlshred {
+
+FaultInjector* FaultInjector::Global() {
+  static FaultInjector injector;
+  return &injector;
+}
+
+void FaultInjector::Arm(std::string site, int fire_on_nth) {
+  armed_ = true;
+  fire_on_[std::move(site)] = fire_on_nth;
+}
+
+void FaultInjector::ArmProbabilistic(uint64_t seed, double probability) {
+  armed_ = true;
+  probabilistic_ = true;
+  rng_state_ = seed;
+  probability_ = probability;
+}
+
+void FaultInjector::Disarm() {
+  armed_ = false;
+  probabilistic_ = false;
+  fire_on_.clear();
+  hit_counts_.clear();
+  faults_fired_ = 0;
+}
+
+int FaultInjector::hits(const std::string& site) const {
+  auto it = hit_counts_.find(site);
+  return it == hit_counts_.end() ? 0 : it->second;
+}
+
+Status FaultInjector::Check(std::string_view site) {
+  if (!armed_) return Status::OK();
+  std::string key(site);
+  int hit = ++hit_counts_[key];
+  auto it = fire_on_.find(key);
+  if (it != fire_on_.end() && hit == it->second) {
+    ++faults_fired_;
+    return Internal("injected fault at " + key);
+  }
+  if (probabilistic_) {
+    // splitmix64 step, same generator as common/rng.h.
+    uint64_t z = (rng_state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    double draw = static_cast<double>(z >> 11) * 0x1.0p-53;
+    if (draw < probability_) {
+      ++faults_fired_;
+      return Internal("injected fault at " + key);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace xmlshred

@@ -1,0 +1,95 @@
+#include "common/limits.h"
+
+#include "common/strings.h"
+
+namespace xmlshred {
+
+ResourceGovernor::ResourceGovernor(const ResourceLimits& limits)
+    : limits_(limits), start_(std::chrono::steady_clock::now()) {}
+
+double ResourceGovernor::elapsed_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+Status ResourceGovernor::Trip(std::string why) {
+  if (!exhausted_) {
+    exhausted_ = true;
+    trip_reason_ = std::move(why);
+  }
+  return ResourceExhausted(trip_reason_);
+}
+
+Status ResourceGovernor::ChargeWork(double units) {
+  work_spent_ += units;
+  if (exhausted_) return ResourceExhausted(trip_reason_);
+  if (limits_.work_units > 0 &&
+      work_spent_ > static_cast<double>(limits_.work_units)) {
+    return Trip(StrFormat("work budget of %lld units spent",
+                          static_cast<long long>(limits_.work_units)));
+  }
+  return CheckDeadline();
+}
+
+Status ResourceGovernor::ChargeRows(int64_t rows) {
+  rows_charged_ += rows;
+  if (exhausted_) return ResourceExhausted(trip_reason_);
+  if (limits_.max_rows > 0 && rows_charged_ > limits_.max_rows) {
+    return Trip(StrFormat("row cap of %lld exceeded",
+                          static_cast<long long>(limits_.max_rows)));
+  }
+  return Status::OK();
+}
+
+Status ResourceGovernor::ChargeMemory(int64_t bytes) {
+  memory_charged_ += bytes;
+  if (exhausted_) return ResourceExhausted(trip_reason_);
+  if (limits_.max_memory_bytes > 0 &&
+      memory_charged_ > limits_.max_memory_bytes) {
+    return Trip(StrFormat("memory cap of %lld bytes exceeded",
+                          static_cast<long long>(limits_.max_memory_bytes)));
+  }
+  return Status::OK();
+}
+
+Status ResourceGovernor::CheckDeadline() {
+  if (exhausted_) return ResourceExhausted(trip_reason_);
+  if (limits_.wall_clock_seconds > 0 &&
+      elapsed_seconds() > limits_.wall_clock_seconds) {
+    return Trip("wall-clock deadline passed");
+  }
+  return Status::OK();
+}
+
+Status ResourceGovernor::EnterRecursion() {
+  // Depth is a hard stack-safety bound, deliberately independent of the
+  // sticky exhaustion flag: an anytime search that spent its work budget
+  // must still be able to parse/plan at shallow depth while unwinding.
+  int cap = limits_.max_recursion_depth > 0 ? limits_.max_recursion_depth
+                                            : kDefaultMaxRecursionDepth;
+  if (depth_ >= cap) {
+    return ResourceExhausted(
+        StrFormat("recursion depth limit %d reached", cap));
+  }
+  ++depth_;
+  if (depth_ > max_depth_seen_) max_depth_seen_ = depth_;
+  return Status::OK();
+}
+
+void ResourceGovernor::LeaveRecursion() {
+  if (depth_ > 0) --depth_;
+}
+
+void ResourceGovernor::Reset() {
+  work_spent_ = 0;
+  rows_charged_ = 0;
+  memory_charged_ = 0;
+  depth_ = 0;
+  max_depth_seen_ = 0;
+  exhausted_ = false;
+  trip_reason_.clear();
+  start_ = std::chrono::steady_clock::now();
+}
+
+}  // namespace xmlshred

@@ -1,0 +1,133 @@
+// Resource governance for the search/costing pipeline.
+//
+// The paper's tuner makes hundreds of optimizer calls per invocation
+// (Figs. 5/7/9); nothing in the seed bounded that work. A ResourceGovernor
+// carries a wall-clock deadline, a work-unit budget (one unit ~ one
+// optimizer call), row and memory caps, and a recursion-depth guard. Every
+// long-running path accepts one:
+//
+//  * parsers charge recursion depth so a 10k-deep document returns
+//    kResourceExhausted instead of overflowing the stack;
+//  * the executor charges work units and row counts as it runs;
+//  * the advisor and the search algorithms consult the governor between
+//    candidates and turn exhaustion into *anytime* behaviour — they stop
+//    early and return the best design found so far with `truncated` set.
+//
+// A null governor means "unlimited" everywhere except parser recursion,
+// which always enforces kDefaultMaxRecursionDepth as a stack-safety floor.
+//
+// Exhaustion is sticky: once any budget trips, every later Check*/Charge*
+// call fails too, so a deep call stack unwinds promptly.
+
+#ifndef XMLSHRED_COMMON_LIMITS_H_
+#define XMLSHRED_COMMON_LIMITS_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace xmlshred {
+
+// Depth cap applied by the recursive-descent parsers even without a
+// governor. Deep enough for any sane document, far below stack overflow.
+inline constexpr int kDefaultMaxRecursionDepth = 512;
+
+struct ResourceLimits {
+  // Zero / negative means unlimited for every knob except recursion depth.
+  double wall_clock_seconds = 0;
+  int64_t work_units = 0;     // ~ optimizer calls / metered cost-model work
+  int64_t max_rows = 0;       // rows materialized by one executor run
+  int64_t max_memory_bytes = 0;
+  int max_recursion_depth = kDefaultMaxRecursionDepth;
+};
+
+class ResourceGovernor {
+ public:
+  ResourceGovernor() : ResourceGovernor(ResourceLimits{}) {}
+  explicit ResourceGovernor(const ResourceLimits& limits);
+
+  const ResourceLimits& limits() const { return limits_; }
+
+  // Spends `units` from the work budget. Returns kResourceExhausted when
+  // the budget (or any previously tripped limit) is exhausted; the charge
+  // is still recorded so telemetry reflects total work attempted.
+  Status ChargeWork(double units);
+
+  // Records `rows` materialized rows against the row cap.
+  Status ChargeRows(int64_t rows);
+
+  // Records a transient allocation against the memory cap.
+  Status ChargeMemory(int64_t bytes);
+
+  // Checks the wall-clock deadline (and sticky exhaustion) without
+  // charging anything.
+  Status CheckDeadline();
+
+  // Recursion-depth guard. EnterRecursion returns kResourceExhausted past
+  // the cap; LeaveRecursion must be called for every successful Enter —
+  // use RecursionScope below rather than pairing these by hand.
+  Status EnterRecursion();
+  void LeaveRecursion();
+
+  // True once any limit has tripped. Anytime loops poll this between
+  // candidates and wind down instead of erroring out.
+  bool exhausted() const { return exhausted_; }
+
+  // Telemetry.
+  double work_spent() const { return work_spent_; }
+  int64_t rows_charged() const { return rows_charged_; }
+  int64_t memory_charged() const { return memory_charged_; }
+  int max_depth_seen() const { return max_depth_seen_; }
+  double elapsed_seconds() const;
+
+  // Re-arms a tripped governor (used by tests sweeping budgets).
+  void Reset();
+
+ private:
+  Status Trip(std::string why);
+
+  ResourceLimits limits_;
+  std::chrono::steady_clock::time_point start_;
+  double work_spent_ = 0;
+  int64_t rows_charged_ = 0;
+  int64_t memory_charged_ = 0;
+  int depth_ = 0;
+  int max_depth_seen_ = 0;
+  bool exhausted_ = false;
+  std::string trip_reason_;
+};
+
+// RAII recursion guard. A null governor is a no-op (callers that must
+// always be stack-safe construct a default ResourceGovernor instead).
+//
+//   Status Parse(int depth) {
+//     RecursionScope scope(governor_);
+//     XS_RETURN_IF_ERROR(scope.status());
+//     ...
+//   }
+class RecursionScope {
+ public:
+  explicit RecursionScope(ResourceGovernor* governor) : governor_(governor) {
+    if (governor_ != nullptr) {
+      status_ = governor_->EnterRecursion();
+      entered_ = status_.ok();
+    }
+  }
+  ~RecursionScope() {
+    if (entered_) governor_->LeaveRecursion();
+  }
+  RecursionScope(const RecursionScope&) = delete;
+  RecursionScope& operator=(const RecursionScope&) = delete;
+
+  const Status& status() const { return status_; }
+
+ private:
+  ResourceGovernor* governor_;
+  Status status_;
+  bool entered_ = false;
+};
+
+}  // namespace xmlshred
+
+#endif  // XMLSHRED_COMMON_LIMITS_H_

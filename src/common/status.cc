@@ -20,6 +20,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "unimplemented";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kResourceExhausted:
+      return "resource exhausted";
   }
   return "unknown";
 }
@@ -54,6 +56,9 @@ Status Unimplemented(std::string message) {
 }
 Status Internal(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
+}
+Status ResourceExhausted(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
 }
 
 }  // namespace xmlshred

@@ -31,6 +31,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kUnimplemented,
   kInternal,
+  kResourceExhausted,
 };
 
 // Returns the canonical lower-case name of `code` (e.g. "invalid argument").
@@ -73,6 +74,7 @@ Status OutOfRange(std::string message);
 Status FailedPrecondition(std::string message);
 Status Unimplemented(std::string message);
 Status Internal(std::string message);
+Status ResourceExhausted(std::string message);
 
 // Result<T> is a Status plus, when OK, a value of type T.
 template <typename T>

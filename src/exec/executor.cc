@@ -12,16 +12,17 @@ namespace xmlshred {
 namespace {
 
 // Evaluates `op literal` against `v` with SQL semantics (NULL fails every
-// predicate except its absence in "is not null").
-bool EvalPred(const Value& v, const std::string& op, const Value& literal) {
+// predicate except its absence in "is not null"). Operators come from
+// parsed query text, so an unknown one is a data error, not an invariant.
+Result<bool> EvalPred(const Value& v, const std::string& op,
+                      const Value& literal) {
   if (op == "is not null") return !v.is_null();
   if (op == "=") return v.SqlEquals(literal);
   if (op == "<") return v.SqlLess(literal);
   if (op == "<=") return v.SqlLess(literal) || v.SqlEquals(literal);
   if (op == ">") return literal.SqlLess(v);
   if (op == ">=") return literal.SqlLess(v) || v.SqlEquals(literal);
-  XS_CHECK(false);
-  return false;
+  return InvalidArgument("unknown predicate operator: " + op);
 }
 
 // Position of table column `col` within an index entry (keys then
@@ -40,10 +41,25 @@ int EntryPosition(const IndexDef& def, int col) {
 
 class ExecContext {
  public:
-  ExecContext(const Database& db, ExecMetrics* metrics)
-      : db_(db), metrics_(metrics) {}
+  ExecContext(const Database& db, ExecMetrics* metrics,
+              ResourceGovernor* governor)
+      : db_(db), metrics_(metrics), governor_(governor) {}
 
   Result<std::vector<Row>> Exec(const PlanNode& node) {
+    // Plan trees are recursive structures; guard their depth, and charge
+    // every node's output rows against the governor's row cap.
+    RecursionScope scope(governor_);
+    XS_RETURN_IF_ERROR(scope.status());
+    XS_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecNode(node));
+    if (governor_ != nullptr) {
+      XS_RETURN_IF_ERROR(
+          governor_->ChargeRows(static_cast<int64_t>(rows.size())));
+    }
+    return rows;
+  }
+
+ private:
+  Result<std::vector<Row>> ExecNode(const PlanNode& node) {
     switch (node.kind) {
       case PlanKind::kHeapScan:
         return ExecHeapScan(node);
@@ -66,22 +82,35 @@ class ExecContext {
     return Internal("unknown plan kind");
   }
 
- private:
-  void ChargeSeqPages(double pages) {
+  // Metering records into `metrics_` first (telemetry reflects all work
+  // attempted), then charges the governor, which may stop the run.
+  Status ChargeGovernor(double work) {
+    return governor_ == nullptr ? Status::OK()
+                                : governor_->ChargeWork(work);
+  }
+  Status ChargeSeqPages(double pages) {
     metrics_->pages_sequential += pages;
     metrics_->work += pages * kSeqPageCost;
+    return ChargeGovernor(pages * kSeqPageCost);
   }
-  void ChargeRandPages(double pages) {
+  Status ChargeRandPages(double pages) {
     metrics_->pages_random += pages;
     metrics_->work += pages * kRandPageCost;
+    return ChargeGovernor(pages * kRandPageCost);
   }
-  void ChargeCpuRows(double rows) { metrics_->work += rows * kCpuRowCost; }
-  void ChargeHashRows(double rows) { metrics_->work += rows * kHashRowCost; }
+  Status ChargeCpuRows(double rows) {
+    metrics_->work += rows * kCpuRowCost;
+    return ChargeGovernor(rows * kCpuRowCost);
+  }
+  Status ChargeHashRows(double rows) {
+    metrics_->work += rows * kHashRowCost;
+    return ChargeGovernor(rows * kHashRowCost);
+  }
 
   // Applies `filters` to a row laid out per `output` slots.
-  static bool PassesFilters(const Row& row,
-                            const std::vector<ColumnSlot>& output,
-                            const std::vector<BoundFilter>& filters) {
+  static Result<bool> PassesFilters(const Row& row,
+                                    const std::vector<ColumnSlot>& output,
+                                    const std::vector<BoundFilter>& filters) {
     for (const BoundFilter& f : filters) {
       int pos = -1;
       for (size_t i = 0; i < output.size(); ++i) {
@@ -91,10 +120,10 @@ class ExecContext {
           break;
         }
       }
-      XS_CHECK_GE(pos, 0);
-      if (!EvalPred(row[static_cast<size_t>(pos)], f.op, f.literal)) {
-        return false;
-      }
+      if (pos < 0) return Internal("filter column missing from output");
+      XS_ASSIGN_OR_RETURN(
+          bool pass, EvalPred(row[static_cast<size_t>(pos)], f.op, f.literal));
+      if (!pass) return false;
     }
     return true;
   }
@@ -102,14 +131,18 @@ class ExecContext {
   Result<std::vector<Row>> ExecHeapScan(const PlanNode& node) {
     const Table* table = db_.FindTable(node.object_name);
     if (table == nullptr) return NotFound("table " + node.object_name);
-    ChargeSeqPages(static_cast<double>(table->NumPages()));
-    ChargeCpuRows(static_cast<double>(table->row_count()));
+    XS_RETURN_IF_ERROR(
+        ChargeSeqPages(static_cast<double>(table->NumPages())));
+    XS_RETURN_IF_ERROR(
+        ChargeCpuRows(static_cast<double>(table->row_count())));
     std::vector<Row> out;
     for (const Row& row : table->rows()) {
       bool pass = true;
       for (const BoundFilter& f : node.residual_filters) {
-        if (!EvalPred(row[static_cast<size_t>(f.ref.column)], f.op,
-                      f.literal)) {
+        XS_ASSIGN_OR_RETURN(
+            bool keep, EvalPred(row[static_cast<size_t>(f.ref.column)], f.op,
+                                f.literal));
+        if (!keep) {
           pass = false;
           break;
         }
@@ -174,15 +207,18 @@ class ExecContext {
         if (!equal) break;
         // Range predicate on the key column after the prefix.
         if (node.has_range) {
-          XS_CHECK_LT(nkeys, def.key_columns.size());
-          if (!EvalPred(it->key[nkeys], node.range_op, node.range_literal)) {
-            continue;
+          if (nkeys >= def.key_columns.size()) {
+            return Internal("range predicate past last index key column");
           }
+          XS_ASSIGN_OR_RETURN(
+              bool in_range,
+              EvalPred(it->key[nkeys], node.range_op, node.range_literal));
+          if (!in_range) continue;
         }
         matches.push_back(&*it);
       }
-      ChargeRandPages(static_cast<double>(
-          index->ProbePages(static_cast<int64_t>(matches.size()))));
+      XS_RETURN_IF_ERROR(ChargeRandPages(static_cast<double>(
+          index->ProbePages(static_cast<int64_t>(matches.size())))));
     } else if (node.has_range) {
       Value lo, hi;
       bool lo_strict = false, hi_strict = false;
@@ -210,15 +246,18 @@ class ExecContext {
         }
         matches.push_back(&e);
       }
-      ChargeRandPages(static_cast<double>(
-          index->ProbePages(static_cast<int64_t>(matches.size()))));
+      XS_RETURN_IF_ERROR(ChargeRandPages(static_cast<double>(
+          index->ProbePages(static_cast<int64_t>(matches.size())))));
     } else {
       // Full index scan.
-      XS_CHECK(index_only);
+      if (!index_only) {
+        return Internal("full index scan requires covering access");
+      }
       for (const auto& e : index->entries()) matches.push_back(&e);
-      ChargeSeqPages(static_cast<double>(index->NumPages()));
+      XS_RETURN_IF_ERROR(
+          ChargeSeqPages(static_cast<double>(index->NumPages())));
     }
-    ChargeCpuRows(static_cast<double>(matches.size()));
+    XS_RETURN_IF_ERROR(ChargeCpuRows(static_cast<double>(matches.size())));
 
     std::vector<Row> out;
     if (index_only) {
@@ -228,19 +267,23 @@ class ExecContext {
         for (int pos : entry_pos) {
           row.push_back(e->key[static_cast<size_t>(pos)]);
         }
-        if (!PassesFilters(row, node.output, node.residual_filters)) continue;
+        XS_ASSIGN_OR_RETURN(
+            bool pass, PassesFilters(row, node.output, node.residual_filters));
+        if (!pass) continue;
         out.push_back(std::move(row));
       }
     } else {
       double fetches = static_cast<double>(matches.size());
-      ChargeRandPages(
-          std::min(fetches, static_cast<double>(table->NumPages())));
+      XS_RETURN_IF_ERROR(ChargeRandPages(
+          std::min(fetches, static_cast<double>(table->NumPages()))));
       for (const BTreeIndex::Entry* e : matches) {
         const Row& base = table->rows()[static_cast<size_t>(e->row_id)];
         bool pass = true;
         for (const BoundFilter& f : node.residual_filters) {
-          if (!EvalPred(base[static_cast<size_t>(f.ref.column)], f.op,
-                        f.literal)) {
+          XS_ASSIGN_OR_RETURN(
+              bool keep, EvalPred(base[static_cast<size_t>(f.ref.column)],
+                                  f.op, f.literal));
+          if (!keep) {
             pass = false;
             break;
           }
@@ -260,12 +303,16 @@ class ExecContext {
   Result<std::vector<Row>> ExecViewScan(const PlanNode& node) {
     const Table* view = db_.FindTable(node.object_name);
     if (view == nullptr) return NotFound("view " + node.object_name);
-    ChargeSeqPages(static_cast<double>(view->NumPages()));
-    ChargeCpuRows(static_cast<double>(view->row_count()));
+    XS_RETURN_IF_ERROR(
+        ChargeSeqPages(static_cast<double>(view->NumPages())));
+    XS_RETURN_IF_ERROR(
+        ChargeCpuRows(static_cast<double>(view->row_count())));
     // The planner's output slots correspond positionally to the view's
     // projected columns.
-    XS_CHECK_EQ(static_cast<int>(node.output.size()),
-                view->schema().num_columns());
+    if (static_cast<int>(node.output.size()) !=
+        view->schema().num_columns()) {
+      return Internal("view column count does not match plan output");
+    }
     return view->rows();
   }
 
@@ -300,8 +347,8 @@ class ExecContext {
       const Value& key = outer_row[static_cast<size_t>(outer_pos)];
       if (key.is_null()) continue;
       std::vector<int64_t> rids = index->EqualLookup({key});
-      ChargeRandPages(static_cast<double>(
-          index->ProbePages(static_cast<int64_t>(rids.size()))));
+      XS_RETURN_IF_ERROR(ChargeRandPages(static_cast<double>(
+          index->ProbePages(static_cast<int64_t>(rids.size())))));
       if (node.inner_fetch) total_fetches += static_cast<double>(rids.size());
 
       // Walk the equal range of entries for covering access.
@@ -317,10 +364,10 @@ class ExecContext {
           for (int pos : entry_pos) {
             inner_row.push_back(it->key[static_cast<size_t>(pos)]);
           }
-          if (!PassesFilters(inner_row, inner_slots,
-                             node.inner_residual_filters)) {
-            continue;
-          }
+          XS_ASSIGN_OR_RETURN(
+              bool pass, PassesFilters(inner_row, inner_slots,
+                                       node.inner_residual_filters));
+          if (!pass) continue;
           Row joined = outer_row;
           joined.insert(joined.end(), inner_row.begin(), inner_row.end());
           out.push_back(std::move(joined));
@@ -330,8 +377,10 @@ class ExecContext {
           const Row& base = table->rows()[static_cast<size_t>(rid)];
           bool pass = true;
           for (const BoundFilter& f : node.inner_residual_filters) {
-            if (!EvalPred(base[static_cast<size_t>(f.ref.column)], f.op,
-                          f.literal)) {
+            XS_ASSIGN_OR_RETURN(
+                bool keep, EvalPred(base[static_cast<size_t>(f.ref.column)],
+                                    f.op, f.literal));
+            if (!keep) {
               pass = false;
               break;
             }
@@ -346,10 +395,10 @@ class ExecContext {
       }
     }
     if (node.inner_fetch) {
-      ChargeRandPages(std::min(
-          total_fetches, static_cast<double>(table->NumPages()) * 4.0));
+      XS_RETURN_IF_ERROR(ChargeRandPages(std::min(
+          total_fetches, static_cast<double>(table->NumPages()) * 4.0)));
     }
-    ChargeCpuRows(static_cast<double>(out.size()));
+    XS_RETURN_IF_ERROR(ChargeCpuRows(static_cast<double>(out.size())));
     return out;
   }
 
@@ -368,7 +417,7 @@ class ExecContext {
       if (key.is_null()) continue;
       table.emplace(key.Hash(), &row);
     }
-    ChargeHashRows(static_cast<double>(build.size()));
+    XS_RETURN_IF_ERROR(ChargeHashRows(static_cast<double>(build.size())));
     std::vector<Row> out;
     for (const Row& row : probe) {
       const Value& key = row[static_cast<size_t>(probe_pos)];
@@ -382,8 +431,8 @@ class ExecContext {
         out.push_back(std::move(joined));
       }
     }
-    ChargeHashRows(static_cast<double>(probe.size()));
-    ChargeCpuRows(static_cast<double>(out.size()));
+    XS_RETURN_IF_ERROR(ChargeHashRows(static_cast<double>(probe.size())));
+    XS_RETURN_IF_ERROR(ChargeCpuRows(static_cast<double>(out.size())));
     return out;
   }
 
@@ -426,7 +475,9 @@ class ExecContext {
 
   Result<std::vector<Row>> ExecSort(const PlanNode& node) {
     XS_ASSIGN_OR_RETURN(std::vector<Row> rows, Exec(*node.children[0]));
-    metrics_->work += SortCost(static_cast<double>(rows.size()));
+    double sort_work = SortCost(static_cast<double>(rows.size()));
+    metrics_->work += sort_work;
+    XS_RETURN_IF_ERROR(ChargeGovernor(sort_work));
     const std::vector<int>& ords = node.sort_ordinals;
     std::stable_sort(rows.begin(), rows.end(),
                      [&ords](const Row& a, const Row& b) {
@@ -442,14 +493,16 @@ class ExecContext {
 
   const Database& db_;
   ExecMetrics* metrics_;
+  ResourceGovernor* governor_;
 };
 
 }  // namespace
 
 Result<std::vector<Row>> Executor::Run(const PlanNode& plan,
-                                       ExecMetrics* metrics) {
+                                       ExecMetrics* metrics,
+                                       ResourceGovernor* governor) {
   XS_CHECK(metrics != nullptr);
-  ExecContext ctx(db_, metrics);
+  ExecContext ctx(db_, metrics, governor);
   Result<std::vector<Row>> result = ctx.Exec(plan);
   if (result.ok()) {
     metrics->rows_out += static_cast<int64_t>(result->size());

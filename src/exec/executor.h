@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "common/limits.h"
 #include "common/status.h"
 #include "opt/plan.h"
 #include "rel/catalog.h"
@@ -30,8 +31,11 @@ class Executor {
   explicit Executor(const Database& db) : db_(db) {}
 
   // Executes `plan` and returns the result rows. Metering accumulates into
-  // `metrics` (required).
-  Result<std::vector<Row>> Run(const PlanNode& plan, ExecMetrics* metrics);
+  // `metrics` (required). With a governor, every metered work unit and
+  // every materialized row is charged against its budgets, and execution
+  // stops with kResourceExhausted the moment one trips.
+  Result<std::vector<Row>> Run(const PlanNode& plan, ExecMetrics* metrics,
+                               ResourceGovernor* governor = nullptr);
 
  private:
   const Database& db_;

@@ -523,6 +523,9 @@ Result<PlannedQuery> PlanQuery(const BoundQuery& query,
   double total_rows = 0;
   double total_cost = 0;
   for (const BoundBlock& block : query.blocks) {
+    if (options.governor != nullptr) {
+      XS_RETURN_IF_ERROR(options.governor->ChargeWork(1.0));
+    }
     BlockPlanner planner(block, catalog, options);
     XS_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> plan, planner.Plan());
     total_rows += plan->est_rows;

@@ -13,6 +13,7 @@
 #ifndef XMLSHRED_OPT_PLANNER_H_
 #define XMLSHRED_OPT_PLANNER_H_
 
+#include "common/limits.h"
 #include "common/status.h"
 #include "opt/plan.h"
 #include "rel/catalog.h"
@@ -23,6 +24,10 @@ namespace xmlshred {
 struct PlannerOptions {
   bool use_indexes = true;
   bool use_views = true;
+  // Optional resource governor: planning charges one work unit per query
+  // block and honours the wall-clock deadline, so a tuner driving many
+  // what-if optimizer calls stops promptly when its budget runs out.
+  ResourceGovernor* governor = nullptr;
 };
 
 // Fraction of `stats`'s rows satisfying `op literal` (op in

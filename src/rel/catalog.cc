@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
 
 namespace xmlshred {
@@ -41,6 +42,8 @@ int64_t CatalogDesc::DataPages() const {
 }
 
 Result<Table*> Database::CreateTable(TableSchema schema) {
+  XS_RETURN_IF_ERROR(
+      FaultInjector::Global()->Check(kFaultSiteCatalogCreateTable));
   if (tables_.count(schema.name) > 0) {
     return AlreadyExists("table " + schema.name);
   }
@@ -62,6 +65,7 @@ const Table* Database::FindTable(const std::string& name) const {
 }
 
 Status Database::CreateIndex(const IndexDef& def) {
+  XS_RETURN_IF_ERROR(FaultInjector::Global()->Check(kFaultSiteIndexBuild));
   if (indexes_.count(def.name) > 0) return AlreadyExists("index " + def.name);
   const Table* table = FindTable(def.table);
   if (table == nullptr) return NotFound("table " + def.table);
@@ -89,6 +93,8 @@ std::vector<const BTreeIndex*> Database::IndexesOn(
 }
 
 Status Database::CreateMaterializedView(const ViewDef& def) {
+  XS_RETURN_IF_ERROR(
+      FaultInjector::Global()->Check(kFaultSiteViewMaterialize));
   if (tables_.count(def.name) > 0 || view_defs_.count(def.name) > 0) {
     return AlreadyExists("view " + def.name);
   }
@@ -105,6 +111,17 @@ Status Database::CreateMaterializedView(const ViewDef& def) {
   auto result = CreateTable(out_schema);
   if (!result.ok()) return result.status();
   Table* out = *result;
+  // Everything below can fail on bad view definitions (or an injected
+  // materialization fault); drop the half-created output table so a failed
+  // CREATE VIEW leaves the database exactly as it was.
+  auto fail = [this, &def](Status status) {
+    tables_.erase(def.name);
+    return status;
+  };
+  {
+    Status mid = FaultInjector::Global()->Check(kFaultSiteViewMaterialize);
+    if (!mid.ok()) return fail(std::move(mid));
+  }
 
   // Resolve predicate and projection ordinals.
   struct BoundPred {
@@ -120,19 +137,19 @@ Status Database::CreateMaterializedView(const ViewDef& def) {
     const TableSchema& schema =
         bp.on_base ? base->schema() : child->schema();
     bp.ordinal = schema.FindColumn(p.column);
-    if (bp.ordinal < 0) return NotFound("column " + p.column);
+    if (bp.ordinal < 0) return fail(NotFound("column " + p.column));
     bp.op = p.op;
     bp.literal = p.literal;
     preds.push_back(std::move(bp));
   }
-  auto eval = [](const Value& v, const std::string& op, const Value& lit) {
+  auto eval = [](const Value& v, const std::string& op,
+                 const Value& lit) -> Result<bool> {
     if (op == "=") return v.SqlEquals(lit);
     if (op == "<") return v.SqlLess(lit);
     if (op == "<=") return v.SqlLess(lit) || v.SqlEquals(lit);
     if (op == ">") return lit.SqlLess(v);
     if (op == ">=") return lit.SqlLess(v) || v.SqlEquals(lit);
-    XS_CHECK(false);
-    return false;
+    return InvalidArgument("unknown view predicate operator: " + op);
   };
 
   struct BoundCol {
@@ -146,7 +163,7 @@ Status Database::CreateMaterializedView(const ViewDef& def) {
     const TableSchema& schema =
         bc.on_base ? base->schema() : child->schema();
     bc.ordinal = schema.FindColumn(vc.column);
-    if (bc.ordinal < 0) return NotFound("column " + vc.column);
+    if (bc.ordinal < 0) return fail(NotFound("column " + vc.column));
     out_cols.push_back(bc);
   }
 
@@ -154,7 +171,10 @@ Status Database::CreateMaterializedView(const ViewDef& def) {
   std::unordered_multimap<int64_t, const Row*> child_by_pid;
   if (child != nullptr) {
     int pid = child->schema().pid_column;
-    XS_CHECK_GE(pid, 0);
+    if (pid < 0) {
+      return fail(InvalidArgument("join child " + *def.join_child +
+                                  " has no parent-id column"));
+    }
     for (const Row& row : child->rows()) {
       const Value& v = row[static_cast<size_t>(pid)];
       if (!v.is_null()) child_by_pid.emplace(v.AsInt(), &row);
@@ -162,11 +182,18 @@ Status Database::CreateMaterializedView(const ViewDef& def) {
   }
 
   int base_id = base->schema().id_column;
+  if (child != nullptr && base_id < 0) {
+    return fail(InvalidArgument("join base " + def.base_table +
+                                " has no id column"));
+  }
   for (const Row& base_row : base->rows()) {
     bool base_pass = true;
     for (const BoundPred& p : preds) {
       if (!p.on_base) continue;
-      if (!eval(base_row[static_cast<size_t>(p.ordinal)], p.op, p.literal)) {
+      Result<bool> keep =
+          eval(base_row[static_cast<size_t>(p.ordinal)], p.op, p.literal);
+      if (!keep.ok()) return fail(keep.status());
+      if (!*keep) {
         base_pass = false;
         break;
       }
@@ -192,7 +219,6 @@ Status Database::CreateMaterializedView(const ViewDef& def) {
       emit(nullptr);
       continue;
     }
-    XS_CHECK_GE(base_id, 0);
     const Value& id = base_row[static_cast<size_t>(base_id)];
     if (id.is_null()) continue;
     auto [lo, hi] = child_by_pid.equal_range(id.AsInt());
@@ -200,8 +226,10 @@ Status Database::CreateMaterializedView(const ViewDef& def) {
       bool child_pass = true;
       for (const BoundPred& p : preds) {
         if (p.on_base) continue;
-        if (!eval((*it->second)[static_cast<size_t>(p.ordinal)], p.op,
-                  p.literal)) {
+        Result<bool> keep = eval((*it->second)[static_cast<size_t>(p.ordinal)],
+                                 p.op, p.literal);
+        if (!keep.ok()) return fail(keep.status());
+        if (!*keep) {
           child_pass = false;
           break;
         }
@@ -217,6 +245,12 @@ Status Database::CreateMaterializedView(const ViewDef& def) {
 const ViewDef* Database::FindViewDef(const std::string& name) const {
   auto it = view_defs_.find(name);
   return it == view_defs_.end() ? nullptr : &it->second;
+}
+
+void Database::DropIndex(const std::string& name) { indexes_.erase(name); }
+
+void Database::DropMaterializedView(const std::string& name) {
+  if (view_defs_.erase(name) > 0) tables_.erase(name);
 }
 
 void Database::DropAllPhysicalStructures() {

@@ -96,6 +96,12 @@ class Database {
   Status CreateMaterializedView(const ViewDef& def);
   const ViewDef* FindViewDef(const std::string& name) const;
 
+  // Drop a single physical structure by name. Used to roll back a
+  // partially applied configuration after a failure. Both are no-ops on
+  // unknown names.
+  void DropIndex(const std::string& name);
+  void DropMaterializedView(const std::string& name);
+
   // Drops all indexes and materialized views (keeps base tables). Used
   // when switching between physical configurations during evaluation.
   void DropAllPhysicalStructures();

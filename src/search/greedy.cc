@@ -25,6 +25,11 @@ Result<std::vector<double>> BaseQueryCosts(const DesignProblem& problem,
                       TranslateWorkload(problem.workload, tree, mapping));
   std::vector<double> costs;
   for (const WeightedQuery& wq : workload) {
+    // Mandatory costing: the merge heuristic needs every base cost, so the
+    // charge is recorded but exhaustion does not abort it.
+    if (problem.governor != nullptr) {
+      (void)problem.governor->ChargeWork(1.0);
+    }
     XS_ASSIGN_OR_RETURN(BoundQuery bound, BindQuery(wq.query, catalog));
     XS_ASSIGN_OR_RETURN(PlannedQuery planned, PlanQuery(bound, catalog));
     costs.push_back(planned.est_cost);
@@ -85,9 +90,7 @@ Result<CurrentState> FullCost(const DesignProblem& problem,
   for (const WeightedQuery& wq : state.translations) {
     state.query_tables.push_back(QueryTables(wq.query));
   }
-  TunerOptions options = problem.tuner_options;
-  options.storage_bound_pages = problem.storage_bound_pages;
-  PhysicalDesignAdvisor advisor(options);
+  PhysicalDesignAdvisor advisor(EffectiveTunerOptions(problem));
   XS_ASSIGN_OR_RETURN(
       state.config,
       advisor.Tune(state.translations, catalog, 0,
@@ -99,6 +102,23 @@ Result<CurrentState> FullCost(const DesignProblem& problem,
     telemetry->optimizer_calls += state.config.optimizer_calls;
   }
   return state;
+}
+
+// Whether the problem's budget or deadline has run out — the signal for
+// every search loop to stop and return its best-so-far state.
+bool OutOfBudget(const DesignProblem& problem) {
+  return problem.governor != nullptr &&
+         (problem.governor->exhausted() ||
+          !problem.governor->CheckDeadline().ok());
+}
+
+// Records end-of-search budget telemetry on `result`.
+void FinishBudgetTelemetry(const DesignProblem& problem,
+                           SearchResult* result) {
+  if (problem.governor != nullptr) {
+    result->telemetry.work_spent = problem.governor->work_spent();
+  }
+  if (result->configuration.truncated) result->truncated = true;
 }
 
 // The element name a repetition split/merge candidate concerns, resolved
@@ -127,9 +147,7 @@ Result<double> CostCandidate(const DesignProblem& problem,
       std::vector<WeightedQuery> translations,
       TranslateWorkload(problem.workload, cand_tree, mapping));
 
-  TunerOptions options = problem.tuner_options;
-  options.storage_bound_pages = problem.storage_bound_pages;
-  PhysicalDesignAdvisor advisor(options);
+  PhysicalDesignAdvisor advisor(EffectiveTunerOptions(problem));
 
   std::vector<UpdateRate> rates =
       ComputeUpdateRates(problem, cand_tree, mapping);
@@ -394,9 +412,15 @@ Result<SearchResult> GreedySearch(const DesignProblem& problem,
   XS_ASSIGN_OR_RETURN(CurrentState current,
                       FullCost(problem, std::move(work_tree), &telemetry));
 
-  // --- Greedy loop (Fig. 3 lines 6-19). ---
+  // --- Greedy loop (Fig. 3 lines 6-19). Anytime: the loop stops the
+  // moment the budget runs out, keeping the best fully costed state. ---
   std::vector<bool> consumed(loop_candidates.size(), false);
+  bool out_of_budget = false;
   for (int round = 0; round < options.max_rounds; ++round) {
+    if (OutOfBudget(problem)) {
+      result.truncated = true;
+      break;
+    }
     ++telemetry.rounds;
     int best = -1;
     double best_cost = current.cost;
@@ -425,7 +449,14 @@ Result<SearchResult> GreedySearch(const DesignProblem& problem,
       Result<double> cost =
           CostCandidate(problem, *cand_tree, current, candidate,
                         options.cost_derivation, &telemetry);
-      if (!cost.ok()) return cost.status();
+      if (!cost.ok()) {
+        if (cost.status().code() == StatusCode::kResourceExhausted) {
+          out_of_budget = true;  // stop exploring, keep best-so-far
+        } else {
+          ++telemetry.candidates_skipped;  // faulty candidate: drop it
+        }
+        return Status::OK();
+      }
       if (*cost < best_cost * (1 - 1e-9)) {
         best_cost = *cost;
         best = index;
@@ -434,14 +465,18 @@ Result<SearchResult> GreedySearch(const DesignProblem& problem,
       return Status::OK();
     };
 
-    for (size_t c = 0; c < loop_candidates.size(); ++c) {
+    for (size_t c = 0; c < loop_candidates.size() && !out_of_budget; ++c) {
       if (consumed[c]) continue;
       XS_RETURN_IF_ERROR(
           try_candidate(loop_candidates[c], static_cast<int>(c)));
     }
-    for (size_t e = 0; e < extra.size(); ++e) {
+    for (size_t e = 0; e < extra.size() && !out_of_budget; ++e) {
       XS_RETURN_IF_ERROR(try_candidate(
           extra[e], static_cast<int>(loop_candidates.size() + e)));
+    }
+    if (out_of_budget) {
+      result.truncated = true;
+      break;
     }
 
     if (best < 0 || best_tree == nullptr) break;
@@ -449,14 +484,26 @@ Result<SearchResult> GreedySearch(const DesignProblem& problem,
       consumed[static_cast<size_t>(best)] = true;
     }
     // Fig. 3 line 18: re-estimate the chosen mapping without derivation.
-    XS_ASSIGN_OR_RETURN(
-        current, FullCost(problem, std::move(best_tree), &telemetry));
+    // A failure here (budget, injected fault) keeps the previous fully
+    // costed state rather than losing the search's progress.
+    Result<CurrentState> next =
+        FullCost(problem, std::move(best_tree), &telemetry);
+    if (!next.ok()) {
+      if (next.status().code() == StatusCode::kResourceExhausted) {
+        result.truncated = true;
+      } else {
+        ++telemetry.candidates_skipped;
+      }
+      break;
+    }
+    current = std::move(*next);
   }
 
   result.tree = std::move(current.tree);
   result.mapping = std::move(current.mapping);
   result.configuration = std::move(current.config);
   result.estimated_cost = current.cost;
+  FinishBudgetTelemetry(problem, &result);
   telemetry.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -474,7 +521,12 @@ Result<SearchResult> NaiveGreedySearch(const DesignProblem& problem,
       CurrentState current,
       FullCost(problem, problem.tree->Clone(), &telemetry));
 
+  bool out_of_budget = false;
   for (int round = 0; round < options.max_rounds; ++round) {
+    if (OutOfBudget(problem)) {
+      result.truncated = true;
+      break;
+    }
     ++telemetry.rounds;
     std::vector<Transform> transforms =
         EnumerateTransforms(*current.tree, options.default_split_count);
@@ -485,21 +537,43 @@ Result<SearchResult> NaiveGreedySearch(const DesignProblem& problem,
       if (!ApplyTransform(cand_tree.get(), t).ok()) continue;
       ++telemetry.transformations_searched;
       auto costed = CostMapping(problem, *cand_tree, &telemetry);
-      if (!costed.ok()) continue;  // e.g. a mapping the workload cannot use
+      if (!costed.ok()) {
+        if (costed.status().code() == StatusCode::kResourceExhausted) {
+          out_of_budget = true;
+          break;
+        }
+        // e.g. a mapping the workload cannot use, or an injected fault
+        ++telemetry.candidates_skipped;
+        continue;
+      }
       if (costed->cost < best_cost * (1 - 1e-9)) {
         best_cost = costed->cost;
         best_tree = std::move(cand_tree);
       }
     }
+    if (out_of_budget) {
+      result.truncated = true;
+      break;
+    }
     if (best_tree == nullptr) break;
-    XS_ASSIGN_OR_RETURN(
-        current, FullCost(problem, std::move(best_tree), &telemetry));
+    Result<CurrentState> next =
+        FullCost(problem, std::move(best_tree), &telemetry);
+    if (!next.ok()) {
+      if (next.status().code() == StatusCode::kResourceExhausted) {
+        result.truncated = true;
+      } else {
+        ++telemetry.candidates_skipped;
+      }
+      break;
+    }
+    current = std::move(*next);
   }
 
   result.tree = std::move(current.tree);
   result.mapping = std::move(current.mapping);
   result.configuration = std::move(current.config);
   result.estimated_cost = current.cost;
+  FinishBudgetTelemetry(problem, &result);
   telemetry.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -511,7 +585,7 @@ namespace {
 // Phase-1 cost for Two-Step: optimizer estimate with only the default
 // clustered ID index and nonclustered PID index per relation (§5.1.1).
 Result<double> TwoStepLogicalCost(const DesignProblem& problem,
-                                  const SchemaTree& tree,
+                                  const SchemaTree& tree, bool mandatory,
                                   SearchTelemetry* telemetry) {
   XS_ASSIGN_OR_RETURN(Mapping mapping, Mapping::Build(tree));
   CatalogDesc catalog = problem.stats->DeriveCatalog(tree, mapping);
@@ -538,6 +612,12 @@ Result<double> TwoStepLogicalCost(const DesignProblem& problem,
                       TranslateWorkload(problem.workload, tree, mapping));
   double total = 0;
   for (const WeightedQuery& wq : workload) {
+    if (problem.governor != nullptr) {
+      Status charged = problem.governor->ChargeWork(1.0);
+      // The anchor estimate must complete even over budget; candidate
+      // estimates stop so the search can return its best-so-far tree.
+      if (!charged.ok() && !mandatory) return charged;
+    }
     XS_ASSIGN_OR_RETURN(BoundQuery bound, BindQuery(wq.query, catalog));
     XS_ASSIGN_OR_RETURN(PlannedQuery planned, PlanQuery(bound, catalog));
     ++telemetry->optimizer_calls;
@@ -556,10 +636,16 @@ Result<SearchResult> TwoStepSearch(const DesignProblem& problem,
   SearchTelemetry& telemetry = result.telemetry;
 
   std::unique_ptr<SchemaTree> current = problem.tree->Clone();
-  XS_ASSIGN_OR_RETURN(double current_cost,
-                      TwoStepLogicalCost(problem, *current, &telemetry));
+  XS_ASSIGN_OR_RETURN(
+      double current_cost,
+      TwoStepLogicalCost(problem, *current, /*mandatory=*/true, &telemetry));
 
+  bool out_of_budget = false;
   for (int round = 0; round < options.max_rounds; ++round) {
+    if (OutOfBudget(problem)) {
+      result.truncated = true;
+      break;
+    }
     ++telemetry.rounds;
     std::vector<Transform> transforms =
         EnumerateTransforms(*current, options.default_split_count);
@@ -569,12 +655,24 @@ Result<SearchResult> TwoStepSearch(const DesignProblem& problem,
       std::unique_ptr<SchemaTree> cand_tree = current->Clone();
       if (!ApplyTransform(cand_tree.get(), t).ok()) continue;
       ++telemetry.transformations_searched;
-      auto cost = TwoStepLogicalCost(problem, *cand_tree, &telemetry);
-      if (!cost.ok()) continue;
+      auto cost = TwoStepLogicalCost(problem, *cand_tree,
+                                     /*mandatory=*/false, &telemetry);
+      if (!cost.ok()) {
+        if (cost.status().code() == StatusCode::kResourceExhausted) {
+          out_of_budget = true;
+          break;
+        }
+        ++telemetry.candidates_skipped;
+        continue;
+      }
       if (*cost < best_cost * (1 - 1e-9)) {
         best_cost = *cost;
         best_tree = std::move(cand_tree);
       }
+    }
+    if (out_of_budget) {
+      result.truncated = true;
+      break;
     }
     if (best_tree == nullptr) break;
     current = std::move(best_tree);
@@ -588,6 +686,7 @@ Result<SearchResult> TwoStepSearch(const DesignProblem& problem,
   result.mapping = std::move(final_state.mapping);
   result.configuration = std::move(final_state.config);
   result.estimated_cost = final_state.cost;
+  FinishBudgetTelemetry(problem, &result);
   telemetry.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

@@ -59,6 +59,13 @@ std::vector<UpdateRate> ComputeUpdateRates(const DesignProblem& problem,
   return rates;
 }
 
+TunerOptions EffectiveTunerOptions(const DesignProblem& problem) {
+  TunerOptions options = problem.tuner_options;
+  options.storage_bound_pages = problem.storage_bound_pages;
+  if (problem.governor != nullptr) options.governor = problem.governor;
+  return options;
+}
+
 Result<CostedMapping> CostMapping(const DesignProblem& problem,
                                   const SchemaTree& tree,
                                   SearchTelemetry* telemetry) {
@@ -66,9 +73,7 @@ Result<CostedMapping> CostMapping(const DesignProblem& problem,
   CatalogDesc catalog = problem.stats->DeriveCatalog(tree, mapping);
   XS_ASSIGN_OR_RETURN(std::vector<WeightedQuery> workload,
                       TranslateWorkload(problem.workload, tree, mapping));
-  TunerOptions options = problem.tuner_options;
-  options.storage_bound_pages = problem.storage_bound_pages;
-  PhysicalDesignAdvisor advisor(options);
+  PhysicalDesignAdvisor advisor(EffectiveTunerOptions(problem));
   std::vector<UpdateRate> rates = ComputeUpdateRates(problem, tree, mapping);
   XS_ASSIGN_OR_RETURN(TunerResult config,
                       advisor.Tune(workload, catalog, 0, rates));
@@ -95,6 +100,10 @@ Result<SearchResult> EvaluateHybridInline(const DesignProblem& problem) {
   result.mapping = std::move(costed.mapping);
   result.configuration = std::move(costed.configuration);
   result.estimated_cost = costed.cost;
+  result.truncated = result.configuration.truncated;
+  if (problem.governor != nullptr) {
+    result.telemetry.work_spent = problem.governor->work_spent();
+  }
   result.telemetry.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

@@ -36,6 +36,13 @@ struct DesignProblem {
   std::vector<XmlUpdateLoad> updates;     // optional insert load
   int64_t storage_bound_pages = 1LL << 40;
   TunerOptions tuner_options;             // storage bound is set per call
+  // Optional resource governor shared by every tuner/optimizer call the
+  // search makes. When its work budget or deadline runs out, the search
+  // algorithms become *anytime*: they stop exploring and return the best
+  // mapping found so far with SearchResult::truncated set. Costing the
+  // initial mapping is mandatory, so even a 1-unit budget yields a valid
+  // design.
+  ResourceGovernor* governor = nullptr;
 };
 
 struct SearchTelemetry {
@@ -50,8 +57,14 @@ struct SearchTelemetry {
   int queries_derived = 0;
   int candidates_selected = 0;     // after candidate selection (§4.5)
   int candidates_after_merging = 0;  // after candidate merging (§4.7)
+  // Candidates dropped because costing them failed (injected faults,
+  // unanswerable mappings) — the search skips them and keeps going.
+  int candidates_skipped = 0;
   int rounds = 0;
   double elapsed_seconds = 0;
+  // Budget telemetry (0 when the problem has no governor): work units
+  // spent so far, including the partial round in flight when truncated.
+  double work_spent = 0;
 };
 
 struct SearchResult {
@@ -61,6 +74,9 @@ struct SearchResult {
   double estimated_cost = 0;  // weighted optimizer-estimated workload cost
   SearchTelemetry telemetry;
   std::string algorithm;
+  // True when the governor's budget/deadline ran out before the search
+  // converged: the mapping and configuration are the best found so far.
+  bool truncated = false;
 };
 
 // --- shared plumbing used by all search algorithms ---
@@ -70,6 +86,10 @@ struct SearchResult {
 Result<std::vector<WeightedQuery>> TranslateWorkload(
     const XPathWorkload& workload, const SchemaTree& tree,
     const Mapping& mapping);
+
+// Tuner options for one design-tool call under `problem`: the problem's
+// options with the storage bound and governor filled in.
+TunerOptions EffectiveTunerOptions(const DesignProblem& problem);
 
 // Builds the mapping for `tree`, derives its catalog from statistics,
 // translates the workload, and runs the physical design tool. The core

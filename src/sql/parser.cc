@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -103,16 +104,27 @@ class Lexer {
 
 class Parser {
  public:
-  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+  Parser(std::vector<Token> tokens, ResourceGovernor* governor)
+      : tokens_(std::move(tokens)), governor_(governor) {}
 
   Result<Query> ParseQuery() {
     Query query;
+    // The grammar is iterative, but UNION ALL block count is unbounded
+    // input-controlled growth; meter it like recursion depth. Scopes stay
+    // open until the parse finishes so the count is cumulative.
+    std::vector<std::unique_ptr<RecursionScope>> block_scopes;
+    auto enter_block = [&]() -> Status {
+      block_scopes.push_back(std::make_unique<RecursionScope>(governor_));
+      return block_scopes.back()->status();
+    };
+    XS_RETURN_IF_ERROR(enter_block());
     XS_ASSIGN_OR_RETURN(SelectBlock first, ParseBlock());
     query.blocks.push_back(std::move(first));
     while (ConsumeKeyword("union")) {
       if (!ConsumeKeyword("all")) {
         return InvalidArgument("expected ALL after UNION");
       }
+      XS_RETURN_IF_ERROR(enter_block());
       XS_ASSIGN_OR_RETURN(SelectBlock block, ParseBlock());
       if (block.items.size() != query.blocks[0].items.size()) {
         return InvalidArgument("UNION ALL blocks have differing arity");
@@ -360,15 +372,18 @@ class Parser {
   }
 
   std::vector<Token> tokens_;
+  ResourceGovernor* governor_;
   size_t pos_ = 0;
 };
 
 }  // namespace
 
-Result<Query> ParseSql(std::string_view sql) {
+Result<Query> ParseSql(std::string_view sql, ResourceGovernor* governor) {
+  ResourceGovernor stack_safety;  // used when the caller passes none
+  if (governor == nullptr) governor = &stack_safety;
   Lexer lexer(sql);
   XS_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
-  Parser parser(std::move(tokens));
+  Parser parser(std::move(tokens), governor);
   return parser.ParseQuery();
 }
 

@@ -18,13 +18,17 @@
 
 #include <string_view>
 
+#include "common/limits.h"
 #include "common/status.h"
 #include "sql/ast.h"
 
 namespace xmlshred {
 
-// Parses `sql` into a Query AST.
-Result<Query> ParseSql(std::string_view sql);
+// Parses `sql` into a Query AST. The parser is iterative, but unbounded
+// constructs (UNION ALL blocks) count against the governor's
+// recursion-depth limit, so oversized queries return kResourceExhausted.
+Result<Query> ParseSql(std::string_view sql,
+                       ResourceGovernor* governor = nullptr);
 
 }  // namespace xmlshred
 

@@ -4,6 +4,7 @@
 #include <limits>
 #include <map>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/strings.h"
 #include "opt/cost_model.h"
@@ -75,7 +76,7 @@ class CandidateGenerator {
                          std::vector<int> includes) {
     if (!options_.enable_indexes || keys.empty()) return;
     const TableDesc* desc = base_.FindTable(table);
-    XS_CHECK(desc != nullptr);
+    if (desc == nullptr) return;  // unknown table: no candidate
     // Drop include columns that repeat keys.
     includes.erase(std::remove_if(includes.begin(), includes.end(),
                                   [&keys](int c) {
@@ -275,7 +276,9 @@ constexpr double kViewMaintenanceCost = 3.0 * kRandPageCost * 0.001;
 Result<TunerResult> PhysicalDesignAdvisor::Tune(
     const std::vector<WeightedQuery>& workload, const CatalogDesc& base,
     int64_t reserved_pages, const std::vector<UpdateRate>& update_rates) {
+  XS_RETURN_IF_ERROR(FaultInjector::Global()->Check(kFaultSiteAdvisorTune));
   TunerResult result;
+  ResourceGovernor* governor = options_.governor;
   CatalogDesc current = base;  // working catalog: base + chosen so far
 
   // Bind every query once and note the tables it touches.
@@ -300,9 +303,19 @@ Result<TunerResult> PhysicalDesignAdvisor::Tune(
   }
   std::vector<Candidate> pool = generator.TakePool();
 
-  // Baseline costs.
-  auto plan_query = [&](size_t i, std::set<std::string>* objects)
-      -> Result<double> {
+  // Baseline costs. One work unit ~ one optimizer call. Baseline (and
+  // final) costing is `mandatory`: it charges the governor but proceeds
+  // even when the budget has run out, so an exhausted tuner still returns
+  // a consistent, fully costed result — just with nothing selected.
+  auto plan_query = [&](size_t i, std::set<std::string>* objects,
+                        bool mandatory) -> Result<double> {
+    if (governor != nullptr) {
+      Status charged = governor->ChargeWork(1.0);
+      if (!charged.ok()) {
+        result.truncated = true;
+        if (!mandatory) return charged;
+      }
+    }
     ++result.optimizer_calls;
     auto planned = PlanQuery(bound[i], current);
     if (!planned.ok()) return planned.status();
@@ -315,7 +328,8 @@ Result<TunerResult> PhysicalDesignAdvisor::Tune(
   double total = 0;
   for (size_t i = 0; i < workload.size(); ++i) {
     XS_ASSIGN_OR_RETURN(result.query_costs[i],
-                        plan_query(i, &result.query_objects[i]));
+                        plan_query(i, &result.query_objects[i],
+                                   /*mandatory=*/true));
     total += workload[i].weight * result.query_costs[i];
   }
 
@@ -353,14 +367,17 @@ Result<TunerResult> PhysicalDesignAdvisor::Tune(
     }
     double new_total = 0;
     *costs = result.query_costs;
-    Status status;
-    for (size_t i = 0; i < workload.size(); ++i) {
+    // The candidate is now hypothetically present; any failure below must
+    // still fall through to the pop so the working catalog rolls back to
+    // exactly the chosen configuration.
+    Status status = FaultInjector::Global()->Check(kFaultSiteAdvisorWhatIf);
+    for (size_t i = 0; status.ok() && i < workload.size(); ++i) {
       bool affected = false;
       for (const std::string& t : pool[c].tables_touched) {
         if (query_tables[i].count(t) > 0) affected = true;
       }
       if (affected) {
-        auto cost = plan_query(i, nullptr);
+        auto cost = plan_query(i, nullptr, /*mandatory=*/false);
         if (!cost.ok()) {
           status = cost.status();
           break;
@@ -374,7 +391,10 @@ Result<TunerResult> PhysicalDesignAdvisor::Tune(
     } else {
       current.indexes.pop_back();
     }
-    XS_RETURN_IF_ERROR(status);
+    if (!status.ok()) {
+      ++result.whatif_rollbacks;
+      return status;
+    }
     *benefit = total - new_total - maintenance_of(pool[c]);
     return Status::OK();
   };
@@ -385,7 +405,13 @@ Result<TunerResult> PhysicalDesignAdvisor::Tune(
   // are never re-costed in later rounds.
   std::vector<double> cached_score(pool.size(),
                                    std::numeric_limits<double>::infinity());
-  while (true) {
+  bool out_of_budget = false;
+  while (!out_of_budget) {
+    if (governor != nullptr &&
+        (governor->exhausted() || !governor->CheckDeadline().ok())) {
+      result.truncated = true;
+      break;
+    }
     std::vector<size_t> order;
     for (size_t c = 0; c < pool.size(); ++c) {
       if (!chosen[c] && pool[c].pages <= budget) order.push_back(c);
@@ -409,7 +435,15 @@ Result<TunerResult> PhysicalDesignAdvisor::Tune(
         if (cached_score[c] <= 0) break;
         double benefit;
         std::vector<double> costs;
-        if (!evaluate(c, &benefit, &costs).ok()) continue;
+        Status eval = evaluate(c, &benefit, &costs);
+        if (!eval.ok()) {
+          if (eval.code() == StatusCode::kResourceExhausted) {
+            out_of_budget = true;
+            break;
+          }
+          ++result.candidates_skipped;
+          continue;
+        }
         best = static_cast<int>(c);
         best_benefit = benefit;
         best_costs = std::move(costs);
@@ -417,7 +451,13 @@ Result<TunerResult> PhysicalDesignAdvisor::Tune(
       }
       double benefit;
       std::vector<double> costs;
-      if (!evaluate(c, &benefit, &costs).ok()) {
+      Status eval = evaluate(c, &benefit, &costs);
+      if (!eval.ok()) {
+        if (eval.code() == StatusCode::kResourceExhausted) {
+          out_of_budget = true;
+          break;
+        }
+        ++result.candidates_skipped;
         cached_score[c] = 0;
         continue;
       }
@@ -430,6 +470,10 @@ Result<TunerResult> PhysicalDesignAdvisor::Tune(
       }
       order.push_back(c);
       std::push_heap(order.begin(), order.end(), by_score);
+    }
+    if (out_of_budget) {
+      result.truncated = true;
+      break;
     }
     if (best < 0 || best_benefit < options_.min_benefit_fraction * total) {
       break;
@@ -453,11 +497,13 @@ Result<TunerResult> PhysicalDesignAdvisor::Tune(
     }
   }
 
-  // Final per-query object sets under the chosen configuration.
+  // Final per-query object sets under the chosen configuration (mandatory
+  // so a truncated run still reports exact costs for what it picked).
   total = 0;
   for (size_t i = 0; i < workload.size(); ++i) {
     XS_ASSIGN_OR_RETURN(result.query_costs[i],
-                        plan_query(i, &result.query_objects[i]));
+                        plan_query(i, &result.query_objects[i],
+                                   /*mandatory=*/true));
     total += workload[i].weight * result.query_costs[i];
   }
   result.total_cost = total + result.maintenance_cost;
@@ -465,11 +511,27 @@ Result<TunerResult> PhysicalDesignAdvisor::Tune(
 }
 
 Status ApplyConfiguration(const TunerResult& result, Database* db) {
+  // All-or-nothing: a failure mid-apply (e.g. an injected index-build or
+  // materialization fault) drops every structure created so far, so the
+  // database is left exactly as it was and the apply can be retried.
+  std::vector<std::string> created_views;
+  std::vector<std::string> created_indexes;
+  auto rollback = [&](Status status) {
+    for (const std::string& name : created_indexes) db->DropIndex(name);
+    for (const std::string& name : created_views) {
+      db->DropMaterializedView(name);
+    }
+    return status;
+  };
   for (const ViewDesc& view : result.views) {
-    XS_RETURN_IF_ERROR(db->CreateMaterializedView(view.def));
+    Status status = db->CreateMaterializedView(view.def);
+    if (!status.ok()) return rollback(std::move(status));
+    created_views.push_back(view.def.name);
   }
   for (const IndexDesc& index : result.indexes) {
-    XS_RETURN_IF_ERROR(db->CreateIndex(index.def));
+    Status status = db->CreateIndex(index.def);
+    if (!status.ok()) return rollback(std::move(status));
+    created_indexes.push_back(index.def.name);
   }
   return Status::OK();
 }

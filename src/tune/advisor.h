@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/limits.h"
 #include "common/status.h"
 #include "opt/planner.h"
 #include "rel/catalog.h"
@@ -43,6 +44,12 @@ struct TunerOptions {
   // Stop when the best remaining candidate improves total cost by less
   // than this fraction.
   double min_benefit_fraction = 0.005;
+  // Optional resource governor. The advisor charges one work unit per
+  // optimizer call; when the budget or deadline runs out it stops
+  // selecting candidates and returns the best configuration found so far
+  // with `truncated` set (baseline costing is mandatory and always
+  // completes, so the result is never worse than no tuning).
+  ResourceGovernor* governor = nullptr;
 };
 
 struct TunerResult {
@@ -55,6 +62,10 @@ struct TunerResult {
   std::vector<std::set<std::string>> query_objects;  // I(Q) per query
   int64_t structure_pages = 0;
   int optimizer_calls = 0;
+  // Anytime/robustness telemetry.
+  bool truncated = false;       // selection stopped early on budget/deadline
+  int whatif_rollbacks = 0;     // what-if catalog pops taken on a failure
+  int candidates_skipped = 0;   // candidates dropped after a failed what-if
 };
 
 // Insert load on one relation: expected rows inserted per workload unit.

@@ -109,7 +109,8 @@ namespace {
 
 class XmlParser {
  public:
-  explicit XmlParser(std::string_view xml) : xml_(xml) {}
+  XmlParser(std::string_view xml, ResourceGovernor* governor)
+      : xml_(xml), governor_(governor) {}
 
   Result<XmlDocument> Parse() {
     SkipProlog();
@@ -198,6 +199,8 @@ class XmlParser {
   }
 
   Result<std::unique_ptr<XmlElement>> ParseElement() {
+    RecursionScope scope(governor_);
+    XS_RETURN_IF_ERROR(scope.status());
     SkipWhitespaceAndComments();
     if (!Matches("<")) return InvalidArgument("expected element");
     ++pos_;
@@ -275,13 +278,16 @@ class XmlParser {
   }
 
   std::string_view xml_;
+  ResourceGovernor* governor_;
   size_t pos_ = 0;
 };
 
 }  // namespace
 
-Result<XmlDocument> ParseXml(std::string_view xml) {
-  XmlParser parser(xml);
+Result<XmlDocument> ParseXml(std::string_view xml,
+                             ResourceGovernor* governor) {
+  ResourceGovernor stack_safety;  // used when the caller passes none
+  XmlParser parser(xml, governor != nullptr ? governor : &stack_safety);
   return parser.Parse();
 }
 

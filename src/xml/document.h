@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/limits.h"
 #include "common/status.h"
 
 namespace xmlshred {
@@ -80,8 +81,12 @@ class XmlDocument {
   std::unique_ptr<XmlElement> root_;
 };
 
-// Parses XML text into a document.
-Result<XmlDocument> ParseXml(std::string_view xml);
+// Parses XML text into a document. Element nesting is bounded by the
+// governor's recursion-depth limit (kDefaultMaxRecursionDepth when
+// `governor` is null) — deeper input returns kResourceExhausted rather
+// than overflowing the stack.
+Result<XmlDocument> ParseXml(std::string_view xml,
+                             ResourceGovernor* governor = nullptr);
 
 // Escapes &, <, >, ", ' for XML output.
 std::string XmlEscape(std::string_view s);

@@ -23,7 +23,8 @@ struct DtdExpr {
 
 class DtdTextParser {
  public:
-  explicit DtdTextParser(std::string_view text) : text_(text) {}
+  DtdTextParser(std::string_view text, ResourceGovernor* governor)
+      : text_(text), governor_(governor) {}
 
   // Parses all <!ELEMENT ...> declarations.
   Result<std::map<std::string, DtdExpr>> Parse(
@@ -123,6 +124,8 @@ class DtdTextParser {
 
   // Parses a parenthesized group: ( item (sep item)* ) occ?
   Result<DtdExpr> ParseGroup() {
+    RecursionScope scope(governor_);
+    XS_RETURN_IF_ERROR(scope.status());
     SkipSpace();
     if (pos_ >= text_.size() || text_[pos_] != '(') {
       return InvalidArgument("expected '(' in content model");
@@ -184,6 +187,7 @@ class DtdTextParser {
   }
 
   std::string_view text_;
+  ResourceGovernor* governor_;
   size_t pos_ = 0;
 };
 
@@ -192,14 +196,17 @@ class DtdTreeBuilder {
  public:
   DtdTreeBuilder(const std::map<std::string, DtdExpr>& decls,
                  const std::map<std::string, int>& reference_counts,
-                 SchemaTree* tree)
-      : decls_(decls), reference_counts_(reference_counts), tree_(tree) {}
+                 SchemaTree* tree, ResourceGovernor* governor)
+      : decls_(decls),
+        reference_counts_(reference_counts),
+        tree_(tree),
+        governor_(governor) {}
 
-  Result<std::unique_ptr<SchemaNode>> BuildElement(const std::string& name,
-                                                   int depth) {
-    if (depth > 32) {
-      return Unimplemented("recursive DTD element: " + name);
-    }
+  // The governor's depth guard also rejects recursive DTD elements,
+  // matching the paper's restriction to non-recursive schema parts.
+  Result<std::unique_ptr<SchemaNode>> BuildElement(const std::string& name) {
+    RecursionScope scope(governor_);
+    XS_RETURN_IF_ERROR(scope.status());
     auto it = decls_.find(name);
     std::unique_ptr<SchemaNode> tag = tree_->NewTag(name);
     auto ref = reference_counts_.find(name);
@@ -218,7 +225,7 @@ class DtdTreeBuilder {
       return tag;
     }
     XS_ASSIGN_OR_RETURN(std::unique_ptr<SchemaNode> content,
-                        BuildExpr(expr, depth));
+                        BuildExpr(expr));
     // Tags need exactly one content child; wrap bare particles.
     if (content->kind() != SchemaNodeKind::kSequence &&
         content->kind() != SchemaNodeKind::kChoice &&
@@ -233,12 +240,13 @@ class DtdTreeBuilder {
   }
 
  private:
-  Result<std::unique_ptr<SchemaNode>> BuildExpr(const DtdExpr& expr,
-                                                int depth) {
+  Result<std::unique_ptr<SchemaNode>> BuildExpr(const DtdExpr& expr) {
+    RecursionScope scope(governor_);
+    XS_RETURN_IF_ERROR(scope.status());
     std::unique_ptr<SchemaNode> node;
     switch (expr.kind) {
       case DtdExpr::Kind::kName: {
-        XS_ASSIGN_OR_RETURN(node, BuildElement(expr.name, depth + 1));
+        XS_ASSIGN_OR_RETURN(node, BuildElement(expr.name));
         break;
       }
       case DtdExpr::Kind::kSequence:
@@ -248,7 +256,7 @@ class DtdTreeBuilder {
                                   : SchemaNodeKind::kSequence);
         for (const DtdExpr& child : expr.children) {
           XS_ASSIGN_OR_RETURN(std::unique_ptr<SchemaNode> built,
-                              BuildExpr(child, depth));
+                              BuildExpr(child));
           node->AddChild(std::move(built));
         }
         break;
@@ -275,6 +283,7 @@ class DtdTreeBuilder {
   const std::map<std::string, DtdExpr>& decls_;
   const std::map<std::string, int>& reference_counts_;
   SchemaTree* tree_;
+  ResourceGovernor* governor_;
 };
 
 // Counts how many distinct declared elements reference each name.
@@ -286,8 +295,11 @@ void CountReferences(const DtdExpr& expr, std::set<std::string>* out) {
 }  // namespace
 
 Result<std::unique_ptr<SchemaTree>> ParseDtd(std::string_view dtd_text,
-                                             std::string_view root_element) {
-  DtdTextParser parser(dtd_text);
+                                             std::string_view root_element,
+                                             ResourceGovernor* governor) {
+  ResourceGovernor stack_safety;  // used when the caller passes none
+  if (governor == nullptr) governor = &stack_safety;
+  DtdTextParser parser(dtd_text, governor);
   std::vector<std::string> order;
   XS_ASSIGN_OR_RETURN(auto decls, parser.Parse(&order));
 
@@ -304,9 +316,9 @@ Result<std::unique_ptr<SchemaTree>> ParseDtd(std::string_view dtd_text,
     return NotFound("root element '" + root + "' not declared");
   }
   auto tree = std::make_unique<SchemaTree>();
-  DtdTreeBuilder builder(decls, reference_counts, tree.get());
+  DtdTreeBuilder builder(decls, reference_counts, tree.get(), governor);
   XS_ASSIGN_OR_RETURN(std::unique_ptr<SchemaNode> root_node,
-                      builder.BuildElement(root, 0));
+                      builder.BuildElement(root));
   tree->SetRoot(std::move(root_node));
   return tree;
 }

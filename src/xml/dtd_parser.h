@@ -20,6 +20,7 @@
 #include <memory>
 #include <string_view>
 
+#include "common/limits.h"
 #include "common/status.h"
 #include "xml/schema_tree.h"
 
@@ -27,10 +28,15 @@ namespace xmlshred {
 
 // Parses DTD text; `root_element` picks the document element (defaults to
 // the first declared element). Annotations are not assigned — call
-// AssignDefaultAnnotations() afterwards, as with ParseXsd.
+// AssignDefaultAnnotations() afterwards, as with ParseXsd. Content-model
+// nesting and element-reference chains (including recursive DTDs) are
+// bounded by the governor's recursion-depth limit; deeper input returns
+// kResourceExhausted.
 Result<std::unique_ptr<SchemaTree>> ParseDtd(std::string_view dtd_text,
                                              std::string_view root_element =
-                                                 "");
+                                                 "",
+                                             ResourceGovernor* governor =
+                                                 nullptr);
 
 }  // namespace xmlshred
 

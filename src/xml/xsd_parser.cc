@@ -61,8 +61,8 @@ Result<Occurs> ParseOccurs(const XmlElement& element) {
 
 class XsdBuilder {
  public:
-  explicit XsdBuilder(const XmlElement& schema_root)
-      : schema_root_(schema_root) {}
+  XsdBuilder(const XmlElement& schema_root, ResourceGovernor* governor)
+      : schema_root_(schema_root), governor_(governor) {}
 
   Result<std::unique_ptr<SchemaTree>> Build() {
     if (LocalName(schema_root_.tag()) != "schema") {
@@ -91,20 +91,19 @@ class XsdBuilder {
       return InvalidArgument("schema has no global element");
     }
     XS_ASSIGN_OR_RETURN(std::unique_ptr<SchemaNode> root,
-                        BuildElement(*root_element, /*depth=*/0));
+                        BuildElement(*root_element));
     tree_->SetRoot(std::move(root));
     return std::move(tree_);
   }
 
  private:
-  static constexpr int kMaxDepth = 64;
-
   // Builds the kTag node for an xs:element (without occurs wrapping).
-  Result<std::unique_ptr<SchemaNode>> BuildElement(const XmlElement& element,
-                                                   int depth) {
-    if (depth > kMaxDepth) {
-      return Unimplemented("recursive or too-deep XSD type nesting");
-    }
+  // The governor's depth guard also catches recursive named-type
+  // references (which the paper's non-recursive schemas exclude).
+  Result<std::unique_ptr<SchemaNode>> BuildElement(
+      const XmlElement& element) {
+    RecursionScope scope(governor_);
+    XS_RETURN_IF_ERROR(scope.status());
     const std::string* name = element.FindAttribute("name");
     if (name == nullptr) return InvalidArgument("element without name");
     std::unique_ptr<SchemaNode> tag = tree_->NewTag(*name);
@@ -136,13 +135,13 @@ class XsdBuilder {
       }
       tag->set_type_name(std::string(LocalName(*type)));
       XS_ASSIGN_OR_RETURN(std::unique_ptr<SchemaNode> content,
-                          BuildComplexContent(*it->second, depth + 1));
+                          BuildComplexContent(*it->second));
       tag->AddChild(std::move(content));
       return tag;
     }
     if (inline_complex != nullptr) {
       XS_ASSIGN_OR_RETURN(std::unique_ptr<SchemaNode> content,
-                          BuildComplexContent(*inline_complex, depth + 1));
+                          BuildComplexContent(*inline_complex));
       tag->AddChild(std::move(content));
       return tag;
     }
@@ -153,19 +152,20 @@ class XsdBuilder {
 
   // Builds the content node for a complexType: its sequence or choice.
   Result<std::unique_ptr<SchemaNode>> BuildComplexContent(
-      const XmlElement& complex_type, int depth) {
+      const XmlElement& complex_type) {
     for (const auto& child : complex_type.children()) {
       std::string_view local = LocalName(child->tag());
       if (local == "sequence" || local == "choice") {
-        return BuildGroup(*child, depth);
+        return BuildGroup(*child);
       }
     }
     return InvalidArgument("complexType without sequence or choice");
   }
 
   // Builds a kSequence / kChoice node with occurs-wrapped particles.
-  Result<std::unique_ptr<SchemaNode>> BuildGroup(const XmlElement& group,
-                                                 int depth) {
+  Result<std::unique_ptr<SchemaNode>> BuildGroup(const XmlElement& group) {
+    RecursionScope scope(governor_);
+    XS_RETURN_IF_ERROR(scope.status());
     std::string_view local = LocalName(group.tag());
     std::unique_ptr<SchemaNode> node =
         tree_->NewNode(local == "sequence" ? SchemaNodeKind::kSequence
@@ -174,9 +174,9 @@ class XsdBuilder {
       std::string_view child_local = LocalName(child->tag());
       std::unique_ptr<SchemaNode> particle;
       if (child_local == "element") {
-        XS_ASSIGN_OR_RETURN(particle, BuildElement(*child, depth + 1));
+        XS_ASSIGN_OR_RETURN(particle, BuildElement(*child));
       } else if (child_local == "sequence" || child_local == "choice") {
-        XS_ASSIGN_OR_RETURN(particle, BuildGroup(*child, depth + 1));
+        XS_ASSIGN_OR_RETURN(particle, BuildGroup(*child));
       } else {
         continue;  // annotations, attributes, etc.
       }
@@ -199,16 +199,20 @@ class XsdBuilder {
   }
 
   const XmlElement& schema_root_;
+  ResourceGovernor* governor_;
   std::unique_ptr<SchemaTree> tree_;
   std::map<std::string, const XmlElement*> named_types_;
 };
 
 }  // namespace
 
-Result<std::unique_ptr<SchemaTree>> ParseXsd(std::string_view xsd_text) {
-  XS_ASSIGN_OR_RETURN(XmlDocument doc, ParseXml(xsd_text));
+Result<std::unique_ptr<SchemaTree>> ParseXsd(std::string_view xsd_text,
+                                             ResourceGovernor* governor) {
+  ResourceGovernor stack_safety;  // used when the caller passes none
+  if (governor == nullptr) governor = &stack_safety;
+  XS_ASSIGN_OR_RETURN(XmlDocument doc, ParseXml(xsd_text, governor));
   if (doc.root() == nullptr) return InvalidArgument("empty XSD");
-  XsdBuilder builder(*doc.root());
+  XsdBuilder builder(*doc.root(), governor);
   return builder.Build();
 }
 

@@ -18,6 +18,7 @@
 #include <memory>
 #include <string_view>
 
+#include "common/limits.h"
 #include "common/status.h"
 #include "xml/document.h"
 #include "xml/schema_tree.h"
@@ -26,8 +27,12 @@ namespace xmlshred {
 
 // Parses XSD text into a schema tree. Does not assign default annotations
 // beyond explicit `annotation` attributes; call AssignDefaultAnnotations()
-// if the schema leaves mandatory annotations implicit.
-Result<std::unique_ptr<SchemaTree>> ParseXsd(std::string_view xsd_text);
+// if the schema leaves mandatory annotations implicit. Type nesting (and
+// recursive named-type references) is bounded by the governor's
+// recursion-depth limit; deeper schemas return kResourceExhausted.
+Result<std::unique_ptr<SchemaTree>> ParseXsd(std::string_view xsd_text,
+                                             ResourceGovernor* governor =
+                                                 nullptr);
 
 // Annotates the root and every tag under a repetition that lacks an
 // annotation, deriving unique relation names from tag names.

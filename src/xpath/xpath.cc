@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdlib>
+#include <memory>
 
 #include "common/strings.h"
 
@@ -39,7 +40,8 @@ namespace {
 
 class XPathParser {
  public:
-  explicit XPathParser(std::string_view text) : text_(text) {}
+  XPathParser(std::string_view text, ResourceGovernor* governor)
+      : text_(text), governor_(governor) {}
 
   Result<XPathQuery> Parse() {
     struct Step {
@@ -52,9 +54,15 @@ class XPathParser {
     };
     std::vector<Step> steps;
     std::vector<std::string> projections;
+    // The parser is iterative; step count is the unbounded dimension, so
+    // meter it against the governor's depth limit. Scopes stay open until
+    // the parse finishes so the count is cumulative.
+    std::vector<std::unique_ptr<RecursionScope>> step_scopes;
     while (pos_ < text_.size()) {
       SkipSpace();
       if (!Consume('/')) break;
+      step_scopes.push_back(std::make_unique<RecursionScope>(governor_));
+      XS_RETURN_IF_ERROR(step_scopes.back()->status());
       Consume('/');  // '//' collapses to the same handling
       SkipSpace();
       if (Peek() == '(') {
@@ -232,13 +240,16 @@ class XPathParser {
   }
 
   std::string_view text_;
+  ResourceGovernor* governor_;
   size_t pos_ = 0;
 };
 
 }  // namespace
 
-Result<XPathQuery> ParseXPath(std::string_view xpath) {
-  XPathParser parser(xpath);
+Result<XPathQuery> ParseXPath(std::string_view xpath,
+                              ResourceGovernor* governor) {
+  ResourceGovernor stack_safety;  // used when the caller passes none
+  XPathParser parser(xpath, governor != nullptr ? governor : &stack_safety);
   return parser.Parse();
 }
 

@@ -15,6 +15,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/limits.h"
 #include "common/status.h"
 #include "rel/value.h"
 
@@ -49,8 +50,11 @@ struct XPathQuery {
 
 // Parses the XPath subset. Accepts absolute prefixes (/a/b/ctx...): only
 // the context step and below matter for translation since context element
-// names are unique in our schemas.
-Result<XPathQuery> ParseXPath(std::string_view xpath);
+// names are unique in our schemas. Step count is bounded by the
+// governor's recursion-depth limit; longer paths return
+// kResourceExhausted.
+Result<XPathQuery> ParseXPath(std::string_view xpath,
+                              ResourceGovernor* governor = nullptr);
 
 // An XPath workload W = {(Q_i, f_i)} (Definition 1).
 using XPathWorkload = std::vector<XPathQuery>;
