@@ -2,7 +2,11 @@
 //
 //   example_advisor_cli --schema file.xsd|file.dtd --data file.xml
 //       --workload queries.txt [--algorithm greedy|naive|two-step|hybrid]
-//       [--space-multiple 3.0] [--execute]
+//       [--space-multiple 3.0] [--threads N] [--execute]
+//
+// --threads N costs each search round's candidates on N workers (0, the
+// default, uses every hardware thread; 1 forces the serial path). The
+// chosen design is identical at any thread count — see DESIGN.md §8.
 //
 // The workload file holds one XPath query per line, optionally prefixed
 // by a weight ("4.0 //movie[year >= 1998]/(title | box_office)"); '#'
@@ -75,14 +79,14 @@ int Usage() {
       stderr,
       "usage: example_advisor_cli --schema FILE.{xsd,dtd} --data FILE.xml\n"
       "       --workload FILE [--algorithm greedy|naive|two-step|hybrid]\n"
-      "       [--space-multiple F] [--execute]\n");
+      "       [--space-multiple F] [--threads N] [--execute]\n");
   return 2;
 }
 
 Status RunTool(const std::string& schema_path, const std::string& data_path,
                const std::string& workload_path,
                const std::string& algorithm, double space_multiple,
-               bool execute) {
+               int threads, bool execute) {
   // Schema: XSD or DTD by extension.
   XS_ASSIGN_OR_RETURN(std::string schema_text, ReadFile(schema_path));
   std::unique_ptr<SchemaTree> tree;
@@ -117,9 +121,15 @@ Status RunTool(const std::string& schema_path, const std::string& data_path,
               static_cast<long long>(problem.storage_bound_pages));
 
   Result<SearchResult> result = [&]() -> Result<SearchResult> {
-    if (algorithm == "greedy") return GreedySearch(problem);
-    if (algorithm == "naive") return NaiveGreedySearch(problem);
-    if (algorithm == "two-step") return TwoStepSearch(problem);
+    if (algorithm == "greedy") {
+      GreedyOptions options;
+      options.num_threads = threads;
+      return GreedySearch(problem, options);
+    }
+    NaiveOptions options;
+    options.num_threads = threads;
+    if (algorithm == "naive") return NaiveGreedySearch(problem, options);
+    if (algorithm == "two-step") return TwoStepSearch(problem, options);
     if (algorithm == "hybrid") return EvaluateHybridInline(problem);
     return InvalidArgument("unknown algorithm " + algorithm);
   }();
@@ -173,6 +183,7 @@ int main(int argc, char** argv) {
   std::string schema, data, workload;
   std::string algorithm = "greedy";
   double space_multiple = 3.0;
+  int threads = 0;  // 0 = one worker per hardware thread
   bool execute = false;
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
@@ -192,6 +203,14 @@ int main(int argc, char** argv) {
       algorithm = next("--algorithm");
     } else if (!std::strcmp(argv[i], "--space-multiple")) {
       space_multiple = std::atof(next("--space-multiple"));
+    } else if (!std::strcmp(argv[i], "--threads")) {
+      const char* value = next("--threads");
+      char* end = nullptr;
+      threads = static_cast<int>(std::strtol(value, &end, 10));
+      if (end == value || *end != '\0' || threads < 0) {
+        std::fprintf(stderr, "--threads: bad count '%s'\n", value);
+        return 2;
+      }
     } else if (!std::strcmp(argv[i], "--execute")) {
       execute = true;
     } else {
@@ -200,7 +219,7 @@ int main(int argc, char** argv) {
   }
   if (schema.empty() || data.empty() || workload.empty()) return Usage();
   Status status = RunTool(schema, data, workload, algorithm, space_multiple,
-                          execute);
+                          threads, execute);
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
     return 1;

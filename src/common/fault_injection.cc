@@ -8,33 +8,44 @@ FaultInjector* FaultInjector::Global() {
 }
 
 void FaultInjector::Arm(std::string site, int fire_on_nth) {
-  armed_ = true;
+  std::lock_guard<std::mutex> lock(mu_);
   fire_on_[std::move(site)] = fire_on_nth;
+  armed_.store(true, std::memory_order_release);
 }
 
 void FaultInjector::ArmProbabilistic(uint64_t seed, double probability) {
-  armed_ = true;
+  std::lock_guard<std::mutex> lock(mu_);
   probabilistic_ = true;
   rng_state_ = seed;
   probability_ = probability;
+  armed_.store(true, std::memory_order_release);
 }
 
 void FaultInjector::Disarm() {
-  armed_ = false;
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_release);
   probabilistic_ = false;
   fire_on_.clear();
   hit_counts_.clear();
   faults_fired_ = 0;
 }
 
+int FaultInjector::faults_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return faults_fired_;
+}
+
 int FaultInjector::hits(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = hit_counts_.find(site);
   return it == hit_counts_.end() ? 0 : it->second;
 }
 
 Status FaultInjector::Check(std::string_view site) {
-  if (!armed_) return Status::OK();
+  if (!armed_.load(std::memory_order_acquire)) return Status::OK();
   std::string key(site);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!armed_.load(std::memory_order_relaxed)) return Status::OK();
   int hit = ++hit_counts_[key];
   auto it = fire_on_.find(key);
   if (it != fire_on_.end() && hit == it->second) {

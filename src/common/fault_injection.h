@@ -15,15 +15,23 @@
 // back any what-if state, and keep going — never crash, never corrupt
 // descriptor layers. tests/robustness_test.cc sweeps every site.
 //
-// The injector is process-global and not thread-safe (matching the rest of
-// the engine); scope arming with ScopedFaultInjection so a failing test
-// cannot leak armed faults into later tests.
+// The injector is process-global and thread-safe: parallel search workers
+// (search/greedy.cc) hit the advisor/catalog sites concurrently, so hit
+// counting, the nth-hit trigger, and the probabilistic stream are
+// serialized on an internal mutex. The nth hit of a site fires exactly
+// once no matter how checks interleave; *which* worker's check lands nth
+// depends on scheduling, so parallel tests assert survival semantics, not
+// which candidate absorbed the fault. Scope arming with
+// ScopedFaultInjection so a failing test cannot leak armed faults into
+// later tests.
 
 #ifndef XMLSHRED_COMMON_FAULT_INJECTION_H_
 #define XMLSHRED_COMMON_FAULT_INJECTION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -57,16 +65,19 @@ class FaultInjector {
 
   void Disarm();
 
-  // The injection point. OK unless an armed fault fires here.
+  // The injection point. OK unless an armed fault fires here. The armed
+  // check is a lock-free fast path, so disarmed production runs pay one
+  // relaxed atomic load.
   Status Check(std::string_view site);
 
   // Telemetry for tests.
-  int faults_fired() const { return faults_fired_; }
+  int faults_fired() const;
   int hits(const std::string& site) const;
-  bool armed() const { return armed_; }
+  bool armed() const { return armed_.load(std::memory_order_acquire); }
 
  private:
-  bool armed_ = false;
+  mutable std::mutex mu_;
+  std::atomic<bool> armed_{false};
   std::map<std::string, int> hit_counts_;
   std::map<std::string, int> fire_on_;  // site -> 1-based hit index
   bool probabilistic_ = false;

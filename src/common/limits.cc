@@ -8,33 +8,75 @@ ResourceGovernor::ResourceGovernor(const ResourceLimits& limits)
     : limits_(limits), start_(std::chrono::steady_clock::now()) {}
 
 double ResourceGovernor::elapsed_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start_)
       .count();
 }
 
+double ResourceGovernor::work_spent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return work_spent_;
+}
+
+int64_t ResourceGovernor::rows_charged() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rows_charged_;
+}
+
+int64_t ResourceGovernor::memory_charged() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return memory_charged_;
+}
+
+int ResourceGovernor::max_depth_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_depth_seen_;
+}
+
 Status ResourceGovernor::Trip(std::string why) {
-  if (!exhausted_) {
-    exhausted_ = true;
+  if (!exhausted_.load(std::memory_order_relaxed)) {
     trip_reason_ = std::move(why);
+    exhausted_.store(true, std::memory_order_release);
   }
   return ResourceExhausted(trip_reason_);
 }
 
+Status ResourceGovernor::CheckDeadlineLocked() {
+  if (exhausted_.load(std::memory_order_relaxed)) {
+    return ResourceExhausted(trip_reason_);
+  }
+  if (limits_.wall_clock_seconds > 0) {
+    double elapsed = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start_)
+                         .count();
+    if (elapsed > limits_.wall_clock_seconds) {
+      return Trip("wall-clock deadline passed");
+    }
+  }
+  return Status::OK();
+}
+
 Status ResourceGovernor::ChargeWork(double units) {
+  std::lock_guard<std::mutex> lock(mu_);
   work_spent_ += units;
-  if (exhausted_) return ResourceExhausted(trip_reason_);
+  if (exhausted_.load(std::memory_order_relaxed)) {
+    return ResourceExhausted(trip_reason_);
+  }
   if (limits_.work_units > 0 &&
       work_spent_ > static_cast<double>(limits_.work_units)) {
     return Trip(StrFormat("work budget of %lld units spent",
                           static_cast<long long>(limits_.work_units)));
   }
-  return CheckDeadline();
+  return CheckDeadlineLocked();
 }
 
 Status ResourceGovernor::ChargeRows(int64_t rows) {
+  std::lock_guard<std::mutex> lock(mu_);
   rows_charged_ += rows;
-  if (exhausted_) return ResourceExhausted(trip_reason_);
+  if (exhausted_.load(std::memory_order_relaxed)) {
+    return ResourceExhausted(trip_reason_);
+  }
   if (limits_.max_rows > 0 && rows_charged_ > limits_.max_rows) {
     return Trip(StrFormat("row cap of %lld exceeded",
                           static_cast<long long>(limits_.max_rows)));
@@ -43,8 +85,11 @@ Status ResourceGovernor::ChargeRows(int64_t rows) {
 }
 
 Status ResourceGovernor::ChargeMemory(int64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
   memory_charged_ += bytes;
-  if (exhausted_) return ResourceExhausted(trip_reason_);
+  if (exhausted_.load(std::memory_order_relaxed)) {
+    return ResourceExhausted(trip_reason_);
+  }
   if (limits_.max_memory_bytes > 0 &&
       memory_charged_ > limits_.max_memory_bytes) {
     return Trip(StrFormat("memory cap of %lld bytes exceeded",
@@ -54,15 +99,12 @@ Status ResourceGovernor::ChargeMemory(int64_t bytes) {
 }
 
 Status ResourceGovernor::CheckDeadline() {
-  if (exhausted_) return ResourceExhausted(trip_reason_);
-  if (limits_.wall_clock_seconds > 0 &&
-      elapsed_seconds() > limits_.wall_clock_seconds) {
-    return Trip("wall-clock deadline passed");
-  }
-  return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  return CheckDeadlineLocked();
 }
 
 Status ResourceGovernor::EnterRecursion() {
+  std::lock_guard<std::mutex> lock(mu_);
   // Depth is a hard stack-safety bound, deliberately independent of the
   // sticky exhaustion flag: an anytime search that spent its work budget
   // must still be able to parse/plan at shallow depth while unwinding.
@@ -78,16 +120,18 @@ Status ResourceGovernor::EnterRecursion() {
 }
 
 void ResourceGovernor::LeaveRecursion() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (depth_ > 0) --depth_;
 }
 
 void ResourceGovernor::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   work_spent_ = 0;
   rows_charged_ = 0;
   memory_charged_ = 0;
   depth_ = 0;
   max_depth_seen_ = 0;
-  exhausted_ = false;
+  exhausted_.store(false, std::memory_order_release);
   trip_reason_.clear();
   start_ = std::chrono::steady_clock::now();
 }

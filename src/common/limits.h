@@ -18,12 +18,24 @@
 //
 // Exhaustion is sticky: once any budget trips, every later Check*/Charge*
 // call fails too, so a deep call stack unwinds promptly.
+//
+// Thread safety: one governor is shared by every worker of a parallel
+// search round (search/greedy.cc), so all charging and checking is
+// serialized on an internal mutex and `exhausted` is an atomic flag —
+// budgets, anytime truncation, and telemetry keep their single-threaded
+// semantics under concurrency. Work charges are whole units (1.0), so the
+// accumulated total is exact regardless of charge interleaving. The
+// recursion-depth guard counts across all threads sharing the governor;
+// the default cap (512) leaves ample headroom for any realistic worker
+// count times parser depth.
 
 #ifndef XMLSHRED_COMMON_LIMITS_H_
 #define XMLSHRED_COMMON_LIMITS_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 
 #include "common/status.h"
 
@@ -71,22 +83,27 @@ class ResourceGovernor {
   void LeaveRecursion();
 
   // True once any limit has tripped. Anytime loops poll this between
-  // candidates and wind down instead of erroring out.
-  bool exhausted() const { return exhausted_; }
+  // candidates and wind down instead of erroring out. Lock-free: safe to
+  // poll from worker threads while others charge.
+  bool exhausted() const { return exhausted_.load(std::memory_order_acquire); }
 
   // Telemetry.
-  double work_spent() const { return work_spent_; }
-  int64_t rows_charged() const { return rows_charged_; }
-  int64_t memory_charged() const { return memory_charged_; }
-  int max_depth_seen() const { return max_depth_seen_; }
+  double work_spent() const;
+  int64_t rows_charged() const;
+  int64_t memory_charged() const;
+  int max_depth_seen() const;
   double elapsed_seconds() const;
 
-  // Re-arms a tripped governor (used by tests sweeping budgets).
+  // Re-arms a tripped governor (used by tests sweeping budgets). Must not
+  // race with in-flight charges.
   void Reset();
 
  private:
+  // Requires mu_ held.
   Status Trip(std::string why);
+  Status CheckDeadlineLocked();
 
+  mutable std::mutex mu_;
   ResourceLimits limits_;
   std::chrono::steady_clock::time_point start_;
   double work_spent_ = 0;
@@ -94,7 +111,7 @@ class ResourceGovernor {
   int64_t memory_charged_ = 0;
   int depth_ = 0;
   int max_depth_seen_ = 0;
-  bool exhausted_ = false;
+  std::atomic<bool> exhausted_{false};
   std::string trip_reason_;
 };
 

@@ -1,0 +1,86 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace xmlshred {
+
+ThreadPool::ThreadPool(int num_threads) {
+  int n = std::max(num_threads, 1);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock,
+                       [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+int ThreadPool::HardwareThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+int ResolveNumThreads(int requested) {
+  return requested <= 0 ? ThreadPool::HardwareThreads() : requested;
+}
+
+void ParallelFor(int num_threads, int n, const std::function<void(int)>& fn,
+                 const std::function<bool()>& stop) {
+  if (n <= 0) return;
+  if (num_threads <= 1 || n == 1) {
+    for (int i = 0; i < n; ++i) {
+      if (stop != nullptr && stop()) break;
+      fn(i);
+    }
+    return;
+  }
+  ThreadPool pool(std::min(num_threads, n));
+  for (int i = 0; i < n; ++i) {
+    pool.Submit([&fn, &stop, i] {
+      if (stop != nullptr && stop()) return;
+      fn(i);
+    });
+  }
+  pool.Wait();
+}
+
+}  // namespace xmlshred

@@ -1,0 +1,89 @@
+#include "search/cost_cache.h"
+
+#include <string>
+
+namespace xmlshred {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void HashBytes(uint64_t* h, const void* data, size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    *h ^= p[i];
+    *h *= kFnvPrime;
+  }
+}
+
+void HashString(uint64_t* h, const std::string& s) {
+  HashBytes(h, s.data(), s.size());
+  HashBytes(h, "\x1f", 1);  // field separator
+}
+
+void HashInt(uint64_t* h, int64_t v) { HashBytes(h, &v, sizeof(v)); }
+
+// splitmix64 finalizer: spreads FNV's weak high bits before sharding.
+uint64_t Finalize(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+uint64_t MappingFingerprint(const Mapping& mapping) {
+  uint64_t h = kFnvOffset;
+  for (const MappedRelation& rel : mapping.relations()) {
+    HashString(&h, rel.ToTableSchema().ToString());
+    HashInt(&h, rel.rep_overflow_from);
+    for (int id : rel.anchor_node_ids) HashInt(&h, id);
+    for (const std::string& parent : rel.parent_tables) {
+      HashString(&h, parent);
+    }
+    for (const MappedColumn& col : rel.columns) {
+      for (int id : col.node_ids) HashInt(&h, id);
+    }
+  }
+  return Finalize(h);
+}
+
+uint64_t DerivationKey(uint64_t current_fp, uint64_t candidate_fp,
+                       size_t query_index) {
+  uint64_t h = kFnvOffset;
+  HashInt(&h, static_cast<int64_t>(current_fp));
+  HashInt(&h, static_cast<int64_t>(candidate_fp));
+  HashInt(&h, static_cast<int64_t>(query_index));
+  return Finalize(h);
+}
+
+std::optional<CostDerivationCache::Entry> CostDerivationCache::Lookup(
+    uint64_t key) const {
+  const Shard& shard = shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+void CostDerivationCache::Insert(uint64_t key, Entry entry) {
+  Shard& shard = shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.map.emplace(key, entry);
+}
+
+int64_t CostDerivationCache::size() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += static_cast<int64_t>(shard.map.size());
+  }
+  return total;
+}
+
+}  // namespace xmlshred

@@ -1,0 +1,83 @@
+// Shared memo for §4.8 cost derivation, safe for concurrent search
+// workers.
+//
+// The greedy search costs every candidate mapping of a round against the
+// same current state; the §4.8 rules prove, per query, that a candidate's
+// change cannot affect the query's plan, letting the search reuse the
+// current per-query cost instead of calling the optimizer. That proof is
+// a pure function of (current state, candidate mapping, query), so its
+// outcome can be memoized and shared: once any worker derives query q
+// under candidate fingerprint F, every other worker (and every later
+// re-encounter of F) reads the derived cost straight from the cache.
+//
+// Keys are 64-bit mixes of (current-state fingerprint, candidate-mapping
+// fingerprint, query index). The mapping fingerprint hashes each
+// relation's full schema, its anchor/leaf node ids, and its parent links,
+// so two mappings only share a fingerprint when they are structurally
+// identical — including the statistics they resolve to. Because cached
+// values are pure functions of their keys, a cache hit is observably
+// identical to recomputing: parallel and serial runs return bit-identical
+// results no matter how workers interleave their inserts (DESIGN.md §8).
+//
+// Sharded: the map is split over kShards mutex-guarded shards selected by
+// key, so concurrent workers rarely contend on the same lock.
+
+#ifndef XMLSHRED_SEARCH_COST_CACHE_H_
+#define XMLSHRED_SEARCH_COST_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "mapping/mapping.h"
+
+namespace xmlshred {
+
+// Structural fingerprint of a mapping: schema, node ids, parent links.
+uint64_t MappingFingerprint(const Mapping& mapping);
+
+// Key for one (current state, candidate, query) derivation.
+uint64_t DerivationKey(uint64_t current_fp, uint64_t candidate_fp,
+                       size_t query_index);
+
+class CostDerivationCache {
+ public:
+  // One derived query under one candidate: the reused per-query cost and
+  // the structure pages its plan's objects reserve (§4.8 carries those
+  // structures over, shrinking the candidate's tuning budget).
+  struct Entry {
+    double query_cost = 0;
+    int64_t reserved_pages = 0;
+  };
+
+  std::optional<Entry> Lookup(uint64_t key) const;
+  void Insert(uint64_t key, Entry entry);
+
+  // Telemetry. Hit/miss counts are timing-dependent in parallel runs
+  // (two workers may both miss on the same key before either inserts),
+  // so equivalence tests must not compare them; totals are monotone.
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  int64_t size() const;
+
+ private:
+  static constexpr int kShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, Entry> map;
+  };
+  static size_t ShardOf(uint64_t key) {
+    // High bits: the low bits feed the unordered_map's bucket index.
+    return static_cast<size_t>(key >> 60) & (kShards - 1);
+  }
+
+  Shard shards_[kShards];
+  mutable std::atomic<int64_t> hits_{0};
+  mutable std::atomic<int64_t> misses_{0};
+};
+
+}  // namespace xmlshred
+
+#endif  // XMLSHRED_SEARCH_COST_CACHE_H_

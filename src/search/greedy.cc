@@ -1,14 +1,18 @@
 #include "search/greedy.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <functional>
 #include <map>
 #include <set>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "mapping/transforms.h"
 #include "opt/planner.h"
 #include "search/candidates.h"
+#include "search/cost_cache.h"
 #include "xpath/translator.h"
 
 namespace xmlshred {
@@ -135,11 +139,18 @@ std::string RepetitionElementName(const SchemaTree& tree,
 }
 
 // Estimated cost of the candidate mapping, using cost derivation (§4.8)
-// against `current` when enabled.
+// against `current` when enabled. Safe to call from concurrent workers:
+// every mutable object (mapping, catalog, advisor, translations) is local
+// to the call — each worker costs against its own what-if catalog clone —
+// and the shared pieces (`problem`, `current`, the derivation cache) are
+// only read or accessed through thread-safe APIs. `current_fp` is the
+// fingerprint of `current`'s mapping; `cache` (optional) memoizes per-
+// query derivations so workers reuse each other's proofs.
 Result<double> CostCandidate(const DesignProblem& problem,
                              const SchemaTree& cand_tree,
                              const CurrentState& current,
                              const Transform& candidate, bool cost_derivation,
+                             uint64_t current_fp, CostDerivationCache* cache,
                              SearchTelemetry* telemetry) {
   XS_ASSIGN_OR_RETURN(Mapping mapping, Mapping::Build(cand_tree));
   CatalogDesc catalog = problem.stats->DeriveCatalog(cand_tree, mapping);
@@ -163,6 +174,15 @@ Result<double> CostCandidate(const DesignProblem& problem,
       ChangedRelations(current.mapping, mapping);
   std::string rep_element =
       RepetitionElementName(*current.tree, candidate);
+  // Cache key per (current state, candidate, query). The repetition
+  // element participates because the §4.8 decision below depends on it:
+  // two transforms yielding the same mapping can still derive different
+  // query sets when one is a repetition split and the other is not.
+  uint64_t cand_key =
+      cache != nullptr
+          ? DerivationKey(MappingFingerprint(mapping),
+                          std::hash<std::string>{}(rep_element), 0)
+          : 0;
 
   auto object_pages = [&current](const std::string& name) -> int64_t {
     for (const IndexDesc& idx : current.config.indexes) {
@@ -178,7 +198,23 @@ Result<double> CostCandidate(const DesignProblem& problem,
   std::vector<WeightedQuery> remaining;
   std::vector<size_t> remaining_idx;
   int derived_count = 0;
+  int cache_hits = 0;
   for (size_t i = 0; i < translations.size(); ++i) {
+    if (cache != nullptr) {
+      std::optional<CostDerivationCache::Entry> memo =
+          cache->Lookup(DerivationKey(current_fp, cand_key, i));
+      if (memo.has_value()) {
+        // Another worker (or an earlier candidate with the same
+        // fingerprint) already proved this query derivable; the memo is a
+        // pure function of the key, so reusing it is bit-identical to
+        // rerunning the analysis below.
+        derived_cost += translations[i].weight * memo->query_cost;
+        reserved += memo->reserved_pages;
+        ++derived_count;
+        ++cache_hits;
+        continue;
+      }
+    }
     const std::set<std::string>& new_tables =
         QueryTables(translations[i].query);
     const std::set<std::string>& old_tables = current.query_tables[i];
@@ -210,18 +246,25 @@ Result<double> CostCandidate(const DesignProblem& problem,
       }
     }
     if (untouched) {
+      int64_t query_reserved = 0;
+      for (const std::string& obj : current.config.query_objects[i]) {
+        query_reserved += object_pages(obj);
+      }
       derived_cost +=
           translations[i].weight * current.config.query_costs[i];
-      for (const std::string& obj : current.config.query_objects[i]) {
-        reserved += object_pages(obj);
-      }
+      reserved += query_reserved;
       ++derived_count;
+      if (cache != nullptr) {
+        cache->Insert(DerivationKey(current_fp, cand_key, i),
+                      {current.config.query_costs[i], query_reserved});
+      }
     } else {
       remaining.push_back(translations[i]);
       remaining_idx.push_back(i);
     }
   }
   telemetry->queries_derived += derived_count;
+  telemetry->derivation_cache_hits += cache_hits;
 
   if (remaining.empty()) return derived_cost;
   XS_ASSIGN_OR_RETURN(TunerResult config,
@@ -413,18 +456,23 @@ Result<SearchResult> GreedySearch(const DesignProblem& problem,
                       FullCost(problem, std::move(work_tree), &telemetry));
 
   // --- Greedy loop (Fig. 3 lines 6-19). Anytime: the loop stops the
-  // moment the budget runs out, keeping the best fully costed state. ---
+  // moment the budget runs out, keeping the best fully costed state.
+  //
+  // Each round's candidates are enumerated serially, costed concurrently
+  // (every worker on its own tree clone and what-if catalog), and reduced
+  // in enumeration order, so the chosen winner — including tie-breaks —
+  // is bit-identical to the serial run (DESIGN.md §8). ---
   std::vector<bool> consumed(loop_candidates.size(), false);
   bool out_of_budget = false;
+  const int num_threads = ResolveNumThreads(options.num_threads);
+  CostDerivationCache derivation_cache;
+  uint64_t current_fp = MappingFingerprint(current.mapping);
   for (int round = 0; round < options.max_rounds; ++round) {
     if (OutOfBudget(problem)) {
       result.truncated = true;
       break;
     }
     ++telemetry.rounds;
-    int best = -1;
-    double best_cost = current.cost;
-    std::unique_ptr<SchemaTree> best_tree;
 
     // The no-subsumed-pruning ablation additionally enumerates the
     // subsumed outline/inline transformations each round.
@@ -439,40 +487,90 @@ Result<SearchResult> GreedySearch(const DesignProblem& problem,
       }
     }
 
-    auto try_candidate = [&](const Transform& candidate,
-                             int index) -> Status {
+    // This round's candidate list, in enumeration order.
+    struct RoundCandidate {
+      const Transform* transform;
+      int index;  // position in loop_candidates (+ extra tail)
+    };
+    std::vector<RoundCandidate> round_set;
+    for (size_t c = 0; c < loop_candidates.size(); ++c) {
+      if (!consumed[c]) {
+        round_set.push_back({&loop_candidates[c], static_cast<int>(c)});
+      }
+    }
+    for (size_t e = 0; e < extra.size(); ++e) {
+      round_set.push_back(
+          {&extra[e], static_cast<int>(loop_candidates.size() + e)});
+    }
+
+    // Cost every candidate into its own slot; no shared mutable state
+    // apart from the governor, fault injector, and derivation cache,
+    // which are thread-safe.
+    struct Slot {
+      bool applied = false;  // transform applied to the clone
+      bool costed = false;   // costing ran (cost or error recorded)
+      double cost = 0;
+      Status error;  // non-OK when costing failed
+      std::unique_ptr<SchemaTree> tree;
+      SearchTelemetry delta;  // this candidate's telemetry contribution
+    };
+    std::vector<Slot> slots(round_set.size());
+    std::atomic<bool> budget_tripped{false};
+    auto cost_one = [&](int i) {
+      Slot& slot = slots[static_cast<size_t>(i)];
       std::unique_ptr<SchemaTree> cand_tree = current.tree->Clone();
-      Result<int> applied = ApplyTransform(cand_tree.get(), candidate);
-      if (!applied.ok()) return Status::OK();  // no longer applicable
+      const Transform& candidate = *round_set[static_cast<size_t>(i)].transform;
+      if (!ApplyTransform(cand_tree.get(), candidate).ok()) {
+        return;  // no longer applicable
+      }
+      slot.applied = true;
       if (options.prune_subsumed) FullyInline(cand_tree.get());
+      Result<double> cost = CostCandidate(
+          problem, *cand_tree, current, candidate, options.cost_derivation,
+          current_fp, &derivation_cache, &slot.delta);
+      slot.costed = true;
+      if (cost.ok()) {
+        slot.cost = *cost;
+        slot.tree = std::move(cand_tree);
+      } else {
+        slot.error = cost.status();
+        if (slot.error.code() == StatusCode::kResourceExhausted) {
+          budget_tripped.store(true, std::memory_order_release);
+        }
+      }
+    };
+    ParallelFor(num_threads, static_cast<int>(round_set.size()), cost_one,
+                [&budget_tripped, &problem] {
+                  return budget_tripped.load(std::memory_order_acquire) ||
+                         OutOfBudget(problem);
+                });
+
+    // Reduce in enumeration order: the first strictly-better candidate
+    // wins, exactly as in the serial loop.
+    int best = -1;
+    double best_cost = current.cost;
+    std::unique_ptr<SchemaTree> best_tree;
+    for (size_t i = 0; i < slots.size(); ++i) {
+      Slot& slot = slots[i];
+      if (!slot.applied || !slot.costed) continue;
       ++telemetry.transformations_searched;
-      Result<double> cost =
-          CostCandidate(problem, *cand_tree, current, candidate,
-                        options.cost_derivation, &telemetry);
-      if (!cost.ok()) {
-        if (cost.status().code() == StatusCode::kResourceExhausted) {
+      telemetry.tuner_calls += slot.delta.tuner_calls;
+      telemetry.optimizer_calls += slot.delta.optimizer_calls;
+      telemetry.queries_derived += slot.delta.queries_derived;
+      telemetry.derivation_cache_hits += slot.delta.derivation_cache_hits;
+      if (!slot.error.ok()) {
+        if (slot.error.code() == StatusCode::kResourceExhausted) {
           out_of_budget = true;  // stop exploring, keep best-so-far
         } else {
           ++telemetry.candidates_skipped;  // faulty candidate: drop it
         }
-        return Status::OK();
+        continue;
       }
-      if (*cost < best_cost * (1 - 1e-9)) {
-        best_cost = *cost;
-        best = index;
-        best_tree = std::move(cand_tree);
+      if (slot.cost < best_cost * (1 - 1e-9)) {
+        best_cost = slot.cost;
+        best = round_set[i].index;
+        best_tree = std::move(slot.tree);
       }
-      return Status::OK();
-    };
-
-    for (size_t c = 0; c < loop_candidates.size() && !out_of_budget; ++c) {
-      if (consumed[c]) continue;
-      XS_RETURN_IF_ERROR(
-          try_candidate(loop_candidates[c], static_cast<int>(c)));
-    }
-    for (size_t e = 0; e < extra.size() && !out_of_budget; ++e) {
-      XS_RETURN_IF_ERROR(try_candidate(
-          extra[e], static_cast<int>(loop_candidates.size() + e)));
     }
     if (out_of_budget) {
       result.truncated = true;
@@ -497,6 +595,7 @@ Result<SearchResult> GreedySearch(const DesignProblem& problem,
       break;
     }
     current = std::move(*next);
+    current_fp = MappingFingerprint(current.mapping);
   }
 
   result.tree = std::move(current.tree);
@@ -522,6 +621,7 @@ Result<SearchResult> NaiveGreedySearch(const DesignProblem& problem,
       FullCost(problem, problem.tree->Clone(), &telemetry));
 
   bool out_of_budget = false;
+  const int num_threads = ResolveNumThreads(options.num_threads);
   for (int round = 0; round < options.max_rounds; ++round) {
     if (OutOfBudget(problem)) {
       result.truncated = true;
@@ -530,15 +630,54 @@ Result<SearchResult> NaiveGreedySearch(const DesignProblem& problem,
     ++telemetry.rounds;
     std::vector<Transform> transforms =
         EnumerateTransforms(*current.tree, options.default_split_count);
+
+    // Cost every enumerated transformation concurrently, then reduce in
+    // enumeration order (same contract as GreedySearch, DESIGN.md §8).
+    struct Slot {
+      bool applied = false;
+      bool costed = false;
+      double cost = 0;
+      Status error;
+      std::unique_ptr<SchemaTree> tree;
+      SearchTelemetry delta;
+    };
+    std::vector<Slot> slots(transforms.size());
+    std::atomic<bool> budget_tripped{false};
+    auto cost_one = [&](int i) {
+      Slot& slot = slots[static_cast<size_t>(i)];
+      std::unique_ptr<SchemaTree> cand_tree = current.tree->Clone();
+      if (!ApplyTransform(cand_tree.get(), transforms[static_cast<size_t>(i)])
+               .ok()) {
+        return;
+      }
+      slot.applied = true;
+      auto costed = CostMapping(problem, *cand_tree, &slot.delta);
+      slot.costed = true;
+      if (costed.ok()) {
+        slot.cost = costed->cost;
+        slot.tree = std::move(cand_tree);
+      } else {
+        slot.error = costed.status();
+        if (slot.error.code() == StatusCode::kResourceExhausted) {
+          budget_tripped.store(true, std::memory_order_release);
+        }
+      }
+    };
+    ParallelFor(num_threads, static_cast<int>(transforms.size()), cost_one,
+                [&budget_tripped, &problem] {
+                  return budget_tripped.load(std::memory_order_acquire) ||
+                         OutOfBudget(problem);
+                });
+
     double best_cost = current.cost;
     std::unique_ptr<SchemaTree> best_tree;
-    for (const Transform& t : transforms) {
-      std::unique_ptr<SchemaTree> cand_tree = current.tree->Clone();
-      if (!ApplyTransform(cand_tree.get(), t).ok()) continue;
+    for (Slot& slot : slots) {
+      if (!slot.applied || !slot.costed) continue;
       ++telemetry.transformations_searched;
-      auto costed = CostMapping(problem, *cand_tree, &telemetry);
-      if (!costed.ok()) {
-        if (costed.status().code() == StatusCode::kResourceExhausted) {
+      telemetry.tuner_calls += slot.delta.tuner_calls;
+      telemetry.optimizer_calls += slot.delta.optimizer_calls;
+      if (!slot.error.ok()) {
+        if (slot.error.code() == StatusCode::kResourceExhausted) {
           out_of_budget = true;
           break;
         }
@@ -546,9 +685,9 @@ Result<SearchResult> NaiveGreedySearch(const DesignProblem& problem,
         ++telemetry.candidates_skipped;
         continue;
       }
-      if (costed->cost < best_cost * (1 - 1e-9)) {
-        best_cost = costed->cost;
-        best_tree = std::move(cand_tree);
+      if (slot.cost < best_cost * (1 - 1e-9)) {
+        best_cost = slot.cost;
+        best_tree = std::move(slot.tree);
       }
     }
     if (out_of_budget) {
@@ -641,6 +780,7 @@ Result<SearchResult> TwoStepSearch(const DesignProblem& problem,
       TwoStepLogicalCost(problem, *current, /*mandatory=*/true, &telemetry));
 
   bool out_of_budget = false;
+  const int num_threads = ResolveNumThreads(options.num_threads);
   for (int round = 0; round < options.max_rounds; ++round) {
     if (OutOfBudget(problem)) {
       result.truncated = true;
@@ -649,25 +789,63 @@ Result<SearchResult> TwoStepSearch(const DesignProblem& problem,
     ++telemetry.rounds;
     std::vector<Transform> transforms =
         EnumerateTransforms(*current, options.default_split_count);
+
+    // Same parallel cost / ordered reduce scheme as the other algorithms
+    // (DESIGN.md §8); phase-1 estimates are independent per candidate.
+    struct Slot {
+      bool applied = false;
+      bool costed = false;
+      double cost = 0;
+      Status error;
+      std::unique_ptr<SchemaTree> tree;
+      SearchTelemetry delta;
+    };
+    std::vector<Slot> slots(transforms.size());
+    std::atomic<bool> budget_tripped{false};
+    auto cost_one = [&](int i) {
+      Slot& slot = slots[static_cast<size_t>(i)];
+      std::unique_ptr<SchemaTree> cand_tree = current->Clone();
+      if (!ApplyTransform(cand_tree.get(), transforms[static_cast<size_t>(i)])
+               .ok()) {
+        return;
+      }
+      slot.applied = true;
+      auto cost = TwoStepLogicalCost(problem, *cand_tree,
+                                     /*mandatory=*/false, &slot.delta);
+      slot.costed = true;
+      if (cost.ok()) {
+        slot.cost = *cost;
+        slot.tree = std::move(cand_tree);
+      } else {
+        slot.error = cost.status();
+        if (slot.error.code() == StatusCode::kResourceExhausted) {
+          budget_tripped.store(true, std::memory_order_release);
+        }
+      }
+    };
+    ParallelFor(num_threads, static_cast<int>(transforms.size()), cost_one,
+                [&budget_tripped, &problem] {
+                  return budget_tripped.load(std::memory_order_acquire) ||
+                         OutOfBudget(problem);
+                });
+
     double best_cost = current_cost;
     std::unique_ptr<SchemaTree> best_tree;
-    for (const Transform& t : transforms) {
-      std::unique_ptr<SchemaTree> cand_tree = current->Clone();
-      if (!ApplyTransform(cand_tree.get(), t).ok()) continue;
+    for (Slot& slot : slots) {
+      if (!slot.applied || !slot.costed) continue;
       ++telemetry.transformations_searched;
-      auto cost = TwoStepLogicalCost(problem, *cand_tree,
-                                     /*mandatory=*/false, &telemetry);
-      if (!cost.ok()) {
-        if (cost.status().code() == StatusCode::kResourceExhausted) {
+      telemetry.optimizer_calls += slot.delta.optimizer_calls;
+      if (!slot.error.ok()) {
+        if (slot.error.code() == StatusCode::kResourceExhausted) {
           out_of_budget = true;
           break;
         }
         ++telemetry.candidates_skipped;
         continue;
       }
-      if (*cost < best_cost * (1 - 1e-9)) {
-        best_cost = *cost;
-        best_tree = std::move(cand_tree);
+      if (slot.cost < best_cost * (1 - 1e-9)) {
+        best_cost = slot.cost;
+        best_tree = std::move(slot.tree);
       }
     }
     if (out_of_budget) {

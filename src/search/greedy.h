@@ -27,6 +27,13 @@ enum class MergeStrategy {
 };
 
 struct GreedyOptions {
+  // Workers costing the round's candidate set concurrently. <= 0 means
+  // one per hardware thread; 1 is the exact legacy serial path (no
+  // threads spawned). Any value returns a SearchResult bit-identical to
+  // num_threads = 1 — candidates are enumerated serially, costed in
+  // isolation, and reduced in enumeration order (DESIGN.md §8) — except
+  // that runs truncated by a governor may stop at a different candidate.
+  int num_threads = 0;
   // §4.3: skip subsumed transformations, always working on the fully
   // inlined normal form. When false, outline/inline transformations are
   // enumerated and costed like any other candidate.
@@ -49,6 +56,8 @@ Result<SearchResult> GreedySearch(const DesignProblem& problem,
                                   const GreedyOptions& options = {});
 
 struct NaiveOptions {
+  // Same contract as GreedyOptions::num_threads.
+  int num_threads = 0;
   int default_split_count = 5;
   int max_rounds = 16;
 };

@@ -55,6 +55,11 @@ struct SearchTelemetry {
   int optimizer_calls = 0;
   // Queries whose cost was reused through cost derivation (§4.8).
   int queries_derived = 0;
+  // Cost-derivation cache hits (search/cost_cache.h). Informational:
+  // timing-dependent under parallel costing (two workers can both miss on
+  // a key before either inserts), so serial-equivalence checks must skip
+  // this field — a hit is observably identical to recomputing.
+  int64_t derivation_cache_hits = 0;
   int candidates_selected = 0;     // after candidate selection (§4.5)
   int candidates_after_merging = 0;  // after candidate merging (§4.7)
   // Candidates dropped because costing them failed (injected faults,

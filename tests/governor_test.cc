@@ -8,8 +8,11 @@
 #include <cmath>
 #include <limits>
 
+#include <atomic>
+
 #include "common/fault_injection.h"
 #include "common/limits.h"
+#include "common/thread_pool.h"
 #include "search/evaluate.h"
 #include "search/greedy.h"
 #include "workload/movie.h"
@@ -194,8 +197,11 @@ TEST_F(AnytimeSearchTest, TinyBudgetReturnsValidTruncatedDesign) {
 
 TEST_F(AnytimeSearchTest, CostMonotoneNonIncreasingInBudget) {
   // Exact costing keeps candidate and re-estimated costs identical, so
-  // budget is the only variable across runs.
+  // budget is the only variable across runs. Serial mode: which candidate
+  // a truncated parallel round stops at is scheduling-dependent, and this
+  // test is precisely about truncation points.
   GreedyOptions options;
+  options.num_threads = 1;
   options.cost_derivation = false;
   options.merging = MergeStrategy::kNone;
   const int64_t budgets[] = {1, 20, 100, 1000, 1 << 20};
@@ -266,6 +272,121 @@ TEST_F(AnytimeSearchTest, UnlimitedGovernorDoesNotTruncate) {
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_FALSE(result->truncated);
   EXPECT_GT(result->telemetry.work_spent, 0);
+}
+
+// --- Concurrency: the governor and fault injector are shared by worker
+// threads costing candidates in parallel; charges must never be lost, the
+// budget must trip exactly once, and exhaustion from a worker thread must
+// still yield the anytime best-so-far design. ---
+
+TEST(ResourceGovernorTest, ConcurrentChargesAreExact) {
+  ResourceLimits limits;
+  limits.work_units = 50;
+  ResourceGovernor governor(limits);
+  std::atomic<int> successes{0};
+  ParallelFor(8, 800, [&](int) {
+    if (governor.ChargeWork(1.0).ok()) successes++;
+  });
+  // Every charge is recorded (sticky exhaustion still meters), and the
+  // mutex makes the running sum exact: precisely `work_units` charges can
+  // observe a sum within budget, no matter how threads interleave.
+  EXPECT_DOUBLE_EQ(governor.work_spent(), 800.0);
+  EXPECT_EQ(successes.load(), 50);
+  EXPECT_TRUE(governor.exhausted());
+}
+
+TEST(ResourceGovernorTest, ConcurrentRecursionDepthBalances) {
+  ResourceLimits limits;
+  limits.max_recursion_depth = 512;
+  ResourceGovernor governor(limits);
+  ParallelFor(8, 400, [&](int) {
+    RecursionScope outer(&governor);
+    EXPECT_TRUE(outer.status().ok());
+    RecursionScope inner(&governor);
+    EXPECT_TRUE(inner.status().ok());
+  });
+  // All scopes unwound: a fresh scope starts at depth 1 again.
+  EXPECT_TRUE(governor.EnterRecursion().ok());
+  governor.LeaveRecursion();
+  EXPECT_GE(governor.max_depth_seen(), 2);
+}
+
+TEST(FaultInjectorTest, ConcurrentNthHitFiresExactlyOnce) {
+  ScopedFaultInjection armed("mt.site", 100);
+  std::atomic<int> fired{0};
+  ParallelFor(8, 400, [&](int) {
+    if (!FaultInjector::Global()->Check("mt.site").ok()) fired++;
+  });
+  EXPECT_EQ(fired.load(), 1);
+  EXPECT_EQ(FaultInjector::Global()->faults_fired(), 1);
+  EXPECT_EQ(FaultInjector::Global()->hits("mt.site"), 400);
+}
+
+TEST_F(AnytimeSearchTest, ParallelTinyBudgetReturnsValidTruncatedDesign) {
+  // Budget exhaustion lands on a worker thread mid-round; the search must
+  // still come back with the anytime best-so-far design, truncated set,
+  // and no partial state (the result evaluates end to end).
+  GreedyOptions options;
+  options.num_threads = 4;
+  auto result = RunGreedy(1, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->truncated);
+  EXPECT_FALSE(result->mapping.relations().empty());
+  EXPECT_GT(result->telemetry.work_spent, 0);
+  auto eval = EvaluateOnData(*result, data_.doc, problem_.workload);
+  ASSERT_TRUE(eval.ok()) << eval.status();
+  EXPECT_GT(eval->total_work, 0);
+}
+
+TEST_F(AnytimeSearchTest, ParallelExhaustionNeverBeatsConverged) {
+  // Mid-search budgets: whichever candidate the parallel round stops at,
+  // the returned design is a fully costed intermediate state — never
+  // better than the converged design, never invalid.
+  problem_.governor = nullptr;
+  auto converged = GreedySearch(problem_);
+  ASSERT_TRUE(converged.ok()) << converged.status();
+  for (int threads : {2, 8}) {
+    for (int64_t budget : {5, 40, 200}) {
+      GreedyOptions options;
+      options.num_threads = threads;
+      auto result = RunGreedy(budget, options);
+      ASSERT_TRUE(result.ok()) << "threads=" << threads << " budget="
+                               << budget << ": " << result.status();
+      EXPECT_GE(result->estimated_cost,
+                converged->estimated_cost * (1 - 1e-9))
+          << "threads=" << threads << " budget=" << budget;
+      EXPECT_FALSE(result->mapping.relations().empty());
+      auto eval = EvaluateOnData(*result, data_.doc, problem_.workload);
+      ASSERT_TRUE(eval.ok()) << eval.status();
+    }
+  }
+}
+
+TEST_F(AnytimeSearchTest, ParallelNaiveAndTwoStepHonourBudget) {
+  for (int threads : {2, 8}) {
+    NaiveOptions options;
+    options.num_threads = threads;
+    ResourceLimits limits;
+    limits.work_units = 1;
+    {
+      ResourceGovernor governor(limits);
+      problem_.governor = &governor;
+      auto naive = NaiveGreedySearch(problem_, options);
+      problem_.governor = nullptr;
+      ASSERT_TRUE(naive.ok()) << naive.status();
+      EXPECT_TRUE(naive->truncated);
+      EXPECT_FALSE(naive->mapping.relations().empty());
+    }
+    {
+      ResourceGovernor governor(limits);
+      problem_.governor = &governor;
+      auto two_step = TwoStepSearch(problem_, options);
+      problem_.governor = nullptr;
+      ASSERT_TRUE(two_step.ok()) << two_step.status();
+      EXPECT_TRUE(two_step->truncated);
+      EXPECT_FALSE(two_step->mapping.relations().empty());
+    }
+  }
 }
 
 TEST_F(AnytimeSearchTest, DeadlineTruncatesGreedy) {

@@ -273,6 +273,32 @@ INSTANTIATE_TEST_SUITE_P(Sites, FaultSweepTest,
                                            kFaultSiteAdvisorWhatIf,
                                            kFaultSiteAdvisorTune));
 
+TEST_P(FaultSweepTest, ParallelGreedySurvivesInjectedFault) {
+  // Same sweep with explicit worker counts: the fault now fires on a
+  // worker thread mid-round. Which candidate absorbs it is
+  // scheduling-dependent, but the survival contract is identical —
+  // skip the failed candidate, finish the search, return a design with
+  // no partial state (it shreds, applies, and executes end to end).
+  const std::string site = GetParam();
+  for (int threads : {2, 8}) {
+    Result<SearchResult> result = [&] {
+      int nth = site == kFaultSiteAdvisorTune ? 2 : 1;
+      ScopedFaultInjection armed(site, nth);
+      GreedyOptions options;
+      options.num_threads = threads;
+      return GreedySearch(problem_, options);
+    }();
+    EXPECT_FALSE(FaultInjector::Global()->armed());
+    ASSERT_TRUE(result.ok()) << site << " threads=" << threads << ": "
+                             << result.status();
+    EXPECT_FALSE(result->mapping.relations().empty());
+    auto eval = EvaluateOnData(*result, data_.doc, problem_.workload);
+    ASSERT_TRUE(eval.ok()) << site << " threads=" << threads << ": "
+                           << eval.status();
+    EXPECT_GT(eval->total_work, 0);
+  }
+}
+
 TEST_F(FaultSweepTest, GreedySurvivesProbabilisticChaos) {
   for (uint64_t seed = 1; seed <= 3; ++seed) {
     Result<SearchResult> result = [&] {
