@@ -49,7 +49,10 @@ void Run() {
 }  // namespace
 }  // namespace xmlshred::bench
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string metrics_out =
+      xmlshred::bench::ExtractMetricsOutArg(&argc, argv);
   xmlshred::bench::Run();
+  xmlshred::bench::WriteMetricsOut(metrics_out);
   return 0;
 }

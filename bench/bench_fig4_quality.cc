@@ -51,8 +51,9 @@ void RunDataset(const Dataset& dataset,
 }  // namespace
 }  // namespace xmlshred::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xmlshred::bench;
+  const std::string metrics_out = ExtractMetricsOutArg(&argc, argv);
   {
     Dataset dblp = MakeDblpDataset();
     RunDataset(dblp, DblpWorkloadSpecs());
@@ -61,5 +62,6 @@ int main() {
     Dataset movie = MakeMovieDataset();
     RunDataset(movie, MovieWorkloadSpecs());
   }
+  WriteMetricsOut(metrics_out);
   return 0;
 }

@@ -208,6 +208,7 @@ void RunThreadSweep(const std::vector<int>& thread_counts,
 
 int main(int argc, char** argv) {
   using namespace xmlshred::bench;
+  const std::string metrics_out = ExtractMetricsOutArg(&argc, argv);
   std::vector<int> thread_counts;
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
@@ -240,6 +241,7 @@ int main(int argc, char** argv) {
   }
   if (!thread_counts.empty()) {
     RunThreadSweep(thread_counts, json_path);
+    WriteMetricsOut(metrics_out);
     return 0;
   }
   {
@@ -250,5 +252,6 @@ int main(int argc, char** argv) {
     Dataset movie = MakeMovieDataset();
     RunDataset(movie, MovieWorkloadSpecs());
   }
+  WriteMetricsOut(metrics_out);
   return 0;
 }

@@ -21,7 +21,43 @@ DesignProblem Dataset::MakeProblem(XPathWorkload workload) const {
   problem.stats = stats.get();
   problem.workload = std::move(workload);
   problem.storage_bound_pages = storage_bound_pages;
+  problem.exec.metrics = &GlobalMetrics();
   return problem;
+}
+
+MetricsRegistry& GlobalMetrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+std::string ExtractMetricsOutArg(int* argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--metrics-out=", 0) == 0) {
+      path = arg.substr(14);
+      continue;
+    }
+    if (arg == "--metrics-out" && i + 1 < *argc) {
+      path = argv[++i];
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  if (path.empty()) {
+    if (const char* env = std::getenv("XMLSHRED_BENCH_METRICS_OUT")) {
+      path = env;
+    }
+  }
+  return path;
+}
+
+void WriteMetricsOut(const std::string& path) {
+  if (path.empty()) return;
+  XS_CHECK_OK(WriteTextFile(path, GlobalMetrics().Snapshot().ToJson()));
+  std::printf("metrics written to %s\n", path.c_str());
 }
 
 namespace {

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "mapping/xml_stats.h"
 #include "search/evaluate.h"
 #include "search/greedy.h"
@@ -33,6 +34,20 @@ struct Dataset {
 };
 
 double BenchScale();
+
+// Process-wide metrics registry. MakeProblem() attaches it to
+// DesignProblem::exec, so every search run in a bench binary publishes
+// its search.*/cost_cache.* counters here; export with WriteMetricsOut.
+MetricsRegistry& GlobalMetrics();
+
+// Pulls `--metrics-out FILE` (or `--metrics-out=FILE`) out of argv so
+// the caller's own argument loop never sees it; compacts argv/argc in
+// place. Returns the path, or the XMLSHRED_BENCH_METRICS_OUT environment
+// variable, or "" when neither is set.
+std::string ExtractMetricsOutArg(int* argc, char** argv);
+
+// Writes GlobalMetrics() as snapshot JSON to `path`; no-op when empty.
+void WriteMetricsOut(const std::string& path);
 
 // DBLP at bench scale (20k publications at scale 1).
 Dataset MakeDblpDataset();

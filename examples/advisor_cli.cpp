@@ -3,6 +3,7 @@
 //   example_advisor_cli --schema file.xsd|file.dtd --data file.xml
 //       --workload queries.txt [--algorithm greedy|naive|two-step|hybrid]
 //       [--space-multiple 3.0] [--threads N] [--execute]
+//       [--metrics-out metrics.json] [--trace-out trace.json]
 //
 // --threads N costs each search round's candidates on N workers (0, the
 // default, uses every hardware thread; 1 forces the serial path). The
@@ -14,6 +15,11 @@
 // recommended physical structures, and per-query estimated costs; with
 // --execute it also shreds the data, builds the structures, and reports
 // measured work per query.
+//
+// --metrics-out writes the run's full metrics registry (parse, search,
+// advisor, planner, executor counters) as JSON; --trace-out writes the
+// hierarchical span trace (wall-clock durations included). Both documents
+// follow schema_version 1 — see DESIGN.md §9 and tools/metrics_schema.json.
 
 #include <cstdio>
 #include <cstdlib>
@@ -22,7 +28,9 @@
 #include <sstream>
 #include <string>
 
+#include "common/metrics.h"
 #include "common/strings.h"
+#include "common/trace.h"
 #include "mapping/xml_stats.h"
 #include "search/evaluate.h"
 #include "search/greedy.h"
@@ -79,27 +87,40 @@ int Usage() {
       stderr,
       "usage: example_advisor_cli --schema FILE.{xsd,dtd} --data FILE.xml\n"
       "       --workload FILE [--algorithm greedy|naive|two-step|hybrid]\n"
-      "       [--space-multiple F] [--threads N] [--execute]\n");
+      "       [--space-multiple F] [--threads N] [--execute]\n"
+      "       [--metrics-out FILE.json] [--trace-out FILE.json]\n");
   return 2;
 }
 
 Status RunTool(const std::string& schema_path, const std::string& data_path,
                const std::string& workload_path,
                const std::string& algorithm, double space_multiple,
-               int threads, bool execute) {
+               int threads, bool execute, const std::string& metrics_out,
+               const std::string& trace_out) {
+  // Observability: one registry and one sink for the whole run. The CLI
+  // is the interactive surface, so wall-clock timing is on.
+  MetricsRegistry registry;
+  registry.set_timing_enabled(true);
+  TraceSink sink(/*capture_timing=*/true);
+  ExecContext exec;
+  exec.metrics = metrics_out.empty() && trace_out.empty() ? nullptr
+                                                          : &registry;
+  exec.trace = trace_out.empty() ? nullptr : &sink;
+  exec.num_threads = threads;
+
   // Schema: XSD or DTD by extension.
   XS_ASSIGN_OR_RETURN(std::string schema_text, ReadFile(schema_path));
   std::unique_ptr<SchemaTree> tree;
   if (EndsWith(schema_path, ".dtd")) {
-    XS_ASSIGN_OR_RETURN(tree, ParseDtd(schema_text));
+    XS_ASSIGN_OR_RETURN(tree, ParseDtd(schema_text, "", exec));
   } else {
-    XS_ASSIGN_OR_RETURN(tree, ParseXsd(schema_text));
+    XS_ASSIGN_OR_RETURN(tree, ParseXsd(schema_text, exec));
   }
   AssignDefaultAnnotations(tree.get());
   XS_RETURN_IF_ERROR(tree->Validate());
 
   XS_ASSIGN_OR_RETURN(std::string xml_text, ReadFile(data_path));
-  XS_ASSIGN_OR_RETURN(XmlDocument doc, ParseXml(xml_text));
+  XS_ASSIGN_OR_RETURN(XmlDocument doc, ParseXml(xml_text, exec));
   XS_ASSIGN_OR_RETURN(XmlStatistics stats,
                       XmlStatistics::Collect(doc, *tree));
   XS_ASSIGN_OR_RETURN(XPathWorkload workload, LoadWorkload(workload_path));
@@ -108,6 +129,7 @@ Status RunTool(const std::string& schema_path, const std::string& data_path,
   problem.tree = tree.get();
   problem.stats = &stats;
   problem.workload = workload;
+  problem.exec = exec;
   XS_ASSIGN_OR_RETURN(Mapping default_mapping, Mapping::Build(*tree));
   int64_t data_pages =
       stats.DeriveCatalog(*tree, default_mapping).DataPages();
@@ -166,13 +188,23 @@ Status RunTool(const std::string& schema_path, const std::string& data_path,
 
   if (execute) {
     XS_ASSIGN_OR_RETURN(WorkloadEvaluation eval,
-                        EvaluateOnData(*result, doc, workload));
+                        EvaluateOnData(*result, doc, workload, exec));
     std::printf("\nmeasured execution (work units):\n");
     for (size_t i = 0; i < workload.size(); ++i) {
       std::printf("  %-60s %10.1f\n", workload[i].ToString().c_str(),
                   eval.per_query_work[i]);
     }
     std::printf("  %-60s %10.1f\n", "TOTAL (weighted)", eval.total_work);
+  }
+
+  if (!metrics_out.empty()) {
+    XS_RETURN_IF_ERROR(
+        WriteTextFile(metrics_out, registry.Snapshot().ToJson()));
+    std::printf("\nmetrics written to %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    XS_RETURN_IF_ERROR(WriteTextFile(trace_out, sink.ToJson()));
+    std::printf("trace written to %s\n", trace_out.c_str());
   }
   return Status::OK();
 }
@@ -185,6 +217,7 @@ int main(int argc, char** argv) {
   double space_multiple = 3.0;
   int threads = 0;  // 0 = one worker per hardware thread
   bool execute = false;
+  std::string metrics_out, trace_out;
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -211,6 +244,10 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--threads: bad count '%s'\n", value);
         return 2;
       }
+    } else if (!std::strcmp(argv[i], "--metrics-out")) {
+      metrics_out = next("--metrics-out");
+    } else if (!std::strcmp(argv[i], "--trace-out")) {
+      trace_out = next("--trace-out");
     } else if (!std::strcmp(argv[i], "--execute")) {
       execute = true;
     } else {
@@ -219,7 +256,7 @@ int main(int argc, char** argv) {
   }
   if (schema.empty() || data.empty() || workload.empty()) return Usage();
   Status status = RunTool(schema, data, workload, algorithm, space_multiple,
-                          threads, execute);
+                          threads, execute, metrics_out, trace_out);
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
     return 1;

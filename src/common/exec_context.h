@@ -1,0 +1,47 @@
+// ExecContext — the one execution-environment carrier threaded through
+// the search, advisor, executor, and parser entry points.
+//
+// It replaces the ad-hoc per-struct members that accreted across PRs 1-2
+// (a `ResourceGovernor*` on DesignProblem/TunerOptions/PlannerOptions, a
+// duplicated `num_threads` on every options struct) with one value-type
+// bundle of everything "how to run" — as opposed to the options structs,
+// which stay "what to compute". Every pointer is optional:
+//
+//   governor   null = unlimited (parser recursion still has its floor)
+//   faults     null = the process-global FaultInjector
+//   metrics    null = nothing recorded
+//   trace      null = nothing traced
+//
+// Migration map (DESIGN.md §9): the legacy fields still work — entry
+// points resolve `exec.governor ? exec.governor : legacy_governor`, and
+// `exec.num_threads > 0` overrides the options-struct thread count.
+
+#ifndef XMLSHRED_COMMON_EXEC_CONTEXT_H_
+#define XMLSHRED_COMMON_EXEC_CONTEXT_H_
+
+#include <cstdint>
+
+namespace xmlshred {
+
+class ResourceGovernor;
+class FaultInjector;
+class MetricsRegistry;
+class TraceSink;
+
+struct ExecContext {
+  ResourceGovernor* governor = nullptr;
+  FaultInjector* faults = nullptr;
+  MetricsRegistry* metrics = nullptr;
+  TraceSink* trace = nullptr;
+  // Workers for parallel candidate costing: <= 0 defers to the options
+  // struct (whose own <= 0 means one per hardware thread); 1 is the exact
+  // legacy serial path.
+  int num_threads = 0;
+  // Seed for any randomized tie-breaking an algorithm may adopt; 0 keeps
+  // the deterministic default behaviour.
+  uint64_t rng_seed = 0;
+};
+
+}  // namespace xmlshred
+
+#endif  // XMLSHRED_COMMON_EXEC_CONTEXT_H_

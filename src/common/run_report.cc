@@ -1,0 +1,102 @@
+#include "common/run_report.h"
+
+#include "common/strings.h"
+
+namespace xmlshred {
+
+namespace {
+
+int64_t CounterOr0(const MetricsSnapshot& snapshot, const char* name) {
+  auto it = snapshot.counters.find(name);
+  return it == snapshot.counters.end() ? 0 : it->second;
+}
+
+double GaugeOr0(const MetricsSnapshot& snapshot, const char* name) {
+  auto it = snapshot.gauges.find(name);
+  return it == snapshot.gauges.end() ? 0 : it->second;
+}
+
+}  // namespace
+
+RunReport RunReportFromMetrics(const MetricsSnapshot& snapshot,
+                               const std::string& algorithm) {
+  RunReport report;
+  RunReport::SearchSection& s = report.search;
+  s.algorithm = algorithm;
+  s.rounds = static_cast<int>(CounterOr0(snapshot, kMetricSearchRounds));
+  s.transformations_searched =
+      static_cast<int>(CounterOr0(snapshot, kMetricSearchTransformations));
+  s.tuner_calls = static_cast<int>(CounterOr0(snapshot, kMetricSearchTunerCalls));
+  s.optimizer_calls =
+      static_cast<int>(CounterOr0(snapshot, kMetricSearchOptimizerCalls));
+  s.queries_derived =
+      static_cast<int>(CounterOr0(snapshot, kMetricSearchQueriesDerived));
+  s.candidates_selected =
+      static_cast<int>(CounterOr0(snapshot, kMetricSearchCandidatesSelected));
+  s.candidates_after_merging = static_cast<int>(
+      CounterOr0(snapshot, kMetricSearchCandidatesAfterMerging));
+  s.candidates_skipped =
+      static_cast<int>(CounterOr0(snapshot, kMetricSearchCandidatesSkipped));
+  s.derivation_cache_hits =
+      CounterOr0(snapshot, kMetricSearchDerivationCacheHits);
+  s.work_spent = GaugeOr0(snapshot, kMetricSearchWorkSpent);
+  s.elapsed_seconds = GaugeOr0(snapshot, kMetricSearchElapsedSeconds);
+  s.truncated = CounterOr0(snapshot, kMetricSearchTruncatedRuns) > 0;
+
+  RunReport::AdvisorSection& a = report.advisor;
+  a.tune_calls = static_cast<int>(CounterOr0(snapshot, kMetricAdvisorTuneCalls));
+  a.optimizer_calls =
+      static_cast<int>(CounterOr0(snapshot, kMetricAdvisorOptimizerCalls));
+  a.whatif_rollbacks =
+      static_cast<int>(CounterOr0(snapshot, kMetricSearchWhatifRollbacks));
+  a.candidates_skipped = static_cast<int>(
+      CounterOr0(snapshot, kMetricSearchAdvisorCandidatesSkipped));
+  a.truncated = CounterOr0(snapshot, kMetricAdvisorTruncatedRuns) > 0;
+
+  RunReport::CostCacheSection& c = report.cost_cache;
+  c.hits = CounterOr0(snapshot, kMetricCostCacheHits);
+  c.misses = CounterOr0(snapshot, kMetricCostCacheMisses);
+  c.entries = CounterOr0(snapshot, kMetricCostCacheEntries);
+  return report;
+}
+
+std::string RunReport::ToJson() const {
+  std::string out = "{\n  \"schema_version\": 1,\n  \"search\": {\n";
+  out += StrFormat("    \"algorithm\": \"%s\",\n", search.algorithm.c_str());
+  out += StrFormat("    \"rounds\": %d,\n", search.rounds);
+  out += StrFormat("    \"transformations_searched\": %d,\n",
+                   search.transformations_searched);
+  out += StrFormat("    \"tuner_calls\": %d,\n", search.tuner_calls);
+  out += StrFormat("    \"optimizer_calls\": %d,\n", search.optimizer_calls);
+  out += StrFormat("    \"queries_derived\": %d,\n", search.queries_derived);
+  out += StrFormat("    \"candidates_selected\": %d,\n",
+                   search.candidates_selected);
+  out += StrFormat("    \"candidates_after_merging\": %d,\n",
+                   search.candidates_after_merging);
+  out += StrFormat("    \"candidates_skipped\": %d,\n",
+                   search.candidates_skipped);
+  out += StrFormat("    \"derivation_cache_hits\": %lld,\n",
+                   static_cast<long long>(search.derivation_cache_hits));
+  out += StrFormat("    \"work_spent\": %.17g,\n", search.work_spent);
+  out += StrFormat("    \"elapsed_seconds\": %.17g,\n", search.elapsed_seconds);
+  out += StrFormat("    \"truncated\": %s\n",
+                   search.truncated ? "true" : "false");
+  out += "  },\n  \"advisor\": {\n";
+  out += StrFormat("    \"tune_calls\": %d,\n", advisor.tune_calls);
+  out += StrFormat("    \"optimizer_calls\": %d,\n", advisor.optimizer_calls);
+  out += StrFormat("    \"whatif_rollbacks\": %d,\n", advisor.whatif_rollbacks);
+  out += StrFormat("    \"candidates_skipped\": %d,\n",
+                   advisor.candidates_skipped);
+  out += StrFormat("    \"truncated\": %s\n",
+                   advisor.truncated ? "true" : "false");
+  out += "  },\n  \"cost_cache\": {\n";
+  out += StrFormat("    \"hits\": %lld,\n", static_cast<long long>(cost_cache.hits));
+  out += StrFormat("    \"misses\": %lld,\n",
+                   static_cast<long long>(cost_cache.misses));
+  out += StrFormat("    \"entries\": %lld\n",
+                   static_cast<long long>(cost_cache.entries));
+  out += "  }\n}\n";
+  return out;
+}
+
+}  // namespace xmlshred

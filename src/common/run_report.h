@@ -1,0 +1,76 @@
+// RunReport — the one machine-readable summary of a pipeline run.
+//
+// PRs 1-2 left three disjoint telemetry surfaces: SearchTelemetry on
+// SearchResult, the anytime/rollback counters on TunerResult, and
+// CostDerivationCache's hit/miss stats. RunReport merges them into one
+// sectioned struct returned by every search algorithm
+// (SearchResult::report) and by the advisor (TunerResult::ToReport()),
+// populated from the per-run metrics registry rather than hand-maintained
+// counters (see RunReportFromMetrics).
+//
+// Determinism: every integer field is bit-identical at any thread count
+// for non-truncated runs; `elapsed_seconds`, `work_spent` (FP sums) and
+// the cost-cache hit/miss split are timing-dependent (DESIGN.md §9).
+
+#ifndef XMLSHRED_COMMON_RUN_REPORT_H_
+#define XMLSHRED_COMMON_RUN_REPORT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/metrics.h"
+
+namespace xmlshred {
+
+struct RunReport {
+  struct SearchSection {
+    std::string algorithm;
+    int rounds = 0;
+    int transformations_searched = 0;
+    int tuner_calls = 0;
+    int optimizer_calls = 0;
+    int queries_derived = 0;
+    int candidates_selected = 0;
+    int candidates_after_merging = 0;
+    int candidates_skipped = 0;
+    int64_t derivation_cache_hits = 0;  // timing-dependent
+    double work_spent = 0;
+    double elapsed_seconds = 0;  // timing-dependent
+    bool truncated = false;
+  };
+  struct AdvisorSection {
+    int tune_calls = 0;
+    int optimizer_calls = 0;
+    // Aggregated across every tuner call of the run — including the
+    // parallel costing workers' calls, reduced in enumeration order (the
+    // PR-3 fix; previously only the final configuration's counts
+    // survived).
+    int whatif_rollbacks = 0;
+    int candidates_skipped = 0;
+    bool truncated = false;
+  };
+  struct CostCacheSection {
+    int64_t hits = 0;    // timing-dependent under parallel costing
+    int64_t misses = 0;  // timing-dependent under parallel costing
+    int64_t entries = 0;
+  };
+
+  SearchSection search;
+  AdvisorSection advisor;
+  CostCacheSection cost_cache;
+
+  // Deterministic JSON export (schema_version 1), sections in declaration
+  // order, keys fixed.
+  std::string ToJson() const;
+};
+
+// Builds a report from a per-run registry snapshot: the search section
+// from the "search.*" counters, the advisor section from the
+// search-aggregated advisor counters, the cache section from
+// "cost_cache.*".
+RunReport RunReportFromMetrics(const MetricsSnapshot& snapshot,
+                               const std::string& algorithm);
+
+}  // namespace xmlshred
+
+#endif  // XMLSHRED_COMMON_RUN_REPORT_H_

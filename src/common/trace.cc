@@ -1,0 +1,109 @@
+#include "common/trace.h"
+
+#include "common/strings.h"
+
+namespace xmlshred {
+
+TraceSpan* TraceSink::Open(std::string_view name) {
+  auto span = std::make_unique<TraceSpan>();
+  span->name = std::string(name);
+  TraceSpan* raw = span.get();
+  if (open_.empty()) {
+    roots_.push_back(std::move(span));
+  } else {
+    open_.back()->children.push_back(std::move(span));
+  }
+  open_.push_back(raw);
+  return raw;
+}
+
+void TraceSink::Close(TraceSpan* span) {
+  // Scopes are stack-disciplined, so the closing span is the innermost.
+  if (!open_.empty() && open_.back() == span) open_.pop_back();
+}
+
+void TraceSink::Adopt(TraceSink* detached) {
+  if (detached == nullptr || detached->roots_.empty()) return;
+  std::vector<std::unique_ptr<TraceSpan>>& target =
+      open_.empty() ? roots_ : open_.back()->children;
+  for (auto& span : detached->roots_) target.push_back(std::move(span));
+  detached->roots_.clear();
+  detached->open_.clear();
+}
+
+namespace {
+
+void AppendJsonEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += StrFormat("\\u%04x", c);
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void AppendSpanJson(std::string* out, const TraceSpan& span, int indent,
+                    bool include_timing) {
+  std::string pad(static_cast<size_t>(indent), ' ');
+  *out += pad + "{\"name\": \"";
+  AppendJsonEscaped(out, span.name);
+  *out += "\", \"attrs\": {";
+  for (size_t i = 0; i < span.attrs.size(); ++i) {
+    if (i > 0) *out += ", ";
+    *out += "\"";
+    AppendJsonEscaped(out, span.attrs[i].first);
+    *out += "\": \"";
+    AppendJsonEscaped(out, span.attrs[i].second);
+    *out += "\"";
+  }
+  *out += StrFormat("}, \"duration_ns\": %.17g, \"children\": [",
+                    include_timing ? span.duration_ns : 0.0);
+  if (!span.children.empty()) {
+    *out += "\n";
+    for (size_t i = 0; i < span.children.size(); ++i) {
+      AppendSpanJson(out, *span.children[i], indent + 2, include_timing);
+      *out += i + 1 < span.children.size() ? ",\n" : "\n";
+    }
+    *out += pad;
+  }
+  *out += "]}";
+}
+
+}  // namespace
+
+std::string TraceSink::ToJson(bool include_timing) const {
+  std::string out = "{\n  \"schema_version\": 1,\n  \"spans\": [\n";
+  for (size_t i = 0; i < roots_.size(); ++i) {
+    AppendSpanJson(&out, *roots_[i], 4, include_timing);
+    out += i + 1 < roots_.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+void SpanScope::Attr(std::string_view key, std::string value) {
+  if (span_ == nullptr) return;
+  span_->attrs.emplace_back(std::string(key), std::move(value));
+}
+
+void SpanScope::Attr(std::string_view key, int64_t value) {
+  if (span_ == nullptr) return;
+  span_->attrs.emplace_back(std::string(key),
+                            std::to_string(value));
+}
+
+void SpanScope::Attr(std::string_view key, double value) {
+  if (span_ == nullptr) return;
+  span_->attrs.emplace_back(std::string(key), StrFormat("%.17g", value));
+}
+
+}  // namespace xmlshred

@@ -1,0 +1,129 @@
+// Hierarchical span tracer with deterministic structure.
+//
+// A TraceSink owns one tree of spans. SpanScope is the RAII entry point:
+// it opens a span as a child of the innermost open span (or as a root),
+// records attributes, and closes the span when the scope ends. A null
+// sink makes every operation a no-op, so instrumented code needs no
+// branches of its own.
+//
+// Determinism contract (DESIGN.md §9): one sink is single-threaded by
+// design. Parallel sections give each task its own detached TraceSink
+// (its per-thread buffer) and the owner splices the task sinks back with
+// Adopt() in enumeration order during the ordered reduction — so the
+// exported span *structure and attributes* are bit-identical at any
+// thread count. Wall-clock durations are recorded only when the sink was
+// constructed with `capture_timing` (the serial determinism path reads no
+// clocks), and ToJson(/*include_timing=*/false) zeroes them for
+// structural comparison.
+
+#ifndef XMLSHRED_COMMON_TRACE_H_
+#define XMLSHRED_COMMON_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace xmlshred {
+
+struct TraceSpan {
+  std::string name;
+  // Insertion-ordered key/value pairs; values pre-rendered to strings.
+  std::vector<std::pair<std::string, std::string>> attrs;
+  double duration_ns = 0;  // 0 unless the sink captures timing
+  std::vector<std::unique_ptr<TraceSpan>> children;
+};
+
+class TraceSink {
+ public:
+  explicit TraceSink(bool capture_timing = false)
+      : capture_timing_(capture_timing) {}
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  bool capture_timing() const { return capture_timing_; }
+
+  // Moves every root span of `detached` under this sink's innermost open
+  // span (or to the roots when none is open). Call in enumeration order
+  // to merge parallel workers' buffers deterministically. `detached` is
+  // left empty; a null pointer is a no-op.
+  void Adopt(TraceSink* detached);
+
+  const std::vector<std::unique_ptr<TraceSpan>>& roots() const {
+    return roots_;
+  }
+  bool empty() const { return roots_.empty(); }
+
+  // Deterministic JSON export (schema_version 1). With
+  // `include_timing` = false every duration_ns is emitted as 0, giving a
+  // structure-only document for differential comparison.
+  std::string ToJson(bool include_timing = true) const;
+
+ private:
+  friend class SpanScope;
+
+  TraceSpan* Open(std::string_view name);
+  void Close(TraceSpan* span);
+
+  bool capture_timing_;
+  std::vector<std::unique_ptr<TraceSpan>> roots_;
+  std::vector<TraceSpan*> open_;  // innermost last
+};
+
+// RAII span. Scopes must nest (stack discipline), which the C++ scoping
+// rules give for free.
+class SpanScope {
+ public:
+  SpanScope(TraceSink* sink, std::string_view name) {
+    if (sink == nullptr) return;
+    sink_ = sink;
+    span_ = sink->Open(name);
+    if (sink->capture_timing()) {
+      timed_ = true;
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~SpanScope() {
+    if (sink_ == nullptr) return;
+    if (timed_) {
+      span_->duration_ns = std::chrono::duration<double, std::nano>(
+                               std::chrono::steady_clock::now() - start_)
+                               .count();
+    }
+    sink_->Close(span_);
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  bool active() const { return sink_ != nullptr; }
+
+  void Attr(std::string_view key, std::string value);
+  void Attr(std::string_view key, std::string_view value) {
+    Attr(key, std::string(value));
+  }
+  void Attr(std::string_view key, const char* value) {
+    Attr(key, std::string(value));
+  }
+  void Attr(std::string_view key, int64_t value);
+  void Attr(std::string_view key, int value) {
+    Attr(key, static_cast<int64_t>(value));
+  }
+  void Attr(std::string_view key, double value);
+  void Attr(std::string_view key, bool value) {
+    Attr(key, std::string(value ? "true" : "false"));
+  }
+
+ private:
+  TraceSink* sink_ = nullptr;
+  TraceSpan* span_ = nullptr;
+  bool timed_ = false;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace xmlshred
+
+#endif  // XMLSHRED_COMMON_TRACE_H_

@@ -557,6 +557,11 @@ Result<PlannedQuery> PlanQuery(const BoundQuery& query,
   planned.est_cost = root->est_cost;
   planned.root = std::move(root);
   CollectPlanObjects(*planned.root, &planned.objects_used);
+  if (options.metrics != nullptr) {
+    options.metrics->counter(kMetricPlannerQueriesPlanned)->Increment();
+    options.metrics->histogram(kMetricPlannerEstCost)
+        ->Observe(planned.est_cost);
+  }
   return planned;
 }
 

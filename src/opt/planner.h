@@ -14,6 +14,7 @@
 #define XMLSHRED_OPT_PLANNER_H_
 
 #include "common/limits.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "opt/plan.h"
 #include "rel/catalog.h"
@@ -28,6 +29,11 @@ struct PlannerOptions {
   // block and honours the wall-clock deadline, so a tuner driving many
   // what-if optimizer calls stops promptly when its budget runs out.
   ResourceGovernor* governor = nullptr;
+  // Optional metrics: each successful PlanQuery bumps
+  // "planner.queries_planned" and observes the estimated cost into the
+  // "planner.est_cost" histogram (relaxed atomics — safe from concurrent
+  // costing workers).
+  MetricsRegistry* metrics = nullptr;
 };
 
 // Fraction of `stats`'s rows satisfying `op literal` (op in

@@ -62,6 +62,15 @@ class CostDerivationCache {
   int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
   int64_t size() const;
 
+  // The three telemetry numbers as one value, for RunReport / metrics
+  // publication at end of search.
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t entries = 0;
+  };
+  Stats stats() const { return {hits(), misses(), size()}; }
+
  private:
   static constexpr int kShards = 16;
   struct Shard {

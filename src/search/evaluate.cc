@@ -11,9 +11,23 @@ namespace xmlshred {
 Result<WorkloadEvaluation> EvaluateOnData(const SearchResult& result,
                                           const XmlDocument& doc,
                                           const XPathWorkload& workload) {
+  return EvaluateOnData(result, doc, workload, ExecContext{});
+}
+
+Result<WorkloadEvaluation> EvaluateOnData(const SearchResult& result,
+                                          const XmlDocument& doc,
+                                          const XPathWorkload& workload,
+                                          const ExecContext& exec) {
+  SpanScope span(exec.trace, "evaluate");
   Database db;
-  XS_RETURN_IF_ERROR(
-      ShredDocument(doc, *result.tree, result.mapping, &db).status());
+  XS_ASSIGN_OR_RETURN(
+      ShredStats shredded,
+      ShredDocument(doc, *result.tree, result.mapping, &db));
+  if (exec.metrics != nullptr) {
+    exec.metrics->counter(kMetricShredDocuments)->Increment();
+    exec.metrics->counter(kMetricShredRows)->Add(shredded.rows);
+    exec.metrics->counter(kMetricShredElements)->Add(shredded.elements);
+  }
   WorkloadEvaluation evaluation;
   evaluation.data_pages = db.DataPages();
   XS_RETURN_IF_ERROR(ApplyConfiguration(result.configuration, &db));
@@ -26,17 +40,48 @@ Result<WorkloadEvaluation> EvaluateOnData(const SearchResult& result,
     evaluation.structure_pages += view.NumPages();
   }
 
+  PlannerOptions planner_options;
+  planner_options.metrics = exec.metrics;
+  Counter* exec_queries = nullptr;
+  Counter* exec_rows_out = nullptr;
+  Gauge* exec_work = nullptr;
+  Gauge* exec_pages_seq = nullptr;
+  Gauge* exec_pages_rand = nullptr;
+  Histogram* exec_rows_hist = nullptr;
+  if (exec.metrics != nullptr) {
+    exec_queries = exec.metrics->counter(kMetricExecQueries);
+    exec_rows_out = exec.metrics->counter(kMetricExecRowsOut);
+    exec_work = exec.metrics->gauge(kMetricExecWork);
+    exec_pages_seq = exec.metrics->gauge(kMetricExecPagesSequential);
+    exec_pages_rand = exec.metrics->gauge(kMetricExecPagesRandom);
+    exec_rows_hist = exec.metrics->histogram(kMetricExecRowsPerQuery);
+  }
+
   Executor executor(db);
   for (const XPathQuery& query : workload) {
+    SpanScope query_span(exec.trace, "exec.query");
+    query_span.Attr("xpath", query.ToString());
     XS_ASSIGN_OR_RETURN(TranslatedQuery translated,
                         TranslateXPath(query, *result.tree, result.mapping));
     XS_ASSIGN_OR_RETURN(BoundQuery bound,
                         BindQuery(translated.sql, catalog));
-    XS_ASSIGN_OR_RETURN(PlannedQuery planned, PlanQuery(bound, catalog));
+    XS_ASSIGN_OR_RETURN(PlannedQuery planned,
+                        PlanQuery(bound, catalog, planner_options));
     ExecMetrics metrics;
-    XS_RETURN_IF_ERROR(executor.Run(*planned.root, &metrics).status());
+    XS_RETURN_IF_ERROR(
+        executor.Run(*planned.root, &metrics, exec.governor).status());
     evaluation.per_query_work.push_back(metrics.work);
     evaluation.total_work += query.weight * metrics.work;
+    if (exec.metrics != nullptr) {
+      exec_queries->Increment();
+      exec_rows_out->Add(metrics.rows_out);
+      exec_work->Add(metrics.work);
+      exec_pages_seq->Add(metrics.pages_sequential);
+      exec_pages_rand->Add(metrics.pages_random);
+      exec_rows_hist->Observe(static_cast<double>(metrics.rows_out));
+    }
+    query_span.Attr("rows_out", metrics.rows_out);
+    query_span.Attr("work", metrics.work);
   }
   return evaluation;
 }

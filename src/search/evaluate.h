@@ -26,6 +26,15 @@ Result<WorkloadEvaluation> EvaluateOnData(const SearchResult& result,
                                           const XmlDocument& doc,
                                           const XPathWorkload& workload);
 
+// ExecContext overload: additionally publishes the "shred.*" counters
+// (rows/elements loaded), the "exec.*" metrics (queries run, rows out,
+// metered work and page reads), and "planner.*" for each executed query
+// to exec.metrics, under "evaluate"/"exec.query" spans on exec.trace.
+Result<WorkloadEvaluation> EvaluateOnData(const SearchResult& result,
+                                          const XmlDocument& doc,
+                                          const XPathWorkload& workload,
+                                          const ExecContext& exec);
+
 }  // namespace xmlshred
 
 #endif  // XMLSHRED_SEARCH_EVALUATE_H_

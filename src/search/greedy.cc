@@ -8,7 +8,9 @@
 #include <set>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "mapping/transforms.h"
 #include "opt/planner.h"
 #include "search/candidates.h"
@@ -31,8 +33,8 @@ Result<std::vector<double>> BaseQueryCosts(const DesignProblem& problem,
   for (const WeightedQuery& wq : workload) {
     // Mandatory costing: the merge heuristic needs every base cost, so the
     // charge is recorded but exhaustion does not abort it.
-    if (problem.governor != nullptr) {
-      (void)problem.governor->ChargeWork(1.0);
+    if (EffectiveGovernor(problem) != nullptr) {
+      (void)EffectiveGovernor(problem)->ChargeWork(1.0);
     }
     XS_ASSIGN_OR_RETURN(BoundQuery bound, BindQuery(wq.query, catalog));
     XS_ASSIGN_OR_RETURN(PlannedQuery planned, PlanQuery(bound, catalog));
@@ -104,6 +106,8 @@ Result<CurrentState> FullCost(const DesignProblem& problem,
   if (telemetry != nullptr) {
     ++telemetry->tuner_calls;
     telemetry->optimizer_calls += state.config.optimizer_calls;
+    telemetry->whatif_rollbacks += state.config.whatif_rollbacks;
+    telemetry->advisor_candidates_skipped += state.config.candidates_skipped;
   }
   return state;
 }
@@ -111,18 +115,27 @@ Result<CurrentState> FullCost(const DesignProblem& problem,
 // Whether the problem's budget or deadline has run out — the signal for
 // every search loop to stop and return its best-so-far state.
 bool OutOfBudget(const DesignProblem& problem) {
-  return problem.governor != nullptr &&
-         (problem.governor->exhausted() ||
-          !problem.governor->CheckDeadline().ok());
+  ResourceGovernor* governor = EffectiveGovernor(problem);
+  return governor != nullptr &&
+         (governor->exhausted() || !governor->CheckDeadline().ok());
 }
 
 // Records end-of-search budget telemetry on `result`.
 void FinishBudgetTelemetry(const DesignProblem& problem,
                            SearchResult* result) {
-  if (problem.governor != nullptr) {
-    result->telemetry.work_spent = problem.governor->work_spent();
+  if (EffectiveGovernor(problem) != nullptr) {
+    result->telemetry.work_spent = EffectiveGovernor(problem)->work_spent();
   }
   if (result->configuration.truncated) result->truncated = true;
+}
+
+// The worker count actually used: exec.num_threads when positive, else
+// the options-struct value, resolved against the hardware.
+int EffectiveNumThreads(const DesignProblem& problem,
+                        const SearchOptions& options) {
+  return ResolveNumThreads(problem.exec.num_threads > 0
+                               ? problem.exec.num_threads
+                               : options.num_threads);
 }
 
 // The element name a repetition split/merge candidate concerns, resolved
@@ -167,6 +180,8 @@ Result<double> CostCandidate(const DesignProblem& problem,
                         advisor.Tune(translations, catalog, 0, rates));
     ++telemetry->tuner_calls;
     telemetry->optimizer_calls += config.optimizer_calls;
+    telemetry->whatif_rollbacks += config.whatif_rollbacks;
+    telemetry->advisor_candidates_skipped += config.candidates_skipped;
     return config.total_cost;
   }
 
@@ -271,6 +286,8 @@ Result<double> CostCandidate(const DesignProblem& problem,
                       advisor.Tune(remaining, catalog, reserved, rates));
   ++telemetry->tuner_calls;
   telemetry->optimizer_calls += config.optimizer_calls;
+  telemetry->whatif_rollbacks += config.whatif_rollbacks;
+  telemetry->advisor_candidates_skipped += config.candidates_skipped;
   return derived_cost + config.total_cost;
 }
 
@@ -398,6 +415,13 @@ Result<SearchResult> GreedySearch(const DesignProblem& problem,
   SearchResult result;
   result.algorithm = "greedy";
   SearchTelemetry& telemetry = result.telemetry;
+  TraceSink* trace = problem.exec.trace;
+  SpanScope search_span(trace, "search.greedy");
+  // Handle resolved once; the per-round Observe is a relaxed atomic add.
+  Histogram* round_candidates_hist =
+      problem.exec.metrics != nullptr
+          ? problem.exec.metrics->histogram(kMetricSearchRoundCandidates)
+          : nullptr;
 
   // Working tree (original node ids preserved through clones).
   std::unique_ptr<SchemaTree> work_tree = problem.tree->Clone();
@@ -464,7 +488,7 @@ Result<SearchResult> GreedySearch(const DesignProblem& problem,
   // is bit-identical to the serial run (DESIGN.md §8). ---
   std::vector<bool> consumed(loop_candidates.size(), false);
   bool out_of_budget = false;
-  const int num_threads = ResolveNumThreads(options.num_threads);
+  const int num_threads = EffectiveNumThreads(problem, options);
   CostDerivationCache derivation_cache;
   uint64_t current_fp = MappingFingerprint(current.mapping);
   for (int round = 0; round < options.max_rounds; ++round) {
@@ -515,12 +539,34 @@ Result<SearchResult> GreedySearch(const DesignProblem& problem,
       SearchTelemetry delta;  // this candidate's telemetry contribution
     };
     std::vector<Slot> slots(round_set.size());
+    // One detached sink per candidate (also on the serial path, so the
+    // exported structure is identical at any thread count); adopted below
+    // in enumeration order under the round span (DESIGN.md §9).
+    SpanScope round_span(trace, "search.round");
+    round_span.Attr("round", round);
+    round_span.Attr("candidates", static_cast<int64_t>(round_set.size()));
+    if (round_candidates_hist != nullptr) {
+      round_candidates_hist->Observe(static_cast<double>(round_set.size()));
+    }
+    std::vector<std::unique_ptr<TraceSink>> task_sinks;
+    if (trace != nullptr) {
+      task_sinks.resize(round_set.size());
+      for (auto& sink : task_sinks) {
+        sink = std::make_unique<TraceSink>(trace->capture_timing());
+      }
+    }
     std::atomic<bool> budget_tripped{false};
     auto cost_one = [&](int i) {
       Slot& slot = slots[static_cast<size_t>(i)];
+      SpanScope span(trace != nullptr
+                         ? task_sinks[static_cast<size_t>(i)].get()
+                         : nullptr,
+                     "search.cost_candidate");
+      span.Attr("index", i);
       std::unique_ptr<SchemaTree> cand_tree = current.tree->Clone();
       const Transform& candidate = *round_set[static_cast<size_t>(i)].transform;
       if (!ApplyTransform(cand_tree.get(), candidate).ok()) {
+        span.Attr("applied", false);
         return;  // no longer applicable
       }
       slot.applied = true;
@@ -532,8 +578,11 @@ Result<SearchResult> GreedySearch(const DesignProblem& problem,
       if (cost.ok()) {
         slot.cost = *cost;
         slot.tree = std::move(cand_tree);
+        span.Attr("cost", slot.cost);
+        span.Attr("queries_derived", slot.delta.queries_derived);
       } else {
         slot.error = cost.status();
+        span.Attr("error", slot.error.message());
         if (slot.error.code() == StatusCode::kResourceExhausted) {
           budget_tripped.store(true, std::memory_order_release);
         }
@@ -552,12 +601,16 @@ Result<SearchResult> GreedySearch(const DesignProblem& problem,
     std::unique_ptr<SchemaTree> best_tree;
     for (size_t i = 0; i < slots.size(); ++i) {
       Slot& slot = slots[i];
+      if (trace != nullptr) trace->Adopt(task_sinks[i].get());
       if (!slot.applied || !slot.costed) continue;
       ++telemetry.transformations_searched;
       telemetry.tuner_calls += slot.delta.tuner_calls;
       telemetry.optimizer_calls += slot.delta.optimizer_calls;
       telemetry.queries_derived += slot.delta.queries_derived;
       telemetry.derivation_cache_hits += slot.delta.derivation_cache_hits;
+      telemetry.whatif_rollbacks += slot.delta.whatif_rollbacks;
+      telemetry.advisor_candidates_skipped +=
+          slot.delta.advisor_candidates_skipped;
       if (!slot.error.ok()) {
         if (slot.error.code() == StatusCode::kResourceExhausted) {
           out_of_budget = true;  // stop exploring, keep best-so-far
@@ -606,6 +659,16 @@ Result<SearchResult> GreedySearch(const DesignProblem& problem,
   telemetry.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  search_span.Attr("rounds", telemetry.rounds);
+  search_span.Attr("transformations_searched",
+                   telemetry.transformations_searched);
+  search_span.Attr("truncated", result.truncated);
+  CostDerivationCache::Stats cache = derivation_cache.stats();
+  CostCacheTotals cache_totals;
+  cache_totals.hits = cache.hits;
+  cache_totals.misses = cache.misses;
+  cache_totals.entries = cache.entries;
+  FinalizeSearchResult(problem, cache_totals, &result);
   return result;
 }
 
@@ -615,13 +678,19 @@ Result<SearchResult> NaiveGreedySearch(const DesignProblem& problem,
   SearchResult result;
   result.algorithm = "naive-greedy";
   SearchTelemetry& telemetry = result.telemetry;
+  TraceSink* trace = problem.exec.trace;
+  SpanScope search_span(trace, "search.naive-greedy");
+  Histogram* round_candidates_hist =
+      problem.exec.metrics != nullptr
+          ? problem.exec.metrics->histogram(kMetricSearchRoundCandidates)
+          : nullptr;
 
   XS_ASSIGN_OR_RETURN(
       CurrentState current,
       FullCost(problem, problem.tree->Clone(), &telemetry));
 
   bool out_of_budget = false;
-  const int num_threads = ResolveNumThreads(options.num_threads);
+  const int num_threads = EffectiveNumThreads(problem, options);
   for (int round = 0; round < options.max_rounds; ++round) {
     if (OutOfBudget(problem)) {
       result.truncated = true;
@@ -642,12 +711,31 @@ Result<SearchResult> NaiveGreedySearch(const DesignProblem& problem,
       SearchTelemetry delta;
     };
     std::vector<Slot> slots(transforms.size());
+    SpanScope round_span(trace, "search.round");
+    round_span.Attr("round", round);
+    round_span.Attr("candidates", static_cast<int64_t>(transforms.size()));
+    if (round_candidates_hist != nullptr) {
+      round_candidates_hist->Observe(static_cast<double>(transforms.size()));
+    }
+    std::vector<std::unique_ptr<TraceSink>> task_sinks;
+    if (trace != nullptr) {
+      task_sinks.resize(transforms.size());
+      for (auto& sink : task_sinks) {
+        sink = std::make_unique<TraceSink>(trace->capture_timing());
+      }
+    }
     std::atomic<bool> budget_tripped{false};
     auto cost_one = [&](int i) {
       Slot& slot = slots[static_cast<size_t>(i)];
+      SpanScope span(trace != nullptr
+                         ? task_sinks[static_cast<size_t>(i)].get()
+                         : nullptr,
+                     "search.cost_candidate");
+      span.Attr("index", i);
       std::unique_ptr<SchemaTree> cand_tree = current.tree->Clone();
       if (!ApplyTransform(cand_tree.get(), transforms[static_cast<size_t>(i)])
                .ok()) {
+        span.Attr("applied", false);
         return;
       }
       slot.applied = true;
@@ -656,8 +744,10 @@ Result<SearchResult> NaiveGreedySearch(const DesignProblem& problem,
       if (costed.ok()) {
         slot.cost = costed->cost;
         slot.tree = std::move(cand_tree);
+        span.Attr("cost", slot.cost);
       } else {
         slot.error = costed.status();
+        span.Attr("error", slot.error.message());
         if (slot.error.code() == StatusCode::kResourceExhausted) {
           budget_tripped.store(true, std::memory_order_release);
         }
@@ -671,11 +761,16 @@ Result<SearchResult> NaiveGreedySearch(const DesignProblem& problem,
 
     double best_cost = current.cost;
     std::unique_ptr<SchemaTree> best_tree;
-    for (Slot& slot : slots) {
+    for (size_t i = 0; i < slots.size(); ++i) {
+      Slot& slot = slots[i];
+      if (trace != nullptr) trace->Adopt(task_sinks[i].get());
       if (!slot.applied || !slot.costed) continue;
       ++telemetry.transformations_searched;
       telemetry.tuner_calls += slot.delta.tuner_calls;
       telemetry.optimizer_calls += slot.delta.optimizer_calls;
+      telemetry.whatif_rollbacks += slot.delta.whatif_rollbacks;
+      telemetry.advisor_candidates_skipped +=
+          slot.delta.advisor_candidates_skipped;
       if (!slot.error.ok()) {
         if (slot.error.code() == StatusCode::kResourceExhausted) {
           out_of_budget = true;
@@ -716,6 +811,9 @@ Result<SearchResult> NaiveGreedySearch(const DesignProblem& problem,
   telemetry.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  search_span.Attr("rounds", telemetry.rounds);
+  search_span.Attr("truncated", result.truncated);
+  FinalizeSearchResult(problem, {}, &result);
   return result;
 }
 
@@ -751,8 +849,8 @@ Result<double> TwoStepLogicalCost(const DesignProblem& problem,
                       TranslateWorkload(problem.workload, tree, mapping));
   double total = 0;
   for (const WeightedQuery& wq : workload) {
-    if (problem.governor != nullptr) {
-      Status charged = problem.governor->ChargeWork(1.0);
+    if (EffectiveGovernor(problem) != nullptr) {
+      Status charged = EffectiveGovernor(problem)->ChargeWork(1.0);
       // The anchor estimate must complete even over budget; candidate
       // estimates stop so the search can return its best-so-far tree.
       if (!charged.ok() && !mandatory) return charged;
@@ -773,6 +871,12 @@ Result<SearchResult> TwoStepSearch(const DesignProblem& problem,
   SearchResult result;
   result.algorithm = "two-step";
   SearchTelemetry& telemetry = result.telemetry;
+  TraceSink* trace = problem.exec.trace;
+  SpanScope search_span(trace, "search.two-step");
+  Histogram* round_candidates_hist =
+      problem.exec.metrics != nullptr
+          ? problem.exec.metrics->histogram(kMetricSearchRoundCandidates)
+          : nullptr;
 
   std::unique_ptr<SchemaTree> current = problem.tree->Clone();
   XS_ASSIGN_OR_RETURN(
@@ -780,7 +884,7 @@ Result<SearchResult> TwoStepSearch(const DesignProblem& problem,
       TwoStepLogicalCost(problem, *current, /*mandatory=*/true, &telemetry));
 
   bool out_of_budget = false;
-  const int num_threads = ResolveNumThreads(options.num_threads);
+  const int num_threads = EffectiveNumThreads(problem, options);
   for (int round = 0; round < options.max_rounds; ++round) {
     if (OutOfBudget(problem)) {
       result.truncated = true;
@@ -801,12 +905,31 @@ Result<SearchResult> TwoStepSearch(const DesignProblem& problem,
       SearchTelemetry delta;
     };
     std::vector<Slot> slots(transforms.size());
+    SpanScope round_span(trace, "search.round");
+    round_span.Attr("round", round);
+    round_span.Attr("candidates", static_cast<int64_t>(transforms.size()));
+    if (round_candidates_hist != nullptr) {
+      round_candidates_hist->Observe(static_cast<double>(transforms.size()));
+    }
+    std::vector<std::unique_ptr<TraceSink>> task_sinks;
+    if (trace != nullptr) {
+      task_sinks.resize(transforms.size());
+      for (auto& sink : task_sinks) {
+        sink = std::make_unique<TraceSink>(trace->capture_timing());
+      }
+    }
     std::atomic<bool> budget_tripped{false};
     auto cost_one = [&](int i) {
       Slot& slot = slots[static_cast<size_t>(i)];
+      SpanScope span(trace != nullptr
+                         ? task_sinks[static_cast<size_t>(i)].get()
+                         : nullptr,
+                     "search.cost_candidate");
+      span.Attr("index", i);
       std::unique_ptr<SchemaTree> cand_tree = current->Clone();
       if (!ApplyTransform(cand_tree.get(), transforms[static_cast<size_t>(i)])
                .ok()) {
+        span.Attr("applied", false);
         return;
       }
       slot.applied = true;
@@ -816,8 +939,10 @@ Result<SearchResult> TwoStepSearch(const DesignProblem& problem,
       if (cost.ok()) {
         slot.cost = *cost;
         slot.tree = std::move(cand_tree);
+        span.Attr("cost", slot.cost);
       } else {
         slot.error = cost.status();
+        span.Attr("error", slot.error.message());
         if (slot.error.code() == StatusCode::kResourceExhausted) {
           budget_tripped.store(true, std::memory_order_release);
         }
@@ -831,7 +956,9 @@ Result<SearchResult> TwoStepSearch(const DesignProblem& problem,
 
     double best_cost = current_cost;
     std::unique_ptr<SchemaTree> best_tree;
-    for (Slot& slot : slots) {
+    for (size_t i = 0; i < slots.size(); ++i) {
+      Slot& slot = slots[i];
+      if (trace != nullptr) trace->Adopt(task_sinks[i].get());
       if (!slot.applied || !slot.costed) continue;
       ++telemetry.transformations_searched;
       telemetry.optimizer_calls += slot.delta.optimizer_calls;
@@ -868,6 +995,9 @@ Result<SearchResult> TwoStepSearch(const DesignProblem& problem,
   telemetry.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  search_span.Attr("rounds", telemetry.rounds);
+  search_span.Attr("truncated", result.truncated);
+  FinalizeSearchResult(problem, {}, &result);
   return result;
 }
 

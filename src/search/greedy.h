@@ -26,14 +26,24 @@ enum class MergeStrategy {
   kExhaustive,  // enumerate every mergeable combination
 };
 
-struct GreedyOptions {
+// Fields shared by every search algorithm's options. The concrete
+// structs inherit from this, so existing code that sets
+// `options.num_threads` / `options.max_rounds` on a GreedyOptions or
+// NaiveOptions compiles unchanged.
+struct SearchOptions {
   // Workers costing the round's candidate set concurrently. <= 0 means
   // one per hardware thread; 1 is the exact legacy serial path (no
   // threads spawned). Any value returns a SearchResult bit-identical to
   // num_threads = 1 — candidates are enumerated serially, costed in
   // isolation, and reduced in enumeration order (DESIGN.md §8) — except
   // that runs truncated by a governor may stop at a different candidate.
+  // DesignProblem::exec.num_threads > 0 overrides this.
   int num_threads = 0;
+  // Safety valve on search rounds (the algorithms converge earlier).
+  int max_rounds = 32;
+};
+
+struct GreedyOptions : SearchOptions {
   // §4.3: skip subsumed transformations, always working on the fully
   // inlined normal form. When false, outline/inline transformations are
   // enumerated and costed like any other candidate.
@@ -48,18 +58,14 @@ struct GreedyOptions {
   // §4.6 parameters for the repetition-split count.
   int cmax = 5;
   double x_fraction = 0.8;
-  // Safety valve on greedy rounds (the algorithm converges earlier).
-  int max_rounds = 32;
 };
 
 Result<SearchResult> GreedySearch(const DesignProblem& problem,
                                   const GreedyOptions& options = {});
 
-struct NaiveOptions {
-  // Same contract as GreedyOptions::num_threads.
-  int num_threads = 0;
+struct NaiveOptions : SearchOptions {
+  NaiveOptions() { max_rounds = 16; }
   int default_split_count = 5;
-  int max_rounds = 16;
 };
 
 Result<SearchResult> NaiveGreedySearch(const DesignProblem& problem,

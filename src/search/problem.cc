@@ -62,7 +62,16 @@ std::vector<UpdateRate> ComputeUpdateRates(const DesignProblem& problem,
 TunerOptions EffectiveTunerOptions(const DesignProblem& problem) {
   TunerOptions options = problem.tuner_options;
   options.storage_bound_pages = problem.storage_bound_pages;
-  if (problem.governor != nullptr) options.governor = problem.governor;
+  options.exec = problem.exec;
+  if (EffectiveGovernor(problem) != nullptr) {
+    options.exec.governor = EffectiveGovernor(problem);
+    options.governor = options.exec.governor;
+  }
+  // A TraceSink is single-threaded; the search calls the advisor from
+  // parallel costing workers, so the advisor never shares the search's
+  // sink (candidate-level spans are recorded by the search itself into
+  // per-worker sinks and adopted in enumeration order).
+  options.exec.trace = nullptr;
   return options;
 }
 
@@ -80,12 +89,66 @@ Result<CostedMapping> CostMapping(const DesignProblem& problem,
   if (telemetry != nullptr) {
     ++telemetry->tuner_calls;
     telemetry->optimizer_calls += config.optimizer_calls;
+    telemetry->whatif_rollbacks += config.whatif_rollbacks;
+    telemetry->advisor_candidates_skipped += config.candidates_skipped;
   }
   CostedMapping out;
   out.mapping = std::move(mapping);
   out.cost = config.total_cost;
   out.configuration = std::move(config);
   return out;
+}
+
+void FinalizeSearchResult(const DesignProblem& problem,
+                          const CostCacheTotals& cache_stats,
+                          SearchResult* result) {
+  const SearchTelemetry& t = result->telemetry;
+  // Publish into a scratch registry first: the report must cover exactly
+  // this run, while problem.exec.metrics may be accumulating across runs.
+  MetricsRegistry scratch;
+  auto publish = [&](MetricsRegistry* registry) {
+    registry->counter(kMetricSearchRuns)->Increment();
+    registry->counter(kMetricSearchRounds)->Add(t.rounds);
+    registry->counter(kMetricSearchTransformations)
+        ->Add(t.transformations_searched);
+    registry->counter(kMetricSearchTunerCalls)->Add(t.tuner_calls);
+    registry->counter(kMetricSearchOptimizerCalls)->Add(t.optimizer_calls);
+    registry->counter(kMetricSearchQueriesDerived)->Add(t.queries_derived);
+    registry->counter(kMetricSearchCandidatesSelected)
+        ->Add(t.candidates_selected);
+    registry->counter(kMetricSearchCandidatesAfterMerging)
+        ->Add(t.candidates_after_merging);
+    registry->counter(kMetricSearchCandidatesSkipped)
+        ->Add(t.candidates_skipped);
+    registry->counter(kMetricSearchDerivationCacheHits)
+        ->Add(t.derivation_cache_hits);
+    registry->counter(kMetricSearchWhatifRollbacks)->Add(t.whatif_rollbacks);
+    registry->counter(kMetricSearchAdvisorCandidatesSkipped)
+        ->Add(t.advisor_candidates_skipped);
+    if (result->truncated) {
+      registry->counter(kMetricSearchTruncatedRuns)->Increment();
+    }
+    registry->counter(kMetricCostCacheHits)->Add(cache_stats.hits);
+    registry->counter(kMetricCostCacheMisses)->Add(cache_stats.misses);
+    registry->counter(kMetricCostCacheEntries)->Add(cache_stats.entries);
+    registry->gauge(kMetricSearchWorkSpent)->Add(t.work_spent);
+    registry->gauge(kMetricSearchElapsedSeconds)->Add(t.elapsed_seconds);
+  };
+  publish(&scratch);
+  // The report's advisor section uses the search-side aggregates (the
+  // bit-identical reduction); the registry's live "advisor.*" counters
+  // were already published by each Tune call, so only the scratch gets
+  // these keys.
+  scratch.counter(kMetricAdvisorTuneCalls)->Add(t.tuner_calls);
+  scratch.counter(kMetricAdvisorOptimizerCalls)->Add(t.optimizer_calls);
+  if (result->configuration.truncated) {
+    scratch.counter(kMetricAdvisorTruncatedRuns)->Increment();
+  }
+  result->report = RunReportFromMetrics(scratch.Snapshot(),
+                                        result->algorithm);
+  result->report.advisor.whatif_rollbacks = t.whatif_rollbacks;
+  result->report.advisor.candidates_skipped = t.advisor_candidates_skipped;
+  if (problem.exec.metrics != nullptr) publish(problem.exec.metrics);
 }
 
 Result<SearchResult> EvaluateHybridInline(const DesignProblem& problem) {
@@ -101,12 +164,13 @@ Result<SearchResult> EvaluateHybridInline(const DesignProblem& problem) {
   result.configuration = std::move(costed.configuration);
   result.estimated_cost = costed.cost;
   result.truncated = result.configuration.truncated;
-  if (problem.governor != nullptr) {
-    result.telemetry.work_spent = problem.governor->work_spent();
+  if (EffectiveGovernor(problem) != nullptr) {
+    result.telemetry.work_spent = EffectiveGovernor(problem)->work_spent();
   }
   result.telemetry.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  FinalizeSearchResult(problem, {}, &result);
   return result;
 }
 

@@ -11,7 +11,10 @@
 #include <string>
 #include <vector>
 
+#include "common/exec_context.h"
+#include "common/run_report.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "mapping/mapping.h"
 #include "mapping/xml_stats.h"
 #include "tune/advisor.h"
@@ -42,8 +45,23 @@ struct DesignProblem {
   // mapping found so far with SearchResult::truncated set. Costing the
   // initial mapping is mandatory, so even a 1-unit budget yields a valid
   // design.
+  //
+  // Deprecated in favour of `exec.governor`; still honored (see
+  // EffectiveGovernor).
   ResourceGovernor* governor = nullptr;
+  // Execution environment: governor, metrics registry, trace sink, thread
+  // count (DESIGN.md §9). Every field optional; `exec.governor` wins over
+  // the legacy field above, and `exec.num_threads > 0` overrides the
+  // options-struct thread count.
+  ExecContext exec;
 };
+
+// The governor actually in effect for `problem`: exec.governor when set,
+// else the legacy DesignProblem::governor.
+inline ResourceGovernor* EffectiveGovernor(const DesignProblem& problem) {
+  return problem.exec.governor != nullptr ? problem.exec.governor
+                                          : problem.governor;
+}
 
 struct SearchTelemetry {
   // Transformations whose resulting mapping was costed (the paper's
@@ -65,6 +83,14 @@ struct SearchTelemetry {
   // Candidates dropped because costing them failed (injected faults,
   // unanswerable mappings) — the search skips them and keeps going.
   int candidates_skipped = 0;
+  // What-if evaluations the advisor rolled back, summed over *every*
+  // tuner call the search made (not just the winning configuration's) —
+  // parallel workers' counts are reduced in enumeration order, so the
+  // total is bit-identical at any thread count.
+  int whatif_rollbacks = 0;
+  // Candidate structures the advisor skipped after failed evaluation,
+  // aggregated the same way.
+  int advisor_candidates_skipped = 0;
   int rounds = 0;
   double elapsed_seconds = 0;
   // Budget telemetry (0 when the problem has no governor): work units
@@ -82,6 +108,9 @@ struct SearchResult {
   // True when the governor's budget/deadline ran out before the search
   // converged: the mapping and configuration are the best found so far.
   bool truncated = false;
+  // Unified run summary (search + advisor + cost-cache sections),
+  // populated from the run's metrics at finish.
+  RunReport report;
 };
 
 // --- shared plumbing used by all search algorithms ---
@@ -107,6 +136,21 @@ struct CostedMapping {
 Result<CostedMapping> CostMapping(const DesignProblem& problem,
                                   const SchemaTree& tree,
                                   SearchTelemetry* telemetry);
+
+// Called by every search algorithm just before returning: publishes the
+// result's telemetry into problem.exec.metrics (the deterministic
+// "search.*" counters plus the cost-cache totals in `cache_stats`) and
+// builds result->report from the published values. With a null metrics
+// registry, the report is still populated (from a scratch registry) so
+// SearchResult::report is always meaningful.
+struct CostCacheTotals {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t entries = 0;
+};
+void FinalizeSearchResult(const DesignProblem& problem,
+                          const CostCacheTotals& cache_stats,
+                          SearchResult* result);
 
 // Converts the problem's XML-level insert loads into per-relation row
 // rates under `mapping`: a new context instance contributes rows to its

@@ -6,7 +6,9 @@
 
 #include "common/fault_injection.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/strings.h"
+#include "common/trace.h"
 #include "opt/cost_model.h"
 #include "sql/binder.h"
 
@@ -276,9 +278,34 @@ constexpr double kViewMaintenanceCost = 3.0 * kRandPageCost * 0.001;
 Result<TunerResult> PhysicalDesignAdvisor::Tune(
     const std::vector<WeightedQuery>& workload, const CatalogDesc& base,
     int64_t reserved_pages, const std::vector<UpdateRate>& update_rates) {
-  XS_RETURN_IF_ERROR(FaultInjector::Global()->Check(kFaultSiteAdvisorTune));
+  FaultInjector* faults = options_.exec.faults != nullptr
+                              ? options_.exec.faults
+                              : FaultInjector::Global();
+  XS_RETURN_IF_ERROR(faults->Check(kFaultSiteAdvisorTune));
+  // "advisor.*" counters are live atomic increments — commutative integer
+  // sums, so the totals match the serial run at any thread count for
+  // non-truncated, fault-free runs (truncation stops workers at a timing-
+  // dependent point; that carve-out is documented in DESIGN.md §9).
+  MetricsRegistry* metrics = options_.exec.metrics;
+  Counter* tune_calls = nullptr;
+  Counter* optimizer_calls_counter = nullptr;
+  Counter* rollbacks_counter = nullptr;
+  Counter* skipped_counter = nullptr;
+  Counter* truncated_counter = nullptr;
+  if (metrics != nullptr) {
+    tune_calls = metrics->counter(kMetricAdvisorTuneCalls);
+    optimizer_calls_counter = metrics->counter(kMetricAdvisorOptimizerCalls);
+    rollbacks_counter = metrics->counter(kMetricAdvisorWhatifRollbacks);
+    skipped_counter = metrics->counter(kMetricAdvisorCandidatesSkipped);
+    truncated_counter = metrics->counter(kMetricAdvisorTruncatedRuns);
+    tune_calls->Increment();
+  }
+  SpanScope span(options_.exec.trace, "advisor.tune");
+  span.Attr("queries", static_cast<int64_t>(workload.size()));
   TunerResult result;
-  ResourceGovernor* governor = options_.governor;
+  ResourceGovernor* governor = options_.exec.governor != nullptr
+                                   ? options_.exec.governor
+                                   : options_.governor;
   CatalogDesc current = base;  // working catalog: base + chosen so far
 
   // Bind every query once and note the tables it touches.
@@ -307,6 +334,8 @@ Result<TunerResult> PhysicalDesignAdvisor::Tune(
   // final) costing is `mandatory`: it charges the governor but proceeds
   // even when the budget has run out, so an exhausted tuner still returns
   // a consistent, fully costed result — just with nothing selected.
+  PlannerOptions planner_options;
+  planner_options.metrics = metrics;
   auto plan_query = [&](size_t i, std::set<std::string>* objects,
                         bool mandatory) -> Result<double> {
     if (governor != nullptr) {
@@ -317,7 +346,7 @@ Result<TunerResult> PhysicalDesignAdvisor::Tune(
       }
     }
     ++result.optimizer_calls;
-    auto planned = PlanQuery(bound[i], current);
+    auto planned = PlanQuery(bound[i], current, planner_options);
     if (!planned.ok()) return planned.status();
     if (objects != nullptr) *objects = std::move(planned->objects_used);
     return planned->est_cost;
@@ -370,7 +399,7 @@ Result<TunerResult> PhysicalDesignAdvisor::Tune(
     // The candidate is now hypothetically present; any failure below must
     // still fall through to the pop so the working catalog rolls back to
     // exactly the chosen configuration.
-    Status status = FaultInjector::Global()->Check(kFaultSiteAdvisorWhatIf);
+    Status status = faults->Check(kFaultSiteAdvisorWhatIf);
     for (size_t i = 0; status.ok() && i < workload.size(); ++i) {
       bool affected = false;
       for (const std::string& t : pool[c].tables_touched) {
@@ -507,7 +536,29 @@ Result<TunerResult> PhysicalDesignAdvisor::Tune(
     total += workload[i].weight * result.query_costs[i];
   }
   result.total_cost = total + result.maintenance_cost;
+  // Publish the whole call's counts in one batch (not per increment), so
+  // a call that fails with an error publishes nothing — matching the
+  // search-side aggregation, which also only sees successful calls.
+  if (metrics != nullptr) {
+    optimizer_calls_counter->Add(result.optimizer_calls);
+    rollbacks_counter->Add(result.whatif_rollbacks);
+    skipped_counter->Add(result.candidates_skipped);
+    if (result.truncated) truncated_counter->Increment();
+  }
+  span.Attr("optimizer_calls", result.optimizer_calls);
+  span.Attr("whatif_rollbacks", result.whatif_rollbacks);
+  span.Attr("truncated", result.truncated);
   return result;
+}
+
+RunReport TunerResult::ToReport() const {
+  RunReport report;
+  report.advisor.tune_calls = 1;
+  report.advisor.optimizer_calls = optimizer_calls;
+  report.advisor.whatif_rollbacks = whatif_rollbacks;
+  report.advisor.candidates_skipped = candidates_skipped;
+  report.advisor.truncated = truncated;
+  return report;
 }
 
 Status ApplyConfiguration(const TunerResult& result, Database* db) {

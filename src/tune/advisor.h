@@ -27,7 +27,9 @@
 #include <string>
 #include <vector>
 
+#include "common/exec_context.h"
 #include "common/limits.h"
+#include "common/run_report.h"
 #include "common/status.h"
 #include "opt/planner.h"
 #include "rel/catalog.h"
@@ -49,7 +51,16 @@ struct TunerOptions {
   // selecting candidates and returns the best configuration found so far
   // with `truncated` set (baseline costing is mandatory and always
   // completes, so the result is never worse than no tuning).
+  //
+  // Deprecated in favour of `exec.governor`; still honored.
   ResourceGovernor* governor = nullptr;
+  // Execution environment (DESIGN.md §9). `exec.governor` wins over the
+  // legacy field; `exec.metrics` receives the "advisor.*" counters;
+  // `exec.faults` overrides the process-global injector. `exec.trace` is
+  // used only when the advisor is invoked directly (the search calls the
+  // advisor from parallel workers and deliberately does not share its
+  // sink — a TraceSink is single-threaded by design).
+  ExecContext exec;
 };
 
 struct TunerResult {
@@ -66,6 +77,10 @@ struct TunerResult {
   bool truncated = false;       // selection stopped early on budget/deadline
   int whatif_rollbacks = 0;     // what-if catalog pops taken on a failure
   int candidates_skipped = 0;   // candidates dropped after a failed what-if
+
+  // This tuner call's numbers as a unified run report (advisor section
+  // only; search and cost-cache sections stay zero).
+  RunReport ToReport() const;
 };
 
 // Insert load on one relation: expected rows inserted per workload unit.

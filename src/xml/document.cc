@@ -3,6 +3,8 @@
 #include <cctype>
 
 #include "common/strings.h"
+#include "common/trace.h"
+#include "common/metrics.h"
 
 namespace xmlshred {
 
@@ -289,6 +291,22 @@ Result<XmlDocument> ParseXml(std::string_view xml,
   ResourceGovernor stack_safety;  // used when the caller passes none
   XmlParser parser(xml, governor != nullptr ? governor : &stack_safety);
   return parser.Parse();
+}
+
+
+Result<XmlDocument> ParseXml(std::string_view xml, const ExecContext& exec) {
+  SpanScope span(exec.trace, "parse.xml");
+  span.Attr("bytes", static_cast<int64_t>(xml.size()));
+  auto doc = ParseXml(xml, exec.governor);
+  if (doc.ok()) {
+    int64_t elements = doc->root() != nullptr ? doc->root()->SubtreeSize() : 0;
+    if (exec.metrics != nullptr) {
+      exec.metrics->counter(kMetricParseXmlDocuments)->Increment();
+      exec.metrics->counter(kMetricParseXmlElements)->Add(elements);
+    }
+    span.Attr("elements", elements);
+  }
+  return doc;
 }
 
 }  // namespace xmlshred

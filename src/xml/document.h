@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/exec_context.h"
 #include "common/limits.h"
 #include "common/status.h"
 
@@ -87,6 +88,11 @@ class XmlDocument {
 // than overflowing the stack.
 Result<XmlDocument> ParseXml(std::string_view xml,
                              ResourceGovernor* governor = nullptr);
+
+// ExecContext overload: same parse under exec.governor, plus a
+// "parse.xml" span on exec.trace and the "parse.xml.*" counters on
+// exec.metrics (documents parsed, elements in the tree).
+Result<XmlDocument> ParseXml(std::string_view xml, const ExecContext& exec);
 
 // Escapes &, <, >, ", ' for XML output.
 std::string XmlEscape(std::string_view s);

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "common/strings.h"
+#include "common/trace.h"
+#include "common/metrics.h"
 
 namespace xmlshred {
 
@@ -320,6 +322,35 @@ Result<std::unique_ptr<SchemaTree>> ParseDtd(std::string_view dtd_text,
   XS_ASSIGN_OR_RETURN(std::unique_ptr<SchemaNode> root_node,
                       builder.BuildElement(root));
   tree->SetRoot(std::move(root_node));
+  return tree;
+}
+
+
+namespace {
+
+int64_t CountSchemaNodes(const SchemaNode* node) {
+  if (node == nullptr) return 0;
+  int64_t total = 1;
+  for (size_t i = 0; i < node->num_children(); ++i) {
+    total += CountSchemaNodes(node->child(i));
+  }
+  return total;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SchemaTree>> ParseDtd(std::string_view dtd_text,
+                                             std::string_view root_element,
+                                             const ExecContext& exec) {
+  SpanScope span(exec.trace, "parse.dtd");
+  span.Attr("bytes", static_cast<int64_t>(dtd_text.size()));
+  auto tree = ParseDtd(dtd_text, root_element, exec.governor);
+  if (tree.ok() && exec.metrics != nullptr) {
+    exec.metrics->counter(kMetricParseDtdSchemas)->Increment();
+    exec.metrics->counter(kMetricParseDtdNodes)
+        ->Add(CountSchemaNodes((*tree)->root()));
+  }
+  if (tree.ok()) span.Attr("nodes", CountSchemaNodes((*tree)->root()));
   return tree;
 }
 

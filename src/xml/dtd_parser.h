@@ -20,6 +20,7 @@
 #include <memory>
 #include <string_view>
 
+#include "common/exec_context.h"
 #include "common/limits.h"
 #include "common/status.h"
 #include "xml/schema_tree.h"
@@ -37,6 +38,13 @@ Result<std::unique_ptr<SchemaTree>> ParseDtd(std::string_view dtd_text,
                                                  "",
                                              ResourceGovernor* governor =
                                                  nullptr);
+
+// ExecContext overload: same parse under exec.governor, plus a
+// "parse.dtd" span on exec.trace and the "parse.dtd.*" counters on
+// exec.metrics.
+Result<std::unique_ptr<SchemaTree>> ParseDtd(std::string_view dtd_text,
+                                             std::string_view root_element,
+                                             const ExecContext& exec);
 
 }  // namespace xmlshred
 

@@ -5,6 +5,8 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "common/trace.h"
+#include "common/metrics.h"
 
 namespace xmlshred {
 
@@ -327,6 +329,34 @@ std::string SchemaTreeToXsd(const SchemaTree& tree) {
   if (tree.root() != nullptr) RenderNode(tree.root(), "", 1, &out);
   out += "</xs:schema>\n";
   return out;
+}
+
+
+namespace {
+
+int64_t CountSchemaNodes(const SchemaNode* node) {
+  if (node == nullptr) return 0;
+  int64_t total = 1;
+  for (size_t i = 0; i < node->num_children(); ++i) {
+    total += CountSchemaNodes(node->child(i));
+  }
+  return total;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SchemaTree>> ParseXsd(std::string_view xsd_text,
+                                             const ExecContext& exec) {
+  SpanScope span(exec.trace, "parse.xsd");
+  span.Attr("bytes", static_cast<int64_t>(xsd_text.size()));
+  auto tree = ParseXsd(xsd_text, exec.governor);
+  if (tree.ok() && exec.metrics != nullptr) {
+    exec.metrics->counter(kMetricParseXsdSchemas)->Increment();
+    exec.metrics->counter(kMetricParseXsdNodes)
+        ->Add(CountSchemaNodes((*tree)->root()));
+  }
+  if (tree.ok()) span.Attr("nodes", CountSchemaNodes((*tree)->root()));
+  return tree;
 }
 
 }  // namespace xmlshred

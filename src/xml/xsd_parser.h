@@ -18,6 +18,7 @@
 #include <memory>
 #include <string_view>
 
+#include "common/exec_context.h"
 #include "common/limits.h"
 #include "common/status.h"
 #include "xml/document.h"
@@ -33,6 +34,12 @@ namespace xmlshred {
 Result<std::unique_ptr<SchemaTree>> ParseXsd(std::string_view xsd_text,
                                              ResourceGovernor* governor =
                                                  nullptr);
+
+// ExecContext overload: same parse under exec.governor, plus a
+// "parse.xsd" span on exec.trace and the "parse.xsd.*" counters on
+// exec.metrics (schemas parsed, nodes in the resulting tree).
+Result<std::unique_ptr<SchemaTree>> ParseXsd(std::string_view xsd_text,
+                                             const ExecContext& exec);
 
 // Annotates the root and every tag under a repetition that lacks an
 // annotation, deriving unique relation names from tag names.

@@ -76,6 +76,8 @@ void ExpectEquivalent(const SearchResult& serial,
   EXPECT_EQ(a.candidates_skipped, b.candidates_skipped);
   EXPECT_EQ(a.rounds, b.rounds);
   EXPECT_EQ(a.work_spent, b.work_spent);
+  EXPECT_EQ(a.whatif_rollbacks, b.whatif_rollbacks);
+  EXPECT_EQ(a.advisor_candidates_skipped, b.advisor_candidates_skipped);
 }
 
 class ParallelSearchTest : public ::testing::Test {

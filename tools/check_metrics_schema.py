@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Validates a metrics export against tools/metrics_schema.json.
+
+Stdlib-only (CI runners have no jsonschema package): this interprets the
+subset of JSON Schema the schema file actually uses — required keys,
+const, integer/number/object/array types, minimum, additionalProperties —
+plus two domain invariants the schema language cannot express:
+
+  * histogram bucket upper bounds ('le') strictly ascend, and
+  * the bucket counts of a histogram sum to its 'count'.
+
+Usage:
+  tools/check_metrics_schema.py FILE.json [FILE2.json ...]
+      [--min-counter NAME=VALUE ...]
+
+--min-counter asserts a floor on a counter (e.g. search.runs=1) so CI can
+require that the instrumented pipeline actually ran, not just that an
+empty registry was serialized.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+SCHEMA_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "metrics_schema.json")
+
+
+class ValidationError(Exception):
+    pass
+
+
+def check_type(value, expected, where):
+    if expected == "integer":
+        # bool is an int subclass in Python; reject it explicitly.
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ValidationError(f"{where}: expected integer, got {value!r}")
+    elif expected == "number":
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValidationError(f"{where}: expected number, got {value!r}")
+    elif expected == "object":
+        if not isinstance(value, dict):
+            raise ValidationError(f"{where}: expected object")
+    elif expected == "array":
+        if not isinstance(value, list):
+            raise ValidationError(f"{where}: expected array")
+    else:
+        raise ValidationError(f"{where}: unsupported schema type {expected}")
+
+
+def validate(value, schema, where):
+    if "const" in schema:
+        if value != schema["const"]:
+            raise ValidationError(
+                f"{where}: expected {schema['const']!r}, got {value!r}")
+        return
+    if "type" in schema:
+        check_type(value, schema["type"], where)
+    if "minimum" in schema and value < schema["minimum"]:
+        raise ValidationError(
+            f"{where}: {value} below minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                raise ValidationError(f"{where}: missing required key {key!r}")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties")
+        for key, item in value.items():
+            if key in props:
+                validate(item, props[key], f"{where}.{key}")
+            elif isinstance(extra, dict):
+                validate(item, extra, f"{where}.{key}")
+    if isinstance(value, list) and isinstance(schema.get("items"), dict):
+        for i, item in enumerate(value):
+            validate(item, schema["items"], f"{where}[{i}]")
+
+
+def check_histogram_invariants(doc):
+    for name, hist in doc.get("histograms", {}).items():
+        where = f"$.histograms.{name}"
+        les = [b["le"] for b in hist["buckets"]]
+        if les != sorted(les) or len(set(les)) != len(les):
+            raise ValidationError(f"{where}: bucket bounds not ascending")
+        total = sum(b["count"] for b in hist["buckets"])
+        if total != hist["count"]:
+            raise ValidationError(
+                f"{where}: bucket counts sum to {total}, "
+                f"count is {hist['count']}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+")
+    parser.add_argument("--min-counter", action="append", default=[],
+                        metavar="NAME=VALUE")
+    args = parser.parse_args()
+
+    floors = {}
+    for spec in args.min_counter:
+        name, _, value = spec.partition("=")
+        if not value:
+            parser.error(f"--min-counter needs NAME=VALUE, got {spec!r}")
+        floors[name] = int(value)
+
+    with open(SCHEMA_PATH) as f:
+        schema = json.load(f)
+
+    failed = False
+    for path in args.files:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+            validate(doc, schema, "$")
+            check_histogram_invariants(doc)
+            for name, floor in floors.items():
+                actual = doc["counters"].get(name)
+                if actual is None:
+                    raise ValidationError(f"$.counters.{name}: missing")
+                if actual < floor:
+                    raise ValidationError(
+                        f"$.counters.{name}: {actual} < required {floor}")
+        except (OSError, json.JSONDecodeError, ValidationError) as err:
+            print(f"FAIL {path}: {err}", file=sys.stderr)
+            failed = True
+        else:
+            print(f"OK   {path}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
