@@ -1,0 +1,160 @@
+// Cost-model calibration — how well the optimizer's estimates track the
+// executor's actuals on the Table 1 datasets.
+//
+// For each dataset, runs the greedy advisor on one workload from the
+// paper's grid, executes the workload on the recommended design with
+// EXPLAIN ANALYZE recording, and reports estimated-vs-actual q-errors
+// (max(e/a, a/e), 1.0 = exact): per-query cost and pages at the plan
+// root, and rows per operator kind. The cost model and the executor
+// meter in the same abstract work units, so cost q-error near 1 is the
+// "interplay" sanity check — the optimizer ranking designs by the same
+// yardstick the executor charges.
+//
+// `--json PATH` writes the table as JSON
+// (bench_results/BENCH_calibration.json).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/util.h"
+#include "common/logging.h"
+#include "common/run_report.h"
+#include "common/strings.h"
+
+namespace xmlshred::bench {
+namespace {
+
+struct DatasetCalibration {
+  std::string dataset;
+  std::string workload;
+  double total_work = 0;
+  RunReport::CalibrationSection cal;
+};
+
+DatasetCalibration RunDataset(const Dataset& dataset,
+                              const WorkloadSpec& spec) {
+  auto workload = GenerateWorkload(*dataset.data.tree, *dataset.stats, spec);
+  XS_CHECK_OK(workload.status());
+  DesignProblem problem = dataset.MakeProblem(*workload);
+  auto result = RunAlgorithm("greedy", problem);
+  XS_CHECK_OK(result.status());
+
+  // A per-dataset registry keeps the calibration numbers clean of the
+  // other dataset's queries; folded into the process-wide registry after
+  // so --metrics-out still carries the totals.
+  MetricsRegistry registry;
+  ExecContext exec = problem.exec;
+  exec.metrics = &registry;
+  auto eval = EvaluateOnData(*result, dataset.data.doc, *workload, exec,
+                             EvaluateOptions{});
+  XS_CHECK_OK(eval.status());
+  GlobalMetrics().Merge(registry.Snapshot());
+
+  DatasetCalibration out;
+  out.dataset = dataset.name;
+  out.workload = WorkloadName(spec);
+  out.total_work = eval->total_work;
+  out.cal = RunReportFromMetrics(registry.Snapshot(), "greedy").calibration;
+  return out;
+}
+
+void PrintCalibration(const DatasetCalibration& dc) {
+  PrintRow({dc.dataset, "cost", std::to_string(dc.cal.cost.count),
+            FormatDouble(dc.cal.cost.mean, 2),
+            FormatDouble(dc.cal.cost.max_bound, 0)});
+  PrintRow({dc.dataset, "pages", std::to_string(dc.cal.pages.count),
+            FormatDouble(dc.cal.pages.mean, 2),
+            FormatDouble(dc.cal.pages.max_bound, 0)});
+  for (const RunReport::CalibrationOperator& op : dc.cal.operators) {
+    PrintRow({dc.dataset, "rows:" + op.kind, std::to_string(op.rows.count),
+              FormatDouble(op.rows.mean, 2),
+              FormatDouble(op.rows.max_bound, 0)});
+  }
+}
+
+void AppendQErrorJson(std::FILE* f, const char* name,
+                      const RunReport::QErrorStats& stats,
+                      const char* trailer) {
+  std::fprintf(f,
+               "      \"%s\": {\"count\": %lld, \"mean\": %.6f, "
+               "\"max_bound\": %.1f}%s\n",
+               name, static_cast<long long>(stats.count), stats.mean,
+               stats.max_bound, trailer);
+}
+
+void WriteJson(const std::string& path,
+               const std::vector<DatasetCalibration>& all) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"calibration\",\n");
+  std::fprintf(f, "  \"scale\": %g,\n", BenchScale());
+  std::fprintf(f, "  \"datasets\": [\n");
+  for (size_t d = 0; d < all.size(); ++d) {
+    const DatasetCalibration& dc = all[d];
+    std::fprintf(f,
+                 "    {\"dataset\": \"%s\", \"workload\": \"%s\", "
+                 "\"queries\": %lld, \"total_work\": %.6f,\n",
+                 dc.dataset.c_str(), dc.workload.c_str(),
+                 static_cast<long long>(dc.cal.queries), dc.total_work);
+    AppendQErrorJson(f, "cost_qerror", dc.cal.cost, ",");
+    AppendQErrorJson(f, "pages_qerror", dc.cal.pages, ",");
+    std::fprintf(f, "      \"operators\": [\n");
+    for (size_t i = 0; i < dc.cal.operators.size(); ++i) {
+      const RunReport::CalibrationOperator& op = dc.cal.operators[i];
+      std::fprintf(f,
+                   "        {\"kind\": \"%s\", \"count\": %lld, "
+                   "\"mean\": %.6f, \"max_bound\": %.1f}%s\n",
+                   op.kind.c_str(), static_cast<long long>(op.rows.count),
+                   op.rows.mean, op.rows.max_bound,
+                   i + 1 < dc.cal.operators.size() ? "," : "");
+    }
+    std::fprintf(f, "      ]\n    }%s\n", d + 1 < all.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace xmlshred::bench
+
+int main(int argc, char** argv) {
+  using namespace xmlshred::bench;
+  const std::string metrics_out = ExtractMetricsOutArg(&argc, argv);
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json out.json]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  PrintTitle("Cost-model calibration: estimated vs actual (q-error)",
+             "cost q-error near 1 (same work units); rows q-error grows "
+             "with estimation difficulty (joins > scans)");
+  PrintRow({"dataset", "metric", "count", "mean_qerr", "max_bound"});
+  std::vector<DatasetCalibration> all;
+  {
+    Dataset dblp = MakeDblpDataset();
+    all.push_back(RunDataset(dblp, DblpWorkloadSpecs().front()));
+    PrintCalibration(all.back());
+  }
+  {
+    Dataset movie = MakeMovieDataset();
+    all.push_back(RunDataset(movie, MovieWorkloadSpecs().front()));
+    PrintCalibration(all.back());
+  }
+  if (!json_path.empty()) WriteJson(json_path, all);
+  WriteMetricsOut(metrics_out);
+  return 0;
+}

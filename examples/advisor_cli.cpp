@@ -4,6 +4,8 @@
 //       --workload queries.txt [--algorithm greedy|naive|two-step|hybrid]
 //       [--space-multiple 3.0] [--threads N] [--execute]
 //       [--metrics-out metrics.json] [--trace-out trace.json]
+//       [--explain-out explain.json] [--explain-timing]
+//       [--report-out report.json]
 //
 // --threads N costs each search round's candidates on N workers (0, the
 // default, uses every hardware thread; 1 forces the serial path). The
@@ -17,9 +19,16 @@
 // measured work per query.
 //
 // --metrics-out writes the run's full metrics registry (parse, search,
-// advisor, planner, executor counters) as JSON; --trace-out writes the
-// hierarchical span trace (wall-clock durations included). Both documents
-// follow schema_version 1 — see DESIGN.md §9 and tools/metrics_schema.json.
+// advisor, planner, executor, calibration counters) as JSON; --trace-out
+// writes the hierarchical span trace (wall-clock durations included).
+// --explain-out executes the workload on the recommended design (implying
+// --execute's evaluation) and writes one EXPLAIN ANALYZE tree per query
+// with per-operator estimates and actuals; the document is bit-identical
+// at any --threads count unless --explain-timing adds per-operator
+// wall-clock. --report-out writes the RunReport summary, whose
+// calibration section aggregates estimated-vs-actual q-errors. All
+// documents follow schema_version 1 — see DESIGN.md §9-§10 and the
+// schemas under tools/.
 
 #include <cstdio>
 #include <cstdlib>
@@ -29,8 +38,10 @@
 #include <string>
 
 #include "common/metrics.h"
+#include "common/run_report.h"
 #include "common/strings.h"
 #include "common/trace.h"
+#include "exec/explain.h"
 #include "mapping/xml_stats.h"
 #include "search/evaluate.h"
 #include "search/greedy.h"
@@ -88,25 +99,42 @@ int Usage() {
       "usage: example_advisor_cli --schema FILE.{xsd,dtd} --data FILE.xml\n"
       "       --workload FILE [--algorithm greedy|naive|two-step|hybrid]\n"
       "       [--space-multiple F] [--threads N] [--execute]\n"
-      "       [--metrics-out FILE.json] [--trace-out FILE.json]\n");
+      "       [--metrics-out FILE.json] [--trace-out FILE.json]\n"
+      "       [--explain-out FILE.json] [--explain-timing]\n"
+      "       [--report-out FILE.json]\n");
   return 2;
 }
 
-Status RunTool(const std::string& schema_path, const std::string& data_path,
-               const std::string& workload_path,
-               const std::string& algorithm, double space_multiple,
-               int threads, bool execute, const std::string& metrics_out,
-               const std::string& trace_out) {
+struct CliOptions {
+  std::string schema_path;
+  std::string data_path;
+  std::string workload_path;
+  std::string algorithm = "greedy";
+  double space_multiple = 3.0;
+  int threads = 0;  // 0 = one worker per hardware thread
+  bool execute = false;
+  std::string metrics_out;
+  std::string trace_out;
+  std::string explain_out;
+  bool explain_timing = false;
+  std::string report_out;
+};
+
+Status RunTool(const CliOptions& cli) {
+  const std::string& schema_path = cli.schema_path;
+  const std::string& workload_path = cli.workload_path;
   // Observability: one registry and one sink for the whole run. The CLI
   // is the interactive surface, so wall-clock timing is on.
   MetricsRegistry registry;
   registry.set_timing_enabled(true);
   TraceSink sink(/*capture_timing=*/true);
   ExecContext exec;
-  exec.metrics = metrics_out.empty() && trace_out.empty() ? nullptr
-                                                          : &registry;
-  exec.trace = trace_out.empty() ? nullptr : &sink;
-  exec.num_threads = threads;
+  exec.metrics = cli.metrics_out.empty() && cli.trace_out.empty() &&
+                         cli.report_out.empty()
+                     ? nullptr
+                     : &registry;
+  exec.trace = cli.trace_out.empty() ? nullptr : &sink;
+  exec.num_threads = cli.threads;
 
   // Schema: XSD or DTD by extension.
   XS_ASSIGN_OR_RETURN(std::string schema_text, ReadFile(schema_path));
@@ -119,7 +147,7 @@ Status RunTool(const std::string& schema_path, const std::string& data_path,
   AssignDefaultAnnotations(tree.get());
   XS_RETURN_IF_ERROR(tree->Validate());
 
-  XS_ASSIGN_OR_RETURN(std::string xml_text, ReadFile(data_path));
+  XS_ASSIGN_OR_RETURN(std::string xml_text, ReadFile(cli.data_path));
   XS_ASSIGN_OR_RETURN(XmlDocument doc, ParseXml(xml_text, exec));
   XS_ASSIGN_OR_RETURN(XmlStatistics stats,
                       XmlStatistics::Collect(doc, *tree));
@@ -134,7 +162,7 @@ Status RunTool(const std::string& schema_path, const std::string& data_path,
   int64_t data_pages =
       stats.DeriveCatalog(*tree, default_mapping).DataPages();
   problem.storage_bound_pages = static_cast<int64_t>(
-      static_cast<double>(data_pages) * space_multiple);
+      static_cast<double>(data_pages) * cli.space_multiple);
 
   std::printf("schema: %s (%lld elements in data)\n", schema_path.c_str(),
               static_cast<long long>(stats.total_elements()));
@@ -143,17 +171,17 @@ Status RunTool(const std::string& schema_path, const std::string& data_path,
               static_cast<long long>(problem.storage_bound_pages));
 
   Result<SearchResult> result = [&]() -> Result<SearchResult> {
-    if (algorithm == "greedy") {
+    if (cli.algorithm == "greedy") {
       GreedyOptions options;
-      options.num_threads = threads;
+      options.num_threads = cli.threads;
       return GreedySearch(problem, options);
     }
     NaiveOptions options;
-    options.num_threads = threads;
-    if (algorithm == "naive") return NaiveGreedySearch(problem, options);
-    if (algorithm == "two-step") return TwoStepSearch(problem, options);
-    if (algorithm == "hybrid") return EvaluateHybridInline(problem);
-    return InvalidArgument("unknown algorithm " + algorithm);
+    options.num_threads = cli.threads;
+    if (cli.algorithm == "naive") return NaiveGreedySearch(problem, options);
+    if (cli.algorithm == "two-step") return TwoStepSearch(problem, options);
+    if (cli.algorithm == "hybrid") return EvaluateHybridInline(problem);
+    return InvalidArgument("unknown algorithm " + cli.algorithm);
   }();
   XS_RETURN_IF_ERROR(result.status());
 
@@ -186,25 +214,49 @@ Status RunTool(const std::string& schema_path, const std::string& data_path,
                 translated.sql.ToSql().c_str());
   }
 
-  if (execute) {
-    XS_ASSIGN_OR_RETURN(WorkloadEvaluation eval,
-                        EvaluateOnData(*result, doc, workload, exec));
-    std::printf("\nmeasured execution (work units):\n");
-    for (size_t i = 0; i < workload.size(); ++i) {
-      std::printf("  %-60s %10.1f\n", workload[i].ToString().c_str(),
-                  eval.per_query_work[i]);
+  // --explain-out and --report-out need executed actuals, so either
+  // implies the evaluation that --execute performs (without its printout).
+  bool evaluate = cli.execute || !cli.explain_out.empty() ||
+                  !cli.report_out.empty();
+  if (evaluate) {
+    EvaluateOptions eval_options;
+    eval_options.collect_explain = !cli.explain_out.empty();
+    eval_options.capture_timing = cli.explain_timing;
+    XS_ASSIGN_OR_RETURN(
+        WorkloadEvaluation eval,
+        EvaluateOnData(*result, doc, workload, exec, eval_options));
+    if (cli.execute) {
+      std::printf("\nmeasured execution (work units):\n");
+      for (size_t i = 0; i < workload.size(); ++i) {
+        std::printf("  %-60s %10.1f\n", workload[i].ToString().c_str(),
+                    eval.per_query_work[i]);
+      }
+      std::printf("  %-60s %10.1f\n", "TOTAL (weighted)", eval.total_work);
     }
-    std::printf("  %-60s %10.1f\n", "TOTAL (weighted)", eval.total_work);
+    if (!cli.explain_out.empty()) {
+      XS_RETURN_IF_ERROR(WriteTextFile(
+          cli.explain_out,
+          ExplainDocumentToJson(eval.explains, cli.explain_timing)));
+      std::printf("\nexplain written to %s\n", cli.explain_out.c_str());
+    }
   }
 
-  if (!metrics_out.empty()) {
+  if (!cli.metrics_out.empty()) {
     XS_RETURN_IF_ERROR(
-        WriteTextFile(metrics_out, registry.Snapshot().ToJson()));
-    std::printf("\nmetrics written to %s\n", metrics_out.c_str());
+        WriteTextFile(cli.metrics_out, registry.Snapshot().ToJson()));
+    std::printf("\nmetrics written to %s\n", cli.metrics_out.c_str());
   }
-  if (!trace_out.empty()) {
-    XS_RETURN_IF_ERROR(WriteTextFile(trace_out, sink.ToJson()));
-    std::printf("trace written to %s\n", trace_out.c_str());
+  if (!cli.trace_out.empty()) {
+    XS_RETURN_IF_ERROR(WriteTextFile(cli.trace_out, sink.ToJson()));
+    std::printf("trace written to %s\n", cli.trace_out.c_str());
+  }
+  if (!cli.report_out.empty()) {
+    // Built after evaluation so the calibration section sees the
+    // estimated-vs-actual q-errors (SearchResult::report predates them).
+    RunReport report =
+        RunReportFromMetrics(registry.Snapshot(), result->algorithm);
+    XS_RETURN_IF_ERROR(WriteTextFile(cli.report_out, report.ToJson()));
+    std::printf("report written to %s\n", cli.report_out.c_str());
   }
   return Status::OK();
 }
@@ -212,12 +264,7 @@ Status RunTool(const std::string& schema_path, const std::string& data_path,
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string schema, data, workload;
-  std::string algorithm = "greedy";
-  double space_multiple = 3.0;
-  int threads = 0;  // 0 = one worker per hardware thread
-  bool execute = false;
-  std::string metrics_out, trace_out;
+  CliOptions cli;
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -227,36 +274,44 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (!std::strcmp(argv[i], "--schema")) {
-      schema = next("--schema");
+      cli.schema_path = next("--schema");
     } else if (!std::strcmp(argv[i], "--data")) {
-      data = next("--data");
+      cli.data_path = next("--data");
     } else if (!std::strcmp(argv[i], "--workload")) {
-      workload = next("--workload");
+      cli.workload_path = next("--workload");
     } else if (!std::strcmp(argv[i], "--algorithm")) {
-      algorithm = next("--algorithm");
+      cli.algorithm = next("--algorithm");
     } else if (!std::strcmp(argv[i], "--space-multiple")) {
-      space_multiple = std::atof(next("--space-multiple"));
+      cli.space_multiple = std::atof(next("--space-multiple"));
     } else if (!std::strcmp(argv[i], "--threads")) {
       const char* value = next("--threads");
       char* end = nullptr;
-      threads = static_cast<int>(std::strtol(value, &end, 10));
-      if (end == value || *end != '\0' || threads < 0) {
+      cli.threads = static_cast<int>(std::strtol(value, &end, 10));
+      if (end == value || *end != '\0' || cli.threads < 0) {
         std::fprintf(stderr, "--threads: bad count '%s'\n", value);
         return 2;
       }
     } else if (!std::strcmp(argv[i], "--metrics-out")) {
-      metrics_out = next("--metrics-out");
+      cli.metrics_out = next("--metrics-out");
     } else if (!std::strcmp(argv[i], "--trace-out")) {
-      trace_out = next("--trace-out");
+      cli.trace_out = next("--trace-out");
+    } else if (!std::strcmp(argv[i], "--explain-out")) {
+      cli.explain_out = next("--explain-out");
+    } else if (!std::strcmp(argv[i], "--explain-timing")) {
+      cli.explain_timing = true;
+    } else if (!std::strcmp(argv[i], "--report-out")) {
+      cli.report_out = next("--report-out");
     } else if (!std::strcmp(argv[i], "--execute")) {
-      execute = true;
+      cli.execute = true;
     } else {
       return Usage();
     }
   }
-  if (schema.empty() || data.empty() || workload.empty()) return Usage();
-  Status status = RunTool(schema, data, workload, algorithm, space_multiple,
-                          threads, execute, metrics_out, trace_out);
+  if (cli.schema_path.empty() || cli.data_path.empty() ||
+      cli.workload_path.empty()) {
+    return Usage();
+  }
+  Status status = RunTool(cli);
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
     return 1;

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 
 #include "common/logging.h"
@@ -74,6 +75,13 @@ int main(int argc, char** argv) {
     workload_text += query.ToString() + "\n";
   }
 
+  std::error_code ec;
+  std::filesystem::create_directories(outdir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create %s: %s\n", outdir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
   XS_CHECK_OK(WriteFile(outdir + "/" + name + ".xsd",
                         SchemaTreeToXsd(*data.tree)));
   XS_CHECK_OK(WriteFile(outdir + "/" + name + ".xml", data.doc.ToXml()));

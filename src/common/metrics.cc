@@ -83,6 +83,7 @@ MetricsRegistry::MetricsRegistry() {
       kMetricPlannerQueriesPlanned,
       kMetricExecQueries,
       kMetricExecRowsOut,
+      kMetricCalibrationQueries,
   };
   static constexpr const char* kGauges[] = {
       kMetricSearchWorkSpent,     kMetricSearchElapsedSeconds,
@@ -93,6 +94,8 @@ MetricsRegistry::MetricsRegistry() {
       kMetricSearchRoundCandidates,
       kMetricPlannerEstCost,
       kMetricExecRowsPerQuery,
+      kMetricCalibrationCostQError,
+      kMetricCalibrationPagesQError,
   };
   for (const char* name : kCounters) {
     counters_.emplace(name, std::make_unique<Counter>());
@@ -102,6 +105,10 @@ MetricsRegistry::MetricsRegistry() {
   }
   for (const char* name : kHistograms) {
     histograms_.emplace(name, std::make_unique<Histogram>());
+  }
+  for (const char* kind : kCalibrationOperatorKinds) {
+    histograms_.emplace(std::string(kMetricCalibrationRowsQErrorPrefix) + kind,
+                        std::make_unique<Histogram>());
   }
 }
 

@@ -88,6 +88,8 @@ inline constexpr const char* kMetricPlannerQueriesPlanned =
     "planner.queries_planned";
 inline constexpr const char* kMetricExecQueries = "exec.queries";
 inline constexpr const char* kMetricExecRowsOut = "exec.rows_out";
+// Queries that fed estimated-vs-actual calibration (exec/explain.h).
+inline constexpr const char* kMetricCalibrationQueries = "calibration.queries";
 // Gauges (accumulating doubles).
 inline constexpr const char* kMetricSearchWorkSpent = "search.work_spent";
 inline constexpr const char* kMetricSearchElapsedSeconds =
@@ -101,6 +103,22 @@ inline constexpr const char* kMetricSearchRoundCandidates =
     "search.round_candidates";
 inline constexpr const char* kMetricPlannerEstCost = "planner.est_cost";
 inline constexpr const char* kMetricExecRowsPerQuery = "exec.rows_per_query";
+// Calibration q-errors (always >= 1; see QError in opt/cost_model.h):
+// query-level estimated-cost-vs-metered-work and estimated-vs-touched
+// pages, plus one per-operator-kind rows histogram named
+// kMetricCalibrationRowsQErrorPrefix + PlanKindToString(kind).
+inline constexpr const char* kMetricCalibrationCostQError =
+    "calibration.cost_qerror";
+inline constexpr const char* kMetricCalibrationPagesQError =
+    "calibration.pages_qerror";
+inline constexpr const char* kMetricCalibrationRowsQErrorPrefix =
+    "calibration.rows_qerror.";
+// Every PlanKindToString value, so the registry can pre-register the full
+// per-kind histogram family (kept in sync by
+// ExplainTest.CalibrationKindListMatchesPlanKinds).
+inline constexpr const char* kCalibrationOperatorKinds[] = {
+    "HashJoin",  "HeapScan", "IndexNLJoin", "IndexOnlyScan", "IndexSeek",
+    "Project",   "Sort",     "UnionAll",    "ViewScan"};
 
 // Monotone counter: lock-free relaxed adds.
 class Counter {

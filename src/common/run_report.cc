@@ -16,6 +16,22 @@ double GaugeOr0(const MetricsSnapshot& snapshot, const char* name) {
   return it == snapshot.gauges.end() ? 0 : it->second;
 }
 
+RunReport::QErrorStats QErrorStatsFrom(const HistogramSnapshot& h) {
+  RunReport::QErrorStats stats;
+  stats.count = h.count;
+  if (h.count > 0) stats.mean = h.sum / static_cast<double>(h.count);
+  if (!h.buckets.empty()) {
+    stats.max_bound = Histogram::BucketUpperBound(h.buckets.back().first);
+  }
+  return stats;
+}
+
+std::string QErrorJson(const RunReport::QErrorStats& stats) {
+  return StrFormat(
+      "{\"count\": %lld, \"mean\": %.17g, \"max_bound\": %.17g}",
+      static_cast<long long>(stats.count), stats.mean, stats.max_bound);
+}
+
 }  // namespace
 
 RunReport RunReportFromMetrics(const MetricsSnapshot& snapshot,
@@ -57,6 +73,29 @@ RunReport RunReportFromMetrics(const MetricsSnapshot& snapshot,
   c.hits = CounterOr0(snapshot, kMetricCostCacheHits);
   c.misses = CounterOr0(snapshot, kMetricCostCacheMisses);
   c.entries = CounterOr0(snapshot, kMetricCostCacheEntries);
+
+  RunReport::CalibrationSection& cal = report.calibration;
+  cal.queries = CounterOr0(snapshot, kMetricCalibrationQueries);
+  if (auto it = snapshot.histograms.find(kMetricCalibrationCostQError);
+      it != snapshot.histograms.end()) {
+    cal.cost = QErrorStatsFrom(it->second);
+  }
+  if (auto it = snapshot.histograms.find(kMetricCalibrationPagesQError);
+      it != snapshot.histograms.end()) {
+    cal.pages = QErrorStatsFrom(it->second);
+  }
+  // The snapshot map is name-ordered, so the prefix scan yields operator
+  // kinds already sorted.
+  const std::string prefix = kMetricCalibrationRowsQErrorPrefix;
+  for (auto it = snapshot.histograms.lower_bound(prefix);
+       it != snapshot.histograms.end() && StartsWith(it->first, prefix);
+       ++it) {
+    if (it->second.count == 0) continue;
+    RunReport::CalibrationOperator op;
+    op.kind = it->first.substr(prefix.size());
+    op.rows = QErrorStatsFrom(it->second);
+    cal.operators.push_back(std::move(op));
+  }
   return report;
 }
 
@@ -95,6 +134,20 @@ std::string RunReport::ToJson() const {
                    static_cast<long long>(cost_cache.misses));
   out += StrFormat("    \"entries\": %lld\n",
                    static_cast<long long>(cost_cache.entries));
+  out += "  },\n  \"calibration\": {\n";
+  out += StrFormat("    \"queries\": %lld,\n",
+                   static_cast<long long>(calibration.queries));
+  out += "    \"cost_qerror\": " + QErrorJson(calibration.cost) + ",\n";
+  out += "    \"pages_qerror\": " + QErrorJson(calibration.pages) + ",\n";
+  out += "    \"operators\": [";
+  for (size_t i = 0; i < calibration.operators.size(); ++i) {
+    const CalibrationOperator& op = calibration.operators[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += StrFormat("      {\"kind\": \"%s\", \"rows_qerror\": ",
+                     op.kind.c_str());
+    out += QErrorJson(op.rows) + "}";
+  }
+  out += calibration.operators.empty() ? "]\n" : "\n    ]\n";
   out += "  }\n}\n";
   return out;
 }

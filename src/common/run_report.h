@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/metrics.h"
 
@@ -54,10 +55,35 @@ struct RunReport {
     int64_t misses = 0;  // timing-dependent under parallel costing
     int64_t entries = 0;
   };
+  // Summary of one q-error histogram: observation count, mean (histogram
+  // sum / count; an FP accumulate, same caveat as gauges), and the upper
+  // bound of the highest non-empty power-of-two bucket (a deterministic
+  // "worst estimate was below X" statement).
+  struct QErrorStats {
+    int64_t count = 0;
+    double mean = 0;
+    double max_bound = 0;
+  };
+  struct CalibrationOperator {
+    std::string kind;  // PlanKindToString value
+    QErrorStats rows;
+  };
+  // Cost-model calibration: how estimated rows/pages/cost compared with
+  // executed actuals (exec/explain.h). Empty (queries == 0) unless the
+  // run executed queries against real data with a registry attached.
+  struct CalibrationSection {
+    int64_t queries = 0;
+    QErrorStats cost;   // root est_cost vs metered work, per query
+    QErrorStats pages;  // root est_pages vs touched pages, per query
+    // Per-operator-kind rows q-errors, sorted by kind; kinds the run
+    // never executed are omitted.
+    std::vector<CalibrationOperator> operators;
+  };
 
   SearchSection search;
   AdvisorSection advisor;
   CostCacheSection cost_cache;
+  CalibrationSection calibration;
 
   // Deterministic JSON export (schema_version 1), sections in declaration
   // order, keys fixed.

@@ -44,6 +44,10 @@ std::string FormatDoubleTrimmed(double v, int max_digits);
 // Renders an integer with thousands separators, e.g. 1234567 -> "1,234,567".
 std::string FormatWithCommas(int64_t v);
 
+// Appends `s` to `out` with JSON string escaping (quotes, backslashes,
+// control characters). Shared by every hand-rolled JSON exporter.
+void AppendJsonEscaped(std::string* out, std::string_view s);
+
 }  // namespace xmlshred
 
 #endif  // XMLSHRED_COMMON_STRINGS_H_

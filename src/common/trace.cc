@@ -4,6 +4,10 @@
 
 namespace xmlshred {
 
+std::string RenderJsonDurationNs(double ns, bool include_timing) {
+  return StrFormat("%.17g", include_timing ? ns : 0.0);
+}
+
 TraceSpan* TraceSink::Open(std::string_view name) {
   auto span = std::make_unique<TraceSpan>();
   span->name = std::string(name);
@@ -33,24 +37,6 @@ void TraceSink::Adopt(TraceSink* detached) {
 
 namespace {
 
-void AppendJsonEscaped(std::string* out, std::string_view s) {
-  for (char c : s) {
-    switch (c) {
-      case '"': *out += "\\\""; break;
-      case '\\': *out += "\\\\"; break;
-      case '\n': *out += "\\n"; break;
-      case '\t': *out += "\\t"; break;
-      case '\r': *out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          *out += StrFormat("\\u%04x", c);
-        } else {
-          *out += c;
-        }
-    }
-  }
-}
-
 void AppendSpanJson(std::string* out, const TraceSpan& span, int indent,
                     bool include_timing) {
   std::string pad(static_cast<size_t>(indent), ' ');
@@ -65,8 +51,9 @@ void AppendSpanJson(std::string* out, const TraceSpan& span, int indent,
     AppendJsonEscaped(out, span.attrs[i].second);
     *out += "\"";
   }
-  *out += StrFormat("}, \"duration_ns\": %.17g, \"children\": [",
-                    include_timing ? span.duration_ns : 0.0);
+  *out += "}, \"duration_ns\": " +
+          RenderJsonDurationNs(span.duration_ns, include_timing) +
+          ", \"children\": [";
   if (!span.children.empty()) {
     *out += "\n";
     for (size_t i = 0; i < span.children.size(); ++i) {

@@ -29,6 +29,13 @@
 
 namespace xmlshred {
 
+// Renders a nanosecond duration for JSON export with %.17g round-trip
+// precision — or exactly "0" when `include_timing` is false. The one
+// zero-duration convention shared by TraceSink::ToJson and the explain
+// exporter (exec/explain.h), so structure-only documents from either
+// subsystem scrub timing identically.
+std::string RenderJsonDurationNs(double ns, bool include_timing);
+
 struct TraceSpan {
   std::string name;
   // Insertion-ordered key/value pairs; values pre-rendered to strings.

@@ -1,9 +1,12 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "exec/explain.h"
 #include "opt/cost_model.h"
 #include "rel/index.h"
 
@@ -39,18 +42,45 @@ int EntryPosition(const IndexDef& def, int col) {
   return -1;
 }
 
-class ExecContext {
+class ExecState {
  public:
-  ExecContext(const Database& db, ExecMetrics* metrics,
-              ResourceGovernor* governor)
-      : db_(db), metrics_(metrics), governor_(governor) {}
+  ExecState(const Database& db, ExecMetrics* metrics,
+            ResourceGovernor* governor, bool capture_timing)
+      : db_(db),
+        metrics_(metrics),
+        governor_(governor),
+        capture_timing_(capture_timing) {}
 
-  Result<std::vector<Row>> Exec(const PlanNode& node) {
+  // Executes one node. When `en` is non-null (EXPLAIN ANALYZE), the
+  // subtree's actuals are recorded into it as inclusive deltas of the
+  // run-wide meter — the same semantics as the planner's inclusive
+  // est_cost / est_pages — at the cost of two double reads per node; when
+  // null, recording is a single pointer test.
+  Result<std::vector<Row>> Exec(const PlanNode& node, ExplainNode* en) {
     // Plan trees are recursive structures; guard their depth, and charge
     // every node's output rows against the governor's row cap.
     RecursionScope scope(governor_);
     XS_RETURN_IF_ERROR(scope.status());
-    XS_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecNode(node));
+    double work_before = 0;
+    double pages_before = 0;
+    std::chrono::steady_clock::time_point start{};
+    if (en != nullptr) {
+      work_before = metrics_->work;
+      pages_before = metrics_->pages_sequential + metrics_->pages_random;
+      if (capture_timing_) start = std::chrono::steady_clock::now();
+    }
+    XS_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecNode(node, en));
+    if (en != nullptr) {
+      en->actual_rows = static_cast<int64_t>(rows.size());
+      en->actual_work = metrics_->work - work_before;
+      en->actual_pages =
+          metrics_->pages_sequential + metrics_->pages_random - pages_before;
+      if (capture_timing_) {
+        en->wall_ns = std::chrono::duration<double, std::nano>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+      }
+    }
     if (governor_ != nullptr) {
       XS_RETURN_IF_ERROR(
           governor_->ChargeRows(static_cast<int64_t>(rows.size())));
@@ -59,7 +89,13 @@ class ExecContext {
   }
 
  private:
-  Result<std::vector<Row>> ExecNode(const PlanNode& node) {
+  // Explain child matching a plan child; the tree mirrors the plan, so
+  // indexing is positional.
+  static ExplainNode* Child(ExplainNode* en, size_t i) {
+    return en == nullptr ? nullptr : &en->children[i];
+  }
+
+  Result<std::vector<Row>> ExecNode(const PlanNode& node, ExplainNode* en) {
     switch (node.kind) {
       case PlanKind::kHeapScan:
         return ExecHeapScan(node);
@@ -69,15 +105,15 @@ class ExecContext {
       case PlanKind::kViewScan:
         return ExecViewScan(node);
       case PlanKind::kIndexNlJoin:
-        return ExecIndexNlJoin(node);
+        return ExecIndexNlJoin(node, en);
       case PlanKind::kHashJoin:
-        return ExecHashJoin(node);
+        return ExecHashJoin(node, en);
       case PlanKind::kProject:
-        return ExecProject(node);
+        return ExecProject(node, en);
       case PlanKind::kUnionAll:
-        return ExecUnionAll(node);
+        return ExecUnionAll(node, en);
       case PlanKind::kSort:
-        return ExecSort(node);
+        return ExecSort(node, en);
     }
     return Internal("unknown plan kind");
   }
@@ -316,8 +352,10 @@ class ExecContext {
     return view->rows();
   }
 
-  Result<std::vector<Row>> ExecIndexNlJoin(const PlanNode& node) {
-    XS_ASSIGN_OR_RETURN(std::vector<Row> outer, Exec(*node.children[0]));
+  Result<std::vector<Row>> ExecIndexNlJoin(const PlanNode& node,
+                                           ExplainNode* en) {
+    XS_ASSIGN_OR_RETURN(std::vector<Row> outer,
+                        Exec(*node.children[0], Child(en, 0)));
     const BTreeIndex* index = db_.FindIndex(node.object_name);
     if (index == nullptr) return NotFound("index " + node.object_name);
     const Table* table = db_.FindTable(node.base_table);
@@ -402,9 +440,12 @@ class ExecContext {
     return out;
   }
 
-  Result<std::vector<Row>> ExecHashJoin(const PlanNode& node) {
-    XS_ASSIGN_OR_RETURN(std::vector<Row> probe, Exec(*node.children[0]));
-    XS_ASSIGN_OR_RETURN(std::vector<Row> build, Exec(*node.children[1]));
+  Result<std::vector<Row>> ExecHashJoin(const PlanNode& node,
+                                        ExplainNode* en) {
+    XS_ASSIGN_OR_RETURN(std::vector<Row> probe,
+                        Exec(*node.children[0], Child(en, 0)));
+    XS_ASSIGN_OR_RETURN(std::vector<Row> build,
+                        Exec(*node.children[1], Child(en, 1)));
     int probe_pos = node.children[0]->FindSlot(node.probe_key);
     int build_pos = node.children[1]->FindSlot(node.build_key);
     if (probe_pos < 0 || build_pos < 0) {
@@ -436,8 +477,10 @@ class ExecContext {
     return out;
   }
 
-  Result<std::vector<Row>> ExecProject(const PlanNode& node) {
-    XS_ASSIGN_OR_RETURN(std::vector<Row> input, Exec(*node.children[0]));
+  Result<std::vector<Row>> ExecProject(const PlanNode& node,
+                                       ExplainNode* en) {
+    XS_ASSIGN_OR_RETURN(std::vector<Row> input,
+                        Exec(*node.children[0], Child(en, 0)));
     const PlanNode& child = *node.children[0];
     std::vector<int> positions;
     positions.reserve(node.project_items.size());
@@ -464,17 +507,20 @@ class ExecContext {
     return out;
   }
 
-  Result<std::vector<Row>> ExecUnionAll(const PlanNode& node) {
+  Result<std::vector<Row>> ExecUnionAll(const PlanNode& node,
+                                        ExplainNode* en) {
     std::vector<Row> out;
-    for (const auto& child : node.children) {
-      XS_ASSIGN_OR_RETURN(std::vector<Row> rows, Exec(*child));
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      XS_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                          Exec(*node.children[i], Child(en, i)));
       for (Row& row : rows) out.push_back(std::move(row));
     }
     return out;
   }
 
-  Result<std::vector<Row>> ExecSort(const PlanNode& node) {
-    XS_ASSIGN_OR_RETURN(std::vector<Row> rows, Exec(*node.children[0]));
+  Result<std::vector<Row>> ExecSort(const PlanNode& node, ExplainNode* en) {
+    XS_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                        Exec(*node.children[0], Child(en, 0)));
     double sort_work = SortCost(static_cast<double>(rows.size()));
     metrics_->work += sort_work;
     XS_RETURN_IF_ERROR(ChargeGovernor(sort_work));
@@ -494,20 +540,63 @@ class ExecContext {
   const Database& db_;
   ExecMetrics* metrics_;
   ResourceGovernor* governor_;
+  bool capture_timing_;
 };
+
+// The explain tree must have come from BuildExplainTree on this plan;
+// verify the shapes agree before trusting positional child indexing.
+bool MirrorsPlan(const ExplainNode& en, const PlanNode& plan) {
+  if (en.children.size() != plan.children.size()) return false;
+  for (size_t i = 0; i < en.children.size(); ++i) {
+    if (!MirrorsPlan(en.children[i], *plan.children[i])) return false;
+  }
+  return true;
+}
 
 }  // namespace
 
 Result<std::vector<Row>> Executor::Run(const PlanNode& plan,
                                        ExecMetrics* metrics,
-                                       ResourceGovernor* governor) {
-  XS_CHECK(metrics != nullptr);
-  ExecContext ctx(db_, metrics, governor);
-  Result<std::vector<Row>> result = ctx.Exec(plan);
+                                       const ExecOptions& options) {
+  if (options.explain != nullptr && !MirrorsPlan(*options.explain, plan)) {
+    return InvalidArgument(
+        "explain tree does not mirror the plan (use BuildExplainTree)");
+  }
+  ExecMetrics local;
+  ExecState state(db_, &local, options.governor, options.capture_timing);
+  Result<std::vector<Row>> result = state.Exec(plan, options.explain);
   if (result.ok()) {
-    metrics->rows_out += static_cast<int64_t>(result->size());
+    local.rows_out = static_cast<int64_t>(result->size());
+  }
+  // The per-query view accumulates even on failure — telemetry reflects
+  // all work attempted — while the registry's exec.* totals only count
+  // completed queries, matching the planner.* convention.
+  if (metrics != nullptr) {
+    metrics->work += local.work;
+    metrics->pages_sequential += local.pages_sequential;
+    metrics->pages_random += local.pages_random;
+    metrics->rows_out += local.rows_out;
+  }
+  if (result.ok() && options.metrics != nullptr) {
+    options.metrics->counter(kMetricExecQueries)->Increment();
+    options.metrics->counter(kMetricExecRowsOut)->Add(local.rows_out);
+    options.metrics->gauge(kMetricExecWork)->Add(local.work);
+    options.metrics->gauge(kMetricExecPagesSequential)
+        ->Add(local.pages_sequential);
+    options.metrics->gauge(kMetricExecPagesRandom)->Add(local.pages_random);
+    options.metrics->histogram(kMetricExecRowsPerQuery)
+        ->Observe(static_cast<double>(local.rows_out));
   }
   return result;
+}
+
+Result<std::vector<Row>> Executor::Run(const PlanNode& plan,
+                                       ExecMetrics* metrics,
+                                       ResourceGovernor* governor) {
+  XS_CHECK(metrics != nullptr);
+  ExecOptions options;
+  options.governor = governor;
+  return Run(plan, metrics, options);
 }
 
 }  // namespace xmlshred

@@ -19,6 +19,13 @@
 
 namespace xmlshred {
 
+class MetricsRegistry;
+struct ExplainNode;
+
+// Per-query view of the work one Run performed. The registry (see
+// ExecOptions::metrics) is the primary sink for run-wide exec.* totals;
+// this struct remains as the thin per-query window callers use to weight
+// individual workload queries.
 struct ExecMetrics {
   double work = 0;             // total work units (comparable to est_cost)
   double pages_sequential = 0; // page-equivalents read by scans
@@ -26,14 +33,39 @@ struct ExecMetrics {
   int64_t rows_out = 0;        // rows returned by the root
 };
 
+// Optional per-run instrumentation. Every member defaults to off; a
+// default-constructed ExecOptions is the bare metered run.
+struct ExecOptions {
+  // Charges every metered work unit and materialized row against the
+  // governor's budgets; execution stops with kResourceExhausted the
+  // moment one trips.
+  ResourceGovernor* governor = nullptr;
+  // Publishes the run's totals under the well-known exec.* names
+  // (queries, rows_out, work, page gauges, rows-per-query histogram)
+  // after a successful run.
+  MetricsRegistry* metrics = nullptr;
+  // EXPLAIN ANALYZE: a tree from BuildExplainTree(plan) whose nodes
+  // receive inclusive per-operator actuals (rows, work, pages). Must
+  // mirror `plan`'s shape. Null = zero recording overhead.
+  ExplainNode* explain = nullptr;
+  // Reads the steady clock around every operator and records wall_ns
+  // into `explain` nodes. Off = no clock reads anywhere (the explain
+  // analog of MetricsRegistry::timing_enabled).
+  bool capture_timing = false;
+};
+
 class Executor {
  public:
   explicit Executor(const Database& db) : db_(db) {}
 
-  // Executes `plan` and returns the result rows. Metering accumulates into
-  // `metrics` (required). With a governor, every metered work unit and
-  // every materialized row is charged against its budgets, and execution
-  // stops with kResourceExhausted the moment one trips.
+  // Executes `plan` and returns the result rows. The run's metering is
+  // copied into `metrics` when non-null (accumulating, so one struct can
+  // total a workload) and published per ExecOptions.
+  Result<std::vector<Row>> Run(const PlanNode& plan, ExecMetrics* metrics,
+                               const ExecOptions& options);
+
+  // Convenience overload predating ExecOptions: metering into `metrics`
+  // (required here) with an optional governor.
   Result<std::vector<Row>> Run(const PlanNode& plan, ExecMetrics* metrics,
                                ResourceGovernor* governor = nullptr);
 

@@ -1,0 +1,126 @@
+#include "exec/explain.h"
+
+#include "common/strings.h"
+#include "common/trace.h"
+#include "opt/cost_model.h"
+
+namespace xmlshred {
+
+ExplainNode BuildExplainTree(const PlanNode& plan) {
+  ExplainNode node;
+  node.kind = PlanKindToString(plan.kind);
+  node.object_name = plan.object_name;
+  node.est_rows = plan.est_rows;
+  node.est_pages = plan.est_pages;
+  node.est_cost = plan.est_cost;
+  node.children.reserve(plan.children.size());
+  for (const auto& child : plan.children) {
+    node.children.push_back(BuildExplainTree(*child));
+  }
+  return node;
+}
+
+namespace {
+
+void AppendExplainText(std::string* out, const ExplainNode& node,
+                       int indent) {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  *out += node.kind;
+  if (!node.object_name.empty()) *out += " " + node.object_name;
+  *out += StrFormat(
+      "  (est rows=%.0f pages=%.1f cost=%.1f) "
+      "(actual rows=%lld pages=%.1f work=%.1f",
+      node.est_rows, node.est_pages, node.est_cost,
+      static_cast<long long>(node.actual_rows), node.actual_pages,
+      node.actual_work);
+  if (node.wall_ns > 0) {
+    *out += StrFormat(" time=%.3fms", node.wall_ns / 1e6);
+  }
+  *out += ")\n";
+  for (const ExplainNode& child : node.children) {
+    AppendExplainText(out, child, indent + 1);
+  }
+}
+
+void AppendExplainJson(std::string* out, const ExplainNode& node, int indent,
+                       bool include_timing) {
+  std::string pad(static_cast<size_t>(indent), ' ');
+  *out += pad + "{\"kind\": \"";
+  AppendJsonEscaped(out, node.kind);
+  *out += "\", \"object\": \"";
+  AppendJsonEscaped(out, node.object_name);
+  *out += StrFormat(
+      "\", \"est_rows\": %.17g, \"est_pages\": %.17g, \"est_cost\": %.17g, "
+      "\"actual_rows\": %lld, \"actual_pages\": %.17g, \"actual_work\": %.17g",
+      node.est_rows, node.est_pages, node.est_cost,
+      static_cast<long long>(node.actual_rows), node.actual_pages,
+      node.actual_work);
+  *out += ", \"wall_ns\": " +
+          RenderJsonDurationNs(node.wall_ns, include_timing) +
+          ", \"children\": [";
+  if (!node.children.empty()) {
+    *out += "\n";
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      AppendExplainJson(out, node.children[i], indent + 2, include_timing);
+      *out += i + 1 < node.children.size() ? ",\n" : "\n";
+    }
+    *out += pad;
+  }
+  *out += "]}";
+}
+
+}  // namespace
+
+std::string ExplainToText(const ExplainNode& node) {
+  std::string out;
+  AppendExplainText(&out, node, 0);
+  return out;
+}
+
+std::string ExplainToJson(const ExplainNode& node, bool include_timing) {
+  std::string out;
+  AppendExplainJson(&out, node, 0, include_timing);
+  out += "\n";
+  return out;
+}
+
+std::string ExplainDocumentToJson(const std::vector<QueryExplain>& queries,
+                                  bool include_timing) {
+  std::string out = "{\n  \"schema_version\": 1,\n  \"queries\": [\n";
+  for (size_t i = 0; i < queries.size(); ++i) {
+    out += "    {\"query\": \"";
+    AppendJsonEscaped(&out, queries[i].query_text);
+    out += "\",\n     \"plan\":\n";
+    AppendExplainJson(&out, queries[i].root, 6, include_timing);
+    out += "\n    }";
+    out += i + 1 < queries.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+namespace {
+
+void ObserveRowsQError(const ExplainNode& node, MetricsRegistry* registry) {
+  registry
+      ->histogram(std::string(kMetricCalibrationRowsQErrorPrefix) + node.kind)
+      ->Observe(
+          QError(node.est_rows, static_cast<double>(node.actual_rows)));
+  for (const ExplainNode& child : node.children) {
+    ObserveRowsQError(child, registry);
+  }
+}
+
+}  // namespace
+
+void ObserveCalibration(const ExplainNode& root, MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  registry->counter(kMetricCalibrationQueries)->Increment();
+  registry->histogram(kMetricCalibrationCostQError)
+      ->Observe(QError(root.est_cost, root.actual_work));
+  registry->histogram(kMetricCalibrationPagesQError)
+      ->Observe(QError(root.est_pages, root.actual_pages));
+  ObserveRowsQError(root, registry);
+}
+
+}  // namespace xmlshred

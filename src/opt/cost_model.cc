@@ -9,4 +9,10 @@ double SortCost(double rows) {
   return kSortRowCost * rows * std::log2(rows);
 }
 
+double QError(double estimated, double actual) {
+  double e = estimated < 1 ? 1 : estimated;
+  double a = actual < 1 ? 1 : actual;
+  return e > a ? e / a : a / e;
+}
+
 }  // namespace xmlshred

@@ -27,6 +27,12 @@ inline constexpr double kSortRowCost = 0.0004;
 // Cost of sorting `rows` in-memory rows.
 double SortCost(double rows);
 
+// q-error of an estimate against the observed actual: max(e/a, a/e) with
+// both sides clamped to >= 1 first, so zero-row results don't divide by
+// zero and the result is always >= 1 (1.0 = exact). The standard cardinality-
+// estimation quality measure; calibration histograms observe this.
+double QError(double estimated, double actual);
+
 }  // namespace xmlshred
 
 #endif  // XMLSHRED_OPT_COST_MODEL_H_

@@ -57,10 +57,16 @@ std::string PlanNode::ToString(int indent) const {
   if (!residual_filters.empty()) {
     line += StrFormat(" residual=%zu", residual_filters.size());
   }
-  line += StrFormat("  [rows=%.0f cost=%.1f]", est_rows, est_cost);
+  line += StrFormat("  [rows=%.0f pages=%.1f cost=%.1f]", est_rows, est_pages,
+                    est_cost);
   line += "\n";
   for (const auto& child : children) line += child->ToString(indent + 1);
   return line;
+}
+
+std::string PlannedQuery::Explain() const {
+  if (root == nullptr) return "(no plan)\n";
+  return root->ToString();
 }
 
 }  // namespace xmlshred

@@ -80,9 +80,13 @@ struct PlanNode {
 
   std::vector<std::unique_ptr<PlanNode>> children;
 
-  // Optimizer annotations.
+  // Optimizer annotations, all inclusive of the subtree below this node:
+  // output cardinality, total work-unit cost (opt/cost_model.h), and total
+  // distinct pages expected to be touched (the page component of est_cost,
+  // mixing sequential and random reads).
   double est_rows = 0;
   double est_cost = 0;
+  double est_pages = 0;
 
   // Position of `slot` in `output`, or -1.
   int FindSlot(const ColumnSlot& slot) const;
@@ -98,6 +102,11 @@ struct PlannedQuery {
   // Names of every relational object (table / index / view) the plan
   // touches — the paper's I(Q, M) set used by cost derivation (§4.8).
   std::set<std::string> objects_used;
+
+  // EXPLAIN rendering: the estimate-annotated plan tree as indented text.
+  // Pair with exec/explain.h's ExplainToText for EXPLAIN ANALYZE output
+  // that adds per-operator actuals.
+  std::string Explain() const;
 };
 
 }  // namespace xmlshred

@@ -184,7 +184,8 @@ class BlockPlanner {
     node->object_name = view.def.name;
     node->output = std::move(output);
     node->est_rows = static_cast<double>(view.row_count());
-    node->est_cost = static_cast<double>(view.NumPages()) * kSeqPageCost +
+    node->est_pages = static_cast<double>(view.NumPages());
+    node->est_cost = node->est_pages * kSeqPageCost +
                      node->est_rows * kCpuRowCost;
     return node;
   }
@@ -216,8 +217,9 @@ class BlockPlanner {
     node->residual_filters = info.filters;
     for (int c : info.needed) node->output.push_back({t, c});
     node->est_rows = info.filtered_rows;
+    node->est_pages = static_cast<double>(info.desc->NumPages());
     node->est_cost =
-        static_cast<double>(info.desc->NumPages()) * kSeqPageCost +
+        node->est_pages * kSeqPageCost +
         static_cast<double>(info.desc->row_count()) * kCpuRowCost;
     return node;
   }
@@ -275,7 +277,8 @@ class BlockPlanner {
       node->residual_filters = info.filters;
       for (int c : info.needed) node->output.push_back({t, c});
       node->est_rows = info.filtered_rows;
-      node->est_cost = static_cast<double>(idx.NumPages()) * kSeqPageCost +
+      node->est_pages = static_cast<double>(idx.NumPages());
+      node->est_cost = node->est_pages * kSeqPageCost +
                        static_cast<double>(idx.entry_count) * kCpuRowCost;
       return node;
     }
@@ -312,14 +315,14 @@ class BlockPlanner {
     node->est_rows = info.filtered_rows;
     if (covering) {
       node->kind = PlanKind::kIndexOnlyScan;
-      node->est_cost = static_cast<double>(probe_pages) * kRandPageCost +
-                       matches * kCpuRowCost;
+      node->est_pages = static_cast<double>(probe_pages);
+      node->est_cost = node->est_pages * kRandPageCost + matches * kCpuRowCost;
     } else {
       node->kind = PlanKind::kIndexSeek;
       double fetch_pages = std::min(
           matches, static_cast<double>(info.desc->NumPages()));
-      node->est_cost = static_cast<double>(probe_pages) * kRandPageCost +
-                       fetch_pages * kRandPageCost + matches * kCpuRowCost;
+      node->est_pages = static_cast<double>(probe_pages) + fetch_pages;
+      node->est_cost = node->est_pages * kRandPageCost + matches * kCpuRowCost;
     }
     return node;
   }
@@ -404,15 +407,14 @@ class BlockPlanner {
           double probe_pages = static_cast<double>(IndexProbePagesFor(
               idx->NumPages(), idx->entry_bytes,
               static_cast<int64_t>(per_probe_matches)));
-          double cost = plan->est_cost +
-                        cur_rows * probe_pages * kRandPageCost +
-                        result_rows * kCpuRowCost;
+          double pages = cur_rows * probe_pages;
           if (!covering) {
-            cost += std::min(cur_rows * per_probe_matches,
-                             static_cast<double>(inner.desc->NumPages()) *
-                                 4.0) *
-                    kRandPageCost;
+            pages += std::min(cur_rows * per_probe_matches,
+                              static_cast<double>(inner.desc->NumPages()) *
+                                  4.0);
           }
+          double cost = plan->est_cost + pages * kRandPageCost +
+                        result_rows * kCpuRowCost;
           if (cost < inl_cost) {
             auto node = std::make_unique<PlanNode>();
             node->kind = PlanKind::kIndexNlJoin;
@@ -426,6 +428,7 @@ class BlockPlanner {
             node->output = plan->output;
             for (int c : inner.needed) node->output.push_back({next, c});
             node->est_rows = result_rows;
+            node->est_pages = plan->est_pages + pages;
             node->est_cost = cost;
             inl = std::move(node);
             inl_cost = cost;
@@ -452,6 +455,7 @@ class BlockPlanner {
           node->output.push_back(slot);
         }
         node->est_rows = result_rows;
+        node->est_pages = plan->est_pages + build->est_pages;
         node->est_cost = hash_cost;
         node->children.push_back(std::move(plan));
         node->children.push_back(std::move(build));
@@ -477,6 +481,7 @@ class BlockPlanner {
       }
     }
     node->est_rows = input->est_rows;
+    node->est_pages = input->est_pages;
     node->est_cost = input->est_cost;
     node->children.push_back(std::move(input));
     return node;
@@ -522,6 +527,7 @@ Result<PlannedQuery> PlanQuery(const BoundQuery& query,
   std::vector<std::unique_ptr<PlanNode>> block_plans;
   double total_rows = 0;
   double total_cost = 0;
+  double total_pages = 0;
   for (const BoundBlock& block : query.blocks) {
     if (options.governor != nullptr) {
       XS_RETURN_IF_ERROR(options.governor->ChargeWork(1.0));
@@ -530,6 +536,7 @@ Result<PlannedQuery> PlanQuery(const BoundQuery& query,
     XS_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> plan, planner.Plan());
     total_rows += plan->est_rows;
     total_cost += plan->est_cost;
+    total_pages += plan->est_pages;
     block_plans.push_back(std::move(plan));
   }
 
@@ -540,6 +547,7 @@ Result<PlannedQuery> PlanQuery(const BoundQuery& query,
     root = std::make_unique<PlanNode>();
     root->kind = PlanKind::kUnionAll;
     root->est_rows = total_rows;
+    root->est_pages = total_pages;
     root->est_cost = total_cost;
     root->children = std::move(block_plans);
   }
@@ -549,6 +557,7 @@ Result<PlannedQuery> PlanQuery(const BoundQuery& query,
     sort->kind = PlanKind::kSort;
     sort->sort_ordinals = query.order_by;
     sort->est_rows = total_rows;
+    sort->est_pages = total_pages;
     sort->est_cost = total_cost + SortCost(total_rows);
     sort->children.push_back(std::move(root));
     root = std::move(sort);

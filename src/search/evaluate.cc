@@ -18,6 +18,14 @@ Result<WorkloadEvaluation> EvaluateOnData(const SearchResult& result,
                                           const XmlDocument& doc,
                                           const XPathWorkload& workload,
                                           const ExecContext& exec) {
+  return EvaluateOnData(result, doc, workload, exec, EvaluateOptions{});
+}
+
+Result<WorkloadEvaluation> EvaluateOnData(const SearchResult& result,
+                                          const XmlDocument& doc,
+                                          const XPathWorkload& workload,
+                                          const ExecContext& exec,
+                                          const EvaluateOptions& options) {
   SpanScope span(exec.trace, "evaluate");
   Database db;
   XS_ASSIGN_OR_RETURN(
@@ -42,22 +50,16 @@ Result<WorkloadEvaluation> EvaluateOnData(const SearchResult& result,
 
   PlannerOptions planner_options;
   planner_options.metrics = exec.metrics;
-  Counter* exec_queries = nullptr;
-  Counter* exec_rows_out = nullptr;
-  Gauge* exec_work = nullptr;
-  Gauge* exec_pages_seq = nullptr;
-  Gauge* exec_pages_rand = nullptr;
-  Histogram* exec_rows_hist = nullptr;
-  if (exec.metrics != nullptr) {
-    exec_queries = exec.metrics->counter(kMetricExecQueries);
-    exec_rows_out = exec.metrics->counter(kMetricExecRowsOut);
-    exec_work = exec.metrics->gauge(kMetricExecWork);
-    exec_pages_seq = exec.metrics->gauge(kMetricExecPagesSequential);
-    exec_pages_rand = exec.metrics->gauge(kMetricExecPagesRandom);
-    exec_rows_hist = exec.metrics->histogram(kMetricExecRowsPerQuery);
-  }
 
   Executor executor(db);
+  ExecOptions exec_options;
+  exec_options.governor = exec.governor;
+  exec_options.metrics = exec.metrics;
+  exec_options.capture_timing = options.capture_timing;
+  // Explain trees are cheap (one small node per operator); build them
+  // whenever either a caller wants them or a registry is listening for
+  // calibration q-errors.
+  bool want_explain = options.collect_explain || exec.metrics != nullptr;
   for (const XPathQuery& query : workload) {
     SpanScope query_span(exec.trace, "exec.query");
     query_span.Attr("xpath", query.ToString());
@@ -67,21 +69,20 @@ Result<WorkloadEvaluation> EvaluateOnData(const SearchResult& result,
                         BindQuery(translated.sql, catalog));
     XS_ASSIGN_OR_RETURN(PlannedQuery planned,
                         PlanQuery(bound, catalog, planner_options));
+    ExplainNode tree;
+    if (want_explain) tree = BuildExplainTree(*planned.root);
+    exec_options.explain = want_explain ? &tree : nullptr;
     ExecMetrics metrics;
     XS_RETURN_IF_ERROR(
-        executor.Run(*planned.root, &metrics, exec.governor).status());
+        executor.Run(*planned.root, &metrics, exec_options).status());
     evaluation.per_query_work.push_back(metrics.work);
     evaluation.total_work += query.weight * metrics.work;
-    if (exec.metrics != nullptr) {
-      exec_queries->Increment();
-      exec_rows_out->Add(metrics.rows_out);
-      exec_work->Add(metrics.work);
-      exec_pages_seq->Add(metrics.pages_sequential);
-      exec_pages_rand->Add(metrics.pages_random);
-      exec_rows_hist->Observe(static_cast<double>(metrics.rows_out));
-    }
+    if (want_explain) ObserveCalibration(tree, exec.metrics);
     query_span.Attr("rows_out", metrics.rows_out);
     query_span.Attr("work", metrics.work);
+    if (options.collect_explain) {
+      evaluation.explains.push_back({query.ToString(), std::move(tree)});
+    }
   }
   return evaluation;
 }

@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "exec/explain.h"
 #include "search/problem.h"
 #include "xml/document.h"
 
@@ -18,6 +19,17 @@ struct WorkloadEvaluation {
   std::vector<double> per_query_work;
   int64_t data_pages = 0;
   int64_t structure_pages = 0;  // really-built indexes and views
+  // One EXPLAIN ANALYZE tree per workload query, in workload order —
+  // only populated under EvaluateOptions::collect_explain.
+  std::vector<QueryExplain> explains;
+};
+
+struct EvaluateOptions {
+  // Keep each query's explain tree in WorkloadEvaluation::explains.
+  bool collect_explain = false;
+  // Record per-operator wall time in the explain trees (clock reads;
+  // breaks bit-identity of timing fields, like trace durations).
+  bool capture_timing = false;
 };
 
 // Loads `doc` under `result`'s mapping, applies its configuration, and
@@ -28,12 +40,20 @@ Result<WorkloadEvaluation> EvaluateOnData(const SearchResult& result,
 
 // ExecContext overload: additionally publishes the "shred.*" counters
 // (rows/elements loaded), the "exec.*" metrics (queries run, rows out,
-// metered work and page reads), and "planner.*" for each executed query
-// to exec.metrics, under "evaluate"/"exec.query" spans on exec.trace.
+// metered work and page reads), "planner.*" for each executed query, and
+// the "calibration.*" estimated-vs-actual q-errors to exec.metrics, under
+// "evaluate"/"exec.query" spans on exec.trace.
 Result<WorkloadEvaluation> EvaluateOnData(const SearchResult& result,
                                           const XmlDocument& doc,
                                           const XPathWorkload& workload,
                                           const ExecContext& exec);
+
+// Full-options overload; the others forward here with defaults.
+Result<WorkloadEvaluation> EvaluateOnData(const SearchResult& result,
+                                          const XmlDocument& doc,
+                                          const XPathWorkload& workload,
+                                          const ExecContext& exec,
+                                          const EvaluateOptions& options);
 
 }  // namespace xmlshred
 

@@ -3,11 +3,15 @@
 
 #include <gtest/gtest.h>
 
+#include "common/logging.h"
 #include "common/rng.h"
 #include "opt/cost_model.h"
 #include "opt/planner.h"
+#include "rel/catalog.h"
 #include "rel/index.h"
 #include "rel/stats.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
 
 namespace xmlshred {
 namespace {
@@ -21,6 +25,70 @@ TEST(CostModelTest, SortCostMonotonic) {
     EXPECT_GT(cost, prev);
     prev = cost;
   }
+}
+
+TEST(CostModelTest, QErrorBasics) {
+  EXPECT_EQ(QError(100, 100), 1.0);
+  EXPECT_EQ(QError(200, 100), 2.0);
+  // Symmetric: under- and over-estimation penalized equally.
+  EXPECT_EQ(QError(100, 200), 2.0);
+  // Both sides clamp to >= 1, so empty results are well-defined.
+  EXPECT_EQ(QError(0, 0), 1.0);
+  EXPECT_EQ(QError(0.25, 0), 1.0);
+  EXPECT_EQ(QError(8, 0), 8.0);
+  EXPECT_EQ(QError(0, 8), 8.0);
+  EXPECT_GE(QError(3.7, 912.0), 1.0);
+}
+
+// The planner's access-path choice flips where the cost formulas cross:
+// a selective predicate (few matches -> few random probes) favors the
+// index, an unselective one (random pages cost 2.5x sequential) falls
+// back to the full scan.
+TEST(CostModelTest, SeqVsIndexCrossover) {
+  TableSchema schema;
+  schema.name = "t";
+  schema.columns = {{"ID", ColumnType::kInt64, false},
+                    {"PID", ColumnType::kInt64, true},
+                    {"hi", ColumnType::kInt64, true},   // 500 distinct
+                    {"lo", ColumnType::kInt64, true},   // 2 distinct
+                    {"payload", ColumnType::kString, true}};
+  schema.id_column = 0;
+  schema.pid_column = 1;
+  Database db;
+  auto table = db.CreateTable(schema);
+  ASSERT_TRUE(table.ok());
+  for (int i = 0; i < 20000; ++i) {
+    (*table)->AppendRow({Value::Int(i), Value::Null(), Value::Int(i % 500),
+                         Value::Int(i % 2),
+                         Value::Str("payload_padding_string_" +
+                                    std::to_string(i))});
+  }
+  // Non-covering indexes: every match costs a random row fetch, so the
+  // match count drives the crossover.
+  for (int column : {2, 3}) {
+    IndexDef idx;
+    idx.name = "ix_" + schema.columns[column].name;
+    idx.table = "t";
+    idx.key_columns = {column};
+    ASSERT_TRUE(db.CreateIndex(idx).ok());
+  }
+
+  auto scan_kind_for = [&](const std::string& sql) {
+    auto parsed = ParseSql(sql);
+    XS_CHECK_OK(parsed.status());
+    CatalogDesc catalog = db.BuildCatalogDesc();
+    auto bound = BindQuery(*parsed, catalog);
+    XS_CHECK_OK(bound.status());
+    auto planned = PlanQuery(*bound, catalog);
+    XS_CHECK_OK(planned.status());
+    const PlanNode* node = planned->root.get();
+    while (node->kind == PlanKind::kProject) node = node->children[0].get();
+    return node->kind;
+  };
+  EXPECT_EQ(scan_kind_for("SELECT payload FROM t WHERE hi = 3"),
+            PlanKind::kIndexSeek);
+  EXPECT_EQ(scan_kind_for("SELECT payload FROM t WHERE lo = 1"),
+            PlanKind::kHeapScan);
 }
 
 TEST(CostModelTest, ProbePagesGrowWithMatches) {

@@ -1,0 +1,330 @@
+// EXPLAIN / EXPLAIN ANALYZE and cost-model calibration (DESIGN.md §10):
+// the explain tree mirrors the plan with the planner's estimates, the
+// executor fills inclusive actuals with zero clock reads by default, the
+// JSON export is deterministic and shares the trace exporter's
+// zero-duration convention, and calibration q-errors land in the metrics
+// registry and surface through RunReport.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/logging.h"
+#include "common/run_report.h"
+#include "common/trace.h"
+#include "exec/executor.h"
+#include "exec/explain.h"
+#include "opt/cost_model.h"
+#include "opt/planner.h"
+#include "rel/catalog.h"
+#include "search/evaluate.h"
+#include "search/greedy.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+#include "workload/movie.h"
+#include "workload/query_gen.h"
+
+namespace xmlshred {
+namespace {
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TableSchema schema;
+    schema.name = "t";
+    schema.columns = {{"ID", ColumnType::kInt64, false},
+                      {"PID", ColumnType::kInt64, true},
+                      {"k", ColumnType::kInt64, true},
+                      {"payload", ColumnType::kString, true}};
+    schema.id_column = 0;
+    schema.pid_column = 1;
+    auto result = db_.CreateTable(schema);
+    ASSERT_TRUE(result.ok());
+    for (int i = 0; i < 20000; ++i) {
+      (*result)->AppendRow({Value::Int(i), Value::Null(),
+                            Value::Int(i % 500),
+                            Value::Str("payload_padding_string_" +
+                                       std::to_string(i))});
+    }
+  }
+
+  PlannedQuery PlanFor(const std::string& sql) {
+    auto parsed = ParseSql(sql);
+    XS_CHECK_OK(parsed.status());
+    CatalogDesc catalog = db_.BuildCatalogDesc();
+    auto bound = BindQuery(*parsed, catalog);
+    XS_CHECK_OK(bound.status());
+    auto planned = PlanQuery(*bound, catalog);
+    XS_CHECK_OK(planned.status());
+    return std::move(*planned);
+  }
+
+  // EXPLAIN ANALYZE one statement: plan, build the tree, execute with
+  // recording, return {tree, per-query metrics}.
+  std::pair<ExplainNode, ExecMetrics> Analyze(const std::string& sql,
+                                              const ExecOptions& base = {}) {
+    PlannedQuery planned = PlanFor(sql);
+    ExplainNode tree = BuildExplainTree(*planned.root);
+    ExecOptions options = base;
+    options.explain = &tree;
+    Executor executor(db_);
+    ExecMetrics metrics;
+    XS_CHECK_OK(executor.Run(*planned.root, &metrics, options).status());
+    return {std::move(tree), metrics};
+  }
+
+  Database db_;
+};
+
+TEST_F(ExplainTest, BuildExplainTreeMirrorsPlanWithEstimates) {
+  PlannedQuery planned = PlanFor("SELECT payload FROM t WHERE k = 3");
+  ExplainNode tree = BuildExplainTree(*planned.root);
+  // Project over a heap scan; estimates copied verbatim.
+  EXPECT_EQ(tree.kind, "Project");
+  ASSERT_EQ(tree.children.size(), 1u);
+  EXPECT_EQ(tree.children[0].kind, "HeapScan");
+  EXPECT_EQ(tree.children[0].object_name, "t");
+  EXPECT_EQ(tree.est_cost, planned.root->est_cost);
+  EXPECT_EQ(tree.children[0].est_rows, planned.root->children[0]->est_rows);
+  EXPECT_EQ(tree.children[0].est_pages,
+            static_cast<double>(db_.FindTable("t")->NumPages()));
+  // Actuals untouched until a run fills them in.
+  EXPECT_EQ(tree.actual_rows, 0);
+  EXPECT_EQ(tree.actual_work, 0);
+  // The annotated text rendering is the EXPLAIN surface.
+  std::string text = planned.Explain();
+  EXPECT_NE(text.find("Project"), std::string::npos);
+  EXPECT_NE(text.find("HeapScan t"), std::string::npos);
+  EXPECT_NE(text.find("pages="), std::string::npos);
+}
+
+TEST_F(ExplainTest, ActualsAreInclusiveAndMatchRunMetrics) {
+  auto [tree, metrics] = Analyze("SELECT payload FROM t WHERE k = 3");
+  // k = i % 500 over 20000 rows -> exactly 40 matches.
+  EXPECT_EQ(tree.actual_rows, 40);
+  ASSERT_EQ(tree.children.size(), 1u);
+  EXPECT_EQ(tree.children[0].actual_rows, 40);
+  // Root actuals are inclusive, so they equal the whole run's meter.
+  EXPECT_EQ(tree.actual_work, metrics.work);
+  EXPECT_EQ(tree.actual_pages,
+            metrics.pages_sequential + metrics.pages_random);
+  // The scan below did all the page work.
+  EXPECT_EQ(tree.children[0].actual_pages, tree.actual_pages);
+  // No clock reads without capture_timing.
+  EXPECT_EQ(tree.wall_ns, 0);
+  EXPECT_EQ(tree.children[0].wall_ns, 0);
+}
+
+TEST_F(ExplainTest, IndexPathActualsAreRandomPages) {
+  IndexDef idx;
+  idx.name = "ix";
+  idx.table = "t";
+  idx.key_columns = {2};
+  idx.included_columns = {3};
+  ASSERT_TRUE(db_.CreateIndex(idx).ok());
+  auto [tree, metrics] = Analyze("SELECT payload FROM t WHERE k = 3");
+  ASSERT_EQ(tree.children.size(), 1u);
+  EXPECT_EQ(tree.children[0].kind, "IndexOnlyScan");
+  EXPECT_EQ(metrics.pages_sequential, 0);
+  EXPECT_EQ(tree.children[0].actual_pages, metrics.pages_random);
+}
+
+TEST_F(ExplainTest, CaptureTimingRecordsWallTime) {
+  ExecOptions base;
+  base.capture_timing = true;
+  auto [tree, metrics] = Analyze("SELECT payload FROM t WHERE k = 3", base);
+  (void)metrics;
+  EXPECT_GT(tree.wall_ns, 0);
+  // Parent (inclusive) >= child.
+  ASSERT_EQ(tree.children.size(), 1u);
+  EXPECT_GE(tree.wall_ns, tree.children[0].wall_ns);
+}
+
+TEST_F(ExplainTest, JsonDeterministicAndSharesZeroDurationConvention) {
+  ExecOptions timed;
+  timed.capture_timing = true;
+  auto [with_timing, m1] = Analyze("SELECT payload FROM t WHERE k = 3",
+                                   timed);
+  auto [without_timing, m2] = Analyze("SELECT payload FROM t WHERE k = 3");
+  (void)m1;
+  (void)m2;
+  // include_timing=false scrubs the only clock-dependent field, so a
+  // timed and an untimed run export bit-identical documents.
+  std::string scrubbed = ExplainToJson(with_timing, /*include_timing=*/false);
+  EXPECT_EQ(scrubbed, ExplainToJson(without_timing, false));
+  EXPECT_NE(scrubbed.find("\"wall_ns\": 0,"), std::string::npos);
+  // The timed export preserves the value.
+  EXPECT_NE(ExplainToJson(with_timing, /*include_timing=*/true), scrubbed);
+  // One zero-duration convention shared with the trace exporter.
+  EXPECT_EQ(RenderJsonDurationNs(1234.5, false), "0");
+  EXPECT_EQ(RenderJsonDurationNs(1234.5, true), "1234.5");
+}
+
+TEST_F(ExplainTest, MismatchedTreeIsRejected) {
+  PlannedQuery planned = PlanFor("SELECT payload FROM t WHERE k = 3");
+  ExplainNode foreign;  // no children — does not mirror Project(HeapScan)
+  ExecOptions options;
+  options.explain = &foreign;
+  Executor executor(db_);
+  ExecMetrics metrics;
+  auto result = executor.Run(*planned.root, &metrics, options);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExplainTest, ExecMetricsPublishedToRegistry) {
+  MetricsRegistry registry;
+  ExecOptions options;
+  options.metrics = &registry;
+  auto [tree, metrics] = Analyze("SELECT payload FROM t WHERE k = 3",
+                                 options);
+  (void)tree;
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.at(kMetricExecQueries), 1);
+  EXPECT_EQ(snapshot.counters.at(kMetricExecRowsOut), 40);
+  EXPECT_EQ(snapshot.gauges.at(kMetricExecWork), metrics.work);
+  EXPECT_EQ(snapshot.gauges.at(kMetricExecPagesSequential),
+            metrics.pages_sequential);
+  EXPECT_EQ(snapshot.histograms.at(kMetricExecRowsPerQuery).count, 1);
+}
+
+// The golden calibration claim: an unfiltered scan's estimates are exact
+// — est_rows is the row count and est_cost prices exactly the pages and
+// rows the executor charges — so every q-error is exactly 1.0, bit-exact.
+TEST_F(ExplainTest, CalibrationGoldenExactScanQErrorIsOne) {
+  auto [tree, metrics] = Analyze("SELECT k FROM t");
+  (void)metrics;
+  EXPECT_EQ(QError(tree.est_rows, static_cast<double>(tree.actual_rows)),
+            1.0);
+  EXPECT_EQ(QError(tree.est_cost, tree.actual_work), 1.0);
+  EXPECT_EQ(QError(tree.est_pages, tree.actual_pages), 1.0);
+
+  MetricsRegistry registry;
+  ObserveCalibration(tree, &registry);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.at(kMetricCalibrationQueries), 1);
+  // Every observation was exactly 1.0: sum == count in each histogram.
+  for (const char* name :
+       {kMetricCalibrationCostQError, kMetricCalibrationPagesQError}) {
+    const HistogramSnapshot& h = snapshot.histograms.at(name);
+    EXPECT_EQ(h.count, 1) << name;
+    EXPECT_EQ(h.sum, 1.0) << name;
+  }
+  const HistogramSnapshot& heap = snapshot.histograms.at(
+      std::string(kMetricCalibrationRowsQErrorPrefix) + "HeapScan");
+  EXPECT_EQ(heap.count, 1);
+  EXPECT_EQ(heap.sum, 1.0);
+  const HistogramSnapshot& project = snapshot.histograms.at(
+      std::string(kMetricCalibrationRowsQErrorPrefix) + "Project");
+  EXPECT_EQ(project.count, 1);
+  EXPECT_EQ(project.sum, 1.0);
+}
+
+TEST_F(ExplainTest, RunReportCarriesCalibrationSection) {
+  auto [tree, metrics] = Analyze("SELECT k FROM t");
+  (void)metrics;
+  MetricsRegistry registry;
+  ObserveCalibration(tree, &registry);
+  ObserveCalibration(tree, &registry);
+  RunReport report = RunReportFromMetrics(registry.Snapshot(), "greedy");
+  EXPECT_EQ(report.calibration.queries, 2);
+  EXPECT_EQ(report.calibration.cost.count, 2);
+  EXPECT_EQ(report.calibration.cost.mean, 1.0);
+  // A 1.0 observation lands in the [1, 2) bucket, so the deterministic
+  // "worst estimate below X" bound is 2.
+  EXPECT_EQ(report.calibration.cost.max_bound, 2.0);
+  // Kinds the run never executed are omitted; present ones sorted.
+  ASSERT_EQ(report.calibration.operators.size(), 2u);
+  EXPECT_EQ(report.calibration.operators[0].kind, "HeapScan");
+  EXPECT_EQ(report.calibration.operators[1].kind, "Project");
+  std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"calibration\""), std::string::npos);
+  EXPECT_NE(json.find("\"cost_qerror\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"HeapScan\""), std::string::npos);
+}
+
+TEST(CalibrationKinds, ListMatchesPlanKinds) {
+  // The pre-registered per-kind histogram family must cover exactly the
+  // PlanKindToString values (metrics.h can't include opt/ headers).
+  constexpr PlanKind kAll[] = {
+      PlanKind::kHeapScan,    PlanKind::kIndexSeek,
+      PlanKind::kIndexOnlyScan, PlanKind::kViewScan,
+      PlanKind::kIndexNlJoin, PlanKind::kHashJoin,
+      PlanKind::kProject,     PlanKind::kUnionAll,
+      PlanKind::kSort,
+  };
+  EXPECT_EQ(std::size(kCalibrationOperatorKinds), std::size(kAll));
+  for (PlanKind kind : kAll) {
+    bool found = false;
+    for (const char* name : kCalibrationOperatorKinds) {
+      if (std::string(name) == PlanKindToString(kind)) found = true;
+    }
+    EXPECT_TRUE(found) << PlanKindToString(kind);
+  }
+}
+
+// --- End to end through the advisor pipeline ---
+
+class ExplainPipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MovieConfig config;
+    config.num_movies = 800;
+    data_ = GenerateMovie(config);
+    auto stats = XmlStatistics::Collect(data_.doc, *data_.tree);
+    ASSERT_TRUE(stats.ok()) << stats.status();
+    stats_ = std::make_unique<XmlStatistics>(std::move(*stats));
+    problem_.tree = data_.tree.get();
+    problem_.stats = stats_.get();
+    auto mapping = Mapping::Build(*data_.tree);
+    ASSERT_TRUE(mapping.ok());
+    CatalogDesc catalog = stats_->DeriveCatalog(*data_.tree, *mapping);
+    problem_.storage_bound_pages = catalog.DataPages() * 6 + 1024;
+    WorkloadSpec spec;
+    spec.num_queries = 4;
+    spec.seed = 11;
+    auto workload = GenerateWorkload(*data_.tree, *stats_, spec);
+    ASSERT_TRUE(workload.ok()) << workload.status();
+    problem_.workload = std::move(*workload);
+  }
+
+  GeneratedData data_;
+  std::unique_ptr<XmlStatistics> stats_;
+  DesignProblem problem_;
+};
+
+TEST_F(ExplainPipelineTest, EvaluateCollectsExplainsAndFeedsCalibration) {
+  GreedyOptions options;
+  options.num_threads = 1;
+  auto result = GreedySearch(problem_, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  auto document_of = [&]() {
+    MetricsRegistry registry;
+    ExecContext exec;
+    exec.metrics = &registry;
+    EvaluateOptions eval_options;
+    eval_options.collect_explain = true;
+    auto eval = EvaluateOnData(*result, data_.doc, problem_.workload, exec,
+                               eval_options);
+    EXPECT_TRUE(eval.ok()) << eval.status();
+    EXPECT_EQ(eval->explains.size(), problem_.workload.size());
+    // Every executed query fed the calibration histograms.
+    MetricsSnapshot snapshot = registry.Snapshot();
+    EXPECT_EQ(snapshot.counters.at(kMetricCalibrationQueries),
+              static_cast<int64_t>(problem_.workload.size()));
+    EXPECT_EQ(
+        snapshot.histograms.at(kMetricCalibrationCostQError).count,
+        static_cast<int64_t>(problem_.workload.size()));
+    return ExplainDocumentToJson(eval->explains, /*include_timing=*/false);
+  };
+  std::string first = document_of();
+  EXPECT_NE(first.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(first.find("\"queries\""), std::string::npos);
+  // Evaluation is serial and the document carries no clock values, so a
+  // repeat run is bit-identical.
+  EXPECT_EQ(first, document_of());
+}
+
+}  // namespace
+}  // namespace xmlshred

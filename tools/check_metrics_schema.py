@@ -1,21 +1,25 @@
 #!/usr/bin/env python3
-"""Validates a metrics export against tools/metrics_schema.json.
+"""Validates a JSON export against one of the tools/*_schema.json files.
 
 Stdlib-only (CI runners have no jsonschema package): this interprets the
-subset of JSON Schema the schema file actually uses — required keys,
-const, integer/number/object/array types, minimum, additionalProperties —
-plus two domain invariants the schema language cannot express:
+subset of JSON Schema the schema files actually use — required keys,
+const, enum, string/boolean/integer/number/object/array types, minimum,
+additionalProperties, and local '#/definitions/...' $refs (which makes
+the recursive explain plan-node schema expressible) — plus two domain
+invariants the schema language cannot state for metrics exports:
 
   * histogram bucket upper bounds ('le') strictly ascend, and
   * the bucket counts of a histogram sum to its 'count'.
 
 Usage:
   tools/check_metrics_schema.py FILE.json [FILE2.json ...]
+      [--schema tools/explain_schema.json]
       [--min-counter NAME=VALUE ...]
 
---min-counter asserts a floor on a counter (e.g. search.runs=1) so CI can
-require that the instrumented pipeline actually ran, not just that an
-empty registry was serialized.
+--schema picks the schema document (default: metrics_schema.json, which
+also enables the histogram invariants). --min-counter asserts a floor on
+a counter (e.g. search.runs=1) so CI can require that the instrumented
+pipeline actually ran, not just that an empty registry was serialized.
 """
 
 import argparse
@@ -39,6 +43,12 @@ def check_type(value, expected, where):
     elif expected == "number":
         if not isinstance(value, (int, float)) or isinstance(value, bool):
             raise ValidationError(f"{where}: expected number, got {value!r}")
+    elif expected == "string":
+        if not isinstance(value, str):
+            raise ValidationError(f"{where}: expected string, got {value!r}")
+    elif expected == "boolean":
+        if not isinstance(value, bool):
+            raise ValidationError(f"{where}: expected boolean, got {value!r}")
     elif expected == "object":
         if not isinstance(value, dict):
             raise ValidationError(f"{where}: expected object")
@@ -49,11 +59,34 @@ def check_type(value, expected, where):
         raise ValidationError(f"{where}: unsupported schema type {expected}")
 
 
-def validate(value, schema, where):
+def resolve_ref(ref, root, where):
+    if not ref.startswith("#/"):
+        raise ValidationError(f"{where}: unsupported $ref {ref!r}")
+    node = root
+    for part in ref[2:].split("/"):
+        if not isinstance(node, dict) or part not in node:
+            raise ValidationError(f"{where}: dangling $ref {ref!r}")
+        node = node[part]
+    return node
+
+
+def validate(value, schema, where, root=None):
+    if root is None:
+        root = schema
+    if "$ref" in schema:
+        # Local pointer; recursion terminates because every cycle in our
+        # schemas goes through an 'items'/'properties' level of the data.
+        validate(value, resolve_ref(schema["$ref"], root, where), where, root)
+        return
     if "const" in schema:
         if value != schema["const"]:
             raise ValidationError(
                 f"{where}: expected {schema['const']!r}, got {value!r}")
+        return
+    if "enum" in schema:
+        if value not in schema["enum"]:
+            raise ValidationError(
+                f"{where}: {value!r} not one of {schema['enum']}")
         return
     if "type" in schema:
         check_type(value, schema["type"], where)
@@ -68,12 +101,12 @@ def validate(value, schema, where):
         extra = schema.get("additionalProperties")
         for key, item in value.items():
             if key in props:
-                validate(item, props[key], f"{where}.{key}")
+                validate(item, props[key], f"{where}.{key}", root)
             elif isinstance(extra, dict):
-                validate(item, extra, f"{where}.{key}")
+                validate(item, extra, f"{where}.{key}", root)
     if isinstance(value, list) and isinstance(schema.get("items"), dict):
         for i, item in enumerate(value):
-            validate(item, schema["items"], f"{where}[{i}]")
+            validate(item, schema["items"], f"{where}[{i}]", root)
 
 
 def check_histogram_invariants(doc):
@@ -92,6 +125,8 @@ def check_histogram_invariants(doc):
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("files", nargs="+")
+    parser.add_argument("--schema", default=SCHEMA_PATH,
+                        help="schema document (default: metrics_schema.json)")
     parser.add_argument("--min-counter", action="append", default=[],
                         metavar="NAME=VALUE")
     args = parser.parse_args()
@@ -103,8 +138,13 @@ def main():
             parser.error(f"--min-counter needs NAME=VALUE, got {spec!r}")
         floors[name] = int(value)
 
-    with open(SCHEMA_PATH) as f:
+    with open(args.schema) as f:
         schema = json.load(f)
+    # The histogram invariants and counter floors only make sense for
+    # metrics exports, not the explain/run-report documents.
+    is_metrics = os.path.basename(args.schema) == "metrics_schema.json"
+    if floors and not is_metrics:
+        parser.error("--min-counter requires the metrics schema")
 
     failed = False
     for path in args.files:
@@ -112,7 +152,8 @@ def main():
             with open(path) as f:
                 doc = json.load(f)
             validate(doc, schema, "$")
-            check_histogram_invariants(doc)
+            if is_metrics:
+                check_histogram_invariants(doc)
             for name, floor in floors.items():
                 actual = doc["counters"].get(name)
                 if actual is None:

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Diffs two bench JSON exports (bench_results/BENCH_*.json).
+
+Stdlib-only. Walks both documents in parallel and prints every numeric
+leaf that changed as `path: old -> new (+x.x%)`, plus keys present on
+only one side. Non-numeric leaves are reported when unequal. Designed for
+eyeballing a before/after pair of the same bench (same "bench" name and
+"scale"); comparing different benches works but reports mostly
+missing-key noise.
+
+Usage:
+  tools/compare_bench.py OLD.json NEW.json [--rel-tol FRACTION]
+
+Exit code 0 when the documents are comparable; with --rel-tol, exits 1
+if any numeric leaf moved by more than the given fraction (e.g. 0.1 =
+10%), so CI can flag regressions without bit-exact goldens. Timing-
+dependent leaves are expected to move; q-error and row counts are not.
+"""
+
+import argparse
+import json
+import sys
+
+
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def walk(old, new, path, diffs):
+    if isinstance(old, dict) and isinstance(new, dict):
+        for key in sorted(set(old) | set(new)):
+            sub = f"{path}.{key}" if path else key
+            if key not in old:
+                diffs.append((sub, None, new[key], None))
+            elif key not in new:
+                diffs.append((sub, old[key], None, None))
+            else:
+                walk(old[key], new[key], sub, diffs)
+        return
+    if isinstance(old, list) and isinstance(new, list):
+        if len(old) != len(new):
+            diffs.append((f"{path}.length", len(old), len(new), None))
+        for i, (o, n) in enumerate(zip(old, new)):
+            walk(o, n, f"{path}[{i}]", diffs)
+        return
+    if is_number(old) and is_number(new):
+        if old != new:
+            rel = abs(new - old) / abs(old) if old != 0 else float("inf")
+            diffs.append((path, old, new, rel))
+        return
+    if old != new:
+        diffs.append((path, old, new, None))
+
+
+def fmt(v):
+    if is_number(v) and not isinstance(v, int):
+        return f"{v:.6g}"
+    return json.dumps(v) if v is not None else "(absent)"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("old")
+    parser.add_argument("new")
+    parser.add_argument("--rel-tol", type=float, default=None, metavar="FRACTION",
+                        help="fail if any numeric leaf moves by more than this")
+    args = parser.parse_args()
+
+    with open(args.old) as f:
+        old = json.load(f)
+    with open(args.new) as f:
+        new = json.load(f)
+
+    diffs = []
+    walk(old, new, "", diffs)
+    if not diffs:
+        print(f"identical: {args.old} == {args.new}")
+        return 0
+
+    exceeded = 0
+    for path, o, n, rel in diffs:
+        if rel is not None and rel != float("inf"):
+            sign = "+" if n >= o else "-"
+            note = f" ({sign}{rel * 100:.1f}%)"
+        else:
+            note = ""
+        over = (args.rel_tol is not None and rel is not None
+                and rel > args.rel_tol)
+        if over:
+            exceeded += 1
+        flag = "  <-- exceeds tolerance" if over else ""
+        print(f"{path}: {fmt(o)} -> {fmt(n)}{note}{flag}")
+
+    print(f"\n{len(diffs)} difference(s)")
+    if exceeded:
+        print(f"FAIL: {exceeded} leaf/leaves moved more than "
+              f"{args.rel_tol * 100:g}%", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
