@@ -1,11 +1,27 @@
-// Engine microbenchmarks (google-benchmark): the relational substrate's
-// operators and the XML pipeline's hot paths. Not a paper figure —
-// validates that the substrate behaves like a database engine (index
-// probes orders faster than scans, hash join linear, shredding linear).
+// Engine microbenchmarks: the relational substrate's operators and the
+// XML pipeline's hot paths. Not a paper figure — validates that the
+// substrate behaves like a database engine (index probes orders faster
+// than scans, hash join linear, shredding linear) and guards the
+// vectorized executor's speedups.
+//
+// Prints wall-clock per micro for humans. `--json PATH` writes only the
+// deterministic observables — result rows, metered work units, and page
+// counts per micro — so bench_results/BENCH_engine_micro.json is
+// byte-stable across machines and CI can diff it with
+// tools/compare_bench.py --rel-tol 0 (any drift in metering or results
+// is a behavioural regression, not noise).
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "bench/util.h"
 #include "common/logging.h"
+#include "common/strings.h"
 #include "exec/executor.h"
 #include "mapping/mapping.h"
 #include "mapping/shredder.h"
@@ -15,7 +31,7 @@
 #include "sql/parser.h"
 #include "workload/dblp.h"
 
-namespace xmlshred {
+namespace xmlshred::bench {
 namespace {
 
 // Shared fixture data built once.
@@ -56,7 +72,7 @@ struct EngineFixture {
     return std::move(*mapping);
   }
 
-  double RunSql(const std::string& sql) {
+  ExecMetrics RunSql(const std::string& sql) {
     auto parsed = ParseSql(sql);
     XS_CHECK_OK(parsed.status());
     auto bound = BindQuery(*parsed, catalog);
@@ -67,7 +83,7 @@ struct EngineFixture {
     ExecMetrics metrics;
     auto rows = executor.Run(*planned->root, &metrics);
     XS_CHECK_OK(rows.status());
-    return static_cast<double>(rows->size());
+    return metrics;
   }
 };
 
@@ -76,112 +92,224 @@ EngineFixture& Fixture() {
   return *fixture;
 }
 
-void BM_HeapScanFilter(benchmark::State& state) {
-  EngineFixture& f = Fixture();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        f.RunSql("SELECT pages FROM inproc WHERE year = 1990"));
-  }
-}
-BENCHMARK(BM_HeapScanFilter);
+// One micro: the deterministic observables recorded into --json (name ->
+// value, in insertion order) plus human-facing wall-clock.
+struct MicroResult {
+  std::string name;
+  std::vector<std::pair<std::string, double>> values;
+  double wall_ns_per_iter = 0;
+  int64_t iterations = 0;
+};
 
-void BM_CoveringIndexSeek(benchmark::State& state) {
-  EngineFixture& f = Fixture();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(f.RunSql(
-        "SELECT title, year FROM inproc WHERE booktitle = 'conf_0'"));
-  }
+// Times `body` adaptively: repeats until ~0.2 s elapsed (at least 3
+// iterations) so fast micros get stable averages without slow ones
+// taking seconds.
+template <typename Fn>
+void TimeMicro(MicroResult* out, Fn&& body) {
+  using clock = std::chrono::steady_clock;
+  auto start = clock::now();
+  int64_t iters = 0;
+  double elapsed_ns = 0;
+  do {
+    body();
+    ++iters;
+    elapsed_ns = std::chrono::duration<double, std::nano>(clock::now() -
+                                                          start)
+                     .count();
+  } while (elapsed_ns < 2e8 || iters < 3);
+  out->iterations = iters;
+  out->wall_ns_per_iter = elapsed_ns / static_cast<double>(iters);
 }
-BENCHMARK(BM_CoveringIndexSeek);
 
-void BM_HashJoin(benchmark::State& state) {
+MicroResult QueryMicro(const std::string& name, const std::string& sql) {
   EngineFixture& f = Fixture();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        f.RunSql("SELECT I.pages, A.author FROM inproc I, inproc_author A "
-                 "WHERE I.ID = A.PID AND I.year >= 2000"));
-  }
+  MicroResult out;
+  out.name = name;
+  ExecMetrics metrics = f.RunSql(sql);
+  out.values = {{"rows", static_cast<double>(metrics.rows_out)},
+                {"work", metrics.work},
+                {"pages_sequential", metrics.pages_sequential},
+                {"pages_random", metrics.pages_random}};
+  TimeMicro(&out, [&] { f.RunSql(sql); });
+  return out;
 }
-BENCHMARK(BM_HashJoin);
 
-void BM_IndexNestedLoopJoin(benchmark::State& state) {
+MicroResult QueryOptimizationMicro() {
   EngineFixture& f = Fixture();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        f.RunSql("SELECT I.ID, A.author FROM inproc I, inproc_author A "
-                 "WHERE I.booktitle = 'conf_0' AND I.ID = A.PID"));
-  }
-}
-BENCHMARK(BM_IndexNestedLoopJoin);
-
-void BM_SortedOuterUnion(benchmark::State& state) {
-  EngineFixture& f = Fixture();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(f.RunSql(
-        "SELECT I.ID, title, NULL FROM inproc I WHERE booktitle = 'conf_1' "
-        "UNION ALL SELECT I.ID, NULL, A.author FROM inproc I, "
-        "inproc_author A WHERE booktitle = 'conf_1' AND I.ID = A.PID "
-        "ORDER BY 1"));
-  }
-}
-BENCHMARK(BM_SortedOuterUnion);
-
-void BM_QueryOptimization(benchmark::State& state) {
-  EngineFixture& f = Fixture();
+  MicroResult out;
+  out.name = "query_optimization";
   auto parsed = ParseSql(
       "SELECT I.ID, A.author FROM inproc I, inproc_author A "
       "WHERE I.booktitle = 'conf_0' AND I.ID = A.PID");
   XS_CHECK_OK(parsed.status());
   auto bound = BindQuery(*parsed, f.catalog);
   XS_CHECK_OK(bound.status());
-  for (auto _ : state) {
-    auto planned = PlanQuery(*bound, f.catalog);
-    benchmark::DoNotOptimize(planned);
-  }
+  auto planned = PlanQuery(*bound, f.catalog);
+  XS_CHECK_OK(planned.status());
+  out.values = {{"est_cost", planned->root->est_cost}};
+  TimeMicro(&out, [&] {
+    auto p = PlanQuery(*bound, f.catalog);
+    XS_CHECK_OK(p.status());
+  });
+  return out;
 }
-BENCHMARK(BM_QueryOptimization);
 
-void BM_Shredding(benchmark::State& state) {
+MicroResult ShreddingMicro() {
   DblpConfig config;
   config.num_inproceedings = 2000;
   config.num_books = 200;
   GeneratedData data = GenerateDblp(config);
   auto mapping = Mapping::Build(*data.tree);
   XS_CHECK_OK(mapping.status());
-  for (auto _ : state) {
+  MicroResult out;
+  out.name = "shredding";
+  {
     Database db;
     auto result = ShredDocument(data.doc, *data.tree, *mapping, &db);
     XS_CHECK_OK(result.status());
-    benchmark::DoNotOptimize(result->rows);
+    out.values = {
+        {"rows", static_cast<double>(result->rows)},
+        {"elements", static_cast<double>(result->elements)},
+        {"reserved_rows", static_cast<double>(result->reserved_rows)},
+        {"saved_reallocs", static_cast<double>(result->saved_reallocs)},
+        {"dict_entries", static_cast<double>(db.dictionary().size())},
+        {"table_bytes", static_cast<double>(db.TotalTableBytes())}};
   }
+  TimeMicro(&out, [&] {
+    Database db;
+    auto result = ShredDocument(data.doc, *data.tree, *mapping, &db);
+    XS_CHECK_OK(result.status());
+  });
+  return out;
 }
-BENCHMARK(BM_Shredding);
 
-void BM_StatisticsCollection(benchmark::State& state) {
+MicroResult StatisticsCollectionMicro() {
   DblpConfig config;
   config.num_inproceedings = 2000;
   config.num_books = 200;
   GeneratedData data = GenerateDblp(config);
-  for (auto _ : state) {
+  MicroResult out;
+  out.name = "statistics_collection";
+  {
     auto stats = XmlStatistics::Collect(data.doc, *data.tree);
     XS_CHECK_OK(stats.status());
-    benchmark::DoNotOptimize(stats->total_elements());
+    out.values = {
+        {"total_elements", static_cast<double>(stats->total_elements())}};
   }
+  TimeMicro(&out, [&] {
+    auto stats = XmlStatistics::Collect(data.doc, *data.tree);
+    XS_CHECK_OK(stats.status());
+  });
+  return out;
 }
-BENCHMARK(BM_StatisticsCollection);
 
-void BM_StatsDerivation(benchmark::State& state) {
+MicroResult StatsDerivationMicro() {
   EngineFixture& f = Fixture();
   auto stats = XmlStatistics::Collect(f.data.doc, *f.data.tree);
   XS_CHECK_OK(stats.status());
-  for (auto _ : state) {
+  MicroResult out;
+  out.name = "stats_derivation";
+  {
     CatalogDesc catalog = stats->DeriveCatalog(*f.data.tree, f.mapping);
-    benchmark::DoNotOptimize(catalog.DataPages());
+    out.values = {
+        {"data_pages", static_cast<double>(catalog.DataPages())}};
   }
+  TimeMicro(&out, [&] {
+    CatalogDesc catalog = stats->DeriveCatalog(*f.data.tree, f.mapping);
+    (void)catalog;
+  });
+  return out;
 }
-BENCHMARK(BM_StatsDerivation);
+
+void WriteJson(const std::string& path,
+               const std::vector<MicroResult>& micros) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"engine_micro\",\n");
+  std::fprintf(f, "  \"micros\": [\n");
+  for (size_t i = 0; i < micros.size(); ++i) {
+    const MicroResult& m = micros[i];
+    std::fprintf(f, "    {\"name\": \"%s\"", m.name.c_str());
+    for (const auto& [key, value] : m.values) {
+      std::fprintf(f, ", \"%s\": %.6f", key.c_str(), value);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < micros.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+int Main(int argc, char** argv) {
+  const std::string metrics_out = ExtractMetricsOutArg(&argc, argv);
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json out.json]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  PrintTitle("Engine microbenchmarks",
+             "wall-clock is informational; --json records only "
+             "deterministic work/row/page observables");
+  std::vector<MicroResult> micros;
+  micros.push_back(QueryMicro(
+      "heap_scan_filter", "SELECT pages FROM inproc WHERE year = 1990"));
+  micros.push_back(QueryMicro(
+      "covering_index_seek",
+      "SELECT title, year FROM inproc WHERE booktitle = 'conf_0'"));
+  micros.push_back(QueryMicro(
+      "hash_join",
+      "SELECT I.pages, A.author FROM inproc I, inproc_author A "
+      "WHERE I.ID = A.PID AND I.year >= 2000"));
+  micros.push_back(QueryMicro(
+      "index_nl_join",
+      "SELECT I.ID, A.author FROM inproc I, inproc_author A "
+      "WHERE I.booktitle = 'conf_0' AND I.ID = A.PID"));
+  micros.push_back(QueryMicro(
+      "sorted_outer_union",
+      "SELECT I.ID, title, NULL FROM inproc I WHERE booktitle = 'conf_1' "
+      "UNION ALL SELECT I.ID, NULL, A.author FROM inproc I, "
+      "inproc_author A WHERE booktitle = 'conf_1' AND I.ID = A.PID "
+      "ORDER BY 1"));
+  micros.push_back(QueryOptimizationMicro());
+  micros.push_back(ShreddingMicro());
+  micros.push_back(StatisticsCollectionMicro());
+  micros.push_back(StatsDerivationMicro());
+
+  PrintRow({"micro", "wall/iter", "iters", "work", "rows"});
+  for (const MicroResult& m : micros) {
+    auto value_of = [&](const char* key) -> std::string {
+      for (const auto& [k, v] : m.values) {
+        if (k == key) return FormatDouble(v, 1);
+      }
+      return "-";
+    };
+    std::string wall =
+        m.wall_ns_per_iter >= 1e6
+            ? FormatDouble(m.wall_ns_per_iter / 1e6, 2) + " ms"
+            : FormatDouble(m.wall_ns_per_iter / 1e3, 1) + " us";
+    PrintRow({m.name, wall, std::to_string(m.iterations), value_of("work"),
+              value_of("rows")});
+  }
+
+  if (!json_path.empty()) WriteJson(json_path, micros);
+  WriteMetricsOut(metrics_out);
+  return 0;
+}
 
 }  // namespace
-}  // namespace xmlshred
+}  // namespace xmlshred::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return xmlshred::bench::Main(argc, argv);
+}

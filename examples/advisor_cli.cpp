@@ -252,11 +252,19 @@ Status RunTool(const CliOptions& cli) {
   }
   if (!cli.report_out.empty()) {
     // Built after evaluation so the calibration section sees the
-    // estimated-vs-actual q-errors (SearchResult::report predates them).
+    // estimated-vs-actual q-errors (SearchResult::report predates them)
+    // and the storage section sees the peak columnar footprint.
     RunReport report =
         RunReportFromMetrics(registry.Snapshot(), result->algorithm);
     XS_RETURN_IF_ERROR(WriteTextFile(cli.report_out, report.ToJson()));
     std::printf("report written to %s\n", cli.report_out.c_str());
+    if (report.storage.table_bytes_peak > 0) {
+      std::printf("peak storage: %lld table bytes + %lld dictionary bytes "
+                  "(%lld entries)\n",
+                  static_cast<long long>(report.storage.table_bytes_peak),
+                  static_cast<long long>(report.storage.dict_bytes_peak),
+                  static_cast<long long>(report.storage.dict_entries_peak));
+    }
   }
   return Status::OK();
 }

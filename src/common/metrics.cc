@@ -15,6 +15,13 @@ void Gauge::Add(double v) {
   }
 }
 
+void Gauge::SetMax(double v) {
+  double current = value_.load(std::memory_order_relaxed);
+  while (current < v && !value_.compare_exchange_weak(
+                            current, v, std::memory_order_relaxed)) {
+  }
+}
+
 int Histogram::BucketIndex(double value) {
   if (!(value >= 1)) return 0;  // negatives and NaN land in bucket 0
   int exp = 0;
@@ -59,6 +66,8 @@ MetricsRegistry::MetricsRegistry() {
       kMetricShredDocuments,
       kMetricShredRows,
       kMetricShredElements,
+      kMetricShredReservedRows,
+      kMetricShredSavedReallocs,
       kMetricSearchRuns,
       kMetricSearchRounds,
       kMetricSearchTransformations,
@@ -86,9 +95,10 @@ MetricsRegistry::MetricsRegistry() {
       kMetricCalibrationQueries,
   };
   static constexpr const char* kGauges[] = {
-      kMetricSearchWorkSpent,     kMetricSearchElapsedSeconds,
-      kMetricExecWork,            kMetricExecPagesSequential,
-      kMetricExecPagesRandom,
+      kMetricSearchWorkSpent,       kMetricSearchElapsedSeconds,
+      kMetricExecWork,              kMetricExecPagesSequential,
+      kMetricExecPagesRandom,       kMetricStorageTableBytesPeak,
+      kMetricStorageDictBytesPeak,  kMetricStorageDictEntriesPeak,
   };
   static constexpr const char* kHistograms[] = {
       kMetricSearchRoundCandidates,

@@ -49,6 +49,13 @@ inline constexpr const char* kMetricParseDtdNodes = "parse.dtd.nodes";
 inline constexpr const char* kMetricShredDocuments = "shred.documents";
 inline constexpr const char* kMetricShredRows = "shred.rows";
 inline constexpr const char* kMetricShredElements = "shred.elements";
+// Rows pre-reserved across relations from the shredder's document
+// pre-scan, and the vector/hash-table reallocations that reservation
+// avoided (capacity doublings a grow-from-empty append path would have
+// performed up to the reserved size).
+inline constexpr const char* kMetricShredReservedRows = "shred.reserved_rows";
+inline constexpr const char* kMetricShredSavedReallocs =
+    "shred.saved_reallocs";
 inline constexpr const char* kMetricSearchRuns = "search.runs";
 inline constexpr const char* kMetricSearchRounds = "search.rounds";
 inline constexpr const char* kMetricSearchTransformations =
@@ -98,6 +105,16 @@ inline constexpr const char* kMetricExecWork = "exec.work";
 inline constexpr const char* kMetricExecPagesSequential =
     "exec.pages_sequential";
 inline constexpr const char* kMetricExecPagesRandom = "exec.pages_random";
+// Peak columnar storage footprint observed across the run's shredded
+// databases (updated with Gauge::SetMax after each shred+configuration):
+// base-table bytes, string-dictionary bytes (payload + per-entry
+// overhead), and dictionary entry count.
+inline constexpr const char* kMetricStorageTableBytesPeak =
+    "storage.table_bytes_peak";
+inline constexpr const char* kMetricStorageDictBytesPeak =
+    "storage.dict_bytes_peak";
+inline constexpr const char* kMetricStorageDictEntriesPeak =
+    "storage.dict_entries_peak";
 // Histograms.
 inline constexpr const char* kMetricSearchRoundCandidates =
     "search.round_candidates";
@@ -139,6 +156,10 @@ class Gauge {
  public:
   void Set(double v) { value_.store(v, std::memory_order_relaxed); }
   void Add(double v);
+  // Raises the gauge to `v` if `v` is larger (CAS loop like Add). Unlike
+  // Add, the result is order-independent, so SetMax-maintained peaks are
+  // deterministic at any thread count.
+  void SetMax(double v);
   double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:

@@ -74,6 +74,14 @@ RunReport RunReportFromMetrics(const MetricsSnapshot& snapshot,
   c.misses = CounterOr0(snapshot, kMetricCostCacheMisses);
   c.entries = CounterOr0(snapshot, kMetricCostCacheEntries);
 
+  RunReport::StorageSection& st = report.storage;
+  st.table_bytes_peak = static_cast<int64_t>(
+      GaugeOr0(snapshot, kMetricStorageTableBytesPeak));
+  st.dict_bytes_peak =
+      static_cast<int64_t>(GaugeOr0(snapshot, kMetricStorageDictBytesPeak));
+  st.dict_entries_peak = static_cast<int64_t>(
+      GaugeOr0(snapshot, kMetricStorageDictEntriesPeak));
+
   RunReport::CalibrationSection& cal = report.calibration;
   cal.queries = CounterOr0(snapshot, kMetricCalibrationQueries);
   if (auto it = snapshot.histograms.find(kMetricCalibrationCostQError);
@@ -134,6 +142,13 @@ std::string RunReport::ToJson() const {
                    static_cast<long long>(cost_cache.misses));
   out += StrFormat("    \"entries\": %lld\n",
                    static_cast<long long>(cost_cache.entries));
+  out += "  },\n  \"storage\": {\n";
+  out += StrFormat("    \"table_bytes_peak\": %lld,\n",
+                   static_cast<long long>(storage.table_bytes_peak));
+  out += StrFormat("    \"dict_bytes_peak\": %lld,\n",
+                   static_cast<long long>(storage.dict_bytes_peak));
+  out += StrFormat("    \"dict_entries_peak\": %lld\n",
+                   static_cast<long long>(storage.dict_entries_peak));
   out += "  },\n  \"calibration\": {\n";
   out += StrFormat("    \"queries\": %lld,\n",
                    static_cast<long long>(calibration.queries));

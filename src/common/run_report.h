@@ -55,6 +55,15 @@ struct RunReport {
     int64_t misses = 0;  // timing-dependent under parallel costing
     int64_t entries = 0;
   };
+  // Peak columnar storage footprint across the run's shredded databases
+  // (from the storage.*_peak gauges, maintained with Gauge::SetMax):
+  // base-table bytes, string-dictionary bytes, and dictionary entries.
+  // All zero when the run never touched real data.
+  struct StorageSection {
+    int64_t table_bytes_peak = 0;
+    int64_t dict_bytes_peak = 0;
+    int64_t dict_entries_peak = 0;
+  };
   // Summary of one q-error histogram: observation count, mean (histogram
   // sum / count; an FP accumulate, same caveat as gauges), and the upper
   // bound of the highest non-empty power-of-two bucket (a deterministic
@@ -83,6 +92,7 @@ struct RunReport {
   SearchSection search;
   AdvisorSection advisor;
   CostCacheSection cost_cache;
+  StorageSection storage;
   CalibrationSection calibration;
 
   // Deterministic JSON export (schema_version 1), sections in declaration

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
-#include <unordered_map>
+#include <cmath>
+#include <numeric>
 
 #include "common/logging.h"
 #include "common/metrics.h"
@@ -14,9 +15,41 @@ namespace xmlshred {
 
 namespace {
 
+// Batch of rows flowing between operators: a flat row-major cell array.
+// Cells carry dictionary codes for strings, so operators compare and copy
+// 9-byte cells; Values are materialized once, at the plan root.
+struct Chunk {
+  int width = 0;
+  size_t num_rows = 0;
+  std::vector<Cell> cells;
+
+  const Cell* row(size_t r) const {
+    return cells.data() + r * static_cast<size_t>(width);
+  }
+  void ReserveRows(size_t n) {
+    cells.reserve(n * static_cast<size_t>(width));
+  }
+};
+
+Value CellToValue(Cell c, const StringDictionary& dict) {
+  switch (static_cast<CellTag>(c.tag)) {
+    case CellTag::kNull:
+      return Value::Null();
+    case CellTag::kInt:
+      return Value::Int(static_cast<int64_t>(c.bits));
+    case CellTag::kReal:
+      return Value::Real(CellBitsToDouble(c.bits));
+    case CellTag::kStr:
+      return Value::Str(dict.str(static_cast<uint32_t>(c.bits)));
+  }
+  return Value::Null();
+}
+
 // Evaluates `op literal` against `v` with SQL semantics (NULL fails every
 // predicate except its absence in "is not null"). Operators come from
 // parsed query text, so an unknown one is a data error, not an invariant.
+// This is the scalar reference; the vectorized path runs CompiledPreds
+// whose outcomes are identical cell for cell.
 Result<bool> EvalPred(const Value& v, const std::string& op,
                       const Value& literal) {
   if (op == "is not null") return !v.is_null();
@@ -26,6 +59,248 @@ Result<bool> EvalPred(const Value& v, const std::string& op,
   if (op == ">") return literal.SqlLess(v);
   if (op == ">=") return literal.SqlLess(v) || v.SqlEquals(literal);
   return InvalidArgument("unknown predicate operator: " + op);
+}
+
+// A BoundFilter compiled against the dictionary: the literal is resolved
+// to a double, a dictionary code, or an encoded string sort key once, so
+// per-cell evaluation touches no Value and no character data.
+struct CompiledPred {
+  enum class Op {
+    kIsNotNull,
+    kNever,  // NULL / NaN / non-interned-equality literal: matches nothing
+    kNumEq,
+    kNumLt,
+    kNumLe,
+    kNumGt,
+    kNumGe,
+    kStrEq,
+    kStrLt,
+    kStrLe,
+    kStrGt,
+    kStrGe,
+  };
+  int pos = -1;  // column ordinal / slot / entry position, per context
+  Op op = Op::kNever;
+  double num = 0;
+  uint32_t code = StringDictionary::kNotFound;  // kStrEq
+  uint64_t str_key = 0;  // encoded literal (2*rank+1 or gap) for ranges
+};
+
+Result<CompiledPred> CompilePred(int pos, const std::string& op,
+                                 const Value& lit,
+                                 const StringDictionary& dict) {
+  using Op = CompiledPred::Op;
+  CompiledPred p;
+  p.pos = pos;
+  if (op == "is not null") {
+    p.op = Op::kIsNotNull;
+    return p;
+  }
+  int kind;  // 0 = '=', 1 = '<', 2 = '<=', 3 = '>', 4 = '>='
+  if (op == "=") {
+    kind = 0;
+  } else if (op == "<") {
+    kind = 1;
+  } else if (op == "<=") {
+    kind = 2;
+  } else if (op == ">") {
+    kind = 3;
+  } else if (op == ">=") {
+    kind = 4;
+  } else {
+    return InvalidArgument("unknown predicate operator: " + op);
+  }
+  if (lit.is_null()) {
+    p.op = Op::kNever;  // SQL: comparisons with NULL are never true
+    return p;
+  }
+  if (lit.is_string()) {
+    if (kind == 0) {
+      p.code = dict.Lookup(lit.AsString());
+      p.op = p.code == StringDictionary::kNotFound ? Op::kNever : Op::kStrEq;
+      return p;
+    }
+    p.str_key = EncodeValueKey(lit, dict).key;
+    p.op = kind == 1   ? Op::kStrLt
+           : kind == 2 ? Op::kStrLe
+           : kind == 3 ? Op::kStrGt
+                       : Op::kStrGe;
+    return p;
+  }
+  p.num = lit.AsNumeric();
+  if (std::isnan(p.num)) {
+    p.op = Op::kNever;  // every double compare with NaN is false
+    return p;
+  }
+  p.op = kind == 0   ? Op::kNumEq
+         : kind == 1 ? Op::kNumLt
+         : kind == 2 ? Op::kNumLe
+         : kind == 3 ? Op::kNumGt
+                     : Op::kNumGe;
+  return p;
+}
+
+constexpr uint8_t kTagNull = static_cast<uint8_t>(CellTag::kNull);
+constexpr uint8_t kTagInt = static_cast<uint8_t>(CellTag::kInt);
+constexpr uint8_t kTagReal = static_cast<uint8_t>(CellTag::kReal);
+constexpr uint8_t kTagStr = static_cast<uint8_t>(CellTag::kStr);
+
+// Scalar evaluation of a compiled predicate against one cell. Mixed-type
+// comparisons are false, matching SqlEquals / SqlLess exactly.
+bool EvalCompiledCell(const CompiledPred& p, Cell c,
+                      const StringDictionary& dict) {
+  using Op = CompiledPred::Op;
+  switch (p.op) {
+    case Op::kIsNotNull:
+      return c.tag != kTagNull;
+    case Op::kNever:
+      return false;
+    case Op::kNumEq:
+    case Op::kNumLt:
+    case Op::kNumLe:
+    case Op::kNumGt:
+    case Op::kNumGe: {
+      if (c.tag == kTagNull || c.tag == kTagStr) return false;
+      double x = CellAsNumeric(c);
+      switch (p.op) {
+        case Op::kNumEq:
+          return x == p.num;
+        case Op::kNumLt:
+          return x < p.num;
+        case Op::kNumLe:
+          return x <= p.num;
+        case Op::kNumGt:
+          return x > p.num;
+        default:
+          return x >= p.num;
+      }
+    }
+    case Op::kStrEq:
+      return c.tag == kTagStr && static_cast<uint32_t>(c.bits) == p.code;
+    case Op::kStrLt:
+    case Op::kStrLe:
+    case Op::kStrGt:
+    case Op::kStrGe: {
+      if (c.tag != kTagStr) return false;
+      uint64_t k = 2ull * dict.Rank(static_cast<uint32_t>(c.bits)) + 1;
+      switch (p.op) {
+        case Op::kStrLt:
+          return k < p.str_key;
+        case Op::kStrLe:
+          return k <= p.str_key;
+        case Op::kStrGt:
+          return k > p.str_key;
+        default:
+          return k >= p.str_key;
+      }
+    }
+  }
+  return false;
+}
+
+// Runs one compiled predicate over one batch of a column. In dense mode
+// the batch is rows [base, base+cnt) and surviving batch-relative offsets
+// are written to `sel`; in compact mode `sel` holds `cnt` surviving
+// offsets from an earlier pass and is compacted in place. Returns the
+// surviving count. One branch-free-ish loop per operator: the switch
+// happens once per batch, not once per row.
+size_t ApplyPredBatch(const ColumnVector& col, size_t base, size_t cnt,
+                      int32_t* sel, bool dense, const CompiledPred& p,
+                      const StringDictionary& dict) {
+  using Op = CompiledPred::Op;
+  const uint8_t* tags = col.tags_data() + base;
+  const uint64_t* data = col.raw_data() + base;
+  auto run = [&](auto keep) -> size_t {
+    size_t out = 0;
+    if (dense) {
+      for (size_t i = 0; i < cnt; ++i) {
+        if (keep(tags[i], data[i])) sel[out++] = static_cast<int32_t>(i);
+      }
+    } else {
+      for (size_t i = 0; i < cnt; ++i) {
+        int32_t r = sel[i];
+        if (keep(tags[r], data[r])) sel[out++] = r;
+      }
+    }
+    return out;
+  };
+  auto as_num = [](uint8_t t, uint64_t d) {
+    return t == kTagInt ? static_cast<double>(static_cast<int64_t>(d))
+                        : CellBitsToDouble(d);
+  };
+  auto is_num = [](uint8_t t) { return t == kTagInt || t == kTagReal; };
+  switch (p.op) {
+    case Op::kIsNotNull:
+      return run([](uint8_t t, uint64_t) { return t != kTagNull; });
+    case Op::kNever:
+      return 0;
+    case Op::kNumEq: {
+      double lit = p.num;
+      return run([&](uint8_t t, uint64_t d) {
+        return is_num(t) && as_num(t, d) == lit;
+      });
+    }
+    case Op::kNumLt: {
+      double lit = p.num;
+      return run([&](uint8_t t, uint64_t d) {
+        return is_num(t) && as_num(t, d) < lit;
+      });
+    }
+    case Op::kNumLe: {
+      double lit = p.num;
+      return run([&](uint8_t t, uint64_t d) {
+        return is_num(t) && as_num(t, d) <= lit;
+      });
+    }
+    case Op::kNumGt: {
+      double lit = p.num;
+      return run([&](uint8_t t, uint64_t d) {
+        return is_num(t) && as_num(t, d) > lit;
+      });
+    }
+    case Op::kNumGe: {
+      double lit = p.num;
+      return run([&](uint8_t t, uint64_t d) {
+        return is_num(t) && as_num(t, d) >= lit;
+      });
+    }
+    case Op::kStrEq: {
+      uint32_t code = p.code;
+      return run([code](uint8_t t, uint64_t d) {
+        return t == kTagStr && static_cast<uint32_t>(d) == code;
+      });
+    }
+    case Op::kStrLt:
+    case Op::kStrLe:
+    case Op::kStrGt:
+    case Op::kStrGe: {
+      const std::vector<uint32_t>& ranks = dict.ranks();
+      uint64_t lit = p.str_key;
+      switch (p.op) {
+        case Op::kStrLt:
+          return run([&](uint8_t t, uint64_t d) {
+            return t == kTagStr &&
+                   2ull * ranks[static_cast<uint32_t>(d)] + 1 < lit;
+          });
+        case Op::kStrLe:
+          return run([&](uint8_t t, uint64_t d) {
+            return t == kTagStr &&
+                   2ull * ranks[static_cast<uint32_t>(d)] + 1 <= lit;
+          });
+        case Op::kStrGt:
+          return run([&](uint8_t t, uint64_t d) {
+            return t == kTagStr &&
+                   2ull * ranks[static_cast<uint32_t>(d)] + 1 > lit;
+          });
+        default:
+          return run([&](uint8_t t, uint64_t d) {
+            return t == kTagStr &&
+                   2ull * ranks[static_cast<uint32_t>(d)] + 1 >= lit;
+          });
+      }
+    }
+  }
+  return 0;
 }
 
 // Position of table column `col` within an index entry (keys then
@@ -42,21 +317,61 @@ int EntryPosition(const IndexDef& def, int col) {
   return -1;
 }
 
+// Join keys normalized to a (class, 64-bit) pair whose exact equality is
+// SqlEquals: numerics through double bits (-0.0 collapsed, NaN excluded —
+// NaN equals nothing), strings through their dictionary code.
+bool NormalizeJoinKey(Cell c, uint8_t* cls, uint64_t* bits) {
+  switch (static_cast<CellTag>(c.tag)) {
+    case CellTag::kNull:
+      return false;
+    case CellTag::kInt:
+      *cls = 1;
+      *bits = DoubleToCellBits(
+          static_cast<double>(static_cast<int64_t>(c.bits)));
+      return true;
+    case CellTag::kReal: {
+      double d = CellBitsToDouble(c.bits);
+      if (std::isnan(d)) return false;
+      if (d == 0.0) d = 0.0;
+      *cls = 1;
+      *bits = DoubleToCellBits(d);
+      return true;
+    }
+    case CellTag::kStr:
+      *cls = 2;
+      *bits = c.bits;
+      return true;
+  }
+  return false;
+}
+
+uint64_t MixJoinKey(uint8_t cls, uint64_t bits) {
+  uint64_t x = bits + 0x9e3779b97f4a7c15ull * cls;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
 class ExecState {
  public:
   ExecState(const Database& db, ExecMetrics* metrics,
-            ResourceGovernor* governor, bool capture_timing)
+            ResourceGovernor* governor, bool capture_timing, bool vectorized)
       : db_(db),
+        dict_(db.dictionary()),
         metrics_(metrics),
         governor_(governor),
-        capture_timing_(capture_timing) {}
+        capture_timing_(capture_timing),
+        vectorized_(vectorized) {}
 
   // Executes one node. When `en` is non-null (EXPLAIN ANALYZE), the
   // subtree's actuals are recorded into it as inclusive deltas of the
   // run-wide meter — the same semantics as the planner's inclusive
   // est_cost / est_pages — at the cost of two double reads per node; when
   // null, recording is a single pointer test.
-  Result<std::vector<Row>> Exec(const PlanNode& node, ExplainNode* en) {
+  Result<Chunk> Exec(const PlanNode& node, ExplainNode* en) {
     // Plan trees are recursive structures; guard their depth, and charge
     // every node's output rows against the governor's row cap.
     RecursionScope scope(governor_);
@@ -69,9 +384,9 @@ class ExecState {
       pages_before = metrics_->pages_sequential + metrics_->pages_random;
       if (capture_timing_) start = std::chrono::steady_clock::now();
     }
-    XS_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecNode(node, en));
+    XS_ASSIGN_OR_RETURN(Chunk chunk, ExecNode(node, en));
     if (en != nullptr) {
-      en->actual_rows = static_cast<int64_t>(rows.size());
+      en->actual_rows = static_cast<int64_t>(chunk.num_rows);
       en->actual_work = metrics_->work - work_before;
       en->actual_pages =
           metrics_->pages_sequential + metrics_->pages_random - pages_before;
@@ -83,10 +398,12 @@ class ExecState {
     }
     if (governor_ != nullptr) {
       XS_RETURN_IF_ERROR(
-          governor_->ChargeRows(static_cast<int64_t>(rows.size())));
+          governor_->ChargeRows(static_cast<int64_t>(chunk.num_rows)));
     }
-    return rows;
+    return chunk;
   }
+
+  const StringDictionary& dict() const { return dict_; }
 
  private:
   // Explain child matching a plan child; the tree mirrors the plan, so
@@ -95,7 +412,7 @@ class ExecState {
     return en == nullptr ? nullptr : &en->children[i];
   }
 
-  Result<std::vector<Row>> ExecNode(const PlanNode& node, ExplainNode* en) {
+  Result<Chunk> ExecNode(const PlanNode& node, ExplainNode* en) {
     switch (node.kind) {
       case PlanKind::kHeapScan:
         return ExecHeapScan(node);
@@ -143,58 +460,114 @@ class ExecState {
     return ChargeGovernor(rows * kHashRowCost);
   }
 
-  // Applies `filters` to a row laid out per `output` slots.
-  static Result<bool> PassesFilters(const Row& row,
-                                    const std::vector<ColumnSlot>& output,
-                                    const std::vector<BoundFilter>& filters) {
+  // Compiles `filters` against positions found in `slots` (the layout of
+  // the rows being filtered), mapped through `remap` when the cells being
+  // tested live at different positions (index entries).
+  Result<std::vector<CompiledPred>> CompileSlotFilters(
+      const std::vector<BoundFilter>& filters,
+      const std::vector<ColumnSlot>& slots, const std::vector<int>* remap) {
+    std::vector<CompiledPred> preds;
+    preds.reserve(filters.size());
     for (const BoundFilter& f : filters) {
       int pos = -1;
-      for (size_t i = 0; i < output.size(); ++i) {
-        if (output[i].table_idx == f.ref.table_idx &&
-            output[i].column == f.ref.column) {
+      for (size_t i = 0; i < slots.size(); ++i) {
+        if (slots[i].table_idx == f.ref.table_idx &&
+            slots[i].column == f.ref.column) {
           pos = static_cast<int>(i);
           break;
         }
       }
       if (pos < 0) return Internal("filter column missing from output");
-      XS_ASSIGN_OR_RETURN(
-          bool pass, EvalPred(row[static_cast<size_t>(pos)], f.op, f.literal));
-      if (!pass) return false;
+      if (remap != nullptr) pos = (*remap)[static_cast<size_t>(pos)];
+      XS_ASSIGN_OR_RETURN(CompiledPred p,
+                          CompilePred(pos, f.op, f.literal, dict_));
+      preds.push_back(p);
     }
-    return true;
+    return preds;
   }
 
-  Result<std::vector<Row>> ExecHeapScan(const PlanNode& node) {
+  // Compiles `filters` against base-table column ordinals.
+  Result<std::vector<CompiledPred>> CompileTableFilters(
+      const std::vector<BoundFilter>& filters) {
+    std::vector<CompiledPred> preds;
+    preds.reserve(filters.size());
+    for (const BoundFilter& f : filters) {
+      XS_ASSIGN_OR_RETURN(
+          CompiledPred p, CompilePred(f.ref.column, f.op, f.literal, dict_));
+      preds.push_back(p);
+    }
+    return preds;
+  }
+
+  Result<Chunk> ExecHeapScan(const PlanNode& node) {
     const Table* table = db_.FindTable(node.object_name);
     if (table == nullptr) return NotFound("table " + node.object_name);
     XS_RETURN_IF_ERROR(
         ChargeSeqPages(static_cast<double>(table->NumPages())));
     XS_RETURN_IF_ERROR(
         ChargeCpuRows(static_cast<double>(table->row_count())));
-    std::vector<Row> out;
-    for (const Row& row : table->rows()) {
-      bool pass = true;
-      for (const BoundFilter& f : node.residual_filters) {
-        XS_ASSIGN_OR_RETURN(
-            bool keep, EvalPred(row[static_cast<size_t>(f.ref.column)], f.op,
-                                f.literal));
-        if (!keep) {
-          pass = false;
-          break;
+    Chunk out;
+    out.width = static_cast<int>(node.output.size());
+    size_t n = static_cast<size_t>(table->row_count());
+
+    if (!vectorized_) {
+      // Scalar reference path: materialize each row, evaluate the bound
+      // filters on Values. Same charges, same survivors, same cells out.
+      for (size_t rid = 0; rid < n; ++rid) {
+        Row row = table->GetRow(static_cast<int64_t>(rid));
+        bool pass = true;
+        for (const BoundFilter& f : node.residual_filters) {
+          XS_ASSIGN_OR_RETURN(
+              bool keep, EvalPred(row[static_cast<size_t>(f.ref.column)],
+                                  f.op, f.literal));
+          if (!keep) {
+            pass = false;
+            break;
+          }
+        }
+        if (!pass) continue;
+        for (const ColumnSlot& slot : node.output) {
+          out.cells.push_back(table->column(slot.column).cell(rid));
+        }
+        ++out.num_rows;
+      }
+      return out;
+    }
+
+    XS_ASSIGN_OR_RETURN(std::vector<CompiledPred> preds,
+                        CompileTableFilters(node.residual_filters));
+    std::vector<const ColumnVector*> out_cols;
+    out_cols.reserve(node.output.size());
+    for (const ColumnSlot& slot : node.output) {
+      out_cols.push_back(&table->column(slot.column));
+    }
+    std::vector<int32_t> sel(kScanBatchRows);
+    for (size_t base = 0; base < n; base += kScanBatchRows) {
+      size_t lim = std::min(kScanBatchRows, n - base);
+      size_t cnt;
+      if (preds.empty()) {
+        cnt = lim;
+        for (size_t i = 0; i < lim; ++i) sel[i] = static_cast<int32_t>(i);
+      } else {
+        cnt = ApplyPredBatch(table->column(preds[0].pos), base, lim,
+                             sel.data(), /*dense=*/true, preds[0], dict_);
+        for (size_t k = 1; k < preds.size() && cnt > 0; ++k) {
+          cnt = ApplyPredBatch(table->column(preds[k].pos), base, cnt,
+                               sel.data(), /*dense=*/false, preds[k], dict_);
         }
       }
-      if (!pass) continue;
-      Row projected;
-      projected.reserve(node.output.size());
-      for (const ColumnSlot& slot : node.output) {
-        projected.push_back(row[static_cast<size_t>(slot.column)]);
+      for (size_t i = 0; i < cnt; ++i) {
+        size_t rid = base + static_cast<size_t>(sel[i]);
+        for (const ColumnVector* col : out_cols) {
+          out.cells.push_back(col->cell(rid));
+        }
       }
-      out.push_back(std::move(projected));
+      out.num_rows += cnt;
     }
     return out;
   }
 
-  Result<std::vector<Row>> ExecIndexPath(const PlanNode& node) {
+  Result<Chunk> ExecIndexPath(const PlanNode& node) {
     const BTreeIndex* index = db_.FindIndex(node.object_name);
     if (index == nullptr) return NotFound("index " + node.object_name);
     const IndexDef& def = index->def();
@@ -206,7 +579,7 @@ class ExecState {
       if (table == nullptr) return NotFound("table " + node.base_table);
     }
 
-    // Entry positions backing each output slot (index-only) sanity check.
+    // Entry positions backing each output slot (index-only).
     std::vector<int> entry_pos;
     if (index_only) {
       for (const ColumnSlot& slot : node.output) {
@@ -216,71 +589,70 @@ class ExecState {
       }
     }
 
-    // Collect matching entries.
-    std::vector<const BTreeIndex::Entry*> matches;
+    // Collect matching entry ids.
+    size_t n = static_cast<size_t>(index->entry_count());
+    std::vector<int64_t> matches;
     if (!node.seek_values.empty()) {
-      // Walk the equal range of sorted entries directly so covering access
-      // can read payload columns without fetching base rows.
-      Row prefix(node.seek_values.begin(), node.seek_values.end());
-      size_t nkeys = prefix.size();
-      auto cmp = [nkeys](const BTreeIndex::Entry& e, const Row& k) {
-        for (size_t i = 0; i < nkeys; ++i) {
-          if (e.key[i].TotalLess(k[i])) return true;
-          if (k[i].TotalLess(e.key[i])) return false;
+      size_t nkeys = node.seek_values.size();
+      std::vector<SortKey> prefix;
+      prefix.reserve(nkeys);
+      for (const Value& v : node.seek_values) {
+        prefix.push_back(EncodeValueKey(v, dict_));
+      }
+      CompiledPred range;
+      if (node.has_range) {
+        if (nkeys >= def.key_columns.size()) {
+          return Internal("range predicate past last index key column");
         }
-        return false;
-      };
-      const auto& entries = index->entries();
-      auto it = std::lower_bound(entries.begin(), entries.end(), prefix, cmp);
-      for (; it != entries.end(); ++it) {
-        bool equal = true;
-        for (size_t i = 0; i < nkeys; ++i) {
-          if (!it->key[i].TotalEquals(prefix[i])) {
-            equal = false;
-            break;
-          }
-        }
-        if (!equal) break;
+        XS_ASSIGN_OR_RETURN(
+            range, CompilePred(static_cast<int>(nkeys), node.range_op,
+                               node.range_literal, dict_));
+      }
+      for (size_t e = index->LowerBound(prefix);
+           e < n && index->MatchesPrefix(e, prefix); ++e) {
         // Range predicate on the key column after the prefix.
-        if (node.has_range) {
-          if (nkeys >= def.key_columns.size()) {
-            return Internal("range predicate past last index key column");
-          }
-          XS_ASSIGN_OR_RETURN(
-              bool in_range,
-              EvalPred(it->key[nkeys], node.range_op, node.range_literal));
-          if (!in_range) continue;
+        if (node.has_range &&
+            !EvalCompiledCell(range, index->entry_cell(e, range.pos),
+                              dict_)) {
+          continue;
         }
-        matches.push_back(&*it);
+        matches.push_back(static_cast<int64_t>(e));
       }
       XS_RETURN_IF_ERROR(ChargeRandPages(static_cast<double>(
           index->ProbePages(static_cast<int64_t>(matches.size())))));
     } else if (node.has_range) {
-      Value lo, hi;
+      SortKey lo, hi;
       bool lo_strict = false, hi_strict = false;
+      bool has_lo = false, has_hi = false;
+      bool lit_null = node.range_literal.is_null();
+      SortKey bound =
+          lit_null ? SortKey{} : EncodeValueKey(node.range_literal, dict_);
       if (node.range_op == "<") {
-        hi = node.range_literal;
+        has_hi = !lit_null;
+        hi = bound;
         hi_strict = true;
       } else if (node.range_op == "<=") {
-        hi = node.range_literal;
+        has_hi = !lit_null;
+        hi = bound;
       } else if (node.range_op == ">") {
-        lo = node.range_literal;
+        has_lo = !lit_null;
+        lo = bound;
         lo_strict = true;
       } else {
-        lo = node.range_literal;
+        has_lo = !lit_null;
+        lo = bound;
       }
-      const auto& entries = index->entries();
-      for (const auto& e : entries) {
-        const Value& k = e.key[0];
-        if (k.is_null()) continue;
-        if (!lo.is_null()) {
-          if (k.TotalLess(lo) || (lo_strict && k.TotalEquals(lo))) continue;
+      for (size_t e = 0; e < n; ++e) {
+        SortKey k = index->entry_key(e, 0);
+        if (k.cls == 0) continue;  // NULL keys never match a range
+        if (has_lo) {
+          if (k < lo || (lo_strict && k == lo)) continue;
         }
-        if (!hi.is_null()) {
-          if (hi.TotalLess(k)) break;
-          if (hi_strict && k.TotalEquals(hi)) continue;
+        if (has_hi) {
+          if (hi < k) break;
+          if (hi_strict && k == hi) continue;
         }
-        matches.push_back(&e);
+        matches.push_back(static_cast<int64_t>(e));
       }
       XS_RETURN_IF_ERROR(ChargeRandPages(static_cast<double>(
           index->ProbePages(static_cast<int64_t>(matches.size())))));
@@ -289,54 +661,66 @@ class ExecState {
       if (!index_only) {
         return Internal("full index scan requires covering access");
       }
-      for (const auto& e : index->entries()) matches.push_back(&e);
+      matches.resize(n);
+      std::iota(matches.begin(), matches.end(), 0);
       XS_RETURN_IF_ERROR(
           ChargeSeqPages(static_cast<double>(index->NumPages())));
     }
     XS_RETURN_IF_ERROR(ChargeCpuRows(static_cast<double>(matches.size())));
 
-    std::vector<Row> out;
+    Chunk out;
+    out.width = static_cast<int>(node.output.size());
     if (index_only) {
-      for (const BTreeIndex::Entry* e : matches) {
-        Row row;
-        row.reserve(entry_pos.size());
-        for (int pos : entry_pos) {
-          row.push_back(e->key[static_cast<size_t>(pos)]);
-        }
-        XS_ASSIGN_OR_RETURN(
-            bool pass, PassesFilters(row, node.output, node.residual_filters));
-        if (!pass) continue;
-        out.push_back(std::move(row));
-      }
-    } else {
-      double fetches = static_cast<double>(matches.size());
-      XS_RETURN_IF_ERROR(ChargeRandPages(
-          std::min(fetches, static_cast<double>(table->NumPages()))));
-      for (const BTreeIndex::Entry* e : matches) {
-        const Row& base = table->rows()[static_cast<size_t>(e->row_id)];
+      XS_ASSIGN_OR_RETURN(
+          std::vector<CompiledPred> preds,
+          CompileSlotFilters(node.residual_filters, node.output, &entry_pos));
+      for (int64_t e : matches) {
+        size_t entry = static_cast<size_t>(e);
         bool pass = true;
-        for (const BoundFilter& f : node.residual_filters) {
-          XS_ASSIGN_OR_RETURN(
-              bool keep, EvalPred(base[static_cast<size_t>(f.ref.column)],
-                                  f.op, f.literal));
-          if (!keep) {
+        for (const CompiledPred& p : preds) {
+          if (!EvalCompiledCell(p, index->entry_cell(entry, p.pos), dict_)) {
             pass = false;
             break;
           }
         }
         if (!pass) continue;
-        Row row;
-        row.reserve(node.output.size());
-        for (const ColumnSlot& slot : node.output) {
-          row.push_back(base[static_cast<size_t>(slot.column)]);
+        for (int pos : entry_pos) {
+          out.cells.push_back(index->entry_cell(entry, pos));
         }
-        out.push_back(std::move(row));
+        ++out.num_rows;
+      }
+    } else {
+      double fetches = static_cast<double>(matches.size());
+      XS_RETURN_IF_ERROR(ChargeRandPages(
+          std::min(fetches, static_cast<double>(table->NumPages()))));
+      XS_ASSIGN_OR_RETURN(std::vector<CompiledPred> preds,
+                          CompileTableFilters(node.residual_filters));
+      std::vector<const ColumnVector*> out_cols;
+      out_cols.reserve(node.output.size());
+      for (const ColumnSlot& slot : node.output) {
+        out_cols.push_back(&table->column(slot.column));
+      }
+      for (int64_t e : matches) {
+        size_t rid = static_cast<size_t>(index->entry_row_id(
+            static_cast<size_t>(e)));
+        bool pass = true;
+        for (const CompiledPred& p : preds) {
+          if (!EvalCompiledCell(p, table->column(p.pos).cell(rid), dict_)) {
+            pass = false;
+            break;
+          }
+        }
+        if (!pass) continue;
+        for (const ColumnVector* col : out_cols) {
+          out.cells.push_back(col->cell(rid));
+        }
+        ++out.num_rows;
       }
     }
     return out;
   }
 
-  Result<std::vector<Row>> ExecViewScan(const PlanNode& node) {
+  Result<Chunk> ExecViewScan(const PlanNode& node) {
     const Table* view = db_.FindTable(node.object_name);
     if (view == nullptr) return NotFound("view " + node.object_name);
     XS_RETURN_IF_ERROR(
@@ -349,13 +733,21 @@ class ExecState {
         view->schema().num_columns()) {
       return Internal("view column count does not match plan output");
     }
-    return view->rows();
+    Chunk out;
+    out.width = view->schema().num_columns();
+    size_t n = static_cast<size_t>(view->row_count());
+    out.num_rows = n;
+    out.ReserveRows(n);
+    for (size_t rid = 0; rid < n; ++rid) {
+      for (int c = 0; c < out.width; ++c) {
+        out.cells.push_back(view->column(c).cell(rid));
+      }
+    }
+    return out;
   }
 
-  Result<std::vector<Row>> ExecIndexNlJoin(const PlanNode& node,
-                                           ExplainNode* en) {
-    XS_ASSIGN_OR_RETURN(std::vector<Row> outer,
-                        Exec(*node.children[0], Child(en, 0)));
+  Result<Chunk> ExecIndexNlJoin(const PlanNode& node, ExplainNode* en) {
+    XS_ASSIGN_OR_RETURN(Chunk outer, Exec(*node.children[0], Child(en, 0)));
     const BTreeIndex* index = db_.FindIndex(node.object_name);
     if (index == nullptr) return NotFound("index " + node.object_name);
     const Table* table = db_.FindTable(node.base_table);
@@ -371,64 +763,72 @@ class ExecState {
                                             static_cast<long>(outer_width),
                                         node.output.end());
     std::vector<int> entry_pos;
+    std::vector<CompiledPred> preds;
     if (!node.inner_fetch) {
       for (const ColumnSlot& slot : inner_slots) {
         int pos = EntryPosition(def, slot.column);
         if (pos < 0) return Internal("INL index does not cover inner column");
         entry_pos.push_back(pos);
       }
+      XS_ASSIGN_OR_RETURN(preds,
+                          CompileSlotFilters(node.inner_residual_filters,
+                                             inner_slots, &entry_pos));
+    } else {
+      XS_ASSIGN_OR_RETURN(
+          preds, CompileTableFilters(node.inner_residual_filters));
     }
 
-    std::vector<Row> out;
+    Chunk out;
+    out.width = static_cast<int>(node.output.size());
     double total_fetches = 0;
-    for (const Row& outer_row : outer) {
-      const Value& key = outer_row[static_cast<size_t>(outer_pos)];
-      if (key.is_null()) continue;
-      std::vector<int64_t> rids = index->EqualLookup({key});
+    size_t n = static_cast<size_t>(index->entry_count());
+    std::vector<SortKey> prefix(1);
+    for (size_t r = 0; r < outer.num_rows; ++r) {
+      const Cell* orow = outer.row(r);
+      Cell key = orow[static_cast<size_t>(outer_pos)];
+      if (key.tag == kTagNull) continue;
+      prefix[0] = EncodeCellKey(key, dict_);
+      size_t e0 = index->LowerBound(prefix);
+      size_t e1 = e0;
+      while (e1 < n && index->entry_key(e1, 0) == prefix[0]) ++e1;
       XS_RETURN_IF_ERROR(ChargeRandPages(static_cast<double>(
-          index->ProbePages(static_cast<int64_t>(rids.size())))));
-      if (node.inner_fetch) total_fetches += static_cast<double>(rids.size());
+          index->ProbePages(static_cast<int64_t>(e1 - e0)))));
 
-      // Walk the equal range of entries for covering access.
       if (!node.inner_fetch) {
-        const auto& entries = index->entries();
-        auto cmp = [](const BTreeIndex::Entry& e, const Value& k) {
-          return e.key[0].TotalLess(k);
-        };
-        auto it = std::lower_bound(entries.begin(), entries.end(), key, cmp);
-        for (; it != entries.end() && it->key[0].TotalEquals(key); ++it) {
-          Row inner_row;
-          inner_row.reserve(entry_pos.size());
-          for (int pos : entry_pos) {
-            inner_row.push_back(it->key[static_cast<size_t>(pos)]);
-          }
-          XS_ASSIGN_OR_RETURN(
-              bool pass, PassesFilters(inner_row, inner_slots,
-                                       node.inner_residual_filters));
-          if (!pass) continue;
-          Row joined = outer_row;
-          joined.insert(joined.end(), inner_row.begin(), inner_row.end());
-          out.push_back(std::move(joined));
-        }
-      } else {
-        for (int64_t rid : rids) {
-          const Row& base = table->rows()[static_cast<size_t>(rid)];
+        // Walk the equal range of entries for covering access.
+        for (size_t e = e0; e < e1; ++e) {
           bool pass = true;
-          for (const BoundFilter& f : node.inner_residual_filters) {
-            XS_ASSIGN_OR_RETURN(
-                bool keep, EvalPred(base[static_cast<size_t>(f.ref.column)],
-                                    f.op, f.literal));
-            if (!keep) {
+          for (const CompiledPred& p : preds) {
+            if (!EvalCompiledCell(p, index->entry_cell(e, p.pos), dict_)) {
               pass = false;
               break;
             }
           }
           if (!pass) continue;
-          Row joined = outer_row;
-          for (const ColumnSlot& slot : inner_slots) {
-            joined.push_back(base[static_cast<size_t>(slot.column)]);
+          out.cells.insert(out.cells.end(), orow, orow + outer.width);
+          for (int pos : entry_pos) {
+            out.cells.push_back(index->entry_cell(e, pos));
           }
-          out.push_back(std::move(joined));
+          ++out.num_rows;
+        }
+      } else {
+        total_fetches += static_cast<double>(e1 - e0);
+        for (size_t e = e0; e < e1; ++e) {
+          size_t rid = static_cast<size_t>(index->entry_row_id(e));
+          bool pass = true;
+          for (const CompiledPred& p : preds) {
+            if (!EvalCompiledCell(p, table->column(p.pos).cell(rid),
+                                  dict_)) {
+              pass = false;
+              break;
+            }
+          }
+          if (!pass) continue;
+          out.cells.insert(out.cells.end(), orow, orow + outer.width);
+          for (const ColumnSlot& slot : inner_slots) {
+            out.cells.push_back(table->column(slot.column).cell(rid));
+          }
+          ++out.num_rows;
         }
       }
     }
@@ -436,51 +836,71 @@ class ExecState {
       XS_RETURN_IF_ERROR(ChargeRandPages(std::min(
           total_fetches, static_cast<double>(table->NumPages()) * 4.0)));
     }
-    XS_RETURN_IF_ERROR(ChargeCpuRows(static_cast<double>(out.size())));
+    XS_RETURN_IF_ERROR(
+        ChargeCpuRows(static_cast<double>(out.num_rows)));
     return out;
   }
 
-  Result<std::vector<Row>> ExecHashJoin(const PlanNode& node,
-                                        ExplainNode* en) {
-    XS_ASSIGN_OR_RETURN(std::vector<Row> probe,
-                        Exec(*node.children[0], Child(en, 0)));
-    XS_ASSIGN_OR_RETURN(std::vector<Row> build,
-                        Exec(*node.children[1], Child(en, 1)));
+  Result<Chunk> ExecHashJoin(const PlanNode& node, ExplainNode* en) {
+    XS_ASSIGN_OR_RETURN(Chunk probe, Exec(*node.children[0], Child(en, 0)));
+    XS_ASSIGN_OR_RETURN(Chunk build, Exec(*node.children[1], Child(en, 1)));
     int probe_pos = node.children[0]->FindSlot(node.probe_key);
     int build_pos = node.children[1]->FindSlot(node.build_key);
     if (probe_pos < 0 || build_pos < 0) {
       return Internal("hash join key missing");
     }
-    std::unordered_multimap<size_t, const Row*> table;
-    table.reserve(build.size());
-    for (const Row& row : build) {
-      const Value& key = row[static_cast<size_t>(build_pos)];
-      if (key.is_null()) continue;
-      table.emplace(key.Hash(), &row);
+    // Deterministic chained hash table over normalized 64-bit keys (key
+    // equality is SqlEquals — no re-verification against cell data).
+    // Build rows are inserted in reverse so every chain walks in
+    // ascending build order, making match order independent of the
+    // standard library's hash container internals.
+    size_t bn = build.num_rows;
+    std::vector<uint8_t> bcls(bn, 0);
+    std::vector<uint64_t> bkey(bn, 0);
+    for (size_t i = 0; i < bn; ++i) {
+      Cell c = build.row(i)[static_cast<size_t>(build_pos)];
+      NormalizeJoinKey(c, &bcls[i], &bkey[i]);  // cls stays 0 on NULL/NaN
     }
-    XS_RETURN_IF_ERROR(ChargeHashRows(static_cast<double>(build.size())));
-    std::vector<Row> out;
-    for (const Row& row : probe) {
-      const Value& key = row[static_cast<size_t>(probe_pos)];
-      if (key.is_null()) continue;
-      auto [lo, hi] = table.equal_range(key.Hash());
-      for (auto it = lo; it != hi; ++it) {
-        const Row& match = *it->second;
-        if (!match[static_cast<size_t>(build_pos)].SqlEquals(key)) continue;
-        Row joined = row;
-        joined.insert(joined.end(), match.begin(), match.end());
-        out.push_back(std::move(joined));
+    size_t nbuckets = 16;
+    while (nbuckets < bn) nbuckets <<= 1;
+    uint64_t mask = nbuckets - 1;
+    std::vector<int64_t> heads(nbuckets, -1);
+    std::vector<int64_t> chain(bn, -1);
+    for (size_t i = bn; i-- > 0;) {
+      if (bcls[i] == 0) continue;
+      uint64_t b = MixJoinKey(bcls[i], bkey[i]) & mask;
+      chain[i] = heads[b];
+      heads[b] = static_cast<int64_t>(i);
+    }
+    XS_RETURN_IF_ERROR(ChargeHashRows(static_cast<double>(build.num_rows)));
+
+    Chunk out;
+    out.width = probe.width + build.width;
+    for (size_t r = 0; r < probe.num_rows; ++r) {
+      const Cell* prow = probe.row(r);
+      uint8_t cls = 0;
+      uint64_t bits = 0;
+      if (!NormalizeJoinKey(prow[static_cast<size_t>(probe_pos)], &cls,
+                            &bits)) {
+        continue;
+      }
+      for (int64_t i = heads[MixJoinKey(cls, bits) & mask]; i >= 0;
+           i = chain[static_cast<size_t>(i)]) {
+        size_t bi = static_cast<size_t>(i);
+        if (bcls[bi] != cls || bkey[bi] != bits) continue;
+        out.cells.insert(out.cells.end(), prow, prow + probe.width);
+        const Cell* brow = build.row(bi);
+        out.cells.insert(out.cells.end(), brow, brow + build.width);
+        ++out.num_rows;
       }
     }
-    XS_RETURN_IF_ERROR(ChargeHashRows(static_cast<double>(probe.size())));
-    XS_RETURN_IF_ERROR(ChargeCpuRows(static_cast<double>(out.size())));
+    XS_RETURN_IF_ERROR(ChargeHashRows(static_cast<double>(probe.num_rows)));
+    XS_RETURN_IF_ERROR(ChargeCpuRows(static_cast<double>(out.num_rows)));
     return out;
   }
 
-  Result<std::vector<Row>> ExecProject(const PlanNode& node,
-                                       ExplainNode* en) {
-    XS_ASSIGN_OR_RETURN(std::vector<Row> input,
-                        Exec(*node.children[0], Child(en, 0)));
+  Result<Chunk> ExecProject(const PlanNode& node, ExplainNode* en) {
+    XS_ASSIGN_OR_RETURN(Chunk input, Exec(*node.children[0], Child(en, 0)));
     const PlanNode& child = *node.children[0];
     std::vector<int> positions;
     positions.reserve(node.project_items.size());
@@ -493,54 +913,89 @@ class ExecState {
         positions.push_back(pos);
       }
     }
-    std::vector<Row> out;
-    out.reserve(input.size());
-    for (Row& row : input) {
-      Row projected;
-      projected.reserve(positions.size());
+    Chunk out;
+    out.width = static_cast<int>(positions.size());
+    out.num_rows = input.num_rows;
+    out.ReserveRows(input.num_rows);
+    for (size_t r = 0; r < input.num_rows; ++r) {
+      const Cell* row = input.row(r);
       for (int pos : positions) {
-        projected.push_back(pos < 0 ? Value::Null()
+        out.cells.push_back(pos < 0 ? Cell{}
                                     : row[static_cast<size_t>(pos)]);
       }
-      out.push_back(std::move(projected));
     }
     return out;
   }
 
-  Result<std::vector<Row>> ExecUnionAll(const PlanNode& node,
-                                        ExplainNode* en) {
-    std::vector<Row> out;
+  Result<Chunk> ExecUnionAll(const PlanNode& node, ExplainNode* en) {
+    Chunk out;
+    out.width = -1;
     for (size_t i = 0; i < node.children.size(); ++i) {
-      XS_ASSIGN_OR_RETURN(std::vector<Row> rows,
-                          Exec(*node.children[i], Child(en, i)));
-      for (Row& row : rows) out.push_back(std::move(row));
+      XS_ASSIGN_OR_RETURN(Chunk chunk, Exec(*node.children[i], Child(en, i)));
+      if (out.width < 0) {
+        out = std::move(chunk);
+        continue;
+      }
+      if (chunk.width != out.width) {
+        return Internal("union branches produce different widths");
+      }
+      out.cells.insert(out.cells.end(), chunk.cells.begin(),
+                       chunk.cells.end());
+      out.num_rows += chunk.num_rows;
     }
+    if (out.width < 0) out.width = static_cast<int>(node.output.size());
     return out;
   }
 
-  Result<std::vector<Row>> ExecSort(const PlanNode& node, ExplainNode* en) {
-    XS_ASSIGN_OR_RETURN(std::vector<Row> rows,
-                        Exec(*node.children[0], Child(en, 0)));
-    double sort_work = SortCost(static_cast<double>(rows.size()));
+  Result<Chunk> ExecSort(const PlanNode& node, ExplainNode* en) {
+    XS_ASSIGN_OR_RETURN(Chunk input, Exec(*node.children[0], Child(en, 0)));
+    double sort_work = SortCost(static_cast<double>(input.num_rows));
     metrics_->work += sort_work;
     XS_RETURN_IF_ERROR(ChargeGovernor(sort_work));
     const std::vector<int>& ords = node.sort_ordinals;
-    std::stable_sort(rows.begin(), rows.end(),
-                     [&ords](const Row& a, const Row& b) {
-                       for (int ord : ords) {
-                         size_t i = static_cast<size_t>(ord);
-                         if (a[i].TotalLess(b[i])) return true;
-                         if (b[i].TotalLess(a[i])) return false;
+    size_t nord = ords.size();
+    size_t n = input.num_rows;
+    // Sort over encoded keys: (class, 64-bit) compares reproduce
+    // Value::TotalLess exactly without touching string data.
+    std::vector<SortKey> keys(n * nord);
+    for (size_t r = 0; r < n; ++r) {
+      const Cell* row = input.row(r);
+      for (size_t j = 0; j < nord; ++j) {
+        keys[r * nord + j] =
+            EncodeCellKey(row[static_cast<size_t>(ords[j])], dict_);
+      }
+    }
+    std::vector<int64_t> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    std::stable_sort(perm.begin(), perm.end(),
+                     [&keys, nord](int64_t a, int64_t b) {
+                       size_t ba = static_cast<size_t>(a) * nord;
+                       size_t bb = static_cast<size_t>(b) * nord;
+                       for (size_t j = 0; j < nord; ++j) {
+                         const SortKey& ka = keys[ba + j];
+                         const SortKey& kb = keys[bb + j];
+                         if (ka < kb) return true;
+                         if (kb < ka) return false;
                        }
                        return false;
                      });
-    return rows;
+    Chunk out;
+    out.width = input.width;
+    out.num_rows = n;
+    out.ReserveRows(n);
+    for (size_t r = 0; r < n; ++r) {
+      const Cell* row = input.row(static_cast<size_t>(perm[r]));
+      out.cells.insert(out.cells.end(), row, row + input.width);
+    }
+    return out;
   }
 
   const Database& db_;
+  const StringDictionary& dict_;
   ExecMetrics* metrics_;
   ResourceGovernor* governor_;
   bool capture_timing_;
+  bool vectorized_;
 };
 
 // The explain tree must have come from BuildExplainTree on this plan;
@@ -563,10 +1018,24 @@ Result<std::vector<Row>> Executor::Run(const PlanNode& plan,
         "explain tree does not mirror the plan (use BuildExplainTree)");
   }
   ExecMetrics local;
-  ExecState state(db_, &local, options.governor, options.capture_timing);
-  Result<std::vector<Row>> result = state.Exec(plan, options.explain);
-  if (result.ok()) {
-    local.rows_out = static_cast<int64_t>(result->size());
+  ExecState state(db_, &local, options.governor, options.capture_timing,
+                  options.vectorized_scan);
+  Result<Chunk> chunk = state.Exec(plan, options.explain);
+  std::vector<Row> rows;
+  if (chunk.ok()) {
+    const StringDictionary& dict = db_.dictionary();
+    rows.reserve(chunk->num_rows);
+    size_t width = static_cast<size_t>(chunk->width);
+    for (size_t r = 0; r < chunk->num_rows; ++r) {
+      const Cell* cells = chunk->row(r);
+      Row row;
+      row.reserve(width);
+      for (size_t c = 0; c < width; ++c) {
+        row.push_back(CellToValue(cells[c], dict));
+      }
+      rows.push_back(std::move(row));
+    }
+    local.rows_out = static_cast<int64_t>(rows.size());
   }
   // The per-query view accumulates even on failure — telemetry reflects
   // all work attempted — while the registry's exec.* totals only count
@@ -577,7 +1046,8 @@ Result<std::vector<Row>> Executor::Run(const PlanNode& plan,
     metrics->pages_random += local.pages_random;
     metrics->rows_out += local.rows_out;
   }
-  if (result.ok() && options.metrics != nullptr) {
+  if (!chunk.ok()) return chunk.status();
+  if (options.metrics != nullptr) {
     options.metrics->counter(kMetricExecQueries)->Increment();
     options.metrics->counter(kMetricExecRowsOut)->Add(local.rows_out);
     options.metrics->gauge(kMetricExecWork)->Add(local.work);
@@ -587,7 +1057,7 @@ Result<std::vector<Row>> Executor::Run(const PlanNode& plan,
     options.metrics->histogram(kMetricExecRowsPerQuery)
         ->Observe(static_cast<double>(local.rows_out));
   }
-  return result;
+  return rows;
 }
 
 Result<std::vector<Row>> Executor::Run(const PlanNode& plan,

@@ -22,6 +22,10 @@ namespace xmlshred {
 class MetricsRegistry;
 struct ExplainNode;
 
+// Rows per vectorized scan batch: filters run column-at-a-time over one
+// batch into a selection vector before any output row is materialized.
+inline constexpr size_t kScanBatchRows = 1024;
+
 // Per-query view of the work one Run performed. The registry (see
 // ExecOptions::metrics) is the primary sink for run-wide exec.* totals;
 // this struct remains as the thin per-query window callers use to weight
@@ -52,6 +56,12 @@ struct ExecOptions {
   // into `explain` nodes. Off = no clock reads anywhere (the explain
   // analog of MetricsRegistry::timing_enabled).
   bool capture_timing = false;
+  // When false, sequential scans fall back to row-at-a-time evaluation
+  // (materialize each row, evaluate predicates on Values). Metering,
+  // result rows, and explain actuals are identical either way; the flag
+  // exists so differential tests can pin the vectorized path against the
+  // scalar reference.
+  bool vectorized_scan = true;
 };
 
 class Executor {

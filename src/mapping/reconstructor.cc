@@ -38,7 +38,7 @@ class Reconstructor {
     }
     XS_ASSIGN_OR_RETURN(
         std::unique_ptr<XmlElement> element,
-        EmitTag(root, table->rows()[0], rel_idx));
+        EmitTag(root, RowsOf(rel_idx)[0], rel_idx));
     return XmlDocument(std::move(element));
   }
 
@@ -48,6 +48,19 @@ class Reconstructor {
         mapping_.relations()[static_cast<size_t>(rel_idx)].table_name);
   }
 
+  // Rows of relation `rel_idx`, materialized from columnar storage once
+  // and cached; the vector is never resized after, so pointers into it
+  // stay valid for the whole reconstruction.
+  const std::vector<Row>& RowsOf(int rel_idx) {
+    auto it = rows_cache_.find(rel_idx);
+    if (it == rows_cache_.end()) {
+      const Table* table = TableOf(rel_idx);
+      XS_CHECK(table != nullptr);
+      it = rows_cache_.emplace(rel_idx, table->MaterializeRows()).first;
+    }
+    return it->second;
+  }
+
   // Rows of relation `rel_idx` whose PID equals `parent_id`, in ID order.
   const std::vector<const Row*>& ChildRows(int rel_idx, int64_t parent_id) {
     auto& by_pid = children_[rel_idx];
@@ -55,7 +68,7 @@ class Reconstructor {
       const Table* table = TableOf(rel_idx);
       XS_CHECK(table != nullptr);
       int pid_col = table->schema().pid_column;
-      for (const Row& row : table->rows()) {
+      for (const Row& row : RowsOf(rel_idx)) {
         const Value& pid = row[static_cast<size_t>(pid_col)];
         if (!pid.is_null()) by_pid[pid.AsInt()].push_back(&row);
       }
@@ -202,6 +215,8 @@ class Reconstructor {
   const Database& db_;
   const SchemaTree& tree_;
   const Mapping& mapping_;
+  // rel_idx -> materialized rows (pointer-stable backing for children_)
+  std::unordered_map<int, std::vector<Row>> rows_cache_;
   // rel_idx -> (parent id -> rows in ID order)
   std::unordered_map<int,
                      std::unordered_map<int64_t, std::vector<const Row*>>>

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 #include <set>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/logging.h"
@@ -23,6 +25,26 @@ void MatchNames(const SchemaNode* node, std::set<std::string>* out) {
     return;
   }
   for (const auto& child : node->children()) MatchNames(child.get(), out);
+}
+
+// Capacity doublings a vector growing geometrically from 1 performs to
+// reach `n` elements — the reallocations a Reserve(n) call avoids.
+int64_t GrowthSteps(int64_t n) {
+  int64_t steps = 0;
+  for (int64_t cap = 1; cap < n; cap *= 2) ++steps;
+  return steps;
+}
+
+// One pass over the document collecting per-tag-name element counts and
+// the number of text-bearing elements (upper bound on strings interned).
+void CountElements(const XmlElement* element,
+                   std::unordered_map<std::string, int64_t>* by_tag,
+                   int64_t* text_bearing) {
+  ++(*by_tag)[element->tag()];
+  if (!element->text().empty()) ++*text_bearing;
+  for (const auto& child : element->children()) {
+    CountElements(child.get(), by_tag, text_bearing);
+  }
 }
 
 Value ParseValue(const std::string& text, XsdBaseType type) {
@@ -56,11 +78,47 @@ class Shredder {
                              "> does not match schema root <" +
                              tree_.root()->name() + ">");
     }
+    PreSize(doc);
     XS_RETURN_IF_ERROR(ShredTag(doc.root(), tree_.root(), Value::Null()));
     return stats_;
   }
 
  private:
+  // Pre-sizes every relation's column vectors and the shared string
+  // dictionary from one counting pass over the document, so the append
+  // path never reallocates. A relation's expected row count is the sum of
+  // its anchors' per-tag-name element counts — exact for uniquely named
+  // anchors, an upper bound when variants of a choice share a tag name
+  // (routing splits the instances; over-reserving only costs slack
+  // capacity, never correctness).
+  void PreSize(const XmlDocument& doc) {
+    std::unordered_map<std::string, int64_t> by_tag;
+    int64_t text_bearing = 0;
+    CountElements(doc.root(), &by_tag, &text_bearing);
+    const auto& relations = mapping_.relations();
+    for (size_t i = 0; i < relations.size(); ++i) {
+      int64_t expected = 0;
+      for (int anchor_id : relations[i].anchor_node_ids) {
+        const SchemaNode* anchor = tree_.FindNode(anchor_id);
+        if (anchor == nullptr) continue;
+        auto it = by_tag.find(anchor->name());
+        if (it != by_tag.end()) expected += it->second;
+      }
+      if (expected <= 0) continue;
+      tables_[i]->Reserve(static_cast<size_t>(expected));
+      stats_.reserved_rows += expected;
+      // Each column keeps two vectors (tags + slots); every one skips the
+      // same doubling ladder up to the reserved size.
+      stats_.saved_reallocs +=
+          GrowthSteps(expected) * 2 *
+          tables_[i]->schema().num_columns();
+    }
+    if (text_bearing > 0) {
+      db_->mutable_dictionary()->Reserve(static_cast<size_t>(text_bearing));
+      stats_.saved_reallocs += GrowthSteps(text_bearing);
+    }
+  }
+
   struct RowContext {
     int relation_idx = -1;
     Row row;

@@ -48,7 +48,7 @@ Result<Table*> Database::CreateTable(TableSchema schema) {
     return AlreadyExists("table " + schema.name);
   }
   std::string name = schema.name;
-  auto table = std::make_unique<Table>(std::move(schema));
+  auto table = std::make_unique<Table>(std::move(schema), dict_);
   Table* ptr = table.get();
   tables_[name] = std::move(table);
   return ptr;
@@ -167,17 +167,21 @@ Status Database::CreateMaterializedView(const ViewDef& def) {
     out_cols.push_back(bc);
   }
 
-  // Hash child rows by PID when a join is requested.
-  std::unordered_multimap<int64_t, const Row*> child_by_pid;
+  // Hash child row ids by PID when a join is requested. Row ids, not row
+  // pointers: the columnar store never materializes a row until projected.
+  std::unordered_multimap<int64_t, int64_t> child_by_pid;
   if (child != nullptr) {
     int pid = child->schema().pid_column;
     if (pid < 0) {
       return fail(InvalidArgument("join child " + *def.join_child +
                                   " has no parent-id column"));
     }
-    for (const Row& row : child->rows()) {
-      const Value& v = row[static_cast<size_t>(pid)];
-      if (!v.is_null()) child_by_pid.emplace(v.AsInt(), &row);
+    const ColumnVector& pid_col = child->column(pid);
+    for (int64_t rid = 0; rid < child->row_count(); ++rid) {
+      size_t i = static_cast<size_t>(rid);
+      if (!pid_col.is_null(i)) {
+        child_by_pid.emplace(pid_col.AsInt(i), rid);
+      }
     }
   }
 
@@ -186,12 +190,12 @@ Status Database::CreateMaterializedView(const ViewDef& def) {
     return fail(InvalidArgument("join base " + def.base_table +
                                 " has no id column"));
   }
-  for (const Row& base_row : base->rows()) {
+  for (int64_t base_rid = 0; base_rid < base->row_count(); ++base_rid) {
     bool base_pass = true;
     for (const BoundPred& p : preds) {
       if (!p.on_base) continue;
       Result<bool> keep =
-          eval(base_row[static_cast<size_t>(p.ordinal)], p.op, p.literal);
+          eval(base->GetValue(base_rid, p.ordinal), p.op, p.literal);
       if (!keep.ok()) return fail(keep.status());
       if (!*keep) {
         base_pass = false;
@@ -200,34 +204,34 @@ Status Database::CreateMaterializedView(const ViewDef& def) {
     }
     if (!base_pass) continue;
 
-    auto emit = [&](const Row* child_row) {
+    auto emit = [&](int64_t child_rid) {
       Row out_row;
       out_row.reserve(out_cols.size());
       for (const BoundCol& bc : out_cols) {
         if (bc.on_base) {
-          out_row.push_back(base_row[static_cast<size_t>(bc.ordinal)]);
+          out_row.push_back(base->GetValue(base_rid, bc.ordinal));
         } else {
-          out_row.push_back(child_row == nullptr
+          out_row.push_back(child_rid < 0
                                 ? Value::Null()
-                                : (*child_row)[static_cast<size_t>(bc.ordinal)]);
+                                : child->GetValue(child_rid, bc.ordinal));
         }
       }
-      out->AppendRow(std::move(out_row));
+      out->AppendRow(out_row);
     };
 
     if (child == nullptr) {
-      emit(nullptr);
+      emit(-1);
       continue;
     }
-    const Value& id = base_row[static_cast<size_t>(base_id)];
+    Value id = base->GetValue(base_rid, base_id);
     if (id.is_null()) continue;
     auto [lo, hi] = child_by_pid.equal_range(id.AsInt());
     for (auto it = lo; it != hi; ++it) {
       bool child_pass = true;
       for (const BoundPred& p : preds) {
         if (p.on_base) continue;
-        Result<bool> keep = eval((*it->second)[static_cast<size_t>(p.ordinal)],
-                                 p.op, p.literal);
+        Result<bool> keep =
+            eval(child->GetValue(it->second, p.ordinal), p.op, p.literal);
         if (!keep.ok()) return fail(keep.status());
         if (!*keep) {
           child_pass = false;
@@ -302,6 +306,12 @@ int64_t Database::DataPages() const {
     if (view_defs_.count(name) == 0) pages += table->NumPages();
   }
   return pages;
+}
+
+int64_t Database::TotalTableBytes() const {
+  int64_t bytes = 0;
+  for (const auto& [name, table] : tables_) bytes += table->total_bytes();
+  return bytes;
 }
 
 }  // namespace xmlshred

@@ -74,12 +74,18 @@ struct CatalogDesc {
   int64_t DataPages() const;
 };
 
-// Real storage. Owns tables, built indexes, and materialized views.
+// Real storage. Owns tables, built indexes, and materialized views, plus
+// the string dictionary every table's VARCHAR cells encode into (shared
+// so dictionary codes are comparable across tables — joins and views
+// compare codes, never characters).
 class Database {
  public:
-  Database() = default;
+  Database() : dict_(std::make_shared<StringDictionary>()) {}
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
+
+  const StringDictionary& dictionary() const { return *dict_; }
+  StringDictionary* mutable_dictionary() { return dict_.get(); }
 
   // Creates an empty table; fails on duplicate name.
   Result<Table*> CreateTable(TableSchema schema);
@@ -114,7 +120,13 @@ class Database {
   // Total pages across base tables.
   int64_t DataPages() const;
 
+  // Exact bytes across base tables' columnar cells (sum of
+  // Table::total_bytes; excludes indexes, views, and the dictionary —
+  // Database::dictionary().ByteSize() reports that separately).
+  int64_t TotalTableBytes() const;
+
  private:
+  std::shared_ptr<StringDictionary> dict_;
   std::map<std::string, std::unique_ptr<Table>> tables_;
   std::map<std::string, std::unique_ptr<BTreeIndex>> indexes_;
   std::map<std::string, ViewDef> view_defs_;  // materialized table shares name

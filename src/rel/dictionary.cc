@@ -1,0 +1,53 @@
+#include "rel/dictionary.h"
+
+#include <algorithm>
+
+namespace xmlshred {
+
+uint32_t StringDictionary::Intern(std::string_view s) {
+  auto it = map_.find(s);
+  if (it != map_.end()) return it->second;
+  uint32_t code = static_cast<uint32_t>(strings_.size());
+  strings_.emplace_back(s);
+  map_.emplace(std::string_view(strings_.back()), code);
+  total_string_bytes_ += static_cast<int64_t>(s.size());
+  ranks_ready_.store(false, std::memory_order_release);
+  return code;
+}
+
+uint32_t StringDictionary::Lookup(std::string_view s) const {
+  auto it = map_.find(s);
+  return it == map_.end() ? kNotFound : it->second;
+}
+
+void StringDictionary::EnsureRanks() const {
+  if (ranks_ready_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(rank_mu_);
+  if (ranks_ready_.load(std::memory_order_acquire)) return;
+  size_t n = strings_.size();
+  codes_sorted_.resize(n);
+  for (size_t i = 0; i < n; ++i) codes_sorted_[i] = static_cast<uint32_t>(i);
+  std::sort(codes_sorted_.begin(), codes_sorted_.end(),
+            [this](uint32_t a, uint32_t b) {
+              return strings_[static_cast<size_t>(a)] <
+                     strings_[static_cast<size_t>(b)];
+            });
+  rank_of_code_.resize(n);
+  for (size_t r = 0; r < n; ++r) {
+    rank_of_code_[static_cast<size_t>(codes_sorted_[r])] =
+        static_cast<uint32_t>(r);
+  }
+  ranks_ready_.store(true, std::memory_order_release);
+}
+
+uint32_t StringDictionary::CountLess(std::string_view s) const {
+  EnsureRanks();
+  auto it = std::lower_bound(
+      codes_sorted_.begin(), codes_sorted_.end(), s,
+      [this](uint32_t code, std::string_view key) {
+        return std::string_view(strings_[static_cast<size_t>(code)]) < key;
+      });
+  return static_cast<uint32_t>(it - codes_sorted_.begin());
+}
+
+}  // namespace xmlshred

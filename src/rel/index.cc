@@ -2,11 +2,48 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "common/logging.h"
 #include "common/strings.h"
 
 namespace xmlshred {
+
+uint64_t EncodeOrderedDouble(double d) {
+  if (d == 0.0) d = 0.0;  // collapse -0.0 onto +0.0 (they compare equal)
+  uint64_t bits = DoubleToCellBits(d);
+  return (bits >> 63) != 0 ? ~bits : bits | (1ull << 63);
+}
+
+SortKey EncodeCellKey(const Cell& cell, const StringDictionary& dict) {
+  switch (static_cast<CellTag>(cell.tag)) {
+    case CellTag::kNull:
+      return SortKey{0, 0};
+    case CellTag::kInt:
+      return SortKey{1, EncodeOrderedDouble(static_cast<double>(
+                             static_cast<int64_t>(cell.bits)))};
+    case CellTag::kReal:
+      return SortKey{1, EncodeOrderedDouble(CellBitsToDouble(cell.bits))};
+    case CellTag::kStr:
+      return SortKey{
+          2, 2ull * dict.Rank(static_cast<uint32_t>(cell.bits)) + 1};
+  }
+  return SortKey{0, 0};
+}
+
+SortKey EncodeValueKey(const Value& v, const StringDictionary& dict) {
+  if (v.is_null()) return SortKey{0, 0};
+  if (v.is_string()) {
+    uint32_t code = dict.Lookup(v.AsString());
+    if (code != StringDictionary::kNotFound) {
+      return SortKey{2, 2ull * dict.Rank(code) + 1};
+    }
+    // Absent literal: the even slot between neighbouring interned ranks —
+    // ordered correctly against every entry, equal to none.
+    return SortKey{2, 2ull * dict.CountLess(v.AsString())};
+  }
+  return SortKey{1, EncodeOrderedDouble(v.AsNumeric())};
+}
 
 bool IndexDef::Covers(const std::vector<int>& needed) const {
   for (int col : needed) {
@@ -38,60 +75,137 @@ std::string IndexDef::ToString(const TableSchema& schema) const {
 }
 
 BTreeIndex::BTreeIndex(IndexDef def, const Table& table)
-    : def_(std::move(def)) {
-  const std::vector<Row>& rows = table.rows();
-  entries_.reserve(rows.size());
-  double bytes = 0;
-  for (size_t rid = 0; rid < rows.size(); ++rid) {
-    Entry e;
-    e.key.reserve(def_.key_columns.size() + def_.included_columns.size());
-    for (int c : def_.key_columns) {
-      e.key.push_back(rows[rid][static_cast<size_t>(c)]);
-    }
-    for (int c : def_.included_columns) {
-      e.key.push_back(rows[rid][static_cast<size_t>(c)]);
-    }
-    e.row_id = static_cast<int64_t>(rid);
-    for (const Value& v : e.key) bytes += static_cast<double>(v.ByteSize());
-    bytes += 8;  // row id
-    entries_.push_back(std::move(e));
-  }
+    : def_(std::move(def)), dict_(table.shared_dictionary()) {
   size_t nkeys = def_.key_columns.size();
-  std::sort(entries_.begin(), entries_.end(),
-            [nkeys](const Entry& a, const Entry& b) {
-              for (size_t i = 0; i < nkeys; ++i) {
-                if (a.key[i].TotalLess(b.key[i])) return true;
-                if (b.key[i].TotalLess(a.key[i])) return false;
-              }
-              return a.row_id < b.row_id;
-            });
-  entry_bytes_ = entries_.empty()
-                     ? 16.0
-                     : bytes / static_cast<double>(entries_.size());
-}
+  width_ = static_cast<int>(nkeys + def_.included_columns.size());
+  size_t n = static_cast<size_t>(table.row_count());
 
-namespace {
-
-// Compares the first `n` key values of an entry against `key_prefix`.
-int ComparePrefix(const BTreeIndex::Entry& e, const Row& key_prefix) {
-  for (size_t i = 0; i < key_prefix.size(); ++i) {
-    if (e.key[i].TotalLess(key_prefix[i])) return -1;
-    if (key_prefix[i].TotalLess(e.key[i])) return 1;
+  // Encode all key columns up front; sort row ids by (keys, rid). The
+  // encoded order is exactly TotalLess per key column, so the entry order
+  // matches what per-Value comparisons would produce — without a single
+  // string comparison.
+  std::vector<SortKey> row_keys(n * nkeys);
+  for (size_t k = 0; k < nkeys; ++k) {
+    const ColumnVector& col = table.column(def_.key_columns[k]);
+    for (size_t rid = 0; rid < n; ++rid) {
+      row_keys[rid * nkeys + k] = EncodeCellKey(col.cell(rid), *dict_);
+    }
   }
-  return 0;
+  std::vector<int64_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&row_keys, nkeys](int64_t a, int64_t b) {
+              size_t ba = static_cast<size_t>(a) * nkeys;
+              size_t bb = static_cast<size_t>(b) * nkeys;
+              for (size_t k = 0; k < nkeys; ++k) {
+                const SortKey& ka = row_keys[ba + k];
+                const SortKey& kb = row_keys[bb + k];
+                if (ka < kb) return true;
+                if (kb < ka) return false;
+              }
+              return a < b;
+            });
+
+  // Gather entry cells (keys then included columns) in sorted order.
+  size_t width = static_cast<size_t>(width_);
+  tags_.resize(n * width);
+  data_.resize(n * width);
+  keys_.resize(n * nkeys);
+  rids_ = std::move(order);
+  std::vector<const ColumnVector*> entry_cols;
+  entry_cols.reserve(width);
+  for (int c : def_.key_columns) entry_cols.push_back(&table.column(c));
+  for (int c : def_.included_columns) entry_cols.push_back(&table.column(c));
+  int64_t bytes = 0;
+  for (size_t e = 0; e < n; ++e) {
+    size_t rid = static_cast<size_t>(rids_[e]);
+    for (size_t p = 0; p < width; ++p) {
+      Cell cell = entry_cols[p]->cell(rid);
+      tags_[e * width + p] = cell.tag;
+      data_[e * width + p] = cell.bits;
+      switch (static_cast<CellTag>(cell.tag)) {
+        case CellTag::kNull:
+          bytes += 4;
+          break;
+        case CellTag::kInt:
+        case CellTag::kReal:
+          bytes += 8;
+          break;
+        case CellTag::kStr:
+          bytes += static_cast<int64_t>(
+                       dict_->str(static_cast<uint32_t>(cell.bits)).size()) +
+                   2;
+          break;
+      }
+    }
+    for (size_t k = 0; k < nkeys; ++k) {
+      keys_[e * nkeys + k] = row_keys[rid * nkeys + k];
+    }
+    bytes += 8;  // row id
+  }
+  entry_bytes_ =
+      n == 0 ? 16.0 : static_cast<double>(bytes) / static_cast<double>(n);
 }
 
-}  // namespace
+size_t BTreeIndex::LowerBound(const std::vector<SortKey>& prefix) const {
+  size_t nkeys = def_.key_columns.size();
+  XS_CHECK_LE(prefix.size(), nkeys);
+  size_t lo = 0, hi = rids_.size();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    bool less = false;
+    for (size_t k = 0; k < prefix.size(); ++k) {
+      const SortKey& ek = keys_[mid * nkeys + k];
+      if (ek < prefix[k]) {
+        less = true;
+        break;
+      }
+      if (prefix[k] < ek) break;
+    }
+    if (less) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+bool BTreeIndex::MatchesPrefix(size_t entry,
+                               const std::vector<SortKey>& prefix) const {
+  size_t nkeys = def_.key_columns.size();
+  for (size_t k = 0; k < prefix.size(); ++k) {
+    if (!(keys_[entry * nkeys + k] == prefix[k])) return false;
+  }
+  return true;
+}
+
+Value BTreeIndex::EntryValue(size_t entry, int pos) const {
+  Cell cell = entry_cell(entry, pos);
+  switch (static_cast<CellTag>(cell.tag)) {
+    case CellTag::kNull:
+      return Value::Null();
+    case CellTag::kInt:
+      return Value::Int(static_cast<int64_t>(cell.bits));
+    case CellTag::kReal:
+      return Value::Real(CellBitsToDouble(cell.bits));
+    case CellTag::kStr:
+      return Value::Str(dict_->str(static_cast<uint32_t>(cell.bits)));
+  }
+  return Value::Null();
+}
 
 std::vector<int64_t> BTreeIndex::EqualLookup(const Row& key_prefix) const {
   XS_CHECK_LE(key_prefix.size(), def_.key_columns.size());
-  auto lo = std::lower_bound(
-      entries_.begin(), entries_.end(), key_prefix,
-      [](const Entry& e, const Row& k) { return ComparePrefix(e, k) < 0; });
+  std::vector<SortKey> prefix;
+  prefix.reserve(key_prefix.size());
+  for (const Value& v : key_prefix) {
+    prefix.push_back(EncodeValueKey(v, *dict_));
+  }
   std::vector<int64_t> out;
-  for (auto it = lo; it != entries_.end() && ComparePrefix(*it, key_prefix) == 0;
-       ++it) {
-    out.push_back(it->row_id);
+  for (size_t e = LowerBound(prefix);
+       e < rids_.size() && MatchesPrefix(e, prefix); ++e) {
+    out.push_back(rids_[e]);
   }
   return out;
 }
@@ -99,19 +213,24 @@ std::vector<int64_t> BTreeIndex::EqualLookup(const Row& key_prefix) const {
 std::vector<int64_t> BTreeIndex::RangeLookup(const Value& lo, bool lo_strict,
                                              const Value& hi,
                                              bool hi_strict) const {
+  size_t nkeys = def_.key_columns.size();
+  SortKey lo_key, hi_key;
+  bool has_lo = !lo.is_null(), has_hi = !hi.is_null();
+  if (has_lo) lo_key = EncodeValueKey(lo, *dict_);
+  if (has_hi) hi_key = EncodeValueKey(hi, *dict_);
   std::vector<int64_t> out;
-  for (const Entry& e : entries_) {
-    const Value& k = e.key[0];
-    if (k.is_null()) continue;
-    if (!lo.is_null()) {
-      if (k.TotalLess(lo)) continue;
-      if (lo_strict && k.TotalEquals(lo)) continue;
+  for (size_t e = 0; e < rids_.size(); ++e) {
+    const SortKey& k = keys_[e * nkeys];
+    if (k.cls == 0) continue;  // NULL keys never match a range
+    if (has_lo) {
+      if (k < lo_key) continue;
+      if (lo_strict && k == lo_key) continue;
     }
-    if (!hi.is_null()) {
-      if (hi.TotalLess(k)) break;
-      if (hi_strict && k.TotalEquals(hi)) continue;
+    if (has_hi) {
+      if (hi_key < k) break;
+      if (hi_strict && k == hi_key) continue;
     }
-    out.push_back(e.row_id);
+    out.push_back(rids_[e]);
   }
   return out;
 }

@@ -89,13 +89,16 @@ double TableStats::AvgRowBytes() const {
 
 namespace {
 
-ColumnStats BuildColumnStats(const std::vector<Row>& rows, int col) {
+// Shared core: column values in row order, presented as pointers so both
+// the row-store and columnar entry points feed the identical computation.
+ColumnStats BuildColumnStatsFromPointers(
+    const std::vector<const Value*>& values) {
   ColumnStats stats;
   std::vector<const Value*> non_null;
-  non_null.reserve(rows.size());
+  non_null.reserve(values.size());
   double bytes = 0;
-  for (const Row& row : rows) {
-    const Value& v = row[static_cast<size_t>(col)];
+  for (const Value* vp : values) {
+    const Value& v = *vp;
     bytes += static_cast<double>(v.ByteSize());
     if (v.is_null()) {
       ++stats.null_count;
@@ -104,7 +107,8 @@ ColumnStats BuildColumnStats(const std::vector<Row>& rows, int col) {
       non_null.push_back(&v);
     }
   }
-  stats.avg_bytes = rows.empty() ? 8.0 : bytes / static_cast<double>(rows.size());
+  stats.avg_bytes =
+      values.empty() ? 8.0 : bytes / static_cast<double>(values.size());
   if (non_null.empty()) return stats;
 
   std::sort(non_null.begin(), non_null.end(),
@@ -166,13 +170,22 @@ ColumnStats BuildColumnStats(const std::vector<Row>& rows, int col) {
   return stats;
 }
 
+ColumnStats BuildColumnStats(const std::vector<Row>& rows, int col) {
+  std::vector<const Value*> values;
+  values.reserve(rows.size());
+  for (const Row& row : rows) {
+    values.push_back(&row[static_cast<size_t>(col)]);
+  }
+  return BuildColumnStatsFromPointers(values);
+}
+
 }  // namespace
 
 ColumnStats BuildColumnStatsFromValues(const std::vector<Value>& values) {
-  std::vector<Row> rows;
-  rows.reserve(values.size());
-  for (const Value& v : values) rows.push_back({v});
-  return BuildColumnStats(rows, 0);
+  std::vector<const Value*> pointers;
+  pointers.reserve(values.size());
+  for (const Value& v : values) pointers.push_back(&v);
+  return BuildColumnStatsFromPointers(pointers);
 }
 
 ColumnStats ScaleColumnStats(const ColumnStats& stats, double factor) {

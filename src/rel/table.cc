@@ -13,16 +13,115 @@ int64_t PagesFor(int64_t row_count, double avg_row_bytes) {
   return pages < 1 ? 1 : pages;
 }
 
-void Table::AppendRow(Row row) {
+void ColumnVector::Append(const Value& v, StringDictionary* dict) {
+  Cell cell;
+  int64_t byte_size;
+  if (v.is_null()) {
+    cell.tag = static_cast<uint8_t>(CellTag::kNull);
+    byte_size = 4;
+  } else if (v.is_int()) {
+    cell.tag = static_cast<uint8_t>(CellTag::kInt);
+    cell.bits = static_cast<uint64_t>(v.AsInt());
+    byte_size = 8;
+  } else if (v.is_double()) {
+    cell.tag = static_cast<uint8_t>(CellTag::kReal);
+    cell.bits = DoubleToCellBits(v.AsDouble());
+    byte_size = 8;
+  } else {
+    cell.tag = static_cast<uint8_t>(CellTag::kStr);
+    cell.bits = dict->Intern(v.AsString());
+    byte_size = static_cast<int64_t>(v.AsString().size()) + 2;
+  }
+  AppendCell(cell, byte_size);
+}
+
+void ColumnVector::AppendCell(Cell cell, int64_t byte_size) {
+  tags_.push_back(cell.tag);
+  data_.push_back(cell.bits);
+  bytes_ += byte_size;
+}
+
+Value ColumnVector::GetValue(size_t i, const StringDictionary& dict) const {
+  switch (tag(i)) {
+    case CellTag::kNull:
+      return Value::Null();
+    case CellTag::kInt:
+      return Value::Int(AsInt(i));
+    case CellTag::kReal:
+      return Value::Real(AsReal(i));
+    case CellTag::kStr:
+      return Value::Str(dict.str(code(i)));
+  }
+  return Value::Null();
+}
+
+Table::Table(TableSchema schema, std::shared_ptr<StringDictionary> dict)
+    : schema_(std::move(schema)), dict_(std::move(dict)) {
+  columns_.resize(static_cast<size_t>(schema_.num_columns()));
+}
+
+void Table::AppendRow(const Row& row) {
   XS_CHECK_EQ(static_cast<int>(row.size()), schema_.num_columns());
-  for (const Value& v : row) total_bytes_ += static_cast<double>(v.ByteSize());
-  rows_.push_back(std::move(row));
+  for (size_t c = 0; c < row.size(); ++c) {
+    columns_[c].Append(row[c], dict_.get());
+  }
+  ++num_rows_;
+}
+
+void Table::Reserve(size_t n) {
+  for (ColumnVector& col : columns_) col.Reserve(n);
+}
+
+Value Table::GetValue(int64_t rid, int col) const {
+  return columns_[static_cast<size_t>(col)].GetValue(
+      static_cast<size_t>(rid), *dict_);
+}
+
+Row Table::GetRow(int64_t rid) const {
+  Row row;
+  row.reserve(columns_.size());
+  for (const ColumnVector& col : columns_) {
+    row.push_back(col.GetValue(static_cast<size_t>(rid), *dict_));
+  }
+  return row;
+}
+
+std::vector<Row> Table::MaterializeRows() const {
+  std::vector<Row> rows;
+  rows.reserve(num_rows_);
+  for (size_t rid = 0; rid < num_rows_; ++rid) {
+    rows.push_back(GetRow(static_cast<int64_t>(rid)));
+  }
+  return rows;
+}
+
+int64_t Table::total_bytes() const {
+  int64_t total = 0;
+  for (const ColumnVector& col : columns_) total += col.byte_total();
+  return total;
 }
 
 double Table::avg_row_bytes() const {
-  if (rows_.empty()) return 8.0;
-  double w = total_bytes_ / static_cast<double>(rows_.size());
+  if (num_rows_ == 0) return 8.0;
+  double w =
+      static_cast<double>(total_bytes()) / static_cast<double>(num_rows_);
   return w < 8.0 ? 8.0 : w;
+}
+
+TableStats Table::ComputeStats() const {
+  TableStats stats;
+  stats.row_count = row_count();
+  stats.columns.reserve(columns_.size());
+  std::vector<Value> scratch;
+  for (const ColumnVector& col : columns_) {
+    scratch.clear();
+    scratch.reserve(num_rows_);
+    for (size_t i = 0; i < num_rows_; ++i) {
+      scratch.push_back(col.GetValue(i, *dict_));
+    }
+    stats.columns.push_back(BuildColumnStatsFromValues(scratch));
+  }
+  return stats;
 }
 
 }  // namespace xmlshred

@@ -1,11 +1,23 @@
-// Heap table storage with page accounting.
+// Columnar table storage with page accounting.
+//
+// A Table keeps one typed vector per column instead of a vector of rows:
+// every cell is a one-byte type tag (NULL / BIGINT / DOUBLE / VARCHAR)
+// plus a 64-bit data slot holding the int64 bits, the double bits, or a
+// 32-bit code into the database's shared StringDictionary. The tag is
+// per-cell, not per-column, so a Value of any type round-trips exactly
+// even when it disagrees with the declared column type (tests append such
+// rows directly). Page accounting is unchanged: byte sizes follow
+// Value::ByteSize exactly, tallied as exact integers per column.
 
 #ifndef XMLSHRED_REL_TABLE_H_
 #define XMLSHRED_REL_TABLE_H_
 
 #include <cstdint>
+#include <cstring>
+#include <memory>
 #include <vector>
 
+#include "rel/dictionary.h"
 #include "rel/schema.h"
 #include "rel/stats.h"
 #include "rel/value.h"
@@ -20,31 +32,124 @@ inline constexpr double kPageSizeBytes = 8192.0;
 // non-empty relation).
 int64_t PagesFor(int64_t row_count, double avg_row_bytes);
 
-// An in-memory heap table: a schema plus a row store. Rows are identified
-// by their position (row id); indexes reference rows by row id.
+// Per-cell type tag of columnar storage.
+enum class CellTag : uint8_t {
+  kNull = 0,
+  kInt = 1,
+  kReal = 2,
+  kStr = 3,
+};
+
+// A decoded cell: tag plus raw 64-bit payload (int64 bits, double bits,
+// or dictionary code). The executor's internal batch representation.
+struct Cell {
+  uint8_t tag = 0;
+  uint64_t bits = 0;
+};
+
+inline double CellBitsToDouble(uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+inline uint64_t DoubleToCellBits(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+// Numeric view of an int/real cell (ints promote to double, mirroring
+// Value::AsNumeric).
+inline double CellAsNumeric(const Cell& c) {
+  return c.tag == static_cast<uint8_t>(CellTag::kInt)
+             ? static_cast<double>(static_cast<int64_t>(c.bits))
+             : CellBitsToDouble(c.bits);
+}
+
+// One column of cells: parallel tag and data vectors plus an exact byte
+// tally (the sum of Value::ByteSize over the column's cells, kept as an
+// integer so avg_row_bytes carries no floating-point accumulation drift).
+class ColumnVector {
+ public:
+  void Append(const Value& v, StringDictionary* dict);
+  void AppendCell(Cell cell, int64_t byte_size);
+  void Reserve(size_t n) {
+    tags_.reserve(n);
+    data_.reserve(n);
+  }
+
+  size_t size() const { return tags_.size(); }
+  CellTag tag(size_t i) const { return static_cast<CellTag>(tags_[i]); }
+  uint64_t data(size_t i) const { return data_[i]; }
+  Cell cell(size_t i) const { return Cell{tags_[i], data_[i]}; }
+  bool is_null(size_t i) const {
+    return tags_[i] == static_cast<uint8_t>(CellTag::kNull);
+  }
+  int64_t AsInt(size_t i) const { return static_cast<int64_t>(data_[i]); }
+  double AsReal(size_t i) const { return CellBitsToDouble(data_[i]); }
+  uint32_t code(size_t i) const { return static_cast<uint32_t>(data_[i]); }
+
+  Value GetValue(size_t i, const StringDictionary& dict) const;
+
+  const uint8_t* tags_data() const { return tags_.data(); }
+  const uint64_t* raw_data() const { return data_.data(); }
+
+  // Exact total of Value::ByteSize over the column's cells.
+  int64_t byte_total() const { return bytes_; }
+
+ private:
+  std::vector<uint8_t> tags_;
+  std::vector<uint64_t> data_;
+  int64_t bytes_ = 0;
+};
+
+// An in-memory columnar table: a schema plus one ColumnVector per column.
+// Rows are identified by their position (row id); indexes reference rows
+// by row id. Strings are interned in the dictionary shared by the owning
+// Database (a standalone-constructed Table owns a private dictionary).
 class Table {
  public:
-  explicit Table(TableSchema schema) : schema_(std::move(schema)) {}
+  explicit Table(TableSchema schema)
+      : Table(std::move(schema), std::make_shared<StringDictionary>()) {}
+  Table(TableSchema schema, std::shared_ptr<StringDictionary> dict);
 
   const TableSchema& schema() const { return schema_; }
-  const std::vector<Row>& rows() const { return rows_; }
 
-  void AppendRow(Row row);
-  void Reserve(size_t n) { rows_.reserve(n); }
+  void AppendRow(const Row& row);
+  void Reserve(size_t n);
 
-  int64_t row_count() const { return static_cast<int64_t>(rows_.size()); }
+  int64_t row_count() const { return static_cast<int64_t>(num_rows_); }
 
-  // Mean stored row width (bytes), tracked incrementally on append.
+  const ColumnVector& column(int c) const {
+    return columns_[static_cast<size_t>(c)];
+  }
+  const StringDictionary& dictionary() const { return *dict_; }
+  StringDictionary* mutable_dictionary() { return dict_.get(); }
+  const std::shared_ptr<StringDictionary>& shared_dictionary() const {
+    return dict_;
+  }
+
+  // Materialization back to Values (row reconstruction, stats, tests).
+  Value GetValue(int64_t rid, int col) const;
+  Row GetRow(int64_t rid) const;
+  std::vector<Row> MaterializeRows() const;
+
+  // Exact stored bytes across all columns (Value::ByteSize semantics).
+  int64_t total_bytes() const;
+
+  // Mean stored row width (bytes), from the exact per-column tallies.
   double avg_row_bytes() const;
   int64_t NumPages() const { return PagesFor(row_count(), avg_row_bytes()); }
 
-  // Scans the rows and computes full statistics.
-  TableStats ComputeStats() const { return BuildTableStats(rows_, schema_.num_columns()); }
+  // Scans the columns and computes full statistics.
+  TableStats ComputeStats() const;
 
  private:
   TableSchema schema_;
-  std::vector<Row> rows_;
-  double total_bytes_ = 0;
+  std::shared_ptr<StringDictionary> dict_;
+  std::vector<ColumnVector> columns_;
+  size_t num_rows_ = 0;
 };
 
 }  // namespace xmlshred

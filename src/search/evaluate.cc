@@ -35,10 +35,24 @@ Result<WorkloadEvaluation> EvaluateOnData(const SearchResult& result,
     exec.metrics->counter(kMetricShredDocuments)->Increment();
     exec.metrics->counter(kMetricShredRows)->Add(shredded.rows);
     exec.metrics->counter(kMetricShredElements)->Add(shredded.elements);
+    exec.metrics->counter(kMetricShredReservedRows)
+        ->Add(shredded.reserved_rows);
+    exec.metrics->counter(kMetricShredSavedReallocs)
+        ->Add(shredded.saved_reallocs);
   }
   WorkloadEvaluation evaluation;
   evaluation.data_pages = db.DataPages();
   XS_RETURN_IF_ERROR(ApplyConfiguration(result.configuration, &db));
+  if (exec.metrics != nullptr) {
+    // Peak storage footprint: materialized views live as tables, so the
+    // post-configuration total captures the run's high-water mark.
+    exec.metrics->gauge(kMetricStorageTableBytesPeak)
+        ->SetMax(static_cast<double>(db.TotalTableBytes()));
+    exec.metrics->gauge(kMetricStorageDictBytesPeak)
+        ->SetMax(static_cast<double>(db.dictionary().ByteSize()));
+    exec.metrics->gauge(kMetricStorageDictEntriesPeak)
+        ->SetMax(static_cast<double>(db.dictionary().size()));
+  }
 
   CatalogDesc catalog = db.BuildCatalogDesc();
   for (const IndexDesc& idx : catalog.indexes) {

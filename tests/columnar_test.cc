@@ -1,0 +1,308 @@
+// Columnar storage tests: the dictionary's code/rank contracts, the
+// shredder's pre-sizing stats, and — the core guarantee — vectorized
+// batch execution being observably identical to the scalar row-at-a-time
+// path: same result rows in the same order, same metered work units, and
+// byte-identical explain JSON, over the tier-1 query corpora (randomized
+// movie SQL and generated DBLP XPath workloads).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "exec/executor.h"
+#include "exec/explain.h"
+#include "mapping/shredder.h"
+#include "mapping/xml_stats.h"
+#include "opt/planner.h"
+#include "rel/dictionary.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+#include "workload/movie.h"
+#include "workload/query_gen.h"
+#include "xpath/translator.h"
+
+namespace xmlshred {
+namespace {
+
+// --- StringDictionary unit tests ---
+
+TEST(StringDictionaryTest, InternAssignsSequentialCodesAndRoundTrips) {
+  StringDictionary dict;
+  EXPECT_EQ(dict.size(), 0u);
+  uint32_t a = dict.Intern("alpha");
+  uint32_t b = dict.Intern("beta");
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(dict.Intern("alpha"), a);  // idempotent
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.str(a), "alpha");
+  EXPECT_EQ(dict.str(b), "beta");
+  EXPECT_EQ(dict.Lookup("alpha"), a);
+  EXPECT_EQ(dict.Lookup("gamma"), StringDictionary::kNotFound);
+}
+
+TEST(StringDictionaryTest, ByteSizeCountsPayloadPlusOverhead) {
+  StringDictionary dict;
+  EXPECT_EQ(dict.ByteSize(), 0);
+  dict.Intern("abc");
+  dict.Intern("defgh");
+  EXPECT_EQ(dict.total_string_bytes(), 8);
+  EXPECT_EQ(dict.ByteSize(),
+            8 + 2 * StringDictionary::kPerEntryOverheadBytes);
+}
+
+TEST(StringDictionaryTest, RankOrdersCodesLexicographically) {
+  StringDictionary dict;
+  Rng rng(7);
+  std::vector<std::string> strings;
+  for (int i = 0; i < 500; ++i) {
+    std::string s;
+    int len = static_cast<int>(rng.Uniform(0, 12));
+    for (int j = 0; j < len; ++j) {
+      s += static_cast<char>('a' + rng.Uniform(0, 25));
+    }
+    strings.push_back(s);
+    dict.Intern(s);
+  }
+  // Rank comparison must agree with string comparison for every pair.
+  for (size_t i = 0; i < strings.size(); i += 17) {
+    for (size_t j = 0; j < strings.size(); j += 13) {
+      uint32_t ci = dict.Lookup(strings[i]);
+      uint32_t cj = dict.Lookup(strings[j]);
+      EXPECT_EQ(dict.Rank(ci) < dict.Rank(cj), strings[i] < strings[j]);
+      EXPECT_EQ(dict.Rank(ci) == dict.Rank(cj), strings[i] == strings[j]);
+    }
+  }
+  // CountLess("m...") equals the number of distinct interned strings
+  // strictly below the probe, whether or not the probe is interned.
+  std::string probe = "mmm";
+  int64_t below = 0;
+  std::set<std::string> distinct(strings.begin(), strings.end());
+  for (const std::string& s : distinct) {
+    if (s < probe) ++below;
+  }
+  EXPECT_EQ(dict.CountLess(probe), static_cast<uint32_t>(below));
+}
+
+// --- Shredder pre-sizing (satellite: Reserve from XML stats) ---
+
+TEST(ShredReserveTest, PreScanReservesRowsAndReportsSavedReallocs) {
+  MovieConfig config;
+  config.num_movies = 300;
+  GeneratedData data = GenerateMovie(config);
+  auto mapping = Mapping::Build(*data.tree);
+  ASSERT_TRUE(mapping.ok());
+  Database db;
+  auto stats = ShredDocument(data.doc, *data.tree, *mapping, &db);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_GT(stats->rows, 0);
+  // The per-tag-name pre-scan covers every row actually inserted (it is
+  // exact for uniquely named anchors, an upper bound otherwise).
+  EXPECT_GE(stats->reserved_rows, stats->rows);
+  EXPECT_GT(stats->saved_reallocs, 0);
+}
+
+// --- Vectorized vs scalar differential over the movie SQL corpus ---
+
+class VectorizedDifferentialTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    MovieConfig config;
+    config.num_movies = 900;
+    data_ = GenerateMovie(config);
+    auto mapping = Mapping::Build(*data_.tree);
+    ASSERT_TRUE(mapping.ok());
+    ASSERT_TRUE(ShredDocument(data_.doc, *data_.tree, *mapping, &db_).ok());
+  }
+
+  void RandomConfiguration(Rng* rng) {
+    const Table* movie = db_.FindTable("movie");
+    int columns = movie->schema().num_columns();
+    int num_indexes = static_cast<int>(rng->Uniform(0, 3));
+    for (int i = 0; i < num_indexes; ++i) {
+      IndexDef def;
+      def.name = "vx_ix_" + std::to_string(i);
+      def.table = "movie";
+      def.key_columns = {static_cast<int>(rng->Uniform(2, columns - 1))};
+      if (rng->Bernoulli(0.5)) {
+        int inc = static_cast<int>(rng->Uniform(2, columns - 1));
+        if (inc != def.key_columns[0]) def.included_columns = {inc};
+      }
+      ASSERT_TRUE(db_.CreateIndex(def).ok());
+    }
+    if (rng->Bernoulli(0.5)) {
+      IndexDef pid;
+      pid.name = "vx_pid";
+      pid.table = "aka_title";
+      pid.key_columns = {1};
+      if (rng->Bernoulli(0.5)) pid.included_columns = {2};
+      ASSERT_TRUE(db_.CreateIndex(pid).ok());
+    }
+  }
+
+  std::string RandomSql(Rng* rng) {
+    static const char* kMovieCols[] = {"title",    "year",  "avg_rating",
+                                       "director", "votes", "box_office",
+                                       "seasons"};
+    std::string sql = "SELECT m.ID";
+    int projections = static_cast<int>(rng->Uniform(1, 3));
+    for (int i = 0; i < projections; ++i) {
+      sql += std::string(", m.") + kMovieCols[rng->Uniform(0, 6)];
+    }
+    bool join = rng->Bernoulli(0.4);
+    if (join) sql += ", a.aka_title";
+    sql += " FROM movie m";
+    if (join) sql += ", aka_title a";
+    std::vector<std::string> preds;
+    if (join) preds.push_back("a.PID = m.ID");
+    int filters = static_cast<int>(rng->Uniform(0, 3));
+    for (int i = 0; i < filters; ++i) {
+      switch (rng->Uniform(0, 4)) {
+        case 0:
+          preds.push_back("m.year >= " +
+                          std::to_string(rng->Uniform(1930, 2004)));
+          break;
+        case 1:
+          preds.push_back("m.votes >= " +
+                          std::to_string(rng->Uniform(10, 1000000)));
+          break;
+        case 2:
+          preds.push_back("m.title = 'movie_title_" +
+                          std::to_string(rng->Uniform(0, 899)) + "'");
+          break;
+        default:
+          preds.push_back("m.director < 'director_5'");
+          break;
+      }
+    }
+    for (size_t i = 0; i < preds.size(); ++i) {
+      sql += (i == 0 ? " WHERE " : " AND ") + preds[i];
+    }
+    return sql;
+  }
+
+  // Runs `plan` with the given scan mode, returning rows + metering +
+  // explain JSON bytes.
+  struct RunOutput {
+    std::vector<Row> rows;
+    ExecMetrics metrics;
+    std::string explain_json;
+  };
+  RunOutput RunWith(const PlanNode& plan, bool vectorized) {
+    RunOutput out;
+    ExplainNode tree = BuildExplainTree(plan);
+    ExecOptions options;
+    options.vectorized_scan = vectorized;
+    options.explain = &tree;
+    Executor executor(db_);
+    auto rows = executor.Run(plan, &out.metrics, options);
+    EXPECT_TRUE(rows.ok()) << rows.status();
+    if (rows.ok()) out.rows = std::move(*rows);
+    out.explain_json = ExplainToJson(tree, /*include_timing=*/false);
+    return out;
+  }
+
+  GeneratedData data_;
+  Database db_;
+};
+
+TEST_P(VectorizedDifferentialTest, BatchesMatchScalarExactly) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7368787 + 5);
+  RandomConfiguration(&rng);
+  for (int q = 0; q < 8; ++q) {
+    std::string sql = RandomSql(&rng);
+    auto parsed = ParseSql(sql);
+    ASSERT_TRUE(parsed.ok()) << sql;
+    CatalogDesc catalog = db_.BuildCatalogDesc();
+    auto bound = BindQuery(*parsed, catalog);
+    ASSERT_TRUE(bound.ok()) << sql;
+    auto planned = PlanQuery(*bound, catalog);
+    ASSERT_TRUE(planned.ok()) << sql;
+
+    RunOutput vec = RunWith(*planned->root, /*vectorized=*/true);
+    RunOutput scalar = RunWith(*planned->root, /*vectorized=*/false);
+
+    // Same rows in the same order (not just as a multiset).
+    ASSERT_EQ(vec.rows.size(), scalar.rows.size()) << sql;
+    RowTotalEquals eq;
+    for (size_t i = 0; i < vec.rows.size(); ++i) {
+      ASSERT_TRUE(eq(vec.rows[i], scalar.rows[i])) << sql << " row " << i;
+    }
+    // Same metered work, page counts, and per-operator explain actuals.
+    EXPECT_EQ(vec.metrics.work, scalar.metrics.work) << sql;
+    EXPECT_EQ(vec.metrics.pages_sequential, scalar.metrics.pages_sequential)
+        << sql;
+    EXPECT_EQ(vec.metrics.pages_random, scalar.metrics.pages_random) << sql;
+    EXPECT_EQ(vec.metrics.rows_out, scalar.metrics.rows_out) << sql;
+    EXPECT_EQ(vec.explain_json, scalar.explain_json) << sql;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VectorizedDifferentialTest,
+                         ::testing::Range(0, 8));
+
+// --- Vectorized vs scalar over the generated DBLP XPath corpus ---
+
+TEST(VectorizedXPathCorpusTest, WorkloadMatchesScalarExactly) {
+  MovieConfig config;
+  config.num_movies = 700;
+  GeneratedData data = GenerateMovie(config);
+  auto stats = XmlStatistics::Collect(data.doc, *data.tree);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  auto mapping = Mapping::Build(*data.tree);
+  ASSERT_TRUE(mapping.ok());
+  Database db;
+  ASSERT_TRUE(ShredDocument(data.doc, *data.tree, *mapping, &db).ok());
+  CatalogDesc catalog = db.BuildCatalogDesc();
+
+  WorkloadSpec spec;
+  spec.num_queries = 12;
+  spec.seed = 23;
+  auto workload = GenerateWorkload(*data.tree, *stats, spec);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+
+  Executor executor(db);
+  for (const XPathQuery& query : *workload) {
+    auto translated = TranslateXPath(query, *data.tree, *mapping);
+    ASSERT_TRUE(translated.ok()) << query.ToString();
+    auto bound = BindQuery(translated->sql, catalog);
+    ASSERT_TRUE(bound.ok()) << query.ToString();
+    auto planned = PlanQuery(*bound, catalog);
+    ASSERT_TRUE(planned.ok()) << query.ToString();
+
+    auto run = [&](bool vectorized, ExecMetrics* metrics,
+                   std::string* explain_json) {
+      ExplainNode tree = BuildExplainTree(*planned->root);
+      ExecOptions options;
+      options.vectorized_scan = vectorized;
+      options.explain = &tree;
+      auto rows = executor.Run(*planned->root, metrics, options);
+      EXPECT_TRUE(rows.ok()) << query.ToString();
+      *explain_json = ExplainToJson(tree, /*include_timing=*/false);
+      return rows.ok() ? std::move(*rows) : std::vector<Row>{};
+    };
+    ExecMetrics vec_metrics, scalar_metrics;
+    std::string vec_explain, scalar_explain;
+    std::vector<Row> vec_rows = run(true, &vec_metrics, &vec_explain);
+    std::vector<Row> scalar_rows =
+        run(false, &scalar_metrics, &scalar_explain);
+
+    ASSERT_EQ(vec_rows.size(), scalar_rows.size()) << query.ToString();
+    RowTotalEquals eq;
+    for (size_t i = 0; i < vec_rows.size(); ++i) {
+      ASSERT_TRUE(eq(vec_rows[i], scalar_rows[i]))
+          << query.ToString() << " row " << i;
+    }
+    EXPECT_EQ(vec_metrics.work, scalar_metrics.work) << query.ToString();
+    EXPECT_EQ(vec_metrics.pages_sequential, scalar_metrics.pages_sequential);
+    EXPECT_EQ(vec_metrics.pages_random, scalar_metrics.pages_random);
+    EXPECT_EQ(vec_metrics.rows_out, scalar_metrics.rows_out);
+    EXPECT_EQ(vec_explain, scalar_explain) << query.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace xmlshred

@@ -95,11 +95,11 @@ TEST(ShredderTest, DblpRoundTripCounts) {
   // PID integrity: every author row references an inproc ID.
   int id_col = inproc->schema().id_column;
   std::set<int64_t> ids;
-  for (const Row& row : inproc->rows()) {
+  for (const Row& row : inproc->MaterializeRows()) {
     ids.insert(row[static_cast<size_t>(id_col)].AsInt());
   }
   int pid_col = authors->schema().pid_column;
-  for (const Row& row : authors->rows()) {
+  for (const Row& row : authors->MaterializeRows()) {
     EXPECT_TRUE(ids.count(row[static_cast<size_t>(pid_col)].AsInt()) > 0);
   }
 }
@@ -117,7 +117,7 @@ TEST(ShredderTest, MovieChoiceExclusivity) {
   const MappedRelation* rel = mapping->FindRelation("movie");
   int box = kFixedColumns + rel->FindMappedColumn("box_office");
   int seasons = kFixedColumns + rel->FindMappedColumn("seasons");
-  for (const Row& row : movie->rows()) {
+  for (const Row& row : movie->MaterializeRows()) {
     // Exactly one branch of the choice is set.
     EXPECT_NE(row[static_cast<size_t>(box)].is_null(),
               row[static_cast<size_t>(seasons)].is_null());
@@ -185,7 +185,7 @@ TEST(TransformTest, RepetitionSplitShredding) {
   for (int i = 1; i <= 5; ++i) {
     int col = rel->FindMappedColumn("author_" + std::to_string(i));
     ASSERT_GE(col, 0);
-    for (const Row& row : inproc->rows()) {
+    for (const Row& row : inproc->MaterializeRows()) {
       if (!row[static_cast<size_t>(kFixedColumns + col)].is_null()) {
         ++inline_authors;
       }
@@ -281,7 +281,7 @@ TEST(TransformTest, ImplicitUnionDistribution) {
   EXPECT_NEAR(static_cast<double>(has->row_count()) / 2000.0, 0.6, 0.05);
   // Every row in the with-variant has a rating.
   int col = kFixedColumns + with_rating->FindMappedColumn("avg_rating");
-  for (const Row& row : has->rows()) {
+  for (const Row& row : has->MaterializeRows()) {
     EXPECT_FALSE(row[static_cast<size_t>(col)].is_null());
   }
 }

@@ -309,6 +309,7 @@ TEST_F(ObservabilitySearchTest, RunReportPopulatedFromMetrics) {
   EXPECT_NE(json.find("\"search\""), std::string::npos);
   EXPECT_NE(json.find("\"advisor\""), std::string::npos);
   EXPECT_NE(json.find("\"cost_cache\""), std::string::npos);
+  EXPECT_NE(json.find("\"storage\""), std::string::npos);
 }
 
 // The PR-3 aggregation fix, differentially: arm the what-if site so

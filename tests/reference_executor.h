@@ -33,11 +33,11 @@ inline std::vector<Row> ReferenceExecute(const BoundQuery& query,
                                          const Database& db) {
   std::vector<Row> out;
   for (const BoundBlock& block : query.blocks) {
-    std::vector<const Table*> tables;
+    std::vector<std::vector<Row>> tables;
     for (const std::string& name : block.tables) {
       const Table* table = db.FindTable(name);
       XS_CHECK(table != nullptr);
-      tables.push_back(table);
+      tables.push_back(table->MaterializeRows());
     }
     // Recursive cross product.
     std::vector<const Row*> current(tables.size(), nullptr);
@@ -71,7 +71,7 @@ inline std::vector<Row> ReferenceExecute(const BoundQuery& query,
         out.push_back(std::move(row));
         return;
       }
-      for (const Row& row : tables[depth]->rows()) {
+      for (const Row& row : tables[depth]) {
         current[depth] = &row;
         recurse(depth + 1);
       }

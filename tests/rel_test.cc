@@ -87,6 +87,26 @@ TEST(TableTest, PageAccounting) {
   EXPECT_EQ(PagesFor(1000, 8192.0), 1000);
 }
 
+// Satellite regression for the avg_row_bytes double-accumulation drift:
+// byte tallies are exact int64 sums per column, so a 1M-row table's
+// average and page count are pinned exactly. Every row here is 29 bytes
+// (ID 8 + NULL PID 4 + 7-char title 9 + year 8), giving
+// ceil(1e6 * 29 / 8192) = 3541 pages.
+TEST(TableTest, MillionRowPageCountIsExact) {
+  Table table(MakePubSchema());
+  constexpr int64_t kRows = 1000000;
+  table.Reserve(static_cast<size_t>(kRows));
+  for (int64_t i = 0; i < kRows; ++i) {
+    table.AppendRow({Value::Int(i), Value::Null(),
+                     Value::Str("title_" + std::to_string(i % 10)),
+                     Value::Int(1990 + i % 20)});
+  }
+  EXPECT_EQ(table.row_count(), kRows);
+  EXPECT_EQ(table.total_bytes(), kRows * 29);
+  EXPECT_EQ(table.avg_row_bytes(), 29.0);
+  EXPECT_EQ(table.NumPages(), 3541);
+}
+
 TEST(StatsTest, BasicColumnStats) {
   Table table = MakePubTable(1000);
   TableStats stats = table.ComputeStats();
@@ -143,8 +163,7 @@ TEST(IndexTest, EqualLookup) {
   std::vector<int64_t> rows = index.EqualLookup({Value::Int(1995)});
   EXPECT_EQ(rows.size(), 50u);
   for (int64_t rid : rows) {
-    EXPECT_TRUE(table.rows()[static_cast<size_t>(rid)][3].TotalEquals(
-        Value::Int(1995)));
+    EXPECT_TRUE(table.GetValue(rid, 3).TotalEquals(Value::Int(1995)));
   }
   EXPECT_TRUE(index.EqualLookup({Value::Int(1900)}).empty());
 }
