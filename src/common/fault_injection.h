@@ -50,6 +50,12 @@ inline constexpr const char* kFaultSiteViewMaterialize =
     "catalog.view_materialize";
 inline constexpr const char* kFaultSiteAdvisorWhatIf = "advisor.whatif";
 inline constexpr const char* kFaultSiteAdvisorTune = "advisor.tune";
+// Serving-layer sites (src/serve): admission control, epoch publication
+// on append, and the executor's batch-boundary interrupt check.
+inline constexpr const char* kFaultSiteServeAdmit = "serve.admit";
+inline constexpr const char* kFaultSiteServeEpochPublish =
+    "serve.epoch_publish";
+inline constexpr const char* kFaultSiteServeMidQuery = "serve.mid_query";
 
 class FaultInjector {
  public:

@@ -93,12 +93,28 @@ MetricsRegistry::MetricsRegistry() {
       kMetricExecQueries,
       kMetricExecRowsOut,
       kMetricCalibrationQueries,
+      kMetricServeRequests,
+      kMetricServeRetryAttempts,
+      kMetricServeAdmitted,
+      kMetricServeQueued,
+      kMetricServeCompleted,
+      kMetricServeFailed,
+      kMetricServeShedQueueFull,
+      kMetricServeShedBudget,
+      kMetricServeShedSession,
+      kMetricServeExpiredInQueue,
+      kMetricServeExpiredMidQuery,
+      kMetricServeEpochsPublished,
+      kMetricServeSessionsOpened,
+      kMetricServeFaultsInjected,
   };
   static constexpr const char* kGauges[] = {
       kMetricSearchWorkSpent,       kMetricSearchElapsedSeconds,
       kMetricExecWork,              kMetricExecPagesSequential,
       kMetricExecPagesRandom,       kMetricStorageTableBytesPeak,
       kMetricStorageDictBytesPeak,  kMetricStorageDictEntriesPeak,
+      kMetricServeQueueDepthPeak,   kMetricServeInflightPeak,
+      kMetricServeOutstandingWorkPeak,
   };
   static constexpr const char* kHistograms[] = {
       kMetricSearchRoundCandidates,
@@ -106,6 +122,8 @@ MetricsRegistry::MetricsRegistry() {
       kMetricExecRowsPerQuery,
       kMetricCalibrationCostQError,
       kMetricCalibrationPagesQError,
+      kMetricServeLatencyWork,
+      kMetricServeQueueWaitWork,
   };
   for (const char* name : kCounters) {
     counters_.emplace(name, std::make_unique<Counter>());

@@ -97,6 +97,31 @@ inline constexpr const char* kMetricExecQueries = "exec.queries";
 inline constexpr const char* kMetricExecRowsOut = "exec.rows_out";
 // Queries that fed estimated-vs-actual calibration (exec/explain.h).
 inline constexpr const char* kMetricCalibrationQueries = "calibration.queries";
+// Serving layer (src/serve). Accounting invariant:
+//   requests + retry_attempts == completed + failed + shed_queue_full +
+//     shed_budget + shed_session + expired_in_queue + expired_mid_query
+// i.e. every offered request is accounted exactly once at terminal state.
+inline constexpr const char* kMetricServeRequests = "serve.requests";
+inline constexpr const char* kMetricServeRetryAttempts =
+    "serve.retry_attempts";
+inline constexpr const char* kMetricServeAdmitted = "serve.admitted";
+inline constexpr const char* kMetricServeQueued = "serve.queued";
+inline constexpr const char* kMetricServeCompleted = "serve.completed";
+inline constexpr const char* kMetricServeFailed = "serve.failed";
+inline constexpr const char* kMetricServeShedQueueFull =
+    "serve.shed_queue_full";
+inline constexpr const char* kMetricServeShedBudget = "serve.shed_budget";
+inline constexpr const char* kMetricServeShedSession = "serve.shed_session";
+inline constexpr const char* kMetricServeExpiredInQueue =
+    "serve.expired_in_queue";
+inline constexpr const char* kMetricServeExpiredMidQuery =
+    "serve.expired_mid_query";
+inline constexpr const char* kMetricServeEpochsPublished =
+    "serve.epochs_published";
+inline constexpr const char* kMetricServeSessionsOpened =
+    "serve.sessions_opened";
+inline constexpr const char* kMetricServeFaultsInjected =
+    "serve.faults_injected";
 // Gauges (accumulating doubles).
 inline constexpr const char* kMetricSearchWorkSpent = "search.work_spent";
 inline constexpr const char* kMetricSearchElapsedSeconds =
@@ -115,6 +140,12 @@ inline constexpr const char* kMetricStorageDictBytesPeak =
     "storage.dict_bytes_peak";
 inline constexpr const char* kMetricStorageDictEntriesPeak =
     "storage.dict_entries_peak";
+// Serving-layer peaks (SetMax — deterministic at any thread count).
+inline constexpr const char* kMetricServeQueueDepthPeak =
+    "serve.queue_depth_peak";
+inline constexpr const char* kMetricServeInflightPeak = "serve.inflight_peak";
+inline constexpr const char* kMetricServeOutstandingWorkPeak =
+    "serve.outstanding_work_peak";
 // Histograms.
 inline constexpr const char* kMetricSearchRoundCandidates =
     "search.round_candidates";
@@ -130,6 +161,12 @@ inline constexpr const char* kMetricCalibrationPagesQError =
     "calibration.pages_qerror";
 inline constexpr const char* kMetricCalibrationRowsQErrorPrefix =
     "calibration.rows_qerror.";
+// Serving-layer latency distributions in deterministic *work units*
+// (virtual time), not wall clock: end-to-end latency of completed
+// requests (queue wait + execution work) and the queue-wait component.
+inline constexpr const char* kMetricServeLatencyWork = "serve.latency_work";
+inline constexpr const char* kMetricServeQueueWaitWork =
+    "serve.queue_wait_work";
 // Every PlanKindToString value, so the registry can pre-register the full
 // per-kind histogram family (kept in sync by
 // ExplainTest.CalibrationKindListMatchesPlanKinds).

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <numeric>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "exec/explain.h"
@@ -358,13 +360,16 @@ uint64_t MixJoinKey(uint8_t cls, uint64_t bits) {
 class ExecState {
  public:
   ExecState(const Database& db, ExecMetrics* metrics,
-            ResourceGovernor* governor, bool capture_timing, bool vectorized)
+            const ExecOptions& options)
       : db_(db),
         dict_(db.dictionary()),
         metrics_(metrics),
-        governor_(governor),
-        capture_timing_(capture_timing),
-        vectorized_(vectorized) {}
+        governor_(options.governor),
+        capture_timing_(options.capture_timing),
+        vectorized_(options.vectorized_scan),
+        snapshot_(options.snapshot),
+        cancel_(options.cancel),
+        faults_(options.faults) {}
 
   // Executes one node. When `en` is non-null (EXPLAIN ANALYZE), the
   // subtree's actuals are recorded into it as inclusive deltas of the
@@ -460,6 +465,48 @@ class ExecState {
     return ChargeGovernor(rows * kHashRowCost);
   }
 
+  // Interrupt poll at batch boundaries of every row loop: cancellation
+  // token, governor wall deadline, and the chaos mid-query fault site.
+  // No metering side effects, so charges are identical whether or not a
+  // run is stopped one batch later.
+  Status CheckBatchInterrupts() {
+    if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+      return ResourceExhausted("query cancelled");
+    }
+    if (governor_ != nullptr) {
+      XS_RETURN_IF_ERROR(governor_->CheckDeadline());
+    }
+    if (faults_ != nullptr) {
+      XS_RETURN_IF_ERROR(faults_->Check(kFaultSiteServeMidQuery));
+    }
+    return Status::OK();
+  }
+
+  // Rows of table/view `name` visible to this run: clamped to the pinned
+  // snapshot when one is set (absent from snapshot -> scans as empty),
+  // otherwise the current contents.
+  int64_t VisibleRows(const std::string& name, const Table& table) const {
+    if (snapshot_ == nullptr) return table.row_count();
+    const EpochTableVersion* v = snapshot_->Find(name);
+    return v == nullptr ? 0 : std::min(v->visible_rows, table.row_count());
+  }
+  // Page charge for a sequential scan of `name`: the snapshot's byte
+  // counts when pinned, so a reader's metering is independent of
+  // concurrent appends.
+  double VisiblePages(const std::string& name, const Table& table) const {
+    if (snapshot_ == nullptr) return static_cast<double>(table.NumPages());
+    const EpochTableVersion* v = snapshot_->Find(name);
+    return v == nullptr ? 0.0 : static_cast<double>(v->NumPages());
+  }
+  // Visibility bound on base-table row ids reached through an index
+  // (entries for rows appended after the snapshot are skipped; the index
+  // itself is rebuilt on append, see SessionManager::AppendAndPublish).
+  int64_t VisibleRowBound(const std::string& base_table) const {
+    if (snapshot_ == nullptr) return std::numeric_limits<int64_t>::max();
+    const Table* base = db_.FindTable(base_table);
+    return base == nullptr ? 0 : VisibleRows(base_table, *base);
+  }
+
   // Compiles `filters` against positions found in `slots` (the layout of
   // the rows being filtered), mapped through `remap` when the cells being
   // tested live at different positions (index entries).
@@ -502,18 +549,21 @@ class ExecState {
   Result<Chunk> ExecHeapScan(const PlanNode& node) {
     const Table* table = db_.FindTable(node.object_name);
     if (table == nullptr) return NotFound("table " + node.object_name);
+    int64_t visible = VisibleRows(node.object_name, *table);
     XS_RETURN_IF_ERROR(
-        ChargeSeqPages(static_cast<double>(table->NumPages())));
-    XS_RETURN_IF_ERROR(
-        ChargeCpuRows(static_cast<double>(table->row_count())));
+        ChargeSeqPages(VisiblePages(node.object_name, *table)));
+    XS_RETURN_IF_ERROR(ChargeCpuRows(static_cast<double>(visible)));
     Chunk out;
     out.width = static_cast<int>(node.output.size());
-    size_t n = static_cast<size_t>(table->row_count());
+    size_t n = static_cast<size_t>(visible);
 
     if (!vectorized_) {
       // Scalar reference path: materialize each row, evaluate the bound
       // filters on Values. Same charges, same survivors, same cells out.
       for (size_t rid = 0; rid < n; ++rid) {
+        if (rid % kScanBatchRows == 0) {
+          XS_RETURN_IF_ERROR(CheckBatchInterrupts());
+        }
         Row row = table->GetRow(static_cast<int64_t>(rid));
         bool pass = true;
         for (const BoundFilter& f : node.residual_filters) {
@@ -543,6 +593,7 @@ class ExecState {
     }
     std::vector<int32_t> sel(kScanBatchRows);
     for (size_t base = 0; base < n; base += kScanBatchRows) {
+      XS_RETURN_IF_ERROR(CheckBatchInterrupts());
       size_t lim = std::min(kScanBatchRows, n - base);
       size_t cnt;
       if (preds.empty()) {
@@ -589,7 +640,9 @@ class ExecState {
       }
     }
 
-    // Collect matching entry ids.
+    // Collect matching entry ids; entries whose row id falls past the
+    // pinned snapshot's visible bound are skipped everywhere below.
+    int64_t vis_bound = VisibleRowBound(def.table);
     size_t n = static_cast<size_t>(index->entry_count());
     std::vector<int64_t> matches;
     if (!node.seek_values.empty()) {
@@ -610,6 +663,7 @@ class ExecState {
       }
       for (size_t e = index->LowerBound(prefix);
            e < n && index->MatchesPrefix(e, prefix); ++e) {
+        if (index->entry_row_id(e) >= vis_bound) continue;
         // Range predicate on the key column after the prefix.
         if (node.has_range &&
             !EvalCompiledCell(range, index->entry_cell(e, range.pos),
@@ -643,6 +697,9 @@ class ExecState {
         lo = bound;
       }
       for (size_t e = 0; e < n; ++e) {
+        if (e % kScanBatchRows == 0) {
+          XS_RETURN_IF_ERROR(CheckBatchInterrupts());
+        }
         SortKey k = index->entry_key(e, 0);
         if (k.cls == 0) continue;  // NULL keys never match a range
         if (has_lo) {
@@ -652,6 +709,7 @@ class ExecState {
           if (hi < k) break;
           if (hi_strict && k == hi) continue;
         }
+        if (index->entry_row_id(e) >= vis_bound) continue;
         matches.push_back(static_cast<int64_t>(e));
       }
       XS_RETURN_IF_ERROR(ChargeRandPages(static_cast<double>(
@@ -661,8 +719,12 @@ class ExecState {
       if (!index_only) {
         return Internal("full index scan requires covering access");
       }
-      matches.resize(n);
-      std::iota(matches.begin(), matches.end(), 0);
+      matches.reserve(n);
+      for (size_t e = 0; e < n; ++e) {
+        if (index->entry_row_id(e) < vis_bound) {
+          matches.push_back(static_cast<int64_t>(e));
+        }
+      }
       XS_RETURN_IF_ERROR(
           ChargeSeqPages(static_cast<double>(index->NumPages())));
     }
@@ -674,7 +736,11 @@ class ExecState {
       XS_ASSIGN_OR_RETURN(
           std::vector<CompiledPred> preds,
           CompileSlotFilters(node.residual_filters, node.output, &entry_pos));
+      size_t seen = 0;
       for (int64_t e : matches) {
+        if (seen++ % kScanBatchRows == 0) {
+          XS_RETURN_IF_ERROR(CheckBatchInterrupts());
+        }
         size_t entry = static_cast<size_t>(e);
         bool pass = true;
         for (const CompiledPred& p : preds) {
@@ -700,7 +766,11 @@ class ExecState {
       for (const ColumnSlot& slot : node.output) {
         out_cols.push_back(&table->column(slot.column));
       }
+      size_t seen = 0;
       for (int64_t e : matches) {
+        if (seen++ % kScanBatchRows == 0) {
+          XS_RETURN_IF_ERROR(CheckBatchInterrupts());
+        }
         size_t rid = static_cast<size_t>(index->entry_row_id(
             static_cast<size_t>(e)));
         bool pass = true;
@@ -723,10 +793,10 @@ class ExecState {
   Result<Chunk> ExecViewScan(const PlanNode& node) {
     const Table* view = db_.FindTable(node.object_name);
     if (view == nullptr) return NotFound("view " + node.object_name);
+    int64_t visible = VisibleRows(node.object_name, *view);
     XS_RETURN_IF_ERROR(
-        ChargeSeqPages(static_cast<double>(view->NumPages())));
-    XS_RETURN_IF_ERROR(
-        ChargeCpuRows(static_cast<double>(view->row_count())));
+        ChargeSeqPages(VisiblePages(node.object_name, *view)));
+    XS_RETURN_IF_ERROR(ChargeCpuRows(static_cast<double>(visible)));
     // The planner's output slots correspond positionally to the view's
     // projected columns.
     if (static_cast<int>(node.output.size()) !=
@@ -735,10 +805,13 @@ class ExecState {
     }
     Chunk out;
     out.width = view->schema().num_columns();
-    size_t n = static_cast<size_t>(view->row_count());
+    size_t n = static_cast<size_t>(visible);
     out.num_rows = n;
     out.ReserveRows(n);
     for (size_t rid = 0; rid < n; ++rid) {
+      if (rid % kScanBatchRows == 0) {
+        XS_RETURN_IF_ERROR(CheckBatchInterrupts());
+      }
       for (int c = 0; c < out.width; ++c) {
         out.cells.push_back(view->column(c).cell(rid));
       }
@@ -781,9 +854,13 @@ class ExecState {
     Chunk out;
     out.width = static_cast<int>(node.output.size());
     double total_fetches = 0;
+    int64_t vis_bound = VisibleRowBound(def.table);
     size_t n = static_cast<size_t>(index->entry_count());
     std::vector<SortKey> prefix(1);
     for (size_t r = 0; r < outer.num_rows; ++r) {
+      if (r % kScanBatchRows == 0) {
+        XS_RETURN_IF_ERROR(CheckBatchInterrupts());
+      }
       const Cell* orow = outer.row(r);
       Cell key = orow[static_cast<size_t>(outer_pos)];
       if (key.tag == kTagNull) continue;
@@ -797,6 +874,7 @@ class ExecState {
       if (!node.inner_fetch) {
         // Walk the equal range of entries for covering access.
         for (size_t e = e0; e < e1; ++e) {
+          if (index->entry_row_id(e) >= vis_bound) continue;
           bool pass = true;
           for (const CompiledPred& p : preds) {
             if (!EvalCompiledCell(p, index->entry_cell(e, p.pos), dict_)) {
@@ -812,8 +890,9 @@ class ExecState {
           ++out.num_rows;
         }
       } else {
-        total_fetches += static_cast<double>(e1 - e0);
         for (size_t e = e0; e < e1; ++e) {
+          if (index->entry_row_id(e) >= vis_bound) continue;
+          total_fetches += 1.0;
           size_t rid = static_cast<size_t>(index->entry_row_id(e));
           bool pass = true;
           for (const CompiledPred& p : preds) {
@@ -877,6 +956,9 @@ class ExecState {
     Chunk out;
     out.width = probe.width + build.width;
     for (size_t r = 0; r < probe.num_rows; ++r) {
+      if (r % kScanBatchRows == 0) {
+        XS_RETURN_IF_ERROR(CheckBatchInterrupts());
+      }
       const Cell* prow = probe.row(r);
       uint8_t cls = 0;
       uint64_t bits = 0;
@@ -996,6 +1078,9 @@ class ExecState {
   ResourceGovernor* governor_;
   bool capture_timing_;
   bool vectorized_;
+  const EpochSnapshot* snapshot_;
+  const std::atomic<bool>* cancel_;
+  FaultInjector* faults_;
 };
 
 // The explain tree must have come from BuildExplainTree on this plan;
@@ -1018,8 +1103,7 @@ Result<std::vector<Row>> Executor::Run(const PlanNode& plan,
         "explain tree does not mirror the plan (use BuildExplainTree)");
   }
   ExecMetrics local;
-  ExecState state(db_, &local, options.governor, options.capture_timing,
-                  options.vectorized_scan);
+  ExecState state(db_, &local, options);
   Result<Chunk> chunk = state.Exec(plan, options.explain);
   std::vector<Row> rows;
   if (chunk.ok()) {

@@ -10,6 +10,7 @@
 #ifndef XMLSHRED_EXEC_EXECUTOR_H_
 #define XMLSHRED_EXEC_EXECUTOR_H_
 
+#include <atomic>
 #include <vector>
 
 #include "common/limits.h"
@@ -19,6 +20,7 @@
 
 namespace xmlshred {
 
+class FaultInjector;
 class MetricsRegistry;
 struct ExplainNode;
 
@@ -62,6 +64,21 @@ struct ExecOptions {
   // exists so differential tests can pin the vectorized path against the
   // scalar reference.
   bool vectorized_scan = true;
+  // Epoch snapshot pinned at admission (serving layer). When set, every
+  // scan is clamped to the snapshot's visible rows — rows appended after
+  // the snapshot was published are invisible, and page charges use the
+  // snapshot's byte counts. Tables absent from the snapshot scan as
+  // empty. Null (the default) = current contents, charges unchanged.
+  const EpochSnapshot* snapshot = nullptr;
+  // Cooperative cancellation, polled (relaxed load) at batch boundaries
+  // of every row loop. When it reads true the run stops with
+  // kResourceExhausted("query cancelled"); the per-query ExecMetrics
+  // still reflect all work charged before the stop.
+  const std::atomic<bool>* cancel = nullptr;
+  // Fault injector polled at the same batch boundaries (site
+  // "serve.mid_query") so chaos runs can kill a query mid-scan
+  // deterministically. Null = no mid-query injection.
+  FaultInjector* faults = nullptr;
 };
 
 class Executor {

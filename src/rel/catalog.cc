@@ -314,4 +314,28 @@ int64_t Database::TotalTableBytes() const {
   return bytes;
 }
 
+uint64_t Database::PublishEpoch() {
+  auto snap = std::make_shared<EpochSnapshot>();
+  for (const auto& [name, table] : tables_) {
+    EpochTableVersion v;
+    v.visible_rows = table->row_count();
+    v.visible_bytes = table->total_bytes();
+    snap->tables[name] = v;
+  }
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  snap->epoch = ++epoch_;
+  latest_snapshot_ = std::move(snap);
+  return epoch_;
+}
+
+std::shared_ptr<const EpochSnapshot> Database::LatestSnapshot() const {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  return latest_snapshot_;
+}
+
+uint64_t Database::current_epoch() const {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  return epoch_;
+}
+
 }  // namespace xmlshred

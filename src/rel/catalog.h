@@ -18,6 +18,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -55,6 +56,38 @@ struct ViewDesc {
   int64_t row_count() const { return stats.row_count; }
   double avg_row_bytes() const { return stats.AvgRowBytes(); }
   int64_t NumPages() const { return PagesFor(row_count(), avg_row_bytes()); }
+};
+
+// Per-table visibility at one published epoch: how many leading rows of
+// the (append-only) columnar table a reader pinned to that epoch may see,
+// and the exact bytes those rows occupied at publish time — so page
+// metering for a pinned reader is independent of later appends.
+struct EpochTableVersion {
+  int64_t visible_rows = 0;
+  int64_t visible_bytes = 0;
+
+  double AvgRowBytes() const {
+    return visible_rows > 0
+               ? static_cast<double>(visible_bytes) /
+                     static_cast<double>(visible_rows)
+               : 0.0;
+  }
+  int64_t NumPages() const { return PagesFor(visible_rows, AvgRowBytes()); }
+};
+
+// Immutable snapshot of the database at one published epoch. Readers pin
+// one at admission (serve layer) and the executor bounds every scan by the
+// snapshot's visible row counts; tables created after the snapshot was
+// published are invisible (zero rows). Shared by pointer — a snapshot is
+// never mutated after PublishEpoch constructs it.
+struct EpochSnapshot {
+  uint64_t epoch = 0;
+  std::map<std::string, EpochTableVersion> tables;
+
+  const EpochTableVersion* Find(const std::string& name) const {
+    auto it = tables.find(name);
+    return it == tables.end() ? nullptr : &it->second;
+  }
 };
 
 // Descriptor-only catalog used by the optimizer and the tuner.
@@ -125,11 +158,35 @@ class Database {
   // Database::dictionary().ByteSize() reports that separately).
   int64_t TotalTableBytes() const;
 
+  // Epoch-based snapshot visibility (serving layer). Tables are
+  // append-only, so a snapshot is just "the first N rows of each table as
+  // of publish time": PublishEpoch records every table's current
+  // row_count/total_bytes under a fresh epoch number and swaps it in as
+  // the latest snapshot. Readers that pin the returned snapshot never see
+  // rows appended after it — the executor clamps scans to visible_rows.
+  // Note the snapshot is *logical* only; callers that append concurrently
+  // with readers must still serialize physical access (the serve layer
+  // holds a shared_mutex around appends vs. query execution, because a
+  // columnar append can reallocate the vectors a reader is scanning).
+  uint64_t PublishEpoch();
+  // Latest published snapshot; null before the first PublishEpoch call.
+  std::shared_ptr<const EpochSnapshot> LatestSnapshot() const;
+  uint64_t current_epoch() const;
+
+  // True when any materialized view exists. Serving-layer appends refuse
+  // to run in that case — a matview built before the append would go
+  // stale silently.
+  bool HasMaterializedViews() const { return !view_defs_.empty(); }
+
  private:
   std::shared_ptr<StringDictionary> dict_;
   std::map<std::string, std::unique_ptr<Table>> tables_;
   std::map<std::string, std::unique_ptr<BTreeIndex>> indexes_;
   std::map<std::string, ViewDef> view_defs_;  // materialized table shares name
+
+  mutable std::mutex epoch_mu_;
+  uint64_t epoch_ = 0;
+  std::shared_ptr<const EpochSnapshot> latest_snapshot_;
 };
 
 }  // namespace xmlshred

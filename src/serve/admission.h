@@ -1,0 +1,108 @@
+// Admission-control primitives for the serving layer (DESIGN.md §12).
+//
+// Two small synchronization-free classes — the SessionManager serializes
+// every call on its own mutex, so these stay plain data structures:
+//
+//  * DeadlineQueue — a bounded earliest-deadline-first admission queue.
+//    Entries order by (deadline, arrival sequence); the sequence number
+//    breaks ties deterministically, so pop order is a pure function of
+//    the offered load and never of scheduling.
+//  * WorkBudgetPool — the global work budget requests reserve against at
+//    admission, using the planner's estimated cost (the optimizer's
+//    estimates drive admission, execution meters the truth). When the
+//    pool cannot cover a reservation the request is shed with
+//    kResourceExhausted and a retry-after hint instead of queuing
+//    unbounded work.
+
+#ifndef XMLSHRED_SERVE_ADMISSION_H_
+#define XMLSHRED_SERVE_ADMISSION_H_
+
+#include <cstdint>
+#include <set>
+#include <tuple>
+
+namespace xmlshred {
+
+// One queued admission: absolute virtual-time deadline (infinity for
+// "none"), arrival sequence for deterministic FIFO tie-break, and the
+// pending-request ticket it resolves to.
+struct QueuedAdmission {
+  double deadline = 0;
+  uint64_t seq = 0;
+  uint64_t ticket = 0;
+};
+
+class DeadlineQueue {
+ public:
+  explicit DeadlineQueue(size_t capacity) : capacity_(capacity) {}
+
+  bool Full() const { return entries_.size() >= capacity_; }
+  bool Empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  // Requires !Full().
+  void Push(double deadline, uint64_t seq, uint64_t ticket) {
+    entries_.emplace(deadline, seq, ticket);
+  }
+
+  // Pops the earliest (deadline, seq) entry. Requires !Empty().
+  QueuedAdmission PopFront() {
+    auto it = entries_.begin();
+    QueuedAdmission q{std::get<0>(*it), std::get<1>(*it), std::get<2>(*it)};
+    entries_.erase(it);
+    return q;
+  }
+
+  // Removes a specific entry (a timed-out threaded waiter removing
+  // itself). Returns false when the entry was already popped.
+  bool Remove(double deadline, uint64_t seq, uint64_t ticket) {
+    return entries_.erase({deadline, seq, ticket}) > 0;
+  }
+
+ private:
+  size_t capacity_;
+  std::set<std::tuple<double, uint64_t, uint64_t>> entries_;
+};
+
+class WorkBudgetPool {
+ public:
+  // capacity <= 0 means unlimited.
+  explicit WorkBudgetPool(double capacity) : capacity_(capacity) {}
+
+  // Reserves `work` estimated units; false when the reservation would
+  // push outstanding work past capacity (an empty pool always admits one
+  // request, so a single query larger than the whole budget can still
+  // run rather than being unservable forever).
+  bool TryReserve(double work) {
+    if (capacity_ > 0 && reservations_ > 0 &&
+        outstanding_ + work > capacity_) {
+      return false;
+    }
+    outstanding_ += work;
+    ++reservations_;
+    return true;
+  }
+
+  void Release(double work) {
+    outstanding_ -= work;
+    --reservations_;
+    // Releases happen in completion order, not reservation order, so the
+    // double sum carries rounding residue; snap to exactly zero whenever
+    // the pool drains (Idle() and the soak invariant compare against 0).
+    if (reservations_ <= 0 || outstanding_ < 0) outstanding_ = 0;
+  }
+
+  double outstanding() const { return outstanding_; }
+  double capacity() const { return capacity_; }
+  int64_t reservations() const { return reservations_; }
+
+ private:
+  double capacity_;
+  double outstanding_ = 0;
+  int64_t reservations_ = 0;
+};
+
+}  // namespace xmlshred
+
+#endif  // XMLSHRED_SERVE_ADMISSION_H_

@@ -1,0 +1,33 @@
+#include "serve/retry.h"
+
+namespace xmlshred {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+double RetryBackoff(const RetryPolicy& policy, uint64_t request_key,
+                    int attempt, double retry_after) {
+  double scheduled = policy.base_backoff;
+  for (int i = 2; i < attempt; ++i) {
+    scheduled *= policy.multiplier;
+    if (scheduled >= policy.max_backoff) break;
+  }
+  if (scheduled > policy.max_backoff) scheduled = policy.max_backoff;
+  double backoff = retry_after > scheduled ? retry_after : scheduled;
+  uint64_t mix = SplitMix64(policy.seed ^ request_key ^
+                            (0x9e3779b97f4a7c15ull *
+                             static_cast<uint64_t>(attempt)));
+  // Top 53 bits -> uniform double in [0, 1) with no libm involvement.
+  double u = static_cast<double>(mix >> 11) * 0x1.0p-53;
+  return backoff * (1.0 + policy.jitter_fraction * u);
+}
+
+}  // namespace xmlshred

@@ -1,0 +1,38 @@
+// Client-side deterministic retry/backoff for shed requests.
+//
+// A shed response carries a server-computed retry-after hint (estimated
+// virtual time until enough budget drains). The client backs off by
+// max(hint, exponential schedule) plus deterministic jitter drawn from a
+// splitmix64 stream keyed by (policy seed, request key, attempt), so two
+// runs of the same workload retry at exactly the same virtual times —
+// the property the chaos soak's bit-identical-counts check rests on.
+
+#ifndef XMLSHRED_SERVE_RETRY_H_
+#define XMLSHRED_SERVE_RETRY_H_
+
+#include <cstdint>
+
+namespace xmlshred {
+
+struct RetryPolicy {
+  // Total tries including the first; attempts past this give up.
+  int max_attempts = 4;
+  // Exponential schedule: base * multiplier^(attempt-1), capped.
+  double base_backoff = 4.0;
+  double multiplier = 2.0;
+  double max_backoff = 256.0;
+  // Jitter as a fraction of the chosen backoff, in [0, jitter_fraction).
+  double jitter_fraction = 0.25;
+  uint64_t seed = 0x5eed5eed5eed5eedull;
+};
+
+// Backoff (virtual time) before retry number `attempt` (2 = first retry)
+// of the request identified by `request_key`, honouring the server's
+// `retry_after` hint. Pure arithmetic — no libm, no clock — so the value
+// is bit-identical across platforms.
+double RetryBackoff(const RetryPolicy& policy, uint64_t request_key,
+                    int attempt, double retry_after);
+
+}  // namespace xmlshred
+
+#endif  // XMLSHRED_SERVE_RETRY_H_

@@ -1,0 +1,295 @@
+#include "serve/soak.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <sstream>
+#include <tuple>
+
+#include "common/fault_injection.h"
+
+namespace xmlshred {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+double UniformDouble(uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+enum class EventKind { kArrival = 0, kCompletion = 1, kAppend = 2 };
+
+struct Event {
+  double time;
+  uint64_t seq;  // deterministic tie-break: insertion order
+  EventKind kind;
+  int client = 0;
+  int attempt = 1;
+  uint64_t request_key = 0;
+  size_t query_idx = 0;
+  uint64_t ticket = 0;
+  int append_idx = 0;
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    return std::tie(a.time, a.seq) > std::tie(b.time, b.seq);
+  }
+};
+
+struct InFlight {
+  double arrival = 0;  // virtual time of the Offer that admitted it
+  bool executed = false;
+  ServeResponse response;
+};
+
+int64_t CounterValue(const MetricsSnapshot& snap, const char* name) {
+  auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second;
+}
+
+}  // namespace
+
+std::string SoakReport::CountersDigest() const {
+  std::ostringstream os;
+  os << "offered=" << offered << " retries=" << retries
+     << " completed=" << completed << " failed=" << failed
+     << " shed_queue_full=" << shed_queue_full
+     << " shed_budget=" << shed_budget << " shed_session=" << shed_session
+     << " expired_in_queue=" << expired_in_queue
+     << " expired_mid_query=" << expired_mid_query
+     << " epochs_published=" << epochs_published
+     << " faults_injected=" << faults_injected
+     << " append_failures=" << append_failures;
+  return os.str();
+}
+
+Result<SoakReport> RunSoak(SessionManager* manager, const XPathWorkload& mix,
+                           const SoakOptions& options) {
+  if (mix.empty()) return InvalidArgument("soak needs a non-empty query mix");
+  if (options.append_every > 0 && !options.append_rows) {
+    return InvalidArgument("append_every > 0 requires append_rows");
+  }
+
+  MetricsSnapshot before = manager->metrics()->Snapshot();
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> events;
+  uint64_t event_seq = 0;
+  auto schedule = [&](Event e) {
+    e.seq = event_seq++;
+    events.push(e);
+  };
+
+  // Pre-generate every client's arrival schedule; deterministic per
+  // (seed, client) stream.
+  std::vector<uint64_t> sessions;
+  int arrivals_total = 0;
+  for (int c = 0; c < options.num_clients; ++c) {
+    sessions.push_back(manager->OpenSession());
+    uint64_t stream = options.seed ^ (0xc1100a11ull * (c + 1));
+    double t = 0;
+    for (int i = 0; i < options.requests_per_client; ++i) {
+      stream = SplitMix64(stream);
+      double gap =
+          options.mean_gap * (0.25 + 1.5 * UniformDouble(stream));
+      t += gap;
+      stream = SplitMix64(stream);
+      Event e;
+      e.time = t;
+      e.kind = EventKind::kArrival;
+      e.client = c;
+      e.attempt = 1;
+      e.request_key =
+          (static_cast<uint64_t>(c) << 32) | static_cast<uint64_t>(i);
+      e.query_idx = static_cast<size_t>(stream % mix.size());
+      schedule(e);
+      ++arrivals_total;
+    }
+  }
+
+  // Chaos appends ride on the arrival count: schedule one append event
+  // between every `append_every`-th and next arrival (interleaved times
+  // derived from the arrival schedule would be circular, so just space
+  // them across the expected span).
+  if (options.append_every > 0) {
+    int num_appends = arrivals_total / options.append_every;
+    double expected_span = options.mean_gap *
+                           static_cast<double>(options.requests_per_client);
+    for (int k = 0; k < num_appends; ++k) {
+      Event e;
+      e.time = expected_span * static_cast<double>(k + 1) /
+               static_cast<double>(num_appends + 1);
+      e.kind = EventKind::kAppend;
+      e.append_idx = k;
+      schedule(e);
+    }
+  }
+
+  // The soak owns the global injector for its duration: a fixed (seed,
+  // probability) stream is the whole chaos schedule, disarmed again
+  // before returning.
+  if (options.fault_probability > 0) {
+    FaultInjector::Global()->ArmProbabilistic(options.seed,
+                                              options.fault_probability);
+  }
+
+  SoakReport report;
+  std::map<uint64_t, InFlight> inflight;
+  std::vector<double> latencies;
+  double last_time = 0;
+
+  auto run_ticket = [&](uint64_t ticket, double now) {
+    // Execute the dispatched ticket at `now`; its slot is held until the
+    // completion event fires at now + metered work.
+    InFlight& f = inflight.at(ticket);
+    f.response = manager->ExecuteTicket(ticket, now);
+    f.executed = true;
+    Event done;
+    done.time = now + std::max(f.response.work, 1.0);
+    done.kind = EventKind::kCompletion;
+    done.ticket = ticket;
+    schedule(done);
+  };
+
+  while (!events.empty()) {
+    Event e = events.top();
+    events.pop();
+    last_time = std::max(last_time, e.time);
+    switch (e.kind) {
+      case EventKind::kArrival: {
+        if (e.attempt == 1) {
+          ++report.offered;
+        } else {
+          ++report.retries;
+        }
+        ServeRequest req;
+        req.query = mix[e.query_idx];
+        req.deadline_work = options.deadline_work;
+        req.attempt = e.attempt;
+        ServeResponse shed;
+        uint64_t ticket = 0;
+        AdmitOutcome outcome =
+            manager->Offer(sessions[static_cast<size_t>(e.client)], req,
+                           e.time, &shed, &ticket);
+        if (outcome == AdmitOutcome::kShed) {
+          if (shed.retry_after > 0 &&
+              e.attempt < options.retry.max_attempts) {
+            Event again = e;
+            again.attempt = e.attempt + 1;
+            again.time = e.time + RetryBackoff(options.retry, e.request_key,
+                                               e.attempt + 1,
+                                               shed.retry_after);
+            schedule(again);
+          }
+          break;
+        }
+        InFlight f;
+        f.arrival = e.time;
+        inflight[ticket] = f;
+        if (outcome == AdmitOutcome::kRun) run_ticket(ticket, e.time);
+        break;
+      }
+      case EventKind::kCompletion: {
+        InFlight& f = inflight.at(e.ticket);
+        if (f.response.status.ok()) {
+          latencies.push_back(e.time - f.arrival);
+          report.completed_work += f.response.work;
+        }
+        inflight.erase(e.ticket);
+        uint64_t next = manager->CompleteTicket(e.ticket, e.time);
+        if (next != 0) run_ticket(next, e.time);
+        // Retiring a slot may also have expired queued tickets; the
+        // manager erased them (serve.expired_in_queue counts them), so
+        // drop their inflight entries — they will never complete.
+        for (auto it = inflight.begin(); it != inflight.end();) {
+          if (!it->second.executed && !manager->HasPending(it->first)) {
+            it = inflight.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        break;
+      }
+      case EventKind::kAppend: {
+        Status appended = manager->AppendAndPublish(
+            options.append_table, options.append_rows(e.append_idx));
+        if (!appended.ok()) ++report.append_failures;
+        break;
+      }
+    }
+  }
+  if (options.fault_probability > 0) FaultInjector::Global()->Disarm();
+
+  // Fold the serve.* counter deltas into the report.
+  MetricsSnapshot after = manager->metrics()->Snapshot();
+  auto delta = [&](const char* name) {
+    return CounterValue(after, name) - CounterValue(before, name);
+  };
+  report.completed = delta(kMetricServeCompleted);
+  report.failed = delta(kMetricServeFailed);
+  report.shed_queue_full = delta(kMetricServeShedQueueFull);
+  report.shed_budget = delta(kMetricServeShedBudget);
+  report.shed_session = delta(kMetricServeShedSession);
+  report.expired_in_queue = delta(kMetricServeExpiredInQueue);
+  report.expired_mid_query = delta(kMetricServeExpiredMidQuery);
+  report.epochs_published = delta(kMetricServeEpochsPublished);
+  report.faults_injected = delta(kMetricServeFaultsInjected);
+
+  report.duration = last_time > 0 ? last_time : 1;
+  report.goodput = report.completed_work / report.duration;
+  report.throughput = static_cast<double>(report.completed) / report.duration;
+  int64_t total_offers = report.offered + report.retries;
+  int64_t shed_total = report.shed_queue_full + report.shed_budget +
+                       report.shed_session;
+  report.shed_rate = total_offers > 0
+                         ? static_cast<double>(shed_total) /
+                               static_cast<double>(total_offers)
+                         : 0;
+  std::sort(latencies.begin(), latencies.end());
+  if (!latencies.empty()) {
+    size_t n = latencies.size();
+    report.p50_latency = latencies[n / 2];
+    report.p99_latency = latencies[(n * 99) / 100];
+  }
+
+  // Invariants: every offer accounted exactly once, and the manager
+  // fully drained.
+  std::ostringstream err;
+  int64_t requests = delta(kMetricServeRequests);
+  int64_t retry_attempts = delta(kMetricServeRetryAttempts);
+  int64_t accounted = report.completed + report.failed +
+                      report.shed_queue_full + report.shed_budget +
+                      report.shed_session + report.expired_in_queue +
+                      report.expired_mid_query;
+  if (requests != report.offered) {
+    err << "serve.requests " << requests << " != offered " << report.offered
+        << "; ";
+  }
+  if (retry_attempts != report.retries) {
+    err << "serve.retry_attempts " << retry_attempts << " != retries "
+        << report.retries << "; ";
+  }
+  if (requests + retry_attempts != accounted) {
+    err << "offers " << (requests + retry_attempts)
+        << " != terminal outcomes " << accounted << "; ";
+  }
+  if (!manager->Idle()) {
+    err << "manager not idle after drain (queue=" << manager->queue_depth()
+        << " running=" << manager->running()
+        << " outstanding=" << manager->outstanding_work() << "); ";
+  }
+  if (!inflight.empty()) {
+    err << inflight.size() << " tickets never completed; ";
+  }
+  report.invariant_error = err.str();
+  report.invariants_ok = report.invariant_error.empty();
+  return report;
+}
+
+}  // namespace xmlshred

@@ -1,0 +1,90 @@
+// Deterministic open-loop soak harness for the serving layer.
+//
+// A discrete-event simulation in virtual time (work units): N clients
+// generate open-loop arrivals of a query mix, shed requests retry under
+// the deterministic backoff policy, and an optional chaos schedule
+// injects faults and epoch-publishing appends. Everything — arrival
+// gaps, query choice, retry jitter, fault stream — is derived from
+// splitmix64 streams keyed by the seed, and the simulation runs on one
+// thread, so two runs with the same options produce bit-identical
+// admit/shed/complete counts. That is the property the chaos CI step
+// asserts; wall-clock never enters the model (service time of a request
+// IS its metered work).
+
+#ifndef XMLSHRED_SERVE_SOAK_H_
+#define XMLSHRED_SERVE_SOAK_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/retry.h"
+#include "serve/session.h"
+#include "xpath/xpath.h"
+
+namespace xmlshred {
+
+struct SoakOptions {
+  int num_clients = 4;
+  int requests_per_client = 50;
+  // Mean inter-arrival gap per client in virtual work units. Gaps are
+  // mean * (0.25 + 1.5u) with u uniform — bounded jitter instead of an
+  // exponential so no libm call can perturb cross-platform determinism.
+  double mean_gap = 100.0;
+  // Per-request relative deadline (0 = none).
+  double deadline_work = 0;
+  // Wall-of-jitter seed for arrivals / query choice / retry jitter.
+  uint64_t seed = 1;
+  RetryPolicy retry;
+  // Chaos: probability per fault-site hit (0 = no injection). Armed via
+  // the global injector for the duration of the run.
+  double fault_probability = 0;
+  // Every `append_every` arrivals (counting across clients), append a
+  // batch of rows and publish a new epoch. 0 = never.
+  int append_every = 0;
+  // Generates the rows for the k-th append (k = 0, 1, ...). Required
+  // when append_every > 0.
+  std::string append_table;
+  std::function<std::vector<Row>(int)> append_rows;
+};
+
+struct SoakReport {
+  // Offered load (first attempts + retries) as the runner saw it; the
+  // same split the serve.* counters carry.
+  int64_t offered = 0;
+  int64_t retries = 0;
+  int64_t completed = 0;
+  int64_t failed = 0;
+  int64_t shed_queue_full = 0;
+  int64_t shed_budget = 0;
+  int64_t shed_session = 0;
+  int64_t expired_in_queue = 0;
+  int64_t expired_mid_query = 0;
+  int64_t epochs_published = 0;
+  int64_t faults_injected = 0;
+  int64_t append_failures = 0;
+  double completed_work = 0;  // metered work of completed requests
+  double duration = 0;        // virtual time span of the run
+  double goodput = 0;         // completed_work / duration
+  double throughput = 0;      // completed / duration
+  double shed_rate = 0;       // shed / offered-including-retries
+  double p50_latency = 0;     // virtual-time latency of completed reqs
+  double p99_latency = 0;
+  bool invariants_ok = false;
+  std::string invariant_error;
+
+  // One deterministic line per counter, for bit-identical run compares.
+  std::string CountersDigest() const;
+};
+
+// Drives `manager` with the soak described by `options`, using queries
+// drawn from `mix`. The manager must be freshly constructed (counters at
+// zero) for the accounting invariant check to hold.
+Result<SoakReport> RunSoak(SessionManager* manager, const XPathWorkload& mix,
+                           const SoakOptions& options);
+
+}  // namespace xmlshred
+
+#endif  // XMLSHRED_SERVE_SOAK_H_

@@ -154,13 +154,21 @@ def main():
             validate(doc, schema, "$")
             if is_metrics:
                 check_histogram_invariants(doc)
-            for name, floor in floors.items():
-                actual = doc["counters"].get(name)
-                if actual is None:
-                    raise ValidationError(f"$.counters.{name}: missing")
-                if actual < floor:
+            if floors:
+                counters = doc.get("counters") if isinstance(doc, dict) \
+                    else None
+                if not isinstance(counters, dict):
                     raise ValidationError(
-                        f"$.counters.{name}: {actual} < required {floor}")
+                        "$.counters: missing or not an object (cannot "
+                        "check --min-counter floors)")
+                for name, floor in floors.items():
+                    actual = counters.get(name)
+                    if actual is None:
+                        raise ValidationError(f"$.counters.{name}: missing")
+                    if actual < floor:
+                        raise ValidationError(
+                            f"$.counters.{name}: {actual} < required "
+                            f"{floor}")
         except (OSError, json.JSONDecodeError, ValidationError) as err:
             print(f"FAIL {path}: {err}", file=sys.stderr)
             failed = True

@@ -13,8 +13,12 @@ Usage:
 
 Exit code 0 when the documents are comparable; with --rel-tol, exits 1
 if any numeric leaf moved by more than the given fraction (e.g. 0.1 =
-10%), so CI can flag regressions without bit-exact goldens. Timing-
-dependent leaves are expected to move; q-error and row counts are not.
+10%), so CI can flag regressions without bit-exact goldens. Under
+--rel-tol, structural differences — a key present on only one side, an
+array length change, a non-numeric leaf that changed — also fail: a
+missing section is a regression, not a pass. Unreadable or malformed
+input files exit 2 with the offending path named. Timing-dependent
+leaves are expected to move; q-error and row counts are not.
 """
 
 import argparse
@@ -66,10 +70,18 @@ def main():
                         help="fail if any numeric leaf moves by more than this")
     args = parser.parse_args()
 
-    with open(args.old) as f:
-        old = json.load(f)
-    with open(args.new) as f:
-        new = json.load(f)
+    docs = []
+    for path in (args.old, args.new):
+        try:
+            with open(path) as f:
+                docs.append(json.load(f))
+        except OSError as err:
+            print(f"error: cannot read {path}: {err}", file=sys.stderr)
+            return 2
+        except json.JSONDecodeError as err:
+            print(f"error: {path} is not valid JSON: {err}", file=sys.stderr)
+            return 2
+    old, new = docs
 
     diffs = []
     walk(old, new, "", diffs)
@@ -78,6 +90,7 @@ def main():
         return 0
 
     exceeded = 0
+    structural = 0
     for path, o, n, rel in diffs:
         if rel is not None and rel != float("inf"):
             sign = "+" if n >= o else "-"
@@ -86,15 +99,31 @@ def main():
             note = ""
         over = (args.rel_tol is not None and rel is not None
                 and rel > args.rel_tol)
+        # A key present on only one side, a changed array length, or a
+        # non-numeric leaf that changed: no tolerance can excuse these,
+        # so they fail whenever a tolerance gate was requested.
+        is_structural = rel is None
         if over:
             exceeded += 1
-        flag = "  <-- exceeds tolerance" if over else ""
+        if args.rel_tol is not None and is_structural:
+            structural += 1
+        flag = ""
+        if over:
+            flag = "  <-- exceeds tolerance"
+        elif args.rel_tol is not None and is_structural:
+            flag = "  <-- structural difference"
         print(f"{path}: {fmt(o)} -> {fmt(n)}{note}{flag}")
 
     print(f"\n{len(diffs)} difference(s)")
-    if exceeded:
-        print(f"FAIL: {exceeded} leaf/leaves moved more than "
-              f"{args.rel_tol * 100:g}%", file=sys.stderr)
+    if exceeded or structural:
+        parts = []
+        if exceeded:
+            parts.append(f"{exceeded} leaf/leaves moved more than "
+                         f"{args.rel_tol * 100:g}%")
+        if structural:
+            parts.append(f"{structural} structural difference(s) "
+                         "(missing keys, length or type changes)")
+        print("FAIL: " + "; ".join(parts), file=sys.stderr)
         return 1
     return 0
 
