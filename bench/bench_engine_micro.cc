@@ -10,12 +10,19 @@
 // byte-stable across machines and CI can diff it with
 // tools/compare_bench.py --rel-tol 0 (any drift in metering or results
 // is a behavioural regression, not noise).
+//
+// `--exec-threads-sweep` switches to the parallel-execution sweep: each
+// micro runs at 1/2/4/8 morsel workers (ExecOptions::num_threads),
+// asserts rows/work/pages identical at every count, and records
+// per-count wall clock for bench_results/BENCH_parallel_exec.json (CI
+// strips the timing keys before diffing).
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -73,6 +80,11 @@ struct EngineFixture {
   }
 
   ExecMetrics RunSql(const std::string& sql) {
+    return RunSqlThreads(sql, /*threads=*/1, /*vectorized=*/true);
+  }
+
+  ExecMetrics RunSqlThreads(const std::string& sql, int threads,
+                            bool vectorized) {
     auto parsed = ParseSql(sql);
     XS_CHECK_OK(parsed.status());
     auto bound = BindQuery(*parsed, catalog);
@@ -81,7 +93,10 @@ struct EngineFixture {
     XS_CHECK_OK(planned.status());
     Executor executor(db);
     ExecMetrics metrics;
-    auto rows = executor.Run(*planned->root, &metrics);
+    ExecOptions options;
+    options.num_threads = threads;
+    options.vectorized_scan = vectorized;
+    auto rows = executor.Run(*planned->root, &metrics, options);
     XS_CHECK_OK(rows.status());
     return metrics;
   }
@@ -221,14 +236,88 @@ MicroResult StatsDerivationMicro() {
   return out;
 }
 
-void WriteJson(const std::string& path,
-               const std::vector<MicroResult>& micros) {
+// ---------------------------------------------------------------------
+// --exec-threads sweep: each micro runs the same plan at 1/2/4/8 morsel
+// workers. The deterministic observables (rows, work, pages) are
+// XS_CHECKed equal across thread counts — the executor's bit-identity
+// contract — and recorded once; per-thread-count wall clock, speedup, and
+// iteration counts are informational timing keys (CI strips every
+// "wall_ms_*" / "speedup_*" / "iterations_*" / "hardware_threads" key
+// before diffing against the committed baseline, since they depend on the
+// machine).
+
+constexpr int kSweepThreads[] = {1, 2, 4, 8};
+
+MicroResult SweepMicro(const std::string& name, const std::string& sql,
+                       bool vectorized) {
+  EngineFixture& f = Fixture();
+  MicroResult out;
+  out.name = name;
+  ExecMetrics base = f.RunSqlThreads(sql, 1, vectorized);
+  out.values = {{"rows", static_cast<double>(base.rows_out)},
+                {"work", base.work},
+                {"pages_sequential", base.pages_sequential},
+                {"pages_random", base.pages_random}};
+  double wall_t1 = 0;
+  for (int threads : kSweepThreads) {
+    ExecMetrics m = f.RunSqlThreads(sql, threads, vectorized);
+    XS_CHECK(m.rows_out == base.rows_out);
+    XS_CHECK(m.work == base.work);
+    XS_CHECK(m.pages_sequential == base.pages_sequential);
+    XS_CHECK(m.pages_random == base.pages_random);
+    MicroResult timed;
+    TimeMicro(&timed, [&] { f.RunSqlThreads(sql, threads, vectorized); });
+    std::string suffix = "_t" + std::to_string(threads);
+    double wall_ms = timed.wall_ns_per_iter / 1e6;
+    if (threads == 1) wall_t1 = wall_ms;
+    out.values.emplace_back("wall_ms" + suffix, wall_ms);
+    out.values.emplace_back("speedup" + suffix,
+                            wall_ms > 0 ? wall_t1 / wall_ms : 0);
+    out.values.emplace_back("iterations" + suffix,
+                            static_cast<double>(timed.iterations));
+    if (threads == 1) {
+      out.wall_ns_per_iter = timed.wall_ns_per_iter;
+      out.iterations = timed.iterations;
+    }
+  }
+  return out;
+}
+
+std::vector<MicroResult> BuildSweepMicros() {
+  std::vector<MicroResult> micros;
+  micros.push_back(SweepMicro("par_heap_scan",
+                              "SELECT pages FROM inproc WHERE year >= 1985",
+                              /*vectorized=*/true));
+  micros.push_back(SweepMicro("par_heap_scan_scalar",
+                              "SELECT pages FROM inproc WHERE year >= 1985",
+                              /*vectorized=*/false));
+  micros.push_back(SweepMicro(
+      "par_hash_join",
+      "SELECT I.pages, A.author FROM inproc I, inproc_author A "
+      "WHERE I.ID = A.PID",
+      /*vectorized=*/true));
+  micros.push_back(SweepMicro(
+      "par_aggregate",
+      "SELECT COUNT(*), SUM(year), MIN(title), MAX(year) FROM inproc",
+      /*vectorized=*/true));
+  micros.push_back(SweepMicro("par_sort",
+                              "SELECT title, year FROM inproc ORDER BY 2, 1",
+                              /*vectorized=*/true));
+  return micros;
+}
+
+void WriteJson(const std::string& path, const std::vector<MicroResult>& micros,
+               const char* bench_name, bool with_hardware_threads) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     std::exit(1);
   }
-  std::fprintf(f, "{\n  \"bench\": \"engine_micro\",\n");
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n", bench_name);
+  if (with_hardware_threads) {
+    std::fprintf(f, "  \"hardware_threads\": %u,\n",
+                 std::thread::hardware_concurrency());
+  }
   std::fprintf(f, "  \"micros\": [\n");
   for (size_t i = 0; i < micros.size(); ++i) {
     const MicroResult& m = micros[i];
@@ -246,16 +335,45 @@ void WriteJson(const std::string& path,
 int Main(int argc, char** argv) {
   const std::string metrics_out = ExtractMetricsOutArg(&argc, argv);
   std::string json_path;
+  bool sweep = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
     } else if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (arg == "--exec-threads-sweep") {
+      sweep = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--json out.json]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--exec-threads-sweep] [--json out.json]\n",
+                   argv[0]);
       return 2;
     }
+  }
+
+  if (sweep) {
+    PrintTitle("Parallel execution sweep",
+               "same plan at 1/2/4/8 morsel workers; rows/work/pages are "
+               "checked identical, wall-clock keys are machine-dependent");
+    std::vector<MicroResult> micros = BuildSweepMicros();
+    PrintRow({"micro", "wall t1", "t2", "t4", "t8", "work"});
+    for (const MicroResult& m : micros) {
+      auto value_of = [&](const std::string& key) -> std::string {
+        for (const auto& [k, v] : m.values) {
+          if (k == key) return FormatDouble(v, 2);
+        }
+        return "-";
+      };
+      PrintRow({m.name, value_of("wall_ms_t1") + " ms",
+                value_of("wall_ms_t2") + " ms", value_of("wall_ms_t4") + " ms",
+                value_of("wall_ms_t8") + " ms", value_of("work")});
+    }
+    if (!json_path.empty()) {
+      WriteJson(json_path, micros, "parallel_exec",
+                /*with_hardware_threads=*/true);
+    }
+    WriteMetricsOut(metrics_out);
+    return 0;
   }
 
   PrintTitle("Engine microbenchmarks",
@@ -302,7 +420,10 @@ int Main(int argc, char** argv) {
               value_of("rows")});
   }
 
-  if (!json_path.empty()) WriteJson(json_path, micros);
+  if (!json_path.empty()) {
+    WriteJson(json_path, micros, "engine_micro",
+              /*with_hardware_threads=*/false);
+  }
   WriteMetricsOut(metrics_out);
   return 0;
 }

@@ -2,14 +2,19 @@
 //
 //   example_advisor_cli --schema file.xsd|file.dtd --data file.xml
 //       --workload queries.txt [--algorithm greedy|naive|two-step|hybrid]
-//       [--space-multiple 3.0] [--threads N] [--execute]
-//       [--metrics-out metrics.json] [--trace-out trace.json]
+//       [--space-multiple 3.0] [--threads N] [--exec-threads N]
+//       [--execute] [--metrics-out metrics.json] [--trace-out trace.json]
 //       [--explain-out explain.json] [--explain-timing]
 //       [--report-out report.json]
 //
 // --threads N costs each search round's candidates on N workers (0, the
 // default, uses every hardware thread; 1 forces the serial path). The
 // chosen design is identical at any thread count — see DESIGN.md §8.
+//
+// --exec-threads N runs each executed query's scans, hash joins, sorts,
+// and aggregates on N morsel workers (1, the default, is the serial
+// executor). Result rows, metrics, and explain actuals are bit-identical
+// at any value — see DESIGN.md §13.
 //
 // The workload file holds one XPath query per line, optionally prefixed
 // by a weight ("4.0 //movie[year >= 1998]/(title | box_office)"); '#'
@@ -98,7 +103,8 @@ int Usage() {
       stderr,
       "usage: example_advisor_cli --schema FILE.{xsd,dtd} --data FILE.xml\n"
       "       --workload FILE [--algorithm greedy|naive|two-step|hybrid]\n"
-      "       [--space-multiple F] [--threads N] [--execute]\n"
+      "       [--space-multiple F] [--threads N] [--exec-threads N]\n"
+      "       [--execute]\n"
       "       [--metrics-out FILE.json] [--trace-out FILE.json]\n"
       "       [--explain-out FILE.json] [--explain-timing]\n"
       "       [--report-out FILE.json]\n");
@@ -112,6 +118,7 @@ struct CliOptions {
   std::string algorithm = "greedy";
   double space_multiple = 3.0;
   int threads = 0;  // 0 = one worker per hardware thread
+  int exec_threads = 1;  // morsel workers per executed query; 1 = serial
   bool execute = false;
   std::string metrics_out;
   std::string trace_out;
@@ -135,6 +142,7 @@ Status RunTool(const CliOptions& cli) {
                      : &registry;
   exec.trace = cli.trace_out.empty() ? nullptr : &sink;
   exec.num_threads = cli.threads;
+  exec.exec_threads = cli.exec_threads;
 
   // Schema: XSD or DTD by extension.
   XS_ASSIGN_OR_RETURN(std::string schema_text, ReadFile(schema_path));
@@ -297,6 +305,14 @@ int main(int argc, char** argv) {
       cli.threads = static_cast<int>(std::strtol(value, &end, 10));
       if (end == value || *end != '\0' || cli.threads < 0) {
         std::fprintf(stderr, "--threads: bad count '%s'\n", value);
+        return 2;
+      }
+    } else if (!std::strcmp(argv[i], "--exec-threads")) {
+      const char* value = next("--exec-threads");
+      char* end = nullptr;
+      cli.exec_threads = static_cast<int>(std::strtol(value, &end, 10));
+      if (end == value || *end != '\0' || cli.exec_threads < 0) {
+        std::fprintf(stderr, "--exec-threads: bad count '%s'\n", value);
         return 2;
       }
     } else if (!std::strcmp(argv[i], "--metrics-out")) {

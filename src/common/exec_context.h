@@ -37,6 +37,12 @@ struct ExecContext {
   // struct (whose own <= 0 means one per hardware thread); 1 is the exact
   // legacy serial path.
   int num_threads = 0;
+  // Workers for intra-query morsel execution (ExecOptions::num_threads):
+  // <= 1 is the exact legacy serial executor; N > 1 splits scans, hash
+  // joins, and aggregates into kMorselRows morsels on N workers. Results,
+  // metering, explain actuals, and governor trip points are bit-identical
+  // at any value (DESIGN.md §13), so this is purely a latency knob.
+  int exec_threads = 0;
   // Seed for any randomized tie-breaking an algorithm may adopt; 0 keeps
   // the deterministic default behaviour.
   uint64_t rng_seed = 0;

@@ -56,6 +56,12 @@ inline constexpr const char* kFaultSiteServeAdmit = "serve.admit";
 inline constexpr const char* kFaultSiteServeEpochPublish =
     "serve.epoch_publish";
 inline constexpr const char* kFaultSiteServeMidQuery = "serve.mid_query";
+// Executor morsel boundary (src/exec): checked once per kMorselRows rows
+// on the heap-scan (scalar and vectorized), view-scan, hash-join-probe,
+// and aggregate loops. The check runs on the coordinator thread in strict
+// enumeration order at every thread count, so an armed nth-hit fault
+// fires at the same morsel regardless of ExecOptions::num_threads.
+inline constexpr const char* kFaultSiteExecMorsel = "exec.morsel";
 
 class FaultInjector {
  public:

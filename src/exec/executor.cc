@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <functional>
 #include <limits>
 #include <numeric>
 
 #include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/thread_pool.h"
 #include "exec/explain.h"
 #include "opt/cost_model.h"
 #include "rel/index.h"
@@ -357,6 +359,125 @@ uint64_t MixJoinKey(uint8_t cls, uint64_t bits) {
   return x;
 }
 
+size_t NumMorsels(size_t n) {
+  return (n + kMorselRows - 1) / kMorselRows;
+}
+
+// Per-morsel worker output for parallel row loops. Workers are pure
+// functions of their [m*kMorselRows, (m+1)*kMorselRows) input range: they
+// write cells (and at most one row-level error) here and touch no shared
+// state, so the coordinator can replay the serial loop's interrupt order
+// afterwards and concatenate the slots in enumeration order.
+struct MorselSlot {
+  std::vector<Cell> cells;
+  size_t num_rows = 0;
+  bool started = false;
+  Status status;         // first worker-side row error, if any
+  size_t error_row = 0;  // global row id where `status` arose
+};
+
+void ConcatSlots(const std::vector<MorselSlot>& slots, Chunk* out) {
+  size_t total = 0;
+  for (const MorselSlot& s : slots) total += s.cells.size();
+  out->cells.reserve(out->cells.size() + total);
+  for (const MorselSlot& s : slots) {
+    out->cells.insert(out->cells.end(), s.cells.begin(), s.cells.end());
+    out->num_rows += s.num_rows;
+  }
+}
+
+// One aggregate accumulator. Aggregation is defined as per-morsel
+// partials merged in morsel order at *every* thread count (including the
+// serial path), so floating-point sums are reproducible by construction:
+// the reduction tree depends only on the input, never on scheduling.
+struct AggAcc {
+  int64_t count = 0;
+  int64_t isum = 0;       // exact integer sum (no reals seen)
+  double dsum = 0;        // numeric sum; authoritative once a real appears
+  bool saw_real = false;
+  bool saw_numeric = false;
+  bool has_value = false;  // min/max
+  SortKey best{};
+  Cell best_cell{};
+};
+
+void UpdateAgg(AggFunc func, AggAcc* a, Cell c,
+               const StringDictionary& dict) {
+  switch (func) {
+    case AggFunc::kNone:
+      break;
+    case AggFunc::kCountStar:
+      ++a->count;
+      break;
+    case AggFunc::kCount:
+      if (c.tag != kTagNull) ++a->count;
+      break;
+    case AggFunc::kSum:
+      // SQL SUM skips NULLs; non-numeric (string) cells are skipped too —
+      // the subset has no casts, so summing a string column yields the
+      // sum of whatever numeric cells it holds (possibly none -> NULL).
+      if (c.tag == kTagInt) {
+        int64_t v = static_cast<int64_t>(c.bits);
+        a->isum += v;
+        a->dsum += static_cast<double>(v);
+        a->saw_numeric = true;
+      } else if (c.tag == kTagReal) {
+        a->dsum += CellBitsToDouble(c.bits);
+        a->saw_real = true;
+        a->saw_numeric = true;
+      }
+      break;
+    case AggFunc::kMin:
+    case AggFunc::kMax: {
+      if (c.tag == kTagNull) break;
+      SortKey k = EncodeCellKey(c, dict);
+      bool better = !a->has_value ||
+                    (func == AggFunc::kMin ? k < a->best : a->best < k);
+      if (better) {
+        a->best = k;
+        a->best_cell = c;
+        a->has_value = true;
+      }
+      break;
+    }
+  }
+}
+
+// Folds `later` (a strictly later morsel's partial) into `a`. Ties on
+// min/max keep the earlier morsel's cell, matching first-in-row-order.
+void MergeAgg(AggFunc func, AggAcc* a, const AggAcc& later) {
+  a->count += later.count;
+  a->isum += later.isum;
+  a->dsum += later.dsum;
+  a->saw_real = a->saw_real || later.saw_real;
+  a->saw_numeric = a->saw_numeric || later.saw_numeric;
+  if (later.has_value &&
+      (!a->has_value || (func == AggFunc::kMin ? later.best < a->best
+                                               : a->best < later.best))) {
+    a->best = later.best;
+    a->best_cell = later.best_cell;
+    a->has_value = true;
+  }
+}
+
+Cell FinalizeAgg(AggFunc func, const AggAcc& a) {
+  switch (func) {
+    case AggFunc::kNone:
+      break;
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+      return Cell{kTagInt, static_cast<uint64_t>(a.count)};
+    case AggFunc::kSum:
+      if (!a.saw_numeric) return Cell{};  // SUM over no values is NULL
+      if (a.saw_real) return Cell{kTagReal, DoubleToCellBits(a.dsum)};
+      return Cell{kTagInt, static_cast<uint64_t>(a.isum)};
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      return a.has_value ? a.best_cell : Cell{};
+  }
+  return Cell{};
+}
+
 class ExecState {
  public:
   ExecState(const Database& db, ExecMetrics* metrics,
@@ -369,7 +490,8 @@ class ExecState {
         vectorized_(options.vectorized_scan),
         snapshot_(options.snapshot),
         cancel_(options.cancel),
-        faults_(options.faults) {}
+        faults_(options.faults),
+        num_threads_(options.num_threads) {}
 
   // Executes one node. When `en` is non-null (EXPLAIN ANALYZE), the
   // subtree's actuals are recorded into it as inclusive deltas of the
@@ -432,6 +554,8 @@ class ExecState {
         return ExecHashJoin(node, en);
       case PlanKind::kProject:
         return ExecProject(node, en);
+      case PlanKind::kAggregate:
+        return ExecAggregate(node, en);
       case PlanKind::kUnionAll:
         return ExecUnionAll(node, en);
       case PlanKind::kSort:
@@ -478,6 +602,59 @@ class ExecState {
     }
     if (faults_ != nullptr) {
       XS_RETURN_IF_ERROR(faults_->Check(kFaultSiteServeMidQuery));
+    }
+    return Status::OK();
+  }
+
+  // Batch-boundary poll for morsel-structured loops (heap/view scans,
+  // hash-join probe, aggregate): the exec.morsel fault site fires once
+  // per morsel, then the usual interrupts. Always called in strict
+  // enumeration order of `base` — inline on the serial path, replayed by
+  // the coordinator after the workers on the parallel path — so an armed
+  // fault's nth hit lands on the same morsel at any thread count.
+  Status CheckScanBoundary(size_t base) {
+    if (base % kMorselRows == 0 && faults_ != nullptr) {
+      XS_RETURN_IF_ERROR(faults_->Check(kFaultSiteExecMorsel));
+    }
+    return CheckBatchInterrupts();
+  }
+
+  bool parallel() const { return num_threads_ > 1; }
+
+  // Workers poll this to skip speculative work once the run is doomed.
+  // Purely an optimization: correctness comes from the replay below.
+  std::function<bool()> StopPredicate() const {
+    const std::atomic<bool>* cancel = cancel_;
+    const ResourceGovernor* governor = governor_;
+    if (cancel == nullptr && governor == nullptr) return nullptr;
+    return [cancel, governor] {
+      return (cancel != nullptr &&
+              cancel->load(std::memory_order_relaxed)) ||
+             (governor != nullptr && governor->exhausted());
+    };
+  }
+
+  // Replays the serial loop's per-batch interrupt checks after a
+  // ParallelFor over morsel slots, in enumeration order, surfacing any
+  // worker-side row error after the checks of the batch it arose in —
+  // exactly where the serial loop would have returned it. All scan
+  // charges precede the dispatch, so the coordinator performing every
+  // check (and the workers performing none) keeps metering, fault hit
+  // counts, and trip points bit-identical to the serial path.
+  Status ReplayScanChecks(size_t n, const std::vector<MorselSlot>& slots) {
+    for (size_t base = 0; base < n; base += kScanBatchRows) {
+      XS_RETURN_IF_ERROR(CheckScanBoundary(base));
+      const MorselSlot& s = slots[base / kMorselRows];
+      if (!s.started) {
+        // No charges happen while workers run, so the governor cannot
+        // newly trip mid-dispatch; only cooperative cancellation leaves
+        // a morsel unstarted. Surface the status the serial loop would.
+        return ResourceExhausted("query cancelled");
+      }
+      if (!s.status.ok() && s.error_row >= base &&
+          s.error_row < base + kScanBatchRows) {
+        return s.status;
+      }
     }
     return Status::OK();
   }
@@ -558,11 +735,52 @@ class ExecState {
     size_t n = static_cast<size_t>(visible);
 
     if (!vectorized_) {
+      if (parallel()) {
+        // Morsel-parallel scalar scan: each worker materializes and
+        // filters its own row range into a slot; errors carry the global
+        // row id so the replay surfaces them at the serial position.
+        std::vector<MorselSlot> slots(NumMorsels(n));
+        ParallelFor(
+            num_threads_, static_cast<int>(slots.size()),
+            [&](int m) {
+              MorselSlot& s = slots[static_cast<size_t>(m)];
+              s.started = true;
+              size_t lo = static_cast<size_t>(m) * kMorselRows;
+              size_t hi = std::min(n, lo + kMorselRows);
+              for (size_t rid = lo; rid < hi; ++rid) {
+                Row row = table->GetRow(static_cast<int64_t>(rid));
+                bool pass = true;
+                for (const BoundFilter& f : node.residual_filters) {
+                  Result<bool> keep = EvalPred(
+                      row[static_cast<size_t>(f.ref.column)], f.op,
+                      f.literal);
+                  if (!keep.ok()) {
+                    s.status = keep.status();
+                    s.error_row = rid;
+                    return;
+                  }
+                  if (!*keep) {
+                    pass = false;
+                    break;
+                  }
+                }
+                if (!pass) continue;
+                for (const ColumnSlot& slot : node.output) {
+                  s.cells.push_back(table->column(slot.column).cell(rid));
+                }
+                ++s.num_rows;
+              }
+            },
+            StopPredicate());
+        XS_RETURN_IF_ERROR(ReplayScanChecks(n, slots));
+        ConcatSlots(slots, &out);
+        return out;
+      }
       // Scalar reference path: materialize each row, evaluate the bound
       // filters on Values. Same charges, same survivors, same cells out.
       for (size_t rid = 0; rid < n; ++rid) {
         if (rid % kScanBatchRows == 0) {
-          XS_RETURN_IF_ERROR(CheckBatchInterrupts());
+          XS_RETURN_IF_ERROR(CheckScanBoundary(rid));
         }
         Row row = table->GetRow(static_cast<int64_t>(rid));
         bool pass = true;
@@ -591,29 +809,60 @@ class ExecState {
     for (const ColumnSlot& slot : node.output) {
       out_cols.push_back(&table->column(slot.column));
     }
-    std::vector<int32_t> sel(kScanBatchRows);
-    for (size_t base = 0; base < n; base += kScanBatchRows) {
-      XS_RETURN_IF_ERROR(CheckBatchInterrupts());
-      size_t lim = std::min(kScanBatchRows, n - base);
+    // One batch of the vectorized scan: filter rows [base, base+lim)
+    // through the compiled predicate chain into `sel`, then gather the
+    // survivors' output cells. Pure function of the batch — shared by the
+    // serial loop and the parallel workers, so survivors and cell order
+    // are identical by construction.
+    auto scan_batch = [&](size_t base, size_t lim, int32_t* sel,
+                          std::vector<Cell>* cells) -> size_t {
       size_t cnt;
       if (preds.empty()) {
         cnt = lim;
         for (size_t i = 0; i < lim; ++i) sel[i] = static_cast<int32_t>(i);
       } else {
         cnt = ApplyPredBatch(table->column(preds[0].pos), base, lim,
-                             sel.data(), /*dense=*/true, preds[0], dict_);
+                             sel, /*dense=*/true, preds[0], dict_);
         for (size_t k = 1; k < preds.size() && cnt > 0; ++k) {
           cnt = ApplyPredBatch(table->column(preds[k].pos), base, cnt,
-                               sel.data(), /*dense=*/false, preds[k], dict_);
+                               sel, /*dense=*/false, preds[k], dict_);
         }
       }
       for (size_t i = 0; i < cnt; ++i) {
         size_t rid = base + static_cast<size_t>(sel[i]);
         for (const ColumnVector* col : out_cols) {
-          out.cells.push_back(col->cell(rid));
+          cells->push_back(col->cell(rid));
         }
       }
-      out.num_rows += cnt;
+      return cnt;
+    };
+
+    if (parallel()) {
+      std::vector<MorselSlot> slots(NumMorsels(n));
+      ParallelFor(
+          num_threads_, static_cast<int>(slots.size()),
+          [&](int m) {
+            MorselSlot& s = slots[static_cast<size_t>(m)];
+            s.started = true;
+            size_t lo = static_cast<size_t>(m) * kMorselRows;
+            size_t hi = std::min(n, lo + kMorselRows);
+            std::vector<int32_t> sel(kScanBatchRows);
+            for (size_t base = lo; base < hi; base += kScanBatchRows) {
+              size_t lim = std::min(kScanBatchRows, hi - base);
+              s.num_rows += scan_batch(base, lim, sel.data(), &s.cells);
+            }
+          },
+          StopPredicate());
+      XS_RETURN_IF_ERROR(ReplayScanChecks(n, slots));
+      ConcatSlots(slots, &out);
+      return out;
+    }
+
+    std::vector<int32_t> sel(kScanBatchRows);
+    for (size_t base = 0; base < n; base += kScanBatchRows) {
+      XS_RETURN_IF_ERROR(CheckScanBoundary(base));
+      size_t lim = std::min(kScanBatchRows, n - base);
+      out.num_rows += scan_batch(base, lim, sel.data(), &out.cells);
     }
     return out;
   }
@@ -807,10 +1056,34 @@ class ExecState {
     out.width = view->schema().num_columns();
     size_t n = static_cast<size_t>(visible);
     out.num_rows = n;
+    if (parallel()) {
+      // Every visible row is copied verbatim, so workers write disjoint
+      // [rid*width, ...) ranges of the preallocated output directly; the
+      // slots only track started/error state for the check replay.
+      size_t width = static_cast<size_t>(out.width);
+      out.cells.resize(n * width);
+      std::vector<MorselSlot> slots(NumMorsels(n));
+      ParallelFor(
+          num_threads_, static_cast<int>(slots.size()),
+          [&](int m) {
+            slots[static_cast<size_t>(m)].started = true;
+            size_t lo = static_cast<size_t>(m) * kMorselRows;
+            size_t hi = std::min(n, lo + kMorselRows);
+            for (size_t rid = lo; rid < hi; ++rid) {
+              for (size_t c = 0; c < width; ++c) {
+                out.cells[rid * width + c] =
+                    view->column(static_cast<int>(c)).cell(rid);
+              }
+            }
+          },
+          StopPredicate());
+      XS_RETURN_IF_ERROR(ReplayScanChecks(n, slots));
+      return out;
+    }
     out.ReserveRows(n);
     for (size_t rid = 0; rid < n; ++rid) {
       if (rid % kScanBatchRows == 0) {
-        XS_RETURN_IF_ERROR(CheckBatchInterrupts());
+        XS_RETURN_IF_ERROR(CheckScanBoundary(rid));
       }
       for (int c = 0; c < out.width; ++c) {
         out.cells.push_back(view->column(c).cell(rid));
@@ -936,9 +1209,24 @@ class ExecState {
     size_t bn = build.num_rows;
     std::vector<uint8_t> bcls(bn, 0);
     std::vector<uint64_t> bkey(bn, 0);
-    for (size_t i = 0; i < bn; ++i) {
-      Cell c = build.row(i)[static_cast<size_t>(build_pos)];
-      NormalizeJoinKey(c, &bcls[i], &bkey[i]);  // cls stays 0 on NULL/NaN
+    if (parallel()) {
+      // Key normalization is a pure per-row function into disjoint array
+      // slots; the chain linking below stays serial (it is a sequential
+      // dependence and fixes the deterministic ascending chain order).
+      ParallelFor(num_threads_, static_cast<int>(NumMorsels(bn)),
+                  [&](int m) {
+                    size_t lo = static_cast<size_t>(m) * kMorselRows;
+                    size_t hi = std::min(bn, lo + kMorselRows);
+                    for (size_t i = lo; i < hi; ++i) {
+                      Cell c = build.row(i)[static_cast<size_t>(build_pos)];
+                      NormalizeJoinKey(c, &bcls[i], &bkey[i]);
+                    }
+                  });
+    } else {
+      for (size_t i = 0; i < bn; ++i) {
+        Cell c = build.row(i)[static_cast<size_t>(build_pos)];
+        NormalizeJoinKey(c, &bcls[i], &bkey[i]);  // cls stays 0 on NULL/NaN
+      }
     }
     size_t nbuckets = 16;
     while (nbuckets < bn) nbuckets <<= 1;
@@ -953,27 +1241,56 @@ class ExecState {
     }
     XS_RETURN_IF_ERROR(ChargeHashRows(static_cast<double>(build.num_rows)));
 
-    Chunk out;
-    out.width = probe.width + build.width;
-    for (size_t r = 0; r < probe.num_rows; ++r) {
-      if (r % kScanBatchRows == 0) {
-        XS_RETURN_IF_ERROR(CheckBatchInterrupts());
-      }
+    // Probes one row against the (now frozen) table, appending matches in
+    // ascending build order. Shared by the serial loop and the parallel
+    // workers, each of which probes a disjoint probe-row range into its
+    // own slot — concatenating slots in morsel order reproduces the
+    // serial (probe-major, build-ascending) match order exactly.
+    auto probe_row = [&](size_t r, std::vector<Cell>* cells,
+                         size_t* rows) {
       const Cell* prow = probe.row(r);
       uint8_t cls = 0;
       uint64_t bits = 0;
       if (!NormalizeJoinKey(prow[static_cast<size_t>(probe_pos)], &cls,
                             &bits)) {
-        continue;
+        return;
       }
       for (int64_t i = heads[MixJoinKey(cls, bits) & mask]; i >= 0;
            i = chain[static_cast<size_t>(i)]) {
         size_t bi = static_cast<size_t>(i);
         if (bcls[bi] != cls || bkey[bi] != bits) continue;
-        out.cells.insert(out.cells.end(), prow, prow + probe.width);
+        cells->insert(cells->end(), prow, prow + probe.width);
         const Cell* brow = build.row(bi);
-        out.cells.insert(out.cells.end(), brow, brow + build.width);
-        ++out.num_rows;
+        cells->insert(cells->end(), brow, brow + build.width);
+        ++*rows;
+      }
+    };
+
+    Chunk out;
+    out.width = probe.width + build.width;
+    size_t pn = probe.num_rows;
+    if (parallel()) {
+      std::vector<MorselSlot> slots(NumMorsels(pn));
+      ParallelFor(
+          num_threads_, static_cast<int>(slots.size()),
+          [&](int m) {
+            MorselSlot& s = slots[static_cast<size_t>(m)];
+            s.started = true;
+            size_t lo = static_cast<size_t>(m) * kMorselRows;
+            size_t hi = std::min(pn, lo + kMorselRows);
+            for (size_t r = lo; r < hi; ++r) {
+              probe_row(r, &s.cells, &s.num_rows);
+            }
+          },
+          StopPredicate());
+      XS_RETURN_IF_ERROR(ReplayScanChecks(pn, slots));
+      ConcatSlots(slots, &out);
+    } else {
+      for (size_t r = 0; r < pn; ++r) {
+        if (r % kScanBatchRows == 0) {
+          XS_RETURN_IF_ERROR(CheckScanBoundary(r));
+        }
+        probe_row(r, &out.cells, &out.num_rows);
       }
     }
     XS_RETURN_IF_ERROR(ChargeHashRows(static_cast<double>(probe.num_rows)));
@@ -1009,6 +1326,90 @@ class ExecState {
     return out;
   }
 
+  // Scalar aggregation (no GROUP BY): folds the child's rows into one
+  // output row of COUNT/SUM/MIN/MAX cells. The reduction is defined as
+  // per-morsel partials merged in morsel order at *every* thread count —
+  // the serial path accumulates into the same per-morsel partials the
+  // workers would fill — so floating-point SUMs are bit-identical
+  // regardless of ExecOptions::num_threads.
+  Result<Chunk> ExecAggregate(const PlanNode& node, ExplainNode* en) {
+    XS_ASSIGN_OR_RETURN(Chunk input, Exec(*node.children[0], Child(en, 0)));
+    const PlanNode& child = *node.children[0];
+    struct Spec {
+      AggFunc func = AggFunc::kNone;  // kNone = NULL-literal item
+      int pos = -1;                   // input slot; -1 for COUNT(*)
+    };
+    std::vector<Spec> specs;
+    specs.reserve(node.project_items.size());
+    for (const BoundItem& item : node.project_items) {
+      Spec spec;
+      if (!item.is_null_literal) {
+        spec.func = item.agg;
+        if (item.agg != AggFunc::kCountStar) {
+          spec.pos = child.FindSlot({item.ref.table_idx, item.ref.column});
+          if (spec.pos < 0) return Internal("aggregated column missing");
+        }
+      }
+      specs.push_back(spec);
+    }
+    XS_RETURN_IF_ERROR(
+        ChargeCpuRows(static_cast<double>(input.num_rows)));
+
+    size_t n = input.num_rows;
+    size_t nspec = specs.size();
+    size_t nm = NumMorsels(n);
+    std::vector<AggAcc> partials(nm * nspec);
+    auto fold_rows = [&](size_t m, size_t lo, size_t hi) {
+      AggAcc* acc = partials.data() + m * nspec;
+      for (size_t r = lo; r < hi; ++r) {
+        const Cell* row = input.row(r);
+        for (size_t j = 0; j < nspec; ++j) {
+          if (specs[j].func == AggFunc::kNone) continue;
+          Cell c = specs[j].pos < 0
+                       ? Cell{}
+                       : row[static_cast<size_t>(specs[j].pos)];
+          UpdateAgg(specs[j].func, &acc[j], c, dict_);
+        }
+      }
+    };
+    if (parallel()) {
+      std::vector<MorselSlot> slots(nm);
+      ParallelFor(
+          num_threads_, static_cast<int>(nm),
+          [&](int m) {
+            slots[static_cast<size_t>(m)].started = true;
+            size_t lo = static_cast<size_t>(m) * kMorselRows;
+            fold_rows(static_cast<size_t>(m), lo,
+                      std::min(n, lo + kMorselRows));
+          },
+          StopPredicate());
+      XS_RETURN_IF_ERROR(ReplayScanChecks(n, slots));
+    } else {
+      for (size_t base = 0; base < n; base += kScanBatchRows) {
+        XS_RETURN_IF_ERROR(CheckScanBoundary(base));
+        fold_rows(base / kMorselRows, base,
+                  std::min(n, base + kScanBatchRows));
+      }
+    }
+
+    Chunk out;
+    out.width = static_cast<int>(nspec);
+    out.num_rows = 1;
+    out.ReserveRows(1);
+    for (size_t j = 0; j < nspec; ++j) {
+      if (specs[j].func == AggFunc::kNone) {
+        out.cells.push_back(Cell{});
+        continue;
+      }
+      AggAcc acc;
+      for (size_t m = 0; m < nm; ++m) {
+        MergeAgg(specs[j].func, &acc, partials[m * nspec + j]);
+      }
+      out.cells.push_back(FinalizeAgg(specs[j].func, acc));
+    }
+    return out;
+  }
+
   Result<Chunk> ExecUnionAll(const PlanNode& node, ExplainNode* en) {
     Chunk out;
     out.width = -1;
@@ -1038,14 +1439,28 @@ class ExecState {
     size_t nord = ords.size();
     size_t n = input.num_rows;
     // Sort over encoded keys: (class, 64-bit) compares reproduce
-    // Value::TotalLess exactly without touching string data.
+    // Value::TotalLess exactly without touching string data. Key encoding
+    // and the output permute below are per-row pure functions into
+    // disjoint slots, so they parallelize without affecting the result;
+    // the stable_sort itself stays serial (its output is unique anyway).
     std::vector<SortKey> keys(n * nord);
-    for (size_t r = 0; r < n; ++r) {
-      const Cell* row = input.row(r);
-      for (size_t j = 0; j < nord; ++j) {
-        keys[r * nord + j] =
-            EncodeCellKey(row[static_cast<size_t>(ords[j])], dict_);
+    auto encode_rows = [&](size_t lo, size_t hi) {
+      for (size_t r = lo; r < hi; ++r) {
+        const Cell* row = input.row(r);
+        for (size_t j = 0; j < nord; ++j) {
+          keys[r * nord + j] =
+              EncodeCellKey(row[static_cast<size_t>(ords[j])], dict_);
+        }
       }
+    };
+    if (parallel()) {
+      ParallelFor(num_threads_, static_cast<int>(NumMorsels(n)),
+                  [&](int m) {
+                    size_t lo = static_cast<size_t>(m) * kMorselRows;
+                    encode_rows(lo, std::min(n, lo + kMorselRows));
+                  });
+    } else {
+      encode_rows(0, n);
     }
     std::vector<int64_t> perm(n);
     std::iota(perm.begin(), perm.end(), 0);
@@ -1064,6 +1479,22 @@ class ExecState {
     Chunk out;
     out.width = input.width;
     out.num_rows = n;
+    if (parallel()) {
+      size_t width = static_cast<size_t>(input.width);
+      out.cells.resize(n * width);
+      ParallelFor(num_threads_, static_cast<int>(NumMorsels(n)),
+                  [&](int m) {
+                    size_t lo = static_cast<size_t>(m) * kMorselRows;
+                    size_t hi = std::min(n, lo + kMorselRows);
+                    for (size_t r = lo; r < hi; ++r) {
+                      const Cell* row =
+                          input.row(static_cast<size_t>(perm[r]));
+                      std::copy(row, row + width,
+                                out.cells.data() + r * width);
+                    }
+                  });
+      return out;
+    }
     out.ReserveRows(n);
     for (size_t r = 0; r < n; ++r) {
       const Cell* row = input.row(static_cast<size_t>(perm[r]));
@@ -1081,6 +1512,7 @@ class ExecState {
   const EpochSnapshot* snapshot_;
   const std::atomic<bool>* cancel_;
   FaultInjector* faults_;
+  int num_threads_;
 };
 
 // The explain tree must have come from BuildExplainTree on this plan;

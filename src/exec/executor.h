@@ -28,6 +28,14 @@ struct ExplainNode;
 // batch into a selection vector before any output row is materialized.
 inline constexpr size_t kScanBatchRows = 1024;
 
+// Rows per parallel-execution morsel (a multiple of kScanBatchRows).
+// Parallel operators split their input into fixed [m*kMorselRows,
+// (m+1)*kMorselRows) ranges, each worker writes into a pre-assigned
+// per-morsel slot, and the coordinator concatenates the slots — and
+// replays every interrupt/fault check — in morsel enumeration order, so
+// output rows, metering, and trip points never depend on scheduling.
+inline constexpr size_t kMorselRows = 4 * kScanBatchRows;
+
 // Per-query view of the work one Run performed. The registry (see
 // ExecOptions::metrics) is the primary sink for run-wide exec.* totals;
 // this struct remains as the thin per-query window callers use to weight
@@ -76,9 +84,19 @@ struct ExecOptions {
   // still reflect all work charged before the stop.
   const std::atomic<bool>* cancel = nullptr;
   // Fault injector polled at the same batch boundaries (site
-  // "serve.mid_query") so chaos runs can kill a query mid-scan
-  // deterministically. Null = no mid-query injection.
+  // "serve.mid_query", plus "exec.morsel" once per kMorselRows) so chaos
+  // runs can kill a query mid-scan deterministically. Null = no
+  // mid-query injection.
   FaultInjector* faults = nullptr;
+  // Intra-query morsel workers. <= 1 (the default) is the exact legacy
+  // serial path — no threads spawned, loops unchanged. N > 1 dispatches
+  // heap/view scans, hash-join build and probe, sort encoding, and
+  // aggregate partials as kMorselRows morsels on N transient workers.
+  // Workers only compute into pre-assigned slots; all metering and every
+  // interrupt/fault check happens on the coordinator in enumeration
+  // order, so result rows, ExecMetrics, explain actuals, and
+  // governor/fault trip points are bit-identical at any value.
+  int num_threads = 1;
 };
 
 class Executor {

@@ -20,6 +20,8 @@ const char* PlanKindToString(PlanKind kind) {
       return "HashJoin";
     case PlanKind::kProject:
       return "Project";
+    case PlanKind::kAggregate:
+      return "Aggregate";
     case PlanKind::kUnionAll:
       return "UnionAll";
     case PlanKind::kSort:

@@ -26,6 +26,7 @@ enum class PlanKind {
   kIndexNlJoin,    // outer child; inner side probed via an index per row
   kHashJoin,       // children[0] = probe side, children[1] = build side
   kProject,        // final select-list evaluation for one block
+  kAggregate,      // scalar COUNT/SUM/MIN/MAX fold of one block to one row
   kUnionAll,
   kSort,
 };

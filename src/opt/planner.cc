@@ -469,20 +469,34 @@ class BlockPlanner {
 
   Result<std::unique_ptr<PlanNode>> FinishWithProject(
       std::unique_ptr<PlanNode> input) {
+    bool aggregated = false;
+    for (const BoundItem& item : block_.items) {
+      if (!item.is_null_literal && item.agg != AggFunc::kNone) {
+        aggregated = true;
+      }
+    }
     auto node = std::make_unique<PlanNode>();
-    node->kind = PlanKind::kProject;
+    node->kind = aggregated ? PlanKind::kAggregate : PlanKind::kProject;
     node->project_items = block_.items;
     for (const BoundItem& item : block_.items) {
-      if (!item.is_null_literal) {
+      if (!item.is_null_literal && item.agg != AggFunc::kCountStar) {
         ColumnSlot slot{item.ref.table_idx, item.ref.column};
         if (input->FindSlot(slot) < 0) {
           return Internal("projection column missing from plan output");
         }
       }
     }
-    node->est_rows = input->est_rows;
-    node->est_pages = input->est_pages;
-    node->est_cost = input->est_cost;
+    if (aggregated) {
+      // One output row; the fold itself costs one cpu-row unit per input
+      // row, mirroring ExecAggregate's ChargeCpuRows.
+      node->est_rows = 1;
+      node->est_pages = input->est_pages;
+      node->est_cost = input->est_cost + input->est_rows * kCpuRowCost;
+    } else {
+      node->est_rows = input->est_rows;
+      node->est_pages = input->est_pages;
+      node->est_cost = input->est_cost;
+    }
     node->children.push_back(std::move(input));
     return node;
   }

@@ -70,6 +70,9 @@ Result<WorkloadEvaluation> EvaluateOnData(const SearchResult& result,
   exec_options.governor = exec.governor;
   exec_options.metrics = exec.metrics;
   exec_options.capture_timing = options.capture_timing;
+  // Morsel workers per query (bit-identical results at any value, so
+  // evaluation totals are unaffected); <= 1 stays serial.
+  exec_options.num_threads = exec.exec_threads;
   // Explain trees are cheap (one small node per operator); build them
   // whenever either a caller wants them or a registry is listening for
   // calibration q-errors.

@@ -74,6 +74,12 @@ struct ServeConfig {
   // Default per-session work budget for OpenSession(0); <= 0 unlimited.
   double session_work_budget = 0;
   bool vectorized_scan = true;
+  // Intra-query morsel workers per request (ExecOptions::num_threads).
+  // Results, metering, and governor trip points are bit-identical at any
+  // value — the per-request governor is the shared budget pool its
+  // workers charge through — so this only changes request latency.
+  // <= 1 = the serial executor.
+  int exec_threads = 1;
 };
 
 struct ServeRequest {

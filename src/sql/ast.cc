@@ -6,14 +6,34 @@ namespace xmlshred {
 
 namespace {
 
+std::string AggFuncName(AggFunc func) {
+  switch (func) {
+    case AggFunc::kNone:
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+  }
+  return "COUNT";
+}
+
 std::string ItemToSql(const SelectItem& item) {
   std::string out;
   if (item.is_null_literal) {
     out = "NULL";
-  } else if (item.table_alias.empty()) {
-    out = item.column;
+  } else if (item.agg == AggFunc::kCountStar) {
+    out = "COUNT(*)";
   } else {
-    out = item.table_alias + "." + item.column;
+    out = item.table_alias.empty() ? item.column
+                                   : item.table_alias + "." + item.column;
+    if (item.agg != AggFunc::kNone) {
+      out = AggFuncName(item.agg) + "(" + out + ")";
+    }
   }
   if (!item.output_name.empty()) out += " AS " + item.output_name;
   return out;

@@ -25,10 +25,23 @@
 
 namespace xmlshred {
 
+// Scalar aggregate functions (no GROUP BY — aggregation counts or folds a
+// whole block into one row, the shape XPath count()/aggregation queries
+// translate to). kNone marks a plain column reference.
+enum class AggFunc {
+  kNone,
+  kCountStar,  // COUNT(*)
+  kCount,      // COUNT(col): non-NULL count
+  kSum,
+  kMin,
+  kMax,
+};
+
 struct SelectItem {
   bool is_null_literal = false;
+  AggFunc agg = AggFunc::kNone;  // aggregate applied to `column`, if any
   std::string table_alias;  // empty if unqualified
-  std::string column;       // unset for NULL literals
+  std::string column;       // unset for NULL literals and COUNT(*)
   std::string output_name;  // AS name; may be empty
 
   static SelectItem Column(std::string alias, std::string column_name) {
@@ -40,6 +53,14 @@ struct SelectItem {
   static SelectItem NullLiteral() {
     SelectItem item;
     item.is_null_literal = true;
+    return item;
+  }
+  static SelectItem Aggregate(AggFunc func, std::string alias,
+                              std::string column_name) {
+    SelectItem item;
+    item.agg = func;
+    item.table_alias = std::move(alias);
+    item.column = std::move(column_name);
     return item;
   }
 };

@@ -41,15 +41,31 @@ class BlockBinder {
       schemas_.push_back(&table->schema);
     }
     bound_ = &bound;
+    bool any_agg = false;
+    bool any_plain = false;
     for (const SelectItem& item : block_.items) {
       BoundItem bi;
       if (item.is_null_literal) {
-        bi.is_null_literal = true;
+        bi.is_null_literal = true;  // NULL padding coexists with aggregates
       } else {
-        XS_ASSIGN_OR_RETURN(bi.ref,
-                            Resolve(item.table_alias, item.column));
+        bi.agg = item.agg;
+        if (item.agg == AggFunc::kNone) {
+          any_plain = true;
+        } else {
+          any_agg = true;
+        }
+        if (item.agg != AggFunc::kCountStar) {
+          XS_ASSIGN_OR_RETURN(bi.ref,
+                              Resolve(item.table_alias, item.column));
+        }
       }
       bound.items.push_back(bi);
+    }
+    // No GROUP BY in this subset: a block either aggregates to one row or
+    // returns plain columns, never both.
+    if (any_agg && any_plain) {
+      return InvalidArgument(
+          "cannot mix aggregates and plain columns without GROUP BY");
     }
     for (const JoinPred& join : block_.joins) {
       BoundJoin bj;

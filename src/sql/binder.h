@@ -21,7 +21,8 @@ struct BoundColumnRef {
 
 struct BoundItem {
   bool is_null_literal = false;
-  BoundColumnRef ref;  // valid when !is_null_literal
+  AggFunc agg = AggFunc::kNone;  // kCountStar leaves `ref` unresolved
+  BoundColumnRef ref;  // valid when !is_null_literal and not COUNT(*)
 };
 
 struct BoundJoin {

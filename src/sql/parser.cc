@@ -266,6 +266,55 @@ class Parser {
     if (Peek().kind != TokenKind::kIdent) {
       return InvalidArgument("expected select item, got " + Peek().text);
     }
+    // Aggregate item: COUNT(*) or COUNT/SUM/MIN/MAX([alias.]column).
+    // `count`, `sum` etc. stay usable as column names — the '(' lookahead
+    // disambiguates.
+    if (PeekSymbol("(", 1)) {
+      AggFunc func;
+      if (PeekKeyword("count")) {
+        func = AggFunc::kCount;
+      } else if (PeekKeyword("sum")) {
+        func = AggFunc::kSum;
+      } else if (PeekKeyword("min")) {
+        func = AggFunc::kMin;
+      } else if (PeekKeyword("max")) {
+        func = AggFunc::kMax;
+      } else {
+        return InvalidArgument("unknown function " + Peek().text);
+      }
+      Advance();  // function name
+      Advance();  // '('
+      SelectItem item;
+      if (func == AggFunc::kCount && ConsumeSymbol("*")) {
+        item.agg = AggFunc::kCountStar;
+      } else {
+        if (Peek().kind != TokenKind::kIdent) {
+          return InvalidArgument("expected column inside aggregate");
+        }
+        item.agg = func;
+        item.column = Peek().text;
+        Advance();
+        if (ConsumeSymbol(".")) {
+          if (Peek().kind != TokenKind::kIdent) {
+            return InvalidArgument("expected column after '.'");
+          }
+          item.table_alias = item.column;
+          item.column = Peek().text;
+          Advance();
+        }
+      }
+      if (!ConsumeSymbol(")")) {
+        return InvalidArgument("expected ')' after aggregate argument");
+      }
+      if (ConsumeKeyword("as")) {
+        if (Peek().kind != TokenKind::kIdent) {
+          return InvalidArgument("expected alias after AS");
+        }
+        item.output_name = Peek().text;
+        Advance();
+      }
+      return item;
+    }
     std::string first = Peek().text;
     Advance();
     SelectItem item;

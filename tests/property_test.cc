@@ -359,5 +359,193 @@ TEST_P(AgreementTest, EstimateAndMeasurementAgreeOnWinner) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AgreementTest, ::testing::Range(0, 6));
 
+// ---------- parallel/serial execution equivalence ----------
+
+// A randomized query over the shredded DBLP schema, kept as parts so a
+// failing case can be shrunk by deleting parts one at a time.
+struct RandomQuerySpec {
+  bool aggregate = false;
+  bool join = false;
+  bool order_by = false;
+  std::vector<std::string> projections;  // plain items or aggregate calls
+  std::vector<std::string> preds;        // WHERE conjuncts (join pred kept)
+
+  std::string ToSql() const {
+    std::string sql = "SELECT ";
+    for (size_t i = 0; i < projections.size(); ++i) {
+      if (i > 0) sql += ", ";
+      sql += projections[i];
+    }
+    sql += " FROM inproc I";
+    if (join) sql += ", inproc_author A";
+    bool first = true;
+    if (join) {
+      sql += " WHERE A.PID = I.ID";
+      first = false;
+    }
+    for (const std::string& pred : preds) {
+      sql += (first ? " WHERE " : " AND ") + pred;
+      first = false;
+    }
+    if (order_by && !aggregate) sql += " ORDER BY 1";
+    return sql;
+  }
+};
+
+RandomQuerySpec RandomQuery(Rng* rng) {
+  RandomQuerySpec spec;
+  spec.aggregate = rng->Bernoulli(0.3);
+  spec.join = rng->Bernoulli(0.3);
+  if (spec.aggregate) {
+    static const char* kAggs[] = {"COUNT(*)", "COUNT(I.year)", "SUM(I.year)",
+                                  "MIN(I.title)", "MAX(I.year)"};
+    int n = static_cast<int>(rng->Uniform(1, 3));
+    for (int i = 0; i < n; ++i) {
+      spec.projections.push_back(kAggs[rng->Uniform(0, 4)]);
+    }
+  } else {
+    static const char* kCols[] = {"I.ID", "I.title", "I.booktitle", "I.year"};
+    int n = static_cast<int>(rng->Uniform(1, 3));
+    for (int i = 0; i < n; ++i) {
+      spec.projections.push_back(kCols[rng->Uniform(0, 3)]);
+    }
+    if (spec.join) spec.projections.push_back("A.author");
+    spec.order_by = rng->Bernoulli(0.4);
+  }
+  int filters = static_cast<int>(rng->Uniform(0, 2));
+  for (int i = 0; i < filters; ++i) {
+    switch (rng->Uniform(0, 2)) {
+      case 0:
+        spec.preds.push_back("I.year >= " +
+                             std::to_string(rng->Uniform(1980, 2004)));
+        break;
+      case 1:
+        spec.preds.push_back("I.booktitle = 'conf_" +
+                             std::to_string(rng->Uniform(0, 40)) + "'");
+        break;
+      default:
+        spec.preds.push_back("I.title IS NOT NULL");
+        break;
+    }
+  }
+  return spec;
+}
+
+// Runs `sql` serially and at four morsel workers, each under its own
+// governor. Returns "" on full agreement, else a description of the first
+// divergence (rows, metered work, or governor spend).
+std::string CheckParallelEquivalence(const Database& db,
+                                     const std::string& sql) {
+  CatalogDesc catalog = db.BuildCatalogDesc();
+  auto parsed = ParseSql(sql);
+  if (!parsed.ok()) return "parse: " + parsed.status().ToString();
+  auto bound = BindQuery(*parsed, catalog);
+  if (!bound.ok()) return "bind: " + bound.status().ToString();
+  auto planned = PlanQuery(*bound, catalog);
+  if (!planned.ok()) return "plan: " + planned.status().ToString();
+  Executor executor(db);
+
+  auto run = [&](int threads, std::vector<Row>* rows, ExecMetrics* m,
+                 double* spent) -> Status {
+    ResourceGovernor governor{ResourceLimits{}};
+    ExecOptions options;
+    options.governor = &governor;
+    options.num_threads = threads;
+    auto result = executor.Run(*planned->root, m, options);
+    if (!result.ok()) return result.status();
+    *rows = std::move(*result);
+    *spent = governor.work_spent();
+    return Status::OK();
+  };
+
+  std::vector<Row> serial_rows, parallel_rows;
+  ExecMetrics serial_m, parallel_m;
+  double serial_spent = 0, parallel_spent = 0;
+  Status s = run(1, &serial_rows, &serial_m, &serial_spent);
+  if (!s.ok()) return "serial run: " + s.ToString();
+  s = run(4, &parallel_rows, &parallel_m, &parallel_spent);
+  if (!s.ok()) return "parallel run: " + s.ToString();
+
+  if (serial_rows.size() != parallel_rows.size()) return "row count differs";
+  RowTotalEquals eq;
+  for (size_t i = 0; i < serial_rows.size(); ++i) {
+    if (!eq(serial_rows[i], parallel_rows[i])) {
+      return "row " + std::to_string(i) + " differs";
+    }
+  }
+  if (serial_m.work != parallel_m.work) return "metered work differs";
+  if (serial_spent != parallel_spent) return "governor work_spent differs";
+  return "";
+}
+
+class ParallelEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelEquivalenceTest, RandomWorkloadMatchesSerialExactly) {
+  // Property: for any query, a 4-worker morsel run produces the same rows
+  // in the same order, the same ExecMetrics.work, and the same governor
+  // work_spent as the serial run. On failure the spec is shrunk by
+  // dropping parts (predicates, then projections) while it still fails,
+  // and the minimal SQL is reported.
+  DblpConfig config;
+  config.num_inproceedings = 6000;
+  config.num_books = 600;
+  GeneratedData data = GenerateDblp(config);
+  auto mapping = Mapping::Build(*data.tree);
+  ASSERT_TRUE(mapping.ok());
+  Database db;
+  ASSERT_TRUE(ShredDocument(data.doc, *data.tree, *mapping, &db).ok());
+
+  Rng rng(static_cast<uint64_t>(GetParam()) * 193 + 11);
+  for (int i = 0; i < 12; ++i) {
+    RandomQuerySpec spec = RandomQuery(&rng);
+    std::string failure = CheckParallelEquivalence(db, spec.ToSql());
+    if (failure.empty()) continue;
+
+    // Shrink: repeatedly drop the first removable part that keeps the
+    // query failing.
+    bool shrunk = true;
+    while (shrunk) {
+      shrunk = false;
+      for (size_t p = 0; p < spec.preds.size(); ++p) {
+        RandomQuerySpec candidate = spec;
+        candidate.preds.erase(candidate.preds.begin() +
+                              static_cast<long>(p));
+        if (!CheckParallelEquivalence(db, candidate.ToSql()).empty()) {
+          spec = candidate;
+          shrunk = true;
+          break;
+        }
+      }
+      if (shrunk) continue;
+      if (spec.order_by) {
+        RandomQuerySpec candidate = spec;
+        candidate.order_by = false;
+        if (!CheckParallelEquivalence(db, candidate.ToSql()).empty()) {
+          spec = candidate;
+          shrunk = true;
+          continue;
+        }
+      }
+      for (size_t p = 0; spec.projections.size() > 1 &&
+                         p < spec.projections.size();
+           ++p) {
+        RandomQuerySpec candidate = spec;
+        candidate.projections.erase(candidate.projections.begin() +
+                                    static_cast<long>(p));
+        if (!CheckParallelEquivalence(db, candidate.ToSql()).empty()) {
+          spec = candidate;
+          shrunk = true;
+          break;
+        }
+      }
+    }
+    FAIL() << "parallel/serial divergence (" << failure
+           << "), minimal failing query: " << spec.ToSql();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelEquivalenceTest,
+                         ::testing::Range(0, 8));
+
 }  // namespace
 }  // namespace xmlshred

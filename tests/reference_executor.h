@@ -27,6 +27,72 @@ inline bool ReferenceEvalPred(const Value& v, const std::string& op,
   return false;
 }
 
+// Value-level accumulator mirroring the engine's scalar aggregates.
+// Caveat for differential tests: SUM over Real columns adds in row order
+// here but in morsel-partial order in the engine, so floating-point SUM
+// digests are only comparable on integer columns (where both sides are
+// exact); COUNT/MIN/MAX compare on any type.
+struct ReferenceAgg {
+  int64_t count = 0;
+  int64_t isum = 0;
+  double dsum = 0;
+  bool saw_real = false;
+  bool saw_numeric = false;
+  bool has_value = false;
+  Value best;
+
+  void Update(AggFunc func, const Value& v) {
+    switch (func) {
+      case AggFunc::kNone:
+        break;
+      case AggFunc::kCountStar:
+        ++count;
+        break;
+      case AggFunc::kCount:
+        if (!v.is_null()) ++count;
+        break;
+      case AggFunc::kSum:
+        if (v.is_int()) {
+          isum += v.AsInt();
+          dsum += static_cast<double>(v.AsInt());
+          saw_numeric = true;
+        } else if (v.is_double()) {
+          dsum += v.AsDouble();
+          saw_real = true;
+          saw_numeric = true;
+        }
+        break;
+      case AggFunc::kMin:
+      case AggFunc::kMax: {
+        if (v.is_null()) break;
+        bool better = !has_value || (func == AggFunc::kMin
+                                         ? v.TotalLess(best)
+                                         : best.TotalLess(v));
+        if (better) best = v;
+        has_value = true;
+        break;
+      }
+    }
+  }
+
+  Value Finalize(AggFunc func) const {
+    switch (func) {
+      case AggFunc::kNone:
+        break;
+      case AggFunc::kCountStar:
+      case AggFunc::kCount:
+        return Value::Int(count);
+      case AggFunc::kSum:
+        if (!saw_numeric) return Value::Null();
+        return saw_real ? Value::Real(dsum) : Value::Int(isum);
+      case AggFunc::kMin:
+      case AggFunc::kMax:
+        return has_value ? best : Value::Null();
+    }
+    return Value::Null();
+  }
+};
+
 // Evaluates `query` by brute force. ORDER BY is ignored (compare results
 // as multisets).
 inline std::vector<Row> ReferenceExecute(const BoundQuery& query,
@@ -39,6 +105,13 @@ inline std::vector<Row> ReferenceExecute(const BoundQuery& query,
       XS_CHECK(table != nullptr);
       tables.push_back(table->MaterializeRows());
     }
+    bool aggregated = false;
+    for (const BoundItem& item : block.items) {
+      if (!item.is_null_literal && item.agg != AggFunc::kNone) {
+        aggregated = true;
+      }
+    }
+    std::vector<ReferenceAgg> accs(block.items.size());
     // Recursive cross product.
     std::vector<const Row*> current(tables.size(), nullptr);
     std::function<void(size_t)> recurse = [&](size_t depth) {
@@ -57,6 +130,19 @@ inline std::vector<Row> ReferenceExecute(const BoundQuery& query,
               (*current[static_cast<size_t>(filter.ref.table_idx)])
                   [static_cast<size_t>(filter.ref.column)];
           if (!ReferenceEvalPred(v, filter.op, filter.literal)) return;
+        }
+        if (aggregated) {
+          for (size_t j = 0; j < block.items.size(); ++j) {
+            const BoundItem& item = block.items[j];
+            if (item.is_null_literal || item.agg == AggFunc::kNone) continue;
+            Value v = item.agg == AggFunc::kCountStar
+                          ? Value::Null()
+                          : (*current[static_cast<size_t>(
+                                item.ref.table_idx)])
+                                [static_cast<size_t>(item.ref.column)];
+            accs[j].Update(item.agg, v);
+          }
+          return;
         }
         Row row;
         row.reserve(block.items.size());
@@ -77,6 +163,19 @@ inline std::vector<Row> ReferenceExecute(const BoundQuery& query,
       }
     };
     recurse(0);
+    if (aggregated) {
+      Row row;
+      row.reserve(block.items.size());
+      for (size_t j = 0; j < block.items.size(); ++j) {
+        const BoundItem& item = block.items[j];
+        if (item.is_null_literal || item.agg == AggFunc::kNone) {
+          row.push_back(Value::Null());
+        } else {
+          row.push_back(accs[j].Finalize(item.agg));
+        }
+      }
+      out.push_back(std::move(row));
+    }
   }
   return out;
 }

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Strips machine-dependent timing keys from a bench JSON export.
+
+Stdlib-only. The parallel-execution sweep
+(bench_engine_micro --exec-threads-sweep) records two classes of values:
+deterministic observables (rows, work, pages) that must be byte-stable
+across machines, and timing keys (wall clock per thread count, derived
+speedups, adaptive iteration counts, the machine's hardware thread
+count) that cannot be. This filter removes the latter so CI can hold the
+former to tools/compare_bench.py --rel-tol 0 against the committed
+baseline.
+
+A key is stripped when its name equals or starts with one of:
+  wall_ms, wall_ns, speedup, iterations, hardware_threads
+
+Usage:
+  tools/strip_timing_keys.py IN.json OUT.json
+"""
+
+import json
+import sys
+
+TIMING_PREFIXES = ("wall_ms", "wall_ns", "speedup", "iterations",
+                   "hardware_threads")
+
+
+def strip(node):
+    if isinstance(node, dict):
+        return {
+            key: strip(value)
+            for key, value in node.items()
+            if not key.startswith(TIMING_PREFIXES)
+        }
+    if isinstance(node, list):
+        return [strip(item) for item in node]
+    return node
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        doc = json.load(f)
+    with open(argv[2], "w") as f:
+        json.dump(strip(doc), f, indent=2, sort_keys=True)
+        f.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
