@@ -125,18 +125,12 @@ void WriteJson(const std::string& path,
 
 int main(int argc, char** argv) {
   using namespace xmlshred::bench;
-  const std::string metrics_out = ExtractMetricsOutArg(&argc, argv);
-  std::string json_path;
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    if (arg.rfind("--json=", 0) == 0) {
-      json_path = arg.substr(7);
-    } else if (arg == "--json" && i + 1 < argc) {
-      json_path = argv[++i];
-    } else {
-      std::fprintf(stderr, "usage: %s [--json out.json]\n", argv[0]);
-      return 2;
-    }
+  const BenchFlags flags = ExtractBenchFlags(&argc, argv);
+  const std::string& metrics_out = flags.metrics_out;
+  const std::string& json_path = flags.json_path;
+  if (argc > 1) {
+    std::fprintf(stderr, "usage: %s [--json out.json]\n", argv[0]);
+    return 2;
   }
 
   PrintTitle("Cost-model calibration: estimated vs actual (q-error)",

@@ -12,7 +12,7 @@
 // is a behavioural regression, not noise).
 //
 // `--exec-threads-sweep` switches to the parallel-execution sweep: each
-// micro runs at 1/2/4/8 morsel workers (ExecOptions::num_threads),
+// micro runs at 1/2/4/8 morsel workers (ExecOptions::exec_threads),
 // asserts rows/work/pages identical at every count, and records
 // per-count wall clock for bench_results/BENCH_parallel_exec.json (CI
 // strips the timing keys before diffing).
@@ -94,7 +94,7 @@ struct EngineFixture {
     Executor executor(db);
     ExecMetrics metrics;
     ExecOptions options;
-    options.num_threads = threads;
+    options.exec_threads = threads;
     options.vectorized_scan = vectorized;
     auto rows = executor.Run(*planned->root, &metrics, options);
     XS_CHECK_OK(rows.status());
@@ -144,8 +144,23 @@ MicroResult QueryMicro(const std::string& name, const std::string& sql) {
   out.values = {{"rows", static_cast<double>(metrics.rows_out)},
                 {"work", metrics.work},
                 {"pages_sequential", metrics.pages_sequential},
-                {"pages_random", metrics.pages_random}};
+                {"pages_random", metrics.pages_random},
+                {"blocks_scanned", static_cast<double>(metrics.blocks_scanned)},
+                {"blocks_skipped", static_cast<double>(metrics.blocks_skipped)}};
   TimeMicro(&out, [&] { f.RunSql(sql); });
+  return out;
+}
+
+// Selective scan whose predicate zone maps can prune: IDs are appended in
+// order, so sealed blocks carry disjoint ID ranges and `ID < 1000`
+// refutes every block past the first. XS_CHECKs that pruning actually
+// happened — the acceptance guard for block skipping on a micro.
+MicroResult PrunedScanMicro() {
+  MicroResult out = QueryMicro(
+      "selective_scan_pruned", "SELECT title FROM inproc WHERE ID < 1000");
+  for (const auto& [key, value] : out.values) {
+    if (key == "blocks_skipped") XS_CHECK(value > 0);
+  }
   return out;
 }
 
@@ -257,7 +272,9 @@ MicroResult SweepMicro(const std::string& name, const std::string& sql,
   out.values = {{"rows", static_cast<double>(base.rows_out)},
                 {"work", base.work},
                 {"pages_sequential", base.pages_sequential},
-                {"pages_random", base.pages_random}};
+                {"pages_random", base.pages_random},
+                {"blocks_scanned", static_cast<double>(base.blocks_scanned)},
+                {"blocks_skipped", static_cast<double>(base.blocks_skipped)}};
   double wall_t1 = 0;
   for (int threads : kSweepThreads) {
     ExecMetrics m = f.RunSqlThreads(sql, threads, vectorized);
@@ -265,6 +282,8 @@ MicroResult SweepMicro(const std::string& name, const std::string& sql,
     XS_CHECK(m.work == base.work);
     XS_CHECK(m.pages_sequential == base.pages_sequential);
     XS_CHECK(m.pages_random == base.pages_random);
+    XS_CHECK(m.blocks_scanned == base.blocks_scanned);
+    XS_CHECK(m.blocks_skipped == base.blocks_skipped);
     MicroResult timed;
     TimeMicro(&timed, [&] { f.RunSqlThreads(sql, threads, vectorized); });
     std::string suffix = "_t" + std::to_string(threads);
@@ -333,16 +352,13 @@ void WriteJson(const std::string& path, const std::vector<MicroResult>& micros,
 }
 
 int Main(int argc, char** argv) {
-  const std::string metrics_out = ExtractMetricsOutArg(&argc, argv);
-  std::string json_path;
+  const BenchFlags flags = ExtractBenchFlags(&argc, argv);
+  const std::string& metrics_out = flags.metrics_out;
+  const std::string& json_path = flags.json_path;
   bool sweep = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg.rfind("--json=", 0) == 0) {
-      json_path = arg.substr(7);
-    } else if (arg == "--json" && i + 1 < argc) {
-      json_path = argv[++i];
-    } else if (arg == "--exec-threads-sweep") {
+    if (arg == "--exec-threads-sweep") {
       sweep = true;
     } else {
       std::fprintf(stderr, "usage: %s [--exec-threads-sweep] [--json out.json]\n",
@@ -382,6 +398,7 @@ int Main(int argc, char** argv) {
   std::vector<MicroResult> micros;
   micros.push_back(QueryMicro(
       "heap_scan_filter", "SELECT pages FROM inproc WHERE year = 1990"));
+  micros.push_back(PrunedScanMicro());
   micros.push_back(QueryMicro(
       "covering_index_seek",
       "SELECT title, year FROM inproc WHERE booktitle = 'conf_0'"));

@@ -208,9 +208,10 @@ void RunThreadSweep(const std::vector<int>& thread_counts,
 
 int main(int argc, char** argv) {
   using namespace xmlshred::bench;
-  const std::string metrics_out = ExtractMetricsOutArg(&argc, argv);
+  const BenchFlags flags = ExtractBenchFlags(&argc, argv);
+  const std::string& metrics_out = flags.metrics_out;
+  const std::string& json_path = flags.json_path;
   std::vector<int> thread_counts;
-  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     std::string value;
@@ -218,12 +219,6 @@ int main(int argc, char** argv) {
       value = arg.substr(10);
     } else if (arg == "--threads" && i + 1 < argc) {
       value = argv[++i];
-    } else if (arg.rfind("--json=", 0) == 0) {
-      json_path = arg.substr(7);
-      continue;
-    } else if (arg == "--json" && i + 1 < argc) {
-      json_path = argv[++i];
-      continue;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--threads 1,2,4,8] [--json out.json]\n",

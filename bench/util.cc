@@ -30,28 +30,47 @@ MetricsRegistry& GlobalMetrics() {
   return *registry;
 }
 
-std::string ExtractMetricsOutArg(int* argc, char** argv) {
-  std::string path;
+namespace {
+
+// Removes `NAME FILE` / `NAME=FILE` from argv (compacting in place) and
+// returns FILE, or "" when the flag is absent.
+std::string ExtractStringFlag(int* argc, char** argv, const std::string& name) {
+  std::string value;
+  const std::string prefix = name + "=";
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
     std::string arg = argv[i];
-    if (arg.rfind("--metrics-out=", 0) == 0) {
-      path = arg.substr(14);
+    if (arg.rfind(prefix, 0) == 0) {
+      value = arg.substr(prefix.size());
       continue;
     }
-    if (arg == "--metrics-out" && i + 1 < *argc) {
-      path = argv[++i];
+    if (arg == name && i + 1 < *argc) {
+      value = argv[++i];
       continue;
     }
     argv[out++] = argv[i];
   }
   *argc = out;
+  return value;
+}
+
+}  // namespace
+
+std::string ExtractMetricsOutArg(int* argc, char** argv) {
+  std::string path = ExtractStringFlag(argc, argv, "--metrics-out");
   if (path.empty()) {
     if (const char* env = std::getenv("XMLSHRED_BENCH_METRICS_OUT")) {
       path = env;
     }
   }
   return path;
+}
+
+BenchFlags ExtractBenchFlags(int* argc, char** argv) {
+  BenchFlags flags;
+  flags.json_path = ExtractStringFlag(argc, argv, "--json");
+  flags.metrics_out = ExtractMetricsOutArg(argc, argv);
+  return flags;
 }
 
 void WriteMetricsOut(const std::string& path) {

@@ -40,10 +40,26 @@ double BenchScale();
 // its search.*/cost_cache.* counters here; export with WriteMetricsOut.
 MetricsRegistry& GlobalMetrics();
 
+// Common bench CLI flags, parsed once here instead of re-implemented in
+// each bench main.
+struct BenchFlags {
+  // `--json FILE` / `--json=FILE`: machine-readable result dump; "" =
+  // human output only.
+  std::string json_path;
+  // `--metrics-out FILE` / `--metrics-out=FILE`, falling back to the
+  // XMLSHRED_BENCH_METRICS_OUT environment variable; "" = none.
+  std::string metrics_out;
+};
+
+// Pulls the common flags out of argv, compacting argv/argc in place so
+// the caller's own argument loop only sees bench-specific flags.
+BenchFlags ExtractBenchFlags(int* argc, char** argv);
+
 // Pulls `--metrics-out FILE` (or `--metrics-out=FILE`) out of argv so
 // the caller's own argument loop never sees it; compacts argv/argc in
 // place. Returns the path, or the XMLSHRED_BENCH_METRICS_OUT environment
-// variable, or "" when neither is set.
+// variable, or "" when neither is set. (Subset of ExtractBenchFlags for
+// benches with no JSON output.)
 std::string ExtractMetricsOutArg(int* argc, char** argv);
 
 // Writes GlobalMetrics() as snapshot JSON to `path`; no-op when empty.

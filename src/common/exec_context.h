@@ -28,6 +28,27 @@ class FaultInjector;
 class MetricsRegistry;
 class TraceSink;
 
+// Shared per-run execution knobs, inherited by ExecOptions (executor),
+// EvaluateOptions (search/evaluate), and ServeConfig (serving layer)
+// instead of each struct redeclaring the same fields. Each consumer
+// documents which knobs it honors; the defaults are the bare run.
+struct ExecKnobs {
+  // Intra-query morsel workers. <= 1 is the exact serial executor; N > 1
+  // splits scans, hash joins, sorts, and aggregates into kMorselRows
+  // morsels on N workers. Results, metering, explain actuals, and
+  // governor/fault trip points are bit-identical at any value
+  // (DESIGN.md §13), so this is purely a latency knob.
+  int exec_threads = 1;
+  // Read the steady clock around instrumented operators and record wall
+  // times. Off = no clock reads anywhere (the determinism gate).
+  bool capture_timing = false;
+  // Build and retain EXPLAIN ANALYZE trees for executed queries.
+  // Harness-level: consumers that take an explicit ExplainNode* (the
+  // executor) ignore it; harnesses that own the trees (EvaluateOnData)
+  // honor it.
+  bool collect_explain = false;
+};
+
 struct ExecContext {
   ResourceGovernor* governor = nullptr;
   FaultInjector* faults = nullptr;
@@ -37,7 +58,7 @@ struct ExecContext {
   // struct (whose own <= 0 means one per hardware thread); 1 is the exact
   // legacy serial path.
   int num_threads = 0;
-  // Workers for intra-query morsel execution (ExecOptions::num_threads):
+  // Workers for intra-query morsel execution (ExecOptions::exec_threads):
   // <= 1 is the exact legacy serial executor; N > 1 splits scans, hash
   // joins, and aggregates into kMorselRows morsels on N workers. Results,
   // metering, explain actuals, and governor trip points are bit-identical

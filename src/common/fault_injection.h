@@ -60,7 +60,7 @@ inline constexpr const char* kFaultSiteServeMidQuery = "serve.mid_query";
 // on the heap-scan (scalar and vectorized), view-scan, hash-join-probe,
 // and aggregate loops. The check runs on the coordinator thread in strict
 // enumeration order at every thread count, so an armed nth-hit fault
-// fires at the same morsel regardless of ExecOptions::num_threads.
+// fires at the same morsel regardless of ExecOptions::exec_threads.
 inline constexpr const char* kFaultSiteExecMorsel = "exec.morsel";
 
 class FaultInjector {

@@ -107,6 +107,8 @@ MetricsRegistry::MetricsRegistry() {
       kMetricServeEpochsPublished,
       kMetricServeSessionsOpened,
       kMetricServeFaultsInjected,
+      kMetricStorageBlocksScanned,
+      kMetricStorageBlocksSkipped,
   };
   static constexpr const char* kGauges[] = {
       kMetricSearchWorkSpent,       kMetricSearchElapsedSeconds,
@@ -115,6 +117,9 @@ MetricsRegistry::MetricsRegistry() {
       kMetricStorageDictBytesPeak,  kMetricStorageDictEntriesPeak,
       kMetricServeQueueDepthPeak,   kMetricServeInflightPeak,
       kMetricServeOutstandingWorkPeak,
+      kMetricStorageEncodedBytes,   kMetricStorageBlocksPlain,
+      kMetricStorageBlocksRle,      kMetricStorageBlocksBitpackInt,
+      kMetricStorageBlocksBitpackCode,
   };
   static constexpr const char* kHistograms[] = {
       kMetricSearchRoundCandidates,

@@ -122,6 +122,13 @@ inline constexpr const char* kMetricServeSessionsOpened =
     "serve.sessions_opened";
 inline constexpr const char* kMetricServeFaultsInjected =
     "serve.faults_injected";
+// Block storage (DESIGN.md §14): blocks a run's sequential scans touched
+// vs. pruned by zone maps (counted once per scan, at layout time, before
+// any data is read — identical in encoded and plain read modes).
+inline constexpr const char* kMetricStorageBlocksScanned =
+    "storage.blocks_scanned";
+inline constexpr const char* kMetricStorageBlocksSkipped =
+    "storage.blocks_skipped";
 // Gauges (accumulating doubles).
 inline constexpr const char* kMetricSearchWorkSpent = "search.work_spent";
 inline constexpr const char* kMetricSearchElapsedSeconds =
@@ -140,6 +147,20 @@ inline constexpr const char* kMetricStorageDictBytesPeak =
     "storage.dict_bytes_peak";
 inline constexpr const char* kMetricStorageDictEntriesPeak =
     "storage.dict_entries_peak";
+// Peak *stored* (block-encoded) table bytes — the footprint NumPages is
+// computed from; storage.table_bytes_peak above stays the logical size,
+// so peak_encoded / peak_logical is the run's compression ratio. The
+// per-encoding gauges count sealed blocks by chosen encoding at the same
+// peak (SetMax on the same database snapshot).
+inline constexpr const char* kMetricStorageEncodedBytes =
+    "storage.encoded_bytes";
+inline constexpr const char* kMetricStorageBlocksPlain =
+    "storage.blocks_plain";
+inline constexpr const char* kMetricStorageBlocksRle = "storage.blocks_rle";
+inline constexpr const char* kMetricStorageBlocksBitpackInt =
+    "storage.blocks_bitpack_int";
+inline constexpr const char* kMetricStorageBlocksBitpackCode =
+    "storage.blocks_bitpack_code";
 // Serving-layer peaks (SetMax — deterministic at any thread count).
 inline constexpr const char* kMetricServeQueueDepthPeak =
     "serve.queue_depth_peak";

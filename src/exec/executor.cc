@@ -202,18 +202,18 @@ bool EvalCompiledCell(const CompiledPred& p, Cell c,
   return false;
 }
 
-// Runs one compiled predicate over one batch of a column. In dense mode
-// the batch is rows [base, base+cnt) and surviving batch-relative offsets
-// are written to `sel`; in compact mode `sel` holds `cnt` surviving
-// offsets from an earlier pass and is compacted in place. Returns the
-// surviving count. One branch-free-ish loop per operator: the switch
-// happens once per batch, not once per row.
-size_t ApplyPredBatch(const ColumnVector& col, size_t base, size_t cnt,
+// Runs one compiled predicate over one batch of a column. `tags`/`data`
+// point at the batch's first cell (a BlockView offset to the batch base,
+// so encoded and plain reads flow through identically). In dense mode
+// the batch is `cnt` cells and surviving batch-relative offsets are
+// written to `sel`; in compact mode `sel` holds `cnt` surviving offsets
+// from an earlier pass and is compacted in place. Returns the surviving
+// count. One branch-free-ish loop per operator: the switch happens once
+// per batch, not once per row.
+size_t ApplyPredBatch(const uint8_t* tags, const uint64_t* data, size_t cnt,
                       int32_t* sel, bool dense, const CompiledPred& p,
                       const StringDictionary& dict) {
   using Op = CompiledPred::Op;
-  const uint8_t* tags = col.tags_data() + base;
-  const uint64_t* data = col.raw_data() + base;
   auto run = [&](auto keep) -> size_t {
     size_t out = 0;
     if (dense) {
@@ -305,6 +305,61 @@ size_t ApplyPredBatch(const ColumnVector& col, size_t base, size_t cnt,
     }
   }
   return 0;
+}
+
+// Zone-map probes implied by the compiled predicate chain, one per
+// predicate. The mapping is conservative: a probe only refutes a block
+// when no cell in it can satisfy the predicate (string *range* ops
+// compare mutable dictionary ranks, so they only refute blocks with no
+// string cells at all). The probe set is a pure function of the compiled
+// predicates, hence identical for the vectorized and scalar paths, both
+// read modes, and any thread count.
+std::vector<ColumnProbe> MakeZoneProbes(
+    const std::vector<CompiledPred>& preds) {
+  using Op = CompiledPred::Op;
+  using Kind = ZoneProbe::Kind;
+  std::vector<ColumnProbe> probes;
+  probes.reserve(preds.size());
+  for (const CompiledPred& p : preds) {
+    ColumnProbe cp;
+    cp.col = p.pos;
+    cp.probe.num = p.num;
+    cp.probe.code = p.code;
+    switch (p.op) {
+      case Op::kIsNotNull:
+        cp.probe.kind = Kind::kIsNotNull;
+        break;
+      case Op::kNever:
+        cp.probe.kind = Kind::kNever;
+        break;
+      case Op::kNumEq:
+        cp.probe.kind = Kind::kNumEq;
+        break;
+      case Op::kNumLt:
+        cp.probe.kind = Kind::kNumLt;
+        break;
+      case Op::kNumLe:
+        cp.probe.kind = Kind::kNumLe;
+        break;
+      case Op::kNumGt:
+        cp.probe.kind = Kind::kNumGt;
+        break;
+      case Op::kNumGe:
+        cp.probe.kind = Kind::kNumGe;
+        break;
+      case Op::kStrEq:
+        cp.probe.kind = Kind::kCodeEq;
+        break;
+      case Op::kStrLt:
+      case Op::kStrLe:
+      case Op::kStrGt:
+      case Op::kStrGe:
+        cp.probe.kind = Kind::kHasStr;
+        break;
+    }
+    probes.push_back(cp);
+  }
+  return probes;
 }
 
 // Position of table column `col` within an index entry (keys then
@@ -491,7 +546,8 @@ class ExecState {
         snapshot_(options.snapshot),
         cancel_(options.cancel),
         faults_(options.faults),
-        num_threads_(options.num_threads) {}
+        num_threads_(options.exec_threads),
+        read_mode_(options.storage_read_mode) {}
 
   // Executes one node. When `en` is non-null (EXPLAIN ANALYZE), the
   // subtree's actuals are recorded into it as inclusive deltas of the
@@ -505,10 +561,14 @@ class ExecState {
     XS_RETURN_IF_ERROR(scope.status());
     double work_before = 0;
     double pages_before = 0;
+    int64_t blocks_scanned_before = 0;
+    int64_t blocks_skipped_before = 0;
     std::chrono::steady_clock::time_point start{};
     if (en != nullptr) {
       work_before = metrics_->work;
       pages_before = metrics_->pages_sequential + metrics_->pages_random;
+      blocks_scanned_before = metrics_->blocks_scanned;
+      blocks_skipped_before = metrics_->blocks_skipped;
       if (capture_timing_) start = std::chrono::steady_clock::now();
     }
     XS_ASSIGN_OR_RETURN(Chunk chunk, ExecNode(node, en));
@@ -517,6 +577,10 @@ class ExecState {
       en->actual_work = metrics_->work - work_before;
       en->actual_pages =
           metrics_->pages_sequential + metrics_->pages_random - pages_before;
+      en->actual_blocks_scanned =
+          metrics_->blocks_scanned - blocks_scanned_before;
+      en->actual_blocks_skipped =
+          metrics_->blocks_skipped - blocks_skipped_before;
       if (capture_timing_) {
         en->wall_ns = std::chrono::duration<double, std::nano>(
                           std::chrono::steady_clock::now() - start)
@@ -659,6 +723,73 @@ class ExecState {
     return Status::OK();
   }
 
+  // Span-structured variant for block-skipping sequential scans: slot m
+  // holds span m's output. Every span's lo is block-aligned, so the
+  // exec.morsel fault site fires exactly once per *scanned* block, in
+  // span order — skipped blocks are never visited, on the serial path or
+  // here. Within a span the batch checks replay at the same kScanBatchRows
+  // cadence as the serial loop.
+  Status ReplaySpanChecks(const std::vector<ScanSpan>& spans,
+                          const std::vector<MorselSlot>& slots) {
+    for (size_t m = 0; m < spans.size(); ++m) {
+      const MorselSlot& s = slots[m];
+      for (int64_t base = spans[m].lo; base < spans[m].hi;
+           base += static_cast<int64_t>(kScanBatchRows)) {
+        XS_RETURN_IF_ERROR(CheckScanBoundary(static_cast<size_t>(base)));
+        if (!s.started) {
+          return ResourceExhausted("query cancelled");
+        }
+        if (!s.status.ok() &&
+            s.error_row >= static_cast<size_t>(base) &&
+            s.error_row < static_cast<size_t>(base) + kScanBatchRows) {
+          return s.status;
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  // Scan layout plus its charges for a sequential scan of `table`:
+  // which blocks to touch (zone-map pruning via `probes`), the page and
+  // row charges, and the block counters. Skipping is disabled under a
+  // pinned snapshot — the snapshot's publish-time byte counts already fix
+  // the page charge, and a bound mid-block would make partial blocks
+  // unprunable anyway — so pinned readers scan [0, visible) exactly as
+  // before. All charges happen here, before any data is read, preserving
+  // the charge-then-scan discipline the morsel protocol relies on.
+  Result<ScanLayout> ChargeAndLayoutScan(const std::string& name,
+                                         const Table& table,
+                                         const std::vector<ColumnProbe>&
+                                             probes) {
+    int64_t visible = VisibleRows(name, table);
+    bool pinned = snapshot_ != nullptr;
+    ScanLayout layout =
+        ComputeScanLayout(table, visible, probes, /*allow_skip=*/!pinned);
+    metrics_->blocks_scanned += layout.blocks_scanned;
+    metrics_->blocks_skipped += layout.blocks_skipped;
+    double pages = pinned
+                       ? VisiblePages(name, table)
+                       : static_cast<double>(PagesForBytes(
+                             layout.scanned_bytes));
+    XS_RETURN_IF_ERROR(ChargeSeqPages(pages));
+    XS_RETURN_IF_ERROR(
+        ChargeCpuRows(static_cast<double>(layout.scanned_rows)));
+    return layout;
+  }
+
+  // One ColumnReader per schema column of `table`, in this state's read
+  // mode. Used by the random-access fetch paths (index fetch, INL join
+  // inner side); readers are lazy, so unused columns cost nothing.
+  std::vector<ColumnReader> MakeTableReaders(const Table& table) const {
+    std::vector<ColumnReader> readers;
+    int ncols = table.schema().num_columns();
+    readers.reserve(static_cast<size_t>(ncols));
+    for (int c = 0; c < ncols; ++c) {
+      readers.emplace_back(table.column(c), read_mode_);
+    }
+    return readers;
+  }
+
   // Rows of table/view `name` visible to this run: clamped to the pinned
   // snapshot when one is set (absent from snapshot -> scans as empty),
   // otherwise the current contents.
@@ -726,143 +857,197 @@ class ExecState {
   Result<Chunk> ExecHeapScan(const PlanNode& node) {
     const Table* table = db_.FindTable(node.object_name);
     if (table == nullptr) return NotFound("table " + node.object_name);
-    int64_t visible = VisibleRows(node.object_name, *table);
-    XS_RETURN_IF_ERROR(
-        ChargeSeqPages(VisiblePages(node.object_name, *table)));
-    XS_RETURN_IF_ERROR(ChargeCpuRows(static_cast<double>(visible)));
+    // Predicates are compiled on both scan paths: the zone probes that
+    // decide which blocks to skip derive from them, and the skip set
+    // must be identical regardless of how surviving rows are evaluated.
+    XS_ASSIGN_OR_RETURN(std::vector<CompiledPred> preds,
+                        CompileTableFilters(node.residual_filters));
+    XS_ASSIGN_OR_RETURN(
+        ScanLayout layout,
+        ChargeAndLayoutScan(node.object_name, *table, MakeZoneProbes(preds)));
     Chunk out;
     out.width = static_cast<int>(node.output.size());
-    size_t n = static_cast<size_t>(visible);
 
     if (!vectorized_) {
+      // Scalar reference path: materialize each row through
+      // ColumnReaders, evaluate the bound filters on Values. Same
+      // charges, same survivors, same cells out as the vectorized path.
+      int ncols = table->schema().num_columns();
+      auto scan_rows = [&](std::vector<ColumnReader>& readers, int64_t lo,
+                           int64_t hi, MorselSlot* s) {
+        Row row(static_cast<size_t>(ncols));
+        for (int64_t rid = lo; rid < hi; ++rid) {
+          for (int c = 0; c < ncols; ++c) {
+            row[static_cast<size_t>(c)] =
+                readers[static_cast<size_t>(c)].GetValue(
+                    static_cast<size_t>(rid), dict_);
+          }
+          bool pass = true;
+          for (const BoundFilter& f : node.residual_filters) {
+            Result<bool> keep = EvalPred(
+                row[static_cast<size_t>(f.ref.column)], f.op, f.literal);
+            if (!keep.ok()) {
+              s->status = keep.status();
+              s->error_row = static_cast<size_t>(rid);
+              return;
+            }
+            if (!*keep) {
+              pass = false;
+              break;
+            }
+          }
+          if (!pass) continue;
+          for (const ColumnSlot& slot : node.output) {
+            s->cells.push_back(readers[static_cast<size_t>(slot.column)].At(
+                static_cast<size_t>(rid)));
+          }
+          ++s->num_rows;
+        }
+      };
+      auto make_readers = [&]() {
+        std::vector<ColumnReader> readers;
+        readers.reserve(static_cast<size_t>(ncols));
+        for (int c = 0; c < ncols; ++c) {
+          readers.emplace_back(table->column(c), read_mode_);
+        }
+        return readers;
+      };
       if (parallel()) {
-        // Morsel-parallel scalar scan: each worker materializes and
-        // filters its own row range into a slot; errors carry the global
-        // row id so the replay surfaces them at the serial position.
-        std::vector<MorselSlot> slots(NumMorsels(n));
+        // Morsel-parallel scalar scan: one span per slot, each worker
+        // owns its readers (and their decode scratch); errors carry the
+        // global row id so the replay surfaces them serially.
+        std::vector<MorselSlot> slots(layout.spans.size());
         ParallelFor(
             num_threads_, static_cast<int>(slots.size()),
             [&](int m) {
               MorselSlot& s = slots[static_cast<size_t>(m)];
               s.started = true;
-              size_t lo = static_cast<size_t>(m) * kMorselRows;
-              size_t hi = std::min(n, lo + kMorselRows);
-              for (size_t rid = lo; rid < hi; ++rid) {
-                Row row = table->GetRow(static_cast<int64_t>(rid));
-                bool pass = true;
-                for (const BoundFilter& f : node.residual_filters) {
-                  Result<bool> keep = EvalPred(
-                      row[static_cast<size_t>(f.ref.column)], f.op,
-                      f.literal);
-                  if (!keep.ok()) {
-                    s.status = keep.status();
-                    s.error_row = rid;
-                    return;
-                  }
-                  if (!*keep) {
-                    pass = false;
-                    break;
-                  }
-                }
-                if (!pass) continue;
-                for (const ColumnSlot& slot : node.output) {
-                  s.cells.push_back(table->column(slot.column).cell(rid));
-                }
-                ++s.num_rows;
-              }
+              std::vector<ColumnReader> readers = make_readers();
+              ScanSpan span = layout.spans[static_cast<size_t>(m)];
+              scan_rows(readers, span.lo, span.hi, &s);
             },
             StopPredicate());
-        XS_RETURN_IF_ERROR(ReplayScanChecks(n, slots));
+        XS_RETURN_IF_ERROR(ReplaySpanChecks(layout.spans, slots));
         ConcatSlots(slots, &out);
         return out;
       }
-      // Scalar reference path: materialize each row, evaluate the bound
-      // filters on Values. Same charges, same survivors, same cells out.
-      for (size_t rid = 0; rid < n; ++rid) {
-        if (rid % kScanBatchRows == 0) {
-          XS_RETURN_IF_ERROR(CheckScanBoundary(rid));
+      std::vector<ColumnReader> readers = make_readers();
+      for (const ScanSpan& span : layout.spans) {
+        for (int64_t base = span.lo; base < span.hi;
+             base += static_cast<int64_t>(kScanBatchRows)) {
+          XS_RETURN_IF_ERROR(CheckScanBoundary(static_cast<size_t>(base)));
+          int64_t lim =
+              std::min(span.hi, base + static_cast<int64_t>(kScanBatchRows));
+          MorselSlot s;
+          scan_rows(readers, base, lim, &s);
+          if (!s.status.ok()) return s.status;
+          out.cells.insert(out.cells.end(), s.cells.begin(), s.cells.end());
+          out.num_rows += s.num_rows;
         }
-        Row row = table->GetRow(static_cast<int64_t>(rid));
-        bool pass = true;
-        for (const BoundFilter& f : node.residual_filters) {
-          XS_ASSIGN_OR_RETURN(
-              bool keep, EvalPred(row[static_cast<size_t>(f.ref.column)],
-                                  f.op, f.literal));
-          if (!keep) {
-            pass = false;
-            break;
-          }
-        }
-        if (!pass) continue;
-        for (const ColumnSlot& slot : node.output) {
-          out.cells.push_back(table->column(slot.column).cell(rid));
-        }
-        ++out.num_rows;
       }
       return out;
     }
 
-    XS_ASSIGN_OR_RETURN(std::vector<CompiledPred> preds,
-                        CompileTableFilters(node.residual_filters));
-    std::vector<const ColumnVector*> out_cols;
-    out_cols.reserve(node.output.size());
+    // Cursor per unique column the scan touches: predicate columns
+    // first, then output columns. Workers construct their own cursor
+    // sets (the decode scratch is per-cursor state).
+    std::vector<int> cursor_cols;
+    auto cursor_of = [&cursor_cols](int col) {
+      for (size_t i = 0; i < cursor_cols.size(); ++i) {
+        if (cursor_cols[i] == col) return static_cast<int>(i);
+      }
+      cursor_cols.push_back(col);
+      return static_cast<int>(cursor_cols.size() - 1);
+    };
+    std::vector<int> pred_cur;
+    pred_cur.reserve(preds.size());
+    for (const CompiledPred& p : preds) pred_cur.push_back(cursor_of(p.pos));
+    std::vector<int> out_cur;
+    out_cur.reserve(node.output.size());
     for (const ColumnSlot& slot : node.output) {
-      out_cols.push_back(&table->column(slot.column));
+      out_cur.push_back(cursor_of(slot.column));
     }
-    // One batch of the vectorized scan: filter rows [base, base+lim)
-    // through the compiled predicate chain into `sel`, then gather the
-    // survivors' output cells. Pure function of the batch — shared by the
-    // serial loop and the parallel workers, so survivors and cell order
-    // are identical by construction.
-    auto scan_batch = [&](size_t base, size_t lim, int32_t* sel,
+    auto make_cursors = [&]() {
+      std::vector<BlockCursor> cursors;
+      cursors.reserve(cursor_cols.size());
+      for (int c : cursor_cols) {
+        cursors.emplace_back(table->column(c), read_mode_);
+      }
+      return cursors;
+    };
+
+    // One batch of the vectorized scan: filter rows [base, base+lim) —
+    // always within one block — through the compiled predicate chain
+    // into `sel`, then gather the survivors' output cells. Pure function
+    // of the batch, shared by the serial loop and the parallel workers,
+    // so survivors and cell order are identical by construction.
+    auto scan_batch = [&](std::vector<BlockCursor>& cursors, size_t base,
+                          size_t lim, int32_t* sel,
                           std::vector<Cell>* cells) -> size_t {
+      size_t block = base / kStorageBlockRows;
       size_t cnt;
       if (preds.empty()) {
         cnt = lim;
         for (size_t i = 0; i < lim; ++i) sel[i] = static_cast<int32_t>(i);
       } else {
-        cnt = ApplyPredBatch(table->column(preds[0].pos), base, lim,
-                             sel, /*dense=*/true, preds[0], dict_);
+        BlockView v = cursors[static_cast<size_t>(pred_cur[0])].Read(block);
+        cnt = ApplyPredBatch(v.tags + (base - v.base),
+                             v.data + (base - v.base), lim, sel,
+                             /*dense=*/true, preds[0], dict_);
         for (size_t k = 1; k < preds.size() && cnt > 0; ++k) {
-          cnt = ApplyPredBatch(table->column(preds[k].pos), base, cnt,
-                               sel, /*dense=*/false, preds[k], dict_);
+          BlockView vk =
+              cursors[static_cast<size_t>(pred_cur[k])].Read(block);
+          cnt = ApplyPredBatch(vk.tags + (base - vk.base),
+                               vk.data + (base - vk.base), cnt, sel,
+                               /*dense=*/false, preds[k], dict_);
         }
       }
       for (size_t i = 0; i < cnt; ++i) {
         size_t rid = base + static_cast<size_t>(sel[i]);
-        for (const ColumnVector* col : out_cols) {
-          cells->push_back(col->cell(rid));
+        for (int cu : out_cur) {
+          BlockView v = cursors[static_cast<size_t>(cu)].Read(block);
+          cells->push_back(Cell{v.tags[rid - v.base], v.data[rid - v.base]});
         }
       }
       return cnt;
     };
 
     if (parallel()) {
-      std::vector<MorselSlot> slots(NumMorsels(n));
+      std::vector<MorselSlot> slots(layout.spans.size());
       ParallelFor(
           num_threads_, static_cast<int>(slots.size()),
           [&](int m) {
             MorselSlot& s = slots[static_cast<size_t>(m)];
             s.started = true;
-            size_t lo = static_cast<size_t>(m) * kMorselRows;
-            size_t hi = std::min(n, lo + kMorselRows);
+            ScanSpan span = layout.spans[static_cast<size_t>(m)];
+            std::vector<BlockCursor> cursors = make_cursors();
             std::vector<int32_t> sel(kScanBatchRows);
-            for (size_t base = lo; base < hi; base += kScanBatchRows) {
-              size_t lim = std::min(kScanBatchRows, hi - base);
-              s.num_rows += scan_batch(base, lim, sel.data(), &s.cells);
+            for (int64_t base = span.lo; base < span.hi;
+                 base += static_cast<int64_t>(kScanBatchRows)) {
+              size_t lim = static_cast<size_t>(
+                  std::min(span.hi - base,
+                           static_cast<int64_t>(kScanBatchRows)));
+              s.num_rows += scan_batch(cursors, static_cast<size_t>(base),
+                                       lim, sel.data(), &s.cells);
             }
           },
           StopPredicate());
-      XS_RETURN_IF_ERROR(ReplayScanChecks(n, slots));
+      XS_RETURN_IF_ERROR(ReplaySpanChecks(layout.spans, slots));
       ConcatSlots(slots, &out);
       return out;
     }
 
+    std::vector<BlockCursor> cursors = make_cursors();
     std::vector<int32_t> sel(kScanBatchRows);
-    for (size_t base = 0; base < n; base += kScanBatchRows) {
-      XS_RETURN_IF_ERROR(CheckScanBoundary(base));
-      size_t lim = std::min(kScanBatchRows, n - base);
-      out.num_rows += scan_batch(base, lim, sel.data(), &out.cells);
+    for (const ScanSpan& span : layout.spans) {
+      for (int64_t base = span.lo; base < span.hi;
+           base += static_cast<int64_t>(kScanBatchRows)) {
+        XS_RETURN_IF_ERROR(CheckScanBoundary(static_cast<size_t>(base)));
+        size_t lim = static_cast<size_t>(std::min(
+            span.hi - base, static_cast<int64_t>(kScanBatchRows)));
+        out.num_rows += scan_batch(cursors, static_cast<size_t>(base), lim,
+                                   sel.data(), &out.cells);
+      }
     }
     return out;
   }
@@ -1010,11 +1195,9 @@ class ExecState {
           std::min(fetches, static_cast<double>(table->NumPages()))));
       XS_ASSIGN_OR_RETURN(std::vector<CompiledPred> preds,
                           CompileTableFilters(node.residual_filters));
-      std::vector<const ColumnVector*> out_cols;
-      out_cols.reserve(node.output.size());
-      for (const ColumnSlot& slot : node.output) {
-        out_cols.push_back(&table->column(slot.column));
-      }
+      // Row fetches go through one reader per base-table column; block
+      // decodes amortize across matches that land in the same block.
+      std::vector<ColumnReader> readers = MakeTableReaders(*table);
       size_t seen = 0;
       for (int64_t e : matches) {
         if (seen++ % kScanBatchRows == 0) {
@@ -1024,14 +1207,16 @@ class ExecState {
             static_cast<size_t>(e)));
         bool pass = true;
         for (const CompiledPred& p : preds) {
-          if (!EvalCompiledCell(p, table->column(p.pos).cell(rid), dict_)) {
+          if (!EvalCompiledCell(p, readers[static_cast<size_t>(p.pos)].At(rid),
+                                dict_)) {
             pass = false;
             break;
           }
         }
         if (!pass) continue;
-        for (const ColumnVector* col : out_cols) {
-          out.cells.push_back(col->cell(rid));
+        for (const ColumnSlot& slot : node.output) {
+          out.cells.push_back(
+              readers[static_cast<size_t>(slot.column)].At(rid));
         }
         ++out.num_rows;
       }
@@ -1042,10 +1227,10 @@ class ExecState {
   Result<Chunk> ExecViewScan(const PlanNode& node) {
     const Table* view = db_.FindTable(node.object_name);
     if (view == nullptr) return NotFound("view " + node.object_name);
-    int64_t visible = VisibleRows(node.object_name, *view);
-    XS_RETURN_IF_ERROR(
-        ChargeSeqPages(VisiblePages(node.object_name, *view)));
-    XS_RETURN_IF_ERROR(ChargeCpuRows(static_cast<double>(visible)));
+    // No residual predicates on a view scan, so no probes: the layout
+    // never skips, but page charges still follow the encoded block sizes.
+    XS_ASSIGN_OR_RETURN(ScanLayout layout,
+                        ChargeAndLayoutScan(node.object_name, *view, {}));
     // The planner's output slots correspond positionally to the view's
     // projected columns.
     if (static_cast<int>(node.output.size()) !=
@@ -1054,39 +1239,50 @@ class ExecState {
     }
     Chunk out;
     out.width = view->schema().num_columns();
-    size_t n = static_cast<size_t>(visible);
+    size_t width = static_cast<size_t>(out.width);
+    size_t n = static_cast<size_t>(layout.scanned_rows);
     out.num_rows = n;
+    auto make_readers = [&]() {
+      std::vector<ColumnReader> readers;
+      readers.reserve(width);
+      for (int c = 0; c < out.width; ++c) {
+        readers.emplace_back(view->column(c), read_mode_);
+      }
+      return readers;
+    };
     if (parallel()) {
       // Every visible row is copied verbatim, so workers write disjoint
       // [rid*width, ...) ranges of the preallocated output directly; the
       // slots only track started/error state for the check replay.
-      size_t width = static_cast<size_t>(out.width);
       out.cells.resize(n * width);
-      std::vector<MorselSlot> slots(NumMorsels(n));
+      std::vector<MorselSlot> slots(layout.spans.size());
       ParallelFor(
           num_threads_, static_cast<int>(slots.size()),
           [&](int m) {
             slots[static_cast<size_t>(m)].started = true;
-            size_t lo = static_cast<size_t>(m) * kMorselRows;
-            size_t hi = std::min(n, lo + kMorselRows);
-            for (size_t rid = lo; rid < hi; ++rid) {
+            ScanSpan span = layout.spans[static_cast<size_t>(m)];
+            std::vector<ColumnReader> readers = make_readers();
+            for (int64_t rid = span.lo; rid < span.hi; ++rid) {
               for (size_t c = 0; c < width; ++c) {
-                out.cells[rid * width + c] =
-                    view->column(static_cast<int>(c)).cell(rid);
+                out.cells[static_cast<size_t>(rid) * width + c] =
+                    readers[c].At(static_cast<size_t>(rid));
               }
             }
           },
           StopPredicate());
-      XS_RETURN_IF_ERROR(ReplayScanChecks(n, slots));
+      XS_RETURN_IF_ERROR(ReplaySpanChecks(layout.spans, slots));
       return out;
     }
     out.ReserveRows(n);
-    for (size_t rid = 0; rid < n; ++rid) {
-      if (rid % kScanBatchRows == 0) {
-        XS_RETURN_IF_ERROR(CheckScanBoundary(rid));
-      }
-      for (int c = 0; c < out.width; ++c) {
-        out.cells.push_back(view->column(c).cell(rid));
+    std::vector<ColumnReader> readers = make_readers();
+    for (const ScanSpan& span : layout.spans) {
+      for (int64_t rid = span.lo; rid < span.hi; ++rid) {
+        if (rid % static_cast<int64_t>(kScanBatchRows) == 0) {
+          XS_RETURN_IF_ERROR(CheckScanBoundary(static_cast<size_t>(rid)));
+        }
+        for (size_t c = 0; c < width; ++c) {
+          out.cells.push_back(readers[c].At(static_cast<size_t>(rid)));
+        }
       }
     }
     return out;
@@ -1123,6 +1319,10 @@ class ExecState {
       XS_ASSIGN_OR_RETURN(
           preds, CompileTableFilters(node.inner_residual_filters));
     }
+    // Inner-row fetches read through per-column readers; equal-key entry
+    // runs cluster fetches so block decodes amortize across probes.
+    std::vector<ColumnReader> inner_readers;
+    if (node.inner_fetch) inner_readers = MakeTableReaders(*table);
 
     Chunk out;
     out.width = static_cast<int>(node.output.size());
@@ -1169,8 +1369,9 @@ class ExecState {
           size_t rid = static_cast<size_t>(index->entry_row_id(e));
           bool pass = true;
           for (const CompiledPred& p : preds) {
-            if (!EvalCompiledCell(p, table->column(p.pos).cell(rid),
-                                  dict_)) {
+            if (!EvalCompiledCell(
+                    p, inner_readers[static_cast<size_t>(p.pos)].At(rid),
+                    dict_)) {
               pass = false;
               break;
             }
@@ -1178,7 +1379,8 @@ class ExecState {
           if (!pass) continue;
           out.cells.insert(out.cells.end(), orow, orow + outer.width);
           for (const ColumnSlot& slot : inner_slots) {
-            out.cells.push_back(table->column(slot.column).cell(rid));
+            out.cells.push_back(
+                inner_readers[static_cast<size_t>(slot.column)].At(rid));
           }
           ++out.num_rows;
         }
@@ -1331,7 +1533,7 @@ class ExecState {
   // per-morsel partials merged in morsel order at *every* thread count —
   // the serial path accumulates into the same per-morsel partials the
   // workers would fill — so floating-point SUMs are bit-identical
-  // regardless of ExecOptions::num_threads.
+  // regardless of ExecOptions::exec_threads.
   Result<Chunk> ExecAggregate(const PlanNode& node, ExplainNode* en) {
     XS_ASSIGN_OR_RETURN(Chunk input, Exec(*node.children[0], Child(en, 0)));
     const PlanNode& child = *node.children[0];
@@ -1513,6 +1715,7 @@ class ExecState {
   const std::atomic<bool>* cancel_;
   FaultInjector* faults_;
   int num_threads_;
+  StorageReadMode read_mode_;
 };
 
 // The explain tree must have come from BuildExplainTree on this plan;
@@ -1561,6 +1764,8 @@ Result<std::vector<Row>> Executor::Run(const PlanNode& plan,
     metrics->pages_sequential += local.pages_sequential;
     metrics->pages_random += local.pages_random;
     metrics->rows_out += local.rows_out;
+    metrics->blocks_scanned += local.blocks_scanned;
+    metrics->blocks_skipped += local.blocks_skipped;
   }
   if (!chunk.ok()) return chunk.status();
   if (options.metrics != nullptr) {
@@ -1572,6 +1777,10 @@ Result<std::vector<Row>> Executor::Run(const PlanNode& plan,
     options.metrics->gauge(kMetricExecPagesRandom)->Add(local.pages_random);
     options.metrics->histogram(kMetricExecRowsPerQuery)
         ->Observe(static_cast<double>(local.rows_out));
+    options.metrics->counter(kMetricStorageBlocksScanned)
+        ->Add(local.blocks_scanned);
+    options.metrics->counter(kMetricStorageBlocksSkipped)
+        ->Add(local.blocks_skipped);
   }
   return rows;
 }

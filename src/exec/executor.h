@@ -13,10 +13,12 @@
 #include <atomic>
 #include <vector>
 
+#include "common/exec_context.h"
 #include "common/limits.h"
 #include "common/status.h"
 #include "opt/plan.h"
 #include "rel/catalog.h"
+#include "rel/column_reader.h"
 
 namespace xmlshred {
 
@@ -45,11 +47,18 @@ struct ExecMetrics {
   double pages_sequential = 0; // page-equivalents read by scans
   double pages_random = 0;     // page-equivalents read by probes/fetches
   int64_t rows_out = 0;        // rows returned by the root
+  // Storage blocks touched vs. pruned by zone maps across the run's
+  // sequential scans (the unsealed tail counts as one scanned block).
+  int64_t blocks_scanned = 0;
+  int64_t blocks_skipped = 0;
 };
 
 // Optional per-run instrumentation. Every member defaults to off; a
-// default-constructed ExecOptions is the bare metered run.
-struct ExecOptions {
+// default-constructed ExecOptions is the bare metered run. Inherits the
+// shared ExecKnobs (exec_threads, capture_timing, collect_explain) —
+// collect_explain is harness-level and ignored here; pass an explicit
+// `explain` tree instead.
+struct ExecOptions : ExecKnobs {
   // Charges every metered work unit and materialized row against the
   // governor's budgets; execution stops with kResourceExhausted the
   // moment one trips.
@@ -61,11 +70,8 @@ struct ExecOptions {
   // EXPLAIN ANALYZE: a tree from BuildExplainTree(plan) whose nodes
   // receive inclusive per-operator actuals (rows, work, pages). Must
   // mirror `plan`'s shape. Null = zero recording overhead.
+  // (ExecKnobs::capture_timing additionally records wall_ns per node.)
   ExplainNode* explain = nullptr;
-  // Reads the steady clock around every operator and records wall_ns
-  // into `explain` nodes. Off = no clock reads anywhere (the explain
-  // analog of MetricsRegistry::timing_enabled).
-  bool capture_timing = false;
   // When false, sequential scans fall back to row-at-a-time evaluation
   // (materialize each row, evaluate predicates on Values). Metering,
   // result rows, and explain actuals are identical either way; the flag
@@ -88,15 +94,12 @@ struct ExecOptions {
   // runs can kill a query mid-scan deterministically. Null = no
   // mid-query injection.
   FaultInjector* faults = nullptr;
-  // Intra-query morsel workers. <= 1 (the default) is the exact legacy
-  // serial path — no threads spawned, loops unchanged. N > 1 dispatches
-  // heap/view scans, hash-join build and probe, sort encoding, and
-  // aggregate partials as kMorselRows morsels on N transient workers.
-  // Workers only compute into pre-assigned slots; all metering and every
-  // interrupt/fault check happens on the coordinator in enumeration
-  // order, so result rows, ExecMetrics, explain actuals, and
-  // governor/fault trip points are bit-identical at any value.
-  int num_threads = 1;
+  // Where sequential scans, index fetches, and joins read cell data
+  // from: the encoded block images (default) or the retained plain
+  // vectors (XS_FORCE_PLAIN, differential tests). DecodeBlock is
+  // bit-exact and the zone-map skip set is mode-independent, so rows,
+  // metering, explain actuals, and trip points are identical either way.
+  StorageReadMode storage_read_mode = DefaultStorageReadMode();
 };
 
 class Executor {

@@ -33,6 +33,12 @@ void AppendExplainText(std::string* out, const ExplainNode& node,
       node.est_rows, node.est_pages, node.est_cost,
       static_cast<long long>(node.actual_rows), node.actual_pages,
       node.actual_work);
+  if (node.actual_blocks_scanned > 0 || node.actual_blocks_skipped > 0) {
+    *out += StrFormat(
+        " blocks=%lld skipped=%lld",
+        static_cast<long long>(node.actual_blocks_scanned),
+        static_cast<long long>(node.actual_blocks_skipped));
+  }
   if (node.wall_ns > 0) {
     *out += StrFormat(" time=%.3fms", node.wall_ns / 1e6);
   }
@@ -55,6 +61,10 @@ void AppendExplainJson(std::string* out, const ExplainNode& node, int indent,
       node.est_rows, node.est_pages, node.est_cost,
       static_cast<long long>(node.actual_rows), node.actual_pages,
       node.actual_work);
+  *out += StrFormat(
+      ", \"actual_blocks_scanned\": %lld, \"actual_blocks_skipped\": %lld",
+      static_cast<long long>(node.actual_blocks_scanned),
+      static_cast<long long>(node.actual_blocks_skipped));
   *out += ", \"wall_ns\": " +
           RenderJsonDurationNs(node.wall_ns, include_timing) +
           ", \"children\": [";

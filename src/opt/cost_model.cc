@@ -9,6 +9,13 @@ double SortCost(double rows) {
   return kSortRowCost * rows * std::log2(rows);
 }
 
+double BlockSkipSurvival(double selectivity) {
+  if (selectivity <= 0) return 0.0;
+  if (selectivity >= 1) return 1.0;
+  return 1.0 - std::pow(1.0 - selectivity,
+                        static_cast<double>(kStorageBlockRows));
+}
+
 double QError(double estimated, double actual) {
   double e = estimated < 1 ? 1 : estimated;
   double a = actual < 1 ? 1 : actual;

@@ -11,6 +11,8 @@
 
 #include <cstdint>
 
+#include "rel/column_block.h"
+
 namespace xmlshred {
 
 // Sequential page read.
@@ -26,6 +28,16 @@ inline constexpr double kSortRowCost = 0.0004;
 
 // Cost of sorting `rows` in-memory rows.
 double SortCost(double rows);
+
+// Expected fraction of storage blocks a filtered heap scan reads after
+// zone-map pruning, given per-row predicate selectivity `s`: a block is
+// skipped only when none of its kStorageBlockRows rows match, so under
+// row independence P(block scanned) = 1 - (1 - s)^kStorageBlockRows.
+// Clustered columns (e.g. monotonically assigned ids) prune far better
+// than this; the term is deliberately conservative. Applied by the
+// planner only to block-encoded tables (stats.encoded_bytes > 0) with at
+// least one residual filter.
+double BlockSkipSurvival(double selectivity);
 
 // q-error of an estimate against the observed actual: max(e/a, a/e) with
 // both sides clamped to >= 1 first, so zero-row results don't divide by

@@ -218,9 +218,18 @@ class BlockPlanner {
     for (int c : info.needed) node->output.push_back({t, c});
     node->est_rows = info.filtered_rows;
     node->est_pages = static_cast<double>(info.desc->NumPages());
+    double scanned_rows = static_cast<double>(info.desc->row_count());
+    // Zone-map pruning discount: filtered scans of block-encoded tables
+    // skip blocks no predicate can match, so pages and rows shrink by the
+    // expected block-survival fraction (see BlockSkipSurvival).
+    if (!info.filters.empty() && info.desc->stats.encoded_bytes > 0 &&
+        scanned_rows > 0) {
+      double survive = BlockSkipSurvival(info.filtered_rows / scanned_rows);
+      node->est_pages *= survive;
+      scanned_rows *= survive;
+    }
     node->est_cost =
-        node->est_pages * kSeqPageCost +
-        static_cast<double>(info.desc->row_count()) * kCpuRowCost;
+        node->est_pages * kSeqPageCost + scanned_rows * kCpuRowCost;
     return node;
   }
 

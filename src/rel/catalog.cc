@@ -279,6 +279,7 @@ CatalogDesc Database::BuildCatalogDesc() const {
     TableDesc td;
     td.schema = table->schema();
     td.stats = table->ComputeStats();
+    td.stats.encoded_bytes = table->stored_bytes();
     desc.tables[name] = std::move(td);
   }
   for (const auto& [name, idx] : indexes_) {
@@ -295,6 +296,7 @@ CatalogDesc Database::BuildCatalogDesc() const {
     vd.def = def;
     vd.output_schema = t->schema();
     vd.stats = t->ComputeStats();
+    vd.stats.encoded_bytes = t->stored_bytes();
     desc.views.push_back(std::move(vd));
   }
   return desc;
@@ -314,12 +316,32 @@ int64_t Database::TotalTableBytes() const {
   return bytes;
 }
 
+int64_t Database::TotalStoredBytes() const {
+  int64_t bytes = 0;
+  for (const auto& [name, table] : tables_) bytes += table->stored_bytes();
+  return bytes;
+}
+
+std::array<int64_t, kNumBlockEncodings> Database::CountBlockEncodings()
+    const {
+  std::array<int64_t, kNumBlockEncodings> counts{};
+  for (const auto& [name, table] : tables_) {
+    for (int c = 0; c < table->schema().num_columns(); ++c) {
+      const ColumnVector& col = table->column(c);
+      for (size_t b = 0; b < col.num_sealed_blocks(); ++b) {
+        ++counts[static_cast<size_t>(col.sealed_block(b).encoding)];
+      }
+    }
+  }
+  return counts;
+}
+
 uint64_t Database::PublishEpoch() {
   auto snap = std::make_shared<EpochSnapshot>();
   for (const auto& [name, table] : tables_) {
     EpochTableVersion v;
     v.visible_rows = table->row_count();
-    v.visible_bytes = table->total_bytes();
+    v.visible_bytes = table->stored_bytes();
     snap->tables[name] = v;
   }
   std::lock_guard<std::mutex> lock(epoch_mu_);

@@ -16,6 +16,7 @@
 #ifndef XMLSHRED_REL_CATALOG_H_
 #define XMLSHRED_REL_CATALOG_H_
 
+#include <array>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -35,7 +36,14 @@ struct TableDesc {
 
   int64_t row_count() const { return stats.row_count; }
   double avg_row_bytes() const { return stats.AvgRowBytes(); }
-  int64_t NumPages() const { return PagesFor(row_count(), avg_row_bytes()); }
+  // Real tables size by their encoded block footprint — the same bytes
+  // the executor charges a full scan for — so planner page estimates
+  // match executor page actuals exactly. Hypothetical descriptors
+  // (encoded_bytes unknown) keep the logical sizing.
+  int64_t NumPages() const {
+    return stats.encoded_bytes > 0 ? PagesForBytes(stats.encoded_bytes)
+                                   : PagesFor(row_count(), avg_row_bytes());
+  }
 };
 
 struct IndexDesc {
@@ -55,24 +63,24 @@ struct ViewDesc {
 
   int64_t row_count() const { return stats.row_count; }
   double avg_row_bytes() const { return stats.AvgRowBytes(); }
-  int64_t NumPages() const { return PagesFor(row_count(), avg_row_bytes()); }
+  // Same sizing rule as TableDesc: encoded footprint when materialized,
+  // logical fallback for hypothetical (what-if) views.
+  int64_t NumPages() const {
+    return stats.encoded_bytes > 0 ? PagesForBytes(stats.encoded_bytes)
+                                   : PagesFor(row_count(), avg_row_bytes());
+  }
 };
 
 // Per-table visibility at one published epoch: how many leading rows of
 // the (append-only) columnar table a reader pinned to that epoch may see,
-// and the exact bytes those rows occupied at publish time — so page
-// metering for a pinned reader is independent of later appends.
+// and the exact *stored* (block-encoded) bytes those rows occupied at
+// publish time — so page metering for a pinned reader is independent of
+// later appends (sealed blocks are immutable; only the tail grows).
 struct EpochTableVersion {
   int64_t visible_rows = 0;
   int64_t visible_bytes = 0;
 
-  double AvgRowBytes() const {
-    return visible_rows > 0
-               ? static_cast<double>(visible_bytes) /
-                     static_cast<double>(visible_rows)
-               : 0.0;
-  }
-  int64_t NumPages() const { return PagesFor(visible_rows, AvgRowBytes()); }
+  int64_t NumPages() const { return PagesForBytes(visible_bytes); }
 };
 
 // Immutable snapshot of the database at one published epoch. Readers pin
@@ -158,10 +166,20 @@ class Database {
   // Database::dictionary().ByteSize() reports that separately).
   int64_t TotalTableBytes() const;
 
+  // Stored (block-encoded) bytes across base tables (sum of
+  // Table::stored_bytes) — the footprint page accounting is computed
+  // from; TotalStoredBytes() / TotalTableBytes() is the compression
+  // ratio.
+  int64_t TotalStoredBytes() const;
+
+  // Sealed-block count per BlockEncoding across all base tables' columns,
+  // indexed by static_cast<size_t>(BlockEncoding).
+  std::array<int64_t, kNumBlockEncodings> CountBlockEncodings() const;
+
   // Epoch-based snapshot visibility (serving layer). Tables are
   // append-only, so a snapshot is just "the first N rows of each table as
   // of publish time": PublishEpoch records every table's current
-  // row_count/total_bytes under a fresh epoch number and swaps it in as
+  // row_count/stored_bytes under a fresh epoch number and swaps it in as
   // the latest snapshot. Readers that pin the returned snapshot never see
   // rows appended after it — the executor clamps scans to visible_rows.
   // Note the snapshot is *logical* only; callers that append concurrently

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "rel/column_reader.h"
 
 namespace xmlshred {
 
@@ -86,9 +87,10 @@ BTreeIndex::BTreeIndex(IndexDef def, const Table& table)
   // string comparison.
   std::vector<SortKey> row_keys(n * nkeys);
   for (size_t k = 0; k < nkeys; ++k) {
-    const ColumnVector& col = table.column(def_.key_columns[k]);
+    ColumnReader reader(table.column(def_.key_columns[k]),
+                        DefaultStorageReadMode());
     for (size_t rid = 0; rid < n; ++rid) {
-      row_keys[rid * nkeys + k] = EncodeCellKey(col.cell(rid), *dict_);
+      row_keys[rid * nkeys + k] = EncodeCellKey(reader.At(rid), *dict_);
     }
   }
   std::vector<int64_t> order(n);
@@ -112,15 +114,19 @@ BTreeIndex::BTreeIndex(IndexDef def, const Table& table)
   data_.resize(n * width);
   keys_.resize(n * nkeys);
   rids_ = std::move(order);
-  std::vector<const ColumnVector*> entry_cols;
+  std::vector<ColumnReader> entry_cols;
   entry_cols.reserve(width);
-  for (int c : def_.key_columns) entry_cols.push_back(&table.column(c));
-  for (int c : def_.included_columns) entry_cols.push_back(&table.column(c));
+  for (int c : def_.key_columns) {
+    entry_cols.emplace_back(table.column(c), DefaultStorageReadMode());
+  }
+  for (int c : def_.included_columns) {
+    entry_cols.emplace_back(table.column(c), DefaultStorageReadMode());
+  }
   int64_t bytes = 0;
   for (size_t e = 0; e < n; ++e) {
     size_t rid = static_cast<size_t>(rids_[e]);
     for (size_t p = 0; p < width; ++p) {
-      Cell cell = entry_cols[p]->cell(rid);
+      Cell cell = entry_cols[p].At(rid);
       tags_[e * width + p] = cell.tag;
       data_[e * width + p] = cell.bits;
       switch (static_cast<CellTag>(cell.tag)) {

@@ -51,6 +51,11 @@ struct ColumnStats {
 struct TableStats {
   int64_t row_count = 0;
   std::vector<ColumnStats> columns;  // parallel to schema columns
+  // Stored (block-encoded) footprint of the real table these stats were
+  // collected from, in bytes (Table::stored_bytes). 0 = unknown — stats
+  // derived for a hypothetical mapping, where descriptors fall back to
+  // the logical PagesFor(rows, avg_row_bytes) sizing.
+  int64_t encoded_bytes = 0;
 
   // Mean on-disk row width implied by per-column averages.
   double AvgRowBytes() const;

@@ -13,6 +13,13 @@ int64_t PagesFor(int64_t row_count, double avg_row_bytes) {
   return pages < 1 ? 1 : pages;
 }
 
+int64_t PagesForBytes(int64_t stored_bytes) {
+  if (stored_bytes <= 0) return 0;
+  int64_t pages = (stored_bytes + static_cast<int64_t>(kPageSizeBytes) - 1) /
+                  static_cast<int64_t>(kPageSizeBytes);
+  return pages < 1 ? 1 : pages;
+}
+
 void ColumnVector::Append(const Value& v, StringDictionary* dict) {
   Cell cell;
   int64_t byte_size;
@@ -39,6 +46,16 @@ void ColumnVector::AppendCell(Cell cell, int64_t byte_size) {
   tags_.push_back(cell.tag);
   data_.push_back(cell.bits);
   bytes_ += byte_size;
+  MaybeSealTail();
+}
+
+void ColumnVector::MaybeSealTail() {
+  if (tags_.size() % kStorageBlockRows != 0) return;
+  size_t base = sealed_rows();
+  blocks_.push_back(
+      EncodeBlock(tags_.data() + base, data_.data() + base, kStorageBlockRows));
+  encoded_bytes_ += blocks_.back().encoded_bytes();
+  sealed_logical_bytes_ = bytes_;
 }
 
 Value ColumnVector::GetValue(size_t i, const StringDictionary& dict) const {
@@ -106,6 +123,25 @@ double Table::avg_row_bytes() const {
   double w =
       static_cast<double>(total_bytes()) / static_cast<double>(num_rows_);
   return w < 8.0 ? 8.0 : w;
+}
+
+int64_t Table::stored_bytes() const {
+  if (num_rows_ == 0) return 0;
+  int64_t sealed = 0;
+  int64_t tail_logical = 0;
+  int64_t tail_rows = 0;
+  for (const ColumnVector& col : columns_) {
+    sealed += col.sealed_encoded_bytes();
+    tail_logical += col.tail_logical_bytes();
+    tail_rows = static_cast<int64_t>(col.tail_rows());
+  }
+  // The tail keeps the pre-encoding logical accounting, floored at 8
+  // bytes per row across the whole table (matching the old
+  // avg_row_bytes floor) — a table smaller than one block pages out
+  // exactly as it did before block encoding existed.
+  int64_t tail_floor = 8 * tail_rows;
+  int64_t tail = tail_logical < tail_floor ? tail_floor : tail_logical;
+  return sealed + tail;
 }
 
 TableStats Table::ComputeStats() const {

@@ -17,9 +17,11 @@
 #include <memory>
 #include <vector>
 
+#include "rel/column_block.h"
 #include "rel/dictionary.h"
 #include "rel/schema.h"
 #include "rel/stats.h"
+#include "rel/table_types.h"
 #include "rel/value.h"
 
 namespace xmlshred {
@@ -32,44 +34,20 @@ inline constexpr double kPageSizeBytes = 8192.0;
 // non-empty relation).
 int64_t PagesFor(int64_t row_count, double avg_row_bytes);
 
-// Per-cell type tag of columnar storage.
-enum class CellTag : uint8_t {
-  kNull = 0,
-  kInt = 1,
-  kReal = 2,
-  kStr = 3,
-};
-
-// A decoded cell: tag plus raw 64-bit payload (int64 bits, double bits,
-// or dictionary code). The executor's internal batch representation.
-struct Cell {
-  uint8_t tag = 0;
-  uint64_t bits = 0;
-};
-
-inline double CellBitsToDouble(uint64_t bits) {
-  double d;
-  std::memcpy(&d, &bits, sizeof(d));
-  return d;
-}
-
-inline uint64_t DoubleToCellBits(double d) {
-  uint64_t bits;
-  std::memcpy(&bits, &d, sizeof(bits));
-  return bits;
-}
-
-// Numeric view of an int/real cell (ints promote to double, mirroring
-// Value::AsNumeric).
-inline double CellAsNumeric(const Cell& c) {
-  return c.tag == static_cast<uint8_t>(CellTag::kInt)
-             ? static_cast<double>(static_cast<int64_t>(c.bits))
-             : CellBitsToDouble(c.bits);
-}
+// Pages occupied by `stored_bytes` of encoded block storage (>= 1 for any
+// non-empty byte total).
+int64_t PagesForBytes(int64_t stored_bytes);
 
 // One column of cells: parallel tag and data vectors plus an exact byte
 // tally (the sum of Value::ByteSize over the column's cells, kept as an
 // integer so avg_row_bytes carries no floating-point accumulation drift).
+//
+// Every kStorageBlockRows appended cells the column seals the completed
+// prefix into an EncodedBlock (rel/column_block.h): a compressed byte
+// image plus a zone map. The plain vectors are retained — they are the
+// forced-plain differential read path and the still-unsealed tail — but
+// page accounting (`stored_bytes`) is computed from the encoded sizes,
+// so compression shows up as fewer metered pages.
 class ColumnVector {
  public:
   void Append(const Value& v, StringDictionary* dict);
@@ -98,10 +76,28 @@ class ColumnVector {
   // Exact total of Value::ByteSize over the column's cells.
   int64_t byte_total() const { return bytes_; }
 
+  // --- Sealed-block view (encoded storage of record) ---
+
+  size_t num_sealed_blocks() const { return blocks_.size(); }
+  const EncodedBlock& sealed_block(size_t b) const { return blocks_[b]; }
+  // Rows covered by sealed blocks (a multiple of kStorageBlockRows).
+  size_t sealed_rows() const { return blocks_.size() * kStorageBlockRows; }
+  // Rows still in the plain, unsealed tail.
+  size_t tail_rows() const { return tags_.size() - sealed_rows(); }
+  // Encoded bytes across sealed blocks (header + payload per block).
+  int64_t sealed_encoded_bytes() const { return encoded_bytes_; }
+  // Logical (Value::ByteSize) bytes of the unsealed tail.
+  int64_t tail_logical_bytes() const { return bytes_ - sealed_logical_bytes_; }
+
  private:
+  void MaybeSealTail();
+
   std::vector<uint8_t> tags_;
   std::vector<uint64_t> data_;
   int64_t bytes_ = 0;
+  std::vector<EncodedBlock> blocks_;
+  int64_t encoded_bytes_ = 0;         // sum of sealed encoded_bytes()
+  int64_t sealed_logical_bytes_ = 0;  // logical bytes of the sealed prefix
 };
 
 // An in-memory columnar table: a schema plus one ColumnVector per column.
@@ -135,12 +131,19 @@ class Table {
   Row GetRow(int64_t rid) const;
   std::vector<Row> MaterializeRows() const;
 
-  // Exact stored bytes across all columns (Value::ByteSize semantics).
+  // Exact logical bytes across all columns (Value::ByteSize semantics).
+  // Unaffected by block encoding; this is the uncompressed row width.
   int64_t total_bytes() const;
 
-  // Mean stored row width (bytes), from the exact per-column tallies.
+  // Mean logical row width (bytes), from the exact per-column tallies.
   double avg_row_bytes() const;
-  int64_t NumPages() const { return PagesFor(row_count(), avg_row_bytes()); }
+
+  // Bytes the table occupies under block encoding: sealed encoded blocks
+  // at their compressed sizes plus the unsealed tail at
+  // max(logical bytes, 8 bytes/row) — so a table smaller than one block
+  // accounts byte-for-byte like the pre-encoding logical formula.
+  int64_t stored_bytes() const;
+  int64_t NumPages() const { return PagesForBytes(stored_bytes()); }
 
   // Scans the columns and computes full statistics.
   TableStats ComputeStats() const;

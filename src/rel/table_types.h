@@ -1,0 +1,51 @@
+// Cell primitives of the columnar storage layer, split out of rel/table.h
+// so block encoding (rel/column_block.h) can consume them without a
+// header cycle: every cell is a one-byte type tag plus a 64-bit data slot
+// holding int64 bits, double bits, or a 32-bit dictionary code.
+
+#ifndef XMLSHRED_REL_TABLE_TYPES_H_
+#define XMLSHRED_REL_TABLE_TYPES_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace xmlshred {
+
+// Per-cell type tag of columnar storage.
+enum class CellTag : uint8_t {
+  kNull = 0,
+  kInt = 1,
+  kReal = 2,
+  kStr = 3,
+};
+
+// A decoded cell: tag plus raw 64-bit payload (int64 bits, double bits,
+// or dictionary code). The executor's internal batch representation.
+struct Cell {
+  uint8_t tag = 0;
+  uint64_t bits = 0;
+};
+
+inline double CellBitsToDouble(uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+inline uint64_t DoubleToCellBits(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+// Numeric view of an int/real cell (ints promote to double, mirroring
+// Value::AsNumeric).
+inline double CellAsNumeric(const Cell& c) {
+  return c.tag == static_cast<uint8_t>(CellTag::kInt)
+             ? static_cast<double>(static_cast<int64_t>(c.bits))
+             : CellBitsToDouble(c.bits);
+}
+
+}  // namespace xmlshred
+
+#endif  // XMLSHRED_REL_TABLE_TYPES_H_

@@ -52,6 +52,17 @@ Result<WorkloadEvaluation> EvaluateOnData(const SearchResult& result,
         ->SetMax(static_cast<double>(db.dictionary().ByteSize()));
     exec.metrics->gauge(kMetricStorageDictEntriesPeak)
         ->SetMax(static_cast<double>(db.dictionary().size()));
+    exec.metrics->gauge(kMetricStorageEncodedBytes)
+        ->SetMax(static_cast<double>(db.TotalStoredBytes()));
+    std::array<int64_t, kNumBlockEncodings> blocks =
+        db.CountBlockEncodings();
+    const char* kBlockGauges[kNumBlockEncodings] = {
+        kMetricStorageBlocksPlain, kMetricStorageBlocksRle,
+        kMetricStorageBlocksBitpackInt, kMetricStorageBlocksBitpackCode};
+    for (int e = 0; e < kNumBlockEncodings; ++e) {
+      exec.metrics->gauge(kBlockGauges[e])
+          ->SetMax(static_cast<double>(blocks[static_cast<size_t>(e)]));
+    }
   }
 
   CatalogDesc catalog = db.BuildCatalogDesc();
@@ -71,8 +82,10 @@ Result<WorkloadEvaluation> EvaluateOnData(const SearchResult& result,
   exec_options.metrics = exec.metrics;
   exec_options.capture_timing = options.capture_timing;
   // Morsel workers per query (bit-identical results at any value, so
-  // evaluation totals are unaffected); <= 1 stays serial.
-  exec_options.num_threads = exec.exec_threads;
+  // evaluation totals are unaffected); <= 1 stays serial. The context
+  // overrides the options-struct default, as everywhere else.
+  exec_options.exec_threads =
+      exec.exec_threads > 0 ? exec.exec_threads : options.exec_threads;
   // Explain trees are cheap (one small node per operator); build them
   // whenever either a caller wants them or a registry is listening for
   // calibration q-errors.

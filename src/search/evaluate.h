@@ -24,13 +24,13 @@ struct WorkloadEvaluation {
   std::vector<QueryExplain> explains;
 };
 
-struct EvaluateOptions {
-  // Keep each query's explain tree in WorkloadEvaluation::explains.
-  bool collect_explain = false;
-  // Record per-operator wall time in the explain trees (clock reads;
-  // breaks bit-identity of timing fields, like trace durations).
-  bool capture_timing = false;
-};
+// Inherits the shared ExecKnobs: `collect_explain` keeps each query's
+// explain tree in WorkloadEvaluation::explains; `capture_timing` records
+// per-operator wall time in them (clock reads; breaks bit-identity of
+// timing fields, like trace durations). `exec_threads` here is a default
+// only — ExecContext::exec_threads > 0 overrides it, matching the other
+// entry points' resolution order.
+struct EvaluateOptions : ExecKnobs {};
 
 // Loads `doc` under `result`'s mapping, applies its configuration, and
 // runs `workload` end-to-end.

@@ -246,7 +246,7 @@ ServeResponse SessionManager::ExecuteLocked(uint64_t ticket, double now) {
     options.governor = &governor;
     options.metrics = metrics_;
     options.vectorized_scan = config_.vectorized_scan;
-    options.num_threads = config_.exec_threads;
+    options.exec_threads = config_.exec_threads;
     options.snapshot = snapshot.get();
     options.cancel = cancel;
     options.faults = FaultInjector::Global();

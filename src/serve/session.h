@@ -51,6 +51,7 @@
 #include <string>
 #include <vector>
 
+#include "common/exec_context.h"
 #include "common/metrics.h"
 #include "common/status.h"
 #include "mapping/mapping.h"
@@ -62,7 +63,14 @@
 
 namespace xmlshred {
 
-struct ServeConfig {
+// Inherits the shared ExecKnobs: `exec_threads` is the intra-query morsel
+// worker count per request (results, metering, and governor trip points
+// are bit-identical at any value — the per-request governor is the shared
+// budget pool its workers charge through — so it only changes request
+// latency); `capture_timing` / `collect_explain` are accepted for
+// uniformity but the serving loop keeps neither per-request trees nor
+// wall times today.
+struct ServeConfig : ExecKnobs {
   // Execution slots: requests running concurrently (overlapping in
   // virtual time under the DES driver, real threads under Submit).
   int max_concurrent = 4;
@@ -74,12 +82,6 @@ struct ServeConfig {
   // Default per-session work budget for OpenSession(0); <= 0 unlimited.
   double session_work_budget = 0;
   bool vectorized_scan = true;
-  // Intra-query morsel workers per request (ExecOptions::num_threads).
-  // Results, metering, and governor trip points are bit-identical at any
-  // value — the per-request governor is the shared budget pool its
-  // workers charge through — so this only changes request latency.
-  // <= 1 = the serial executor.
-  int exec_threads = 1;
 };
 
 struct ServeRequest {

@@ -287,26 +287,42 @@ class XmlParser {
 }  // namespace
 
 Result<XmlDocument> ParseXml(std::string_view xml,
-                             ResourceGovernor* governor) {
+                             const ParseOptions& options) {
+  if (options.exec != nullptr) {
+    const ExecContext& exec = *options.exec;
+    SpanScope span(exec.trace, "parse.xml");
+    span.Attr("bytes", static_cast<int64_t>(xml.size()));
+    ParseOptions bare;
+    bare.governor = exec.governor;
+    auto doc = ParseXml(xml, bare);
+    if (doc.ok()) {
+      int64_t elements =
+          doc->root() != nullptr ? doc->root()->SubtreeSize() : 0;
+      if (exec.metrics != nullptr) {
+        exec.metrics->counter(kMetricParseXmlDocuments)->Increment();
+        exec.metrics->counter(kMetricParseXmlElements)->Add(elements);
+      }
+      span.Attr("elements", elements);
+    }
+    return doc;
+  }
   ResourceGovernor stack_safety;  // used when the caller passes none
-  XmlParser parser(xml, governor != nullptr ? governor : &stack_safety);
+  XmlParser parser(
+      xml, options.governor != nullptr ? options.governor : &stack_safety);
   return parser.Parse();
 }
 
+Result<XmlDocument> ParseXml(std::string_view xml,
+                             ResourceGovernor* governor) {
+  ParseOptions options;
+  options.governor = governor;
+  return ParseXml(xml, options);
+}
 
 Result<XmlDocument> ParseXml(std::string_view xml, const ExecContext& exec) {
-  SpanScope span(exec.trace, "parse.xml");
-  span.Attr("bytes", static_cast<int64_t>(xml.size()));
-  auto doc = ParseXml(xml, exec.governor);
-  if (doc.ok()) {
-    int64_t elements = doc->root() != nullptr ? doc->root()->SubtreeSize() : 0;
-    if (exec.metrics != nullptr) {
-      exec.metrics->counter(kMetricParseXmlDocuments)->Increment();
-      exec.metrics->counter(kMetricParseXmlElements)->Add(elements);
-    }
-    span.Attr("elements", elements);
-  }
-  return doc;
+  ParseOptions options;
+  options.exec = &exec;
+  return ParseXml(xml, options);
 }
 
 }  // namespace xmlshred

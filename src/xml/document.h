@@ -15,6 +15,7 @@
 #include "common/exec_context.h"
 #include "common/limits.h"
 #include "common/status.h"
+#include "xml/parse_options.h"
 
 namespace xmlshred {
 
@@ -83,15 +84,19 @@ class XmlDocument {
 };
 
 // Parses XML text into a document. Element nesting is bounded by the
-// governor's recursion-depth limit (kDefaultMaxRecursionDepth when
-// `governor` is null) — deeper input returns kResourceExhausted rather
-// than overflowing the stack.
+// resolved governor's recursion-depth limit (kDefaultMaxRecursionDepth
+// when none is supplied) — deeper input returns kResourceExhausted
+// rather than overflowing the stack. With options.exec set, the parse
+// also emits a "parse.xml" span on exec->trace and the "parse.xml.*"
+// counters on exec->metrics (documents parsed, elements in the tree).
+Result<XmlDocument> ParseXml(std::string_view xml,
+                             const ParseOptions& options);
+
+// Deprecated shim: ParseXml(xml, {.governor = governor}).
 Result<XmlDocument> ParseXml(std::string_view xml,
                              ResourceGovernor* governor = nullptr);
 
-// ExecContext overload: same parse under exec.governor, plus a
-// "parse.xml" span on exec.trace and the "parse.xml.*" counters on
-// exec.metrics (documents parsed, elements in the tree).
+// Deprecated shim: ParseXml(xml, {.exec = &exec}).
 Result<XmlDocument> ParseXml(std::string_view xml, const ExecContext& exec);
 
 // Escapes &, <, >, ", ' for XML output.

@@ -299,8 +299,18 @@ void CountReferences(const DtdExpr& expr, std::set<std::string>* out) {
 Result<std::unique_ptr<SchemaTree>> ParseDtd(std::string_view dtd_text,
                                              std::string_view root_element,
                                              ResourceGovernor* governor) {
-  ResourceGovernor stack_safety;  // used when the caller passes none
-  if (governor == nullptr) governor = &stack_safety;
+  ParseOptions options;
+  options.governor = governor;
+  options.root_element = root_element;
+  return ParseDtd(dtd_text, options);
+}
+
+namespace {
+
+// The bare parse; `governor` is never null here.
+Result<std::unique_ptr<SchemaTree>> ParseDtdImpl(std::string_view dtd_text,
+                                                 std::string_view root_element,
+                                                 ResourceGovernor* governor) {
   DtdTextParser parser(dtd_text, governor);
   std::vector<std::string> order;
   XS_ASSIGN_OR_RETURN(auto decls, parser.Parse(&order));
@@ -325,9 +335,6 @@ Result<std::unique_ptr<SchemaTree>> ParseDtd(std::string_view dtd_text,
   return tree;
 }
 
-
-namespace {
-
 int64_t CountSchemaNodes(const SchemaNode* node) {
   if (node == nullptr) return 0;
   int64_t total = 1;
@@ -340,18 +347,36 @@ int64_t CountSchemaNodes(const SchemaNode* node) {
 }  // namespace
 
 Result<std::unique_ptr<SchemaTree>> ParseDtd(std::string_view dtd_text,
+                                             const ParseOptions& options) {
+  if (options.exec != nullptr) {
+    const ExecContext& exec = *options.exec;
+    SpanScope span(exec.trace, "parse.dtd");
+    span.Attr("bytes", static_cast<int64_t>(dtd_text.size()));
+    ParseOptions bare;
+    bare.governor = exec.governor;
+    bare.root_element = options.root_element;
+    auto tree = ParseDtd(dtd_text, bare);
+    if (tree.ok() && exec.metrics != nullptr) {
+      exec.metrics->counter(kMetricParseDtdSchemas)->Increment();
+      exec.metrics->counter(kMetricParseDtdNodes)
+          ->Add(CountSchemaNodes((*tree)->root()));
+    }
+    if (tree.ok()) span.Attr("nodes", CountSchemaNodes((*tree)->root()));
+    return tree;
+  }
+  ResourceGovernor stack_safety;  // used when the caller passes none
+  ResourceGovernor* governor =
+      options.governor != nullptr ? options.governor : &stack_safety;
+  return ParseDtdImpl(dtd_text, options.root_element, governor);
+}
+
+Result<std::unique_ptr<SchemaTree>> ParseDtd(std::string_view dtd_text,
                                              std::string_view root_element,
                                              const ExecContext& exec) {
-  SpanScope span(exec.trace, "parse.dtd");
-  span.Attr("bytes", static_cast<int64_t>(dtd_text.size()));
-  auto tree = ParseDtd(dtd_text, root_element, exec.governor);
-  if (tree.ok() && exec.metrics != nullptr) {
-    exec.metrics->counter(kMetricParseDtdSchemas)->Increment();
-    exec.metrics->counter(kMetricParseDtdNodes)
-        ->Add(CountSchemaNodes((*tree)->root()));
-  }
-  if (tree.ok()) span.Attr("nodes", CountSchemaNodes((*tree)->root()));
-  return tree;
+  ParseOptions options;
+  options.exec = &exec;
+  options.root_element = root_element;
+  return ParseDtd(dtd_text, options);
 }
 
 }  // namespace xmlshred

@@ -23,25 +23,32 @@
 #include "common/exec_context.h"
 #include "common/limits.h"
 #include "common/status.h"
+#include "xml/parse_options.h"
 #include "xml/schema_tree.h"
 
 namespace xmlshred {
 
-// Parses DTD text; `root_element` picks the document element (defaults to
-// the first declared element). Annotations are not assigned — call
-// AssignDefaultAnnotations() afterwards, as with ParseXsd. Content-model
-// nesting and element-reference chains (including recursive DTDs) are
-// bounded by the governor's recursion-depth limit; deeper input returns
-// kResourceExhausted.
+// Parses DTD text; options.root_element picks the document element
+// (empty = the first declared element). Annotations are not assigned —
+// call AssignDefaultAnnotations() afterwards, as with ParseXsd.
+// Content-model nesting and element-reference chains (including
+// recursive DTDs) are bounded by the resolved governor's recursion-depth
+// limit; deeper input returns kResourceExhausted. With options.exec set,
+// the parse also emits a "parse.dtd" span on exec->trace and the
+// "parse.dtd.*" counters on exec->metrics.
+Result<std::unique_ptr<SchemaTree>> ParseDtd(std::string_view dtd_text,
+                                             const ParseOptions& options);
+
+// Deprecated shim:
+// ParseDtd(dtd_text, {.governor = governor, .root_element = root_element}).
 Result<std::unique_ptr<SchemaTree>> ParseDtd(std::string_view dtd_text,
                                              std::string_view root_element =
                                                  "",
                                              ResourceGovernor* governor =
                                                  nullptr);
 
-// ExecContext overload: same parse under exec.governor, plus a
-// "parse.dtd" span on exec.trace and the "parse.dtd.*" counters on
-// exec.metrics.
+// Deprecated shim:
+// ParseDtd(dtd_text, {.exec = &exec, .root_element = root_element}).
 Result<std::unique_ptr<SchemaTree>> ParseDtd(std::string_view dtd_text,
                                              std::string_view root_element,
                                              const ExecContext& exec);

@@ -1,0 +1,39 @@
+// ParseOptions — the one options carrier for the XML-family parsers.
+//
+// ParseXml / ParseXsd / ParseDtd each accreted three overloads (bare,
+// ResourceGovernor*, ExecContext&); this struct collapses them into a
+// single `Parse*(input, const ParseOptions&)` signature. The legacy
+// overloads remain as thin deprecated shims so call sites can migrate
+// incrementally.
+//
+// Precedence: when `exec` is set, its governor bounds the parse and its
+// trace/metrics receive the "parse.*" span and counters; `governor` is
+// ignored. With `exec` null, `governor` alone bounds recursion depth
+// (null = a parser-local governor with default limits), and nothing is
+// recorded.
+
+#ifndef XMLSHRED_XML_PARSE_OPTIONS_H_
+#define XMLSHRED_XML_PARSE_OPTIONS_H_
+
+#include <string_view>
+
+#include "common/exec_context.h"
+#include "common/limits.h"
+
+namespace xmlshred {
+
+struct ParseOptions {
+  // Full execution environment: governor + "parse.*" trace span +
+  // counters. Takes precedence over `governor`.
+  const ExecContext* exec = nullptr;
+  // Recursion-depth bound only; no instrumentation. Null = a
+  // parser-local default-limits governor (stack-safety floor).
+  ResourceGovernor* governor = nullptr;
+  // ParseDtd only: the document element; empty = the first declared
+  // element. Ignored by ParseXml / ParseXsd.
+  std::string_view root_element = {};
+};
+
+}  // namespace xmlshred
+
+#endif  // XMLSHRED_XML_PARSE_OPTIONS_H_

@@ -210,12 +210,9 @@ class XsdBuilder {
 
 Result<std::unique_ptr<SchemaTree>> ParseXsd(std::string_view xsd_text,
                                              ResourceGovernor* governor) {
-  ResourceGovernor stack_safety;  // used when the caller passes none
-  if (governor == nullptr) governor = &stack_safety;
-  XS_ASSIGN_OR_RETURN(XmlDocument doc, ParseXml(xsd_text, governor));
-  if (doc.root() == nullptr) return InvalidArgument("empty XSD");
-  XsdBuilder builder(*doc.root(), governor);
-  return builder.Build();
+  ParseOptions options;
+  options.governor = governor;
+  return ParseXsd(xsd_text, options);
 }
 
 void AssignDefaultAnnotations(SchemaTree* tree) {
@@ -346,17 +343,36 @@ int64_t CountSchemaNodes(const SchemaNode* node) {
 }  // namespace
 
 Result<std::unique_ptr<SchemaTree>> ParseXsd(std::string_view xsd_text,
-                                             const ExecContext& exec) {
-  SpanScope span(exec.trace, "parse.xsd");
-  span.Attr("bytes", static_cast<int64_t>(xsd_text.size()));
-  auto tree = ParseXsd(xsd_text, exec.governor);
-  if (tree.ok() && exec.metrics != nullptr) {
-    exec.metrics->counter(kMetricParseXsdSchemas)->Increment();
-    exec.metrics->counter(kMetricParseXsdNodes)
-        ->Add(CountSchemaNodes((*tree)->root()));
+                                             const ParseOptions& options) {
+  if (options.exec != nullptr) {
+    const ExecContext& exec = *options.exec;
+    SpanScope span(exec.trace, "parse.xsd");
+    span.Attr("bytes", static_cast<int64_t>(xsd_text.size()));
+    ParseOptions bare;
+    bare.governor = exec.governor;
+    auto tree = ParseXsd(xsd_text, bare);
+    if (tree.ok() && exec.metrics != nullptr) {
+      exec.metrics->counter(kMetricParseXsdSchemas)->Increment();
+      exec.metrics->counter(kMetricParseXsdNodes)
+          ->Add(CountSchemaNodes((*tree)->root()));
+    }
+    if (tree.ok()) span.Attr("nodes", CountSchemaNodes((*tree)->root()));
+    return tree;
   }
-  if (tree.ok()) span.Attr("nodes", CountSchemaNodes((*tree)->root()));
-  return tree;
+  ResourceGovernor stack_safety;  // used when the caller passes none
+  ResourceGovernor* governor =
+      options.governor != nullptr ? options.governor : &stack_safety;
+  XS_ASSIGN_OR_RETURN(XmlDocument doc, ParseXml(xsd_text, governor));
+  if (doc.root() == nullptr) return InvalidArgument("empty XSD");
+  XsdBuilder builder(*doc.root(), governor);
+  return builder.Build();
+}
+
+Result<std::unique_ptr<SchemaTree>> ParseXsd(std::string_view xsd_text,
+                                             const ExecContext& exec) {
+  ParseOptions options;
+  options.exec = &exec;
+  return ParseXsd(xsd_text, options);
 }
 
 }  // namespace xmlshred

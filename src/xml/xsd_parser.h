@@ -22,6 +22,7 @@
 #include "common/limits.h"
 #include "common/status.h"
 #include "xml/document.h"
+#include "xml/parse_options.h"
 #include "xml/schema_tree.h"
 
 namespace xmlshred {
@@ -29,15 +30,20 @@ namespace xmlshred {
 // Parses XSD text into a schema tree. Does not assign default annotations
 // beyond explicit `annotation` attributes; call AssignDefaultAnnotations()
 // if the schema leaves mandatory annotations implicit. Type nesting (and
-// recursive named-type references) is bounded by the governor's
-// recursion-depth limit; deeper schemas return kResourceExhausted.
+// recursive named-type references) is bounded by the resolved governor's
+// recursion-depth limit; deeper schemas return kResourceExhausted. With
+// options.exec set, the parse also emits a "parse.xsd" span on
+// exec->trace and the "parse.xsd.*" counters on exec->metrics (schemas
+// parsed, nodes in the resulting tree).
+Result<std::unique_ptr<SchemaTree>> ParseXsd(std::string_view xsd_text,
+                                             const ParseOptions& options);
+
+// Deprecated shim: ParseXsd(xsd_text, {.governor = governor}).
 Result<std::unique_ptr<SchemaTree>> ParseXsd(std::string_view xsd_text,
                                              ResourceGovernor* governor =
                                                  nullptr);
 
-// ExecContext overload: same parse under exec.governor, plus a
-// "parse.xsd" span on exec.trace and the "parse.xsd.*" counters on
-// exec.metrics (schemas parsed, nodes in the resulting tree).
+// Deprecated shim: ParseXsd(xsd_text, {.exec = &exec}).
 Result<std::unique_ptr<SchemaTree>> ParseXsd(std::string_view xsd_text,
                                              const ExecContext& exec);
 

@@ -49,7 +49,7 @@ TEST(CostModelTest, SeqVsIndexCrossover) {
   schema.name = "t";
   schema.columns = {{"ID", ColumnType::kInt64, false},
                     {"PID", ColumnType::kInt64, true},
-                    {"hi", ColumnType::kInt64, true},   // 500 distinct
+                    {"hi", ColumnType::kInt64, true},   // 2500 distinct
                     {"lo", ColumnType::kInt64, true},   // 2 distinct
                     {"payload", ColumnType::kString, true}};
   schema.id_column = 0;
@@ -58,7 +58,7 @@ TEST(CostModelTest, SeqVsIndexCrossover) {
   auto table = db.CreateTable(schema);
   ASSERT_TRUE(table.ok());
   for (int i = 0; i < 20000; ++i) {
-    (*table)->AppendRow({Value::Int(i), Value::Null(), Value::Int(i % 500),
+    (*table)->AppendRow({Value::Int(i), Value::Null(), Value::Int(i % 2500),
                          Value::Int(i % 2),
                          Value::Str("payload_padding_string_" +
                                     std::to_string(i))});

@@ -82,6 +82,12 @@ TEST(DtdParserTest, ExplicitRootSelection) {
   ASSERT_TRUE(tree.ok()) << tree.status();
   EXPECT_EQ((*tree)->root()->name(), "b");
   EXPECT_FALSE(ParseDtd(dtd, "zzz").ok());
+  // Same selection through the canonical ParseOptions signature.
+  ParseOptions options;
+  options.root_element = "b";
+  auto via_options = ParseDtd(dtd, options);
+  ASSERT_TRUE(via_options.ok()) << via_options.status();
+  EXPECT_EQ((*via_options)->root()->name(), "b");
 }
 
 TEST(DtdParserTest, RejectsRecursionAndBadInput) {

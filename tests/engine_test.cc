@@ -19,7 +19,11 @@ namespace {
 class EngineTest : public ::testing::Test {
  protected:
   static constexpr int kPubs = 20000;
-  static constexpr int kConfs = 500;
+  // 8 rows per venue: selective enough that a non-covering index seek
+  // (a couple of probe pages + 8 random fetches) undercuts the
+  // block-encoded heap scan, whose pages shrank enough under compression
+  // that the old 40-match setup crossed back over to scanning.
+  static constexpr int kConfs = 2500;
 
   // Publications matching a predicate over index i.
   template <typename Pred>

@@ -87,8 +87,11 @@ TEST_F(ExplainTest, BuildExplainTreeMirrorsPlanWithEstimates) {
   EXPECT_EQ(tree.children[0].object_name, "t");
   EXPECT_EQ(tree.est_cost, planned.root->est_cost);
   EXPECT_EQ(tree.children[0].est_rows, planned.root->children[0]->est_rows);
-  EXPECT_EQ(tree.children[0].est_pages,
-            static_cast<double>(db_.FindTable("t")->NumPages()));
+  // The filtered scan's page estimate is the encoded footprint discounted
+  // by the zone-map block-skip survival term (40/20000 selectivity).
+  EXPECT_DOUBLE_EQ(tree.children[0].est_pages,
+                   static_cast<double>(db_.FindTable("t")->NumPages()) *
+                       BlockSkipSurvival(40.0 / 20000.0));
   // Actuals untouched until a run fills them in.
   EXPECT_EQ(tree.actual_rows, 0);
   EXPECT_EQ(tree.actual_work, 0);

@@ -1,6 +1,6 @@
 // Thread-count differential harness for morsel-driven parallel execution.
 //
-// The executor's contract (exec/executor.h, ExecOptions::num_threads) is
+// The executor's contract (exec/executor.h, ExecOptions::exec_threads) is
 // that parallelism is invisible: result rows (including order), ExecMetrics,
 // EXPLAIN ANALYZE actuals, exec.* registry totals, and governor/fault trip
 // points are bit-identical at every thread count, with num_threads <= 1
@@ -69,7 +69,7 @@ struct ParExecFixture {
     for (int i = 0; i < pubs; ++i) {
       (*p)->AppendRow({Value::Int(i), Value::Null(),
                        Value::Str("title_" + std::to_string(i)),
-                       Value::Str("conf_" + std::to_string(i % 500)),
+                       Value::Str("conf_" + std::to_string(i % 2500)),
                        Value::Int(1980 + i % 23)});
       for (int a = 0; a < 3; ++a) {
         (*c)->AppendRow({Value::Int(next_child_id++), Value::Int(i),
@@ -152,7 +152,7 @@ RunOutput RunOnce(const Database& db, const PlannedQuery& plan, int threads,
   MetricsRegistry registry;
   ExplainNode tree = BuildExplainTree(*plan.root);
   ExecOptions options;
-  options.num_threads = threads;
+  options.exec_threads = threads;
   options.vectorized_scan = vectorized;
   options.metrics = &registry;
   options.explain = &tree;
@@ -326,7 +326,7 @@ void AuditGovernorTrip(const Database& db, const char* sql) {
       ExecOptions options;
       options.governor = &governor;
       options.vectorized_scan = vectorized;
-      options.num_threads = threads;
+      options.exec_threads = threads;
       auto rows = executor.Run(*q.planned.root, &m, options);
       ASSERT_FALSE(rows.ok()) << sql << " threads=" << threads;
       EXPECT_EQ(rows.status().code(), StatusCode::kResourceExhausted);
@@ -347,7 +347,7 @@ void AuditGovernorTrip(const Database& db, const char* sql) {
   // result with the original metering.
   ExecMetrics again;
   ExecOptions options;
-  options.num_threads = 8;
+  options.exec_threads = 8;
   auto rerun = executor.Run(*q.planned.root, &again, options);
   ASSERT_TRUE(rerun.ok());
   EXPECT_EQ(rerun->size(), ok_rows->size());
@@ -386,7 +386,7 @@ void AuditMorselFault(const Database& db, const char* sql, int fire_on_nth) {
       ExecOptions options;
       options.faults = FaultInjector::Global();
       options.vectorized_scan = vectorized;
-      options.num_threads = threads;
+      options.exec_threads = threads;
       auto rows = executor.Run(*q.planned.root, &m, options);
       ASSERT_FALSE(rows.ok()) << sql << " threads=" << threads;
       EXPECT_EQ(rows.status().message().rfind("injected fault", 0), 0u)
@@ -408,7 +408,7 @@ void AuditMorselFault(const Database& db, const char* sql, int fire_on_nth) {
   // Disarmed, the same plan runs clean at any thread count.
   ExecMetrics m;
   ExecOptions options;
-  options.num_threads = 4;
+  options.exec_threads = 4;
   options.faults = FaultInjector::Global();
   ASSERT_TRUE(executor.Run(*q.planned.root, &m, options).ok());
 }
@@ -447,7 +447,7 @@ TEST(ParallelExecCancel, CancelledRunChargesIdenticallyEverywhere) {
       ExecOptions options;
       options.cancel = &cancel;
       options.vectorized_scan = vectorized;
-      options.num_threads = threads;
+      options.exec_threads = threads;
       auto rows = executor.Run(*q.planned.root, &m, options);
       ASSERT_FALSE(rows.ok());
       EXPECT_EQ(rows.status().code(), StatusCode::kResourceExhausted);

@@ -450,7 +450,7 @@ std::string CheckParallelEquivalence(const Database& db,
     ResourceGovernor governor{ResourceLimits{}};
     ExecOptions options;
     options.governor = &governor;
-    options.num_threads = threads;
+    options.exec_threads = threads;
     auto result = executor.Run(*planned->root, m, options);
     if (!result.ok()) return result.status();
     *rows = std::move(*result);

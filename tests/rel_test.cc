@@ -89,9 +89,14 @@ TEST(TableTest, PageAccounting) {
 
 // Satellite regression for the avg_row_bytes double-accumulation drift:
 // byte tallies are exact int64 sums per column, so a 1M-row table's
-// average and page count are pinned exactly. Every row here is 29 bytes
-// (ID 8 + NULL PID 4 + 7-char title 9 + year 8), giving
-// ceil(1e6 * 29 / 8192) = 3541 pages.
+// logical average is pinned exactly — every row is 29 bytes (ID 8 +
+// NULL PID 4 + 7-char title 9 + year 8). NumPages now reflects the
+// *encoded* footprint: 244 sealed blocks per column compress to RLE /
+// bit-packed images (sequential IDs bit-pack, the 10 distinct titles and
+// 20 distinct years RLE or pack into a few bits per row), shrinking
+// ceil(1e6 * 29 / 8192) = 3541 plain pages to an exact 326. The pin is a
+// compression-ratio regression test: any encoder change that alters the
+// chosen encodings or their sizes must move this number consciously.
 TEST(TableTest, MillionRowPageCountIsExact) {
   Table table(MakePubSchema());
   constexpr int64_t kRows = 1000000;
@@ -104,7 +109,7 @@ TEST(TableTest, MillionRowPageCountIsExact) {
   EXPECT_EQ(table.row_count(), kRows);
   EXPECT_EQ(table.total_bytes(), kRows * 29);
   EXPECT_EQ(table.avg_row_bytes(), 29.0);
-  EXPECT_EQ(table.NumPages(), 3541);
+  EXPECT_EQ(table.NumPages(), 326);
 }
 
 TEST(StatsTest, BasicColumnStats) {

@@ -3,7 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include "common/exec_context.h"
+#include "common/limits.h"
+#include "common/metrics.h"
 #include "xml/document.h"
+#include "xml/parse_options.h"
 #include "xml/schema_tree.h"
 #include "xml/xsd_parser.h"
 
@@ -307,6 +311,37 @@ TEST(XsdParserTest, Errors) {
       "type=\"Missing\"/></xs:schema>").ok());
   EXPECT_FALSE(
       ParseXsd("<xs:schema xmlns:xs=\"x\"></xs:schema>").ok());
+}
+
+// The canonical Parse*(input, ParseOptions) signature: the governor
+// field bounds recursion, the exec field routes instrumentation, and the
+// legacy overloads are thin shims over the same path.
+TEST(ParseOptionsTest, CanonicalSignatureMatchesShims) {
+  ParseOptions bare;
+  auto doc = ParseXml("<a><b>hello</b></a>", bare);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->ToXml(), ParseXml("<a><b>hello</b></a>")->ToXml());
+
+  ResourceLimits limits;
+  limits.max_recursion_depth = 4;
+  ResourceGovernor governor(limits);
+  ParseOptions limited;
+  limited.governor = &governor;
+  auto rejected =
+      ParseXml("<a><a><a><a><a><a>x</a></a></a></a></a></a>", limited);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+
+  MetricsRegistry registry;
+  ExecContext exec;
+  exec.metrics = &registry;
+  ParseOptions instrumented;
+  instrumented.exec = &exec;
+  ASSERT_TRUE(ParseXml("<a><b>x</b></a>", instrumented).ok());
+  EXPECT_EQ(registry.counter(kMetricParseXmlDocuments)->value(), 1);
+  EXPECT_EQ(registry.counter(kMetricParseXmlElements)->value(), 2);
+  ASSERT_TRUE(ParseXsd(kMovieXsd, instrumented).ok());
+  EXPECT_EQ(registry.counter(kMetricParseXsdSchemas)->value(), 1);
 }
 
 }  // namespace

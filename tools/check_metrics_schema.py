@@ -129,6 +129,10 @@ def main():
                         help="schema document (default: metrics_schema.json)")
     parser.add_argument("--min-counter", action="append", default=[],
                         metavar="NAME=VALUE")
+    parser.add_argument("--min-gauge", action="append", default=[],
+                        metavar="NAME=VALUE",
+                        help="require a gauge to be at least VALUE "
+                             "(e.g. storage.encoded_bytes=1)")
     args = parser.parse_args()
 
     floors = {}
@@ -137,6 +141,12 @@ def main():
         if not value:
             parser.error(f"--min-counter needs NAME=VALUE, got {spec!r}")
         floors[name] = int(value)
+    gauge_floors = {}
+    for spec in args.min_gauge:
+        name, _, value = spec.partition("=")
+        if not value:
+            parser.error(f"--min-gauge needs NAME=VALUE, got {spec!r}")
+        gauge_floors[name] = float(value)
 
     with open(args.schema) as f:
         schema = json.load(f)
@@ -145,6 +155,8 @@ def main():
     is_metrics = os.path.basename(args.schema) == "metrics_schema.json"
     if floors and not is_metrics:
         parser.error("--min-counter requires the metrics schema")
+    if gauge_floors and not is_metrics:
+        parser.error("--min-gauge requires the metrics schema")
 
     failed = False
     for path in args.files:
@@ -168,6 +180,21 @@ def main():
                     if actual < floor:
                         raise ValidationError(
                             f"$.counters.{name}: {actual} < required "
+                            f"{floor}")
+            if gauge_floors:
+                gauges = doc.get("gauges") if isinstance(doc, dict) \
+                    else None
+                if not isinstance(gauges, dict):
+                    raise ValidationError(
+                        "$.gauges: missing or not an object (cannot "
+                        "check --min-gauge floors)")
+                for name, floor in gauge_floors.items():
+                    actual = gauges.get(name)
+                    if actual is None:
+                        raise ValidationError(f"$.gauges.{name}: missing")
+                    if actual < floor:
+                        raise ValidationError(
+                            f"$.gauges.{name}: {actual} < required "
                             f"{floor}")
         except (OSError, json.JSONDecodeError, ValidationError) as err:
             print(f"FAIL {path}: {err}", file=sys.stderr)
