@@ -20,9 +20,19 @@
 // work units, virtual-time latencies; wall-clock never enters the model
 // — so bench_results/BENCH_serving.json is byte-stable and CI diffs it
 // with tools/compare_bench.py --rel-tol 0.0.
+//
+// The chaos runs additionally serve with full telemetry on (DESIGN.md
+// §15): windowed time-series, 1-in-8 head-sampled request traces, and a
+// flight recorder capturing post-mortems on sheds / governor trips /
+// fault firings. `--threads N` sets the manager's exec thread count and
+// the exports must stay bit-identical at any N — CI runs t=1 vs t=4 and
+// byte-compares `--timeseries-out`, `--traces-out`, `--events-out`, and
+// the `--postmortem-dir` bundles.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <utility>
@@ -37,6 +47,7 @@
 #include "rel/index.h"
 #include "serve/session.h"
 #include "serve/soak.h"
+#include "serve/telemetry.h"
 #include "workload/query_gen.h"
 
 namespace xmlshred::bench {
@@ -156,17 +167,44 @@ SoakReport RunSweepPoint(const ServingFixture& fixture, Database* db,
   return *report;
 }
 
+// Telemetry exports of one chaos run, captured before the manager dies.
+struct ChaosTelemetry {
+  size_t windows = 0;
+  std::string timeseries_digest;
+  std::string timeseries_jsonl;
+  size_t sampled_traces = 0;
+  std::string traces_digest;
+  std::string traces_jsonl;
+  size_t events = 0;
+  std::string events_digest;
+  std::string events_jsonl;
+  size_t postmortems = 0;        // bundles kept (<= postmortem_limit)
+  size_t shed_postmortems = 0;   // kept bundles with a shed.* trigger
+  std::string postmortem_digest;
+  std::vector<std::string> postmortem_jsons;
+  int64_t clock_reads = 0;
+};
+
 // One chaos run: fresh database (appends mutate it), probabilistic
 // faults at every serve.* and engine fault site, per-request deadlines,
 // finite session budgets, and an epoch-publishing append every 20
-// arrivals. Deterministic in the fixed seed.
-SoakReport RunChaos(const ServingFixture& fixture) {
+// arrivals. Deterministic in the fixed seed — including every telemetry
+// export, at any exec thread count.
+SoakReport RunChaos(const ServingFixture& fixture, int exec_threads,
+                    ChaosTelemetry* telemetry_out) {
   std::unique_ptr<Database> db = fixture.MakeDb();
   ServeConfig config;
   config.max_concurrent = kMaxConcurrent;
   config.queue_capacity = kQueueCapacity;
   config.global_work_budget = 10.0 * fixture.mean_work;
   config.session_work_budget = 30.0 * fixture.mean_work;
+  config.exec_threads = exec_threads;
+  config.telemetry.window_width = 5.0 * fixture.mean_work;
+  config.telemetry.trace_sample_period = 8;
+  config.telemetry.rng_seed = 0xc4a05;  // == options.seed: replayable set
+  config.telemetry.flight_recorder_capacity = 64;
+  config.telemetry.postmortem_limit = 4;  // first 4 per trigger class
+  config.telemetry.keep_event_log = true;
   SessionManager manager = fixture.MakeManager(db.get(), config);
 
   const Table* inproc = db->FindTable("inproc");
@@ -203,6 +241,27 @@ SoakReport RunChaos(const ServingFixture& fixture) {
                  report->invariant_error.c_str());
     std::abort();
   }
+
+  ServeTelemetry* telemetry = manager.telemetry();
+  XS_CHECK(telemetry != nullptr);
+  ChaosTelemetry& t = *telemetry_out;
+  t.windows = telemetry->recorder().windows().size();
+  t.timeseries_jsonl = telemetry->TimeSeriesJsonLines();
+  t.timeseries_digest = telemetry->TimeSeriesDigest();
+  t.sampled_traces = telemetry->traces_sampled();
+  t.traces_jsonl = telemetry->TracesJsonLines();
+  t.traces_digest = telemetry->TracesDigest();
+  t.events_jsonl = telemetry->EventsJsonLines();
+  t.events_digest = telemetry->EventsDigest();
+  t.events = static_cast<size_t>(
+      std::count(t.events_jsonl.begin(), t.events_jsonl.end(), '\n'));
+  t.postmortems = telemetry->postmortems().size();
+  t.postmortem_digest = telemetry->PostmortemsDigest();
+  for (const PostmortemBundle& bundle : telemetry->postmortems()) {
+    if (bundle.trigger.rfind("shed.", 0) == 0) ++t.shed_postmortems;
+    t.postmortem_jsons.push_back(bundle.ToJson());
+  }
+  t.clock_reads = telemetry->clock_reads();
   return *report;
 }
 
@@ -242,7 +301,8 @@ void WriteReportFields(std::FILE* f, const SoakReport& r) {
 void WriteJson(const std::string& path, const ServingFixture& fixture,
                const std::vector<std::pair<int, SoakReport>>& sweep,
                double goodput_at_saturation, double goodput_at_4x,
-               const SoakReport& chaos, bool runs_identical) {
+               const SoakReport& chaos, const ChaosTelemetry& telemetry,
+               bool runs_identical) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -273,13 +333,34 @@ void WriteJson(const std::string& path, const ServingFixture& fixture,
   WriteReportFields(f, chaos);
   std::fprintf(f,
                ", \"epochs_published\": %lld, \"faults_injected\": %lld, "
-               "\"append_failures\": %lld, \"runs_identical\": %d}\n",
+               "\"append_failures\": %lld, \"runs_identical\": %d,\n",
                static_cast<long long>(chaos.epochs_published),
                static_cast<long long>(chaos.faults_injected),
                static_cast<long long>(chaos.append_failures),
                runs_identical ? 1 : 0);
+  // Every telemetry observable below is virtual-time deterministic, so
+  // this block is byte-stable across runs AND across --threads settings.
+  std::fprintf(f,
+               "    \"telemetry\": {\"windows\": %zu, "
+               "\"timeseries_digest\": \"%s\", \"sampled_traces\": %zu, "
+               "\"trace_digest\": \"%s\", \"events\": %zu, "
+               "\"events_digest\": \"%s\", \"postmortems\": %zu, "
+               "\"shed_postmortems\": %zu, \"postmortem_digest\": \"%s\", "
+               "\"clock_reads\": %lld}}\n",
+               telemetry.windows, telemetry.timeseries_digest.c_str(),
+               telemetry.sampled_traces, telemetry.traces_digest.c_str(),
+               telemetry.events, telemetry.events_digest.c_str(),
+               telemetry.postmortems, telemetry.shed_postmortems,
+               telemetry.postmortem_digest.c_str(),
+               static_cast<long long>(telemetry.clock_reads));
   std::fprintf(f, "}\n");
   std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+// Writes `content` to `path`, aborting on failure (bench-fatal).
+void WriteExport(const std::string& path, const std::string& content) {
+  XS_CHECK_OK(WriteTextFile(path, content));
   std::printf("wrote %s\n", path.c_str());
 }
 
@@ -287,8 +368,21 @@ int Main(int argc, char** argv) {
   const BenchFlags flags = ExtractBenchFlags(&argc, argv);
   const std::string& metrics_out = flags.metrics_out;
   const std::string& json_path = flags.json_path;
+  const std::string threads_arg = ExtractStringFlag(&argc, argv, "--threads");
+  const std::string timeseries_out =
+      ExtractStringFlag(&argc, argv, "--timeseries-out");
+  const std::string traces_out = ExtractStringFlag(&argc, argv, "--traces-out");
+  const std::string events_out = ExtractStringFlag(&argc, argv, "--events-out");
+  const std::string postmortem_dir =
+      ExtractStringFlag(&argc, argv, "--postmortem-dir");
+  const int exec_threads =
+      threads_arg.empty() ? 1 : std::atoi(threads_arg.c_str());
   if (argc > 1) {
-    std::fprintf(stderr, "usage: %s [--json out.json]\n", argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s [--json out.json] [--threads N] "
+                 "[--timeseries-out f.jsonl] [--traces-out f.jsonl] "
+                 "[--events-out f.jsonl] [--postmortem-dir dir]\n",
+                 argv[0]);
     return 2;
   }
 
@@ -315,10 +409,20 @@ int Main(int argc, char** argv) {
   }
 
   // Chaos: run the identical fixed-seed soak twice (fresh database and
-  // manager each) and require bit-identical counters.
-  SoakReport chaos1 = RunChaos(fixture);
-  SoakReport chaos2 = RunChaos(fixture);
+  // manager each) and require bit-identical counters AND bit-identical
+  // telemetry exports (windows, sampled traces, events, post-mortems).
+  ChaosTelemetry telem1, telem2;
+  SoakReport chaos1 = RunChaos(fixture, exec_threads, &telem1);
+  SoakReport chaos2 = RunChaos(fixture, exec_threads, &telem2);
   bool runs_identical = chaos1.CountersDigest() == chaos2.CountersDigest();
+  XS_CHECK(telem1.timeseries_digest == telem2.timeseries_digest);
+  XS_CHECK(telem1.traces_digest == telem2.traces_digest);
+  XS_CHECK(telem1.events_digest == telem2.events_digest);
+  XS_CHECK(telem1.postmortem_digest == telem2.postmortem_digest);
+  // The overload + faults in the chaos schedule must produce at least
+  // one shed-triggered post-mortem (the acceptance gate).
+  XS_CHECK(telem1.shed_postmortems >= 1);
+  XS_CHECK(telem1.clock_reads == 0);
 
   std::printf("\n");
   PrintRow({"chaos", std::to_string(chaos1.offered + chaos1.retries),
@@ -338,6 +442,13 @@ int Main(int argc, char** argv) {
       static_cast<long long>(chaos1.epochs_published),
       static_cast<long long>(chaos1.append_failures),
       runs_identical ? "yes" : "NO");
+  std::printf(
+      "telemetry (threads=%d): %zu windows [%s], %zu traces [%s], "
+      "%zu events [%s], %zu post-mortems (%zu shed) [%s], 0 clock reads\n",
+      exec_threads, telem1.windows, telem1.timeseries_digest.c_str(),
+      telem1.sampled_traces, telem1.traces_digest.c_str(), telem1.events,
+      telem1.events_digest.c_str(), telem1.postmortems,
+      telem1.shed_postmortems, telem1.postmortem_digest.c_str());
   std::printf("overload: goodput %.3f at saturation, %.3f at 4x (%.1f%%)\n",
               goodput_at_saturation, goodput_at_4x,
               goodput_at_saturation > 0
@@ -350,9 +461,22 @@ int Main(int argc, char** argv) {
     std::abort();
   }
 
+  if (!timeseries_out.empty()) WriteExport(timeseries_out, telem1.timeseries_jsonl);
+  if (!traces_out.empty()) WriteExport(traces_out, telem1.traces_jsonl);
+  if (!events_out.empty()) WriteExport(events_out, telem1.events_jsonl);
+  if (!postmortem_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(postmortem_dir, ec);
+    XS_CHECK(!ec);
+    for (size_t i = 0; i < telem1.postmortem_jsons.size(); ++i) {
+      WriteExport(postmortem_dir + StrFormat("/postmortem-%02zu.json", i),
+                  telem1.postmortem_jsons[i]);
+    }
+  }
+
   if (!json_path.empty()) {
     WriteJson(json_path, fixture, sweep, goodput_at_saturation, goodput_at_4x,
-              chaos1, runs_identical);
+              chaos1, telem1, runs_identical);
   }
   WriteMetricsOut(metrics_out);
   return 0;

@@ -30,10 +30,6 @@ MetricsRegistry& GlobalMetrics() {
   return *registry;
 }
 
-namespace {
-
-// Removes `NAME FILE` / `NAME=FILE` from argv (compacting in place) and
-// returns FILE, or "" when the flag is absent.
 std::string ExtractStringFlag(int* argc, char** argv, const std::string& name) {
   std::string value;
   const std::string prefix = name + "=";
@@ -53,8 +49,6 @@ std::string ExtractStringFlag(int* argc, char** argv, const std::string& name) {
   *argc = out;
   return value;
 }
-
-}  // namespace
 
 std::string ExtractMetricsOutArg(int* argc, char** argv) {
   std::string path = ExtractStringFlag(argc, argv, "--metrics-out");

@@ -55,6 +55,12 @@ struct BenchFlags {
 // the caller's own argument loop only sees bench-specific flags.
 BenchFlags ExtractBenchFlags(int* argc, char** argv);
 
+// Removes `NAME VALUE` / `NAME=VALUE` from argv (compacting in place)
+// and returns VALUE, or "" when the flag is absent. For bench-specific
+// flags on top of ExtractBenchFlags.
+std::string ExtractStringFlag(int* argc, char** argv,
+                              const std::string& name);
+
 // Pulls `--metrics-out FILE` (or `--metrics-out=FILE`) out of argv so
 // the caller's own argument loop never sees it; compacts argv/argc in
 // place. Returns the path, or the XMLSHRED_BENCH_METRICS_OUT environment

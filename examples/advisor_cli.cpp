@@ -26,6 +26,9 @@
 // --metrics-out writes the run's full metrics registry (parse, search,
 // advisor, planner, executor, calibration counters) as JSON; --trace-out
 // writes the hierarchical span trace (wall-clock durations included).
+// --trace-sample N keeps only a deterministic 1-in-N head-sample of the
+// root spans (same decision function as the serving request tracer), for
+// workloads big enough that the full trace is unwieldy.
 // --explain-out executes the workload on the recommended design (implying
 // --execute's evaluation) and writes one EXPLAIN ANALYZE tree per query
 // with per-operator estimates and actuals; the document is bit-identical
@@ -106,10 +109,16 @@ int Usage() {
       "       [--space-multiple F] [--threads N] [--exec-threads N]\n"
       "       [--execute]\n"
       "       [--metrics-out FILE.json] [--trace-out FILE.json]\n"
+      "       [--trace-sample N]\n"
       "       [--explain-out FILE.json] [--explain-timing]\n"
       "       [--report-out FILE.json]\n");
   return 2;
 }
+
+// Seed for --trace-sample's deterministic head-sampling decision. Fixed
+// so the sampled root-span subset is a pure function of (N, root order)
+// and replays identically across runs and machines.
+constexpr uint64_t kTraceSampleSeed = 0x7ace5eed0a11ull;
 
 struct CliOptions {
   std::string schema_path;
@@ -122,6 +131,7 @@ struct CliOptions {
   bool execute = false;
   std::string metrics_out;
   std::string trace_out;
+  int trace_sample = 0;  // 0 = full trace; N = 1-in-N sampled roots
   std::string explain_out;
   bool explain_timing = false;
   std::string report_out;
@@ -255,8 +265,20 @@ Status RunTool(const CliOptions& cli) {
     std::printf("\nmetrics written to %s\n", cli.metrics_out.c_str());
   }
   if (!cli.trace_out.empty()) {
-    XS_RETURN_IF_ERROR(WriteTextFile(cli.trace_out, sink.ToJson()));
-    std::printf("trace written to %s\n", cli.trace_out.c_str());
+    if (cli.trace_sample > 0) {
+      // Head-sampled subset of the root spans: the same deterministic
+      // 1-in-N decision the serving telemetry applies to request traces
+      // (common/trace.h), keyed by root index under a fixed seed.
+      XS_RETURN_IF_ERROR(WriteTextFile(
+          cli.trace_out,
+          TraceRootsSampledToJson(sink, cli.trace_sample, kTraceSampleSeed,
+                                  /*include_timing=*/true)));
+      std::printf("trace written to %s (1-in-%d sampled roots)\n",
+                  cli.trace_out.c_str(), cli.trace_sample);
+    } else {
+      XS_RETURN_IF_ERROR(WriteTextFile(cli.trace_out, sink.ToJson()));
+      std::printf("trace written to %s\n", cli.trace_out.c_str());
+    }
   }
   if (!cli.report_out.empty()) {
     // Built after evaluation so the calibration section sees the
@@ -319,6 +341,14 @@ int main(int argc, char** argv) {
       cli.metrics_out = next("--metrics-out");
     } else if (!std::strcmp(argv[i], "--trace-out")) {
       cli.trace_out = next("--trace-out");
+    } else if (!std::strcmp(argv[i], "--trace-sample")) {
+      const char* value = next("--trace-sample");
+      char* end = nullptr;
+      cli.trace_sample = static_cast<int>(std::strtol(value, &end, 10));
+      if (end == value || *end != '\0' || cli.trace_sample < 0) {
+        std::fprintf(stderr, "--trace-sample: bad period '%s'\n", value);
+        return 2;
+      }
     } else if (!std::strcmp(argv[i], "--explain-out")) {
       cli.explain_out = next("--explain-out");
     } else if (!std::strcmp(argv[i], "--explain-timing")) {

@@ -1,0 +1,46 @@
+#include "common/logging.h"
+
+#include "common/strings.h"
+
+namespace xmlshred {
+
+void AppendLogEventJson(std::string* out, const LogEvent& event) {
+  *out += StrFormat("{\"seq\": %llu, \"time\": %.17g, \"name\": \"",
+                    static_cast<unsigned long long>(event.seq), event.time);
+  AppendJsonEscaped(out, event.name);
+  *out += "\", \"attrs\": {";
+  for (size_t i = 0; i < event.attrs.size(); ++i) {
+    if (i > 0) *out += ", ";
+    *out += "\"";
+    AppendJsonEscaped(out, event.attrs[i].first);
+    *out += "\": \"";
+    AppendJsonEscaped(out, event.attrs[i].second);
+    *out += "\"";
+  }
+  *out += "}}";
+}
+
+std::string LogEventsToJsonLines(const std::vector<LogEvent>& events) {
+  std::string out;
+  for (const LogEvent& event : events) {
+    AppendLogEventJson(&out, event);
+    out += "\n";
+  }
+  return out;
+}
+
+std::vector<LogEvent> EventRing::Tail() const {
+  std::vector<LogEvent> out;
+  out.reserve(buffer_.size());
+  if (buffer_.size() < capacity_ || capacity_ == 0) {
+    out = buffer_;
+    return out;
+  }
+  size_t head = static_cast<size_t>(total_ % capacity_);  // oldest entry
+  for (size_t i = 0; i < buffer_.size(); ++i) {
+    out.push_back(buffer_[(head + i) % capacity_]);
+  }
+  return out;
+}
+
+}  // namespace xmlshred

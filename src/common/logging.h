@@ -1,13 +1,27 @@
-// Assertion and logging macros.
+// Assertions and the structured event log.
 //
-// XS_CHECK* terminate the process on violation — they guard internal
-// invariants, not user input (user input errors surface as Status).
+// Two layers share this header:
+//
+//  * XS_CHECK* terminate the process on violation — they guard internal
+//    invariants, not user input (user input errors surface as Status).
+//  * LogEvent / EventRing are the one structured logging substrate
+//    (DESIGN.md §15): a LogEvent is a timestamped name + pre-rendered
+//    key/value attributes, appended to a bounded EventRing (the flight
+//    recorder) and/or retained in full for --events-out exports. There is
+//    deliberately no free-form stderr logging path — anything worth
+//    logging is worth exporting deterministically, so producers emit
+//    LogEvents and the consumers (post-mortem bundles, JSON Lines
+//    exports) render them.
 
 #ifndef XMLSHRED_COMMON_LOGGING_H_
 #define XMLSHRED_COMMON_LOGGING_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace xmlshred::internal_logging {
 
@@ -43,5 +57,64 @@ namespace xmlshred::internal_logging {
       std::abort();                                                     \
     }                                                                   \
   } while (false)
+
+namespace xmlshred {
+
+// One structured event. `seq` is a per-producer monotone sequence number
+// (the deterministic total order — two events at the same virtual time
+// order by seq); `time` is virtual time in the deterministic drivers and
+// seconds-since-origin under wall-clock recording. Attribute values are
+// pre-rendered to strings by the producer (the same convention as
+// TraceSpan attrs), so rendering an event never re-derives state.
+struct LogEvent {
+  uint64_t seq = 0;
+  double time = 0;
+  std::string name;  // dotted, e.g. "serve.shed.budget"
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+// Renders one event as a compact single-line JSON object (no trailing
+// newline): {"seq":3,"time":120,"name":"...","attrs":{...}}.
+void AppendLogEventJson(std::string* out, const LogEvent& event);
+
+// One event per line, each a complete JSON document (JSON Lines).
+std::string LogEventsToJsonLines(const std::vector<LogEvent>& events);
+
+// Bounded ring of the most recent events — the flight recorder. Appends
+// past capacity overwrite the oldest entry; Tail() returns the surviving
+// window oldest-first. Storage is reserved up-front so steady-state
+// appends reuse slots (the event's own strings still allocate — the ring
+// only exists when telemetry is enabled).
+class EventRing {
+ public:
+  explicit EventRing(size_t capacity) : capacity_(capacity) {
+    buffer_.reserve(capacity);
+  }
+
+  size_t capacity() const { return capacity_; }
+  // Total events ever appended (not just retained).
+  uint64_t total() const { return total_; }
+  size_t size() const { return buffer_.size(); }
+
+  void Append(LogEvent event) {
+    if (capacity_ == 0) return;
+    if (buffer_.size() < capacity_) {
+      buffer_.push_back(std::move(event));
+    } else {
+      buffer_[static_cast<size_t>(total_ % capacity_)] = std::move(event);
+    }
+    ++total_;
+  }
+
+  // Retained events, oldest first.
+  std::vector<LogEvent> Tail() const;
+
+ private:
+  size_t capacity_;
+  uint64_t total_ = 0;
+  std::vector<LogEvent> buffer_;  // ring once full; write head total_ % cap
+};
+
+}  // namespace xmlshred
 
 #endif  // XMLSHRED_COMMON_LOGGING_H_

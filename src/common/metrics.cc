@@ -115,6 +115,7 @@ MetricsRegistry::MetricsRegistry() {
       kMetricExecWork,              kMetricExecPagesSequential,
       kMetricExecPagesRandom,       kMetricStorageTableBytesPeak,
       kMetricStorageDictBytesPeak,  kMetricStorageDictEntriesPeak,
+      kMetricServeCompletedWork,
       kMetricServeQueueDepthPeak,   kMetricServeInflightPeak,
       kMetricServeOutstandingWorkPeak,
       kMetricStorageEncodedBytes,   kMetricStorageBlocksPlain,

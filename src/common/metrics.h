@@ -161,6 +161,12 @@ inline constexpr const char* kMetricStorageBlocksBitpackInt =
     "storage.blocks_bitpack_int";
 inline constexpr const char* kMetricStorageBlocksBitpackCode =
     "storage.blocks_bitpack_code";
+// Total metered work of *completed* serving requests (Gauge::Add of
+// integer work units — exact, so deltas are deterministic). Per-window
+// deltas of this gauge are the goodput numerator in the time-series
+// recorder (common/timeseries.h).
+inline constexpr const char* kMetricServeCompletedWork =
+    "serve.completed_work";
 // Serving-layer peaks (SetMax — deterministic at any thread count).
 inline constexpr const char* kMetricServeQueueDepthPeak =
     "serve.queue_depth_peak";

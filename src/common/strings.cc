@@ -128,4 +128,18 @@ void AppendJsonEscaped(std::string* out, std::string_view s) {
   }
 }
 
+uint64_t Fnv1a64(std::string_view s) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (char c : s) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+std::string Fnv1a64Hex(std::string_view s) {
+  return StrFormat("%016llx",
+                   static_cast<unsigned long long>(Fnv1a64(s)));
+}
+
 }  // namespace xmlshred

@@ -48,6 +48,15 @@ std::string FormatWithCommas(int64_t v);
 // control characters). Shared by every hand-rolled JSON exporter.
 void AppendJsonEscaped(std::string* out, std::string_view s);
 
+// FNV-1a 64-bit hash — the deterministic content digest used by the
+// telemetry exports (window digests, sampled-trace digests) so CI can
+// pin "bit-identical at any thread count" with one short string instead
+// of committing whole documents.
+uint64_t Fnv1a64(std::string_view s);
+
+// Fnv1a64 rendered as 16 lowercase hex digits.
+std::string Fnv1a64Hex(std::string_view s);
+
 }  // namespace xmlshred
 
 #endif  // XMLSHRED_COMMON_STRINGS_H_

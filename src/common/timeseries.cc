@@ -1,0 +1,208 @@
+#include "common/timeseries.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace xmlshred {
+
+namespace {
+
+bool MatchesAnyPrefix(const std::string& name,
+                      const std::vector<std::string>& prefixes) {
+  for (const std::string& prefix : prefixes) {
+    if (StartsWith(name, prefix)) return true;
+  }
+  return false;
+}
+
+int64_t CounterAt(const MetricsSnapshot& snap, const std::string& name) {
+  auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second;
+}
+
+double GaugeAt(const MetricsSnapshot& snap, const std::string& name) {
+  auto it = snap.gauges.find(name);
+  return it == snap.gauges.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<int, int64_t>> BucketDeltas(
+    const MetricsSnapshot& prev, const MetricsSnapshot& now,
+    const std::string& name) {
+  std::map<int, int64_t> deltas;
+  auto nit = now.histograms.find(name);
+  if (nit != now.histograms.end()) {
+    for (const auto& [bucket, count] : nit->second.buckets) {
+      deltas[bucket] += count;
+    }
+  }
+  auto pit = prev.histograms.find(name);
+  if (pit != prev.histograms.end()) {
+    for (const auto& [bucket, count] : pit->second.buckets) {
+      deltas[bucket] -= count;
+    }
+  }
+  std::vector<std::pair<int, int64_t>> out;
+  for (const auto& [bucket, count] : deltas) {
+    if (count > 0) out.emplace_back(bucket, count);
+  }
+  return out;
+}
+
+}  // namespace
+
+WindowQuantiles QuantilesFromBucketDeltas(
+    const std::vector<std::pair<int, int64_t>>& deltas) {
+  WindowQuantiles q;
+  for (const auto& [bucket, count] : deltas) q.count += count;
+  if (q.count == 0) return q;
+  // Integer rank arithmetic: rank(P) = ceil(count * P / 100), >= 1. The
+  // quantile value is the upper bound of the first bucket whose
+  // cumulative count reaches the rank — deterministic because bucket
+  // counts are integers.
+  auto value_at = [&](int64_t percent) {
+    int64_t rank = (q.count * percent + 99) / 100;
+    if (rank < 1) rank = 1;
+    int64_t cumulative = 0;
+    for (const auto& [bucket, count] : deltas) {
+      cumulative += count;
+      if (cumulative >= rank) return Histogram::BucketUpperBound(bucket);
+    }
+    return Histogram::BucketUpperBound(deltas.back().first);
+  };
+  q.p50 = value_at(50);
+  q.p95 = value_at(95);
+  q.p99 = value_at(99);
+  return q;
+}
+
+std::string TimeSeriesWindow::ToJson(bool include_wall) const {
+  std::string out = StrFormat(
+      "{\"schema_version\": 1, \"window\": %lld, \"start\": %.17g, "
+      "\"end\": %.17g",
+      static_cast<long long>(index), start, end);
+  if (include_wall) out += StrFormat(", \"wall_ns\": %.17g", wall_ns);
+  out += ", \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out += StrFormat("%s\"%s\": %lld", first ? "" : ", ", name.c_str(),
+                     static_cast<long long>(value));
+    first = false;
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out += StrFormat("%s\"%s\": %.17g", first ? "" : ", ", name.c_str(),
+                     value);
+    first = false;
+  }
+  out += "}, \"quantiles\": {";
+  first = true;
+  for (const auto& [name, q] : quantiles) {
+    out += StrFormat(
+        "%s\"%s\": {\"count\": %lld, \"p50\": %.17g, \"p95\": %.17g, "
+        "\"p99\": %.17g}",
+        first ? "" : ", ", name.c_str(), static_cast<long long>(q.count),
+        q.p50, q.p95, q.p99);
+    first = false;
+  }
+  out += StrFormat(
+      "}, \"slo\": {\"completed\": %lld, \"expired\": %lld, "
+      "\"shed\": %lld, \"completed_work\": %.17g, \"goodput\": %.17g, "
+      "\"deadline_hit_rate\": %.17g}}",
+      static_cast<long long>(completed), static_cast<long long>(expired),
+      static_cast<long long>(shed), completed_work, goodput,
+      deadline_hit_rate);
+  return out;
+}
+
+TimeSeriesRecorder::TimeSeriesRecorder(MetricsRegistry* registry,
+                                       TimeSeriesOptions options)
+    : registry_(registry), options_(std::move(options)) {
+  if (enabled()) prev_ = registry_->Snapshot();
+}
+
+double TimeSeriesRecorder::WallSeconds() {
+  auto now = std::chrono::steady_clock::now();
+  ++clock_reads_;
+  if (!origin_set_) {
+    origin_ = now;
+    origin_set_ = true;
+  }
+  return std::chrono::duration<double>(now - origin_).count();
+}
+
+void TimeSeriesRecorder::AdvanceTo(double now) {
+  if (!enabled()) return;
+  if (now > advanced_to_) advanced_to_ = now;
+  while (window_start_ + options_.window_width <= now) {
+    CloseWindow(window_start_ + options_.window_width);
+  }
+}
+
+void TimeSeriesRecorder::Finish(double now) {
+  if (!enabled()) return;
+  AdvanceTo(now);
+  if (now > window_start_) CloseWindow(now);
+}
+
+void TimeSeriesRecorder::CloseWindow(double end) {
+  MetricsSnapshot snap = registry_->Snapshot();
+  TimeSeriesWindow w;
+  w.index = static_cast<int64_t>(windows_.size());
+  w.start = window_start_;
+  w.end = end;
+  for (const auto& [name, value] : snap.counters) {
+    if (!MatchesAnyPrefix(name, options_.counter_prefixes)) continue;
+    w.counters[name] = value - CounterAt(prev_, name);
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    if (!MatchesAnyPrefix(name, options_.gauge_prefixes)) continue;
+    w.gauges[name] = value - GaugeAt(prev_, name);
+  }
+  for (const std::string& name : options_.quantile_histograms) {
+    w.quantiles[name] = QuantilesFromBucketDeltas(
+        BucketDeltas(prev_, snap, name));
+  }
+  w.completed = CounterAt(snap, options_.completed_counter) -
+                CounterAt(prev_, options_.completed_counter);
+  for (const std::string& name : options_.expired_counters) {
+    w.expired += CounterAt(snap, name) - CounterAt(prev_, name);
+  }
+  for (const std::string& name : options_.shed_counters) {
+    w.shed += CounterAt(snap, name) - CounterAt(prev_, name);
+  }
+  w.completed_work = GaugeAt(snap, options_.completed_work_gauge) -
+                     GaugeAt(prev_, options_.completed_work_gauge);
+  double width = end - w.start;
+  w.goodput = width > 0 ? w.completed_work / width : 0;
+  w.deadline_hit_rate =
+      w.completed + w.expired > 0
+          ? static_cast<double>(w.completed) /
+                static_cast<double>(w.completed + w.expired)
+          : 1.0;
+  if (options_.capture_wall_time) w.wall_ns = WallSeconds() * 1e9;
+  windows_.push_back(std::move(w));
+  prev_ = std::move(snap);
+  window_start_ = end;
+}
+
+std::string TimeSeriesRecorder::ToJsonLines() const {
+  std::string out;
+  for (const TimeSeriesWindow& w : windows_) {
+    out += w.ToJson(options_.capture_wall_time);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string TimeSeriesRecorder::Digest() const {
+  std::string scrubbed;
+  for (const TimeSeriesWindow& w : windows_) {
+    scrubbed += w.ToJson(/*include_wall=*/false);
+    scrubbed += "\n";
+  }
+  return Fnv1a64Hex(scrubbed);
+}
+
+}  // namespace xmlshred

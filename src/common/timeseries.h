@@ -1,0 +1,163 @@
+// Windowed time-series recorder over a MetricsRegistry (DESIGN.md §15).
+//
+// The metrics registry holds cumulative totals: perfect for end-of-run
+// reports, useless for "when did goodput collapse during the soak". The
+// TimeSeriesRecorder closes that gap by snapshotting a registry at fixed-
+// width window boundaries and emitting one record per window holding
+//
+//  * counter *deltas* for every counter matching a configured prefix
+//    (the key set is stable because the registry pre-registers its
+//    well-known names),
+//  * gauge *deltas* (value at close minus value at the previous close)
+//    for every matching accumulating gauge — flows like exec.work, not
+//    SetMax peaks, whose cumulative max has no meaningful windowed delta
+//    and would break rerun-invariance on a registry shared across runs,
+//  * per-window quantiles (p50/p95/p99) derived from the integer bucket
+//    deltas of selected histograms — a quantile is the upper bound of the
+//    first bucket whose cumulative delta count reaches the rank, computed
+//    in integer arithmetic, so it is bit-identical at any thread count,
+//  * SLO derivations: completed/expired/shed deltas, goodput (completed
+//    work per window-width unit) and the deadline-hit rate.
+//
+// Time discipline: windows are [k*w, (k+1)*w). The owner calls
+// AdvanceTo(now) BEFORE recording the effects of an event at `now`, so an
+// event landing exactly on a window boundary belongs to the *next*
+// window. Under the virtual-time serving drivers `now` is virtual work
+// units and the recorder performs ZERO clock reads; with
+// `capture_wall_time` (real serving) each closed window additionally
+// stamps `wall_ns` and wall-latency quantiles, and every steady-clock
+// read is counted in clock_reads() so tests can assert the zero-read
+// contract of the deterministic paths.
+
+#ifndef XMLSHRED_COMMON_TIMESERIES_H_
+#define XMLSHRED_COMMON_TIMESERIES_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace xmlshred {
+
+struct TimeSeriesOptions {
+  // Window width in the caller's time unit (virtual work units or
+  // seconds). <= 0 disables the recorder entirely.
+  double window_width = 0;
+  // Counters / gauges whose name starts with one of these prefixes are
+  // carried per window (both as within-window deltas). List only
+  // accumulating flow gauges here — a SetMax peak gauge's windowed delta
+  // is meaningless and rerun-dependent on a shared registry.
+  std::vector<std::string> counter_prefixes = {"serve.", "exec."};
+  std::vector<std::string> gauge_prefixes = {"exec.",
+                                             "serve.completed_work"};
+  // Histograms whose per-window bucket deltas yield p50/p95/p99.
+  std::vector<std::string> quantile_histograms = {"serve.latency_work",
+                                                  "serve.queue_wait_work"};
+  // SLO inputs: counter names summed into the completed/expired/shed
+  // deltas, and the gauge whose delta is completed work.
+  std::string completed_counter = "serve.completed";
+  std::vector<std::string> expired_counters = {"serve.expired_in_queue",
+                                               "serve.expired_mid_query"};
+  std::vector<std::string> shed_counters = {"serve.shed_queue_full",
+                                            "serve.shed_budget",
+                                            "serve.shed_session"};
+  std::string completed_work_gauge = kMetricServeCompletedWork;
+  // Read the steady clock at each window close (wall_ns key) and expose
+  // wall-latency quantiles. Off = the recorder never reads a clock.
+  bool capture_wall_time = false;
+};
+
+struct WindowQuantiles {
+  int64_t count = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
+struct TimeSeriesWindow {
+  int64_t index = 0;
+  double start = 0;
+  double end = 0;
+  std::map<std::string, int64_t> counters;  // deltas within the window
+  std::map<std::string, double> gauges;     // deltas within the window
+  std::map<std::string, WindowQuantiles> quantiles;
+  // SLO derivations.
+  int64_t completed = 0;
+  int64_t expired = 0;
+  int64_t shed = 0;
+  double completed_work = 0;
+  double goodput = 0;            // completed_work / (end - start)
+  double deadline_hit_rate = 0;  // completed / (completed + expired); 1
+                                 // when neither occurred
+  // Wall-clock close time (ns since recorder construction); present only
+  // under capture_wall_time and stripped by tools/strip_timing_keys.py.
+  double wall_ns = 0;
+
+  // One compact JSON object (single line, no trailing newline).
+  std::string ToJson(bool include_wall) const;
+};
+
+// Derives p50/p95/p99 from log-scale bucket deltas (pairs of bucket
+// index, delta count). Pure integer rank arithmetic; exposed for tests.
+WindowQuantiles QuantilesFromBucketDeltas(
+    const std::vector<std::pair<int, int64_t>>& deltas);
+
+class TimeSeriesRecorder {
+ public:
+  // `registry` must outlive the recorder. The construction snapshot is
+  // window 0's baseline, so a registry carrying earlier runs' totals
+  // still yields correct deltas.
+  TimeSeriesRecorder(MetricsRegistry* registry, TimeSeriesOptions options);
+
+  TimeSeriesRecorder(const TimeSeriesRecorder&) = delete;
+  TimeSeriesRecorder& operator=(const TimeSeriesRecorder&) = delete;
+
+  // Closes every window whose end <= now. Call BEFORE recording the
+  // effects of the event at `now`.
+  void AdvanceTo(double now);
+
+  // Closes the final (possibly partial) window covering `now`. No-op
+  // when nothing happened since the last boundary.
+  void Finish(double now);
+
+  // Seconds since construction read from the steady clock — the wall
+  // analogue of virtual `now` for real-thread serving. Counted in
+  // clock_reads(); callers must gate on capture_wall_time themselves.
+  double WallSeconds();
+
+  const std::vector<TimeSeriesWindow>& windows() const { return windows_; }
+  bool enabled() const { return options_.window_width > 0; }
+  double window_width() const { return options_.window_width; }
+  // Time the recorder has been advanced to (start of the open window
+  // plus any partial progress).
+  double now() const { return advanced_to_; }
+
+  // JSON Lines: one TimeSeriesWindow::ToJson per line.
+  std::string ToJsonLines() const;
+  // FNV-1a hex digest of ToJsonLines() with wall keys excluded — the
+  // cross-thread-count comparison handle.
+  std::string Digest() const;
+
+  // Steady-clock reads performed so far (0 unless capture_wall_time).
+  int64_t clock_reads() const { return clock_reads_; }
+
+ private:
+  void CloseWindow(double end);
+
+  MetricsRegistry* registry_;
+  TimeSeriesOptions options_;
+  MetricsSnapshot prev_;
+  std::vector<TimeSeriesWindow> windows_;
+  double window_start_ = 0;
+  double advanced_to_ = 0;
+  int64_t clock_reads_ = 0;
+  std::chrono::steady_clock::time_point origin_{};
+  bool origin_set_ = false;
+};
+
+}  // namespace xmlshred
+
+#endif  // XMLSHRED_COMMON_TIMESERIES_H_

@@ -67,6 +67,35 @@ void AppendSpanJson(std::string* out, const TraceSpan& span, int indent,
 
 }  // namespace
 
+bool DeterministicHeadSample(uint64_t seed, uint64_t key, int period) {
+  if (period <= 0) return false;
+  if (period == 1) return true;
+  // splitmix64 finalizer, same generator as common/rng.h.
+  uint64_t z = seed ^ key ^ 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return z % static_cast<uint64_t>(period) == 0;
+}
+
+std::string TraceRootsSampledToJson(const TraceSink& sink, int period,
+                                    uint64_t seed, bool include_timing) {
+  std::vector<const TraceSpan*> sampled;
+  const auto& roots = sink.roots();
+  for (size_t i = 0; i < roots.size(); ++i) {
+    if (DeterministicHeadSample(seed, static_cast<uint64_t>(i), period)) {
+      sampled.push_back(roots[i].get());
+    }
+  }
+  std::string out = "{\n  \"schema_version\": 1,\n  \"spans\": [\n";
+  for (size_t i = 0; i < sampled.size(); ++i) {
+    AppendSpanJson(&out, *sampled[i], 4, include_timing);
+    out += i + 1 < sampled.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
 std::string TraceSink::ToJson(bool include_timing) const {
   std::string out = "{\n  \"schema_version\": 1,\n  \"spans\": [\n";
   for (size_t i = 0; i < roots_.size(); ++i) {

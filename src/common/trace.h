@@ -81,6 +81,19 @@ class TraceSink {
   std::vector<TraceSpan*> open_;  // innermost last
 };
 
+// Deterministic head-based sampling decision: true iff `key` falls in
+// the 1-in-`period` sample keyed by `seed` (splitmix64 finalizer over
+// seed ^ key, so the decision is fixed at request birth and identical on
+// every replay). period <= 0 samples nothing; period == 1 samples all.
+bool DeterministicHeadSample(uint64_t seed, uint64_t key, int period);
+
+// Renders only the 1-in-`period` head-sampled root spans of `sink` as a
+// spans JSON document (same shape as TraceSink::ToJson). The sampling
+// key of root i is its index, so the selected subset depends only on
+// (seed, period, root order).
+std::string TraceRootsSampledToJson(const TraceSink& sink, int period,
+                                    uint64_t seed, bool include_timing);
+
 // RAII span. Scopes must nest (stack discipline), which the C++ scoping
 // rules give for free.
 class SpanScope {

@@ -7,6 +7,7 @@
 
 #include "common/fault_injection.h"
 #include "common/logging.h"
+#include "common/strings.h"
 #include "exec/executor.h"
 #include "sql/binder.h"
 #include "xpath/translator.h"
@@ -45,6 +46,33 @@ SessionManager::SessionManager(Database* db, const SchemaTree& tree,
   catalog_ = db_->BuildCatalogDesc();
   // Serve from a published state even if the caller never appends.
   if (db_->LatestSnapshot() == nullptr) db_->PublishEpoch();
+  if (config.telemetry.enabled()) {
+    telemetry_ = std::make_unique<ServeTelemetry>(metrics_, config.telemetry);
+  }
+}
+
+void SessionManager::FinalizeTelemetry(double now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (telemetry_ != nullptr) telemetry_->Finish(now);
+}
+
+void SessionManager::PostmortemLocked(const char* trigger, double time,
+                                      uint64_t request_id, uint64_t ticket,
+                                      const Status& status,
+                                      const std::string& plan_explain) {
+  PostmortemBundle b;
+  b.trigger = trigger;
+  b.time = time;
+  b.request_id = request_id;
+  b.ticket = ticket;
+  b.status = status.ToString();
+  b.queue_depth = queue_.size();
+  b.running = running_;
+  b.pool_outstanding = pool_.outstanding();
+  b.pool_capacity = pool_.capacity();
+  b.pool_reservations = static_cast<size_t>(pool_.reservations());
+  b.plan_explain = plan_explain;
+  telemetry_->CapturePostmortem(std::move(b));
 }
 
 uint64_t SessionManager::OpenSession(double work_budget) {
@@ -79,6 +107,49 @@ AdmitOutcome SessionManager::AdmitLocked(std::unique_lock<std::mutex>& lock,
                                          double now, bool threaded,
                                          ServeResponse* shed,
                                          uint64_t* ticket) {
+  // Telemetry prologue: advance the time-series windows past `now`
+  // before this request's counters land, mint the request identity, and
+  // fix the head-sampling decision. Disabled telemetry costs exactly
+  // this one null check.
+  double tnow = now;
+  uint64_t request_id = 0;
+  std::unique_ptr<TraceSink> trace;
+  if (telemetry_ != nullptr) {
+    tnow = telemetry_->Advance(now);
+    request_id = telemetry_->MintRequestId();
+    if (telemetry_->SampleRequest(request_id)) {
+      trace = std::make_unique<TraceSink>();
+    }
+  }
+  // Finalizes a rejected request's telemetry: the terminal event, the
+  // closing "admission" span of a sampled trace, and — for sheds and
+  // faults (not client errors) — a flight-recorder post-mortem.
+  auto reject = [&](const char* event_name, bool postmortem,
+                    const std::string& plan_explain) {
+    if (telemetry_ == nullptr) return;
+    telemetry_->Record(
+        tnow, event_name,
+        {{"request_id", std::to_string(request_id)},
+         {"session", std::to_string(session_id)},
+         {"attempt", std::to_string(request.attempt)},
+         {"status", std::string(shed->status.message())}});
+    if (postmortem) {
+      PostmortemLocked(event_name, tnow, request_id, /*ticket=*/0,
+                       shed->status, plan_explain);
+    }
+    if (trace != nullptr) {
+      {
+        SpanScope s(trace.get(), "admission");
+        s.Attr("outcome", "shed");
+        s.Attr("event", event_name);
+        s.Attr("status", shed->status.message());
+        s.Attr("retry_after", shed->retry_after);
+      }
+      telemetry_->FinishTrace(request_id, request.attempt,
+                              std::move(trace));
+    }
+  };
+
   if (request.attempt <= 1) {
     metrics_->counter(kMetricServeRequests)->Increment();
   } else {
@@ -93,12 +164,14 @@ AdmitOutcome SessionManager::AdmitLocked(std::unique_lock<std::mutex>& lock,
     }
     shed->status = std::move(admit);
     shed->retry_after = RetryAfterHintLocked();  // transient server fault
+    reject("fault.admit", /*postmortem=*/true, "");
     return AdmitOutcome::kShed;
   }
 
   if (sessions_.find(session_id) == sessions_.end()) {
     metrics_->counter(kMetricServeFailed)->Increment();
     shed->status = NotFound("unknown session");
+    reject("request.rejected", /*postmortem=*/false, "");
     return AdmitOutcome::kShed;
   }
 
@@ -113,12 +186,14 @@ AdmitOutcome SessionManager::AdmitLocked(std::unique_lock<std::mutex>& lock,
     if (!translated.ok()) {
       metrics_->counter(kMetricServeFailed)->Increment();
       shed->status = translated.status();
+      reject("request.rejected", /*postmortem=*/false, "");
       return AdmitOutcome::kShed;
     }
     Result<BoundQuery> bound = BindQuery(translated->sql, catalog_);
     if (!bound.ok()) {
       metrics_->counter(kMetricServeFailed)->Increment();
       shed->status = bound.status();
+      reject("request.rejected", /*postmortem=*/false, "");
       return AdmitOutcome::kShed;
     }
     PlannerOptions popts;
@@ -127,9 +202,16 @@ AdmitOutcome SessionManager::AdmitLocked(std::unique_lock<std::mutex>& lock,
     if (!planned.ok()) {
       metrics_->counter(kMetricServeFailed)->Increment();
       shed->status = planned.status();
+      reject("request.rejected", /*postmortem=*/false, "");
       return AdmitOutcome::kShed;
     }
     plan = std::move(*planned);
+  }
+
+  if (trace != nullptr) {
+    SpanScope s(trace.get(), "planning");
+    s.Attr("est_cost", plan.est_cost);
+    s.Attr("objects_used", static_cast<int64_t>(plan.objects_used.size()));
   }
 
   double session_rem = SessionRemainingLocked(session_id);
@@ -137,6 +219,7 @@ AdmitOutcome SessionManager::AdmitLocked(std::unique_lock<std::mutex>& lock,
     metrics_->counter(kMetricServeShedSession)->Increment();
     shed->status = ResourceExhausted("session work budget exhausted");
     shed->retry_after = 0;  // a session budget never refills
+    reject("shed.session", /*postmortem=*/true, plan.Explain());
     return AdmitOutcome::kShed;
   }
 
@@ -144,7 +227,15 @@ AdmitOutcome SessionManager::AdmitLocked(std::unique_lock<std::mutex>& lock,
     metrics_->counter(kMetricServeShedBudget)->Increment();
     shed->status = ResourceExhausted("global work budget saturated");
     shed->retry_after = RetryAfterHintLocked();
+    reject("shed.budget", /*postmortem=*/true, plan.Explain());
     return AdmitOutcome::kShed;
+  }
+
+  if (trace != nullptr) {
+    SpanScope s(trace.get(), "budget");
+    s.Attr("reserved", plan.est_cost);
+    s.Attr("session_remaining", session_rem);
+    s.Attr("pool_outstanding", pool_.outstanding());
   }
 
   bool slot_free = running_ < config_.max_concurrent && queue_.Empty();
@@ -153,6 +244,7 @@ AdmitOutcome SessionManager::AdmitLocked(std::unique_lock<std::mutex>& lock,
     metrics_->counter(kMetricServeShedQueueFull)->Increment();
     shed->status = ResourceExhausted("admission queue full");
     shed->retry_after = RetryAfterHintLocked();
+    reject("shed.queue_full", /*postmortem=*/true, plan.Explain());
     return AdmitOutcome::kShed;
   }
 
@@ -168,6 +260,8 @@ AdmitOutcome SessionManager::AdmitLocked(std::unique_lock<std::mutex>& lock,
       request.deadline_work > 0 ? now + request.deadline_work : 0;
   p.cancel = request.cancel;
   p.threaded = threaded;
+  p.request_id = request_id;
+  p.attempt = request.attempt;
   metrics_->gauge(kMetricServeOutstandingWorkPeak)
       ->SetMax(pool_.outstanding());
   *ticket = t;
@@ -179,6 +273,17 @@ AdmitOutcome SessionManager::AdmitLocked(std::unique_lock<std::mutex>& lock,
     metrics_->counter(kMetricServeAdmitted)->Increment();
     metrics_->gauge(kMetricServeInflightPeak)
         ->SetMax(static_cast<double>(running_));
+    if (telemetry_ != nullptr) {
+      telemetry_->Record(tnow, "request.admitted",
+                         {{"request_id", std::to_string(request_id)},
+                          {"ticket", std::to_string(t)},
+                          {"session", std::to_string(session_id)}});
+      if (trace != nullptr) {
+        SpanScope s(trace.get(), "admission");
+        s.Attr("outcome", "run");
+      }
+      p.trace = std::move(trace);
+    }
     return AdmitOutcome::kRun;
   }
 
@@ -189,6 +294,18 @@ AdmitOutcome SessionManager::AdmitLocked(std::unique_lock<std::mutex>& lock,
   metrics_->counter(kMetricServeQueued)->Increment();
   metrics_->gauge(kMetricServeQueueDepthPeak)
       ->SetMax(static_cast<double>(queue_.size()));
+  if (telemetry_ != nullptr) {
+    telemetry_->Record(tnow, "request.queued",
+                       {{"request_id", std::to_string(request_id)},
+                        {"ticket", std::to_string(t)},
+                        {"depth", std::to_string(queue_.size())}});
+    if (trace != nullptr) {
+      SpanScope s(trace.get(), "admission");
+      s.Attr("outcome", "queued");
+      s.Attr("queue_depth", static_cast<int64_t>(queue_.size()));
+    }
+    p.trace = std::move(trace);
+  }
   (void)lock;
   return AdmitOutcome::kQueued;
 }
@@ -262,21 +379,58 @@ ServeResponse SessionManager::ExecuteLocked(uint64_t ticket, double now) {
   resp.status = status;
 
   std::lock_guard<std::mutex> lock(mu_);
+  double tnow = now;
+  if (telemetry_ != nullptr) tnow = telemetry_->Advance(now);
   auto sit = sessions_.find(session_id);
   if (sit != sessions_.end()) sit->second.spent += m.work;
+  const char* outcome;
+  const char* postmortem_trigger = nullptr;
   if (status.ok()) {
     metrics_->counter(kMetricServeCompleted)->Increment();
+    // Integer work units accumulate exactly, so per-window deltas of
+    // this gauge (the goodput numerator) are deterministic.
+    metrics_->gauge(kMetricServeCompletedWork)->Add(m.work);
+    outcome = "completed";
   } else if (status.code() == StatusCode::kResourceExhausted &&
              deadline_binding && bound != kInfDeadline) {
     metrics_->counter(kMetricServeExpiredMidQuery)->Increment();
+    outcome = "expired_mid_query";
+    postmortem_trigger = "governor.deadline";
   } else if (status.code() == StatusCode::kResourceExhausted &&
              !deadline_binding && bound != kInfDeadline) {
     metrics_->counter(kMetricServeShedSession)->Increment();
+    outcome = "shed_session";
+    postmortem_trigger = "governor.session";
   } else {
     // Cancellation, injected mid-query faults, and organic errors.
     metrics_->counter(kMetricServeFailed)->Increment();
+    outcome = "failed";
     if (IsInjectedFault(status)) {
       metrics_->counter(kMetricServeFaultsInjected)->Increment();
+      postmortem_trigger = "fault.mid_query";
+    }
+  }
+  if (telemetry_ != nullptr) {
+    PendingRequest& p = pending_.at(ticket);
+    telemetry_->Record(tnow, "execute.done",
+                       {{"request_id", std::to_string(p.request_id)},
+                        {"ticket", std::to_string(ticket)},
+                        {"outcome", outcome},
+                        {"rows", std::to_string(resp.rows_out)},
+                        {"work", StrFormat("%.17g", m.work)},
+                        {"epoch", std::to_string(resp.epoch)}});
+    if (p.trace != nullptr) {
+      SpanScope s(p.trace.get(), "execute");
+      s.Attr("outcome", outcome);
+      s.Attr("status", status.message());
+      s.Attr("rows", resp.rows_out);
+      s.Attr("work", m.work);
+      s.Attr("epoch", static_cast<int64_t>(resp.epoch));
+      s.Attr("deadline_binding", deadline_binding && bound != kInfDeadline);
+    }
+    if (postmortem_trigger != nullptr) {
+      PostmortemLocked(postmortem_trigger, tnow, p.request_id, ticket,
+                       status, p.plan.Explain());
     }
   }
   return resp;
@@ -291,11 +445,30 @@ uint64_t SessionManager::RetireAndDispatchLocked(uint64_t ticket,
   auto it = pending_.find(ticket);
   XS_CHECK(it != pending_.end());
   PendingRequest& p = it->second;
+  double tnow = now;
+  if (telemetry_ != nullptr) tnow = telemetry_->Advance(now);
   pool_.Release(p.est_work);
   --running_;
   metrics_->histogram(kMetricServeLatencyWork)->Observe(now - p.arrival);
   metrics_->histogram(kMetricServeQueueWaitWork)
       ->Observe(p.dispatch_time - p.arrival);
+  if (telemetry_ != nullptr) {
+    telemetry_->Record(
+        tnow, "request.complete",
+        {{"request_id", std::to_string(p.request_id)},
+         {"ticket", std::to_string(ticket)},
+         {"latency_work", StrFormat("%.17g", now - p.arrival)},
+         {"queue_wait_work",
+          StrFormat("%.17g", p.dispatch_time - p.arrival)}});
+    if (p.trace != nullptr) {
+      {
+        SpanScope s(p.trace.get(), "complete");
+        s.Attr("latency_work", now - p.arrival);
+        s.Attr("queue_wait_work", p.dispatch_time - p.arrival);
+      }
+      telemetry_->FinishTrace(p.request_id, p.attempt, std::move(p.trace));
+    }
+  }
   pending_.erase(it);
 
   while (!queue_.Empty()) {
@@ -304,6 +477,25 @@ uint64_t SessionManager::RetireAndDispatchLocked(uint64_t ticket,
     if (n.deadline_abs > 0 && now >= n.deadline_abs) {
       metrics_->counter(kMetricServeExpiredInQueue)->Increment();
       pool_.Release(n.est_work);
+      if (telemetry_ != nullptr) {
+        Status expired =
+            ResourceExhausted("deadline expired in admission queue");
+        telemetry_->Record(
+            tnow, "expired.queue",
+            {{"request_id", std::to_string(n.request_id)},
+             {"ticket", std::to_string(q.ticket)},
+             {"deadline_abs", StrFormat("%.17g", n.deadline_abs)}});
+        PostmortemLocked("expired.queue", tnow, n.request_id, q.ticket,
+                         expired, n.plan.Explain());
+        if (n.trace != nullptr) {
+          {
+            SpanScope s(n.trace.get(), "expired_in_queue");
+            s.Attr("deadline_abs", n.deadline_abs);
+          }
+          telemetry_->FinishTrace(n.request_id, n.attempt,
+                                  std::move(n.trace));
+        }
+      }
       if (n.threaded) {
         // The owning Submit thread reaps its own entry.
         n.state = PendingState::kExpired;
@@ -320,6 +512,11 @@ uint64_t SessionManager::RetireAndDispatchLocked(uint64_t ticket,
     metrics_->counter(kMetricServeAdmitted)->Increment();
     metrics_->gauge(kMetricServeInflightPeak)
         ->SetMax(static_cast<double>(running_));
+    if (telemetry_ != nullptr) {
+      telemetry_->Record(tnow, "request.dispatched",
+                         {{"request_id", std::to_string(n.request_id)},
+                          {"ticket", std::to_string(q.ticket)}});
+    }
     return q.ticket;
   }
   return 0;
@@ -358,11 +555,30 @@ ServeResponse SessionManager::Submit(uint64_t session_id,
           // the expiry ourselves.
           queue_.Remove(p.queue_deadline, p.queue_seq, ticket);
           pool_.Release(p.est_work);
-          metrics_->counter(kMetricServeExpiredInQueue)->Increment();
-          pending_.erase(ticket);
           ServeResponse timeout;
           timeout.status =
               ResourceExhausted("queue wait exceeded wall deadline");
+          double tnow = 0;
+          if (telemetry_ != nullptr) tnow = telemetry_->Advance(0);
+          metrics_->counter(kMetricServeExpiredInQueue)->Increment();
+          if (telemetry_ != nullptr) {
+            telemetry_->Record(tnow, "expired.queue",
+                               {{"request_id",
+                                 std::to_string(p.request_id)},
+                                {"ticket", std::to_string(ticket)},
+                                {"reason", "wall_queue_wait"}});
+            PostmortemLocked("expired.queue", tnow, p.request_id, ticket,
+                             timeout.status, p.plan.Explain());
+            if (p.trace != nullptr) {
+              {
+                SpanScope s(p.trace.get(), "expired_in_queue");
+                s.Attr("reason", "wall_queue_wait");
+              }
+              telemetry_->FinishTrace(p.request_id, p.attempt,
+                                      std::move(p.trace));
+            }
+          }
+          pending_.erase(ticket);
           return timeout;
         }
       } else {
@@ -388,13 +604,27 @@ ServeResponse SessionManager::Submit(uint64_t session_id,
 }
 
 Status SessionManager::AppendAndPublish(const std::string& table,
-                                        const std::vector<Row>& rows) {
+                                        const std::vector<Row>& rows,
+                                        double now) {
   // All-or-nothing versus injected publish faults: checked before any
   // mutation so a failed publish leaves no half-visible rows.
   Status fault = FaultInjector::Global()->Check(kFaultSiteServeEpochPublish);
   if (!fault.ok()) {
+    std::unique_lock<std::mutex> lock(mu_, std::defer_lock);
+    double tnow = now;
+    if (telemetry_ != nullptr) {
+      lock.lock();
+      tnow = telemetry_->Advance(now);
+    }
     if (IsInjectedFault(fault)) {
       metrics_->counter(kMetricServeFaultsInjected)->Increment();
+    }
+    if (telemetry_ != nullptr) {
+      telemetry_->Record(tnow, "fault.publish",
+                         {{"table", table},
+                          {"status", std::string(fault.message())}});
+      PostmortemLocked("fault.publish", tnow, /*request_id=*/0,
+                       /*ticket=*/0, fault, "");
     }
     return fault;
   }
@@ -428,7 +658,15 @@ Status SessionManager::AppendAndPublish(const std::string& table,
     CatalogDesc rebuilt = db_->BuildCatalogDesc();
     std::lock_guard<std::mutex> lock(mu_);
     catalog_ = std::move(rebuilt);
+    double tnow = now;
+    if (telemetry_ != nullptr) tnow = telemetry_->Advance(now);
     metrics_->counter(kMetricServeEpochsPublished)->Increment();
+    if (telemetry_ != nullptr) {
+      telemetry_->Record(tnow, "epoch.publish",
+                         {{"table", table},
+                          {"epoch", std::to_string(db_->current_epoch())},
+                          {"rows", std::to_string(rows.size())}});
+    }
   }
   return index_status;
 }

@@ -54,10 +54,12 @@
 #include "common/exec_context.h"
 #include "common/metrics.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "mapping/mapping.h"
 #include "opt/planner.h"
 #include "rel/catalog.h"
 #include "serve/admission.h"
+#include "serve/telemetry.h"
 #include "xml/schema_tree.h"
 #include "xpath/xpath.h"
 
@@ -68,8 +70,8 @@ namespace xmlshred {
 // are bit-identical at any value — the per-request governor is the shared
 // budget pool its workers charge through — so it only changes request
 // latency); `capture_timing` / `collect_explain` are accepted for
-// uniformity but the serving loop keeps neither per-request trees nor
-// wall times today.
+// uniformity but per-request observability lives in `telemetry` below
+// (head-sampled span traces, not full explain trees).
 struct ServeConfig : ExecKnobs {
   // Execution slots: requests running concurrently (overlapping in
   // virtual time under the DES driver, real threads under Submit).
@@ -82,6 +84,10 @@ struct ServeConfig : ExecKnobs {
   // Default per-session work budget for OpenSession(0); <= 0 unlimited.
   double session_work_budget = 0;
   bool vectorized_scan = true;
+  // Continuous telemetry (serve/telemetry.h). All-off by default: the
+  // manager then allocates no telemetry object and the request path pays
+  // one null check — no clock reads, no recorder allocations.
+  ServeTelemetryConfig telemetry;
 };
 
 struct ServeRequest {
@@ -176,7 +182,7 @@ class SessionManager {
   // queries to finish their scans and new rows become visible only to
   // requests admitted after publish.
   Status AppendAndPublish(const std::string& table,
-                          const std::vector<Row>& rows);
+                          const std::vector<Row>& rows, double now = 0);
 
   // --- Introspection (tests, soak invariant checks) ---
 
@@ -192,6 +198,17 @@ class SessionManager {
   double outstanding_work() const;
   uint64_t current_epoch() const { return db_->current_epoch(); }
   MetricsRegistry* metrics() { return metrics_; }
+
+  // --- Telemetry ---
+
+  // Null unless config.telemetry.enabled(). The pointer is stable for
+  // the manager's lifetime; exports are safe to read once the manager is
+  // idle (the driver thread is the only writer).
+  ServeTelemetry* telemetry() { return telemetry_.get(); }
+  // Closes the final time-series window at virtual time `now` (virtual-
+  // time drivers call this once after draining; wall-clock serving
+  // resolves `now` from the steady clock internally).
+  void FinalizeTelemetry(double now);
 
  private:
   struct SessionState {
@@ -220,6 +237,12 @@ class SessionManager {
     bool threaded = false;
     PendingState state = PendingState::kDispatched;
     ServeResponse response;  // threaded mode: filled by the executor
+    // Telemetry identity: minted per offered attempt at admission (0
+    // when telemetry is off) and the head-sampled span trace (null when
+    // the request is unsampled).
+    uint64_t request_id = 0;
+    int attempt = 1;
+    std::unique_ptr<TraceSink> trace;
   };
 
   // Admission under mu_ (shared by Offer and Submit). Returns the
@@ -243,12 +266,20 @@ class SessionManager {
 
   double SessionRemainingLocked(uint64_t session_id) const;
 
+  // Captures a post-mortem bundle from current manager state plus the
+  // flight-recorder tail; requires mu_ held and telemetry enabled.
+  void PostmortemLocked(const char* trigger, double time,
+                        uint64_t request_id, uint64_t ticket,
+                        const Status& status,
+                        const std::string& plan_explain);
+
   Database* db_;
   const SchemaTree& tree_;
   const Mapping& mapping_;
   ServeConfig config_;
   std::unique_ptr<MetricsRegistry> owned_metrics_;
   MetricsRegistry* metrics_;
+  std::unique_ptr<ServeTelemetry> telemetry_;  // null when disabled
 
   // Physical read/write gate: queries scan columnar vectors under a
   // shared lock; AppendAndPublish mutates them under the exclusive lock.

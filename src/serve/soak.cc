@@ -218,13 +218,17 @@ Result<SoakReport> RunSoak(SessionManager* manager, const XPathWorkload& mix,
       }
       case EventKind::kAppend: {
         Status appended = manager->AppendAndPublish(
-            options.append_table, options.append_rows(e.append_idx));
+            options.append_table, options.append_rows(e.append_idx),
+            e.time);
         if (!appended.ok()) ++report.append_failures;
         break;
       }
     }
   }
   if (options.fault_probability > 0) FaultInjector::Global()->Disarm();
+  // Close the final (partial) time-series window at the drain time so
+  // two runs of the same schedule export identical window sets.
+  manager->FinalizeTelemetry(last_time);
 
   // Fold the serve.* counter deltas into the report.
   MetricsSnapshot after = manager->metrics()->Snapshot();

@@ -1,0 +1,148 @@
+#include "serve/telemetry.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace xmlshred {
+
+namespace {
+
+// Compact single-line rendering of one flat span (the per-request traces
+// hold sibling roots, never nested children, so this stays simple).
+void AppendCompactSpanJson(std::string* out, const TraceSpan& span) {
+  *out += "{\"name\": \"";
+  AppendJsonEscaped(out, span.name);
+  *out += "\", \"attrs\": {";
+  for (size_t i = 0; i < span.attrs.size(); ++i) {
+    if (i > 0) *out += ", ";
+    *out += "\"";
+    AppendJsonEscaped(out, span.attrs[i].first);
+    *out += "\": \"";
+    AppendJsonEscaped(out, span.attrs[i].second);
+    *out += "\"";
+  }
+  *out += "}}";
+}
+
+}  // namespace
+
+std::string PostmortemBundle::ToJson() const {
+  std::string out = "{\n  \"schema_version\": 1,\n  \"trigger\": \"";
+  AppendJsonEscaped(&out, trigger);
+  out += StrFormat(
+      "\",\n  \"time\": %.17g,\n  \"request_id\": %llu,\n"
+      "  \"ticket\": %llu,\n  \"status\": \"",
+      time, static_cast<unsigned long long>(request_id),
+      static_cast<unsigned long long>(ticket));
+  AppendJsonEscaped(&out, status);
+  out += StrFormat(
+      "\",\n  \"manager\": {\"queue_depth\": %llu, \"running\": %d, "
+      "\"pool_outstanding\": %.17g, \"pool_capacity\": %.17g, "
+      "\"pool_reservations\": %llu},\n  \"plan_explain\": \"",
+      static_cast<unsigned long long>(queue_depth), running,
+      pool_outstanding, pool_capacity,
+      static_cast<unsigned long long>(pool_reservations));
+  AppendJsonEscaped(&out, plan_explain);
+  out += "\",\n  \"events\": [";
+  for (size_t i = 0; i < events.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    AppendLogEventJson(&out, events[i]);
+  }
+  out += events.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+ServeTelemetry::ServeTelemetry(MetricsRegistry* metrics,
+                               ServeTelemetryConfig config)
+    : config_(config),
+      recorder_(metrics,
+                [&config] {
+                  TimeSeriesOptions opts;
+                  opts.window_width = config.window_width;
+                  opts.capture_wall_time = config.capture_wall_time;
+                  return opts;
+                }()),
+      ring_(config.flight_recorder_capacity) {}
+
+double ServeTelemetry::Advance(double virtual_now) {
+  double now = config_.capture_wall_time ? recorder_.WallSeconds()
+                                         : virtual_now;
+  recorder_.AdvanceTo(now);
+  return now;
+}
+
+void ServeTelemetry::Finish(double virtual_now) {
+  double now = config_.capture_wall_time ? recorder_.WallSeconds()
+                                         : virtual_now;
+  recorder_.Finish(now);
+}
+
+void ServeTelemetry::Record(
+    double time, std::string name,
+    std::vector<std::pair<std::string, std::string>> attrs) {
+  LogEvent event;
+  event.seq = next_event_seq_++;
+  event.time = time;
+  event.name = std::move(name);
+  event.attrs = std::move(attrs);
+  if (config_.keep_event_log) event_log_.push_back(event);
+  ring_.Append(std::move(event));
+}
+
+void ServeTelemetry::FinishTrace(uint64_t request_id, int attempt,
+                                 std::unique_ptr<TraceSink> trace) {
+  if (trace == nullptr) return;
+  std::string line = StrFormat(
+      "{\"request_id\": %llu, \"attempt\": %d, \"spans\": [",
+      static_cast<unsigned long long>(request_id), attempt);
+  const auto& roots = trace->roots();
+  for (size_t i = 0; i < roots.size(); ++i) {
+    if (i > 0) line += ", ";
+    AppendCompactSpanJson(&line, *roots[i]);
+  }
+  line += "]}";
+  traces_.emplace_back(request_id, std::move(line));
+}
+
+void ServeTelemetry::CapturePostmortem(PostmortemBundle bundle) {
+  if (config_.flight_recorder_capacity == 0) return;
+  ++postmortems_total_;
+  size_t& kept = postmortems_kept_[bundle.trigger];
+  if (kept >= config_.postmortem_limit) return;
+  ++kept;
+  bundle.events = ring_.Tail();
+  postmortems_.push_back(std::move(bundle));
+}
+
+std::string ServeTelemetry::TracesJsonLines() const {
+  std::vector<const std::pair<uint64_t, std::string>*> ordered;
+  ordered.reserve(traces_.size());
+  for (const auto& t : traces_) ordered.push_back(&t);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const auto* a, const auto* b) {
+                     return a->first < b->first;
+                   });
+  std::string out;
+  for (const auto* t : ordered) {
+    out += t->second;
+    out += "\n";
+  }
+  return out;
+}
+
+std::string ServeTelemetry::TracesDigest() const {
+  return Fnv1a64Hex(TracesJsonLines());
+}
+
+std::string ServeTelemetry::EventsDigest() const {
+  return Fnv1a64Hex(EventsJsonLines());
+}
+
+std::string ServeTelemetry::PostmortemsDigest() const {
+  std::string all;
+  for (const PostmortemBundle& b : postmortems_) all += b.ToJson();
+  return Fnv1a64Hex(all);
+}
+
+}  // namespace xmlshred

@@ -15,11 +15,16 @@ Usage:
   tools/check_metrics_schema.py FILE.json [FILE2.json ...]
       [--schema tools/explain_schema.json]
       [--min-counter NAME=VALUE ...]
+      [--jsonl]
 
 --schema picks the schema document (default: metrics_schema.json, which
 also enables the histogram invariants). --min-counter asserts a floor on
 a counter (e.g. search.runs=1) so CI can require that the instrumented
 pipeline actually ran, not just that an empty registry was serialized.
+--jsonl treats each input as JSON Lines and validates every non-empty
+line against the schema independently (the serving time-series export,
+tools/timeseries_schema.json); it is incompatible with the floor flags,
+which address one whole-document registry snapshot.
 """
 
 import argparse
@@ -133,7 +138,13 @@ def main():
                         metavar="NAME=VALUE",
                         help="require a gauge to be at least VALUE "
                              "(e.g. storage.encoded_bytes=1)")
+    parser.add_argument("--jsonl", action="store_true",
+                        help="validate each non-empty line as its own "
+                             "JSON document (JSON Lines exports)")
     args = parser.parse_args()
+    if args.jsonl and (args.min_counter or args.min_gauge):
+        parser.error("--jsonl is incompatible with --min-counter/--min-gauge "
+                     "(floors address one whole-document snapshot)")
 
     floors = {}
     for spec in args.min_counter:
@@ -161,6 +172,24 @@ def main():
     failed = False
     for path in args.files:
         try:
+            if args.jsonl:
+                with open(path) as f:
+                    lines = f.read().splitlines()
+                nonempty = 0
+                for lineno, line in enumerate(lines, 1):
+                    if not line.strip():
+                        continue
+                    nonempty += 1
+                    try:
+                        doc = json.loads(line)
+                    except json.JSONDecodeError as err:
+                        raise ValidationError(f"line {lineno}: {err}")
+                    validate(doc, schema, f"line {lineno} $")
+                if nonempty == 0:
+                    raise ValidationError("no non-empty lines (an empty "
+                                          "export is a missing export)")
+                print(f"OK   {path} ({nonempty} lines)")
+                continue
             with open(path) as f:
                 doc = json.load(f)
             validate(doc, schema, "$")

@@ -10,6 +10,13 @@ missing-key noise.
 
 Usage:
   tools/compare_bench.py OLD.json NEW.json [--rel-tol FRACTION]
+      [--require-keys PATH,PATH,...]
+
+--require-keys names dotted paths (with optional [i] array indices, e.g.
+chaos.telemetry.timeseries_digest or sweep[0].clients) that must resolve
+in BOTH documents; any missing path exits 1. Use it to pin that a
+section exists at all — a tolerance gate alone cannot tell "unchanged"
+from "never emitted" when both sides lack the section.
 
 Exit code 0 when the documents are comparable; with --rel-tol, exits 1
 if any numeric leaf moved by more than the given fraction (e.g. 0.1 =
@@ -62,13 +69,62 @@ def fmt(v):
     return json.dumps(v) if v is not None else "(absent)"
 
 
+def parse_path(spec):
+    """Splits 'a.b[2].c' into ['a', 'b', 2, 'c']; raises ValueError."""
+    parts = []
+    for piece in spec.split("."):
+        while piece:
+            bracket = piece.find("[")
+            if bracket < 0:
+                parts.append(piece)
+                break
+            if bracket > 0:
+                parts.append(piece[:bracket])
+            close = piece.find("]", bracket)
+            if close < 0:
+                raise ValueError(f"unbalanced '[' in {spec!r}")
+            parts.append(int(piece[bracket + 1:close]))
+            piece = piece[close + 1:]
+    if not parts:
+        raise ValueError(f"empty path in {spec!r}")
+    return parts
+
+
+def resolve_path(doc, parts):
+    """Returns True when the path resolves in doc."""
+    node = doc
+    for part in parts:
+        if isinstance(part, int):
+            if not isinstance(node, list) or not 0 <= part < len(node):
+                return False
+        elif not isinstance(node, dict) or part not in node:
+            return False
+        node = node[part]
+    return True
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("old")
     parser.add_argument("new")
     parser.add_argument("--rel-tol", type=float, default=None, metavar="FRACTION",
                         help="fail if any numeric leaf moves by more than this")
+    parser.add_argument("--require-keys", default=None, metavar="PATH,...",
+                        help="comma-separated dotted paths (a.b[0].c) that "
+                             "must resolve in both documents; missing = "
+                             "exit 1")
     args = parser.parse_args()
+
+    required = []
+    if args.require_keys:
+        for spec in args.require_keys.split(","):
+            spec = spec.strip()
+            if not spec:
+                continue
+            try:
+                required.append((spec, parse_path(spec)))
+            except ValueError as err:
+                parser.error(str(err))
 
     docs = []
     for path in (args.old, args.new):
@@ -82,6 +138,18 @@ def main():
             print(f"error: {path} is not valid JSON: {err}", file=sys.stderr)
             return 2
     old, new = docs
+
+    missing = 0
+    for spec, parts in required:
+        for label, doc in (("old", old), ("new", new)):
+            if not resolve_path(doc, parts):
+                print(f"MISSING required key {spec} in {label} "
+                      f"({args.old if label == 'old' else args.new})",
+                      file=sys.stderr)
+                missing += 1
+    if missing:
+        print(f"FAIL: {missing} required key(s) missing", file=sys.stderr)
+        return 1
 
     diffs = []
     walk(old, new, "", diffs)

@@ -10,8 +10,17 @@ count) that cannot be. This filter removes the latter so CI can hold the
 former to tools/compare_bench.py --rel-tol 0 against the committed
 baseline.
 
+The serving telemetry exports (DESIGN.md §15) add two more timing
+classes: windows stamped under --capture-wall-time carry `wall_ns` (and
+quantile blocks may carry `latency_wall_ns`-style keys), and recorders
+report their steady-clock read count as `clock_reads` — zero on the
+deterministic paths, machine-dependent otherwise.
+
 A key is stripped when its name equals or starts with one of:
-  wall_ms, wall_ns, speedup, iterations, hardware_threads
+  wall_ms, wall_ns, speedup, iterations, hardware_threads, clock_reads,
+  duration_ns
+or ends with one of:
+  _wall_ns, _wall_ms
 
 Usage:
   tools/strip_timing_keys.py IN.json OUT.json
@@ -21,7 +30,12 @@ import json
 import sys
 
 TIMING_PREFIXES = ("wall_ms", "wall_ns", "speedup", "iterations",
-                   "hardware_threads")
+                   "hardware_threads", "clock_reads", "duration_ns")
+TIMING_SUFFIXES = ("_wall_ns", "_wall_ms")
+
+
+def is_timing_key(key):
+    return key.startswith(TIMING_PREFIXES) or key.endswith(TIMING_SUFFIXES)
 
 
 def strip(node):
@@ -29,7 +43,7 @@ def strip(node):
         return {
             key: strip(value)
             for key, value in node.items()
-            if not key.startswith(TIMING_PREFIXES)
+            if not is_timing_key(key)
         }
     if isinstance(node, list):
         return [strip(item) for item in node]
