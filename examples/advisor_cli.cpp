@@ -154,19 +154,22 @@ Status RunTool(const CliOptions& cli) {
   exec.num_threads = cli.threads;
   exec.exec_threads = cli.exec_threads;
 
+  ParseOptions parse_options;
+  parse_options.exec = &exec;
+
   // Schema: XSD or DTD by extension.
   XS_ASSIGN_OR_RETURN(std::string schema_text, ReadFile(schema_path));
   std::unique_ptr<SchemaTree> tree;
   if (EndsWith(schema_path, ".dtd")) {
-    XS_ASSIGN_OR_RETURN(tree, ParseDtd(schema_text, "", exec));
+    XS_ASSIGN_OR_RETURN(tree, ParseDtd(schema_text, parse_options));
   } else {
-    XS_ASSIGN_OR_RETURN(tree, ParseXsd(schema_text, exec));
+    XS_ASSIGN_OR_RETURN(tree, ParseXsd(schema_text, parse_options));
   }
   AssignDefaultAnnotations(tree.get());
   XS_RETURN_IF_ERROR(tree->Validate());
 
   XS_ASSIGN_OR_RETURN(std::string xml_text, ReadFile(cli.data_path));
-  XS_ASSIGN_OR_RETURN(XmlDocument doc, ParseXml(xml_text, exec));
+  XS_ASSIGN_OR_RETURN(XmlDocument doc, ParseXml(xml_text, parse_options));
   XS_ASSIGN_OR_RETURN(XmlStatistics stats,
                       XmlStatistics::Collect(doc, *tree));
   XS_ASSIGN_OR_RETURN(XPathWorkload workload, LoadWorkload(workload_path));

@@ -68,6 +68,7 @@ MetricsRegistry::MetricsRegistry() {
       kMetricShredElements,
       kMetricShredReservedRows,
       kMetricShredSavedReallocs,
+      kMetricShredBatchesEmitted,
       kMetricSearchRuns,
       kMetricSearchRounds,
       kMetricSearchTransformations,
@@ -121,6 +122,7 @@ MetricsRegistry::MetricsRegistry() {
       kMetricStorageEncodedBytes,   kMetricStorageBlocksPlain,
       kMetricStorageBlocksRle,      kMetricStorageBlocksBitpackInt,
       kMetricStorageBlocksBitpackCode,
+      kMetricShredPeakBatchBytes,
   };
   static constexpr const char* kHistograms[] = {
       kMetricSearchRoundCandidates,

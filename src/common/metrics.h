@@ -56,6 +56,15 @@ inline constexpr const char* kMetricShredElements = "shred.elements";
 inline constexpr const char* kMetricShredReservedRows = "shred.reserved_rows";
 inline constexpr const char* kMetricShredSavedReallocs =
     "shred.saved_reallocs";
+// Streaming-shredder ingest (DESIGN.md §17): columnar batches flushed
+// into storage. The counter counts batches across all relations; the
+// gauge (SetMax) is the largest single batch's logical bytes — both are
+// document-order deterministic and thread-count independent, unlike peak
+// transient memory, which stays in ShredStats.
+inline constexpr const char* kMetricShredBatchesEmitted =
+    "shred.batches_emitted";
+inline constexpr const char* kMetricShredPeakBatchBytes =
+    "shred.peak_batch_bytes";
 inline constexpr const char* kMetricSearchRuns = "search.runs";
 inline constexpr const char* kMetricSearchRounds = "search.rounds";
 inline constexpr const char* kMetricSearchTransformations =

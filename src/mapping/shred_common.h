@@ -1,0 +1,53 @@
+// Helpers shared by the DOM shredder (shredder.cc) and the streaming
+// shredder (stream_shredder.cc). Both walk the same schema tree with the
+// same routing rules; keeping the leaf test, the match-level name
+// collection, and text-to-Value parsing in one place is what makes the
+// two paths bit-identical by construction.
+
+#ifndef XMLSHRED_MAPPING_SHRED_COMMON_H_
+#define XMLSHRED_MAPPING_SHRED_COMMON_H_
+
+#include <cstdlib>
+#include <set>
+#include <string>
+
+#include "rel/value.h"
+#include "xml/schema_tree.h"
+
+namespace xmlshred {
+
+// A leaf tag stores its text as one column of the enclosing row and is
+// never descended into (child elements under a leaf are ignored).
+inline bool IsLeafTag(const SchemaNode* node) {
+  return node->kind() == SchemaNodeKind::kTag && node->num_children() == 1 &&
+         node->child(0)->kind() == SchemaNodeKind::kSimpleType;
+}
+
+// Element names an instance of `node` may present at the matching level
+// (not descending into tags).
+inline void MatchNames(const SchemaNode* node, std::set<std::string>* out) {
+  if (node->kind() == SchemaNodeKind::kTag) {
+    out->insert(node->name());
+    return;
+  }
+  for (const auto& child : node->children()) MatchNames(child.get(), out);
+}
+
+// Typed value of one leaf's text under its declared simple type; empty
+// text maps to SQL NULL.
+inline Value ParseLeafValue(const std::string& text, XsdBaseType type) {
+  if (text.empty()) return Value::Null();
+  switch (type) {
+    case XsdBaseType::kString:
+      return Value::Str(text);
+    case XsdBaseType::kInt:
+      return Value::Int(std::atoll(text.c_str()));
+    case XsdBaseType::kDouble:
+      return Value::Real(std::atof(text.c_str()));
+  }
+  return Value::Null();
+}
+
+}  // namespace xmlshred
+
+#endif  // XMLSHRED_MAPPING_SHRED_COMMON_H_

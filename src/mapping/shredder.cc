@@ -1,31 +1,16 @@
 #include "mapping/shredder.h"
 
-#include <cstdlib>
 #include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/logging.h"
+#include "mapping/shred_common.h"
 
 namespace xmlshred {
 
 namespace {
-
-bool IsLeafTag(const SchemaNode* node) {
-  return node->kind() == SchemaNodeKind::kTag && node->num_children() == 1 &&
-         node->child(0)->kind() == SchemaNodeKind::kSimpleType;
-}
-
-// Element names an instance of `node` may present at the matching level
-// (not descending into tags).
-void MatchNames(const SchemaNode* node, std::set<std::string>* out) {
-  if (node->kind() == SchemaNodeKind::kTag) {
-    out->insert(node->name());
-    return;
-  }
-  for (const auto& child : node->children()) MatchNames(child.get(), out);
-}
 
 // Capacity doublings a vector growing geometrically from 1 performs to
 // reach `n` elements — the reallocations a Reserve(n) call avoids.
@@ -45,19 +30,6 @@ void CountElements(const XmlElement* element,
   for (const auto& child : element->children()) {
     CountElements(child.get(), by_tag, text_bearing);
   }
-}
-
-Value ParseValue(const std::string& text, XsdBaseType type) {
-  if (text.empty()) return Value::Null();
-  switch (type) {
-    case XsdBaseType::kString:
-      return Value::Str(text);
-    case XsdBaseType::kInt:
-      return Value::Int(std::atoll(text.c_str()));
-    case XsdBaseType::kDouble:
-      return Value::Real(std::atof(text.c_str()));
-  }
-  return Value::Null();
 }
 
 class Shredder {
@@ -188,7 +160,8 @@ class Shredder {
       return Internal("leaf column outside its relation row: " +
                       node->name());
     }
-    Value value = ParseValue(element->text(), node->child(0)->base_type());
+    Value value =
+        ParseLeafValue(element->text(), node->child(0)->base_type());
     row_stack_.back().row[static_cast<size_t>(kFixedColumns + col_idx)] =
         std::move(value);
     return Status::OK();

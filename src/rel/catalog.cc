@@ -64,7 +64,19 @@ const Table* Database::FindTable(const std::string& name) const {
   return it == tables_.end() ? nullptr : it->second.get();
 }
 
-Status Database::CreateIndex(const IndexDef& def) {
+void Database::DropTable(const std::string& name) {
+  if (view_defs_.count(name) > 0) return;
+  if (tables_.erase(name) == 0) return;
+  for (auto it = indexes_.begin(); it != indexes_.end();) {
+    if (it->second->def().table == name) {
+      it = indexes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Status Database::CreateIndex(const IndexDef& def, int num_threads) {
   XS_RETURN_IF_ERROR(FaultInjector::Global()->Check(kFaultSiteIndexBuild));
   if (indexes_.count(def.name) > 0) return AlreadyExists("index " + def.name);
   const Table* table = FindTable(def.table);
@@ -74,7 +86,7 @@ Status Database::CreateIndex(const IndexDef& def) {
       return InvalidArgument("bad key column ordinal in " + def.name);
     }
   }
-  indexes_[def.name] = std::make_unique<BTreeIndex>(def, *table);
+  indexes_[def.name] = std::make_unique<BTreeIndex>(def, *table, num_threads);
   return Status::OK();
 }
 

@@ -133,8 +133,17 @@ class Database {
   Table* FindTable(const std::string& name);
   const Table* FindTable(const std::string& name) const;
 
-  // Builds a real index over the named table's current rows.
-  Status CreateIndex(const IndexDef& def);
+  // Drops a base table (and any indexes built on it); no-op on unknown
+  // names and on materialized views. Used by the streaming shredder to
+  // roll back created tables after a mid-ingest failure (all-or-nothing).
+  void DropTable(const std::string& name);
+
+  // Builds a real index over the named table's current rows. With
+  // `num_threads` > 1 the key encode / sort / gather phases run on a
+  // thread pool (sorted runs + k-way merge); entry order is the total
+  // order (keys..., rid), so the built index is bit-identical at every
+  // thread count.
+  Status CreateIndex(const IndexDef& def, int num_threads = 1);
   const BTreeIndex* FindIndex(const std::string& name) const;
   std::vector<const BTreeIndex*> IndexesOn(const std::string& table) const;
 

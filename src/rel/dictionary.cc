@@ -15,6 +15,16 @@ uint32_t StringDictionary::Intern(std::string_view s) {
   return code;
 }
 
+void StringDictionary::TruncateTo(size_t n) {
+  if (strings_.size() <= n) return;
+  while (strings_.size() > n) {
+    map_.erase(std::string_view(strings_.back()));
+    total_string_bytes_ -= static_cast<int64_t>(strings_.back().size());
+    strings_.pop_back();
+  }
+  ranks_ready_.store(false, std::memory_order_release);
+}
+
 uint32_t StringDictionary::Lookup(std::string_view s) const {
   auto it = map_.find(s);
   return it == map_.end() ? kNotFound : it->second;

@@ -56,6 +56,13 @@ class StringDictionary {
   // Pre-sizes the code map for `n` expected distinct strings.
   void Reserve(size_t n) { map_.reserve(n); }
 
+  // Removes every entry with code >= n, restoring the dictionary to the
+  // exact state it had when size() was n (codes are assigned densely in
+  // interning order, so the first n entries are untouched). Used to roll
+  // back a failed streaming ingest; requires external serialization like
+  // Intern.
+  void TruncateTo(size_t n);
+
   // Sum of interned string lengths (payload bytes, no overhead).
   int64_t total_string_bytes() const { return total_string_bytes_; }
 

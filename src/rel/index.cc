@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "rel/column_reader.h"
 
 namespace xmlshred {
@@ -75,7 +76,7 @@ std::string IndexDef::ToString(const TableSchema& schema) const {
   return out;
 }
 
-BTreeIndex::BTreeIndex(IndexDef def, const Table& table)
+BTreeIndex::BTreeIndex(IndexDef def, const Table& table, int num_threads)
     : def_(std::move(def)), dict_(table.shared_dictionary()) {
   size_t nkeys = def_.key_columns.size();
   width_ = static_cast<int>(nkeys + def_.included_columns.size());
@@ -86,27 +87,78 @@ BTreeIndex::BTreeIndex(IndexDef def, const Table& table)
   // matches what per-Value comparisons would produce — without a single
   // string comparison.
   std::vector<SortKey> row_keys(n * nkeys);
-  for (size_t k = 0; k < nkeys; ++k) {
-    ColumnReader reader(table.column(def_.key_columns[k]),
-                        DefaultStorageReadMode());
-    for (size_t rid = 0; rid < n; ++rid) {
-      row_keys[rid * nkeys + k] = EncodeCellKey(reader.At(rid), *dict_);
+  auto entry_less = [&row_keys, nkeys](int64_t a, int64_t b) {
+    size_t ba = static_cast<size_t>(a) * nkeys;
+    size_t bb = static_cast<size_t>(b) * nkeys;
+    for (size_t k = 0; k < nkeys; ++k) {
+      const SortKey& ka = row_keys[ba + k];
+      const SortKey& kb = row_keys[bb + k];
+      if (ka < kb) return true;
+      if (kb < ka) return false;
+    }
+    return a < b;
+  };
+  auto encode_range = [&](size_t lo, size_t hi) {
+    for (size_t k = 0; k < nkeys; ++k) {
+      ColumnReader reader(table.column(def_.key_columns[k]),
+                          DefaultStorageReadMode());
+      for (size_t rid = lo; rid < hi; ++rid) {
+        row_keys[rid * nkeys + k] = EncodeCellKey(reader.At(rid), *dict_);
+      }
+    }
+  };
+
+  int workers = num_threads;
+  if (workers > 1 && static_cast<size_t>(workers) > n) {
+    workers = static_cast<int>(n);
+  }
+  std::vector<int64_t> order;
+  if (workers <= 1) {
+    encode_range(0, n);
+    order.resize(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), entry_less);
+  } else {
+    // The dictionary rank table is built lazily on the first string-key
+    // encode; force it once up front so workers read it lock-free.
+    dict_->ranks();
+    std::vector<size_t> bounds(static_cast<size_t>(workers) + 1);
+    for (size_t w = 0; w <= static_cast<size_t>(workers); ++w) {
+      bounds[w] = n * w / static_cast<size_t>(workers);
+    }
+    // Each worker encodes its contiguous row range (private ColumnReaders
+    // — block decode scratch is per-reader) and sorts it into a run.
+    std::vector<std::vector<int64_t>> runs(static_cast<size_t>(workers));
+    ParallelFor(workers, workers, [&](int w) {
+      size_t lo = bounds[static_cast<size_t>(w)];
+      size_t hi = bounds[static_cast<size_t>(w) + 1];
+      encode_range(lo, hi);
+      std::vector<int64_t>& run = runs[static_cast<size_t>(w)];
+      run.resize(hi - lo);
+      std::iota(run.begin(), run.end(), static_cast<int64_t>(lo));
+      std::sort(run.begin(), run.end(), entry_less);
+    });
+    // K-way merge of the sorted runs. entry_less is a strict total order
+    // (rid tiebreak), so the merged sequence is the unique sorted
+    // permutation — identical to one global sort.
+    order.resize(n);
+    std::vector<size_t> cursor(static_cast<size_t>(workers), 0);
+    for (size_t out = 0; out < n; ++out) {
+      int best = -1;
+      for (int w = 0; w < workers; ++w) {
+        const std::vector<int64_t>& run = runs[static_cast<size_t>(w)];
+        size_t c = cursor[static_cast<size_t>(w)];
+        if (c >= run.size()) continue;
+        if (best < 0 ||
+            entry_less(run[c], runs[static_cast<size_t>(best)]
+                                   [cursor[static_cast<size_t>(best)]])) {
+          best = w;
+        }
+      }
+      order[out] = runs[static_cast<size_t>(best)]
+                       [cursor[static_cast<size_t>(best)]++];
     }
   }
-  std::vector<int64_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(),
-            [&row_keys, nkeys](int64_t a, int64_t b) {
-              size_t ba = static_cast<size_t>(a) * nkeys;
-              size_t bb = static_cast<size_t>(b) * nkeys;
-              for (size_t k = 0; k < nkeys; ++k) {
-                const SortKey& ka = row_keys[ba + k];
-                const SortKey& kb = row_keys[bb + k];
-                if (ka < kb) return true;
-                if (kb < ka) return false;
-              }
-              return a < b;
-            });
 
   // Gather entry cells (keys then included columns) in sorted order.
   size_t width = static_cast<size_t>(width_);
@@ -114,40 +166,57 @@ BTreeIndex::BTreeIndex(IndexDef def, const Table& table)
   data_.resize(n * width);
   keys_.resize(n * nkeys);
   rids_ = std::move(order);
-  std::vector<ColumnReader> entry_cols;
-  entry_cols.reserve(width);
-  for (int c : def_.key_columns) {
-    entry_cols.emplace_back(table.column(c), DefaultStorageReadMode());
-  }
-  for (int c : def_.included_columns) {
-    entry_cols.emplace_back(table.column(c), DefaultStorageReadMode());
-  }
-  int64_t bytes = 0;
-  for (size_t e = 0; e < n; ++e) {
-    size_t rid = static_cast<size_t>(rids_[e]);
-    for (size_t p = 0; p < width; ++p) {
-      Cell cell = entry_cols[p].At(rid);
-      tags_[e * width + p] = cell.tag;
-      data_[e * width + p] = cell.bits;
-      switch (static_cast<CellTag>(cell.tag)) {
-        case CellTag::kNull:
-          bytes += 4;
-          break;
-        case CellTag::kInt:
-        case CellTag::kReal:
-          bytes += 8;
-          break;
-        case CellTag::kStr:
-          bytes += static_cast<int64_t>(
-                       dict_->str(static_cast<uint32_t>(cell.bits)).size()) +
-                   2;
-          break;
+  auto gather_range = [&](size_t lo, size_t hi) -> int64_t {
+    std::vector<ColumnReader> entry_cols;
+    entry_cols.reserve(width);
+    for (int c : def_.key_columns) {
+      entry_cols.emplace_back(table.column(c), DefaultStorageReadMode());
+    }
+    for (int c : def_.included_columns) {
+      entry_cols.emplace_back(table.column(c), DefaultStorageReadMode());
+    }
+    int64_t bytes = 0;
+    for (size_t e = lo; e < hi; ++e) {
+      size_t rid = static_cast<size_t>(rids_[e]);
+      for (size_t p = 0; p < width; ++p) {
+        Cell cell = entry_cols[p].At(rid);
+        tags_[e * width + p] = cell.tag;
+        data_[e * width + p] = cell.bits;
+        switch (static_cast<CellTag>(cell.tag)) {
+          case CellTag::kNull:
+            bytes += 4;
+            break;
+          case CellTag::kInt:
+          case CellTag::kReal:
+            bytes += 8;
+            break;
+          case CellTag::kStr:
+            bytes += static_cast<int64_t>(
+                         dict_->str(static_cast<uint32_t>(cell.bits))
+                             .size()) +
+                     2;
+            break;
+        }
       }
+      for (size_t k = 0; k < nkeys; ++k) {
+        keys_[e * nkeys + k] = row_keys[rid * nkeys + k];
+      }
+      bytes += 8;  // row id
     }
-    for (size_t k = 0; k < nkeys; ++k) {
-      keys_[e * nkeys + k] = row_keys[rid * nkeys + k];
-    }
-    bytes += 8;  // row id
+    return bytes;
+  };
+  int64_t bytes = 0;
+  if (workers <= 1) {
+    bytes = gather_range(0, n);
+  } else {
+    std::vector<int64_t> worker_bytes(static_cast<size_t>(workers), 0);
+    ParallelFor(workers, workers, [&](int w) {
+      size_t lo = n * static_cast<size_t>(w) / static_cast<size_t>(workers);
+      size_t hi =
+          n * (static_cast<size_t>(w) + 1) / static_cast<size_t>(workers);
+      worker_bytes[static_cast<size_t>(w)] = gather_range(lo, hi);
+    });
+    for (int64_t b : worker_bytes) bytes += b;
   }
   entry_bytes_ =
       n == 0 ? 16.0 : static_cast<double>(bytes) / static_cast<double>(n);

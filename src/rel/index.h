@@ -77,8 +77,14 @@ struct IndexDef {
 
 class BTreeIndex {
  public:
-  // Builds the index over the current contents of `table`.
-  BTreeIndex(IndexDef def, const Table& table);
+  // Builds the index over the current contents of `table`. With
+  // `num_threads` > 1 the key encode runs on per-thread row ranges, each
+  // range is sorted independently, and the runs are k-way merged; the
+  // entry comparator (keys..., rid) is a strict total order with no
+  // duplicates, so the merged entry array is the unique sorted
+  // permutation — bit-identical to the serial std::sort build at every
+  // thread count. <= 1 takes the exact legacy serial path.
+  BTreeIndex(IndexDef def, const Table& table, int num_threads = 1);
 
   const IndexDef& def() const { return def_; }
 

@@ -49,6 +49,16 @@ void ColumnVector::AppendCell(Cell cell, int64_t byte_size) {
   MaybeSealTail();
 }
 
+void ColumnVector::AppendRun(const uint8_t* tags, const uint64_t* bits,
+                             size_t n, int64_t byte_total) {
+  XS_CHECK_EQ(static_cast<int64_t>(tail_rows()), 0);
+  XS_CHECK_LE(n, kStorageBlockRows);
+  tags_.insert(tags_.end(), tags, tags + n);
+  data_.insert(data_.end(), bits, bits + n);
+  bytes_ += byte_total;
+  MaybeSealTail();
+}
+
 void ColumnVector::MaybeSealTail() {
   if (tags_.size() % kStorageBlockRows != 0) return;
   size_t base = sealed_rows();
@@ -83,6 +93,18 @@ void Table::AppendRow(const Row& row) {
     columns_[c].Append(row[c], dict_.get());
   }
   ++num_rows_;
+}
+
+void Table::AppendBlock(const std::vector<const uint8_t*>& tags,
+                        const std::vector<const uint64_t*>& bits,
+                        const std::vector<int64_t>& col_bytes, size_t rows) {
+  XS_CHECK_EQ(static_cast<int>(tags.size()), schema_.num_columns());
+  XS_CHECK_EQ(static_cast<int>(bits.size()), schema_.num_columns());
+  XS_CHECK_EQ(static_cast<int>(col_bytes.size()), schema_.num_columns());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c].AppendRun(tags[c], bits[c], rows, col_bytes[c]);
+  }
+  num_rows_ += rows;
 }
 
 void Table::Reserve(size_t n) {

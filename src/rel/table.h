@@ -52,6 +52,13 @@ class ColumnVector {
  public:
   void Append(const Value& v, StringDictionary* dict);
   void AppendCell(Cell cell, int64_t byte_size);
+  // Bulk path for the streaming shredder: appends `n` pre-encoded cells
+  // at once (`byte_total` = their summed Value::ByteSize). Requires an
+  // empty unsealed tail and n <= kStorageBlockRows — one batch per call,
+  // full batches sealing immediately — so the resulting tags/data/blocks
+  // and byte accounting are bit-identical to n AppendCell calls.
+  void AppendRun(const uint8_t* tags, const uint64_t* bits, size_t n,
+                 int64_t byte_total);
   void Reserve(size_t n) {
     tags_.reserve(n);
     data_.reserve(n);
@@ -113,6 +120,16 @@ class Table {
   const TableSchema& schema() const { return schema_; }
 
   void AppendRow(const Row& row);
+  // Bulk-appends one columnar batch of `rows` <= kStorageBlockRows rows:
+  // column c receives cells tags[c][0..rows) / bits[c][0..rows) with
+  // logical byte total col_bytes[c] (strings already interned in the
+  // table's dictionary). Requires every column's unsealed tail to be
+  // empty — the streaming-ingest invariant (fresh table, full batches
+  // until one final partial) — and leaves storage bit-identical to the
+  // equivalent AppendRow sequence.
+  void AppendBlock(const std::vector<const uint8_t*>& tags,
+                   const std::vector<const uint64_t*>& bits,
+                   const std::vector<int64_t>& col_bytes, size_t rows);
   void Reserve(size_t n);
 
   int64_t row_count() const { return static_cast<int64_t>(num_rows_); }

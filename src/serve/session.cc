@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "common/strings.h"
 #include "exec/executor.h"
+#include "mapping/stream_shredder.h"
 #include "sql/binder.h"
 #include "xpath/translator.h"
 
@@ -651,7 +652,7 @@ Status SessionManager::AppendAndPublish(const std::string& table,
     }
     for (const IndexDef& def : defs) {
       db_->DropIndex(def.name);
-      Status rebuilt = db_->CreateIndex(def);
+      Status rebuilt = db_->CreateIndex(def, config_.exec_threads);
       if (!rebuilt.ok() && index_status.ok()) index_status = rebuilt;
     }
     db_->PublishEpoch();
@@ -669,6 +670,59 @@ Status SessionManager::AppendAndPublish(const std::string& table,
     }
   }
   return index_status;
+}
+
+Result<ShredStats> SessionManager::IngestAndPublish(std::string_view xml,
+                                                    double now) {
+  // Same all-or-nothing ordering as AppendAndPublish: the publish fault
+  // fires before any mutation, and a failed shred rolls itself back.
+  Status fault = FaultInjector::Global()->Check(kFaultSiteServeEpochPublish);
+  if (!fault.ok()) {
+    std::unique_lock<std::mutex> lock(mu_, std::defer_lock);
+    double tnow = now;
+    if (telemetry_ != nullptr) {
+      lock.lock();
+      tnow = telemetry_->Advance(now);
+    }
+    if (IsInjectedFault(fault)) {
+      metrics_->counter(kMetricServeFaultsInjected)->Increment();
+    }
+    if (telemetry_ != nullptr) {
+      telemetry_->Record(tnow, "fault.publish",
+                         {{"table", "<ingest>"},
+                          {"status", std::string(fault.message())}});
+      PostmortemLocked("fault.publish", tnow, /*request_id=*/0,
+                       /*ticket=*/0, fault, "");
+    }
+    return fault;
+  }
+
+  std::unique_lock<std::shared_mutex> db_lock(db_mu_);
+  if (db_->HasMaterializedViews()) {
+    return FailedPrecondition(
+        "ingest refused: materialized views would go stale (drop them "
+        "before ingesting)");
+  }
+  StreamShredOptions options;
+  options.threads = config_.ingest_threads;
+  options.metrics = metrics_;
+  auto stats = ShredStream(xml, tree_, mapping_, db_, options);
+  if (!stats.ok()) return stats.status();
+
+  db_->PublishEpoch();
+  CatalogDesc rebuilt = db_->BuildCatalogDesc();
+  std::lock_guard<std::mutex> lock(mu_);
+  catalog_ = std::move(rebuilt);
+  double tnow = now;
+  if (telemetry_ != nullptr) tnow = telemetry_->Advance(now);
+  metrics_->counter(kMetricServeEpochsPublished)->Increment();
+  if (telemetry_ != nullptr) {
+    telemetry_->Record(tnow, "epoch.publish",
+                       {{"table", "<ingest>"},
+                        {"epoch", std::to_string(db_->current_epoch())},
+                        {"rows", std::to_string(stats->rows)}});
+  }
+  return stats;
 }
 
 bool SessionManager::Idle() const {

@@ -56,6 +56,7 @@
 #include "common/status.h"
 #include "common/trace.h"
 #include "mapping/mapping.h"
+#include "mapping/shredder.h"
 #include "opt/planner.h"
 #include "rel/catalog.h"
 #include "serve/admission.h"
@@ -84,6 +85,11 @@ struct ServeConfig : ExecKnobs {
   // Default per-session work budget for OpenSession(0); <= 0 unlimited.
   double session_work_budget = 0;
   bool vectorized_scan = true;
+  // Worker threads for streaming bulk ingest (IngestAndPublish). The
+  // resulting database state, metrics, and error behaviour are
+  // bit-identical at every value (DESIGN.md §17), so this only changes
+  // ingest latency.
+  int ingest_threads = 1;
   // Continuous telemetry (serve/telemetry.h). All-off by default: the
   // manager then allocates no telemetry object and the request path pays
   // one null check — no clock reads, no recorder allocations.
@@ -183,6 +189,16 @@ class SessionManager {
   // requests admitted after publish.
   Status AppendAndPublish(const std::string& table,
                           const std::vector<Row>& rows, double now = 0);
+
+  // Bulk-ingests an XML document through the streaming shredder
+  // (mapping/stream_shredder.h) with config.ingest_threads workers,
+  // creating the mapping's tables in the shared database, then publishes
+  // a new epoch. Same contract as AppendAndPublish: the
+  // "serve.epoch_publish" fault site is checked before any mutation,
+  // materialized views refuse the write, the database write lock
+  // excludes running queries, and a failed shred rolls itself back
+  // all-or-nothing, so a non-OK return leaves the database untouched.
+  Result<ShredStats> IngestAndPublish(std::string_view xml, double now = 0);
 
   // --- Introspection (tests, soak invariant checks) ---
 

@@ -312,17 +312,4 @@ Result<XmlDocument> ParseXml(std::string_view xml,
   return parser.Parse();
 }
 
-Result<XmlDocument> ParseXml(std::string_view xml,
-                             ResourceGovernor* governor) {
-  ParseOptions options;
-  options.governor = governor;
-  return ParseXml(xml, options);
-}
-
-Result<XmlDocument> ParseXml(std::string_view xml, const ExecContext& exec) {
-  ParseOptions options;
-  options.exec = &exec;
-  return ParseXml(xml, options);
-}
-
 }  // namespace xmlshred

@@ -90,14 +90,7 @@ class XmlDocument {
 // also emits a "parse.xml" span on exec->trace and the "parse.xml.*"
 // counters on exec->metrics (documents parsed, elements in the tree).
 Result<XmlDocument> ParseXml(std::string_view xml,
-                             const ParseOptions& options);
-
-// Deprecated shim: ParseXml(xml, {.governor = governor}).
-Result<XmlDocument> ParseXml(std::string_view xml,
-                             ResourceGovernor* governor = nullptr);
-
-// Deprecated shim: ParseXml(xml, {.exec = &exec}).
-Result<XmlDocument> ParseXml(std::string_view xml, const ExecContext& exec);
+                             const ParseOptions& options = {});
 
 // Escapes &, <, >, ", ' for XML output.
 std::string XmlEscape(std::string_view s);

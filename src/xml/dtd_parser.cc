@@ -296,15 +296,6 @@ void CountReferences(const DtdExpr& expr, std::set<std::string>* out) {
 
 }  // namespace
 
-Result<std::unique_ptr<SchemaTree>> ParseDtd(std::string_view dtd_text,
-                                             std::string_view root_element,
-                                             ResourceGovernor* governor) {
-  ParseOptions options;
-  options.governor = governor;
-  options.root_element = root_element;
-  return ParseDtd(dtd_text, options);
-}
-
 namespace {
 
 // The bare parse; `governor` is never null here.
@@ -368,15 +359,6 @@ Result<std::unique_ptr<SchemaTree>> ParseDtd(std::string_view dtd_text,
   ResourceGovernor* governor =
       options.governor != nullptr ? options.governor : &stack_safety;
   return ParseDtdImpl(dtd_text, options.root_element, governor);
-}
-
-Result<std::unique_ptr<SchemaTree>> ParseDtd(std::string_view dtd_text,
-                                             std::string_view root_element,
-                                             const ExecContext& exec) {
-  ParseOptions options;
-  options.exec = &exec;
-  options.root_element = root_element;
-  return ParseDtd(dtd_text, options);
 }
 
 }  // namespace xmlshred

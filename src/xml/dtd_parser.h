@@ -37,21 +37,7 @@ namespace xmlshred {
 // the parse also emits a "parse.dtd" span on exec->trace and the
 // "parse.dtd.*" counters on exec->metrics.
 Result<std::unique_ptr<SchemaTree>> ParseDtd(std::string_view dtd_text,
-                                             const ParseOptions& options);
-
-// Deprecated shim:
-// ParseDtd(dtd_text, {.governor = governor, .root_element = root_element}).
-Result<std::unique_ptr<SchemaTree>> ParseDtd(std::string_view dtd_text,
-                                             std::string_view root_element =
-                                                 "",
-                                             ResourceGovernor* governor =
-                                                 nullptr);
-
-// Deprecated shim:
-// ParseDtd(dtd_text, {.exec = &exec, .root_element = root_element}).
-Result<std::unique_ptr<SchemaTree>> ParseDtd(std::string_view dtd_text,
-                                             std::string_view root_element,
-                                             const ExecContext& exec);
+                                             const ParseOptions& options = {});
 
 }  // namespace xmlshred
 

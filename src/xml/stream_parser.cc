@@ -1,0 +1,297 @@
+#include "xml/stream_parser.h"
+
+#include <cctype>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace xmlshred {
+
+namespace {
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '-' || c == '.' || c == ':';
+}
+
+bool IsAllWhitespace(std::string_view s) {
+  for (char c : s) {
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+std::string Unescape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  size_t i = 0;
+  while (i < s.size()) {
+    if (s[i] == '&') {
+      if (s.substr(i, 5) == "&amp;") {
+        out.push_back('&');
+        i += 5;
+        continue;
+      }
+      if (s.substr(i, 4) == "&lt;") {
+        out.push_back('<');
+        i += 4;
+        continue;
+      }
+      if (s.substr(i, 4) == "&gt;") {
+        out.push_back('>');
+        i += 4;
+        continue;
+      }
+      if (s.substr(i, 6) == "&quot;") {
+        out.push_back('"');
+        i += 6;
+        continue;
+      }
+      if (s.substr(i, 6) == "&apos;") {
+        out.push_back('\'');
+        i += 6;
+        continue;
+      }
+    }
+    out.push_back(s[i++]);
+  }
+  return out;
+}
+
+}  // namespace
+
+void AppendDecodedText(std::string_view raw, std::string* out) {
+  std::string text = Unescape(raw);
+  std::string_view trimmed = StripWhitespace(text);
+  if (!trimmed.empty()) out->append(trimmed);
+}
+
+XmlStreamParser::XmlStreamParser(std::string_view xml,
+                                 const StreamParseOptions& options)
+    : xml_(xml),
+      governor_(options.governor != nullptr ? options.governor
+                                            : &stack_safety_),
+      fragment_(options.fragment) {
+  if (!fragment_) SkipProlog();
+}
+
+XmlStreamParser::~XmlStreamParser() {
+  while (entered_depth_ > 0) {
+    governor_->LeaveRecursion();
+    --entered_depth_;
+  }
+}
+
+Result<XmlEvent> XmlStreamParser::Next() {
+  if (has_peek_) {
+    has_peek_ = false;
+    Result<XmlEvent> event = std::move(peeked_);
+    peeked_ = Result<XmlEvent>(XmlEvent{});
+    return event;
+  }
+  return Advance();
+}
+
+Result<XmlEvent> XmlStreamParser::Peek() {
+  if (!has_peek_) {
+    peeked_ = Advance();
+    has_peek_ = true;
+  }
+  return peeked_;
+}
+
+Result<XmlEvent> XmlStreamParser::Fail(Status error) {
+  failed_ = true;
+  done_ = true;
+  error_ = std::move(error);
+  return error_;
+}
+
+void XmlStreamParser::SkipWhitespaceAndComments() {
+  while (pos_ < xml_.size()) {
+    if (std::isspace(static_cast<unsigned char>(xml_[pos_]))) {
+      ++pos_;
+    } else if (Matches("<!--")) {
+      size_t end = xml_.find("-->", pos_);
+      pos_ = end == std::string_view::npos ? xml_.size() : end + 3;
+    } else {
+      break;
+    }
+  }
+}
+
+void XmlStreamParser::SkipProlog() {
+  SkipWhitespaceAndComments();
+  while (Matches("<?") || Matches("<!DOCTYPE")) {
+    size_t end = xml_.find('>', pos_);
+    pos_ = end == std::string_view::npos ? xml_.size() : end + 1;
+    SkipWhitespaceAndComments();
+  }
+}
+
+bool XmlStreamParser::Matches(std::string_view prefix) const {
+  return xml_.substr(pos_, prefix.size()) == prefix;
+}
+
+Result<std::string_view> XmlStreamParser::ParseName() {
+  size_t start = pos_;
+  while (pos_ < xml_.size() && IsNameChar(xml_[pos_])) ++pos_;
+  if (pos_ == start) return InvalidArgument("expected XML name");
+  return xml_.substr(start, pos_ - start);
+}
+
+Result<XmlEvent> XmlStreamParser::ParseStartTag() {
+  size_t begin = pos_;
+  Status depth_ok = governor_->EnterRecursion();
+  if (!depth_ok.ok()) return Fail(std::move(depth_ok));
+  ++entered_depth_;
+  ++pos_;  // consume '<'
+  Result<std::string_view> tag_or = ParseName();
+  if (!tag_or.ok()) return Fail(tag_or.status());
+  std::string_view tag = *tag_or;
+  // Attributes: validated syntactically, values discarded (the shredder
+  // never reads them — same behaviour as the DOM path for shredding).
+  while (true) {
+    while (pos_ < xml_.size() &&
+           std::isspace(static_cast<unsigned char>(xml_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ >= xml_.size()) return Fail(InvalidArgument("unterminated tag"));
+    if (Matches("/>")) {
+      pos_ += 2;
+      XmlEvent start;
+      start.kind = XmlEventKind::kStartElement;
+      start.name = tag;
+      start.begin = begin;
+      start.end = pos_;
+      open_tags_.push_back(tag);
+      pending_end_ = XmlEvent{};
+      pending_end_.kind = XmlEventKind::kEndElement;
+      pending_end_.name = tag;
+      pending_end_.begin = begin;
+      pending_end_.end = pos_;
+      has_pending_end_ = true;
+      return start;
+    }
+    if (Matches(">")) {
+      ++pos_;
+      XmlEvent start;
+      start.kind = XmlEventKind::kStartElement;
+      start.name = tag;
+      start.begin = begin;
+      start.end = pos_;
+      open_tags_.push_back(tag);
+      return start;
+    }
+    Result<std::string_view> attr = ParseName();
+    if (!attr.ok()) return Fail(attr.status());
+    if (!Matches("=")) {
+      return Fail(InvalidArgument("expected '=' in attribute"));
+    }
+    ++pos_;
+    if (pos_ >= xml_.size() || (xml_[pos_] != '"' && xml_[pos_] != '\'')) {
+      return Fail(InvalidArgument("expected quoted attribute value"));
+    }
+    char quote = xml_[pos_++];
+    size_t end = xml_.find(quote, pos_);
+    if (end == std::string_view::npos) {
+      return Fail(InvalidArgument("unterminated attribute value"));
+    }
+    pos_ = end + 1;
+  }
+}
+
+Result<XmlEvent> XmlStreamParser::Advance() {
+  if (failed_) return error_;
+  if (has_pending_end_) {
+    has_pending_end_ = false;
+    open_tags_.pop_back();
+    governor_->LeaveRecursion();
+    --entered_depth_;
+    return pending_end_;
+  }
+  if (done_) return XmlEvent{};  // kEndOfInput
+
+  if (open_tags_.empty()) {
+    // Top level: before the root (doc mode), between top elements
+    // (fragment mode), or after the root (doc mode trailer check).
+    SkipWhitespaceAndComments();
+    if (fragment_) {
+      if (pos_ >= xml_.size()) {
+        done_ = true;
+        return XmlEvent{};
+      }
+      if (!Matches("<")) return Fail(InvalidArgument("expected element"));
+      return ParseStartTag();
+    }
+    if (saw_root_) {
+      if (pos_ < xml_.size()) {
+        return Fail(InvalidArgument("content after document element"));
+      }
+      done_ = true;
+      return XmlEvent{};
+    }
+    if (!Matches("<")) return Fail(InvalidArgument("expected element"));
+    saw_root_ = true;
+    return ParseStartTag();
+  }
+
+  // Inside an element: content loop, one event per call.
+  while (true) {
+    if (pos_ >= xml_.size()) {
+      return Fail(InvalidArgument("unterminated element"));
+    }
+    if (Matches("<!--")) {
+      size_t end = xml_.find("-->", pos_);
+      if (end == std::string_view::npos) {
+        return Fail(InvalidArgument("unterminated comment"));
+      }
+      pos_ = end + 3;
+      continue;
+    }
+    if (Matches("</")) {
+      size_t begin = pos_;
+      pos_ += 2;
+      Result<std::string_view> close_or = ParseName();
+      if (!close_or.ok()) return Fail(close_or.status());
+      std::string_view close = *close_or;
+      std::string_view tag = open_tags_.back();
+      if (close != tag) {
+        return Fail(InvalidArgument("mismatched close tag: " +
+                                    std::string(close) + " for " +
+                                    std::string(tag)));
+      }
+      SkipWhitespaceAndComments();
+      if (!Matches(">")) return Fail(InvalidArgument("expected '>'"));
+      ++pos_;
+      open_tags_.pop_back();
+      governor_->LeaveRecursion();
+      --entered_depth_;
+      XmlEvent end_event;
+      end_event.kind = XmlEventKind::kEndElement;
+      end_event.name = tag;
+      end_event.begin = begin;
+      end_event.end = pos_;
+      return end_event;
+    }
+    if (Matches("<")) return ParseStartTag();
+    size_t next = xml_.find('<', pos_);
+    if (next == std::string_view::npos) {
+      return Fail(InvalidArgument("unterminated element content"));
+    }
+    std::string_view raw = xml_.substr(pos_, next - pos_);
+    size_t begin = pos_;
+    pos_ = next;
+    // Entity decoding never introduces whitespace, so an all-whitespace
+    // raw run is exactly the run the DOM parser would discard.
+    if (IsAllWhitespace(raw)) continue;
+    XmlEvent text;
+    text.kind = XmlEventKind::kText;
+    text.raw_text = raw;
+    text.begin = begin;
+    text.end = next;
+    return text;
+  }
+}
+
+}  // namespace xmlshred

@@ -1,0 +1,121 @@
+// Pull-based (SAX-style) streaming XML parser.
+//
+// XmlStreamParser tokenizes the same XML subset as ParseXml — nested
+// elements, attributes, character data, the five named entities,
+// comments, and a skipped prolog — but emits a flat stream of
+// start/end/text events instead of materializing an XmlDocument, so a
+// consumer's peak memory is independent of document size. Events are
+// zero-copy: tag names and raw text are string_views into the input
+// buffer, valid for the buffer's lifetime.
+//
+// The two parsers accept exactly the same language (asserted by the
+// differential tests): the event stream of a document is the pre-order
+// DOM walk, with a self-closing tag producing a start immediately
+// followed by an end, pure-whitespace character runs suppressed, and
+// attribute syntax validated but not surfaced (the shredder never reads
+// attributes). Element nesting is bounded by the resolved governor's
+// recursion-depth limit, exactly like the DOM parser.
+
+#ifndef XMLSHRED_XML_STREAM_PARSER_H_
+#define XMLSHRED_XML_STREAM_PARSER_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/limits.h"
+#include "common/status.h"
+
+namespace xmlshred {
+
+enum class XmlEventKind {
+  kStartElement,  // <tag ...> or the opening half of <tag/>
+  kEndElement,    // </tag> or the closing half of <tag/>
+  kText,          // a character-data run with at least one non-space byte
+  kEndOfInput,    // document (or fragment) fully consumed
+};
+
+struct XmlEvent {
+  XmlEventKind kind = XmlEventKind::kEndOfInput;
+  // Start / end: the element tag. Text: empty.
+  std::string_view name;
+  // Text: the raw (escaped, untrimmed) character run; decode with
+  // AppendDecodedText. Start / end: empty.
+  std::string_view raw_text;
+  // Byte span of the event's token in the input buffer: a start tag spans
+  // '<'..'>', an end tag spans '</'..'>' (== the start span for the
+  // synthetic end of a self-closing tag), text spans the raw run.
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+// Decodes one raw character run exactly the way the DOM parser does —
+// entity unescape, then whitespace strip — and appends the result to
+// *out. An all-whitespace run appends nothing.
+void AppendDecodedText(std::string_view raw, std::string* out);
+
+struct StreamParseOptions {
+  // Depth guard; null applies the kDefaultMaxRecursionDepth stack-safety
+  // floor, matching ParseXml.
+  ResourceGovernor* governor = nullptr;
+  // Fragment mode parses a whitespace/comment-separated *sequence* of
+  // elements (no prolog, no "content after document element" check) —
+  // used by parallel ingest workers on top-level subtree partitions.
+  bool fragment = false;
+};
+
+class XmlStreamParser {
+ public:
+  explicit XmlStreamParser(std::string_view xml,
+                           const StreamParseOptions& options = {});
+  ~XmlStreamParser();
+
+  XmlStreamParser(const XmlStreamParser&) = delete;
+  XmlStreamParser& operator=(const XmlStreamParser&) = delete;
+
+  // Returns the next event and consumes it. Start and end events are
+  // balanced. After the terminal kEndOfInput (or an error), further
+  // calls return kEndOfInput / the same error.
+  Result<XmlEvent> Next();
+
+  // One-event lookahead; the next call to Next() returns the same event.
+  Result<XmlEvent> Peek();
+
+  // Open-element depth (the root counts as 1 while open).
+  int depth() const { return static_cast<int>(open_tags_.size()); }
+
+  // Current byte offset into the input (diagnostics).
+  size_t offset() const { return pos_; }
+
+ private:
+  Result<XmlEvent> Advance();
+  Result<XmlEvent> Fail(Status error);
+  void SkipWhitespaceAndComments();
+  void SkipProlog();
+  bool Matches(std::string_view prefix) const;
+  Result<std::string_view> ParseName();
+  // Parses "<tag attr="v" ...>" starting at '<'; fills a start event and
+  // queues the synthetic end for a self-closing tag.
+  Result<XmlEvent> ParseStartTag();
+
+  std::string_view xml_;
+  ResourceGovernor* governor_;
+  ResourceGovernor stack_safety_;  // used when the caller passes none
+  bool fragment_ = false;
+  size_t pos_ = 0;
+  std::vector<std::string_view> open_tags_;
+  int entered_depth_ = 0;  // EnterRecursion calls to undo on destruction
+  bool done_ = false;
+  bool saw_root_ = false;  // doc mode: root start tag consumed
+  bool has_pending_end_ = false;  // self-closing: end event queued
+  XmlEvent pending_end_;
+  bool has_peek_ = false;
+  Result<XmlEvent> peeked_{XmlEvent{}};
+  bool failed_ = false;
+  Status error_ = Status::OK();
+};
+
+}  // namespace xmlshred
+
+#endif  // XMLSHRED_XML_STREAM_PARSER_H_

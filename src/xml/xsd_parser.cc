@@ -208,13 +208,6 @@ class XsdBuilder {
 
 }  // namespace
 
-Result<std::unique_ptr<SchemaTree>> ParseXsd(std::string_view xsd_text,
-                                             ResourceGovernor* governor) {
-  ParseOptions options;
-  options.governor = governor;
-  return ParseXsd(xsd_text, options);
-}
-
 void AssignDefaultAnnotations(SchemaTree* tree) {
   std::set<std::string> taken;
   tree->Visit([&taken](SchemaNode* node) {
@@ -362,17 +355,12 @@ Result<std::unique_ptr<SchemaTree>> ParseXsd(std::string_view xsd_text,
   ResourceGovernor stack_safety;  // used when the caller passes none
   ResourceGovernor* governor =
       options.governor != nullptr ? options.governor : &stack_safety;
-  XS_ASSIGN_OR_RETURN(XmlDocument doc, ParseXml(xsd_text, governor));
+  ParseOptions doc_options;
+  doc_options.governor = governor;
+  XS_ASSIGN_OR_RETURN(XmlDocument doc, ParseXml(xsd_text, doc_options));
   if (doc.root() == nullptr) return InvalidArgument("empty XSD");
   XsdBuilder builder(*doc.root(), governor);
   return builder.Build();
-}
-
-Result<std::unique_ptr<SchemaTree>> ParseXsd(std::string_view xsd_text,
-                                             const ExecContext& exec) {
-  ParseOptions options;
-  options.exec = &exec;
-  return ParseXsd(xsd_text, options);
 }
 
 }  // namespace xmlshred

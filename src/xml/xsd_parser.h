@@ -36,16 +36,7 @@ namespace xmlshred {
 // exec->trace and the "parse.xsd.*" counters on exec->metrics (schemas
 // parsed, nodes in the resulting tree).
 Result<std::unique_ptr<SchemaTree>> ParseXsd(std::string_view xsd_text,
-                                             const ParseOptions& options);
-
-// Deprecated shim: ParseXsd(xsd_text, {.governor = governor}).
-Result<std::unique_ptr<SchemaTree>> ParseXsd(std::string_view xsd_text,
-                                             ResourceGovernor* governor =
-                                                 nullptr);
-
-// Deprecated shim: ParseXsd(xsd_text, {.exec = &exec}).
-Result<std::unique_ptr<SchemaTree>> ParseXsd(std::string_view xsd_text,
-                                             const ExecContext& exec);
+                                             const ParseOptions& options = {});
 
 // Annotates the root and every tag under a repetition that lacks an
 // annotation, deriving unique relation names from tag names.

@@ -78,16 +78,14 @@ TEST(DtdParserTest, ExplicitRootSelection) {
 <!ELEMENT a (#PCDATA)>
 <!ELEMENT b (a*)>
 )";
-  auto tree = ParseDtd(dtd, "b");
-  ASSERT_TRUE(tree.ok()) << tree.status();
-  EXPECT_EQ((*tree)->root()->name(), "b");
-  EXPECT_FALSE(ParseDtd(dtd, "zzz").ok());
-  // Same selection through the canonical ParseOptions signature.
   ParseOptions options;
   options.root_element = "b";
-  auto via_options = ParseDtd(dtd, options);
-  ASSERT_TRUE(via_options.ok()) << via_options.status();
-  EXPECT_EQ((*via_options)->root()->name(), "b");
+  auto tree = ParseDtd(dtd, options);
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  EXPECT_EQ((*tree)->root()->name(), "b");
+  ParseOptions missing;
+  missing.root_element = "zzz";
+  EXPECT_FALSE(ParseDtd(dtd, missing).ok());
 }
 
 TEST(DtdParserTest, RejectsRecursionAndBadInput) {

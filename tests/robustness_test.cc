@@ -194,12 +194,14 @@ TEST(DepthGuardTest, CustomGovernorDepthCapApplies) {
   limits.max_recursion_depth = 8;
   ResourceGovernor governor(limits);
   std::string deep = Repeat("<a>", 20) + "x" + Repeat("</a>", 20);
-  auto rejected = ParseXml(deep, &governor);
+  ParseOptions governed;
+  governed.governor = &governor;
+  auto rejected = ParseXml(deep, governed);
   ASSERT_FALSE(rejected.ok());
   EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
   // Shallow input still parses with the same governor: depth is a live
   // guard, not a sticky trip.
-  EXPECT_TRUE(ParseXml("<a><b>x</b></a>", &governor).ok());
+  EXPECT_TRUE(ParseXml("<a><b>x</b></a>", governed).ok());
 }
 
 TEST(DepthGuardTest, ExhaustedGovernorStillParsesShallowInput) {
@@ -211,7 +213,9 @@ TEST(DepthGuardTest, ExhaustedGovernorStillParsesShallowInput) {
   EXPECT_TRUE(governor.ChargeWork(1).ok());
   EXPECT_FALSE(governor.ChargeWork(1).ok());
   ASSERT_TRUE(governor.exhausted());
-  EXPECT_TRUE(ParseXml("<a><b>x</b></a>", &governor).ok());
+  ParseOptions governed;
+  governed.governor = &governor;
+  EXPECT_TRUE(ParseXml("<a><b>x</b></a>", governed).ok());
 }
 
 // --- Fault-injection sweep: with a fault armed at each named site, Greedy

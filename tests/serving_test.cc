@@ -731,5 +731,78 @@ TEST(ServingThreadedTest, ConcurrentSubmitHammerWithMorselWorkers) {
   ExpectAccountingBalanced(manager.metrics());
 }
 
+// ---------------------------------------------------------------------
+// Streaming bulk ingest through the serving layer.
+
+TEST(ServingIngestTest, StreamIngestPublishesEpochAndServesQueries) {
+  ServeFixture& f = Fixture();
+  const std::string xml = f.data.doc.ToXml();
+  int64_t serial_rows = -1;
+  for (int threads : {1, 4}) {
+    Database db;
+    ServeConfig config;
+    config.ingest_threads = threads;
+    SessionManager manager(&db, *f.data.tree, *f.mapping, config, nullptr);
+    const uint64_t base_epoch = manager.current_epoch();
+
+    auto stats = manager.IngestAndPublish(xml, /*now=*/0);
+    ASSERT_TRUE(stats.ok()) << stats.status();
+    EXPECT_GT(stats->rows, 0);
+    EXPECT_EQ(manager.current_epoch(), base_epoch + 1);
+
+    // The admission catalog was rebuilt: a request admitted after the
+    // publish plans against the ingested tables and sees every row.
+    uint64_t session = manager.OpenSession();
+    ServeRequest request;
+    request.query = ServeFixture::ScanAllQuery();
+    ServeResponse shed;
+    uint64_t ticket = 0;
+    ASSERT_EQ(manager.Offer(session, request, 0, &shed, &ticket),
+              AdmitOutcome::kRun);
+    ServeResponse resp = manager.ExecuteTicket(ticket, 0);
+    manager.CompleteTicket(ticket, resp.work);
+    ASSERT_TRUE(resp.status.ok()) << resp.status;
+    EXPECT_EQ(resp.epoch, base_epoch + 1);
+    EXPECT_EQ(resp.rows_out, db.FindTable("inproc")->row_count());
+    if (serial_rows < 0) {
+      serial_rows = resp.rows_out;
+      EXPECT_GT(serial_rows, 0);
+    } else {
+      EXPECT_EQ(resp.rows_out, serial_rows) << "threads=" << threads;
+    }
+    EXPECT_TRUE(manager.Idle());
+    ExpectAccountingBalanced(manager.metrics());
+  }
+}
+
+TEST(ServingIngestTest, IngestRefusedWhileMaterializedViewsExist) {
+  ServeFixture local;
+  ViewDef view;
+  view.name = "mv_titles";
+  view.base_table = "inproc";
+  view.projected = {{"inproc", "title"}, {"inproc", "year"}};
+  ASSERT_TRUE(local.db->CreateMaterializedView(view).ok());
+
+  SessionManager manager(local.db.get(), *local.data.tree, *local.mapping,
+                         ServeConfig{}, nullptr);
+  auto refused = manager.IngestAndPublish(local.data.doc.ToXml());
+  EXPECT_EQ(refused.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Counter(manager.metrics(), kMetricServeEpochsPublished), 0);
+}
+
+TEST(ServingIngestTest, InjectedPublishFaultLeavesDatabaseUntouched) {
+  ServeFixture& f = Fixture();
+  Database db;
+  SessionManager manager(&db, *f.data.tree, *f.mapping, ServeConfig{},
+                         nullptr);
+  const uint64_t base_epoch = manager.current_epoch();
+  ScopedFaultInjection scope(kFaultSiteServeEpochPublish, 1);
+  auto failed = manager.IngestAndPublish(f.data.doc.ToXml());
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(db.TableNames().empty());
+  EXPECT_EQ(manager.current_epoch(), base_epoch);
+  EXPECT_EQ(Counter(manager.metrics(), kMetricServeEpochsPublished), 0);
+}
+
 }  // namespace
 }  // namespace xmlshred

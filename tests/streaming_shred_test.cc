@@ -1,0 +1,712 @@
+// Tests for the streaming shredder (mapping/stream_shredder.h) and the
+// pull parser underneath it (xml/stream_parser.h).
+//
+// The central claim under test is *bit-identity*: ShredStream must leave
+// the Database — every cell tag and bit pattern, every dictionary code,
+// every sealed block, every index entry — in exactly the state the DOM
+// path (ParseXml + ShredDocument) produces, at every thread count. The
+// differential tests hash the full database state and compare digests
+// across DOM / streaming × threads {1, 2, 4, 8}, over plain and
+// transformed (variant-choice, repetition-split) schemas.
+//
+// The failure-path tests assert the all-or-nothing contract: a parse
+// error mid-stream, a schema mismatch, a governor memory trip at a batch
+// boundary, or an injected shred.stream fault must leave the database
+// exactly as it was — no tables, no stray dictionary entries.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.h"
+#include "common/limits.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "mapping/mapping.h"
+#include "mapping/shredder.h"
+#include "mapping/stream_shredder.h"
+#include "mapping/transforms.h"
+#include "rel/catalog.h"
+#include "rel/index.h"
+#include "workload/dblp.h"
+#include "workload/movie.h"
+#include "xml/document.h"
+#include "xml/schema_tree.h"
+#include "xml/stream_parser.h"
+
+namespace xmlshred {
+namespace {
+
+// --- Full-state digests -------------------------------------------------
+
+uint64_t Mix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+// Hashes everything observable about storage: table names, row counts,
+// every cell's tag and raw bits, logical byte tallies, sealed block
+// counts and encoded sizes, and the dictionary's strings in code order.
+// Two databases with equal digests are bit-identical for our purposes.
+uint64_t DatabaseDigest(const Database& db) {
+  uint64_t h = 14695981039346656037ULL;
+  for (const std::string& name : db.TableNames()) {
+    const Table* t = db.FindTable(name);
+    h = Mix(h, Fnv1a64(name));
+    h = Mix(h, static_cast<uint64_t>(t->row_count()));
+    for (int c = 0; c < t->schema().num_columns(); ++c) {
+      const ColumnVector& col = t->column(c);
+      h = Mix(h, col.size());
+      h = Mix(h, static_cast<uint64_t>(col.byte_total()));
+      h = Mix(h, col.num_sealed_blocks());
+      h = Mix(h, static_cast<uint64_t>(col.sealed_encoded_bytes()));
+      for (size_t i = 0; i < col.size(); ++i) {
+        h = Mix(h, col.tags_data()[i]);
+        h = Mix(h, col.raw_data()[i]);
+      }
+    }
+  }
+  const StringDictionary& dict = db.dictionary();
+  h = Mix(h, dict.size());
+  for (uint32_t c = 0; c < dict.size(); ++c) {
+    h = Mix(h, Fnv1a64(dict.str(c)));
+  }
+  return h;
+}
+
+uint64_t IndexDigest(const BTreeIndex& ix) {
+  uint64_t h = 14695981039346656037ULL;
+  h = Mix(h, static_cast<uint64_t>(ix.entry_count()));
+  h = Mix(h, static_cast<uint64_t>(ix.entry_width()));
+  for (size_t e = 0; e < static_cast<size_t>(ix.entry_count()); ++e) {
+    h = Mix(h, static_cast<uint64_t>(ix.entry_row_id(e)));
+    for (int k = 0; k < ix.num_key_columns(); ++k) {
+      SortKey key = ix.entry_key(e, k);
+      h = Mix(h, key.cls);
+      h = Mix(h, key.key);
+    }
+    for (int pos = 0; pos < ix.entry_width(); ++pos) {
+      Cell cell = ix.entry_cell(e, pos);
+      h = Mix(h, cell.tag);
+      h = Mix(h, cell.bits);
+    }
+  }
+  return h;
+}
+
+// --- Corpus helpers -----------------------------------------------------
+
+// A schema tree, its mapping, the serialized document, and the DOM parse
+// of that same text (so both ingest paths consume identical bytes).
+struct Corpus {
+  std::unique_ptr<SchemaTree> tree;
+  std::optional<Mapping> mapping;
+  std::string xml;
+  XmlDocument doc;
+};
+
+Corpus MakeCorpus(std::unique_ptr<SchemaTree> tree, std::string xml) {
+  Corpus c;
+  c.tree = std::move(tree);
+  c.xml = std::move(xml);
+  auto parsed = ParseXml(c.xml, ParseOptions{});
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  if (parsed.ok()) c.doc = std::move(*parsed);
+  auto mapping = Mapping::Build(*c.tree);
+  EXPECT_TRUE(mapping.ok()) << mapping.status().ToString();
+  if (mapping.ok()) c.mapping.emplace(std::move(*mapping));
+  return c;
+}
+
+Corpus DblpCorpus(int inproceedings) {
+  DblpConfig config;
+  config.num_inproceedings = inproceedings;
+  config.num_books = inproceedings / 6 + 1;
+  config.num_conferences = 20;
+  // The generator's author-id bucketing requires >= 100 authors.
+  config.num_authors = 100 + inproceedings / 3;
+  GeneratedData data = GenerateDblp(config);
+  std::string xml = data.doc.ToXml();
+  return MakeCorpus(std::move(data.tree), std::move(xml));
+}
+
+Corpus MovieCorpus(int movies) {
+  MovieConfig config;
+  config.num_movies = movies;
+  GeneratedData data = GenerateMovie(config);
+  std::string xml = data.doc.ToXml();
+  return MakeCorpus(std::move(data.tree), std::move(xml));
+}
+
+uint64_t DomDigest(const Corpus& c, ShredStats* stats_out = nullptr) {
+  Database db;
+  auto stats = ShredDocument(c.doc, *c.tree, *c.mapping, &db);
+  EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+  if (stats_out != nullptr && stats.ok()) *stats_out = *stats;
+  return DatabaseDigest(db);
+}
+
+uint64_t StreamDigest(const Corpus& c, int threads,
+                      ShredStats* stats_out = nullptr) {
+  Database db;
+  StreamShredOptions options;
+  options.threads = threads;
+  auto stats = ShredStream(c.xml, *c.tree, *c.mapping, &db, options);
+  EXPECT_TRUE(stats.ok()) << "threads=" << threads << ": "
+                          << stats.status().ToString();
+  if (stats_out != nullptr && stats.ok()) *stats_out = *stats;
+  return DatabaseDigest(db);
+}
+
+// --- Stream parser ------------------------------------------------------
+
+std::vector<XmlEvent> Drain(XmlStreamParser* parser, Status* error) {
+  std::vector<XmlEvent> events;
+  while (true) {
+    auto ev = parser->Next();
+    if (!ev.ok()) {
+      *error = ev.status();
+      return events;
+    }
+    if (ev->kind == XmlEventKind::kEndOfInput) return events;
+    events.push_back(*ev);
+  }
+}
+
+TEST(StreamParser, EventSequence) {
+  const std::string xml =
+      "<?xml version=\"1.0\"?>\n"
+      "<!-- preamble -->\n"
+      "<root attr=\"v\">\n"
+      "  <a>one &amp; two</a>\n"
+      "  <b/>\n"
+      "  tail text\n"
+      "  <c>   </c>\n"
+      "</root>";
+  XmlStreamParser parser(xml);
+  Status error = Status::OK();
+  std::vector<XmlEvent> events = Drain(&parser, &error);
+  ASSERT_TRUE(error.ok()) << error.ToString();
+
+  std::vector<std::string> got;
+  for (const XmlEvent& ev : events) {
+    switch (ev.kind) {
+      case XmlEventKind::kStartElement:
+        got.push_back("+" + std::string(ev.name));
+        break;
+      case XmlEventKind::kEndElement:
+        got.push_back("-" + std::string(ev.name));
+        break;
+      case XmlEventKind::kText: {
+        std::string text;
+        AppendDecodedText(ev.raw_text, &text);
+        got.push_back("t:" + text);
+        break;
+      }
+      case XmlEventKind::kEndOfInput:
+        break;
+    }
+  }
+  std::vector<std::string> want = {"+root", "+a", "t:one & two", "-a",
+                                   "+b",    "-b", "t:tail text", "+c",
+                                   "-c",    "-root"};
+  EXPECT_EQ(got, want);
+}
+
+TEST(StreamParser, PeekIsStable) {
+  XmlStreamParser parser("<a><b/></a>");
+  auto p1 = parser.Peek();
+  auto p2 = parser.Peek();
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  EXPECT_EQ(p1->name, "a");
+  EXPECT_EQ(p2->name, "a");
+  auto n = parser.Next();
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n->kind, XmlEventKind::kStartElement);
+  EXPECT_EQ(n->name, "a");
+}
+
+TEST(StreamParser, FragmentModeParsesSiblingSequence) {
+  StreamParseOptions options;
+  options.fragment = true;
+  XmlStreamParser parser("<a>1</a> <!-- gap --> <b/>", options);
+  Status error = Status::OK();
+  std::vector<XmlEvent> events = Drain(&parser, &error);
+  ASSERT_TRUE(error.ok()) << error.ToString();
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events[0].name, "a");
+  EXPECT_EQ(events[3].name, "b");
+  EXPECT_EQ(events[4].kind, XmlEventKind::kEndElement);
+}
+
+// Both parsers accept exactly the same language: for a spread of valid
+// and malformed inputs, DOM parse success must equal stream drain
+// success.
+TEST(StreamParser, AcceptanceMatchesDomParser) {
+  const std::vector<std::string> inputs = {
+      "<a/>",
+      "<a>x</a>",
+      "<a><b>1</b><b>2</b></a>",
+      "<a b=\"c\" d=\"e\">t</a>",
+      "<a>&lt;&gt;&quot;&apos;&amp;</a>",
+      "<?xml version=\"1.0\"?><a/>",
+      "<!-- c --><a/><!-- c -->",
+      "",
+      "<a",
+      "<a>",
+      "<a></b>",
+      "<a><b></a></b>",
+      "<a/>junk",
+      "<a/><b/>",
+      "<a>&unknown;</a>",
+      "<a b=>x</a>",
+      "<a><!-- unterminated </a>",
+      "junk<a/>",
+  };
+  for (const std::string& input : inputs) {
+    bool dom_ok = ParseXml(input, ParseOptions{}).ok();
+    XmlStreamParser parser(input);
+    Status error = Status::OK();
+    Drain(&parser, &error);
+    EXPECT_EQ(dom_ok, error.ok()) << "input: " << input << " stream error: "
+                                  << error.ToString();
+  }
+}
+
+TEST(StreamParser, DepthGuardTripsLikeDomParser) {
+  std::string deep;
+  for (int i = 0; i < 64; ++i) deep += "<d>";
+  deep += "x";
+  for (int i = 0; i < 64; ++i) deep += "</d>";
+
+  ResourceLimits limits;
+  limits.max_recursion_depth = 8;
+  ResourceGovernor dom_gov(limits);
+  ParseOptions parse_options;
+  parse_options.governor = &dom_gov;
+  EXPECT_EQ(ParseXml(deep, parse_options).status().code(),
+            StatusCode::kResourceExhausted);
+
+  ResourceGovernor stream_gov(limits);
+  StreamParseOptions options;
+  options.governor = &stream_gov;
+  XmlStreamParser parser(deep, options);
+  Status error = Status::OK();
+  Drain(&parser, &error);
+  EXPECT_EQ(error.code(), StatusCode::kResourceExhausted);
+}
+
+// --- Differential: DOM vs streaming, across thread counts ---------------
+
+TEST(StreamingShred, BitIdenticalToDomOnDblp) {
+  Corpus corpus = DblpCorpus(350);
+  ShredStats dom_stats;
+  uint64_t dom = DomDigest(corpus, &dom_stats);
+  for (int threads : {1, 2, 4, 8}) {
+    ShredStats stream_stats;
+    uint64_t stream = StreamDigest(corpus, threads, &stream_stats);
+    EXPECT_EQ(dom, stream) << "threads=" << threads;
+    EXPECT_EQ(stream_stats.rows, dom_stats.rows);
+    EXPECT_EQ(stream_stats.elements, dom_stats.elements);
+  }
+}
+
+TEST(StreamingShred, BitIdenticalToDomOnMovie) {
+  Corpus corpus = MovieCorpus(500);
+  uint64_t dom = DomDigest(corpus);
+  for (int threads : {1, 2, 4, 8}) {
+    EXPECT_EQ(dom, StreamDigest(corpus, threads)) << "threads=" << threads;
+  }
+}
+
+// Union distribution turns the root-level <movie> tag into a variant
+// choice, so streaming must route each top-level subtree by presence
+// constraints; repetition split inside <movie> exercises occurrence
+// columns and the overflow relation.
+TEST(StreamingShred, BitIdenticalOnTransformedSchemas) {
+  MovieConfig config;
+  config.num_movies = 400;
+  GeneratedData data = GenerateMovie(config);
+
+  Transform distribute;
+  distribute.kind = TransformKind::kUnionDistribute;
+  distribute.target = data.tree->FindTagByName("box_office")->parent()->id();
+  auto applied = ApplyTransform(data.tree.get(), distribute);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+
+  Transform split;
+  split.kind = TransformKind::kRepetitionSplit;
+  split.target = data.tree->FindTagByName("aka_title")->parent()->id();
+  split.split_count = 3;
+  applied = ApplyTransform(data.tree.get(), split);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+
+  Corpus corpus = MakeCorpus(std::move(data.tree), data.doc.ToXml());
+  uint64_t dom = DomDigest(corpus);
+  for (int threads : {1, 4}) {
+    EXPECT_EQ(dom, StreamDigest(corpus, threads)) << "threads=" << threads;
+  }
+}
+
+// r(r) -> a? , (a(a_items) | b(b_items))* : the tag name "a" appears in
+// two distinct root-level slots (an inlined option and a set-valued choice
+// alternative), so routing a top-level <a> subtree by name alone is
+// ambiguous. The shredder must detect this and fall back to
+// whole-document buffering — still bit-identical, never partitioned.
+std::unique_ptr<SchemaTree> AmbiguousRootTree() {
+  auto tree = std::make_unique<SchemaTree>();
+  auto root = tree->NewTag("r");
+  root->set_annotation("r");
+  auto seq = tree->NewNode(SchemaNodeKind::kSequence);
+  auto opt = tree->NewNode(SchemaNodeKind::kOption);
+  auto a_inline = tree->NewTag("a");
+  a_inline->AddChild(tree->NewSimple(XsdBaseType::kString));
+  opt->AddChild(std::move(a_inline));
+  seq->AddChild(std::move(opt));
+  auto rep = tree->NewNode(SchemaNodeKind::kRepetition);
+  auto choice = tree->NewNode(SchemaNodeKind::kChoice);
+  auto a_set = tree->NewTag("a");
+  a_set->set_annotation("a_items");
+  a_set->AddChild(tree->NewSimple(XsdBaseType::kString));
+  choice->AddChild(std::move(a_set));
+  auto b_set = tree->NewTag("b");
+  b_set->set_annotation("b_items");
+  b_set->AddChild(tree->NewSimple(XsdBaseType::kInt));
+  choice->AddChild(std::move(b_set));
+  rep->AddChild(std::move(choice));
+  seq->AddChild(std::move(rep));
+  root->AddChild(std::move(seq));
+  tree->SetRoot(std::move(root));
+  return tree;
+}
+
+TEST(StreamingShred, AmbiguousRootRoutingFallsBackToWholeDocument) {
+  auto tree = AmbiguousRootTree();
+  ASSERT_TRUE(tree->Validate().ok()) << tree->Validate();
+  Corpus corpus =
+      MakeCorpus(std::move(tree),
+                 "<r><a>first</a><a>second</a><b>7</b><a>third</a></r>");
+  uint64_t dom = DomDigest(corpus);
+  for (int threads : {1, 4}) {
+    ShredStats stats;
+    EXPECT_EQ(dom, StreamDigest(corpus, threads, &stats))
+        << "threads=" << threads;
+    EXPECT_EQ(stats.partitions, 1) << "fallback must not partition";
+  }
+}
+
+TEST(StreamingShred, StatsReportBatchAccounting) {
+  Corpus corpus = DblpCorpus(300);
+  ShredStats dom_stats;
+  DomDigest(corpus, &dom_stats);
+  EXPECT_GT(dom_stats.reserved_rows, 0);
+  EXPECT_GT(dom_stats.saved_reallocs, 0);
+  EXPECT_EQ(dom_stats.batches_emitted, 0);
+
+  ShredStats serial;
+  StreamDigest(corpus, 1, &serial);
+  EXPECT_EQ(serial.reserved_rows, 0);
+  EXPECT_EQ(serial.saved_reallocs, 0);
+  EXPECT_GT(serial.batches_emitted, 0);
+  EXPECT_GT(serial.peak_batch_bytes, 0);
+  EXPECT_GT(serial.transient_peak_bytes, 0);
+  EXPECT_EQ(serial.partitions, 1);
+
+  ShredStats parallel;
+  StreamDigest(corpus, 4, &parallel);
+  // Batch accounting is thread-count invariant; transient peak is not.
+  EXPECT_EQ(parallel.batches_emitted, serial.batches_emitted);
+  EXPECT_EQ(parallel.peak_batch_bytes, serial.peak_batch_bytes);
+  EXPECT_EQ(parallel.partitions, 4);
+}
+
+TEST(StreamingShred, MetricsAreThreadCountInvariant) {
+  Corpus corpus = MovieCorpus(300);
+  auto collect = [&](int threads) {
+    Database db;
+    MetricsRegistry registry;
+    StreamShredOptions options;
+    options.threads = threads;
+    options.metrics = &registry;
+    auto stats = ShredStream(corpus.xml, *corpus.tree, *corpus.mapping, &db,
+                             options);
+    EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+    std::vector<int64_t> values = {
+        registry.counter(kMetricShredDocuments)->value(),
+        registry.counter(kMetricShredRows)->value(),
+        registry.counter(kMetricShredElements)->value(),
+        registry.counter(kMetricShredBatchesEmitted)->value(),
+        static_cast<int64_t>(
+            registry.gauge(kMetricShredPeakBatchBytes)->value()),
+    };
+    return values;
+  };
+  std::vector<int64_t> serial = collect(1);
+  EXPECT_EQ(serial[0], 1);  // shred.documents
+  EXPECT_GT(serial[1], 0);  // shred.rows
+  EXPECT_GT(serial[3], 0);  // shred.batches_emitted
+  EXPECT_GT(serial[4], 0);  // shred.peak_batch_bytes
+  EXPECT_EQ(collect(4), serial);
+  EXPECT_EQ(collect(8), serial);
+}
+
+// --- Failure paths: all-or-nothing rollback -----------------------------
+
+// Runs a failing ingest against a database with one pre-existing
+// dictionary entry and asserts nothing stuck.
+void ExpectRollback(const std::string& xml, const Corpus& corpus,
+                    int threads, StatusCode want_code) {
+  Database db;
+  db.mutable_dictionary()->Intern("zz_preexisting");
+  StreamShredOptions options;
+  options.threads = threads;
+  auto stats = ShredStream(xml, *corpus.tree, *corpus.mapping, &db, options);
+  ASSERT_FALSE(stats.ok()) << "threads=" << threads;
+  EXPECT_EQ(stats.status().code(), want_code)
+      << "threads=" << threads << ": " << stats.status().ToString();
+  EXPECT_TRUE(db.TableNames().empty()) << "threads=" << threads;
+  ASSERT_EQ(db.dictionary().size(), 1u) << "threads=" << threads;
+  EXPECT_EQ(db.dictionary().str(0), "zz_preexisting");
+}
+
+TEST(StreamingShred, MalformedXmlMidStreamRollsBackCleanly) {
+  Corpus corpus = DblpCorpus(40);
+  const std::string root = corpus.tree->root()->name();
+  const std::vector<std::pair<std::string, StatusCode>> cases = {
+      // Truncated mid-document.
+      {"<" + root + "><inproceedings><title>t</title>",
+       StatusCode::kInvalidArgument},
+      // Mismatched close tag.
+      {"<" + root + "><inproceedings></wrong></" + root + ">",
+       StatusCode::kInvalidArgument},
+      // Content after the document element.
+      {"<" + root + "></" + root + "><extra/>", StatusCode::kInvalidArgument},
+      // Well-formed but unknown root child.
+      {"<" + root + "><no_such_tag/></" + root + ">",
+       StatusCode::kInvalidArgument},
+      // Wrong root element.
+      {"<not_the_root/>", StatusCode::kInvalidArgument},
+  };
+  for (const auto& [xml, code] : cases) {
+    for (int threads : {1, 4}) {
+      SCOPED_TRACE(xml);
+      ExpectRollback(xml, corpus, threads, code);
+    }
+  }
+}
+
+// A document whose only defect is structural (parses fine) must produce
+// the same error message as the DOM shredder, at every thread count.
+TEST(StreamingShred, SchemaMismatchErrorsMatchDomShredder) {
+  Corpus corpus = DblpCorpus(30);
+  const std::string root = corpus.tree->root()->name();
+  const std::string bad =
+      "<" + root + "><no_such_tag/></" + root + ">";
+
+  Database dom_db;
+  auto parsed = ParseXml(bad, ParseOptions{});
+  ASSERT_TRUE(parsed.ok());
+  auto dom = ShredDocument(*parsed, *corpus.tree, *corpus.mapping, &dom_db);
+  ASSERT_FALSE(dom.ok());
+
+  for (int threads : {1, 4}) {
+    Database db;
+    StreamShredOptions options;
+    options.threads = threads;
+    auto stream = ShredStream(bad, *corpus.tree, *corpus.mapping, &db,
+                              options);
+    ASSERT_FALSE(stream.ok()) << "threads=" << threads;
+    EXPECT_EQ(stream.status().ToString(), dom.status().ToString())
+        << "threads=" << threads;
+  }
+}
+
+TEST(StreamingShred, GovernorTripsAtExactBatchBoundary) {
+  Corpus corpus = DblpCorpus(250);
+
+  // Learn the exact memory the ingest charges (one batch at a time).
+  ResourceGovernor unlimited;
+  Database learn_db;
+  StreamShredOptions learn_options;
+  learn_options.threads = 1;
+  learn_options.governor = &unlimited;
+  auto learn = ShredStream(corpus.xml, *corpus.tree, *corpus.mapping,
+                           &learn_db, learn_options);
+  ASSERT_TRUE(learn.ok()) << learn.status().ToString();
+  const int64_t charged = unlimited.memory_charged();
+  ASSERT_GT(charged, 0);
+  const uint64_t want = DatabaseDigest(learn_db);
+
+  for (int threads : {1, 4}) {
+    // Memory charges are replayed in flush order, so the charge total is
+    // thread-count invariant.
+    ResourceLimits exact;
+    exact.max_memory_bytes = charged;
+    ResourceGovernor ok_gov(exact);
+    Database ok_db;
+    StreamShredOptions options;
+    options.threads = threads;
+    options.governor = &ok_gov;
+    auto ok = ShredStream(corpus.xml, *corpus.tree, *corpus.mapping, &ok_db,
+                          options);
+    ASSERT_TRUE(ok.ok()) << "threads=" << threads << ": "
+                         << ok.status().ToString();
+    EXPECT_EQ(ok_gov.memory_charged(), charged) << "threads=" << threads;
+    EXPECT_EQ(DatabaseDigest(ok_db), want) << "threads=" << threads;
+
+    // One byte less trips on the final batch flush and rolls back.
+    ResourceLimits tight;
+    tight.max_memory_bytes = charged - 1;
+    ResourceGovernor trip_gov(tight);
+    Database trip_db;
+    trip_db.mutable_dictionary()->Intern("zz_preexisting");
+    options.governor = &trip_gov;
+    auto tripped = ShredStream(corpus.xml, *corpus.tree, *corpus.mapping,
+                               &trip_db, options);
+    ASSERT_FALSE(tripped.ok()) << "threads=" << threads;
+    EXPECT_EQ(tripped.status().code(), StatusCode::kResourceExhausted)
+        << "threads=" << threads;
+    EXPECT_TRUE(trip_db.TableNames().empty()) << "threads=" << threads;
+    ASSERT_EQ(trip_db.dictionary().size(), 1u);
+    EXPECT_EQ(trip_db.dictionary().str(0), "zz_preexisting");
+  }
+}
+
+TEST(StreamingShred, InjectedBatchFaultRollsBackAtEveryThreadCount) {
+  Corpus corpus = DblpCorpus(200);
+
+  // Count the shred.stream hits a clean ingest performs (one per batch
+  // flush); the schedule must be identical at every thread count.
+  auto hits_during = [&](int threads) {
+    ScopedFaultInjection scope(kFaultSiteShredStream, 1 << 30);
+    int before = FaultInjector::Global()->hits(kFaultSiteShredStream);
+    Database db;
+    StreamShredOptions options;
+    options.threads = threads;
+    auto stats = ShredStream(corpus.xml, *corpus.tree, *corpus.mapping, &db,
+                             options);
+    EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+    return FaultInjector::Global()->hits(kFaultSiteShredStream) - before;
+  };
+  const int total_hits = hits_during(1);
+  ASSERT_GT(total_hits, 0);
+  EXPECT_EQ(hits_during(4), total_hits);
+
+  // Firing on the first and on the last batch both roll back fully.
+  for (int nth : {1, total_hits}) {
+    for (int threads : {1, 4}) {
+      SCOPED_TRACE("nth=" + std::to_string(nth) +
+                   " threads=" + std::to_string(threads));
+      ScopedFaultInjection scope(kFaultSiteShredStream, nth);
+      Database db;
+      db.mutable_dictionary()->Intern("zz_preexisting");
+      StreamShredOptions options;
+      options.threads = threads;
+      auto stats = ShredStream(corpus.xml, *corpus.tree, *corpus.mapping,
+                               &db, options);
+      ASSERT_FALSE(stats.ok());
+      EXPECT_TRUE(db.TableNames().empty());
+      ASSERT_EQ(db.dictionary().size(), 1u);
+      EXPECT_EQ(db.dictionary().str(0), "zz_preexisting");
+    }
+  }
+}
+
+// --- Bounded memory -----------------------------------------------------
+
+// Replicating one fixed record N vs 10N times must leave the transient
+// peak EXACTLY unchanged: the peak is one buffered record plus the batch
+// buffers, independent of document length.
+TEST(StreamingShred, TransientPeakIsFlatAcrossDocumentSize) {
+  MovieConfig config;
+  config.num_movies = 1;
+  config.tv_fraction = 0.0;
+  GeneratedData data = GenerateMovie(config);
+  const std::string record = data.doc.root()->children()[0]->ToXml();
+  const std::string root = data.tree->root()->name();
+
+  auto make_doc = [&](int n) {
+    std::string xml = "<" + root + ">";
+    for (int i = 0; i < n; ++i) xml += record;
+    xml += "</" + root + ">";
+    return xml;
+  };
+  auto mapping = Mapping::Build(*data.tree);
+  ASSERT_TRUE(mapping.ok());
+
+  auto shred = [&](const std::string& xml, ShredStats* stats_out) {
+    Database db;
+    auto stats = ShredStream(xml, *data.tree, *mapping, &db,
+                             StreamShredOptions{});
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    *stats_out = *stats;
+    return;
+  };
+
+  const std::string small_doc = make_doc(800);
+  const std::string big_doc = make_doc(8000);
+  ShredStats small_stats, big_stats;
+  shred(small_doc, &small_stats);
+  shred(big_doc, &big_stats);
+
+  EXPECT_EQ(big_stats.rows, small_stats.rows * 10 - 9)  // shared root row
+      << "rows must scale with the document";
+  EXPECT_EQ(big_stats.transient_peak_bytes, small_stats.transient_peak_bytes)
+      << "peak ingest memory must not grow with document size";
+  EXPECT_LT(big_stats.transient_peak_bytes,
+            static_cast<int64_t>(big_doc.size()))
+      << "peak must stay below the document itself";
+}
+
+// --- Parallel index builds ----------------------------------------------
+
+TEST(StreamingShred, ParallelIndexBuildIsBitIdentical) {
+  Corpus corpus = DblpCorpus(300);
+
+  Database db;
+  auto stats = ShredStream(corpus.xml, *corpus.tree, *corpus.mapping, &db,
+                           StreamShredOptions{});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+  // Pick the widest populated relation and index a value column with the
+  // parent id, including the row id as payload.
+  std::string table_name;
+  int width = 0;
+  for (const std::string& name : db.TableNames()) {
+    const Table* t = db.FindTable(name);
+    if (t->row_count() > 0 && t->schema().num_columns() > width) {
+      width = t->schema().num_columns();
+      table_name = name;
+    }
+  }
+  ASSERT_GE(width, 3);
+
+  IndexDef def;
+  def.name = "ix_parallel_test";
+  def.table = table_name;
+  def.key_columns = {width - 1, 1};
+  def.included_columns = {0};
+
+  uint64_t serial_digest = 0;
+  for (int threads : {1, 2, 4, 8}) {
+    db.DropIndex(def.name);
+    ASSERT_TRUE(db.CreateIndex(def, threads).ok()) << "threads=" << threads;
+    const BTreeIndex* ix = db.FindIndex(def.name);
+    ASSERT_NE(ix, nullptr);
+    uint64_t digest = IndexDigest(*ix);
+    if (threads == 1) {
+      serial_digest = digest;
+      EXPECT_GT(ix->entry_count(), 0);
+    } else {
+      EXPECT_EQ(digest, serial_digest) << "threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xmlshred

@@ -314,9 +314,8 @@ TEST(XsdParserTest, Errors) {
 }
 
 // The canonical Parse*(input, ParseOptions) signature: the governor
-// field bounds recursion, the exec field routes instrumentation, and the
-// legacy overloads are thin shims over the same path.
-TEST(ParseOptionsTest, CanonicalSignatureMatchesShims) {
+// field bounds recursion and the exec field routes instrumentation.
+TEST(ParseOptionsTest, GovernorAndExecFieldsApply) {
   ParseOptions bare;
   auto doc = ParseXml("<a><b>hello</b></a>", bare);
   ASSERT_TRUE(doc.ok()) << doc.status();
